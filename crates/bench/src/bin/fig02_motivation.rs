@@ -1,0 +1,60 @@
+//! Regenerates paper Figure 2: TTFT spikes caused by memory overloading.
+//!
+//! (a) the bursty arrival rate; (b) KVCache memory demand vs capacity on
+//! vLLM; (c)–(e) mean TTFT over time for the three KVCache-centric
+//! reactions: drop/recompute (vLLM), swap (InferCept), migrate (Llumnix).
+//!
+//! Run: `cargo run --release -p bench --bin fig02_motivation`
+
+use bench::{print_series, secs, Scenario};
+use kunserve::serving::SystemKind;
+use sim_core::{SimDuration, SimTime};
+
+fn main() {
+    let sc = Scenario::burstgpt_14b();
+    let trace = sc.trace();
+    let window = SimDuration::from_secs(4);
+    let end = SimTime::ZERO + sc.duration + SimDuration::from_secs(40);
+
+    println!("# Figure 2 (a): BurstGPT-like arrival rate (req/s, 4s windows)");
+    print_series("time_s,req_per_s", &trace.rate_timeline(window), 1.0);
+
+    for (label, kind) in [
+        ("(b)+(c) Drop/recompute KVCache (vLLM)", SystemKind::VllmDp),
+        ("(d) Swap KVCache (InferCept)", SystemKind::InferCept),
+        ("(e) Migrate KVCache (Llumnix)", SystemKind::Llumnix),
+    ] {
+        let out = sc.run(kind);
+        println!();
+        println!("# Figure 2 {label}");
+        if kind == SystemKind::VllmDp {
+            let cap = out
+                .state
+                .metrics
+                .mem_capacity
+                .points()
+                .first()
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0);
+            println!("capacity_limit_gb,{:.1}", cap / 1e9);
+            let demand =
+                out.state.metrics.mem_demand.windowed_mean(SimTime::ZERO, end, window);
+            print_series("time_s,kv_demand_gb", &demand, 1e-9);
+            let avg: f64 = out.state.metrics.mem_used.points().iter().map(|&(_, v)| v).sum::<f64>()
+                / out.state.metrics.mem_used.len().max(1) as f64;
+            println!("avg_usage_pct,{:.1}", avg / cap * 100.0);
+        }
+        let ttft = out.state.metrics.ttft_series.windowed_mean(SimTime::ZERO, end, window);
+        print_series("time_s,mean_ttft_s", &ttft, 1.0);
+        println!(
+            "summary,p50={},p99={},max={}",
+            secs(out.report.ttft.p50),
+            secs(out.report.ttft.p99),
+            secs(out.report.ttft.max)
+        );
+        println!(
+            "spike_factor_p99_over_p50,{:.1}",
+            out.report.ttft.p99 / out.report.ttft.p50.max(1e-3)
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates paper Figure 5: serving latency vs parameter-drop degree.
+//!
+//! All setups use 8 instances on BurstGPT without overload; the drop degree
+//! is fixed statically: DP×8 (full copies), drop 50 % (2-stage pipelines),
+//! drop 75 % (4-stage), drop 88 % (8-stage). More dropping ⇒ deeper
+//! pipelines ⇒ higher latency — the trade-off the drop planner minimizes.
+//!
+//! Run: `cargo run --release -p bench --bin fig05_drop_degrees`
+
+use bench::{ms, secs, Scenario};
+use kunserve::serving::{run_system, SystemKind};
+
+fn main() {
+    let base = Scenario::burstgpt_14b();
+    // Moderate load with no bursts: isolate the parallelism cost.
+    let mut sc = base.clone();
+    sc.bursts.clear();
+    sc.base_rps = 18.0;
+    let trace = sc.trace();
+
+    println!("# Figure 5: latency CDFs under static drop degrees (BurstGPT, 8 GPUs)");
+    println!();
+    println!("| Setup | TTFT p50 (s) | TTFT p99 (s) | TPOT p50 (ms) | TPOT p99 (ms) |");
+    println!("|---|---|---|---|---|");
+    let mut cdfs = Vec::new();
+    for (label, group_size) in
+        [("DP x 8 (full)", 1u32), ("Drop 50% layers", 2), ("Drop 75% layers", 4), ("Drop 88% layers", 8)]
+    {
+        let mut cfg = sc.cfg.clone();
+        cfg.initial_group_size = group_size;
+        let out = run_system(SystemKind::VllmDp, cfg, &trace, sc.drain);
+        println!(
+            "| {label} | {} | {} | {} | {} |",
+            secs(out.report.ttft.p50),
+            secs(out.report.ttft.p99),
+            ms(out.report.tpot.p50),
+            ms(out.report.tpot.p99),
+        );
+        cdfs.push((label, out.report.ttft_cdf(20)));
+    }
+    println!();
+    println!("# TTFT CDFs (value_s, cum_frac)");
+    for (label, cdf) in cdfs {
+        println!("## {label}");
+        for (v, f) in cdf {
+            println!("{:.3},{:.2}", v, f);
+        }
+    }
+}

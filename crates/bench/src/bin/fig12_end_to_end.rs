@@ -1,0 +1,48 @@
+//! Regenerates paper Figure 12: end-to-end timelines per workload × model.
+//!
+//! For each scenario (BurstGPT/ShareGPT/LongBench × 14B, LongBench × 72B)
+//! and each of the five systems: the memory usage pattern (first column),
+//! the mean TTFT timeline (second column) and the throughput timeline
+//! (third column).
+//!
+//! Run: `cargo run --release -p bench --bin fig12_end_to_end`
+
+use bench::{print_series, secs, Scenario};
+use sim_core::{SimDuration, SimTime};
+
+fn main() {
+    let window = SimDuration::from_secs(5);
+    for sc in Scenario::paper_matrix() {
+        let end = SimTime::ZERO + sc.duration + SimDuration::from_secs(60);
+        println!("==== {} ====", sc.name);
+        for out in sc.run_lineup() {
+            println!();
+            println!("--- {} ---", out.name);
+            // Column 1: memory timeline (capacity moves when KunServe drops).
+            let cap = out.state.metrics.mem_capacity.windowed_mean(SimTime::ZERO, end, window);
+            let demand = out.state.metrics.mem_demand.windowed_mean(SimTime::ZERO, end, window);
+            print_series("time_s,capacity_gb", &cap, 1e-9);
+            print_series("time_s,kv_demand_gb", &demand, 1e-9);
+            for (t, what) in &out.state.metrics.reconfig_events {
+                println!("event,{:.1},{what}", t.as_secs_f64());
+            }
+            // Column 2: mean TTFT timeline.
+            let ttft = out.state.metrics.ttft_series.windowed_mean(SimTime::ZERO, end, window);
+            print_series("time_s,mean_ttft_s", &ttft, 1.0);
+            // Column 3: throughput timeline.
+            let rates = out.state.metrics.tokens.rates(SimTime::ZERO, end, window);
+            print_series("time_s,tokens_per_s", &rates, 1.0);
+            println!(
+                "summary,finished={}/{},ttft_p50={},ttft_p99={},tpot_p50={},tpot_p99={},mean_tput={:.0}",
+                out.report.finished_requests,
+                out.report.total_requests,
+                secs(out.report.ttft.p50),
+                secs(out.report.ttft.p99),
+                secs(out.report.tpot.p50),
+                secs(out.report.tpot.p99),
+                out.report.total_tokens as f64 / sc.duration.as_secs_f64(),
+            );
+        }
+        println!();
+    }
+}

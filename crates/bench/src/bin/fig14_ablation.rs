@@ -1,0 +1,65 @@
+//! Regenerates paper Figure 14: the ablation study on LongBench × 14B.
+//!
+//! Incrementally enables KunServe's techniques: `+Dynamic drop` (parameter
+//! dropping with uncoordinated exchange and token-count batching),
+//! `+Coordinated ex.` (chunked exchange yielding to activations),
+//! `+Lookahead` (cost-balanced microbatches). Also prints the pipeline
+//! bubble-time series (1 − GPU utilization during pipelined execution).
+//!
+//! Run: `cargo run --release -p bench --bin fig14_ablation`
+
+use bench::{ms, print_series, secs, Scenario};
+use kunserve::serving::SystemKind;
+use kunserve::KunServeConfig;
+use sim_core::{SimDuration, SimTime};
+
+fn main() {
+    let sc = Scenario::longbench_14b();
+    let systems: Vec<(&str, SystemKind)> = vec![
+        ("vLLM (DP)", SystemKind::VllmDp),
+        ("vLLM (PP)", SystemKind::VllmPp),
+        ("+Dynamic drop", SystemKind::KunServeWith(KunServeConfig::drop_only())),
+        ("+Coordinated ex.", SystemKind::KunServeWith(KunServeConfig::drop_and_coordinated())),
+        ("+Lookahead", SystemKind::KunServeWith(KunServeConfig::default())),
+    ];
+
+    println!("# Figure 14: ablation on {}", sc.name);
+    println!();
+    println!("| Config | TTFT p50 | p90 | p99 | p999 (s) | TPOT p50 | p90 | p99 | p999 (ms) |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    let mut bubble_series = Vec::new();
+    for (label, kind) in systems {
+        let out = sc.run(kind);
+        println!(
+            "| {label} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            secs(out.report.ttft.p50),
+            secs(out.report.ttft.p90),
+            secs(out.report.ttft.p99),
+            secs(out.report.ttft.p999),
+            ms(out.report.tpot.p50),
+            ms(out.report.tpot.p90),
+            ms(out.report.tpot.p99),
+            ms(out.report.tpot.p999),
+        );
+        let end = SimTime::ZERO + sc.duration + SimDuration::from_secs(60);
+        let bubbles = out
+            .state
+            .metrics
+            .bubbles
+            .windowed_mean(SimTime::ZERO, end, SimDuration::from_secs(5));
+        let mean_bubble = if out.state.metrics.bubbles.is_empty() {
+            0.0
+        } else {
+            out.state.metrics.bubbles.points().iter().map(|&(_, v)| v).sum::<f64>()
+                / out.state.metrics.bubbles.len() as f64
+        };
+        bubble_series.push((label, bubbles, mean_bubble));
+    }
+
+    println!();
+    println!("# Bubble time (%) during pipelined execution, 5 s windows");
+    for (label, series, mean) in bubble_series {
+        println!("## {label} (mean {:.1}%)", mean * 100.0);
+        print_series("time_s,bubble_pct", &series, 100.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Regenerates paper Figure 16: a 640 s long run with multiple overloading
+//! waves, comparing vLLM (DP), KunServe without restoration and full
+//! KunServe. Demonstrates why dynamic parameter restoration matters: the
+//! no-restore variant stays pipelined and enters the second wave weaker.
+//!
+//! Run: `cargo run --release -p bench --bin fig16_long_run`
+
+use bench::{ms, print_series, secs, Scenario};
+use kunserve::serving::SystemKind;
+use kunserve::KunServeConfig;
+use sim_core::{SimDuration, SimTime};
+use workload::BurstTraceBuilder;
+
+fn main() {
+    let mut sc = Scenario::burstgpt_14b();
+    sc.duration = SimDuration::from_secs(640);
+    sc.drain = SimDuration::from_secs(400);
+    // Two overloading waves like the paper's long trace, with quiet
+    // periods long enough for restoration to engage between them.
+    sc.bursts = vec![(0.18, 14.0, 2.8), (0.62, 16.0, 2.8)];
+    let d = sc.duration.as_secs_f64();
+    let trace = {
+        let mut b = BurstTraceBuilder::new(sc.dataset)
+            .base_rps(sc.base_rps)
+            .duration(sc.duration)
+            .seed(sc.seed);
+        for &(frac, secs_, mult) in &sc.bursts {
+            b = b.burst(
+                SimTime::from_secs_f64(d * frac),
+                SimDuration::from_secs_f64(secs_),
+                mult,
+            );
+        }
+        b.build()
+    };
+    println!("# Figure 16: 640s long run ({} requests)", trace.len());
+
+    let window = SimDuration::from_secs(10);
+    let end = SimTime::ZERO + sc.duration + SimDuration::from_secs(100);
+    println!();
+    println!("| System | TTFT p50 (s) | TTFT p99 (s) | TPOT p50 (ms) | TPOT p99 (ms) |");
+    println!("|---|---|---|---|---|");
+    let mut timelines = Vec::new();
+    for (label, kind) in [
+        ("vLLM (DP)", SystemKind::VllmDp),
+        ("KunServe w/o restore", SystemKind::KunServeWith(KunServeConfig::without_restore())),
+        ("KunServe", SystemKind::KunServe),
+    ] {
+        let out = kunserve::serving::run_system(kind, sc.cfg.clone(), &trace, sc.drain);
+        println!(
+            "| {label} | {} | {} | {} | {} |",
+            secs(out.report.ttft.p50),
+            secs(out.report.ttft.p99),
+            ms(out.report.tpot.p50),
+            ms(out.report.tpot.p99),
+        );
+        let ttft = out.state.metrics.ttft_series.windowed_mean(SimTime::ZERO, end, window);
+        let demand = out.state.metrics.mem_demand.windowed_mean(SimTime::ZERO, end, window);
+        let events: Vec<(f64, String)> = out
+            .state
+            .metrics
+            .reconfig_events
+            .iter()
+            .map(|(t, w)| (t.as_secs_f64(), w.clone()))
+            .collect();
+        timelines.push((label, ttft, demand, events));
+    }
+
+    println!();
+    println!("# Arrival rate (req/s, 10s windows)");
+    print_series("time_s,req_per_s", &trace.rate_timeline(window), 1.0);
+    for (label, ttft, demand, events) in timelines {
+        println!();
+        println!("## {label}");
+        print_series("time_s,mean_ttft_s", &ttft, 1.0);
+        print_series("time_s,kv_demand_gb", &demand, 1e-9);
+        for (t, what) in events {
+            println!("event,{t:.1},{what}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates paper Figure 17: behavior under an extreme, unrealistic
+//! burst — the first burst window replays back-to-back until every system
+//! runs out of memory. KunServe sustains the burst longer (its drops free
+//! parameter memory, bounded by model size) and triggers multiple drops.
+//!
+//! Run: `cargo run --release -p bench --bin fig17_extreme_burst`
+
+use bench::{print_series, secs, Scenario};
+use kunserve::serving::SystemKind;
+use sim_core::{SimDuration, SimTime};
+use workload::extreme_burst;
+
+fn main() {
+    let sc = Scenario::longbench_72b();
+    let base = sc.trace();
+    let d = sc.duration.as_secs_f64();
+    // Replay the first burst window repeatedly (paper methodology).
+    let b_start = SimTime::from_secs_f64(d * 0.35);
+    let b_end = SimTime::from_secs_f64(d * 0.35 + 14.0);
+    let trace = extreme_burst(&base, b_start, b_end, 6);
+    println!("# Figure 17: extreme burst on {} ({} requests)", sc.name, trace.len());
+    println!();
+    println!("# Arrival rate (req/s, 5s windows)");
+    print_series("time_s,req_per_s", &trace.rate_timeline(SimDuration::from_secs(5)), 1.0);
+
+    let window = SimDuration::from_secs(5);
+    let end = SimTime::ZERO + SimDuration::from_secs_f64(d + 120.0);
+    for kind in [SystemKind::VllmDp, SystemKind::KunServe] {
+        let out = kunserve::serving::run_system(kind, sc.cfg.clone(), &trace, sc.drain);
+        println!();
+        println!("## {}", out.name);
+        let ttft = out.state.metrics.ttft_series.windowed_mean(SimTime::ZERO, end, window);
+        print_series("time_s,mean_ttft_s", &ttft, 1.0);
+        let used = out.state.metrics.mem_used.windowed_mean(SimTime::ZERO, end, window);
+        print_series("time_s,kv_used_gb", &used, 1e-9);
+        let cap = out.state.metrics.mem_capacity.windowed_mean(SimTime::ZERO, end, window);
+        print_series("time_s,kv_capacity_gb", &cap, 1e-9);
+        let drops = out
+            .state
+            .metrics
+            .reconfig_events
+            .iter()
+            .filter(|(_, w)| w.starts_with("drop"))
+            .count();
+        println!("drop_events,{drops}");
+        for (t, what) in &out.state.metrics.reconfig_events {
+            println!("event,{:.1},{what}", t.as_secs_f64());
+        }
+        // Time-to-overload: first instant the windowed mean TTFT crosses a
+        // fixed 2 s threshold (an SLO-violation onset proxy comparable
+        // across systems).
+        let onset = ttft.iter().find(|&&(_, v)| v > 2.0).map(|&(t, _)| t);
+        match onset {
+            Some(t) => println!("slo_violation_onset_s,{:.1}", t.as_secs_f64()),
+            None => println!("slo_violation_onset_s,never"),
+        }
+        println!(
+            "summary,finished={}/{},p50={},p99={}",
+            out.report.finished_requests,
+            out.report.total_requests,
+            secs(out.report.ttft.p50),
+            secs(out.report.ttft.p99)
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates paper Table 1: model parameter memory vs instance HBM.
+//!
+//! Run: `cargo run --release -p bench --bin table1_models`
+
+use modelcfg::{catalog, GB};
+
+fn main() {
+    println!("# Table 1: parameter memory share of instance HBM");
+    println!();
+    println!("| Model | Model size | #GPU/instance | Ratio (%) |");
+    println!("|---|---|---|---|");
+    for m in catalog::table1_models() {
+        println!(
+            "| {} | {} GB | {} ({} GB) | {:.1} |",
+            m.name,
+            m.param_bytes() / GB,
+            m.gpus_per_instance(),
+            m.instance_hbm_bytes() / GB,
+            m.param_hbm_ratio(),
+        );
+    }
+    println!();
+    println!(
+        "KV bytes/token (Qwen-2.5-14B): {} KB (paper: 192 KB)",
+        catalog::qwen2_5_14b().kv_bytes_per_token() / 1024
+    );
+}

@@ -1,0 +1,201 @@
+//! Cluster configuration and the paper's testbeds (Table 2).
+
+use costmodel::GpuPerf;
+use modelcfg::ModelConfig;
+use netsim::LinkSpec;
+use sim_core::SimDuration;
+
+/// The two evaluation clusters of paper Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Testbed {
+    /// Cluster A: 8 servers × 1 A800-80G, 200 Gbps RDMA scale-out.
+    ClusterA,
+    /// Cluster B: 2 servers × 8 H800-80G, NVLink scale-up + 400 Gbps RDMA.
+    ClusterB,
+}
+
+impl Testbed {
+    /// GPU performance model of this testbed.
+    pub fn gpu(self) -> GpuPerf {
+        match self {
+            Testbed::ClusterA => GpuPerf::a800(),
+            Testbed::ClusterB => GpuPerf::h800(),
+        }
+    }
+
+    /// Scale-out fabric between servers.
+    pub fn fabric(self) -> LinkSpec {
+        match self {
+            Testbed::ClusterA => LinkSpec::rdma_200gbps(),
+            Testbed::ClusterB => LinkSpec::rdma_400gbps(),
+        }
+    }
+
+    /// Total GPUs in the testbed.
+    pub fn total_gpus(self) -> u32 {
+        match self {
+            Testbed::ClusterA => 8,
+            Testbed::ClusterB => 16,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Testbed::ClusterA => "Cluster A (8 x A800-80G, 200Gbps RDMA)",
+            Testbed::ClusterB => "Cluster B (2 x 8 H800-80G, NVLink + 400Gbps RDMA)",
+        }
+    }
+}
+
+/// Static configuration of one simulated serving cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The served model.
+    pub model: ModelConfig,
+    /// GPU performance model.
+    pub gpu: GpuPerf,
+    /// Number of serving instances (each `model.gpus_per_instance()` GPUs).
+    pub num_instances: u32,
+    /// Instances per execution group at startup: 1 = data parallel (vLLM
+    /// default), 2 = the vLLM-PP baseline, larger for the Fig. 5 sweep.
+    pub initial_group_size: u32,
+    /// KVCache block size in tokens (paper tunes 64).
+    pub block_tokens: u32,
+    /// Token budget per microbatch for chunked prefill (Sarathi-style).
+    pub token_budget: u64,
+    /// Microbatches formed per pipeline stage and iteration. Values above 1
+    /// amortize pipeline fill/drain across more microbatches (an iteration
+    /// of `m` microbatches over `s` stages wastes `(s-1)/m` of its time on
+    /// fill/drain).
+    pub microbatches_per_stage: u32,
+    /// Fraction of HBM reserved for activations/workspace.
+    pub reserve_frac: f64,
+    /// Inter-instance fabric.
+    pub fabric: LinkSpec,
+    /// Monitor cadence (load sampling + policy ticks).
+    pub monitor_interval: SimDuration,
+    /// Host swap pool size per instance, in blocks.
+    pub host_swap_blocks: u32,
+    /// RNG seed for execution-time noise.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's main setup: Qwen-2.5-14B on cluster A (8 × 1-GPU
+    /// instances).
+    pub fn qwen14b_cluster_a() -> Self {
+        ClusterConfig {
+            model: modelcfg::catalog::qwen2_5_14b(),
+            gpu: Testbed::ClusterA.gpu(),
+            num_instances: 8,
+            initial_group_size: 1,
+            block_tokens: 64,
+            token_budget: 2048,
+            microbatches_per_stage: 2,
+            reserve_frac: 0.10,
+            fabric: Testbed::ClusterA.fabric(),
+            monitor_interval: SimDuration::from_millis(250),
+            host_swap_blocks: 8192,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The multi-GPU setup: Qwen-2.5-72B (TP=4) on cluster B-like hardware,
+    /// 4 instances of 4 GPUs.
+    pub fn qwen72b_cluster_b() -> Self {
+        ClusterConfig {
+            model: modelcfg::catalog::qwen2_5_72b(),
+            gpu: Testbed::ClusterB.gpu(),
+            num_instances: 4,
+            initial_group_size: 1,
+            block_tokens: 64,
+            token_budget: 2048,
+            microbatches_per_stage: 2,
+            reserve_frac: 0.10,
+            fabric: Testbed::ClusterB.fabric(),
+            monitor_interval: SimDuration::from_millis(250),
+            host_swap_blocks: 8192,
+            seed: 0x5EED,
+        }
+    }
+
+    /// A deliberately small configuration for fast unit tests: a toy model
+    /// (few layers, tiny KV) on a handful of instances.
+    pub fn tiny_test(num_instances: u32) -> Self {
+        use modelcfg::{DType, Parallelism};
+        let model = ModelConfig {
+            name: "tiny-test",
+            num_layers: 8,
+            hidden_size: 1024,
+            num_heads: 8,
+            num_kv_heads: 2,
+            head_dim: 128,
+            intermediate_size: 4096,
+            vocab_size: 32_000,
+            dtype: DType::BF16,
+            parallelism: Parallelism::Single,
+            // 1 GiB HBM keeps capacities small enough to overload easily.
+            gpu_hbm_bytes: 1 << 30,
+            // ~0.4 GiB of parameters: a large HBM share, like the paper.
+            param_bytes_authoritative: Some(400 << 20),
+        };
+        ClusterConfig {
+            model,
+            gpu: GpuPerf::a800(),
+            num_instances,
+            initial_group_size: 1,
+            block_tokens: 16,
+            token_budget: 512,
+            microbatches_per_stage: 2,
+            reserve_frac: 0.10,
+            fabric: LinkSpec::rdma_200gbps(),
+            monitor_interval: SimDuration::from_millis(100),
+            host_swap_blocks: 4096,
+            seed: 7,
+        }
+    }
+
+    /// Bytes of one KVCache block at full layer residency.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_tokens as u64 * self.model.kv_bytes_per_token()
+    }
+
+    /// HBM bytes reserved for activations per instance.
+    pub fn reserve_bytes(&self) -> u64 {
+        (self.model.instance_hbm_bytes() as f64 * self.reserve_frac) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_presets_match_table2() {
+        assert_eq!(Testbed::ClusterA.total_gpus(), 8);
+        assert_eq!(Testbed::ClusterB.total_gpus(), 16);
+        assert_eq!(Testbed::ClusterA.fabric().bytes_per_sec, 25e9);
+        assert_eq!(Testbed::ClusterB.fabric().bytes_per_sec, 50e9);
+    }
+
+    #[test]
+    fn qwen14b_config_is_paper_shaped() {
+        let c = ClusterConfig::qwen14b_cluster_a();
+        assert_eq!(c.num_instances, 8);
+        assert_eq!(c.block_tokens, 64);
+        assert_eq!(c.model.gpus_per_instance(), 1);
+        // One 64-token block of Qwen-14B KV = 12 MB.
+        assert_eq!(c.block_bytes(), 64 * 192 * 1024);
+    }
+
+    #[test]
+    fn tiny_config_overloads_easily() {
+        let c = ClusterConfig::tiny_test(2);
+        let kv_pool = c.model.gpu_hbm_bytes - c.model.param_bytes() - c.reserve_bytes();
+        let tokens = kv_pool / c.model.kv_bytes_per_token();
+        // A few hundred K tokens max — small enough for fast test overload.
+        assert!(tokens < 200_000, "tiny pool holds {tokens} tokens");
+        assert!(c.model.param_hbm_ratio() > 30.0, "params dominate like Table 1");
+    }
+}

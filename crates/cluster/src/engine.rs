@@ -1,0 +1,579 @@
+//! The discrete-event serving engine.
+//!
+//! Drives request arrivals, continuous-batching iterations (with chunked
+//! prefill and pipeline execution), network transfer completions and monitor
+//! ticks through one deterministic event queue. Policies are consulted at
+//! the decision points described in [`crate::policy`].
+
+use costmodel::ChunkWork;
+use sim_core::{EventQueue, SimDuration, SimTime};
+use workload::Trace;
+
+use crate::batch::{MicroBatch, SeqChunk};
+use crate::config::ClusterConfig;
+use crate::group::{GroupId, IterationPlan};
+use crate::pipeline::{schedule, StageTiming};
+use crate::policy::Policy;
+use crate::request::{ReqState, Request, RequestId};
+use crate::state::ClusterState;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Arrival(RequestId),
+    GroupDone { group: GroupId, seq: u64 },
+    MonitorTick,
+    NetPoll,
+}
+
+/// The simulation engine: cluster state + policy + event queue.
+pub struct Engine<P: Policy> {
+    /// The cluster being simulated.
+    pub state: ClusterState,
+    /// The serving policy under evaluation.
+    pub policy: P,
+    events: EventQueue<Event>,
+    now: SimTime,
+    finished: usize,
+    total: usize,
+}
+
+impl<P: Policy> Engine<P> {
+    /// Creates an engine over a fresh cluster.
+    pub fn new(cfg: ClusterConfig, policy: P) -> Self {
+        Engine {
+            state: ClusterState::new(cfg),
+            policy,
+            events: EventQueue::new(),
+            now: SimTime::ZERO,
+            finished: 0,
+            total: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Consumes the engine, returning the final cluster state (metrics,
+    /// timelines, memory layout) for post-run analysis.
+    pub fn into_state(self) -> ClusterState {
+        self.state
+    }
+
+    /// Runs `trace` to completion (or until `drain` past the last arrival,
+    /// whichever comes first) and returns the finished-run report.
+    ///
+    /// The drain cap bounds runs where a policy cannot clear its backlog —
+    /// the extreme-burst experiment relies on this.
+    pub fn run(&mut self, trace: &Trace, drain: SimDuration) -> crate::metrics::RunReport {
+        self.total = trace.len();
+        for spec in &trace.requests {
+            let id = RequestId(self.state.requests.len());
+            self.state.requests.push(Request::new(id, *spec, GroupId(0)));
+            self.events.push(spec.arrival, Event::Arrival(id));
+        }
+        self.events.push(SimTime::ZERO, Event::MonitorTick);
+        let hard_stop = SimTime::ZERO + trace.duration() + drain;
+
+        while let Some((t, ev)) = self.events.pop() {
+            debug_assert!(t >= self.now, "events must fire in order");
+            self.now = t;
+            if self.now > hard_stop {
+                break;
+            }
+            match ev {
+                Event::Arrival(id) => self.on_arrival(id),
+                Event::GroupDone { group, seq } => self.on_group_done(group, seq),
+                Event::MonitorTick => self.on_monitor_tick(hard_stop),
+                Event::NetPoll => self.on_net_poll(),
+            }
+            if self.finished == self.total {
+                break;
+            }
+        }
+        self.state.metrics.report()
+    }
+
+    fn on_arrival(&mut self, id: RequestId) {
+        let input = self.state.requests[id.0].spec.input_tokens;
+        let group = self.state.dispatch(input);
+        self.state.requests[id.0].group = group;
+        let spec = self.state.requests[id.0].spec;
+        self.state.metrics.on_arrival(id, spec.arrival, spec.output_tokens);
+        self.state.group_mut(group).queue.push_back(id);
+        self.try_start(group);
+    }
+
+    fn on_group_done(&mut self, group: GroupId, seq: u64) {
+        if !self.state.group_alive(group) || self.state.group(group).iter_seq != seq {
+            return; // stale event from a reconfigured group
+        }
+        self.complete_iteration(group);
+        self.run_reconfigs();
+        if self.state.group_alive(group) {
+            self.try_start(group);
+        }
+        self.schedule_net_poll();
+    }
+
+    fn on_monitor_tick(&mut self, hard_stop: SimTime) {
+        let (demand, capacity, used) = self.state.memory_totals();
+        let now = self.now;
+        self.state.metrics.mem_demand.push(now, demand as f64);
+        self.state.metrics.mem_capacity.push(now, capacity as f64);
+        self.state.metrics.mem_used.push(now, used as f64);
+        self.policy.on_tick(&mut self.state, now);
+        self.run_reconfigs();
+        for g in self.state.alive_groups() {
+            self.try_start(g);
+        }
+        self.schedule_net_poll();
+        let next = now + self.state.cfg.monitor_interval;
+        if next <= hard_stop && self.finished < self.total {
+            self.events.push(next, Event::MonitorTick);
+        }
+    }
+
+    fn on_net_poll(&mut self) {
+        let done = self.state.network.take_completions(self.now);
+        for (_, job) in done {
+            if let Some(event) = self.state.apply_transfer_done(job) {
+                self.policy.on_transfer_done(&mut self.state, self.now, &event);
+            }
+        }
+        self.run_reconfigs();
+        for g in self.state.alive_groups() {
+            self.try_start(g);
+        }
+        self.schedule_net_poll();
+    }
+
+    fn run_reconfigs(&mut self) {
+        if !self.state.has_pending_reconfigs() {
+            return;
+        }
+        let created = self.state.execute_ready_reconfigs(self.now);
+        for g in created {
+            self.try_start(g);
+        }
+        self.schedule_net_poll();
+    }
+
+    fn schedule_net_poll(&mut self) {
+        if let Some(est) = self.state.network.next_completion_estimate() {
+            let at = est.max(self.now);
+            self.events.push(at, Event::NetPoll);
+        }
+    }
+
+    /// Starts an iteration on the group if it is idle and has work.
+    pub fn try_start(&mut self, group: GroupId) {
+        if !self.state.group_alive(group) {
+            return;
+        }
+        {
+            let g = self.state.group(group);
+            if g.is_busy() || g.frozen {
+                return;
+            }
+        }
+
+        self.admit(group);
+        if !self.state.group_alive(group) || self.state.group(group).frozen {
+            return;
+        }
+        let skipped = self.reserve_decode_growth(group);
+        if !self.state.group_alive(group) || self.state.group(group).frozen {
+            return; // an OOM handler requested a reconfiguration
+        }
+
+        let work = self.collect_work(group, &skipped);
+        if work.is_empty() {
+            return;
+        }
+
+        let stages = self.state.group(group).stages();
+        let mbs: Vec<MicroBatch> = if stages == 1 {
+            vec![MicroBatch { chunks: work.clone() }]
+        } else {
+            self.policy.form_microbatches(&self.state, group, &work)
+        };
+        debug_assert!(!mbs.is_empty(), "non-empty work forms microbatches");
+
+        // Sample execution times per (microbatch, stage).
+        let fracs = self.state.group(group).stage_fracs.clone();
+        let mut times = Vec::with_capacity(mbs.len());
+        for mb in &mbs {
+            let works = mb.works();
+            let row: Vec<SimDuration> = fracs
+                .iter()
+                .map(|&f| self.state.ground_truth.sample(&works, f, &mut self.state.rng))
+                .collect();
+            times.push(row);
+        }
+        let timing = StageTiming { times };
+
+        let overhead = self.state.take_overhead(group);
+        let start = self.now + overhead;
+        let (makespan, bubble_frac) = if stages == 1 {
+            (timing.times[0][0], 0.0)
+        } else {
+            let members = self.state.group(group).members.clone();
+            let act_per_token = self.state.cfg.model.activation_bytes_per_token();
+            let mb_tokens: Vec<u64> = mbs.iter().map(|m| m.new_tokens()).collect();
+            let network = &mut self.state.network;
+            let sched = schedule(start, &timing, |mb, boundary, send| {
+                let bytes = (mb_tokens[mb] * act_per_token).max(1);
+                network.interactive(
+                    send,
+                    netsim::NodeId(members[boundary].0),
+                    netsim::NodeId(members[boundary + 1].0),
+                    bytes,
+                )
+            });
+            (sched.makespan, sched.bubble_frac())
+        };
+
+        // Aggregate per-request token progress from the final microbatches
+        // (a former may split one request's chunk across microbatches).
+        let mut per_req: Vec<(RequestId, u64)> = Vec::new();
+        for mb in &mbs {
+            for c in &mb.chunks {
+                match per_req.iter_mut().find(|(r, _)| *r == c.request) {
+                    Some((_, t)) => *t += c.work.new_tokens,
+                    None => per_req.push((c.request, c.work.new_tokens)),
+                }
+            }
+        }
+        let new_tokens: u64 = per_req.iter().map(|&(_, t)| t).sum();
+
+        let finish = start + makespan;
+        if std::env::var("KS_DEBUG_ITER").is_ok() && makespan > SimDuration::from_millis(100) {
+            let decodes = work.iter().filter(|c| c.work.new_tokens == 1).count();
+            let ptok: u64 = work.iter().filter(|c| c.work.new_tokens > 1).map(|c| c.work.new_tokens).sum();
+            eprintln!(
+                "[{}] big iter group{} stages={} mbs={} decodes={} prefill_tok={} makespan={} overhead={} bubble={:.2}",
+                self.now, group.0, stages, mbs.len(), decodes, ptok, makespan, overhead, bubble_frac
+            );
+        }
+        let g = self.state.group_mut(group);
+        g.iter_seq += 1;
+        let seq = g.iter_seq;
+        g.busy_until = Some(finish);
+        g.current_iter = Some(IterationPlan {
+            work: per_req,
+            started: self.now,
+            duration: finish - self.now,
+            bubble_frac,
+            new_tokens,
+        });
+        self.events.push(finish, Event::GroupDone { group, seq });
+    }
+
+    /// Admits queued requests while blocks allow; consults the policy once
+    /// when blocked.
+    fn admit(&mut self, group: GroupId) {
+        let mut asked_policy = false;
+        loop {
+            let head = match self.state.group(group).queue.front() {
+                Some(&h) => h,
+                None => return,
+            };
+            if self.state.try_admit(head, group) {
+                let g = self.state.group_mut(group);
+                g.queue.pop_front();
+                g.running.push(head);
+                continue;
+            }
+            if asked_policy {
+                return;
+            }
+            asked_policy = true;
+            self.policy.on_admission_blocked(&mut self.state, self.now, group);
+            if !self.state.group_alive(group) || self.state.group(group).frozen {
+                return;
+            }
+        }
+    }
+
+    /// Tokens each in-decode request advances per iteration.
+    ///
+    /// Single-stage groups decode one token per iteration (classic
+    /// continuous batching). Pipelined groups stream microbatches back to
+    /// back, so over one engine iteration (`m` microbatches, `s` stages)
+    /// each microbatch cycles roughly `m/s + 1` times, one decode step per
+    /// cycle. Modelling this as one multi-token decode chunk keeps
+    /// per-token latency faithful to continuous pipeline streaming without
+    /// per-cycle event traffic; the Eq. 1 cost of a `(p, K)` chunk equals
+    /// the summed cost of `K` single-token steps exactly.
+    fn decode_tokens_per_iter(&self, group: GroupId) -> u64 {
+        if self.state.group(group).stages() == 1 {
+            1
+        } else {
+            // With `m = microbatches_per_stage × s` microbatches the
+            // makespan spans `(m+s−1)/s ≈ microbatches_per_stage + 1`
+            // single-batch times; advancing `microbatches_per_stage`
+            // tokens per iteration leaves pipelined TPOT ~25–40 % above
+            // single-stage TPOT — the Fig. 5 depth gradient.
+            self.state.cfg.microbatches_per_stage as u64
+        }
+    }
+
+    /// Reserves decode slots per running in-decode request, invoking the
+    /// OOM chain (policy, then vLLM-style recompute fallback) when blocks
+    /// run out. Returns the requests that skip this iteration.
+    fn reserve_decode_growth(&mut self, group: GroupId) -> Vec<RequestId> {
+        let rounds = self.decode_tokens_per_iter(group);
+        let decodes: Vec<RequestId> = self
+            .state
+            .group(group)
+            .running
+            .iter()
+            .copied()
+            .filter(|&r| self.state.requests[r.0].in_decode())
+            .collect();
+        let mut skipped = Vec::new();
+        for r in decodes {
+            if self.state.requests[r.0].state != ReqState::Running {
+                continue; // preempted as an earlier victim
+            }
+            let want = rounds.min(self.state.requests[r.0].output_remaining()).max(1);
+            loop {
+                let ok = {
+                    let g = self.state.group_mut(group);
+                    g.blocks.append_tokens(kvcache::SeqKey(r.0 as u64), want).is_ok()
+                };
+                if ok {
+                    break;
+                }
+                match self.policy.on_decode_oom(&mut self.state, self.now, group, r) {
+                    crate::policy::OomResolution::Retry => continue,
+                    crate::policy::OomResolution::SkipIteration => {
+                        skipped.push(r);
+                        break;
+                    }
+                    crate::policy::OomResolution::GiveUp => {
+                        // Guaranteed-progress fallback: recompute preemption.
+                        match self.state.preempt_youngest(group) {
+                            Some(victim) if victim != r => continue,
+                            _ => break, // the request itself (or nothing) left
+                        }
+                    }
+                }
+            }
+        }
+        skipped
+    }
+
+    /// Collects this iteration's work: a decode chunk per running decode
+    /// request plus budget-bounded prefill chunks in arrival order.
+    fn collect_work(&mut self, group: GroupId, skipped: &[RequestId]) -> Vec<SeqChunk> {
+        let rounds = self.decode_tokens_per_iter(group);
+        let stages = self.state.group(group).stages() as u64;
+        let budget = if stages == 1 {
+            self.state.cfg.token_budget
+        } else {
+            // One token budget per microbatch keeps every microbatch as
+            // dense as a single-stage batch.
+            self.state.cfg.token_budget * stages * self.state.cfg.microbatches_per_stage as u64
+        };
+        let mut work = Vec::new();
+        let mut used = 0u64;
+
+        let running = self.state.group(group).running.clone();
+        let mut prefills: Vec<RequestId> = Vec::new();
+        for r in running {
+            if skipped.contains(&r) {
+                continue; // no KV slot this iteration (swap in flight)
+            }
+            let req = &self.state.requests[r.0];
+            if req.state != ReqState::Running {
+                continue;
+            }
+            if req.in_decode() {
+                if !req.is_done() {
+                    let n = rounds.min(req.output_remaining()).max(1);
+                    work.push(SeqChunk {
+                        request: r,
+                        work: ChunkWork { prefix_tokens: req.kv_tokens(), new_tokens: n },
+                    });
+                    used += n;
+                }
+            } else {
+                prefills.push(r);
+            }
+        }
+        prefills.sort_by_key(|&r| (self.state.requests[r.0].spec.arrival, r));
+        for r in prefills {
+            if used >= budget {
+                break;
+            }
+            let req = &self.state.requests[r.0];
+            let chunk = req.prefill_remaining().min(budget - used);
+            if chunk == 0 {
+                continue;
+            }
+            work.push(SeqChunk {
+                request: r,
+                work: ChunkWork { prefix_tokens: req.prefilled, new_tokens: chunk },
+            });
+            used += chunk;
+        }
+        work
+    }
+
+    /// Applies a finished iteration: token progress, first-token metrics,
+    /// completions and block releases.
+    fn complete_iteration(&mut self, group: GroupId) {
+        let plan = {
+            let g = self.state.group_mut(group);
+            g.busy_until = None;
+            g.current_iter.take()
+        };
+        let Some(plan) = plan else { return };
+        let now = self.now;
+        self.state.metrics.iterations.push(now, plan.duration.as_secs_f64());
+        if self.state.group(group).stages() > 1 {
+            self.state.metrics.bubbles.push(now, plan.bubble_frac);
+        }
+        let mut emitted = 0u64;
+        for (r, ntok) in plan.work {
+            let req = &self.state.requests[r.0];
+            if req.state != ReqState::Running || req.group != group {
+                continue; // preempted / migrated mid-iteration
+            }
+            let was_decoding = req.in_decode();
+            {
+                let req = &mut self.state.requests[r.0];
+                if was_decoding {
+                    req.generated += ntok;
+                    emitted += ntok;
+                } else {
+                    req.prefilled = (req.prefilled + ntok).min(req.prefill_target());
+                    if req.in_decode() {
+                        // Prefill completion emits one token (the first for
+                        // fresh requests; the resumed token after recompute).
+                        if req.first_token_at.is_none() {
+                            req.first_token_at = Some(now);
+                            req.generated = req.generated.max(1);
+                            self.state.metrics.on_first_token(r, now);
+                        } else {
+                            req.generated += 1;
+                        }
+                        emitted += 1;
+                    }
+                }
+            }
+            if self.state.requests[r.0].is_done() {
+                self.state.release_blocks(r);
+                let req = &mut self.state.requests[r.0];
+                req.state = ReqState::Finished;
+                req.finished_at = Some(now);
+                self.state.metrics.on_finished(r, now);
+                self.state.group_mut(group).forget(r);
+                self.finished += 1;
+            }
+        }
+        if emitted > 0 {
+            self.state.metrics.on_tokens(now, emitted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::QueueingPolicy;
+    use workload::{RequestSpec, Trace};
+
+    fn small_trace(n: usize, gap_ms: u64, input: u64, output: u64) -> Trace {
+        Trace::new(
+            (0..n)
+                .map(|i| RequestSpec {
+                    id: 0,
+                    arrival: SimTime::from_millis(i as u64 * gap_ms),
+                    input_tokens: input,
+                    output_tokens: output,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn single_request_completes_with_sane_latency() {
+        let mut eng = Engine::new(ClusterConfig::tiny_test(1), QueueingPolicy);
+        let trace = small_trace(1, 0, 256, 16);
+        let report = eng.run(&trace, SimDuration::from_secs(60));
+        assert_eq!(report.finished_requests, 1);
+        let ttft = report.ttft.p50;
+        assert!(ttft > 0.0 && ttft < 1.0, "TTFT {ttft:.3}s");
+        assert_eq!(report.total_tokens, 16);
+    }
+
+    #[test]
+    fn light_load_finishes_everything() {
+        let mut eng = Engine::new(ClusterConfig::tiny_test(2), QueueingPolicy);
+        let trace = small_trace(20, 400, 128, 12);
+        let report = eng.run(&trace, SimDuration::from_secs(120));
+        assert_eq!(report.finished_requests, 20);
+        assert_eq!(report.total_tokens, 20 * 12);
+        // Unloaded TTFT is dominated by one prefill iteration.
+        assert!(report.ttft.p50 < 0.5, "p50 {}", report.ttft.p50);
+    }
+
+    #[test]
+    fn decode_tpot_is_iteration_scale() {
+        let mut eng = Engine::new(ClusterConfig::tiny_test(1), QueueingPolicy);
+        let trace = small_trace(4, 200, 64, 50);
+        let report = eng.run(&trace, SimDuration::from_secs(120));
+        assert_eq!(report.finished_requests, 4);
+        // TPOT should be on the order of a decode iteration (ms–tens of ms).
+        assert!(report.tpot.p50 > 0.0005 && report.tpot.p50 < 0.2, "tpot {}", report.tpot.p50);
+    }
+
+    #[test]
+    fn overload_causes_queuing_and_preemptions() {
+        // Flood a single tiny instance: the queueing policy plus recompute
+        // fallback must keep making progress, with visible TTFT tails.
+        let mut eng = Engine::new(ClusterConfig::tiny_test(1), QueueingPolicy);
+        let trace = small_trace(80, 5, 1024, 512);
+        let report = eng.run(&trace, SimDuration::from_secs(1200));
+        assert_eq!(report.finished_requests, 80, "fallback must guarantee progress");
+        assert!(
+            report.preemptions > 0,
+            "memory overload must force recompute preemptions"
+        );
+        assert!(
+            report.ttft.p99 > 2.0 * report.ttft.p50.max(0.01),
+            "overload must show tail inflation: p50 {} p99 {}",
+            report.ttft.p50,
+            report.ttft.p99
+        );
+    }
+
+    #[test]
+    fn pipeline_group_executes_with_bubbles_tracked() {
+        let mut cfg = ClusterConfig::tiny_test(2);
+        cfg.initial_group_size = 2; // static PP pair (vLLM-PP shape)
+        let mut eng = Engine::new(cfg, QueueingPolicy);
+        let trace = small_trace(12, 150, 512, 8);
+        let report = eng.run(&trace, SimDuration::from_secs(300));
+        assert_eq!(report.finished_requests, 12);
+        assert!(
+            !eng.state.metrics.bubbles.is_empty(),
+            "pipelined iterations must record bubble samples"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut eng = Engine::new(ClusterConfig::tiny_test(2), QueueingPolicy);
+            let trace = small_trace(30, 50, 300, 20);
+            let r = eng.run(&trace, SimDuration::from_secs(300));
+            (r.finished_requests, r.ttft_samples.clone(), r.total_tokens)
+        };
+        assert_eq!(run(), run());
+    }
+}

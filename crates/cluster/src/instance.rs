@@ -1,0 +1,301 @@
+//! One serving instance: a (possibly multi-GPU) logical device holding a
+//! parameter layout and a KVCache region.
+//!
+//! The instance owns a [`GpuDevice`] with two virtual-address regions, laid
+//! out exactly like the paper's local memory manager (§4.1):
+//!
+//! - the **parameter region**: the embedding plus one physical handle per
+//!   transformer layer;
+//! - the **KVCache region**: a base pool mapped at construction, whose tail
+//!   grows when dropped-layer handles are remapped into it and shrinks back
+//!   on restore.
+//!
+//! TP/EP instances are modelled as one logical device whose HBM is the sum
+//! of the member GPUs — the paper (§5.2) makes the same simplification:
+//! "each instance (containing multiple GPUs) can be viewed as a whole as a
+//! single logical GPU".
+
+use std::collections::HashMap;
+
+use modelcfg::{LayerSet, ModelConfig};
+use simgpu::{GpuDevice, GpuId, PhysHandle, VaReservation, PAGE_SIZE};
+
+use crate::config::ClusterConfig;
+use crate::group::GroupId;
+
+/// Identifier of a serving instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub u32);
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inst{}", self.0)
+    }
+}
+
+/// One serving instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// This instance's id.
+    pub id: InstanceId,
+    /// The execution group the instance currently belongs to.
+    pub group: GroupId,
+    device: GpuDevice,
+    param_region: VaReservation,
+    kv_region: VaReservation,
+    /// Per-layer parameter handle; `None` while the layer is dropped.
+    layer_handles: Vec<Option<PhysHandle>>,
+    /// Offset each layer occupies in the parameter region.
+    layer_offsets: Vec<u64>,
+    /// Where dropped layers currently sit in the KV region.
+    dropped_at: HashMap<u32, (u64, PhysHandle)>,
+    /// Layers currently resident.
+    resident: LayerSet,
+    /// Per-layer parameter bytes (page-aligned).
+    layer_bytes: u64,
+    /// KV region extent before any drop.
+    kv_base_extent: u64,
+    /// Running offset for the next tail mapping.
+    kv_tail: u64,
+}
+
+impl Instance {
+    /// Builds an instance with a full parameter copy and the base KV pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model + reserve do not fit in the configured HBM, which
+    /// indicates a misconfigured experiment.
+    pub fn new(id: InstanceId, cfg: &ClusterConfig) -> Self {
+        let model = &cfg.model;
+        let hbm = model.instance_hbm_bytes();
+        let mut device = GpuDevice::new(GpuId(id.0), hbm);
+
+        let layer_bytes = align_up(model.layer_param_bytes(), PAGE_SIZE);
+        let embed_bytes = align_up(model.embedding_bytes().max(1), PAGE_SIZE);
+        let num_layers = model.num_layers;
+
+        let param_span = embed_bytes + layer_bytes * num_layers as u64;
+        let param_region =
+            device.va_reserve(align_up(param_span, PAGE_SIZE)).expect("param VA reserve");
+        // Reserve the whole HBM span of VA for KV: VA is cheap, and the tail
+        // must be able to absorb every dropped layer.
+        let kv_region = device.va_reserve(align_up(hbm, PAGE_SIZE)).expect("kv VA reserve");
+
+        // Embedding at offset 0, then one handle per layer.
+        device.alloc_and_map(param_region, 0, embed_bytes).expect("embedding fits");
+        let mut layer_handles = Vec::with_capacity(num_layers as usize);
+        let mut layer_offsets = Vec::with_capacity(num_layers as usize);
+        let mut off = embed_bytes;
+        for _ in 0..num_layers {
+            let h = device.alloc_and_map(param_region, off, layer_bytes).expect("layer fits");
+            layer_handles.push(Some(h));
+            layer_offsets.push(off);
+            off += layer_bytes;
+        }
+
+        // Base KV pool: everything left after parameters and the reserve.
+        let reserve = cfg.reserve_bytes();
+        let used = device.used_bytes();
+        let kv_pool = hbm
+            .checked_sub(used + reserve)
+            .expect("model + reserve must fit in HBM")
+            / PAGE_SIZE
+            * PAGE_SIZE;
+        assert!(kv_pool > 0, "no HBM left for KVCache");
+        device.alloc_and_map(kv_region, 0, kv_pool).expect("kv pool fits");
+        let kv_base_extent = device.contiguous_extent(kv_region).expect("kv region");
+
+        Instance {
+            id,
+            group: GroupId(id.0 as usize),
+            device,
+            param_region,
+            kv_region,
+            layer_handles,
+            layer_offsets,
+            dropped_at: HashMap::new(),
+            resident: LayerSet::full(num_layers),
+            layer_bytes,
+            kv_base_extent,
+            kv_tail: kv_base_extent,
+        }
+    }
+
+    /// Layers currently resident on this instance.
+    pub fn resident_layers(&self) -> &LayerSet {
+        &self.resident
+    }
+
+    /// Fraction of the model's layers resident here.
+    pub fn layer_fraction(&self, model: &ModelConfig) -> f64 {
+        self.resident.len() as f64 / model.num_layers as f64
+    }
+
+    /// Current KVCache pool size in bytes (the contiguous region kernels
+    /// can address).
+    pub fn kv_pool_bytes(&self) -> u64 {
+        self.device.contiguous_extent(self.kv_region).expect("kv region alive")
+    }
+
+    /// KV pool size before any drop.
+    pub fn kv_base_bytes(&self) -> u64 {
+        self.kv_base_extent
+    }
+
+    /// Bytes of parameters currently resident.
+    pub fn param_resident_bytes(&self) -> u64 {
+        self.device.mapped_bytes(self.param_region).expect("param region alive")
+    }
+
+    /// Number of layers currently dropped.
+    pub fn dropped_layers(&self) -> u32 {
+        self.dropped_at.len() as u32
+    }
+
+    /// Drops the given layers: their parameter handles are unmapped and
+    /// remapped to the KV region tail, extending the usable pool.
+    ///
+    /// Returns the number of remap operation pairs (for VMM timing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a requested layer is not resident — drop plans must only
+    /// drop layers the instance still holds.
+    pub fn drop_layers(&mut self, layers: &LayerSet) -> usize {
+        let mut ops = 0;
+        for range in layers.ranges() {
+            for layer in range.start..range.end {
+                let h = self.layer_handles[layer as usize]
+                    .take()
+                    .expect("drop plan must target resident layers");
+                self.device.mem_unmap_handle(h).expect("layer was mapped");
+                let off = self.kv_tail;
+                self.device.mem_map(self.kv_region, off, h).expect("tail slot free");
+                self.dropped_at.insert(layer, (off, h));
+                self.kv_tail += self.layer_bytes;
+                ops += 1;
+            }
+        }
+        self.resident = self.resident.difference(layers);
+        ops
+    }
+
+    /// Restores **all** dropped layers, shrinking the KV pool back to its
+    /// base size. The caller must have shrunk the block manager first so no
+    /// KV blocks live in the tail.
+    ///
+    /// Returns the number of remap operation pairs.
+    pub fn restore_all(&mut self) -> usize {
+        let mut dropped: Vec<(u32, (u64, PhysHandle))> = self.dropped_at.drain().collect();
+        dropped.sort_by_key(|&(layer, _)| layer);
+        let ops = dropped.len();
+        for (layer, (off, h)) in dropped {
+            let got = self.device.mem_unmap(self.kv_region, off).expect("tail mapping");
+            debug_assert_eq!(got, h);
+            self.device
+                .mem_map(self.param_region, self.layer_offsets[layer as usize], h)
+                .expect("home slot free");
+            self.layer_handles[layer as usize] = Some(h);
+        }
+        self.resident = LayerSet::full(self.layer_handles.len() as u32);
+        self.kv_tail = self.kv_base_extent;
+        ops
+    }
+
+    /// Physical HBM utilization of the instance.
+    pub fn hbm_utilization(&self) -> f64 {
+        self.device.utilization()
+    }
+
+    /// Total instance HBM.
+    pub fn hbm_bytes(&self) -> u64 {
+        self.device.capacity_bytes()
+    }
+}
+
+fn align_up(v: u64, align: u64) -> u64 {
+    v.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modelcfg::LayerRange;
+
+    fn test_instance() -> (Instance, ClusterConfig) {
+        let cfg = ClusterConfig::tiny_test(1);
+        (Instance::new(InstanceId(0), &cfg), cfg)
+    }
+
+    #[test]
+    fn construction_lays_out_params_and_kv() {
+        let (inst, cfg) = test_instance();
+        assert_eq!(inst.resident_layers().len(), cfg.model.num_layers);
+        assert_eq!(inst.layer_fraction(&cfg.model), 1.0);
+        assert!(inst.kv_pool_bytes() > 0);
+        // Params + KV + reserve ≈ HBM.
+        let accounted = inst.param_resident_bytes() + inst.kv_pool_bytes();
+        assert!(accounted <= inst.hbm_bytes());
+        assert!(accounted as f64 >= inst.hbm_bytes() as f64 * 0.85);
+    }
+
+    #[test]
+    fn drop_extends_kv_pool_exactly() {
+        let (mut inst, cfg) = test_instance();
+        let before = inst.kv_pool_bytes();
+        let half = LayerSet::from_range(LayerRange::new(4, 8));
+        let ops = inst.drop_layers(&half);
+        assert_eq!(ops, 4);
+        assert_eq!(inst.dropped_layers(), 4);
+        assert_eq!(inst.resident_layers().len(), cfg.model.num_layers - 4);
+        let gained = inst.kv_pool_bytes() - before;
+        assert_eq!(gained, 4 * align_up(cfg.model.layer_param_bytes(), PAGE_SIZE));
+        assert!((inst.layer_fraction(&cfg.model) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restore_returns_to_base_layout() {
+        let (mut inst, cfg) = test_instance();
+        let base_kv = inst.kv_pool_bytes();
+        let base_param = inst.param_resident_bytes();
+        inst.drop_layers(&LayerSet::from_range(LayerRange::new(0, 4)));
+        inst.drop_layers(&LayerSet::from_range(LayerRange::new(6, 8)));
+        assert_eq!(inst.dropped_layers(), 6);
+        let ops = inst.restore_all();
+        assert_eq!(ops, 6);
+        assert_eq!(inst.kv_pool_bytes(), base_kv);
+        assert_eq!(inst.param_resident_bytes(), base_param);
+        assert_eq!(inst.resident_layers().len(), cfg.model.num_layers);
+        assert_eq!(inst.dropped_layers(), 0);
+    }
+
+    #[test]
+    fn repeated_drop_deepens_the_drop() {
+        // The Fig. 17 double-drop: 8 → 4 → 2 resident layers.
+        let (mut inst, _cfg) = test_instance();
+        inst.drop_layers(&LayerSet::from_range(LayerRange::new(4, 8)));
+        let kv_after_first = inst.kv_pool_bytes();
+        inst.drop_layers(&LayerSet::from_range(LayerRange::new(2, 4)));
+        assert!(inst.kv_pool_bytes() > kv_after_first);
+        assert_eq!(inst.resident_layers().len(), 2);
+        inst.restore_all();
+        assert_eq!(inst.resident_layers().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "resident layers")]
+    fn dropping_nonresident_layer_panics() {
+        let (mut inst, _cfg) = test_instance();
+        let set = LayerSet::from_range(LayerRange::new(0, 2));
+        inst.drop_layers(&set);
+        inst.drop_layers(&set); // already gone
+    }
+
+    #[test]
+    fn hbm_utilization_is_high_by_design() {
+        // Serving systems map nearly all HBM: params + KV pool.
+        let (inst, _) = test_instance();
+        assert!(inst.hbm_utilization() > 0.80);
+    }
+}

@@ -1,0 +1,43 @@
+//! The LLM serving substrate: a discrete-event cluster simulator.
+//!
+//! This crate reimplements the *serving engine* layer the paper builds on
+//! (vLLM-class continuous batching with chunked prefill, paged KVCache,
+//! pipeline-parallel groups, a load-balancing dispatcher and a cluster
+//! monitor) over simulated GPUs ([`simgpu`]), a fitted execution-time model
+//! ([`costmodel`]) and a flow-level network ([`netsim`]).
+//!
+//! Design: **mechanism here, policy in the `kunserve` crate.** The
+//! [`state::ClusterState`] exposes every mechanism the paper's systems use —
+//! preempt-and-recompute (vLLM), swap (InferCept), migrate (Llumnix), and
+//! group merge/split with parameter remapping and KVCache exchange
+//! (KunServe). A [`policy::Policy`] implementation decides *when* to invoke
+//! them; the [`engine::Engine`] drives arrivals, iterations, transfers and
+//! monitor ticks through a deterministic event queue.
+//!
+//! ```text
+//!    trace ──► dispatcher ──► group queues ──► batch former ──► pipeline
+//!                  ▲              │                                 │
+//!                  └── monitor ◄──┴──────── metrics ◄──────────────┘
+//! ```
+
+pub mod batch;
+pub mod config;
+pub mod engine;
+pub mod group;
+pub mod instance;
+pub mod metrics;
+pub mod pipeline;
+pub mod policy;
+pub mod request;
+pub mod state;
+
+pub use batch::{token_count_form, MicroBatch, SeqChunk};
+pub use config::{ClusterConfig, Testbed};
+pub use engine::Engine;
+pub use group::{ExecGroup, GroupId};
+pub use instance::{Instance, InstanceId};
+pub use metrics::{Metrics, RequestRecord, RunReport};
+pub use pipeline::{PipelineSchedule, StageTiming};
+pub use policy::{OomResolution, Policy, QueueingPolicy, TransferEvent, TransferPurpose};
+pub use request::{ReqState, Request, RequestId, StallReason};
+pub use state::ClusterState;

@@ -1,0 +1,281 @@
+//! Serving metrics: per-request latency records, cluster timelines and the
+//! aggregations the paper's figures report.
+
+use sim_core::stats::{empirical_cdf, Percentiles, TimeSeries, WindowedRate};
+use sim_core::{SimDuration, SimTime};
+
+use crate::request::RequestId;
+
+/// Latency record of one finished (or in-flight) request.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestRecord {
+    /// The request.
+    pub id: RequestId,
+    /// Client send time.
+    pub arrival: SimTime,
+    /// First output token time, if reached.
+    pub first_token: Option<SimTime>,
+    /// Completion time, if reached.
+    pub finished: Option<SimTime>,
+    /// Output length in tokens.
+    pub output_tokens: u64,
+    /// Times the request was preempted.
+    pub preemptions: u32,
+}
+
+impl RequestRecord {
+    /// Time-to-first-token in seconds, if the first token was produced.
+    pub fn ttft_secs(&self) -> Option<f64> {
+        self.first_token.map(|t| t.since(self.arrival).as_secs_f64())
+    }
+
+    /// Mean time-per-output-token in seconds over the decode phase.
+    pub fn tpot_secs(&self) -> Option<f64> {
+        let (first, fin) = (self.first_token?, self.finished?);
+        if self.output_tokens <= 1 {
+            return None;
+        }
+        Some(fin.since(first).as_secs_f64() / (self.output_tokens - 1) as f64)
+    }
+}
+
+/// Live metrics collector fed by the engine.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    records: Vec<RequestRecord>,
+    /// (time, demand bytes) sampled by the monitor.
+    pub mem_demand: TimeSeries,
+    /// (time, capacity bytes) sampled by the monitor.
+    pub mem_capacity: TimeSeries,
+    /// (time, used bytes) sampled by the monitor.
+    pub mem_used: TimeSeries,
+    /// Tokens emitted over time (throughput).
+    pub tokens: WindowedRate,
+    /// Pipeline bubble fraction per iteration (multi-stage groups only).
+    pub bubbles: TimeSeries,
+    /// Iteration durations: one `(completion_time, duration_secs)` sample
+    /// per iteration across all groups (GPU duty-cycle analysis).
+    pub iterations: TimeSeries,
+    /// Mean TTFT timeline: a sample per first token.
+    pub ttft_series: TimeSeries,
+    /// Drop/restore events: (time, +stages merged / -split marker).
+    pub reconfig_events: Vec<(SimTime, String)>,
+}
+
+impl Metrics {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Registers an arriving request.
+    pub fn on_arrival(&mut self, id: RequestId, arrival: SimTime, output_tokens: u64) {
+        let idx = id.0;
+        if idx >= self.records.len() {
+            self.records.resize(
+                idx + 1,
+                RequestRecord {
+                    id: RequestId(usize::MAX),
+                    arrival: SimTime::ZERO,
+                    first_token: None,
+                    finished: None,
+                    output_tokens: 0,
+                    preemptions: 0,
+                },
+            );
+        }
+        self.records[idx] =
+            RequestRecord { id, arrival, first_token: None, finished: None, output_tokens, preemptions: 0 };
+    }
+
+    /// Records the first output token of a request.
+    pub fn on_first_token(&mut self, id: RequestId, now: SimTime) {
+        let rec = &mut self.records[id.0];
+        if rec.first_token.is_none() {
+            rec.first_token = Some(now);
+            let ttft = now.since(rec.arrival).as_secs_f64();
+            self.ttft_series.push(now, ttft);
+        }
+    }
+
+    /// Records request completion.
+    pub fn on_finished(&mut self, id: RequestId, now: SimTime) {
+        self.records[id.0].finished = Some(now);
+    }
+
+    /// Records a preemption.
+    pub fn on_preemption(&mut self, id: RequestId) {
+        self.records[id.0].preemptions += 1;
+    }
+
+    /// Records emitted tokens (throughput accounting).
+    pub fn on_tokens(&mut self, now: SimTime, n: u64) {
+        self.tokens.record(now, n as f64);
+    }
+
+    /// Records a reconfiguration (drop/restore) marker.
+    pub fn on_reconfig(&mut self, now: SimTime, what: impl Into<String>) {
+        self.reconfig_events.push((now, what.into()));
+    }
+
+    /// All request records.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Finalizes into a [`RunReport`].
+    pub fn report(&self) -> RunReport {
+        let ttft: Vec<f64> = self.records.iter().filter_map(|r| r.ttft_secs()).collect();
+        let tpot: Vec<f64> = self.records.iter().filter_map(|r| r.tpot_secs()).collect();
+        let finished = self.records.iter().filter(|r| r.finished.is_some()).count();
+        RunReport {
+            total_requests: self.records.len(),
+            finished_requests: finished,
+            ttft: Percentiles::from_samples(&ttft),
+            tpot: Percentiles::from_samples(&tpot),
+            ttft_samples: ttft,
+            tpot_samples: tpot,
+            total_tokens: self.tokens.total() as u64,
+            preemptions: self.records.iter().map(|r| r.preemptions as u64).sum(),
+        }
+    }
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Requests that arrived.
+    pub total_requests: usize,
+    /// Requests that finished generation.
+    pub finished_requests: usize,
+    /// TTFT percentile summary (seconds).
+    pub ttft: Percentiles,
+    /// TPOT percentile summary (seconds per token).
+    pub tpot: Percentiles,
+    /// Raw TTFT samples for SLO/CDF analysis.
+    pub ttft_samples: Vec<f64>,
+    /// Raw TPOT samples for SLO/CDF analysis.
+    pub tpot_samples: Vec<f64>,
+    /// Total output tokens produced.
+    pub total_tokens: u64,
+    /// Total preemption count.
+    pub preemptions: u64,
+}
+
+impl RunReport {
+    /// SLO-violation ratio for TTFT at `scale × baseline_p50` (the paper's
+    /// SLO-scale methodology, Figure 13 last column).
+    pub fn ttft_violation(&self, baseline_p50: f64, scale: f64) -> f64 {
+        Percentiles::violation_ratio(&self.ttft_samples, baseline_p50 * scale)
+    }
+
+    /// SLO-violation ratio for TPOT at `scale × baseline_p50`.
+    pub fn tpot_violation(&self, baseline_p50: f64, scale: f64) -> f64 {
+        Percentiles::violation_ratio(&self.tpot_samples, baseline_p50 * scale)
+    }
+
+    /// TTFT CDF for Figure 5.
+    pub fn ttft_cdf(&self, resolution: usize) -> Vec<(f64, f64)> {
+        empirical_cdf(&self.ttft_samples, resolution)
+    }
+
+    /// Mean throughput in tokens/second over `span`.
+    pub fn mean_throughput(&self, span: SimDuration) -> f64 {
+        if span.as_secs_f64() <= 0.0 {
+            return 0.0;
+        }
+        self.total_tokens as f64 / span.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn record_latency_math() {
+        let rec = RequestRecord {
+            id: RequestId(0),
+            arrival: t(1.0),
+            first_token: Some(t(1.5)),
+            finished: Some(t(3.5)),
+            output_tokens: 101,
+            preemptions: 0,
+        };
+        assert!((rec.ttft_secs().expect("first token") - 0.5).abs() < 1e-9);
+        // 2 s of decode over 100 inter-token gaps = 20 ms.
+        assert!((rec.tpot_secs().expect("finished") - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tpot_undefined_for_single_token() {
+        let rec = RequestRecord {
+            id: RequestId(0),
+            arrival: t(0.0),
+            first_token: Some(t(1.0)),
+            finished: Some(t(1.0)),
+            output_tokens: 1,
+            preemptions: 0,
+        };
+        assert!(rec.tpot_secs().is_none());
+    }
+
+    #[test]
+    fn lifecycle_to_report() {
+        let mut m = Metrics::new();
+        m.on_arrival(RequestId(0), t(0.0), 10);
+        m.on_arrival(RequestId(1), t(0.5), 10);
+        m.on_first_token(RequestId(0), t(1.0));
+        m.on_first_token(RequestId(1), t(4.5));
+        m.on_finished(RequestId(0), t(2.0));
+        m.on_tokens(t(1.0), 5);
+        m.on_tokens(t(2.0), 5);
+        let rep = m.report();
+        assert_eq!(rep.total_requests, 2);
+        assert_eq!(rep.finished_requests, 1);
+        assert_eq!(rep.ttft.count, 2);
+        assert_eq!(rep.tpot.count, 1);
+        assert_eq!(rep.total_tokens, 10);
+        // TTFT samples: 1.0 and 4.0 s.
+        assert!((rep.ttft.max - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_token_only_recorded_once() {
+        let mut m = Metrics::new();
+        m.on_arrival(RequestId(0), t(0.0), 5);
+        m.on_first_token(RequestId(0), t(1.0));
+        m.on_first_token(RequestId(0), t(9.0));
+        let rep = m.report();
+        assert!((rep.ttft.p50 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violation_ratios_use_scaled_baseline() {
+        let rep = RunReport {
+            total_requests: 4,
+            finished_requests: 4,
+            ttft: Percentiles::EMPTY,
+            tpot: Percentiles::EMPTY,
+            ttft_samples: vec![0.1, 0.2, 1.0, 5.0],
+            tpot_samples: vec![],
+            total_tokens: 0,
+            preemptions: 0,
+        };
+        // Baseline P50 = 0.1 s, scale 5 → threshold 0.5 s → 2 of 4 violate.
+        assert_eq!(rep.ttft_violation(0.1, 5.0), 0.5);
+    }
+
+    #[test]
+    fn reconfig_markers_accumulate() {
+        let mut m = Metrics::new();
+        m.on_reconfig(t(1.0), "drop");
+        m.on_reconfig(t(2.0), "restore");
+        assert_eq!(m.reconfig_events.len(), 2);
+        assert_eq!(m.reconfig_events[0].1, "drop");
+    }
+}

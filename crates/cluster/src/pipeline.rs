@@ -1,0 +1,210 @@
+//! Pipeline-parallel execution scheduling with bubble accounting.
+//!
+//! Microbatch `i` on stage `s` can start once stage `s` finished microbatch
+//! `i−1` *and* microbatch `i`'s activations arrived from stage `s−1`:
+//!
+//! ```text
+//! start[i][s] = max(finish[i-1][s], arrive[i][s])
+//! finish[i][s] = start[i][s] + t[i][s]
+//! ```
+//!
+//! Imbalanced microbatch times leave stages idle between microbatches —
+//! the *bubbles* of paper Fig. 8. The schedule reports per-stage busy time
+//! and span so the engine can attribute GPU idleness (the Fig. 14 bubble
+//! timeline).
+
+use sim_core::{SimDuration, SimTime};
+
+/// Per-microbatch, per-stage execution times: `times[mb][stage]`.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    /// Execution time of each microbatch on each stage.
+    pub times: Vec<Vec<SimDuration>>,
+}
+
+impl StageTiming {
+    /// Number of microbatches.
+    pub fn microbatches(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.times.first().map_or(0, |row| row.len())
+    }
+}
+
+/// The computed schedule of one pipelined iteration.
+#[derive(Debug, Clone)]
+pub struct PipelineSchedule {
+    /// Time the last microbatch leaves the last stage, relative to start.
+    pub makespan: SimDuration,
+    /// Per-stage busy time.
+    pub stage_busy: Vec<SimDuration>,
+    /// Per-stage span (first start to last finish).
+    pub stage_span: Vec<SimDuration>,
+    /// Finish time of each microbatch on each stage (absolute).
+    pub finish: Vec<Vec<SimTime>>,
+}
+
+impl PipelineSchedule {
+    /// Fraction of stage time lost to bubbles: `1 − Σbusy / Σspan`.
+    pub fn bubble_frac(&self) -> f64 {
+        let busy: f64 = self.stage_busy.iter().map(|d| d.as_secs_f64()).sum();
+        let span: f64 = self.stage_span.iter().map(|d| d.as_secs_f64()).sum();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - busy / span).max(0.0)
+    }
+}
+
+/// Computes the pipeline schedule.
+///
+/// `transfer(mb, from_stage, send_time)` is invoked once per microbatch per
+/// stage boundary, in non-decreasing `send_time` order per boundary, and
+/// returns the activation arrival time at the next stage — this is where the
+/// network simulator injects contention with ongoing KVCache exchanges.
+///
+/// # Panics
+///
+/// Panics if `timing` is empty or ragged.
+pub fn schedule(
+    start: SimTime,
+    timing: &StageTiming,
+    mut transfer: impl FnMut(usize, usize, SimTime) -> SimTime,
+) -> PipelineSchedule {
+    let m = timing.microbatches();
+    let s = timing.stages();
+    assert!(m > 0 && s > 0, "schedule needs at least one microbatch and stage");
+    assert!(timing.times.iter().all(|row| row.len() == s), "ragged stage timing");
+
+    let mut finish = vec![vec![SimTime::ZERO; s]; m];
+    let mut first_start = vec![SimTime::MAX; s];
+    let mut busy = vec![SimDuration::ZERO; s];
+
+    for i in 0..m {
+        for st in 0..s {
+            let arrive = if st == 0 {
+                start
+            } else {
+                transfer(i, st - 1, finish[i][st - 1])
+            };
+            let prev_done = if i == 0 { start } else { finish[i - 1][st] };
+            let begin = arrive.max(prev_done);
+            first_start[st] = first_start[st].min(begin);
+            busy[st] += timing.times[i][st];
+            finish[i][st] = begin + timing.times[i][st];
+        }
+    }
+
+    let stage_span: Vec<SimDuration> =
+        (0..s).map(|st| finish[m - 1][st] - first_start[st]).collect();
+    let makespan = finish[m - 1][s - 1] - start;
+    PipelineSchedule { makespan, stage_busy: busy, stage_span, finish }
+}
+
+/// Convenience: schedule with a fixed per-boundary transfer delay.
+pub fn schedule_fixed_transfer(
+    start: SimTime,
+    timing: &StageTiming,
+    transfer_delay: SimDuration,
+) -> PipelineSchedule {
+    schedule(start, timing, |_, _, send| send + transfer_delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn single_stage_single_batch() {
+        let timing = StageTiming { times: vec![vec![ms(10)]] };
+        let sched = schedule_fixed_transfer(SimTime::ZERO, &timing, SimDuration::ZERO);
+        assert_eq!(sched.makespan, ms(10));
+        assert_eq!(sched.bubble_frac(), 0.0);
+    }
+
+    #[test]
+    fn balanced_pipeline_textbook_makespan() {
+        // 3 microbatches × 2 stages, all 10 ms, no transfer delay:
+        // makespan = (m + s - 1) × t = 4 × 10 ms.
+        let timing = StageTiming { times: vec![vec![ms(10); 2]; 3] };
+        let sched = schedule_fixed_transfer(SimTime::ZERO, &timing, SimDuration::ZERO);
+        assert_eq!(sched.makespan, ms(40));
+        // Stage 0: busy 30 of span 30. Stage 1: busy 30 of span 30 (starts
+        // at 10, ends at 40). No bubbles in a perfectly balanced pipeline.
+        assert_eq!(sched.bubble_frac(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_creates_bubbles() {
+        // Fig. 8 (b): B1 takes 3× longer; stage 1 idles waiting for it.
+        let timing = StageTiming {
+            times: vec![vec![ms(10), ms(10)], vec![ms(30), ms(30)], vec![ms(10), ms(10)]],
+        };
+        let sched = schedule_fixed_transfer(SimTime::ZERO, &timing, SimDuration::ZERO);
+        assert!(sched.bubble_frac() > 0.15, "bubble {:.2}", sched.bubble_frac());
+        // Hand-check stage 1: B0 runs 10–20, B1 arrives at 40 (10 ms gap),
+        // runs 40–70, B2 arrives at 50 but stage busy until 70, runs 70–80.
+        assert_eq!(sched.finish[2][1], SimTime::from_millis(80));
+        assert_eq!(sched.stage_busy[1], ms(50));
+        assert_eq!(sched.stage_span[1], ms(70));
+    }
+
+    #[test]
+    fn transfer_delay_extends_makespan() {
+        let timing = StageTiming { times: vec![vec![ms(10); 2]; 2] };
+        let no_delay = schedule_fixed_transfer(SimTime::ZERO, &timing, SimDuration::ZERO);
+        let delayed = schedule_fixed_transfer(SimTime::ZERO, &timing, ms(5));
+        assert_eq!(no_delay.makespan, ms(30));
+        assert_eq!(delayed.makespan, ms(35));
+    }
+
+    #[test]
+    fn transfer_called_in_send_order_per_boundary() {
+        let timing = StageTiming { times: vec![vec![ms(10); 2]; 4] };
+        let mut last_send = SimTime::ZERO;
+        schedule(SimTime::ZERO, &timing, |_, boundary, send| {
+            assert_eq!(boundary, 0);
+            assert!(send >= last_send, "sends must be non-decreasing");
+            last_send = send;
+            send
+        });
+    }
+
+    #[test]
+    fn nonzero_start_offsets_everything() {
+        let start = SimTime::from_secs(5);
+        let timing = StageTiming { times: vec![vec![ms(10)]] };
+        let sched = schedule_fixed_transfer(start, &timing, SimDuration::ZERO);
+        assert_eq!(sched.finish[0][0], start + ms(10));
+        assert_eq!(sched.makespan, ms(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one microbatch")]
+    fn empty_timing_panics() {
+        schedule_fixed_transfer(
+            SimTime::ZERO,
+            &StageTiming { times: vec![] },
+            SimDuration::ZERO,
+        );
+    }
+
+    #[test]
+    fn balanced_vs_imbalanced_same_work() {
+        // Same total work split two ways: balanced beats imbalanced — the
+        // premise of lookahead formation (Fig. 9 (c)).
+        let balanced = StageTiming { times: vec![vec![ms(20), ms(20)], vec![ms(20), ms(20)]] };
+        let imbalanced = StageTiming { times: vec![vec![ms(10), ms(10)], vec![ms(30), ms(30)]] };
+        let b = schedule_fixed_transfer(SimTime::ZERO, &balanced, SimDuration::ZERO);
+        let i = schedule_fixed_transfer(SimTime::ZERO, &imbalanced, SimDuration::ZERO);
+        assert!(b.makespan < i.makespan);
+        assert!(b.bubble_frac() < i.bubble_frac());
+    }
+}

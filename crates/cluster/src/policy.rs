@@ -1,0 +1,186 @@
+//! The policy interface: *when* to use the cluster's mechanisms.
+//!
+//! Every system the paper evaluates — vLLM's recompute preemption,
+//! InferCept's swapping, Llumnix's migration, and KunServe's parameter drop
+//! — is a [`Policy`] over the same [`ClusterState`] mechanisms, which keeps
+//! the comparison apples-to-apples exactly like the paper's shared-codebase
+//! methodology (§5.1).
+
+use sim_core::SimTime;
+
+use crate::batch::{token_count_form, MicroBatch, SeqChunk};
+use crate::group::GroupId;
+use crate::request::RequestId;
+use crate::state::ClusterState;
+
+/// Why a bulk network transfer was running (attached to each network job).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransferPurpose {
+    /// Part of a KVCache exchange or consolidation batch.
+    ExchangePart {
+        /// The batch this job belongs to.
+        batch: u64,
+    },
+    /// Part of a parameter-restoration batch.
+    RestorePart {
+        /// The batch this job belongs to.
+        batch: u64,
+    },
+    /// Live migration of one request's KVCache.
+    Migration {
+        /// The migrating request.
+        request: RequestId,
+    },
+    /// Swap-out of one request's KVCache to host DRAM.
+    SwapOut {
+        /// The request being swapped out.
+        request: RequestId,
+    },
+    /// Swap-in of one request's KVCache from host DRAM.
+    SwapIn {
+        /// The request being swapped in.
+        request: RequestId,
+    },
+}
+
+/// High-level completion events surfaced to policies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransferEvent {
+    /// A KVCache exchange batch finished; the requests were unstalled.
+    ExchangeDone {
+        /// Requests that resumed.
+        requests: Vec<RequestId>,
+    },
+    /// All parameter-restore pulls for a group finished; the group may now
+    /// be split back to data-parallel serving.
+    ParamRestoreReady {
+        /// The pipelined group whose parameters are fully restored.
+        group: GroupId,
+    },
+    /// A migration finished and the request resumed on its new group.
+    MigrationDone {
+        /// The migrated request.
+        request: RequestId,
+    },
+    /// A swap-out finished; GPU blocks were freed.
+    SwapOutDone {
+        /// The swapped request.
+        request: RequestId,
+    },
+    /// A swap-in finished; the request resumed.
+    SwapInDone {
+        /// The resumed request.
+        request: RequestId,
+    },
+}
+
+/// How a policy resolved a decode out-of-memory event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OomResolution {
+    /// Memory was freed synchronously; the engine retries the reservation.
+    Retry,
+    /// Nothing freed; the engine falls back to vLLM-style recompute
+    /// preemption of the youngest running request.
+    GiveUp,
+    /// Freeing is in flight (e.g. an asynchronous swap-out); the request
+    /// skips this iteration and retries on the next one.
+    SkipIteration,
+}
+
+/// A serving policy: hooks invoked by the engine at decision points.
+///
+/// All methods have no-op defaults except microbatch formation, which
+/// defaults to the token-count baseline (Sarathi-style).
+pub trait Policy {
+    /// Short system name used in reports ("vLLM (DP)", "KunServe", ...).
+    fn name(&self) -> &'static str;
+
+    /// Called every monitor interval — load inspection, drop/restore and
+    /// migration decisions live here.
+    fn on_tick(&mut self, _state: &mut ClusterState, _now: SimTime) {}
+
+    /// Called when the head-of-line request of `group` cannot be admitted
+    /// for lack of KV blocks. The policy may free memory (swap, migrate,
+    /// preempt); the engine re-checks admission afterwards.
+    fn on_admission_blocked(&mut self, _state: &mut ClusterState, _now: SimTime, _group: GroupId) {
+    }
+
+    /// Called when `request` cannot grow its KVCache for the next decode
+    /// step. See [`OomResolution`] for the possible outcomes.
+    fn on_decode_oom(
+        &mut self,
+        _state: &mut ClusterState,
+        _now: SimTime,
+        _group: GroupId,
+        _request: RequestId,
+    ) -> OomResolution {
+        OomResolution::GiveUp
+    }
+
+    /// Splits collected iteration work into pipeline microbatches.
+    fn form_microbatches(
+        &self,
+        state: &ClusterState,
+        group: GroupId,
+        work: &[SeqChunk],
+    ) -> Vec<MicroBatch> {
+        let stages = state.group(group).stages();
+        let count = stages * state.cfg.microbatches_per_stage as usize;
+        token_count_form(work, count.max(1))
+    }
+
+    /// Called after the engine applied a completed transfer.
+    fn on_transfer_done(&mut self, _state: &mut ClusterState, _now: SimTime, _event: &TransferEvent) {
+    }
+}
+
+/// The do-nothing policy: requests queue until memory frees naturally.
+///
+/// This is the pure-queuing behaviour that motivates the paper's Fig. 2;
+/// the engine's built-in recompute fallback still guarantees decode
+/// progress.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QueueingPolicy;
+
+impl Policy for QueueingPolicy {
+    fn name(&self) -> &'static str {
+        "Queueing"
+    }
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_tick(&mut self, state: &mut ClusterState, now: SimTime) {
+        (**self).on_tick(state, now)
+    }
+
+    fn on_admission_blocked(&mut self, state: &mut ClusterState, now: SimTime, group: GroupId) {
+        (**self).on_admission_blocked(state, now, group)
+    }
+
+    fn on_decode_oom(
+        &mut self,
+        state: &mut ClusterState,
+        now: SimTime,
+        group: GroupId,
+        request: RequestId,
+    ) -> OomResolution {
+        (**self).on_decode_oom(state, now, group, request)
+    }
+
+    fn form_microbatches(
+        &self,
+        state: &ClusterState,
+        group: GroupId,
+        work: &[SeqChunk],
+    ) -> Vec<MicroBatch> {
+        (**self).form_microbatches(state, group, work)
+    }
+
+    fn on_transfer_done(&mut self, state: &mut ClusterState, now: SimTime, event: &TransferEvent) {
+        (**self).on_transfer_done(state, now, event)
+    }
+}

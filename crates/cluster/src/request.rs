@@ -1,0 +1,229 @@
+//! Request lifecycle: the per-request state machine of the serving engine.
+
+use sim_core::SimTime;
+use workload::RequestSpec;
+
+use crate::group::GroupId;
+
+/// Dense cluster-wide request identifier (index into the request table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub usize);
+
+/// Why a request is stalled (present but not executable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// Its KVCache is being exchanged between instances after a drop plan
+    /// (§4.2) or consolidated during restore (§4.4).
+    KvExchange,
+    /// Its KVCache is migrating to another instance (Llumnix baseline).
+    Migration,
+    /// Its KVCache is being swapped out to host memory.
+    SwapOut,
+    /// Its KVCache is being swapped back in from host memory.
+    SwapIn,
+}
+
+/// The request state machine.
+///
+/// ```text
+/// Queued ──► Running ──► Finished
+///   ▲          │ ▲
+///   │ preempt  │ │ unstall / swap-in complete
+///   └──────────┤ │
+///              ▼ │
+///        Stalled / Swapped
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqState {
+    /// Waiting in a group queue; holds no GPU memory.
+    Queued,
+    /// Admitted: holds KV blocks; participates in iterations.
+    Running,
+    /// Holds (or is moving) KV blocks but cannot execute until a transfer
+    /// completes.
+    Stalled(StallReason),
+    /// KVCache parked in host DRAM; holds no GPU memory.
+    Swapped,
+    /// All output tokens generated; terminal.
+    Finished,
+}
+
+/// One request being served.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// This request's id.
+    pub id: RequestId,
+    /// The workload spec (arrival, input/output lengths).
+    pub spec: RequestSpec,
+    /// Current state.
+    pub state: ReqState,
+    /// The group currently responsible for the request.
+    pub group: GroupId,
+    /// Prompt tokens whose KV has been computed (chunked prefill progress).
+    ///
+    /// After a recompute-preemption this restarts from zero; the tokens to
+    /// re-prefill then include the output generated before preemption
+    /// (`recompute_extra`), like vLLM's recompute preemption.
+    pub prefilled: u64,
+    /// Output tokens generated before the last preemption, which must be
+    /// re-prefilled as part of the prompt.
+    pub recompute_extra: u64,
+    /// Output tokens generated so far.
+    pub generated: u64,
+    /// When the first output token was produced.
+    pub first_token_at: Option<SimTime>,
+    /// When generation finished.
+    pub finished_at: Option<SimTime>,
+    /// Number of times the request was preempted (recompute or swap).
+    pub preemptions: u32,
+}
+
+impl Request {
+    /// Creates a queued request from a trace spec.
+    pub fn new(id: RequestId, spec: RequestSpec, group: GroupId) -> Self {
+        Request {
+            id,
+            spec,
+            state: ReqState::Queued,
+            group,
+            prefilled: 0,
+            recompute_extra: 0,
+            generated: 0,
+            first_token_at: None,
+            finished_at: None,
+            preemptions: 0,
+        }
+    }
+
+    /// Prompt tokens that still need prefilling, including recompute of
+    /// tokens generated before the last preemption.
+    pub fn prefill_target(&self) -> u64 {
+        self.spec.input_tokens + self.recompute_extra
+    }
+
+    /// Records a recompute preemption: KV is dropped; everything generated
+    /// so far becomes part of the prompt to re-prefill.
+    pub fn preempt_reset(&mut self) {
+        self.recompute_extra = self.generated;
+        self.prefilled = 0;
+        self.preemptions += 1;
+    }
+
+    /// Remaining prefill tokens.
+    pub fn prefill_remaining(&self) -> u64 {
+        self.prefill_target().saturating_sub(self.prefilled)
+    }
+
+    /// Returns `true` once the (re)prefill phase is complete.
+    pub fn in_decode(&self) -> bool {
+        self.prefilled >= self.prefill_target()
+    }
+
+    /// Tokens of KVCache the request currently holds on the GPU: prefill
+    /// progress while prefilling, prompt plus generated tokens in decode.
+    pub fn kv_tokens(&self) -> u64 {
+        match self.state {
+            ReqState::Queued | ReqState::Swapped | ReqState::Finished => 0,
+            _ => {
+                if self.in_decode() {
+                    self.spec.input_tokens + self.generated
+                } else {
+                    self.prefilled
+                }
+            }
+        }
+    }
+
+    /// Tokens of KVCache the request will hold when it finishes.
+    pub fn peak_kv_tokens(&self) -> u64 {
+        self.spec.input_tokens + self.spec.output_tokens
+    }
+
+    /// Remaining output tokens to generate.
+    pub fn output_remaining(&self) -> u64 {
+        self.spec.output_tokens.saturating_sub(self.generated)
+    }
+
+    /// Returns `true` if all output tokens are generated.
+    pub fn is_done(&self) -> bool {
+        self.generated >= self.spec.output_tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(input: u64, output: u64) -> RequestSpec {
+        RequestSpec { id: 0, arrival: SimTime::ZERO, input_tokens: input, output_tokens: output }
+    }
+
+    fn req(input: u64, output: u64) -> Request {
+        Request::new(RequestId(0), spec(input, output), GroupId(0))
+    }
+
+    #[test]
+    fn fresh_request_needs_full_prefill() {
+        let r = req(100, 10);
+        assert_eq!(r.prefill_target(), 100);
+        assert_eq!(r.prefill_remaining(), 100);
+        assert!(!r.in_decode());
+        assert_eq!(r.kv_tokens(), 0, "queued requests hold no memory");
+    }
+
+    #[test]
+    fn prefill_progress_tracks_kv() {
+        let mut r = req(100, 10);
+        r.state = ReqState::Running;
+        r.prefilled = 60;
+        assert_eq!(r.kv_tokens(), 60);
+        assert!(!r.in_decode());
+        r.prefilled = 100;
+        assert!(r.in_decode());
+        assert_eq!(r.kv_tokens(), 100);
+    }
+
+    #[test]
+    fn decode_growth_counts_generated() {
+        let mut r = req(100, 10);
+        r.state = ReqState::Running;
+        r.prefilled = 100;
+        r.generated = 4;
+        assert_eq!(r.kv_tokens(), 104);
+        assert_eq!(r.output_remaining(), 6);
+        assert!(!r.is_done());
+        r.generated = 10;
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn recompute_preemption_extends_prefill_target() {
+        // vLLM recompute: preempted after generating 5 tokens, the request
+        // must re-prefill input + 5 tokens before decoding again.
+        let mut r = req(100, 10);
+        r.state = ReqState::Running;
+        r.prefilled = 100;
+        r.generated = 5;
+        r.preempt_reset();
+        r.state = ReqState::Queued;
+        assert_eq!(r.preemptions, 1);
+        assert_eq!(r.prefill_target(), 105);
+        assert_eq!(r.prefill_remaining(), 105);
+        assert_eq!(r.kv_tokens(), 0);
+        assert!(!r.in_decode());
+        // Re-prefill completes: KV covers prompt + regenerated context.
+        r.state = ReqState::Running;
+        r.prefilled = 105;
+        assert!(r.in_decode());
+        assert_eq!(r.kv_tokens(), 105);
+        // Next decode steps grow from there.
+        r.generated = 6;
+        assert_eq!(r.kv_tokens(), 106);
+    }
+
+    #[test]
+    fn peak_kv_is_total_tokens() {
+        let r = req(100, 10);
+        assert_eq!(r.peak_kv_tokens(), 110);
+    }
+}

@@ -1,0 +1,1084 @@
+//! The cluster state and its mechanisms.
+//!
+//! Everything a policy can *do* lives here: dispatch, admission accounting,
+//! recompute preemption (vLLM), swap out/in (InferCept), migration
+//! (Llumnix), and the KunServe group machinery — merge with parameter drop
+//! and KVCache exchange, parameter restoration, and split. The engine calls
+//! these mechanisms too (admission, iteration completion), so the state is
+//! the single source of truth for memory accounting.
+
+use std::collections::HashMap;
+
+use costmodel::{CostParams, GroundTruth, Profiler};
+use kvcache::{BlockManager, HostSwapPool, SeqKey};
+use modelcfg::{partition_layers, LayerSet};
+use netsim::{JobId, Network, NodeId, Priority};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sim_core::{SimDuration, SimTime};
+
+use crate::config::ClusterConfig;
+use crate::group::{group_capacity_blocks, ExecGroup, GroupId};
+use crate::instance::{Instance, InstanceId};
+use crate::metrics::Metrics;
+use crate::policy::{TransferEvent, TransferPurpose};
+use crate::request::{ReqState, Request, RequestId, StallReason};
+
+/// A pending group reconfiguration, executed once every source group is
+/// idle (finished its current iteration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reconfig {
+    /// Merge groups into one pipeline group, dropping duplicated parameters.
+    Merge {
+        /// The groups to merge, all of which are frozen while pending.
+        groups: Vec<GroupId>,
+    },
+    /// Split a pipelined group back into per-instance groups (restore).
+    Split {
+        /// The group to split.
+        group: GroupId,
+    },
+}
+
+/// Effect applied when the last job of a transfer batch completes.
+#[derive(Debug, Clone)]
+enum BatchEffect {
+    UnstallRequests(Vec<RequestId>),
+    ParamRestoreReady(GroupId),
+}
+
+#[derive(Debug, Clone)]
+struct TransferBatch {
+    remaining: usize,
+    effect: BatchEffect,
+}
+
+/// The complete simulated cluster.
+#[derive(Debug)]
+pub struct ClusterState {
+    /// Static configuration.
+    pub cfg: ClusterConfig,
+    /// All serving instances, indexed by [`InstanceId`].
+    pub instances: Vec<Instance>,
+    /// Group slots; merged/split groups leave dead (`None`) slots behind so
+    /// stale events are detectable.
+    groups: Vec<Option<ExecGroup>>,
+    /// All requests ever admitted to the cluster, indexed by [`RequestId`].
+    pub requests: Vec<Request>,
+    /// The inter-instance and host network.
+    pub network: Network,
+    /// The execution-time ground truth the simulator charges.
+    pub ground_truth: GroundTruth,
+    /// The fitted cost model schedulers plan with (§4.3 offline profiling).
+    pub cost_model: CostParams,
+    /// Metrics collector.
+    pub metrics: Metrics,
+    /// Per-instance host swap pools.
+    pub host_pools: Vec<HostSwapPool>,
+    /// In-flight bulk transfers.
+    pub pending_transfers: HashMap<JobId, TransferPurpose>,
+    /// Reconfigurations waiting for their groups to go idle.
+    pub pending_reconfigs: Vec<Reconfig>,
+    /// Deterministic RNG for execution-time noise.
+    pub rng: SmallRng,
+    /// Extra delay the next iteration of a group must absorb (VMM remaps).
+    pub pending_overhead: HashMap<GroupId, SimDuration>,
+    transfer_batches: HashMap<u64, TransferBatch>,
+    next_batch: u64,
+}
+
+impl ClusterState {
+    /// Builds a cluster per `cfg`: instances, initial groups (of
+    /// `initial_group_size` members, with parameters pre-dropped for static
+    /// pipeline baselines), a profiled cost model and an idle network.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.num_instances > 0, "need at least one instance");
+        assert!(
+            cfg.initial_group_size >= 1 && cfg.num_instances % cfg.initial_group_size == 0,
+            "group size must divide the instance count"
+        );
+        let ground_truth = GroundTruth::for_model(&cfg.model, cfg.gpu);
+        let cost_model = Profiler::new(ground_truth.clone(), cfg.seed ^ 0xC0_57).fit();
+        let mut instances: Vec<Instance> =
+            (0..cfg.num_instances).map(|i| Instance::new(InstanceId(i), &cfg)).collect();
+
+        // Form initial groups of k members; for k > 1, pre-drop parameters
+        // to the per-stage partition (the vLLM-PP baseline and Fig. 5).
+        let k = cfg.initial_group_size;
+        let num_layers = cfg.model.num_layers;
+        let mut groups = Vec::new();
+        for g in 0..(cfg.num_instances / k) {
+            let members: Vec<InstanceId> =
+                (0..k).map(|j| InstanceId(g * k + j)).collect();
+            let parts = partition_layers(num_layers, k);
+            for (j, &m) in members.iter().enumerate() {
+                if k > 1 {
+                    let keep = LayerSet::from_range(parts[j]);
+                    let drop = instances[m.0 as usize].resident_layers().difference(&keep);
+                    instances[m.0 as usize].drop_layers(&drop);
+                }
+                instances[m.0 as usize].group = GroupId(g as usize);
+            }
+            let pools: Vec<(u64, f64)> = members
+                .iter()
+                .map(|&m| {
+                    let inst = &instances[m.0 as usize];
+                    (inst.kv_pool_bytes(), inst.layer_fraction(&cfg.model))
+                })
+                .collect();
+            let capacity =
+                group_capacity_blocks(&pools, cfg.model.kv_bytes_per_token(), cfg.block_tokens);
+            let fracs = pools.iter().map(|&(_, f)| f).collect();
+            groups.push(Some(ExecGroup::new(
+                GroupId(g as usize),
+                members,
+                fracs,
+                BlockManager::new(capacity, cfg.block_tokens),
+            )));
+        }
+
+        let host_pools =
+            (0..cfg.num_instances).map(|_| HostSwapPool::new(cfg.host_swap_blocks)).collect();
+        let network = Network::new(cfg.fabric);
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        ClusterState {
+            cfg,
+            instances,
+            groups,
+            requests: Vec::new(),
+            network,
+            ground_truth,
+            cost_model,
+            metrics: Metrics::new(),
+            host_pools,
+            pending_transfers: HashMap::new(),
+            pending_reconfigs: Vec::new(),
+            rng,
+            pending_overhead: HashMap::new(),
+            transfer_batches: HashMap::new(),
+            next_batch: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /// Returns whether the group slot is alive.
+    pub fn group_alive(&self, id: GroupId) -> bool {
+        self.groups.get(id.0).is_some_and(|g| g.is_some())
+    }
+
+    /// Borrows a live group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is dead — callers must check [`Self::group_alive`]
+    /// for ids that may be stale.
+    pub fn group(&self, id: GroupId) -> &ExecGroup {
+        self.groups[id.0].as_ref().expect("group is alive")
+    }
+
+    /// Mutably borrows a live group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is dead.
+    pub fn group_mut(&mut self, id: GroupId) -> &mut ExecGroup {
+        self.groups[id.0].as_mut().expect("group is alive")
+    }
+
+    /// Ids of all live groups, ascending.
+    pub fn alive_groups(&self) -> Vec<GroupId> {
+        (0..self.groups.len()).map(GroupId).filter(|&g| self.group_alive(g)).collect()
+    }
+
+    /// Borrows a request.
+    pub fn request(&self, id: RequestId) -> &Request {
+        &self.requests[id.0]
+    }
+
+    /// Mutably borrows a request.
+    pub fn request_mut(&mut self, id: RequestId) -> &mut Request {
+        &mut self.requests[id.0]
+    }
+
+    fn seq_key(id: RequestId) -> SeqKey {
+        SeqKey(id.0 as u64)
+    }
+
+    /// First member of a group — the endpoint bulk transfers address.
+    pub fn primary_node(&self, group: GroupId) -> NodeId {
+        NodeId(self.group(group).members[0].0)
+    }
+
+    // ------------------------------------------------------------------
+    // Load accounting (monitor metrics, dispatch).
+    // ------------------------------------------------------------------
+
+    /// Memory demand of a group in tokens: allocated KV plus queued
+    /// head-of-line prompt demand (the paper's Llumnix-style load metric).
+    pub fn group_demand_tokens(&self, id: GroupId) -> u64 {
+        let g = self.group(id);
+        let queued: u64 =
+            g.queue.iter().map(|&r| self.requests[r.0].prefill_target()).sum();
+        g.blocks.used_tokens() + queued
+    }
+
+    /// Group KV capacity in tokens.
+    pub fn group_capacity_tokens(&self, id: GroupId) -> u64 {
+        self.group(id).blocks.capacity_tokens()
+    }
+
+    /// Groups whose demand exceeds `threshold × capacity`.
+    pub fn overloaded_groups(&self, threshold: f64) -> Vec<GroupId> {
+        self.alive_groups()
+            .into_iter()
+            .filter(|&g| {
+                self.group_demand_tokens(g) as f64
+                    > self.group_capacity_tokens(g) as f64 * threshold
+            })
+            .collect()
+    }
+
+    /// Cluster-wide `(demand, capacity, used)` in bytes for the memory
+    /// timelines (Fig. 2 (b), Fig. 12 first column).
+    pub fn memory_totals(&self) -> (u64, u64, u64) {
+        let kv = self.cfg.model.kv_bytes_per_token();
+        let mut demand = 0;
+        let mut capacity = 0;
+        let mut used = 0;
+        for g in self.alive_groups() {
+            demand += self.group_demand_tokens(g) * kv;
+            capacity += self.group_capacity_tokens(g) * kv;
+            used += self.group(g).blocks.used_tokens() * kv;
+        }
+        (demand, capacity, used)
+    }
+
+    /// Chooses the least-loaded group for a new request (the shared
+    /// Llumnix-style dispatcher, §3).
+    pub fn dispatch(&self, input_tokens: u64) -> GroupId {
+        self.alive_groups()
+            .into_iter()
+            .min_by(|&a, &b| {
+                let load = |g: GroupId| {
+                    (self.group_demand_tokens(g) + input_tokens) as f64
+                        / self.group_capacity_tokens(g).max(1) as f64
+                };
+                load(a).partial_cmp(&load(b)).expect("loads are finite")
+            })
+            .expect("at least one live group")
+    }
+
+    // ------------------------------------------------------------------
+    // Admission and release.
+    // ------------------------------------------------------------------
+
+    /// Tries to admit the request: reserves blocks for its full prefill
+    /// target. Returns `false` when blocks are insufficient.
+    pub fn try_admit(&mut self, id: RequestId, group: GroupId) -> bool {
+        let target = self.requests[id.0].prefill_target();
+        let g = self.groups[group.0].as_mut().expect("group is alive");
+        if !g.blocks.can_allocate(target) {
+            return false;
+        }
+        g.blocks.allocate(Self::seq_key(id), target).expect("checked can_allocate");
+        self.requests[id.0].state = ReqState::Running;
+        true
+    }
+
+    /// Frees a finished/preempted request's blocks on its group.
+    pub fn release_blocks(&mut self, id: RequestId) {
+        let group = self.requests[id.0].group;
+        if !self.group_alive(group) {
+            return;
+        }
+        let g = self.groups[group.0].as_mut().expect("alive");
+        let _ = g.blocks.free(Self::seq_key(id));
+    }
+
+    // ------------------------------------------------------------------
+    // Mechanism: vLLM recompute preemption (Fig. 3 (a)).
+    // ------------------------------------------------------------------
+
+    /// Preempts a running request by dropping its KVCache; it re-enters the
+    /// queue head and will recompute its prefill (including already
+    /// generated tokens).
+    pub fn preempt_recompute(&mut self, id: RequestId) {
+        let group = self.requests[id.0].group;
+        self.release_blocks(id);
+        let req = &mut self.requests[id.0];
+        req.preempt_reset();
+        req.state = ReqState::Queued;
+        self.metrics.on_preemption(id);
+        let g = self.groups[group.0].as_mut().expect("alive");
+        g.forget(id);
+        g.queue.push_front(id);
+    }
+
+    /// The engine's guaranteed-progress fallback: preempts the
+    /// youngest-arrival running request of the group (vLLM's policy).
+    /// Returns the victim, or `None` if nothing is running.
+    pub fn preempt_youngest(&mut self, group: GroupId) -> Option<RequestId> {
+        let victim = {
+            let g = self.group(group);
+            g.running
+                .iter()
+                .copied()
+                .max_by_key(|&r| self.requests[r.0].spec.arrival)?
+        };
+        self.preempt_recompute(victim);
+        Some(victim)
+    }
+
+    // ------------------------------------------------------------------
+    // Mechanism: swap (InferCept, Fig. 3 (b)).
+    // ------------------------------------------------------------------
+
+    /// Starts swapping a running request's KVCache out to host DRAM over
+    /// PCIe. Blocks stay reserved until the transfer completes — the reason
+    /// swap does not instantly relieve pressure.
+    ///
+    /// Returns `false` if the host pool cannot hold it.
+    pub fn start_swap_out(&mut self, id: RequestId, now: SimTime) -> bool {
+        let group = self.requests[id.0].group;
+        let node = self.primary_node(group);
+        let (blocks, tokens) = {
+            let g = self.group(group);
+            let key = Self::seq_key(id);
+            match (g.blocks.blocks_of(key), g.blocks.tokens_of(key)) {
+                (Ok(b), Ok(t)) => (b, t),
+                _ => return false,
+            }
+        };
+        let bytes = tokens * self.cfg.model.kv_bytes_per_token();
+        if bytes == 0 {
+            return false;
+        }
+        // Reserve host-pool space up front: a start-time check alone would
+        // let concurrent swap-outs oversubscribe the pool by completion
+        // time.
+        if self.host_pools[node.0 as usize].swap_out(Self::seq_key(id), blocks, tokens).is_err() {
+            return false;
+        }
+        let g = self.groups[group.0].as_mut().expect("alive");
+        if !g.stall(id) {
+            self.host_pools[node.0 as usize]
+                .swap_in(Self::seq_key(id))
+                .expect("just reserved");
+            return false;
+        }
+        self.requests[id.0].state = ReqState::Stalled(StallReason::SwapOut);
+        let job = self.network.submit_host(now, node, bytes, Priority::KvExchange);
+        self.pending_transfers.insert(job, TransferPurpose::SwapOut { request: id });
+        true
+    }
+
+    /// Starts swapping a parked request back in. Requires free blocks for
+    /// its KV. Returns `false` if blocks or bookkeeping are missing.
+    pub fn start_swap_in(&mut self, id: RequestId, now: SimTime) -> bool {
+        let group = self.requests[id.0].group;
+        // The KV is parked in the pool of whatever instance initiated the
+        // swap-out; after a group reconfiguration that may no longer be the
+        // group's primary node, so search for it.
+        let key = Self::seq_key(id);
+        let primary = self.primary_node(group);
+        let node = if self.host_pools[primary.0 as usize].contains(key) {
+            primary
+        } else {
+            match (0..self.host_pools.len()).find(|&n| self.host_pools[n].contains(key)) {
+                Some(n) => NodeId(n as u32),
+                None => return false,
+            }
+        };
+        let Some(parked) = self.host_pools[node.0 as usize].get(Self::seq_key(id)) else {
+            return false;
+        };
+        {
+            let g = self.groups[group.0].as_mut().expect("alive");
+            if !g.blocks.can_allocate(parked.tokens) {
+                return false;
+            }
+            g.blocks.allocate(Self::seq_key(id), parked.tokens).expect("checked");
+            g.swapped.retain(|&r| r != id);
+            g.stalled.push(id);
+        }
+        self.host_pools[node.0 as usize].swap_in(Self::seq_key(id)).expect("parked");
+        self.requests[id.0].state = ReqState::Stalled(StallReason::SwapIn);
+        let bytes = parked.tokens * self.cfg.model.kv_bytes_per_token();
+        let job = self.network.submit_host(now, node, bytes, Priority::KvExchange);
+        self.pending_transfers.insert(job, TransferPurpose::SwapIn { request: id });
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Mechanism: migration (Llumnix, Fig. 3 (c)).
+    // ------------------------------------------------------------------
+
+    /// Starts migrating a running request to another group. The KV blocks
+    /// are reserved at the destination immediately and freed at the source;
+    /// the request stalls for the (short) transfer.
+    ///
+    /// Returns `false` if the destination cannot hold it.
+    pub fn start_migration(&mut self, id: RequestId, to: GroupId, now: SimTime) -> bool {
+        let from = self.requests[id.0].group;
+        if from == to || !self.group_alive(to) {
+            return false;
+        }
+        let tokens = {
+            let g = self.group(from);
+            match g.blocks.tokens_of(Self::seq_key(id)) {
+                Ok(t) => t,
+                Err(_) => return false,
+            }
+        };
+        {
+            let dst = self.groups[to.0].as_mut().expect("alive");
+            if !dst.blocks.can_allocate(tokens) {
+                return false;
+            }
+            dst.blocks.allocate(Self::seq_key(id), tokens).expect("checked");
+        }
+        {
+            let src = self.groups[from.0].as_mut().expect("alive");
+            src.blocks.free(Self::seq_key(id)).expect("had blocks");
+            src.forget(id);
+        }
+        let bytes = (tokens * self.cfg.model.kv_bytes_per_token()).max(1);
+        let src_node = self.primary_node(from);
+        let dst_node = self.primary_node(to);
+        let job = self.network.submit_bulk(now, src_node, dst_node, bytes, Priority::KvExchange);
+        self.pending_transfers.insert(job, TransferPurpose::Migration { request: id });
+        let req = &mut self.requests[id.0];
+        req.group = to;
+        req.state = ReqState::Stalled(StallReason::Migration);
+        self.groups[to.0].as_mut().expect("alive").stalled.push(id);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Mechanism: KunServe merge (drop) and split (restore).
+    // ------------------------------------------------------------------
+
+    /// Requests a merge: the groups freeze (finish their current iteration,
+    /// start no new one) and the merge executes once all are idle.
+    pub fn request_merge(&mut self, groups: Vec<GroupId>) {
+        assert!(groups.len() >= 2, "a merge needs at least two groups");
+        for &g in &groups {
+            self.group_mut(g).frozen = true;
+        }
+        self.pending_reconfigs.push(Reconfig::Merge { groups });
+    }
+
+    /// Requests a split (restore): the group freezes and splits once idle.
+    pub fn request_split(&mut self, group: GroupId) {
+        self.group_mut(group).frozen = true;
+        self.pending_reconfigs.push(Reconfig::Split { group });
+    }
+
+    /// Returns `true` if any reconfiguration is pending.
+    pub fn has_pending_reconfigs(&self) -> bool {
+        !self.pending_reconfigs.is_empty()
+    }
+
+    /// Executes every pending reconfiguration whose groups are idle.
+    /// Returns the newly created groups.
+    pub fn execute_ready_reconfigs(&mut self, now: SimTime) -> Vec<GroupId> {
+        let mut created = Vec::new();
+        let pending = std::mem::take(&mut self.pending_reconfigs);
+        for rc in pending {
+            let ready = match &rc {
+                Reconfig::Merge { groups } => {
+                    groups.iter().all(|&g| self.group_alive(g) && !self.group(g).is_busy())
+                }
+                Reconfig::Split { group } => {
+                    self.group_alive(*group) && !self.group(*group).is_busy()
+                }
+            };
+            if !ready {
+                self.pending_reconfigs.push(rc);
+                continue;
+            }
+            match rc {
+                Reconfig::Merge { groups } => match self.merge_groups(&groups, now) {
+                    Ok(g) => created.push(g),
+                    Err(msg) => {
+                        // Unfreeze and abandon; the policy will retry.
+                        for &g in &groups {
+                            if self.group_alive(g) {
+                                self.group_mut(g).frozen = false;
+                            }
+                        }
+                        self.metrics.on_reconfig(now, format!("merge-failed: {msg}"));
+                    }
+                },
+                Reconfig::Split { group } => match self.split_group(group, now) {
+                    Ok(gs) => created.extend(gs),
+                    Err(_busy) => {
+                        // Usage crept back above the restorable level; keep
+                        // the group pipelined and let the policy retry.
+                        if self.group_alive(group) {
+                            self.group_mut(group).frozen = false;
+                        }
+                        self.metrics.on_reconfig(now, "split-deferred");
+                    }
+                },
+            }
+        }
+        created
+    }
+
+    /// Merges idle groups into one pipeline group: computes the per-member
+    /// layer partition, executes the parameter drops (VMM remap), rebuilds
+    /// the block accounting, moves requests across and launches the KVCache
+    /// exchange for admitted sequences.
+    fn merge_groups(&mut self, group_ids: &[GroupId], now: SimTime) -> Result<GroupId, String> {
+        let num_layers = self.cfg.model.num_layers;
+        // Capture pre-drop membership and layer fractions: the exchange
+        // volume depends on how KV was distributed *before* the merge.
+        let mut old_members_of: HashMap<GroupId, Vec<InstanceId>> = HashMap::new();
+        let mut old_frac_of: HashMap<InstanceId, f64> = HashMap::new();
+        for &g in group_ids {
+            let ms = self.group(g).members.clone();
+            for &m in &ms {
+                old_frac_of.insert(m, self.instances[m.0 as usize].layer_fraction(&self.cfg.model));
+            }
+            old_members_of.insert(g, ms);
+        }
+        // Collect members with their current resident spans, then order by
+        // (start, len) so each member's new partition nests inside what it
+        // already holds (smaller residents first breaks full-copy ties).
+        let mut members: Vec<InstanceId> = Vec::new();
+        for &g in group_ids {
+            members.extend(self.group(g).members.iter().copied());
+        }
+        members.sort_by_key(|&m| {
+            let r = self.instances[m.0 as usize].resident_layers();
+            let start = r.ranges().first().map_or(0, |r| r.start);
+            (start, r.len())
+        });
+        let parts = partition_layers(num_layers, members.len() as u32);
+        for (i, &m) in members.iter().enumerate() {
+            let target = LayerSet::from_range(parts[i]);
+            let resident = self.instances[m.0 as usize].resident_layers();
+            if !target.difference(resident).is_empty() {
+                return Err(format!(
+                    "member {m} holds {resident} which does not cover {target}",
+                    resident = resident,
+                    target = target
+                ));
+            }
+        }
+
+        // Execute the drops; total VMM ops determine the remap stall.
+        let mut ops = 0;
+        for (i, &m) in members.iter().enumerate() {
+            let target = LayerSet::from_range(parts[i]);
+            let inst = &mut self.instances[m.0 as usize];
+            let drop = inst.resident_layers().difference(&target);
+            if !drop.is_empty() {
+                ops += inst.drop_layers(&drop);
+            }
+        }
+
+        // New group bookkeeping.
+        let new_id = GroupId(self.groups.len());
+        let pools: Vec<(u64, f64)> = members
+            .iter()
+            .map(|&m| {
+                let inst = &self.instances[m.0 as usize];
+                (inst.kv_pool_bytes(), inst.layer_fraction(&self.cfg.model))
+            })
+            .collect();
+        let capacity = group_capacity_blocks(
+            &pools,
+            self.cfg.model.kv_bytes_per_token(),
+            self.cfg.block_tokens,
+        );
+        let fracs: Vec<f64> = pools.iter().map(|&(_, f)| f).collect();
+        let mut new_group = ExecGroup::new(
+            new_id,
+            members.clone(),
+            fracs,
+            BlockManager::new(capacity, self.cfg.block_tokens),
+        );
+
+        // Move requests: queued (merged by arrival), admitted (re-allocate),
+        // swapped (carried over).
+        let mut queued: Vec<RequestId> = Vec::new();
+        let mut admitted_running: Vec<RequestId> = Vec::new();
+        let mut admitted_stalled: Vec<RequestId> = Vec::new();
+        let mut swapped: Vec<RequestId> = Vec::new();
+        let mut exchange_seqs: Vec<(RequestId, u64, GroupId)> = Vec::new();
+        for &gid in group_ids {
+            let old = self.groups[gid.0].take().expect("alive");
+            for &r in &old.queue {
+                queued.push(r);
+            }
+            for &r in &old.running {
+                let tokens = old.blocks.tokens_of(Self::seq_key(r)).expect("admitted");
+                admitted_running.push(r);
+                exchange_seqs.push((r, tokens, gid));
+            }
+            for &r in &old.stalled {
+                let tokens = old.blocks.tokens_of(Self::seq_key(r)).expect("admitted");
+                admitted_stalled.push(r);
+                exchange_seqs.push((r, tokens, gid));
+            }
+            swapped.extend(old.swapped.iter().copied());
+        }
+        queued.sort_by_key(|&r| (self.requests[r.0].spec.arrival, r));
+        for (r, tokens, _) in &exchange_seqs {
+            new_group
+                .blocks
+                .allocate(Self::seq_key(*r), *tokens)
+                .map_err(|e| format!("re-registering KV failed: {e}"))?;
+        }
+        new_group.queue.extend(queued.iter().copied());
+        // Running sequences stall until their KV exchange completes; already
+        // stalled ones stay stalled (their own transfers are still pending).
+        new_group.stalled.extend(admitted_running.iter().copied());
+        new_group.stalled.extend(admitted_stalled.iter().copied());
+        new_group.swapped = swapped;
+        for &r in queued.iter().chain(&admitted_running).chain(&admitted_stalled) {
+            self.requests[r.0].group = new_id;
+        }
+        for &r in &new_group.swapped.clone() {
+            self.requests[r.0].group = new_id;
+        }
+        for &r in &admitted_running {
+            self.requests[r.0].state = ReqState::Stalled(StallReason::KvExchange);
+        }
+        for &m in &members {
+            self.instances[m.0 as usize].group = new_id;
+        }
+
+        // KVCache exchange: each sequence's KV must be redistributed to the
+        // new layer partition. A sequence formerly on member set S held
+        // `kv × old_frac(m)` on each m ∈ S (fractions summing to 1); now
+        // every member of the merged group holds `kv × new_frac(m)`. Bytes
+        // leaving each member are aggregated into one bulk job per member
+        // (to its ring neighbor), coordinated-chunked by the network.
+        let kv_per_token = self.cfg.model.kv_bytes_per_token();
+        let mut outgoing: HashMap<InstanceId, u64> = HashMap::new();
+        for &(_, tokens, old_gid) in &exchange_seqs {
+            let kv_bytes = (tokens * kv_per_token) as f64;
+            for &m in &old_members_of[&old_gid] {
+                let old_share = kv_bytes * old_frac_of[&m];
+                let new_frac = self.instances[m.0 as usize].layer_fraction(&self.cfg.model);
+                let leaving = (old_share - kv_bytes * new_frac).max(0.0) as u64;
+                if leaving > 0 {
+                    *outgoing.entry(m).or_insert(0) += leaving;
+                }
+            }
+        }
+
+        let stalled_now: Vec<RequestId> = new_group.stalled.clone();
+        let slot = new_id;
+        self.groups.push(Some(new_group));
+
+        if !outgoing.is_empty() {
+            let batch = self.next_batch;
+            self.next_batch += 1;
+            let mut jobs = 0;
+            let mut pairs: Vec<(InstanceId, u64)> = outgoing.into_iter().collect();
+            pairs.sort();
+            for (src, bytes) in pairs {
+                // Ring neighbor inside the new group.
+                let idx = members.iter().position(|&m| m == src).expect("member");
+                let dst = members[(idx + 1) % members.len()];
+                let job = self.network.submit_bulk(
+                    now,
+                    NodeId(src.0),
+                    NodeId(dst.0),
+                    bytes,
+                    Priority::KvExchange,
+                );
+                self.pending_transfers.insert(job, TransferPurpose::ExchangePart { batch });
+                jobs += 1;
+            }
+            self.transfer_batches.insert(
+                batch,
+                TransferBatch {
+                    remaining: jobs,
+                    effect: BatchEffect::UnstallRequests(stalled_now),
+                },
+            );
+        } else {
+            // Nothing to exchange (no admitted sequences): unstall at once.
+            let g = self.groups[slot.0].as_mut().expect("alive");
+            let ids: Vec<RequestId> = g.stalled.drain(..).collect();
+            for r in ids {
+                g.running.push(r);
+                self.requests[r.0].state = ReqState::Running;
+            }
+        }
+
+        // Charge the VMM remap as start-up overhead for the new group.
+        let overhead = simgpu::timing::remap_cost(ops, ops);
+        self.pending_overhead.insert(slot, overhead);
+        self.metrics.on_reconfig(
+            now,
+            format!("drop: merged {} groups into {} stages", group_ids.len(), members.len()),
+        );
+        Ok(slot)
+    }
+
+    /// Starts background parameter-restoration pulls for a pipelined group
+    /// (§4.4): each member pulls its dropped layers from a peer that still
+    /// holds them, at background priority. When every pull completes the
+    /// engine surfaces [`TransferEvent::ParamRestoreReady`].
+    ///
+    /// Returns `false` if the group has nothing to restore or a restore is
+    /// already pending.
+    pub fn start_param_restore(&mut self, group: GroupId, now: SimTime) -> bool {
+        if !self.group_alive(group) {
+            return false;
+        }
+        let members = self.group(group).members.clone();
+        if members.len() < 2 {
+            return false;
+        }
+        let layer_bytes = self.cfg.model.layer_param_bytes();
+        let mut jobs = Vec::new();
+        for (i, &m) in members.iter().enumerate() {
+            let dropped = self.instances[m.0 as usize].dropped_layers() as u64;
+            if dropped == 0 {
+                continue;
+            }
+            let bytes = dropped * layer_bytes;
+            // Pull from the ring predecessor (which holds adjacent layers).
+            let src = members[(i + members.len() - 1) % members.len()];
+            jobs.push((src, m, bytes));
+        }
+        if jobs.is_empty() {
+            return false;
+        }
+        let batch = self.next_batch;
+        self.next_batch += 1;
+        let n = jobs.len();
+        for (src, dst, bytes) in jobs {
+            let job = self.network.submit_bulk(
+                now,
+                NodeId(src.0),
+                NodeId(dst.0),
+                bytes,
+                Priority::ParamRestore,
+            );
+            self.pending_transfers.insert(job, TransferPurpose::RestorePart { batch });
+        }
+        self.transfer_batches
+            .insert(batch, TransferBatch { remaining: n, effect: BatchEffect::ParamRestoreReady(group) });
+        self.metrics.on_reconfig(now, "restore: parameter pulls started");
+        true
+    }
+
+    /// Splits an idle pipelined group back into per-instance groups:
+    /// shrinks block accounting, remaps parameters home, redistributes
+    /// requests and launches KV consolidation transfers.
+    ///
+    /// Fails (leaving the group intact) if current KV usage no longer fits
+    /// the restored per-instance capacities.
+    fn split_group(&mut self, gid: GroupId, now: SimTime) -> Result<Vec<GroupId>, ()> {
+        let members = self.group(gid).members.clone();
+        if members.len() < 2 {
+            return Err(());
+        }
+        let kv_per_token = self.cfg.model.kv_bytes_per_token();
+        // Per-instance capacity after restore.
+        let capacities: Vec<u64> = members
+            .iter()
+            .map(|&m| self.instances[m.0 as usize].kv_base_bytes() / kv_per_token)
+            .collect();
+
+        // Plan request placement: bin-pack admitted sequences by tokens.
+        let old = self.group(gid);
+        let mut admitted: Vec<(RequestId, u64)> = old
+            .admitted()
+            .map(|r| (r, old.blocks.tokens_of(Self::seq_key(r)).expect("admitted")))
+            .collect();
+        admitted.sort_by_key(|&(r, t)| (std::cmp::Reverse(t), r));
+        let mut loads: Vec<u64> = vec![0; members.len()];
+        let mut placement: Vec<(RequestId, usize, u64)> = Vec::new();
+        for (r, tokens) in admitted {
+            // Best fit: the member with most free capacity.
+            let (idx, _) = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &l)| (l as i64 - capacities[i] as i64, i))
+                .expect("members non-empty");
+            if loads[idx] + tokens > capacities[idx] {
+                return Err(()); // does not fit; defer the split
+            }
+            loads[idx] += tokens;
+            placement.push((r, idx, tokens));
+        }
+
+        // Commit: take the group, restore parameters, build new groups.
+        let old = self.groups[gid.0].take().expect("alive");
+        let mut ops = 0;
+        for &m in &members {
+            ops += self.instances[m.0 as usize].restore_all();
+        }
+        let mut new_ids = Vec::new();
+        let base = self.groups.len();
+        for (i, &m) in members.iter().enumerate() {
+            let id = GroupId(base + i);
+            let pools = [(self.instances[m.0 as usize].kv_pool_bytes(), 1.0)];
+            let cap = group_capacity_blocks(&pools, kv_per_token, self.cfg.block_tokens);
+            let blocks = BlockManager::new(cap, self.cfg.block_tokens);
+            self.groups.push(Some(ExecGroup::new(id, vec![m], vec![1.0], blocks)));
+            self.instances[m.0 as usize].group = id;
+            new_ids.push(id);
+        }
+
+        // Place admitted sequences; they stall for KV consolidation.
+        let mut per_dest_bytes: Vec<u64> = vec![0; members.len()];
+        let mut stalled_ids: Vec<RequestId> = Vec::new();
+        for &(r, idx, tokens) in &placement {
+            let dest = new_ids[idx];
+            let g = self.groups[dest.0].as_mut().expect("alive");
+            g.blocks.allocate(Self::seq_key(r), tokens).expect("planned to fit");
+            g.stalled.push(r);
+            self.requests[r.0].group = dest;
+            self.requests[r.0].state = ReqState::Stalled(StallReason::KvExchange);
+            stalled_ids.push(r);
+            // The dest already holds `frac(dest)` of this KV; the rest moves.
+            let frac = 1.0 / members.len() as f64;
+            per_dest_bytes[idx] += ((tokens * kv_per_token) as f64 * (1.0 - frac)) as u64;
+        }
+
+        // Queue redistribution: round-robin by arrival order.
+        let mut queued: Vec<RequestId> = old.queue.iter().copied().collect();
+        queued.sort_by_key(|&r| (self.requests[r.0].spec.arrival, r));
+        for (i, r) in queued.into_iter().enumerate() {
+            let dest = new_ids[i % new_ids.len()];
+            self.groups[dest.0].as_mut().expect("alive").queue.push_back(r);
+            self.requests[r.0].group = dest;
+        }
+        // Swapped sequences follow their host pool's instance (member 0 of
+        // the old group held the pool).
+        for &r in &old.swapped {
+            let dest = new_ids[0];
+            self.groups[dest.0].as_mut().expect("alive").swapped.push(r);
+            self.requests[r.0].group = dest;
+        }
+
+        // Consolidation transfers: one inbound job per destination.
+        if !stalled_ids.is_empty() {
+            let batch = self.next_batch;
+            self.next_batch += 1;
+            let mut jobs = 0;
+            for (idx, &bytes) in per_dest_bytes.iter().enumerate() {
+                if bytes == 0 {
+                    continue;
+                }
+                let dst = members[idx];
+                let src = members[(idx + 1) % members.len()];
+                let job = self.network.submit_bulk(
+                    now,
+                    NodeId(src.0),
+                    NodeId(dst.0),
+                    bytes,
+                    Priority::KvExchange,
+                );
+                self.pending_transfers.insert(job, TransferPurpose::ExchangePart { batch });
+                jobs += 1;
+            }
+            if jobs > 0 {
+                self.transfer_batches.insert(
+                    batch,
+                    TransferBatch { remaining: jobs, effect: BatchEffect::UnstallRequests(stalled_ids) },
+                );
+            } else {
+                for r in stalled_ids {
+                    let g = self.groups[self.requests[r.0].group.0].as_mut().expect("alive");
+                    g.unstall(r);
+                    self.requests[r.0].state = ReqState::Running;
+                }
+            }
+        }
+
+        let overhead = simgpu::timing::remap_cost(ops, ops) / new_ids.len() as u64;
+        for &id in &new_ids {
+            self.pending_overhead.insert(id, overhead);
+        }
+        self.metrics
+            .on_reconfig(now, format!("restore: split into {} instances", new_ids.len()));
+        Ok(new_ids)
+    }
+
+    // ------------------------------------------------------------------
+    // Mechanism: fault tolerance (§4.4).
+    // ------------------------------------------------------------------
+
+    /// Handles the failure of one instance.
+    ///
+    /// Unlike pure data-parallel serving, a failed KunServe instance can
+    /// disrupt every member of its pipeline group (§4.4). The recovery is:
+    /// surviving members immediately restore their full parameter copies
+    /// (always possible — parameters are replicated in host DRAM), each
+    /// becomes a single-instance group again, and the group's requests are
+    /// recovered: admitted sequences lose their (partially lost) KVCache
+    /// and recompute, queued ones redistribute. The failed instance leaves
+    /// service.
+    ///
+    /// Returns the ids of the replacement groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance was already failed.
+    pub fn fail_instance(&mut self, failed: InstanceId, now: SimTime) -> Vec<GroupId> {
+        let gid = self.instances[failed.0 as usize].group;
+        assert!(self.group_alive(gid), "instance already failed");
+        let old = self.groups[gid.0].take().expect("alive");
+
+        // Collect every request the dying group was responsible for.
+        let mut to_requeue: Vec<RequestId> = Vec::new();
+        for &r in old.running.iter().chain(&old.stalled) {
+            to_requeue.push(r);
+        }
+        let queued: Vec<RequestId> = old.queue.iter().copied().collect();
+        let swapped: Vec<RequestId> = old.swapped.clone();
+
+        // Survivors restore full copies (host-DRAM replicas guarantee the
+        // parameter data; only the remap + group bookkeeping happen here).
+        let survivors: Vec<InstanceId> =
+            old.members.iter().copied().filter(|&m| m != failed).collect();
+        let kv_per_token = self.cfg.model.kv_bytes_per_token();
+        let mut ops = 0;
+        let mut new_ids = Vec::new();
+        for &m in &survivors {
+            ops += self.instances[m.0 as usize].restore_all();
+            let id = GroupId(self.groups.len());
+            let pools = [(self.instances[m.0 as usize].kv_pool_bytes(), 1.0)];
+            let cap = group_capacity_blocks(&pools, kv_per_token, self.cfg.block_tokens);
+            self.groups.push(Some(ExecGroup::new(
+                id,
+                vec![m],
+                vec![1.0],
+                BlockManager::new(cap, self.cfg.block_tokens),
+            )));
+            self.instances[m.0 as usize].group = id;
+            new_ids.push(id);
+        }
+
+        // Recover requests. Admitted sequences lost the failed stage's KV
+        // slice: recompute from scratch (their blocks died with the group's
+        // block manager). Everything re-enters queues round-robin.
+        let fallback = if new_ids.is_empty() {
+            // Whole group lost: fall back to any live group.
+            Some(*self.alive_groups().first().expect("cluster must retain capacity"))
+        } else {
+            None
+        };
+        for (i, r) in to_requeue.iter().chain(&queued).enumerate() {
+            if self.requests[r.0].state == ReqState::Finished {
+                continue;
+            }
+            let dest = fallback.unwrap_or_else(|| new_ids[i % new_ids.len()]);
+            {
+                let req = &mut self.requests[r.0];
+                req.preempt_reset();
+                req.state = ReqState::Queued;
+                req.group = dest;
+            }
+            self.group_mut(dest).queue.push_back(*r);
+            self.metrics.on_preemption(*r);
+        }
+        // Swapped sequences survive in host DRAM; reattach them.
+        for (i, r) in swapped.iter().enumerate() {
+            let dest = fallback.unwrap_or_else(|| new_ids[i % new_ids.len()]);
+            self.requests[r.0].group = dest;
+            self.group_mut(dest).swapped.push(*r);
+        }
+
+        let overhead = simgpu::timing::remap_cost(ops, ops);
+        for &id in &new_ids {
+            self.pending_overhead.insert(id, overhead / new_ids.len().max(1) as u64);
+        }
+        self.metrics.on_reconfig(
+            now,
+            format!("failure: {failed} down, {} survivors restored", survivors.len()),
+        );
+        new_ids
+    }
+
+    // ------------------------------------------------------------------
+    // Transfer completion plumbing (called by the engine).
+    // ------------------------------------------------------------------
+
+    /// Applies one completed bulk transfer; returns the high-level event to
+    /// surface to the policy, if any.
+    pub fn apply_transfer_done(&mut self, job: JobId) -> Option<TransferEvent> {
+        let purpose = self.pending_transfers.remove(&job)?;
+        match purpose {
+            TransferPurpose::ExchangePart { batch } | TransferPurpose::RestorePart { batch } => {
+                let done = {
+                    let b = self.transfer_batches.get_mut(&batch).expect("batch exists");
+                    b.remaining -= 1;
+                    b.remaining == 0
+                };
+                if !done {
+                    return None;
+                }
+                let b = self.transfer_batches.remove(&batch).expect("batch exists");
+                match b.effect {
+                    BatchEffect::UnstallRequests(ids) => {
+                        let mut resumed = Vec::new();
+                        for r in ids {
+                            if self.requests[r.0].state
+                                == ReqState::Stalled(StallReason::KvExchange)
+                            {
+                                let gid = self.requests[r.0].group;
+                                if self.group_alive(gid) && self.group_mut(gid).unstall(r) {
+                                    self.requests[r.0].state = ReqState::Running;
+                                    resumed.push(r);
+                                }
+                            }
+                        }
+                        Some(TransferEvent::ExchangeDone { requests: resumed })
+                    }
+                    BatchEffect::ParamRestoreReady(group) => {
+                        Some(TransferEvent::ParamRestoreReady { group })
+                    }
+                }
+            }
+            TransferPurpose::Migration { request } => {
+                let gid = self.requests[request.0].group;
+                if self.group_alive(gid) && self.group_mut(gid).unstall(request) {
+                    self.requests[request.0].state = ReqState::Running;
+                }
+                Some(TransferEvent::MigrationDone { request })
+            }
+            TransferPurpose::SwapOut { request } => {
+                // Host-pool space was reserved at start; completion only
+                // frees the GPU-side blocks.
+                let gid = self.requests[request.0].group;
+                let key = Self::seq_key(request);
+                {
+                    let g = self.groups[gid.0].as_mut().expect("alive");
+                    g.blocks.free(key).expect("held until swap done");
+                    g.forget(request);
+                    g.swapped.push(request);
+                }
+                self.requests[request.0].state = ReqState::Swapped;
+                self.metrics.on_preemption(request);
+                Some(TransferEvent::SwapOutDone { request })
+            }
+            TransferPurpose::SwapIn { request } => {
+                let gid = self.requests[request.0].group;
+                if self.group_alive(gid) && self.group_mut(gid).unstall(request) {
+                    self.requests[request.0].state = ReqState::Running;
+                }
+                Some(TransferEvent::SwapInDone { request })
+            }
+        }
+    }
+
+    /// Takes (and clears) the pending start-up overhead of a group.
+    pub fn take_overhead(&mut self, group: GroupId) -> SimDuration {
+        self.pending_overhead.remove(&group).unwrap_or(SimDuration::ZERO)
+    }
+}

@@ -1,0 +1,122 @@
+//! Llumnix baseline: load-balanced KVCache migration (paper Fig. 3 (c)).
+//!
+//! Llumnix reduces per-instance overload by migrating running sequences
+//! from memory-pressured instances to relatively spare ones. This defeats
+//! *fragmentation* (one hot instance while another has room) but cannot
+//! create memory: under a cluster-wide burst every destination is also
+//! loaded, so queued requests still stall — the paper's §2.3 critique.
+
+use cluster::{ClusterState, GroupId, OomResolution, Policy, ReqState, RequestId};
+use sim_core::SimTime;
+
+/// The Llumnix-style migration policy.
+#[derive(Debug, Clone, Copy)]
+pub struct LlumnixPolicy {
+    /// A group is pressured above this demand/capacity ratio.
+    pub pressure_threshold: f64,
+    /// Destinations must stay below this ratio after receiving a sequence.
+    pub dest_threshold: f64,
+    /// Migrations started per group per tick.
+    pub max_migrations_per_tick: usize,
+}
+
+impl Default for LlumnixPolicy {
+    fn default() -> Self {
+        LlumnixPolicy {
+            pressure_threshold: 0.90,
+            dest_threshold: 0.80,
+            max_migrations_per_tick: 4,
+        }
+    }
+}
+
+impl LlumnixPolicy {
+    /// Least-loaded destination that can absorb `tokens` and stay under the
+    /// destination threshold.
+    fn find_dest(&self, state: &ClusterState, from: GroupId, tokens: u64) -> Option<GroupId> {
+        state
+            .alive_groups()
+            .into_iter()
+            .filter(|&g| g != from && !state.group(g).frozen)
+            .filter(|&g| {
+                let demand = state.group_demand_tokens(g) + tokens;
+                (demand as f64) < self.dest_threshold * state.group_capacity_tokens(g) as f64
+                    && state.group(g).blocks.can_allocate(tokens)
+            })
+            .min_by(|&a, &b| {
+                let load = |g: GroupId| {
+                    state.group_demand_tokens(g) as f64
+                        / state.group_capacity_tokens(g).max(1) as f64
+                };
+                load(a).partial_cmp(&load(b)).expect("finite")
+            })
+    }
+
+    /// Migrates up to `limit` youngest running sequences off `group`.
+    fn relieve(&self, state: &mut ClusterState, group: GroupId, now: SimTime, limit: usize) -> usize {
+        let mut victims: Vec<RequestId> = state
+            .group(group)
+            .running
+            .iter()
+            .copied()
+            .filter(|&r| state.request(r).state == ReqState::Running)
+            .collect();
+        victims.sort_by_key(|&r| std::cmp::Reverse(state.request(r).spec.arrival));
+        let mut moved = 0;
+        for r in victims.into_iter().take(limit) {
+            let tokens = state.request(r).kv_tokens().max(1);
+            let Some(dest) = self.find_dest(state, group, tokens) else { break };
+            if state.start_migration(r, dest, now) {
+                moved += 1;
+            }
+        }
+        moved
+    }
+}
+
+impl Policy for LlumnixPolicy {
+    fn name(&self) -> &'static str {
+        "Llumnix"
+    }
+
+    fn on_tick(&mut self, state: &mut ClusterState, now: SimTime) {
+        for g in state.alive_groups() {
+            let demand = state.group_demand_tokens(g) as f64;
+            let cap = state.group_capacity_tokens(g) as f64;
+            if demand > self.pressure_threshold * cap {
+                self.relieve(state, g, now, self.max_migrations_per_tick);
+            }
+        }
+    }
+
+    fn on_admission_blocked(&mut self, state: &mut ClusterState, now: SimTime, group: GroupId) {
+        self.relieve(state, group, now, self.max_migrations_per_tick);
+    }
+
+    fn on_decode_oom(
+        &mut self,
+        state: &mut ClusterState,
+        now: SimTime,
+        group: GroupId,
+        request: RequestId,
+    ) -> OomResolution {
+        // Try to move the youngest other sequence away; migration frees the
+        // source blocks immediately (destination pre-reserved), so retry.
+        let victim = state
+            .group(group)
+            .running
+            .iter()
+            .copied()
+            .filter(|&r| r != request && state.request(r).state == ReqState::Running)
+            .max_by_key(|&r| state.request(r).spec.arrival);
+        if let Some(v) = victim {
+            let tokens = state.request(v).kv_tokens().max(1);
+            if let Some(dest) = self.find_dest(state, group, tokens) {
+                if state.start_migration(v, dest, now) {
+                    return OomResolution::Retry;
+                }
+            }
+        }
+        OomResolution::GiveUp
+    }
+}

@@ -1,0 +1,19 @@
+//! The baseline systems of the paper's evaluation (§5.1), reimplemented
+//! over the shared serving substrate:
+//!
+//! - [`VllmPolicy`]: vLLM's default recompute preemption (drops KVCache of
+//!   victims and re-enqueues them) — Fig. 3 (a). The same policy serves the
+//!   vLLM (PP) configuration, which differs only in the cluster's static
+//!   `initial_group_size = 2`.
+//! - [`InferCeptPolicy`]: optimized swapping to host DRAM with overlapped
+//!   transfers — Fig. 3 (b).
+//! - [`LlumnixPolicy`]: load-balanced migration between instances —
+//!   Fig. 3 (c).
+
+pub mod intercept;
+pub mod llumnix;
+pub mod vllm;
+
+pub use intercept::InferCeptPolicy;
+pub use llumnix::LlumnixPolicy;
+pub use vllm::VllmPolicy;

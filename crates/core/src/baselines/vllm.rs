@@ -1,0 +1,44 @@
+//! vLLM baseline: recompute preemption (paper Fig. 3 (a)).
+//!
+//! vLLM's default overload reaction is to preempt the lowest-priority
+//! (youngest) running sequences, dropping their KVCache; they re-enter the
+//! queue head and recompute their prefill later. The engine's built-in
+//! [`cluster::OomResolution::GiveUp`] fallback implements exactly that, so
+//! the policy itself is nearly empty — the point of the mechanism/policy
+//! split.
+//!
+//! The vLLM (PP) configuration uses this same policy over a cluster built
+//! with `initial_group_size = 2`: half the parameters are statically
+//! dropped per instance and requests execute over a 2-stage pipeline with
+//! token-count microbatching.
+
+use cluster::Policy;
+
+/// The vLLM recompute-preemption policy (also used for vLLM-PP).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VllmPolicy {
+    /// Report the pipeline-parallel variant's name.
+    pub pipeline_variant: bool,
+}
+
+impl VllmPolicy {
+    /// Data-parallel vLLM (the default configuration).
+    pub fn dp() -> Self {
+        VllmPolicy { pipeline_variant: false }
+    }
+
+    /// Pipeline-parallel vLLM (half parameters per instance).
+    pub fn pp() -> Self {
+        VllmPolicy { pipeline_variant: true }
+    }
+}
+
+impl Policy for VllmPolicy {
+    fn name(&self) -> &'static str {
+        if self.pipeline_variant {
+            "vLLM (PP)"
+        } else {
+            "vLLM (DP)"
+        }
+    }
+}

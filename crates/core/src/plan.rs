@@ -1,0 +1,202 @@
+//! Drop-plan generation (paper §4.1, Fig. 6).
+//!
+//! Upon overloading, KunServe must decide *which* instances drop *which*
+//! parameters. Two constraints pull in opposite directions: merging more
+//! instances frees more duplicated parameter memory, but deeper pipelines
+//! cost more (Fig. 5: "the more parameters dropped, the higher the execution
+//! latency"). The paper's greedy algorithm merges the **two smallest groups
+//! first** (a min-heap by group size) until the freed memory satisfies the
+//! requirement, minimizing the number of instances cooperating on any one
+//! request.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cluster::GroupId;
+
+/// One group considered by the planner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanGroup {
+    /// The group's id.
+    pub id: GroupId,
+    /// Number of instances in the group (pipeline stages).
+    pub instances: u32,
+}
+
+/// The outcome of drop-plan generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropPlan {
+    /// Sets of existing groups to merge, each becoming one pipeline group.
+    /// Singleton sets (groups left alone) are omitted.
+    pub merges: Vec<Vec<GroupId>>,
+    /// Parameter bytes the plan frees.
+    pub freed_bytes: u64,
+    /// Whether the plan satisfies the full memory requirement; if `false`
+    /// the caller should fall back to KVCache-centric handling for the
+    /// remainder (paper: "we fallback ... and autoscale").
+    pub satisfies: bool,
+}
+
+impl DropPlan {
+    /// Largest merged-group size the plan produces (max pipeline depth).
+    pub fn max_stages(&self, sizes: impl Fn(GroupId) -> u32) -> u32 {
+        self.merges.iter().map(|m| m.iter().map(|&g| sizes(g)).sum()).max().unwrap_or(0)
+    }
+}
+
+/// The greedy drop planner.
+///
+/// `copy_bytes` is the memory one duplicated parameter copy occupies — every
+/// merge of two groups (each holding one complete copy) frees exactly one
+/// copy's worth of droppable layer parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DropPlanner {
+    /// Bytes freed per eliminated parameter copy (droppable layers only;
+    /// embeddings stay resident on every instance).
+    pub copy_bytes: u64,
+}
+
+impl DropPlanner {
+    /// Creates a planner for a model whose droppable layers total
+    /// `copy_bytes`.
+    pub fn new(copy_bytes: u64) -> Self {
+        DropPlanner { copy_bytes }
+    }
+
+    /// Generates a drop plan freeing at least `required` bytes if possible.
+    ///
+    /// Implements Fig. 6: a min-heap of groups ordered by instance count;
+    /// repeatedly pop the two smallest, merge them (freeing one duplicated
+    /// copy), push the merged group back, until the requirement is met or
+    /// one group remains. `O(N log N)`.
+    pub fn plan(&self, groups: &[PlanGroup], required: u64) -> DropPlan {
+        // Min-heap entries: (instances, insertion order, constituent ids).
+        let mut heap: BinaryHeap<Reverse<(u32, u64, Vec<GroupId>)>> = BinaryHeap::new();
+        for (i, g) in groups.iter().enumerate() {
+            heap.push(Reverse((g.instances, i as u64, vec![g.id])));
+        }
+        let mut next_seq = groups.len() as u64;
+        let mut freed = 0u64;
+        while heap.len() >= 2 && freed < required {
+            let Reverse((s0, _, ids0)) = heap.pop().expect("len >= 2");
+            let Reverse((s1, _, ids1)) = heap.pop().expect("len >= 2");
+            // The two groups each hold a complete copy; merging drops the
+            // duplicated layers — one full copy freed.
+            freed += self.copy_bytes;
+            let mut merged = ids0;
+            merged.extend(ids1);
+            heap.push(Reverse((s0 + s1, next_seq, merged)));
+            next_seq += 1;
+        }
+        let merges: Vec<Vec<GroupId>> = heap
+            .into_iter()
+            .map(|Reverse((_, _, ids))| ids)
+            .filter(|ids| ids.len() >= 2)
+            .collect();
+        let mut merges = merges;
+        // Deterministic output order: by smallest constituent id.
+        merges.sort_by_key(|ids| ids.iter().copied().min());
+        DropPlan { merges, freed_bytes: freed, satisfies: freed >= required }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn groups(sizes: &[u32]) -> Vec<PlanGroup> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| PlanGroup { id: GroupId(i), instances: s })
+            .collect()
+    }
+
+    const COPY: u64 = 100;
+
+    #[test]
+    fn zero_requirement_drops_nothing() {
+        let plan = DropPlanner::new(COPY).plan(&groups(&[1, 1, 1, 1]), 0);
+        assert!(plan.merges.is_empty());
+        assert_eq!(plan.freed_bytes, 0);
+        assert!(plan.satisfies);
+    }
+
+    #[test]
+    fn one_copy_requirement_merges_one_pair() {
+        let plan = DropPlanner::new(COPY).plan(&groups(&[1, 1, 1, 1]), 1);
+        assert_eq!(plan.merges.len(), 1);
+        assert_eq!(plan.merges[0].len(), 2);
+        assert_eq!(plan.freed_bytes, COPY);
+        assert!(plan.satisfies);
+    }
+
+    #[test]
+    fn larger_requirement_merges_more_pairs() {
+        // Needing 2 copies from 4 singleton groups: merge two pairs (the
+        // greedy pops two smallest each round; after the first merge the
+        // pair has size 2, so the next round merges the remaining two 1s).
+        let plan = DropPlanner::new(COPY).plan(&groups(&[1, 1, 1, 1]), 2 * COPY);
+        assert_eq!(plan.freed_bytes, 2 * COPY);
+        assert!(plan.satisfies);
+        assert_eq!(plan.merges.len(), 2, "two pairs beat one deep chain");
+        assert!(plan.merges.iter().all(|m| m.len() == 2));
+    }
+
+    #[test]
+    fn paper_example_smallest_groups_merge_first() {
+        // §4.1: "if there are three groups with sizes of 1, 2, and 3, we
+        // will select the two groups with sizes of 1 and 2".
+        let plan = DropPlanner::new(COPY).plan(&groups(&[3, 1, 2]), 1);
+        assert_eq!(plan.merges.len(), 1);
+        let merged = &plan.merges[0];
+        assert_eq!(merged.len(), 2);
+        assert!(merged.contains(&GroupId(1)) && merged.contains(&GroupId(2)));
+    }
+
+    #[test]
+    fn exhausting_all_groups_reports_unsatisfied() {
+        // 4 groups can free at most 3 copies.
+        let plan = DropPlanner::new(COPY).plan(&groups(&[1, 1, 1, 1]), 10 * COPY);
+        assert_eq!(plan.freed_bytes, 3 * COPY);
+        assert!(!plan.satisfies, "must signal the fallback path");
+        assert_eq!(plan.merges.len(), 1);
+        assert_eq!(plan.merges[0].len(), 4, "everything merged into one group");
+    }
+
+    #[test]
+    fn single_group_cannot_drop() {
+        let plan = DropPlanner::new(COPY).plan(&groups(&[4]), 1);
+        assert!(plan.merges.is_empty());
+        assert_eq!(plan.freed_bytes, 0);
+        assert!(!plan.satisfies);
+    }
+
+    #[test]
+    fn max_stages_tracks_pipeline_depth() {
+        let gs = groups(&[1, 1, 1, 1]);
+        let plan = DropPlanner::new(COPY).plan(&gs, 2 * COPY);
+        let depth = plan.max_stages(|_| 1);
+        assert_eq!(depth, 2, "pairs keep pipelines shallow");
+        let plan_deep = DropPlanner::new(COPY).plan(&gs, 3 * COPY);
+        assert_eq!(plan_deep.max_stages(|_| 1), 4);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let gs = groups(&[2, 1, 1, 2, 1, 1]);
+        let a = DropPlanner::new(COPY).plan(&gs, 3 * COPY);
+        let b = DropPlanner::new(COPY).plan(&gs, 3 * COPY);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scales_to_large_clusters_quickly() {
+        // O(N log N) claim: 10k groups plan in well under a second.
+        let gs = groups(&vec![1u32; 10_000]);
+        let t0 = std::time::Instant::now();
+        let plan = DropPlanner::new(COPY).plan(&gs, 5_000 * COPY);
+        assert!(plan.satisfies);
+        assert!(t0.elapsed().as_millis() < 1_000, "planning took {:?}", t0.elapsed());
+    }
+}

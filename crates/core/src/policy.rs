@@ -1,0 +1,271 @@
+//! The KunServe policy: detection, drop, coordinated exchange, lookahead
+//! scheduling and dynamic restore (paper §3–§4).
+
+use std::collections::HashSet;
+
+use cluster::{ClusterState, GroupId, MicroBatch, Policy, RequestId, SeqChunk, TransferEvent};
+use sim_core::SimTime;
+
+use crate::lookahead::balance_microbatches;
+use crate::plan::{DropPlanner, PlanGroup};
+
+/// Feature flags and thresholds of the KunServe policy.
+///
+/// The three booleans correspond to the ablation levels of paper Fig. 14:
+/// `+Dynamic drop`, `+Coordinated ex.`, `+Lookahead`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KunServeConfig {
+    /// Enable online parameter dropping on overload (§4.1).
+    pub dynamic_drop: bool,
+    /// Enable coordinated (chunked, activation-priority) KVCache exchange
+    /// (§4.2); off = one monolithic transfer that stalls activations.
+    pub coordinated_exchange: bool,
+    /// Enable cost-balanced lookahead microbatch formation (§4.3);
+    /// off = token-count balancing.
+    pub lookahead: bool,
+    /// Enable dynamic parameter restoration when demand subsides (§4.4).
+    pub restore: bool,
+    /// A group is overloaded when `demand > threshold × capacity`.
+    pub overload_threshold: f64,
+    /// Restore when a merged group's demand drops below
+    /// `threshold × no-drop capacity` (the paper uses 50 %).
+    pub restore_threshold: f64,
+    /// Headroom multiplier applied to the computed memory requirement.
+    pub requirement_margin: f64,
+    /// Lookahead recursion halt threshold in tokens (Fig. 11 `MIN`).
+    pub min_batch_tokens: u64,
+    /// Monitor ticks the overload must persist before a drop triggers
+    /// (debounces transient spikes the baseline absorbs by itself).
+    pub sustain_ticks: u32,
+}
+
+impl Default for KunServeConfig {
+    fn default() -> Self {
+        KunServeConfig {
+            dynamic_drop: true,
+            coordinated_exchange: true,
+            lookahead: true,
+            restore: true,
+            overload_threshold: 0.98,
+            restore_threshold: 0.50,
+            requirement_margin: 1.2,
+            min_batch_tokens: 256,
+            sustain_ticks: 2,
+        }
+    }
+}
+
+impl KunServeConfig {
+    /// Fig. 14 ablation level 1: dynamic drop only.
+    pub fn drop_only() -> Self {
+        KunServeConfig {
+            coordinated_exchange: false,
+            lookahead: false,
+            ..KunServeConfig::default()
+        }
+    }
+
+    /// Fig. 14 ablation level 2: drop + coordinated exchange.
+    pub fn drop_and_coordinated() -> Self {
+        KunServeConfig { lookahead: false, ..KunServeConfig::default() }
+    }
+
+    /// Fig. 16 variant: never restore parameters after a drop.
+    pub fn without_restore() -> Self {
+        KunServeConfig { restore: false, ..KunServeConfig::default() }
+    }
+}
+
+/// The KunServe serving policy.
+#[derive(Debug)]
+pub struct KunServePolicy {
+    cfg: KunServeConfig,
+    restoring: HashSet<GroupId>,
+    network_configured: bool,
+    overloaded_ticks: u32,
+    /// Drop events triggered, for reporting.
+    pub drops_triggered: u32,
+    /// Restore events triggered, for reporting.
+    pub restores_triggered: u32,
+}
+
+impl KunServePolicy {
+    /// Creates the policy with the given configuration.
+    pub fn new(cfg: KunServeConfig) -> Self {
+        KunServePolicy {
+            cfg,
+            restoring: HashSet::new(),
+            network_configured: false,
+            overloaded_ticks: 0,
+            drops_triggered: 0,
+            restores_triggered: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &KunServeConfig {
+        &self.cfg
+    }
+
+    fn configure_network(&mut self, state: &mut ClusterState) {
+        if !self.network_configured {
+            state.network.set_coordinated(self.cfg.coordinated_exchange);
+            self.network_configured = true;
+        }
+    }
+
+    /// Bytes one duplicated parameter copy frees (droppable layers only).
+    fn copy_bytes(state: &ClusterState) -> u64 {
+        state.cfg.model.layer_param_bytes() * state.cfg.model.num_layers as u64
+    }
+
+    /// Memory requirement R (§4.1 line 1): the queued + admitted demand
+    /// exceeding what the overloaded groups can hold, in bytes.
+    fn required_bytes(&self, state: &ClusterState) -> u64 {
+        let kv = state.cfg.model.kv_bytes_per_token();
+        let mut required: u64 = 0;
+        for g in state.alive_groups() {
+            let demand = state.group_demand_tokens(g) as f64;
+            let cap = state.group_capacity_tokens(g) as f64;
+            if demand > cap * self.cfg.overload_threshold {
+                required += ((demand - cap * self.cfg.overload_threshold) * kv as f64) as u64;
+            }
+        }
+        required
+    }
+
+    /// Detects overload and requests merges per the Fig. 6 plan. Returns
+    /// `true` if a drop was initiated.
+    fn maybe_drop(&mut self, state: &mut ClusterState, _now: SimTime) -> bool {
+        if !self.cfg.dynamic_drop || state.has_pending_reconfigs() {
+            return false;
+        }
+        let required = self.required_bytes(state);
+        if required == 0 {
+            return false;
+        }
+        let required = (required as f64 * self.cfg.requirement_margin) as u64;
+        // Candidates: every live, unfrozen group not mid-restore.
+        let candidates: Vec<PlanGroup> = state
+            .alive_groups()
+            .into_iter()
+            .filter(|&g| !state.group(g).frozen && !self.restoring.contains(&g))
+            .map(|g| PlanGroup { id: g, instances: state.group(g).members.len() as u32 })
+            .collect();
+        if candidates.len() < 2 {
+            return false; // fully merged: fall back to KVCache-centric
+        }
+        let plan = DropPlanner::new(Self::copy_bytes(state)).plan(&candidates, required);
+        if plan.merges.is_empty() {
+            return false;
+        }
+        for merge in &plan.merges {
+            state.request_merge(merge.clone());
+        }
+        self.drops_triggered += 1;
+        true
+    }
+
+    /// Detects demand subsiding and starts background parameter pulls
+    /// (§4.4). The split is requested when the pulls complete.
+    fn maybe_restore(&mut self, state: &mut ClusterState, now: SimTime) {
+        if !self.cfg.restore || state.has_pending_reconfigs() {
+            return;
+        }
+        self.restoring.retain(|&g| state.group_alive(g));
+        let kv = state.cfg.model.kv_bytes_per_token();
+        for g in state.alive_groups() {
+            let group = state.group(g);
+            if group.stages() < 2 || group.frozen || self.restoring.contains(&g) {
+                continue;
+            }
+            let base_tokens: u64 = group
+                .members
+                .iter()
+                .map(|&m| state.instances[m.0 as usize].kv_base_bytes() / kv)
+                .sum();
+            let demand = state.group_demand_tokens(g);
+            if (demand as f64) < self.cfg.restore_threshold * base_tokens as f64
+                && state.start_param_restore(g, now)
+            {
+                self.restoring.insert(g);
+                self.restores_triggered += 1;
+            }
+        }
+    }
+}
+
+impl Policy for KunServePolicy {
+    fn name(&self) -> &'static str {
+        "KunServe"
+    }
+
+    fn on_tick(&mut self, state: &mut ClusterState, now: SimTime) {
+        self.configure_network(state);
+        // Debounce: drop only when the overload persists across monitor
+        // ticks; one-tick spikes are absorbed by normal queuing.
+        if self.required_bytes(state) > 0 {
+            self.overloaded_ticks += 1;
+        } else {
+            self.overloaded_ticks = 0;
+        }
+        if self.overloaded_ticks >= self.cfg.sustain_ticks {
+            if self.maybe_drop(state, now) {
+                self.overloaded_ticks = 0;
+            }
+        }
+        self.maybe_restore(state, now);
+    }
+
+    fn on_admission_blocked(&mut self, state: &mut ClusterState, now: SimTime, _group: GroupId) {
+        self.configure_network(state);
+        self.maybe_drop(state, now);
+    }
+
+    fn on_decode_oom(
+        &mut self,
+        state: &mut ClusterState,
+        now: SimTime,
+        _group: GroupId,
+        _request: RequestId,
+    ) -> cluster::OomResolution {
+        self.configure_network(state);
+        if self.maybe_drop(state, now) || state.has_pending_reconfigs() {
+            // More memory is on the way; skip this decode step.
+            return cluster::OomResolution::SkipIteration;
+        }
+        // Fully merged and still short: fall back to KVCache-centric
+        // handling (§4.1: "we fallback to the KVCache-centric solution").
+        cluster::OomResolution::GiveUp
+    }
+
+    fn form_microbatches(
+        &self,
+        state: &ClusterState,
+        group: GroupId,
+        work: &[SeqChunk],
+    ) -> Vec<MicroBatch> {
+        let stages = state.group(group).stages();
+        let target_mbs = (stages * state.cfg.microbatches_per_stage as usize).max(1) as u64;
+        if self.cfg.lookahead {
+            // Fig. 11's MIN: "derived by dividing total token numbers" —
+            // halting at total/m yields roughly m cost-balanced leaves.
+            let total: u64 = work.iter().map(|c| c.work.new_tokens).sum();
+            let min_tokens = (total / target_mbs).max(self.cfg.min_batch_tokens);
+            let mbs = balance_microbatches(work, &state.cost_model, min_tokens);
+            if !mbs.is_empty() {
+                return mbs;
+            }
+        }
+        cluster::token_count_form(work, target_mbs as usize)
+    }
+
+    fn on_transfer_done(&mut self, state: &mut ClusterState, _now: SimTime, event: &TransferEvent) {
+        if let TransferEvent::ParamRestoreReady { group } = event {
+            self.restoring.remove(group);
+            if state.group_alive(*group) {
+                state.request_split(*group);
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Offline profiling and least-squares fitting (paper §4.3).
+//!
+//! "Our model depends on several hyperparameters (e.g., α) that can be
+//! determined through offline profiling: before the system is deployed for
+//! serving, we run multiple inference samples offline, collect their
+//! execution times, and then use the least squares method to determine all
+//! hyperparameters."
+//!
+//! Eq. 1 is linear in `(α, β, γ)` given the features `(p·c + (c²+c)/2, c,
+//! 1)`, so ordinary least squares over single-chunk samples recovers them;
+//! `λ` is then fitted from multi-chunk batches.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::ground_truth::GroundTruth;
+use crate::model::{ChunkWork, CostParams, TokenCountModel};
+
+/// Solves the linear system `A·x = b` for small `n` with partial pivoting.
+///
+/// Returns `None` when the system is singular.
+fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+/// Ordinary least squares: finds `w` minimizing `‖X·w − y‖²` via the normal
+/// equations. `xs[i]` is the feature row of sample `i`.
+fn ols(xs: &[Vec<f64>], ys: &[f64]) -> Option<Vec<f64>> {
+    let n = xs.first()?.len();
+    let mut xtx = vec![vec![0.0; n]; n];
+    let mut xty = vec![0.0; n];
+    for (x, &y) in xs.iter().zip(ys) {
+        for i in 0..n {
+            for j in 0..n {
+                xtx[i][j] += x[i] * x[j];
+            }
+            xty[i] += x[i] * y;
+        }
+    }
+    solve_linear(xtx, xty)
+}
+
+/// Fits `(α, β, γ)` from single-chunk samples `(work, measured_us)`.
+///
+/// `λ` is initialized to `0.8·γ` pending [`fit_lambda`]. Returns `None` if
+/// the samples do not span enough feature diversity.
+pub fn fit_chunk_params(samples: &[(ChunkWork, f64)]) -> Option<CostParams> {
+    let xs: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|(w, _)| vec![w.attention_feature(), w.new_tokens as f64, 1.0])
+        .collect();
+    let ys: Vec<f64> = samples.iter().map(|&(_, y)| y).collect();
+    let w = ols(&xs, &ys)?;
+    let gamma = w[2].max(0.0);
+    Some(CostParams {
+        alpha_us: w[0].max(0.0),
+        beta_us: w[1].max(0.0),
+        gamma_us: gamma,
+        lambda_us: 0.8 * gamma,
+    })
+}
+
+/// Fits `λ` from multi-chunk batch samples `(chunks, measured_us)`, given
+/// already-fitted `(α, β, γ)`.
+///
+/// Eq. 3 gives `λ = (Σ chunk_costs − measured) / (n − 1)`; the estimate is
+/// averaged over all batches with at least two chunks.
+pub fn fit_lambda(params: &CostParams, samples: &[(Vec<ChunkWork>, f64)]) -> Option<f64> {
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (chunks, measured) in samples {
+        if chunks.len() < 2 {
+            continue;
+        }
+        let sum: f64 = chunks.iter().map(|&c| params.chunk_cost_us(c)).sum();
+        acc += (sum - measured) / (chunks.len() as f64 - 1.0);
+        n += 1;
+    }
+    if n == 0 {
+        return None;
+    }
+    Some((acc / n as f64).clamp(0.0, params.gamma_us))
+}
+
+/// Fits the attention-blind baseline (`time = a·tokens + b`) used as the
+/// Figure 15 comparison point.
+pub fn fit_token_count_model(samples: &[(ChunkWork, f64)]) -> Option<TokenCountModel> {
+    let xs: Vec<Vec<f64>> =
+        samples.iter().map(|(w, _)| vec![w.new_tokens as f64, 1.0]).collect();
+    let ys: Vec<f64> = samples.iter().map(|&(_, y)| y).collect();
+    let w = ols(&xs, &ys)?;
+    Some(TokenCountModel { per_token_us: w[0].max(0.0), fixed_us: w[1].max(0.0) })
+}
+
+/// Offline profiler: runs inference samples against a [`GroundTruth`] and
+/// fits all hyperparameters, mirroring the paper's deployment flow.
+#[derive(Debug)]
+pub struct Profiler {
+    ground_truth: GroundTruth,
+    rng: SmallRng,
+}
+
+impl Profiler {
+    /// Creates a profiler over `ground_truth` with a deterministic seed.
+    pub fn new(ground_truth: GroundTruth, seed: u64) -> Self {
+        Profiler { ground_truth, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Collects single-chunk profile samples over a grid of prompt and
+    /// prefix lengths (the paper profiles "multiple inference samples").
+    pub fn profile_chunks(&mut self) -> Vec<(ChunkWork, f64)> {
+        let mut samples = Vec::new();
+        let lens = [16u64, 64, 128, 256, 512, 1024, 2048, 3072, 4096, 6144, 8192];
+        let prefixes = [0u64, 256, 512, 1024, 2048, 4096, 8192];
+        for &c in &lens {
+            for &p in &prefixes {
+                for _ in 0..3 {
+                    let w = ChunkWork { prefix_tokens: p, new_tokens: c };
+                    let t = self.ground_truth.sample_us(&[w], 1.0, &mut self.rng);
+                    samples.push((w, t));
+                }
+            }
+        }
+        samples
+    }
+
+    /// Collects multi-chunk batch samples for λ fitting.
+    pub fn profile_batches(&mut self) -> Vec<(Vec<ChunkWork>, f64)> {
+        let mut samples = Vec::new();
+        for n in [2usize, 4, 8, 16, 32] {
+            for &c in &[32u64, 128, 512] {
+                let chunks: Vec<ChunkWork> =
+                    (0..n).map(|i| ChunkWork { prefix_tokens: (i as u64) * 64, new_tokens: c }).collect();
+                let t = self.ground_truth.sample_us(&chunks, 1.0, &mut self.rng);
+                samples.push((chunks, t));
+            }
+        }
+        samples
+    }
+
+    /// Runs the full offline-profiling flow and returns the fitted model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fitting fails, which cannot happen with the built-in grids.
+    pub fn fit(&mut self) -> CostParams {
+        let chunk_samples = self.profile_chunks();
+        let mut params = fit_chunk_params(&chunk_samples).expect("grid spans feature space");
+        let batch_samples = self.profile_batches();
+        if let Some(lambda) = fit_lambda(&params, &batch_samples) {
+            params.lambda_us = lambda;
+        }
+        params
+    }
+
+    /// Fits the attention-blind baseline from the same profile, restricted
+    /// to short sequences (where such models are typically calibrated).
+    pub fn fit_token_count_baseline(&mut self) -> TokenCountModel {
+        let samples: Vec<(ChunkWork, f64)> = self
+            .profile_chunks()
+            .into_iter()
+            .filter(|(w, _)| w.prefix_tokens == 0 && w.new_tokens <= 2048)
+            .collect();
+        fit_token_count_model(&samples).expect("grid spans feature space")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_handles_known_system() {
+        // x + 2y = 5; 3x - y = 1  →  x = 1, y = 2.
+        let a = vec![vec![1.0, 2.0], vec![3.0, -1.0]];
+        let x = solve_linear(a, vec![5.0, 1.0]).expect("non-singular");
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solver_rejects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn fit_recovers_exact_synthetic_params() {
+        // Noise-free samples generated directly from Eq. 1 must be recovered
+        // almost exactly.
+        let truth = CostParams { alpha_us: 0.017, beta_us: 88.0, gamma_us: 1_700.0, lambda_us: 0.0 };
+        let mut samples = Vec::new();
+        for c in [16u64, 64, 256, 1024, 4096] {
+            for p in [0u64, 512, 2048, 8192] {
+                let w = ChunkWork { prefix_tokens: p, new_tokens: c };
+                samples.push((w, truth.chunk_cost_us(w)));
+            }
+        }
+        let fitted = fit_chunk_params(&samples).expect("fit");
+        assert!((fitted.alpha_us - truth.alpha_us).abs() / truth.alpha_us < 1e-6);
+        assert!((fitted.beta_us - truth.beta_us).abs() / truth.beta_us < 1e-6);
+        assert!((fitted.gamma_us - truth.gamma_us).abs() / truth.gamma_us < 1e-6);
+    }
+
+    #[test]
+    fn fit_lambda_recovers_dedup() {
+        let truth = CostParams { alpha_us: 0.01, beta_us: 90.0, gamma_us: 1_500.0, lambda_us: 1_100.0 };
+        let mut batches = Vec::new();
+        for n in [2usize, 4, 8] {
+            let chunks: Vec<ChunkWork> = (0..n).map(|_| ChunkWork::prefill(128)).collect();
+            batches.push((chunks.clone(), truth.batch_cost_us(&chunks)));
+        }
+        let lambda = fit_lambda(&truth, &batches).expect("fit");
+        assert!((lambda - truth.lambda_us).abs() < 1e-6);
+        // Single-chunk batches alone cannot identify λ.
+        let singles = vec![(vec![ChunkWork::prefill(64)], 0.0)];
+        assert!(fit_lambda(&truth, &singles).is_none());
+    }
+
+    #[test]
+    fn profiler_fit_predicts_ground_truth_within_5_percent() {
+        // The Figure 15 headline: "our cost model shows less than 5%
+        // deviation" on common sequence lengths.
+        let gt = GroundTruth::qwen14b_a800();
+        let mut profiler = Profiler::new(gt.clone(), 42);
+        let fitted = profiler.fit();
+        for &(p, c) in
+            &[(0u64, 512u64), (0, 1024), (0, 2048), (0, 4096), (0, 8192), (2048, 512), (4096, 1024)]
+        {
+            let w = ChunkWork { prefix_tokens: p, new_tokens: c };
+            let actual = gt.expected_us(&[w], 1.0);
+            let predicted = fitted.chunk_cost_us(w);
+            let dev = (predicted - actual).abs() / actual;
+            assert!(dev < 0.05, "p={p} c={c}: deviation {:.1}%", dev * 100.0);
+        }
+    }
+
+    #[test]
+    fn token_count_baseline_degrades_at_long_lengths() {
+        // The Figure 15 contrast: the attention-blind model is off by tens of
+        // percent at 8K, and worse with prefix attention.
+        let gt = GroundTruth::qwen14b_a800();
+        let mut profiler = Profiler::new(gt.clone(), 42);
+        let baseline = profiler.fit_token_count_baseline();
+
+        let w8k = ChunkWork::prefill(8192);
+        let actual = gt.expected_us(&[w8k], 1.0);
+        let predicted = baseline.batch_cost_us(&[w8k]);
+        let dev = (predicted - actual).abs() / actual;
+        assert!(dev > 0.10, "8K no-prefix deviation only {:.1}%", dev * 100.0);
+
+        let w_prefix = ChunkWork { prefix_tokens: 8192, new_tokens: 512 };
+        let actual_p = gt.expected_us(&[w_prefix], 1.0);
+        let predicted_p = baseline.batch_cost_us(&[w_prefix]);
+        let dev_p = (predicted_p - actual_p).abs() / actual_p;
+        assert!(dev_p > dev, "prefix-attention deviation must be worse");
+        assert!(dev_p > 0.30, "8K-prefix deviation only {:.1}%", dev_p * 100.0);
+    }
+
+    #[test]
+    fn fitting_is_deterministic_per_seed() {
+        let gt = GroundTruth::qwen14b_a800();
+        let a = Profiler::new(gt.clone(), 5).fit();
+        let b = Profiler::new(gt, 5).fit();
+        assert_eq!(a, b);
+    }
+}

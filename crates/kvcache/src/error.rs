@@ -1,0 +1,56 @@
+//! Error type for KVCache block management.
+
+use std::fmt;
+
+/// Failures of the paged block manager and swap pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// Not enough free blocks for the request.
+    OutOfBlocks {
+        /// Blocks needed to satisfy the request.
+        needed: u32,
+        /// Blocks currently free.
+        free: u32,
+    },
+    /// The sequence key has no block table.
+    UnknownSeq,
+    /// The sequence already has a block table.
+    AlreadyAllocated,
+    /// Shrinking would drop below the blocks currently in use.
+    ShrinkBelowUsage {
+        /// Blocks in use.
+        used: u32,
+        /// Capacity requested.
+        requested: u32,
+    },
+    /// The host swap pool is full.
+    SwapPoolFull {
+        /// Blocks needed in the host pool.
+        needed: u32,
+        /// Blocks free in the host pool.
+        free: u32,
+    },
+    /// The sequence is not swapped out.
+    NotSwapped,
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::OutOfBlocks { needed, free } => {
+                write!(f, "out of KV blocks: need {needed}, {free} free")
+            }
+            KvError::UnknownSeq => write!(f, "unknown sequence"),
+            KvError::AlreadyAllocated => write!(f, "sequence already allocated"),
+            KvError::ShrinkBelowUsage { used, requested } => {
+                write!(f, "cannot shrink to {requested} blocks: {used} in use")
+            }
+            KvError::SwapPoolFull { needed, free } => {
+                write!(f, "host swap pool full: need {needed}, {free} free")
+            }
+            KvError::NotSwapped => write!(f, "sequence is not swapped out"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}

@@ -1,0 +1,36 @@
+//! Paged KVCache block management (the vLLM-style substrate).
+//!
+//! LLM serving keeps per-request KVCache in fixed-size *blocks* of token
+//! slots (the paper tunes 64 tokens/block, §5.1). This crate implements the
+//! block manager the serving engine allocates from:
+//!
+//! - [`BlockManager`]: free-list allocator with per-sequence block tables,
+//!   prompt allocation, per-token decode growth, and **live resizing** — the
+//!   capacity grows when KunServe remaps dropped parameter memory into the
+//!   KVCache region and shrinks again on restore.
+//! - [`HostSwapPool`]: host-DRAM staging area used by the swap baseline
+//!   (InferCept) and by fault-tolerant parameter restoration.
+//!
+//! # Examples
+//!
+//! ```
+//! use kvcache::{BlockManager, SeqKey};
+//!
+//! let mut mgr = BlockManager::new(100, 64);
+//! mgr.allocate(SeqKey(1), 130).unwrap(); // 3 blocks for a 130-token prompt
+//! assert_eq!(mgr.used_blocks(), 3);
+//! let grew = mgr.append_tokens(SeqKey(1), 62).unwrap();
+//! assert_eq!(grew, 0); // fits in the third block's slack
+//! assert_eq!(mgr.free(SeqKey(1)).unwrap(), 192);
+//! ```
+
+pub mod error;
+pub mod manager;
+pub mod swap;
+
+pub use error::KvError;
+pub use manager::{BlockId, BlockManager, SeqKey};
+pub use swap::HostSwapPool;
+
+/// Convenience alias for fallible KVCache operations.
+pub type Result<T> = std::result::Result<T, KvError>;

@@ -1,0 +1,308 @@
+//! The paged block manager.
+
+use std::collections::HashMap;
+
+use crate::error::KvError;
+use crate::Result;
+
+/// Identifier of one KVCache block (a fixed number of token slots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Opaque key identifying a sequence in the block manager.
+///
+/// The serving layer maps its request/sequence ids onto these keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeqKey(pub u64);
+
+#[derive(Debug, Clone)]
+struct BlockTable {
+    blocks: Vec<BlockId>,
+    tokens: u64,
+}
+
+/// A paged KVCache allocator with per-sequence block tables.
+///
+/// Capacity is measured in blocks of `block_tokens` token slots. The
+/// capacity can be **resized live**: growing models KunServe's remapping of
+/// freed parameter memory into the KVCache region; shrinking (used on
+/// restore) fails unless enough blocks are free.
+#[derive(Debug, Clone)]
+pub struct BlockManager {
+    capacity: u32,
+    block_tokens: u32,
+    next_free: u32,
+    recycled: Vec<BlockId>,
+    tables: HashMap<SeqKey, BlockTable>,
+    used: u32,
+}
+
+impl BlockManager {
+    /// Creates a manager with `capacity` blocks of `block_tokens` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` is zero.
+    pub fn new(capacity: u32, block_tokens: u32) -> Self {
+        assert!(block_tokens > 0, "block size must be positive");
+        BlockManager {
+            capacity,
+            block_tokens,
+            next_free: 0,
+            recycled: Vec::new(),
+            tables: HashMap::new(),
+            used: 0,
+        }
+    }
+
+    /// Token slots per block.
+    pub fn block_tokens(&self) -> u32 {
+        self.block_tokens
+    }
+
+    /// Total capacity in blocks.
+    pub fn capacity_blocks(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Total capacity in token slots.
+    pub fn capacity_tokens(&self) -> u64 {
+        self.capacity as u64 * self.block_tokens as u64
+    }
+
+    /// Blocks currently allocated to sequences.
+    pub fn used_blocks(&self) -> u32 {
+        self.used
+    }
+
+    /// Blocks currently free.
+    pub fn free_blocks(&self) -> u32 {
+        self.capacity - self.used
+    }
+
+    /// Tokens currently stored across all sequences.
+    pub fn used_tokens(&self) -> u64 {
+        self.tables.values().map(|t| t.tokens).sum()
+    }
+
+    /// Internal fragmentation: allocated slots minus stored tokens.
+    pub fn fragmentation_tokens(&self) -> u64 {
+        self.used as u64 * self.block_tokens as u64 - self.used_tokens()
+    }
+
+    /// Number of sequences with live block tables.
+    pub fn num_seqs(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Blocks needed to store `tokens` tokens.
+    pub fn blocks_for(&self, tokens: u64) -> u32 {
+        tokens.div_ceil(self.block_tokens as u64) as u32
+    }
+
+    /// Returns `true` if `tokens` more tokens could be allocated right now
+    /// for a new sequence.
+    pub fn can_allocate(&self, tokens: u64) -> bool {
+        self.blocks_for(tokens) <= self.free_blocks()
+    }
+
+    /// Returns `true` if the sequence has a block table.
+    pub fn contains(&self, seq: SeqKey) -> bool {
+        self.tables.contains_key(&seq)
+    }
+
+    /// Tokens stored for `seq`.
+    pub fn tokens_of(&self, seq: SeqKey) -> Result<u64> {
+        self.tables.get(&seq).map(|t| t.tokens).ok_or(KvError::UnknownSeq)
+    }
+
+    /// Blocks held by `seq`.
+    pub fn blocks_of(&self, seq: SeqKey) -> Result<u32> {
+        self.tables.get(&seq).map(|t| t.blocks.len() as u32).ok_or(KvError::UnknownSeq)
+    }
+
+    /// Allocates a fresh block table holding `tokens` tokens (prompt
+    /// admission).
+    pub fn allocate(&mut self, seq: SeqKey, tokens: u64) -> Result<()> {
+        if self.tables.contains_key(&seq) {
+            return Err(KvError::AlreadyAllocated);
+        }
+        let needed = self.blocks_for(tokens);
+        if needed > self.free_blocks() {
+            return Err(KvError::OutOfBlocks { needed, free: self.free_blocks() });
+        }
+        let blocks = (0..needed).map(|_| self.take_block()).collect();
+        self.tables.insert(seq, BlockTable { blocks, tokens });
+        Ok(())
+    }
+
+    /// Appends `n` tokens to a sequence (decode growth), allocating new
+    /// blocks as needed. Returns how many blocks were newly allocated.
+    ///
+    /// On [`KvError::OutOfBlocks`] the sequence is unchanged.
+    pub fn append_tokens(&mut self, seq: SeqKey, n: u64) -> Result<u32> {
+        let table = self.tables.get(&seq).ok_or(KvError::UnknownSeq)?;
+        let new_total = table.tokens + n;
+        let needed_total = new_total.div_ceil(self.block_tokens as u64) as u32;
+        let have = table.blocks.len() as u32;
+        let extra = needed_total.saturating_sub(have);
+        if extra > self.free_blocks() {
+            return Err(KvError::OutOfBlocks { needed: extra, free: self.free_blocks() });
+        }
+        let new_blocks: Vec<BlockId> = (0..extra).map(|_| self.take_block()).collect();
+        let table = self.tables.get_mut(&seq).expect("checked above");
+        table.blocks.extend(new_blocks);
+        table.tokens = new_total;
+        Ok(extra)
+    }
+
+    /// Frees a sequence's blocks, returning the tokens it held.
+    pub fn free(&mut self, seq: SeqKey) -> Result<u64> {
+        let table = self.tables.remove(&seq).ok_or(KvError::UnknownSeq)?;
+        self.used -= table.blocks.len() as u32;
+        self.recycled.extend(table.blocks);
+        Ok(table.tokens)
+    }
+
+    /// Registers an externally created table of `tokens` tokens (used when a
+    /// sequence arrives by migration or KVCache exchange).
+    pub fn adopt(&mut self, seq: SeqKey, tokens: u64) -> Result<()> {
+        self.allocate(seq, tokens)
+    }
+
+    /// Grows or shrinks the capacity to `new_capacity` blocks.
+    ///
+    /// Growth always succeeds. Shrinking fails with
+    /// [`KvError::ShrinkBelowUsage`] if fewer than `capacity - new_capacity`
+    /// blocks are free.
+    pub fn resize(&mut self, new_capacity: u32) -> Result<()> {
+        if new_capacity < self.used {
+            return Err(KvError::ShrinkBelowUsage { used: self.used, requested: new_capacity });
+        }
+        // Drop recycled ids beyond the new capacity; fresh ids start above
+        // the high-water mark, which stays valid across grows.
+        self.capacity = new_capacity;
+        Ok(())
+    }
+
+    /// All sequence keys with live tables, in unspecified order.
+    pub fn seqs(&self) -> Vec<SeqKey> {
+        self.tables.keys().copied().collect()
+    }
+
+    fn take_block(&mut self) -> BlockId {
+        self.used += 1;
+        if let Some(b) = self.recycled.pop() {
+            b
+        } else {
+            let b = BlockId(self.next_free);
+            self.next_free += 1;
+            b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_rounds_up_to_blocks() {
+        let mut m = BlockManager::new(10, 64);
+        m.allocate(SeqKey(1), 1).expect("tiny prompt");
+        assert_eq!(m.used_blocks(), 1);
+        m.allocate(SeqKey(2), 64).expect("exact block");
+        assert_eq!(m.used_blocks(), 2);
+        m.allocate(SeqKey(3), 65).expect("one over");
+        assert_eq!(m.used_blocks(), 4);
+        assert_eq!(m.used_tokens(), 130);
+        assert_eq!(m.fragmentation_tokens(), 4 * 64 - 130);
+    }
+
+    #[test]
+    fn double_allocate_rejected() {
+        let mut m = BlockManager::new(10, 64);
+        m.allocate(SeqKey(1), 10).expect("first");
+        assert_eq!(m.allocate(SeqKey(1), 10), Err(KvError::AlreadyAllocated));
+    }
+
+    #[test]
+    fn append_uses_slack_before_new_blocks() {
+        let mut m = BlockManager::new(10, 64);
+        m.allocate(SeqKey(1), 60).expect("prompt");
+        assert_eq!(m.append_tokens(SeqKey(1), 4).expect("slack"), 0);
+        assert_eq!(m.used_blocks(), 1);
+        assert_eq!(m.append_tokens(SeqKey(1), 1).expect("new block"), 1);
+        assert_eq!(m.used_blocks(), 2);
+        assert_eq!(m.tokens_of(SeqKey(1)).expect("live"), 65);
+    }
+
+    #[test]
+    fn oom_leaves_sequence_unchanged() {
+        let mut m = BlockManager::new(2, 64);
+        m.allocate(SeqKey(1), 128).expect("fills pool");
+        let err = m.append_tokens(SeqKey(1), 1).expect_err("pool full");
+        assert_eq!(err, KvError::OutOfBlocks { needed: 1, free: 0 });
+        assert_eq!(m.tokens_of(SeqKey(1)).expect("live"), 128);
+        assert_eq!(m.blocks_of(SeqKey(1)).expect("live"), 2);
+    }
+
+    #[test]
+    fn free_recycles_blocks() {
+        let mut m = BlockManager::new(4, 64);
+        m.allocate(SeqKey(1), 256).expect("fills pool");
+        assert!(!m.can_allocate(1));
+        assert_eq!(m.free(SeqKey(1)).expect("free"), 256);
+        assert_eq!(m.free_blocks(), 4);
+        assert!(m.can_allocate(256));
+        assert_eq!(m.free(SeqKey(1)), Err(KvError::UnknownSeq));
+    }
+
+    #[test]
+    fn resize_grow_extends_capacity() {
+        let mut m = BlockManager::new(2, 64);
+        m.allocate(SeqKey(1), 128).expect("fills");
+        assert!(!m.can_allocate(64));
+        // KunServe dropped parameters: the pool grows.
+        m.resize(6).expect("grow");
+        assert!(m.can_allocate(4 * 64));
+        m.allocate(SeqKey(2), 256).expect("uses grown space");
+        assert_eq!(m.used_blocks(), 6);
+    }
+
+    #[test]
+    fn resize_shrink_requires_free_blocks() {
+        let mut m = BlockManager::new(6, 64);
+        m.allocate(SeqKey(1), 3 * 64).expect("alloc");
+        assert_eq!(
+            m.resize(2),
+            Err(KvError::ShrinkBelowUsage { used: 3, requested: 2 })
+        );
+        m.resize(3).expect("shrink to exactly used");
+        assert_eq!(m.free_blocks(), 0);
+        m.free(SeqKey(1)).expect("free");
+        m.resize(1).expect("shrink empty");
+        assert_eq!(m.capacity_blocks(), 1);
+    }
+
+    #[test]
+    fn capacity_token_math() {
+        let m = BlockManager::new(100, 64);
+        assert_eq!(m.capacity_tokens(), 6400);
+        assert_eq!(m.blocks_for(0), 0);
+        assert_eq!(m.blocks_for(1), 1);
+        assert_eq!(m.blocks_for(64), 1);
+        assert_eq!(m.blocks_for(6400), 100);
+    }
+
+    #[test]
+    fn seqs_lists_live_tables() {
+        let mut m = BlockManager::new(10, 64);
+        m.allocate(SeqKey(1), 10).expect("a");
+        m.allocate(SeqKey(2), 10).expect("b");
+        let mut s = m.seqs();
+        s.sort();
+        assert_eq!(s, vec![SeqKey(1), SeqKey(2)]);
+        assert_eq!(m.num_seqs(), 2);
+    }
+}

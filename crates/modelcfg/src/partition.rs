@@ -1,0 +1,305 @@
+//! Layer-range partitioning for pipeline-parallel parameter layouts.
+//!
+//! After a drop plan merges instances into a group (paper Fig. 6), every
+//! instance keeps a contiguous range of layers and the group jointly holds
+//! one complete copy. [`LayerSet`] supports the set algebra the drop-plan
+//! generator needs (union, intersection, sizes) over layer indices.
+
+use std::fmt;
+
+/// A half-open range of transformer layers `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LayerRange {
+    /// First layer in the range.
+    pub start: u32,
+    /// One past the last layer in the range.
+    pub end: u32,
+}
+
+impl LayerRange {
+    /// Creates a range; `start > end` is normalized to the empty range.
+    pub fn new(start: u32, end: u32) -> Self {
+        if start >= end {
+            LayerRange { start, end: start }
+        } else {
+            LayerRange { start, end }
+        }
+    }
+
+    /// Number of layers covered.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Returns `true` if the range covers no layers.
+    pub fn is_empty(self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Returns `true` if `layer` falls inside the range.
+    pub fn contains(self, layer: u32) -> bool {
+        layer >= self.start && layer < self.end
+    }
+}
+
+impl fmt::Display for LayerRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Splits `num_layers` into `parts` contiguous, maximally balanced ranges.
+///
+/// The first `num_layers % parts` ranges get one extra layer, matching the
+/// usual pipeline-stage layout.
+///
+/// # Panics
+///
+/// Panics if `parts` is zero.
+pub fn partition_layers(num_layers: u32, parts: u32) -> Vec<LayerRange> {
+    assert!(parts > 0, "cannot partition into zero parts");
+    let base = num_layers / parts;
+    let extra = num_layers % parts;
+    let mut out = Vec::with_capacity(parts as usize);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + u32::from(i < extra);
+        out.push(LayerRange::new(start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// A set of layer indices stored as sorted, coalesced, disjoint ranges.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LayerSet {
+    ranges: Vec<LayerRange>,
+}
+
+impl LayerSet {
+    /// Creates an empty set.
+    pub fn empty() -> Self {
+        LayerSet { ranges: Vec::new() }
+    }
+
+    /// Creates a set covering `[0, num_layers)` — a full parameter copy.
+    pub fn full(num_layers: u32) -> Self {
+        LayerSet::from_range(LayerRange::new(0, num_layers))
+    }
+
+    /// Creates a set from a single range.
+    pub fn from_range(r: LayerRange) -> Self {
+        if r.is_empty() {
+            LayerSet::empty()
+        } else {
+            LayerSet { ranges: vec![r] }
+        }
+    }
+
+    /// Creates a set from arbitrary ranges, normalizing overlaps.
+    pub fn from_ranges(ranges: impl IntoIterator<Item = LayerRange>) -> Self {
+        let mut s = LayerSet::empty();
+        for r in ranges {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// Returns the disjoint sorted ranges.
+    pub fn ranges(&self) -> &[LayerRange] {
+        &self.ranges
+    }
+
+    /// Total number of layers in the set.
+    pub fn len(&self) -> u32 {
+        self.ranges.iter().map(|r| r.len()).sum()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Returns `true` if `layer` is in the set.
+    pub fn contains(&self, layer: u32) -> bool {
+        self.ranges.iter().any(|r| r.contains(layer))
+    }
+
+    /// Inserts a range, coalescing with existing ranges.
+    pub fn insert(&mut self, r: LayerRange) {
+        if r.is_empty() {
+            return;
+        }
+        self.ranges.push(r);
+        self.normalize();
+    }
+
+    /// Removes a range from the set.
+    pub fn remove(&mut self, r: LayerRange) {
+        if r.is_empty() || self.ranges.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.ranges.len() + 1);
+        for &have in &self.ranges {
+            if have.end <= r.start || have.start >= r.end {
+                out.push(have);
+                continue;
+            }
+            if have.start < r.start {
+                out.push(LayerRange::new(have.start, r.start));
+            }
+            if have.end > r.end {
+                out.push(LayerRange::new(r.end, have.end));
+            }
+        }
+        self.ranges = out;
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &LayerSet) -> LayerSet {
+        let mut s = self.clone();
+        for &r in &other.ranges {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// Set intersection — the "duplicated layers" of the drop plan (Fig. 6).
+    pub fn intersection(&self, other: &LayerSet) -> LayerSet {
+        let mut out = Vec::new();
+        for &a in &self.ranges {
+            for &b in &other.ranges {
+                let start = a.start.max(b.start);
+                let end = a.end.min(b.end);
+                if start < end {
+                    out.push(LayerRange::new(start, end));
+                }
+            }
+        }
+        LayerSet::from_ranges(out)
+    }
+
+    /// Set difference (`self - other`).
+    pub fn difference(&self, other: &LayerSet) -> LayerSet {
+        let mut s = self.clone();
+        for &r in &other.ranges {
+            s.remove(r);
+        }
+        s
+    }
+
+    fn normalize(&mut self) {
+        self.ranges.sort();
+        let mut out: Vec<LayerRange> = Vec::with_capacity(self.ranges.len());
+        for &r in &self.ranges {
+            match out.last_mut() {
+                Some(last) if r.start <= last.end => {
+                    last.end = last.end.max(r.end);
+                }
+                _ => out.push(r),
+            }
+        }
+        self.ranges = out;
+    }
+}
+
+impl fmt::Display for LayerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly_once() {
+        for layers in [1u32, 7, 48, 80, 126] {
+            for parts in [1u32, 2, 3, 4, 7, 8] {
+                if parts > layers {
+                    continue;
+                }
+                let p = partition_layers(layers, parts);
+                assert_eq!(p.len(), parts as usize);
+                assert_eq!(p[0].start, 0);
+                assert_eq!(p.last().expect("non-empty").end, layers);
+                for w in p.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+                }
+                let max = p.iter().map(|r| r.len()).max().expect("non-empty");
+                let min = p.iter().map(|r| r.len()).min().expect("non-empty");
+                assert!(max - min <= 1, "partition must be balanced");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn partition_zero_parts_panics() {
+        partition_layers(8, 0);
+    }
+
+    #[test]
+    fn range_basics() {
+        let r = LayerRange::new(2, 5);
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(2) && r.contains(4) && !r.contains(5));
+        assert!(LayerRange::new(5, 2).is_empty());
+        assert_eq!(format!("{r}"), "[2, 5)");
+    }
+
+    #[test]
+    fn set_insert_coalesces() {
+        let mut s = LayerSet::empty();
+        s.insert(LayerRange::new(0, 4));
+        s.insert(LayerRange::new(8, 12));
+        s.insert(LayerRange::new(4, 8)); // bridges the gap
+        assert_eq!(s.ranges(), &[LayerRange::new(0, 12)]);
+        assert_eq!(s.len(), 12);
+    }
+
+    #[test]
+    fn set_remove_splits() {
+        let mut s = LayerSet::full(10);
+        s.remove(LayerRange::new(3, 6));
+        assert_eq!(s.ranges(), &[LayerRange::new(0, 3), LayerRange::new(6, 10)]);
+        assert_eq!(s.len(), 7);
+        assert!(!s.contains(4));
+        assert!(s.contains(2) && s.contains(6));
+    }
+
+    #[test]
+    fn intersection_finds_duplicated_layers() {
+        // Two full copies: every layer is duplicated (the Fig. 6 scenario).
+        let a = LayerSet::full(48);
+        let b = LayerSet::full(48);
+        assert_eq!(a.intersection(&b).len(), 48);
+        // Complementary halves share nothing.
+        let lo = LayerSet::from_range(LayerRange::new(0, 24));
+        let hi = LayerSet::from_range(LayerRange::new(24, 48));
+        assert!(lo.intersection(&hi).is_empty());
+        assert_eq!(lo.union(&hi), LayerSet::full(48));
+    }
+
+    #[test]
+    fn difference_subtracts() {
+        let a = LayerSet::full(10);
+        let b = LayerSet::from_ranges([LayerRange::new(0, 2), LayerRange::new(8, 10)]);
+        let d = a.difference(&b);
+        assert_eq!(d.ranges(), &[LayerRange::new(2, 8)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = LayerSet::from_ranges([LayerRange::new(0, 2), LayerRange::new(4, 6)]);
+        assert_eq!(format!("{s}"), "{[0, 2), [4, 6)}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Link specifications for the fabrics of paper Table 2.
+
+use sim_core::SimDuration;
+
+/// Bandwidth and base latency of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Unidirectional bandwidth in bytes per second.
+    pub bytes_per_sec: f64,
+    /// Base (propagation + software) latency per transfer.
+    pub latency: SimDuration,
+}
+
+impl LinkSpec {
+    /// 200 Gbps RDMA scale-out fabric (cluster A, Table 2).
+    pub fn rdma_200gbps() -> Self {
+        LinkSpec { bytes_per_sec: 25e9, latency: SimDuration::from_micros(5) }
+    }
+
+    /// 400 Gbps RDMA scale-out fabric (cluster B, Table 2).
+    pub fn rdma_400gbps() -> Self {
+        LinkSpec { bytes_per_sec: 50e9, latency: SimDuration::from_micros(5) }
+    }
+
+    /// 300 GB/s NVLink scale-up fabric (cluster B, Table 2).
+    pub fn nvlink_300gbps() -> Self {
+        LinkSpec { bytes_per_sec: 300e9, latency: SimDuration::from_micros(2) }
+    }
+
+    /// Host PCIe Gen4 x16 path used by KVCache swapping (~32 GB/s).
+    pub fn pcie_gen4() -> Self {
+        LinkSpec { bytes_per_sec: 32e9, latency: SimDuration::from_micros(10) }
+    }
+
+    /// Pure wire time for `bytes` (no queueing, no base latency).
+    pub fn wire_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Wire time plus base latency — an uncontended transfer.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.wire_time(bytes) + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_matches_bandwidth() {
+        let l = LinkSpec::rdma_200gbps();
+        // 25 GB at 25 GB/s = 1 s.
+        assert_eq!(l.wire_time(25_000_000_000), SimDuration::from_secs(1));
+        assert_eq!(l.transfer_time(0), l.latency);
+    }
+
+    #[test]
+    fn paper_kv_exchange_takes_one_to_two_seconds() {
+        // §4.2: "KVCache exchange typically introduces 1–2 s stall time on
+        // our 200 Gbps network." A typical exchange moves ~hundred sequences
+        // of ~1.3K tokens at 192 KB/token ≈ 25–50 GB.
+        let l = LinkSpec::rdma_200gbps();
+        let bytes_low = 100u64 * 1300 * 192 * 1024; // ≈ 25.6 GB
+        let t = l.transfer_time(bytes_low);
+        assert!(t >= SimDuration::from_millis(800) && t <= SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn activation_transfer_is_sub_millisecond() {
+        // §4.2: activation transfers are orders of magnitude smaller than the
+        // exchange: ~1K tokens × 5120 hidden × 2 B ≈ 10 MB.
+        let l = LinkSpec::rdma_200gbps();
+        let t = l.transfer_time(1024 * 5120 * 2);
+        assert!(t < SimDuration::from_millis(1));
+    }
+}

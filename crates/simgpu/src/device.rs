@@ -1,0 +1,220 @@
+//! One simulated GPU: physical pool + virtual address space.
+
+use crate::error::GpuError;
+use crate::hbm::{HbmPool, PhysHandle};
+use crate::vmm::{AddressSpace, VaReservation};
+use crate::Result;
+
+/// Identifier of a GPU within the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GpuId(pub u32);
+
+impl std::fmt::Display for GpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// A simulated GPU device.
+///
+/// Combines an [`HbmPool`] and an [`AddressSpace`] and enforces the coupling
+/// invariant between them: a physical handle cannot be released while it is
+/// still mapped, exactly like the CUDA driver.
+#[derive(Debug, Clone)]
+pub struct GpuDevice {
+    /// Cluster-wide id of this GPU.
+    pub id: GpuId,
+    pool: HbmPool,
+    space: AddressSpace,
+}
+
+impl GpuDevice {
+    /// Creates a device with `hbm_bytes` of physical memory.
+    pub fn new(id: GpuId, hbm_bytes: u64) -> Self {
+        GpuDevice { id, pool: HbmPool::new(hbm_bytes), space: AddressSpace::new() }
+    }
+
+    /// Allocates physical memory (`cuMemCreate`).
+    pub fn mem_create(&mut self, bytes: u64) -> Result<PhysHandle> {
+        self.pool.mem_create(bytes)
+    }
+
+    /// Releases physical memory (`cuMemRelease`); fails while mapped.
+    pub fn mem_release(&mut self, handle: PhysHandle) -> Result<()> {
+        if self.space.is_mapped(handle) {
+            return Err(GpuError::HandleStillMapped);
+        }
+        self.pool.mem_release(handle)
+    }
+
+    /// Reserves a virtual-address range (`cuMemAddressReserve`).
+    pub fn va_reserve(&mut self, size: u64) -> Result<VaReservation> {
+        self.space.reserve(size)
+    }
+
+    /// Maps `handle` at `offset` within `reservation` (`cuMemMap`).
+    pub fn mem_map(
+        &mut self,
+        reservation: VaReservation,
+        offset: u64,
+        handle: PhysHandle,
+    ) -> Result<()> {
+        let bytes = self.pool.size_of(handle)?;
+        self.space.map(reservation, offset, handle, bytes)
+    }
+
+    /// Unmaps the mapping at `offset`, returning its handle (`cuMemUnmap`).
+    pub fn mem_unmap(&mut self, reservation: VaReservation, offset: u64) -> Result<PhysHandle> {
+        self.space.unmap(reservation, offset)
+    }
+
+    /// Unmaps `handle` wherever it is mapped.
+    pub fn mem_unmap_handle(&mut self, handle: PhysHandle) -> Result<(VaReservation, u64)> {
+        self.space.unmap_handle(handle)
+    }
+
+    /// Allocates and maps in one call; on mapping failure the allocation is
+    /// released so no memory leaks.
+    pub fn alloc_and_map(
+        &mut self,
+        reservation: VaReservation,
+        offset: u64,
+        bytes: u64,
+    ) -> Result<PhysHandle> {
+        let handle = self.pool.mem_create(bytes)?;
+        match self.space.map(reservation, offset, handle, self.pool.size_of(handle)?) {
+            Ok(()) => Ok(handle),
+            Err(e) => {
+                // Roll back the physical allocation; it cannot fail because
+                // the handle was just created and is unmapped.
+                self.pool.mem_release(handle).expect("fresh handle must release");
+                Err(e)
+            }
+        }
+    }
+
+    /// Unmaps the mapping at `offset` and releases its physical memory.
+    pub fn unmap_and_release(&mut self, reservation: VaReservation, offset: u64) -> Result<u64> {
+        let handle = self.space.unmap(reservation, offset)?;
+        let bytes = self.pool.size_of(handle)?;
+        self.pool.mem_release(handle)?;
+        Ok(bytes)
+    }
+
+    /// Length of the contiguous mapped prefix of the reservation.
+    pub fn contiguous_extent(&self, reservation: VaReservation) -> Result<u64> {
+        self.space.contiguous_extent(reservation)
+    }
+
+    /// Total bytes mapped in the reservation.
+    pub fn mapped_bytes(&self, reservation: VaReservation) -> Result<u64> {
+        self.space.mapped_bytes(reservation)
+    }
+
+    /// Mappings in the reservation ordered by offset.
+    pub fn handles_in(&self, reservation: VaReservation) -> Result<Vec<(u64, PhysHandle, u64)>> {
+        self.space.handles_in(reservation)
+    }
+
+    /// Physical bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.pool.used_bytes()
+    }
+
+    /// Physical bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.pool.free_bytes()
+    }
+
+    /// Total HBM capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.pool.capacity_bytes()
+    }
+
+    /// Fraction of HBM in use, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.pool.capacity_bytes() == 0 {
+            return 0.0;
+        }
+        self.pool.used_bytes() as f64 / self.pool.capacity_bytes() as f64
+    }
+
+    /// Size in bytes of a live physical allocation.
+    pub fn size_of(&self, handle: PhysHandle) -> Result<u64> {
+        self.pool.size_of(handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hbm::PAGE_SIZE;
+
+    fn gpu(pages: u64) -> GpuDevice {
+        GpuDevice::new(GpuId(0), pages * PAGE_SIZE)
+    }
+
+    #[test]
+    fn release_while_mapped_rejected() {
+        let mut g = gpu(8);
+        let r = g.va_reserve(8 * PAGE_SIZE).expect("reserve");
+        let h = g.mem_create(PAGE_SIZE).expect("create");
+        g.mem_map(r, 0, h).expect("map");
+        assert_eq!(g.mem_release(h), Err(GpuError::HandleStillMapped));
+        g.mem_unmap(r, 0).expect("unmap");
+        g.mem_release(h).expect("release after unmap");
+    }
+
+    #[test]
+    fn alloc_and_map_rolls_back_on_conflict() {
+        let mut g = gpu(8);
+        let r = g.va_reserve(2 * PAGE_SIZE).expect("reserve");
+        g.alloc_and_map(r, 0, PAGE_SIZE).expect("first");
+        let used_before = g.used_bytes();
+        // Mapping at the same offset conflicts; the allocation must roll back.
+        let err = g.alloc_and_map(r, 0, PAGE_SIZE).expect_err("conflict");
+        assert_eq!(err, GpuError::MappingConflict);
+        assert_eq!(g.used_bytes(), used_before, "no physical leak on failure");
+    }
+
+    #[test]
+    fn parameter_drop_remap_scenario() {
+        // The Fig. 3(d) dance on one GPU: params and KV live in separate VA
+        // regions; dropping params remaps their physical pages to the KV tail.
+        let mut g = gpu(16);
+        let params = g.va_reserve(8 * PAGE_SIZE).expect("param region");
+        let kv = g.va_reserve(16 * PAGE_SIZE).expect("kv region");
+        // 4 "layers" of parameters, one page each.
+        let layer_handles: Vec<_> =
+            (0..4).map(|i| g.alloc_and_map(params, i * PAGE_SIZE, PAGE_SIZE).expect("layer")).collect();
+        // KV pool initially 2 pages.
+        for i in 0..2 {
+            g.alloc_and_map(kv, i * PAGE_SIZE, PAGE_SIZE).expect("kv page");
+        }
+        assert_eq!(g.contiguous_extent(kv).expect("kv"), 2 * PAGE_SIZE);
+        // Drop layers 2..4: unmap from params, map at the KV tail.
+        for (i, &h) in layer_handles[2..].iter().enumerate() {
+            g.mem_unmap_handle(h).expect("unmap param");
+            g.mem_map(kv, (2 + i as u64) * PAGE_SIZE, h).expect("map to kv tail");
+        }
+        assert_eq!(g.contiguous_extent(kv).expect("kv"), 4 * PAGE_SIZE, "KV pool doubled");
+        assert_eq!(g.contiguous_extent(params).expect("params"), 2 * PAGE_SIZE);
+        // No physical allocation changed hands — pure remap.
+        assert_eq!(g.used_bytes(), 6 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn utilization_tracks_pool() {
+        let mut g = gpu(10);
+        assert_eq!(g.utilization(), 0.0);
+        let _h = g.mem_create(5 * PAGE_SIZE).expect("create");
+        assert!((g.utilization() - 0.5).abs() < 1e-9);
+        assert_eq!(g.free_bytes(), 5 * PAGE_SIZE);
+        assert_eq!(g.capacity_bytes(), 10 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(format!("{}", GpuId(3)), "gpu3");
+    }
+}

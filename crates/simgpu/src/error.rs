@@ -1,0 +1,49 @@
+//! Error type for simulated GPU memory operations.
+
+use std::fmt;
+
+/// Failures of the simulated CUDA-VMM-style memory API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// Physical allocation failed: the pool has fewer free bytes than asked.
+    OutOfMemory {
+        /// Bytes requested (after page-granularity rounding).
+        requested: u64,
+        /// Bytes currently free in the pool.
+        free: u64,
+    },
+    /// The physical handle is unknown (already released or never created).
+    InvalidHandle,
+    /// The handle is still mapped and cannot be released.
+    HandleStillMapped,
+    /// The handle is already mapped somewhere; a handle maps at most once.
+    HandleAlreadyMapped,
+    /// The virtual-address reservation id is unknown.
+    InvalidReservation,
+    /// The requested mapping overlaps an existing mapping or exceeds the
+    /// reservation.
+    MappingConflict,
+    /// No mapping exists at the given offset.
+    NoMappingAtOffset,
+    /// A size or offset was not aligned to the page granularity.
+    Misaligned,
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory { requested, free } => {
+                write!(f, "out of HBM: requested {requested} bytes, {free} free")
+            }
+            GpuError::InvalidHandle => write!(f, "invalid physical memory handle"),
+            GpuError::HandleStillMapped => write!(f, "handle is still mapped"),
+            GpuError::HandleAlreadyMapped => write!(f, "handle is already mapped"),
+            GpuError::InvalidReservation => write!(f, "invalid VA reservation"),
+            GpuError::MappingConflict => write!(f, "mapping overlaps or exceeds reservation"),
+            GpuError::NoMappingAtOffset => write!(f, "no mapping at offset"),
+            GpuError::Misaligned => write!(f, "offset or size not page-aligned"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}

@@ -1,0 +1,129 @@
+//! Property tests for the simulated GPU memory manager.
+//!
+//! These drive random sequences of create/map/unmap/release operations and
+//! assert the conservation and exclusivity invariants that the KunServe
+//! local memory manager depends on.
+
+use proptest::prelude::*;
+use simgpu::{GpuDevice, GpuError, GpuId, PhysHandle, PAGE_SIZE};
+
+/// One random memory-management operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Create { pages: u64 },
+    Release { idx: usize },
+    Map { idx: usize, slot: u64 },
+    Unmap { slot: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..4).prop_map(|pages| Op::Create { pages }),
+        (0usize..16).prop_map(|idx| Op::Release { idx }),
+        ((0usize..16), (0u64..32)).prop_map(|(idx, slot)| Op::Map { idx, slot }),
+        (0u64..32).prop_map(|slot| Op::Unmap { slot }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever sequence of operations runs, the pool never loses bytes:
+    /// used + free == capacity, and every live mapping is backed by a live
+    /// allocation.
+    #[test]
+    fn memory_is_conserved(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        const POOL_PAGES: u64 = 64;
+        let mut gpu = GpuDevice::new(GpuId(0), POOL_PAGES * PAGE_SIZE);
+        let region = gpu.va_reserve(32 * PAGE_SIZE).expect("reserve");
+        let mut handles: Vec<PhysHandle> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Create { pages } => {
+                    match gpu.mem_create(pages * PAGE_SIZE) {
+                        Ok(h) => handles.push(h),
+                        Err(GpuError::OutOfMemory { .. }) => {}
+                        Err(e) => panic!("unexpected create error: {e}"),
+                    }
+                }
+                Op::Release { idx } => {
+                    if let Some(&h) = handles.get(idx) {
+                        match gpu.mem_release(h) {
+                            Ok(()) => { handles.retain(|&x| x != h); }
+                            Err(GpuError::HandleStillMapped) => {}
+                            Err(GpuError::InvalidHandle) => panic!("tracked handle invalid"),
+                            Err(e) => panic!("unexpected release error: {e}"),
+                        }
+                    }
+                }
+                Op::Map { idx, slot } => {
+                    if let Some(&h) = handles.get(idx) {
+                        // Any of these failures is legitimate depending on state.
+                        let _ = gpu.mem_map(region, slot * PAGE_SIZE, h);
+                    }
+                }
+                Op::Unmap { slot } => {
+                    let _ = gpu.mem_unmap(region, slot * PAGE_SIZE);
+                }
+            }
+
+            // Invariant 1: conservation.
+            prop_assert_eq!(
+                gpu.used_bytes() + gpu.free_bytes(),
+                gpu.capacity_bytes(),
+                "pool bytes must be conserved"
+            );
+            // Invariant 2: mapped bytes never exceed used bytes.
+            let mapped = gpu.mapped_bytes(region).expect("region alive");
+            prop_assert!(mapped <= gpu.used_bytes());
+            // Invariant 3: contiguous extent never exceeds total mapped bytes.
+            let extent = gpu.contiguous_extent(region).expect("region alive");
+            prop_assert!(extent <= mapped);
+            // Invariant 4: mappings are disjoint and inside the reservation.
+            let hs = gpu.handles_in(region).expect("region alive");
+            let mut prev_end = 0u64;
+            for (off, h, bytes) in hs {
+                prop_assert!(off >= prev_end, "mappings must be disjoint");
+                prop_assert!(gpu.size_of(h).is_ok(), "mapping backed by live alloc");
+                prev_end = off + bytes;
+            }
+            prop_assert!(prev_end <= 32 * PAGE_SIZE, "mappings inside reservation");
+        }
+    }
+
+    /// The remap dance never changes physical usage: moving N handles from a
+    /// parameter region to a KV region keeps used bytes constant and grows
+    /// the KV extent by exactly the moved bytes.
+    #[test]
+    fn remap_preserves_physical_usage(layers in 1u64..16, kv_pages in 0u64..8) {
+        let mut gpu = GpuDevice::new(GpuId(0), 64 * PAGE_SIZE);
+        let params = gpu.va_reserve(16 * PAGE_SIZE).expect("reserve");
+        let kv = gpu.va_reserve(32 * PAGE_SIZE).expect("reserve");
+        let mut layer_handles = Vec::new();
+        for i in 0..layers {
+            layer_handles.push(
+                gpu.alloc_and_map(params, i * PAGE_SIZE, PAGE_SIZE).expect("layer"),
+            );
+        }
+        for i in 0..kv_pages {
+            gpu.alloc_and_map(kv, i * PAGE_SIZE, PAGE_SIZE).expect("kv page");
+        }
+        let used_before = gpu.used_bytes();
+        let extent_before = gpu.contiguous_extent(kv).expect("kv");
+
+        // Drop all layers into the KV tail.
+        for (i, &h) in layer_handles.iter().enumerate() {
+            gpu.mem_unmap_handle(h).expect("unmap");
+            gpu.mem_map(kv, (kv_pages + i as u64) * PAGE_SIZE, h).expect("map tail");
+        }
+
+        prop_assert_eq!(gpu.used_bytes(), used_before, "remap allocates nothing");
+        prop_assert_eq!(
+            gpu.contiguous_extent(kv).expect("kv"),
+            extent_before + layers * PAGE_SIZE,
+            "KV extent grows by exactly the dropped bytes"
+        );
+        prop_assert_eq!(gpu.contiguous_extent(params).expect("params"), 0);
+    }
+}

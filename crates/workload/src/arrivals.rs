@@ -1,0 +1,242 @@
+//! Non-homogeneous Poisson arrival generation with burst phases.
+//!
+//! BurstGPT's defining property (paper Fig. 2 (a)) is that the request rate
+//! jumps ~2× with no warning and stays elevated for tens of seconds. The
+//! builder composes a base Poisson process with multiplicative burst phases
+//! and samples lengths from a [`Dataset`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim_core::{SimDuration, SimTime};
+
+use crate::dataset::Dataset;
+use crate::trace::{RequestSpec, Trace};
+
+/// One burst phase: the arrival rate is multiplied by `multiplier` inside
+/// `[start, start + duration)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstPhase {
+    /// Phase start.
+    pub start: SimTime,
+    /// Phase length.
+    pub duration: SimDuration,
+    /// Rate multiplier (2.0 = the Fig. 2 (a) doubling).
+    pub multiplier: f64,
+}
+
+impl BurstPhase {
+    /// Returns `true` if `t` falls inside the phase.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.start + self.duration
+    }
+}
+
+/// Builder for bursty traces.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{BurstTraceBuilder, Dataset};
+/// use sim_core::{SimTime, SimDuration};
+///
+/// let trace = BurstTraceBuilder::new(Dataset::BurstGpt)
+///     .base_rps(10.0)
+///     .duration(SimDuration::from_secs(60))
+///     .burst(SimTime::from_secs(30), SimDuration::from_secs(15), 2.0)
+///     .seed(42)
+///     .build();
+/// assert!(trace.len() > 300);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BurstTraceBuilder {
+    dataset: Dataset,
+    base_rps: f64,
+    duration: SimDuration,
+    phases: Vec<BurstPhase>,
+    seed: u64,
+}
+
+impl BurstTraceBuilder {
+    /// Creates a builder for `dataset` with defaults: 10 rps, 120 s, seed 0.
+    pub fn new(dataset: Dataset) -> Self {
+        BurstTraceBuilder {
+            dataset,
+            base_rps: 10.0,
+            duration: SimDuration::from_secs(120),
+            phases: Vec::new(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the base (non-burst) request rate.
+    pub fn base_rps(mut self, rps: f64) -> Self {
+        assert!(rps > 0.0, "base rate must be positive");
+        self.base_rps = rps;
+        self
+    }
+
+    /// Sets the trace length.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Adds a burst phase.
+    pub fn burst(mut self, start: SimTime, duration: SimDuration, multiplier: f64) -> Self {
+        assert!(multiplier > 0.0, "multiplier must be positive");
+        self.phases.push(BurstPhase { start, duration, multiplier });
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The rate multiplier in effect at `t` (product of active phases).
+    pub fn multiplier_at(&self, t: SimTime) -> f64 {
+        self.phases.iter().filter(|p| p.contains(t)).map(|p| p.multiplier).product()
+    }
+
+    /// Generates the trace.
+    ///
+    /// Arrivals are drawn by thinning a homogeneous Poisson process at the
+    /// peak rate, which is exact for piecewise-constant rates.
+    pub fn build(&self) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let sampler = self.dataset.sampler();
+        let peak_rps =
+            self.base_rps * self.phases.iter().map(|p| p.multiplier).fold(1.0, f64::max).max(1.0);
+        let mut requests = Vec::new();
+        let mut t = 0.0f64;
+        let end = self.duration.as_secs_f64();
+        loop {
+            // Exponential gap at the peak rate.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / peak_rps;
+            if t >= end {
+                break;
+            }
+            let now = SimTime::from_secs_f64(t);
+            let accept_p = self.base_rps * self.multiplier_at(now) / peak_rps;
+            if rng.gen_bool(accept_p.clamp(0.0, 1.0)) {
+                let (input_tokens, output_tokens) = sampler.sample(&mut rng);
+                requests.push(RequestSpec { id: 0, arrival: now, input_tokens, output_tokens });
+            }
+        }
+        Trace::new(requests)
+    }
+
+    /// A BurstGPT-like preset: two unannounced ~2× bursts, the first around
+    /// 35 % and the second around 65 % of the trace (Fig. 2 (a) / Fig. 16).
+    pub fn burstgpt_like(dataset: Dataset, base_rps: f64, duration: SimDuration, seed: u64) -> Trace {
+        let d = duration.as_secs_f64();
+        BurstTraceBuilder::new(dataset)
+            .base_rps(base_rps)
+            .duration(duration)
+            .burst(
+                SimTime::from_secs_f64(d * 0.35),
+                SimDuration::from_secs_f64(d * 0.15),
+                2.2,
+            )
+            .burst(
+                SimTime::from_secs_f64(d * 0.65),
+                SimDuration::from_secs_f64(d * 0.12),
+                2.0,
+            )
+            .seed(seed)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_rate_without_bursts_is_poisson() {
+        let t = BurstTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(20.0)
+            .duration(SimDuration::from_secs(100))
+            .seed(3)
+            .build();
+        let rps = t.mean_rps();
+        assert!((rps - 20.0).abs() / 20.0 < 0.10, "rate {rps:.1}");
+    }
+
+    #[test]
+    fn burst_phase_doubles_local_rate() {
+        let trace = BurstTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(20.0)
+            .duration(SimDuration::from_secs(200))
+            .burst(SimTime::from_secs(100), SimDuration::from_secs(50), 2.0)
+            .seed(11)
+            .build();
+        let count = |a: u64, b: u64| {
+            trace
+                .requests
+                .iter()
+                .filter(|r| r.arrival >= SimTime::from_secs(a) && r.arrival < SimTime::from_secs(b))
+                .count() as f64
+        };
+        let quiet = count(0, 100) / 100.0;
+        let burst = count(100, 150) / 50.0;
+        let ratio = burst / quiet;
+        assert!((ratio - 2.0).abs() < 0.35, "burst/quiet ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn multiplier_composes_phases() {
+        let b = BurstTraceBuilder::new(Dataset::BurstGpt)
+            .burst(SimTime::from_secs(10), SimDuration::from_secs(10), 2.0)
+            .burst(SimTime::from_secs(15), SimDuration::from_secs(10), 3.0);
+        assert_eq!(b.multiplier_at(SimTime::from_secs(5)), 1.0);
+        assert_eq!(b.multiplier_at(SimTime::from_secs(12)), 2.0);
+        assert_eq!(b.multiplier_at(SimTime::from_secs(17)), 6.0);
+        assert_eq!(b.multiplier_at(SimTime::from_secs(22)), 3.0);
+        assert_eq!(b.multiplier_at(SimTime::from_secs(30)), 1.0);
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let mk = || {
+            BurstTraceBuilder::new(Dataset::ShareGpt)
+                .base_rps(15.0)
+                .duration(SimDuration::from_secs(30))
+                .seed(77)
+                .build()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.requests.first(), b.requests.first());
+        assert_eq!(a.requests.last(), b.requests.last());
+    }
+
+    #[test]
+    fn burstgpt_preset_has_two_bursts() {
+        let t = BurstTraceBuilder::burstgpt_like(
+            Dataset::BurstGpt,
+            15.0,
+            SimDuration::from_secs(200),
+            5,
+        );
+        let tl = t.rate_timeline(SimDuration::from_secs(10));
+        // Rate inside the first burst window (70–100 s) must clearly exceed
+        // the opening quiet period (0–60 s).
+        let quiet: f64 = tl[0..6].iter().map(|&(_, r)| r).sum::<f64>() / 6.0;
+        let burst: f64 = tl[7..10].iter().map(|&(_, r)| r).sum::<f64>() / 3.0;
+        assert!(burst > 1.6 * quiet, "quiet {quiet:.1} vs burst {burst:.1}");
+    }
+
+    #[test]
+    fn lengths_come_from_dataset() {
+        let t = BurstTraceBuilder::new(Dataset::LongBench)
+            .base_rps(50.0)
+            .duration(SimDuration::from_secs(60))
+            .seed(2)
+            .build();
+        assert!((t.mean_input_tokens() - 5_900.0).abs() / 5_900.0 < 0.2);
+    }
+}

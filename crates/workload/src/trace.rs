@@ -1,0 +1,240 @@
+//! Request traces: arrival times plus sampled input/output lengths.
+
+use sim_core::{SimDuration, SimTime};
+
+/// One request of a workload trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSpec {
+    /// Dense id within the trace.
+    pub id: u64,
+    /// Arrival (client send) time.
+    pub arrival: SimTime,
+    /// Prompt length in tokens.
+    pub input_tokens: u64,
+    /// Output length in tokens (how long the model will generate).
+    pub output_tokens: u64,
+}
+
+impl RequestSpec {
+    /// Total KVCache tokens this request will hold when finished.
+    pub fn total_tokens(&self) -> u64 {
+        self.input_tokens + self.output_tokens
+    }
+}
+
+/// A workload trace, sorted by arrival time.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The requests, in arrival order.
+    pub requests: Vec<RequestSpec>,
+}
+
+impl Trace {
+    /// Builds a trace from requests, sorting by arrival and re-assigning ids.
+    pub fn new(mut requests: Vec<RequestSpec>) -> Self {
+        requests.sort_by_key(|r| r.arrival);
+        for (i, r) in requests.iter_mut().enumerate() {
+            r.id = i as u64;
+        }
+        Trace { requests }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Returns `true` if the trace has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Time of the last arrival.
+    pub fn duration(&self) -> SimDuration {
+        self.requests.last().map_or(SimDuration::ZERO, |r| r.arrival - SimTime::ZERO)
+    }
+
+    /// Mean request rate over the trace span, in requests/second.
+    pub fn mean_rps(&self) -> f64 {
+        let secs = self.duration().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.len() as f64 / secs
+    }
+
+    /// Mean input length in tokens.
+    pub fn mean_input_tokens(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.requests.iter().map(|r| r.input_tokens as f64).sum::<f64>() / self.len() as f64
+    }
+
+    /// Mean output length in tokens.
+    pub fn mean_output_tokens(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.requests.iter().map(|r| r.output_tokens as f64).sum::<f64>() / self.len() as f64
+    }
+
+    /// Requests per second in fixed windows — the Fig. 2 (a) arrival plot.
+    pub fn rate_timeline(&self, window: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        let mut out = Vec::new();
+        let end = SimTime::ZERO + self.duration() + window;
+        let mut t = SimTime::ZERO;
+        let mut idx = 0;
+        let wsecs = window.as_secs_f64();
+        while t < end {
+            let wend = t + window;
+            let mut n = 0usize;
+            while idx < self.requests.len() && self.requests[idx].arrival < wend {
+                n += 1;
+                idx += 1;
+            }
+            out.push((t, n as f64 / wsecs));
+            t = wend;
+        }
+        out
+    }
+
+    /// TraceUpscaler-style upscaling (§5.1): multiplies the request rate by
+    /// `factor` while preserving the temporal pattern.
+    ///
+    /// Each request is replicated `floor(factor)` times (plus one with the
+    /// fractional probability), with small deterministic jitter so replicas
+    /// do not arrive at the identical instant. Lengths are preserved.
+    pub fn upscale(&self, factor: f64, seed: u64) -> Trace {
+        assert!(factor > 0.0, "scale factor must be positive");
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for r in &self.requests {
+            let mut copies = factor.floor() as u64;
+            if rng.gen_bool(factor.fract().clamp(0.0, 1.0)) {
+                copies += 1;
+            }
+            for c in 0..copies {
+                // Jitter replicas within ±250 ms to avoid synchronized
+                // arrivals while keeping the burst shape.
+                let jitter_us = if c == 0 { 0 } else { rng.gen_range(0..500_000) };
+                out.push(RequestSpec {
+                    id: 0,
+                    arrival: r.arrival + SimDuration::from_micros(jitter_us),
+                    input_tokens: r.input_tokens,
+                    output_tokens: r.output_tokens,
+                });
+            }
+        }
+        Trace::new(out)
+    }
+}
+
+/// Builds the Fig. 17 "extreme burst" variant of a trace: once the burst
+/// window `[burst_start, burst_end)` first plays, it replays back-to-back
+/// `repeats` more times, overwhelming any fixed memory budget.
+pub fn extreme_burst(trace: &Trace, burst_start: SimTime, burst_end: SimTime, repeats: u32) -> Trace {
+    assert!(burst_end > burst_start, "burst window must be non-empty");
+    let window = burst_end - burst_start;
+    let mut out: Vec<RequestSpec> =
+        trace.requests.iter().copied().filter(|r| r.arrival < burst_end).collect();
+    let burst: Vec<RequestSpec> = trace
+        .requests
+        .iter()
+        .copied()
+        .filter(|r| r.arrival >= burst_start && r.arrival < burst_end)
+        .collect();
+    for i in 1..=repeats {
+        let shift = window * i as u64;
+        out.extend(burst.iter().map(|r| RequestSpec { arrival: r.arrival + shift, ..*r }));
+    }
+    Trace::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(arrival_ms: u64, input: u64, output: u64) -> RequestSpec {
+        RequestSpec { id: 0, arrival: SimTime::from_millis(arrival_ms), input_tokens: input, output_tokens: output }
+    }
+
+    #[test]
+    fn new_sorts_and_reassigns_ids() {
+        let t = Trace::new(vec![spec(500, 10, 10), spec(100, 20, 20)]);
+        assert_eq!(t.requests[0].arrival, SimTime::from_millis(100));
+        assert_eq!(t.requests[0].id, 0);
+        assert_eq!(t.requests[1].id, 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn stats_on_known_trace() {
+        let t = Trace::new(vec![spec(0, 100, 50), spec(1000, 300, 150)]);
+        assert_eq!(t.duration(), SimDuration::from_secs(1));
+        assert_eq!(t.mean_rps(), 2.0);
+        assert_eq!(t.mean_input_tokens(), 200.0);
+        assert_eq!(t.mean_output_tokens(), 100.0);
+        assert_eq!(t.requests[0].total_tokens(), 150);
+    }
+
+    #[test]
+    fn rate_timeline_counts_windows() {
+        let t = Trace::new(vec![spec(0, 1, 1), spec(100, 1, 1), spec(1500, 1, 1)]);
+        let tl = t.rate_timeline(SimDuration::from_secs(1));
+        assert_eq!(tl[0].1, 2.0);
+        assert_eq!(tl[1].1, 1.0);
+    }
+
+    #[test]
+    fn upscale_preserves_pattern_and_scales_rate() {
+        // A trace with a quiet first second and a bursty second second.
+        let mut reqs = Vec::new();
+        for i in 0..10 {
+            reqs.push(spec(i * 100, 100, 50));
+        }
+        for i in 0..40 {
+            reqs.push(spec(1000 + i * 25, 100, 50));
+        }
+        let t = Trace::new(reqs);
+        let up = t.upscale(3.0, 7);
+        let n_ratio = up.len() as f64 / t.len() as f64;
+        assert!((n_ratio - 3.0).abs() < 0.3, "count scaled by {n_ratio:.2}");
+        // Burst structure preserved: second-second rate still ≈ 4× the first.
+        let tl = up.rate_timeline(SimDuration::from_secs(1));
+        assert!(tl[1].1 > 2.5 * tl[0].1, "burst shape must be preserved");
+        // Lengths preserved.
+        assert_eq!(up.mean_input_tokens(), 100.0);
+        // Deterministic per seed.
+        let up2 = t.upscale(3.0, 7);
+        assert_eq!(up.len(), up2.len());
+    }
+
+    #[test]
+    fn extreme_burst_replays_window() {
+        let t = Trace::new(vec![spec(0, 1, 1), spec(1100, 2, 2), spec(1900, 3, 3), spec(2500, 4, 4)]);
+        let e = extreme_burst(&t, SimTime::from_secs(1), SimTime::from_secs(2), 2);
+        // Base: 3 requests before burst_end; burst window has 2 requests,
+        // replayed twice → 3 + 4 = 7.
+        assert_eq!(e.len(), 7);
+        // Replayed copies land at +1 s and +2 s shifts.
+        let arrivals: Vec<u64> =
+            e.requests.iter().map(|r| r.arrival.as_micros() / 1000).collect();
+        assert!(arrivals.contains(&2100) && arrivals.contains(&3100));
+        assert!(arrivals.contains(&2900) && arrivals.contains(&3900));
+        // The post-burst tail of the original trace is dropped.
+        assert!(!arrivals.contains(&2500));
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.mean_rps(), 0.0);
+        assert_eq!(t.mean_input_tokens(), 0.0);
+        assert_eq!(t.duration(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for trace generation, upscaling and extreme-burst replay.
+
+use proptest::prelude::*;
+use sim_core::{SimDuration, SimTime};
+use workload::{extreme_burst, BurstTraceBuilder, Dataset, Trace};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated traces are sorted, densely numbered and in range.
+    #[test]
+    fn traces_are_well_formed(rps in 1.0f64..60.0, secs in 5u64..60, seed in 0u64..1000) {
+        let t = BurstTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(rps)
+            .duration(SimDuration::from_secs(secs))
+            .seed(seed)
+            .build();
+        for (i, r) in t.requests.iter().enumerate() {
+            prop_assert_eq!(r.id, i as u64);
+            prop_assert!(r.arrival < SimTime::from_secs(secs));
+            prop_assert!(r.input_tokens >= 1 && r.output_tokens >= 1);
+        }
+        for w in t.requests.windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    /// Upscaling by `f` multiplies the request count by ~f and preserves
+    /// per-request lengths.
+    #[test]
+    fn upscale_scales_counts(factor in 1.0f64..5.0, seed in 0u64..100) {
+        let base = BurstTraceBuilder::new(Dataset::ShareGpt)
+            .base_rps(20.0)
+            .duration(SimDuration::from_secs(30))
+            .seed(seed)
+            .build();
+        let up = base.upscale(factor, seed ^ 0xA5);
+        let ratio = up.len() as f64 / base.len() as f64;
+        prop_assert!((ratio - factor).abs() < 0.25 * factor + 0.1,
+            "count ratio {ratio:.2} vs factor {factor:.2}");
+        // Upscaling introduces no new length values.
+        use std::collections::HashSet;
+        let lengths: HashSet<(u64, u64)> =
+            base.requests.iter().map(|r| (r.input_tokens, r.output_tokens)).collect();
+        for r in &up.requests {
+            prop_assert!(lengths.contains(&(r.input_tokens, r.output_tokens)));
+        }
+    }
+
+    /// Extreme-burst replay: strictly more requests, the pre-window prefix
+    /// intact, and replayed copies confined to shifted windows.
+    #[test]
+    fn extreme_burst_replays_consistently(repeats in 1u32..5, seed in 0u64..100) {
+        let base = BurstTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(30.0)
+            .duration(SimDuration::from_secs(40))
+            .burst(SimTime::from_secs(15), SimDuration::from_secs(10), 2.5)
+            .seed(seed)
+            .build();
+        let (start, end) = (SimTime::from_secs(15), SimTime::from_secs(25));
+        let ex = extreme_burst(&base, start, end, repeats);
+        let in_window =
+            base.requests.iter().filter(|r| r.arrival >= start && r.arrival < end).count();
+        let before_end = base.requests.iter().filter(|r| r.arrival < end).count();
+        prop_assert_eq!(ex.len(), before_end + in_window * repeats as usize);
+        // Nothing arrives past the last replayed window.
+        let last = end + (end - start) * repeats as u64;
+        for r in &ex.requests {
+            prop_assert!(r.arrival < last);
+        }
+    }
+
+    /// Determinism: identical builders produce identical traces.
+    #[test]
+    fn builders_are_deterministic(seed in 0u64..500) {
+        let mk = || {
+            BurstTraceBuilder::new(Dataset::LongBench)
+                .base_rps(5.0)
+                .duration(SimDuration::from_secs(20))
+                .burst(SimTime::from_secs(8), SimDuration::from_secs(5), 2.0)
+                .seed(seed)
+                .build()
+        };
+        let (a, b): (Trace, Trace) = (mk(), mk());
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.requests.iter().zip(&b.requests) {
+            prop_assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Chatbot scenario: a ShareGPT-style chat service hit by a traffic spike.
+//!
+//! Chat requires tight TTFT SLOs (the paper uses SLO scale 5x). This
+//! example runs the paper-scale Qwen-2.5-14B cluster (8 simulated A800s)
+//! and reports SLO attainment for every system during a 2.8x burst.
+//!
+//! Run: `cargo run --release --example chatbot_burst`
+
+use kunserve_repro::prelude::*;
+
+fn main() {
+    let trace = BurstTraceBuilder::new(Dataset::ShareGpt)
+        .base_rps(11.0)
+        .duration(SimDuration::from_secs(120))
+        .burst(SimTime::from_secs(45), SimDuration::from_secs(12), 2.8)
+        .seed(21)
+        .build();
+    println!(
+        "chat workload: {} requests, mean input {:.0}, mean output {:.0}",
+        trace.len(),
+        trace.mean_input_tokens(),
+        trace.mean_output_tokens()
+    );
+
+    let mut cfg = ClusterConfig::qwen14b_cluster_a();
+    // Provision the KV pool at ~2.1x average demand (paper methodology).
+    cfg.reserve_frac = 0.50;
+
+    let drain = SimDuration::from_secs(300);
+    let mut results = Vec::new();
+    for kind in [
+        SystemKind::VllmDp,
+        SystemKind::VllmPp,
+        SystemKind::InferCept,
+        SystemKind::Llumnix,
+        SystemKind::KunServe,
+    ] {
+        results.push(run_system(kind, cfg.clone(), &trace, drain));
+    }
+
+    // Chat SLO: 5x the best baseline's P50 TTFT (paper §5.2).
+    let base_p50 = results[..results.len() - 1]
+        .iter()
+        .map(|o| o.report.ttft.p50)
+        .fold(f64::MAX, f64::min);
+    let slo = 5.0 * base_p50;
+    println!("chat TTFT SLO (5x best-baseline p50): {:.2}s", slo);
+    println!();
+    println!("system      | TTFT p50 | TTFT p99 | TPOT p50 | SLO violations");
+    println!("------------|----------|----------|----------|---------------");
+    for out in &results {
+        let viol = out.report.ttft_violation(base_p50, 5.0);
+        println!(
+            "{:<11} | {:>7.2}s | {:>7.2}s | {:>6.1}ms | {:>6.2}%",
+            out.name,
+            out.report.ttft.p50,
+            out.report.ttft.p99,
+            out.report.tpot.p50 * 1e3,
+            viol * 100.0
+        );
+    }
+}

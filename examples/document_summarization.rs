@@ -1,0 +1,63 @@
+//! Document-summarization scenario: LongBench-style requests with ~5.9K
+//! token inputs. Long contexts make KVCache the dominant memory consumer,
+//! so this is where memory overloading (and parameter dropping) matters
+//! most — the paper's most dramatic workload.
+//!
+//! Run: `cargo run --release --example document_summarization`
+
+use kunserve_repro::prelude::*;
+
+fn main() {
+    let trace = BurstTraceBuilder::new(Dataset::LongBench)
+        .base_rps(3.2)
+        .duration(SimDuration::from_secs(120))
+        .burst(SimTime::from_secs(40), SimDuration::from_secs(15), 2.8)
+        .seed(33)
+        .build();
+    println!(
+        "summarization workload: {} requests, mean input {:.0}, mean output {:.0}",
+        trace.len(),
+        trace.mean_input_tokens(),
+        trace.mean_output_tokens()
+    );
+    let kv_gb = trace.mean_input_tokens() * 192.0 * 1024.0 / 1e9;
+    println!("≈ {kv_gb:.2} GB of KVCache per request on Qwen-2.5-14B");
+
+    let mut cfg = ClusterConfig::qwen14b_cluster_a();
+    cfg.reserve_frac = 0.40;
+
+    let drain = SimDuration::from_secs(400);
+    for kind in [SystemKind::VllmDp, SystemKind::InferCept, SystemKind::KunServe] {
+        let out = run_system(kind, cfg.clone(), &trace, drain);
+        println!();
+        println!("=== {} ===", out.name);
+        println!(
+            "TTFT p50/p99 : {:.2}s / {:.2}s  (summarization SLO scale 10)",
+            out.report.ttft.p50, out.report.ttft.p99
+        );
+        println!(
+            "TPOT p50/p99 : {:.1}ms / {:.1}ms",
+            out.report.tpot.p50 * 1e3,
+            out.report.tpot.p99 * 1e3
+        );
+        println!(
+            "finished     : {}/{}  preemptions: {}",
+            out.report.finished_requests, out.report.total_requests, out.report.preemptions
+        );
+        let drops = out
+            .state
+            .metrics
+            .reconfig_events
+            .iter()
+            .filter(|(_, w)| w.starts_with("drop"))
+            .count();
+        let restores = out
+            .state
+            .metrics
+            .reconfig_events
+            .iter()
+            .filter(|(_, w)| w.starts_with("restore: split"))
+            .count();
+        println!("drops: {drops}  restores: {restores}");
+    }
+}

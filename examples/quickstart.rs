@@ -1,0 +1,46 @@
+//! Quickstart: serve a bursty trace with KunServe and print the report.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use kunserve_repro::prelude::*;
+
+fn main() {
+    // A 60-second BurstGPT-like workload with one 3x burst in the middle.
+    let trace = BurstTraceBuilder::new(Dataset::BurstGpt)
+        .base_rps(55.0)
+        .duration(SimDuration::from_secs(60))
+        .burst(SimTime::from_secs(25), SimDuration::from_secs(12), 3.0)
+        .seed(7)
+        .build();
+    println!(
+        "workload: {} requests, mean input {:.0} tokens, mean output {:.0} tokens",
+        trace.len(),
+        trace.mean_input_tokens(),
+        trace.mean_output_tokens()
+    );
+
+    // A small 4-instance cluster (tiny model so the example runs instantly),
+    // with the KV pool provisioned at ~2x the average demand like the
+    // paper's testbed — bursts then overload memory, not compute.
+    let mut cfg = ClusterConfig::tiny_test(4);
+    cfg.reserve_frac = 0.45;
+    println!(
+        "cluster: {} instances, {:.0}% of HBM holds parameters",
+        cfg.num_instances,
+        cfg.model.param_hbm_ratio()
+    );
+
+    for kind in [SystemKind::VllmDp, SystemKind::KunServe] {
+        let outcome = run_system(kind, cfg.clone(), &trace, SimDuration::from_secs(300));
+        let r = &outcome.report;
+        println!();
+        println!("=== {} ===", outcome.name);
+        println!("finished      : {}/{}", r.finished_requests, r.total_requests);
+        println!("TTFT p50/p99  : {:.3}s / {:.3}s", r.ttft.p50, r.ttft.p99);
+        println!("TPOT p50/p99  : {:.1}ms / {:.1}ms", r.tpot.p50 * 1e3, r.tpot.p99 * 1e3);
+        println!("preemptions   : {}", r.preemptions);
+        for (t, what) in &outcome.state.metrics.reconfig_events {
+            println!("event         : [{t}] {what}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Fault-tolerance tests (§4.4): an instance failure inside a pipeline
+//! group must not lose requests — survivors restore full parameter copies
+//! and all affected requests recompute and finish.
+
+use cluster::{ClusterConfig, ClusterState, Engine, GroupId, InstanceId, Policy};
+use kunserve::{KunServeConfig, KunServePolicy};
+use kunserve_repro::prelude::*;
+
+/// KunServe plus scripted fault injection: kills an instance at a fixed
+/// simulated time (once), after the policy has had a chance to drop.
+struct FaultyKunServe {
+    inner: KunServePolicy,
+    kill_at: SimTime,
+    victim: InstanceId,
+    killed: bool,
+}
+
+impl Policy for FaultyKunServe {
+    fn name(&self) -> &'static str {
+        "KunServe+fault"
+    }
+
+    fn on_tick(&mut self, state: &mut ClusterState, now: SimTime) {
+        self.inner.on_tick(state, now);
+        if !self.killed && now >= self.kill_at {
+            self.killed = true;
+            state.fail_instance(self.victim, now);
+        }
+    }
+
+    fn on_admission_blocked(&mut self, state: &mut ClusterState, now: SimTime, group: GroupId) {
+        self.inner.on_admission_blocked(state, now, group);
+    }
+
+    fn on_decode_oom(
+        &mut self,
+        state: &mut ClusterState,
+        now: SimTime,
+        group: GroupId,
+        request: cluster::RequestId,
+    ) -> cluster::OomResolution {
+        self.inner.on_decode_oom(state, now, group, request)
+    }
+
+    fn form_microbatches(
+        &self,
+        state: &ClusterState,
+        group: GroupId,
+        work: &[cluster::SeqChunk],
+    ) -> Vec<cluster::MicroBatch> {
+        self.inner.form_microbatches(state, group, work)
+    }
+
+    fn on_transfer_done(
+        &mut self,
+        state: &mut ClusterState,
+        now: SimTime,
+        event: &cluster::TransferEvent,
+    ) {
+        self.inner.on_transfer_done(state, now, event);
+    }
+}
+
+#[test]
+fn instance_failure_mid_burst_loses_no_requests() {
+    // Heavy burst forces drops (pipeline groups form), then instance 1
+    // fails at t=25s — likely mid-pipeline. Everything must still finish.
+    let trace = BurstTraceBuilder::new(Dataset::BurstGpt)
+        .base_rps(55.0)
+        .duration(SimDuration::from_secs(45))
+        .burst(SimTime::from_secs(15), SimDuration::from_secs(12), 3.0)
+        .seed(77)
+        .build();
+    let mut cfg = ClusterConfig::tiny_test(4);
+    cfg.reserve_frac = 0.45;
+    let policy = FaultyKunServe {
+        inner: KunServePolicy::new(KunServeConfig::default()),
+        kill_at: SimTime::from_secs(25),
+        victim: InstanceId(1),
+        killed: false,
+    };
+    let mut engine = Engine::new(cfg, policy);
+    let report = engine.run(&trace, SimDuration::from_secs(900));
+
+    assert!(engine.policy.killed, "the fault must have been injected");
+    assert_eq!(
+        report.finished_requests,
+        trace.len(),
+        "no request may be lost to the failure"
+    );
+    let state = engine.into_state();
+    let failure_logged = state
+        .metrics
+        .reconfig_events
+        .iter()
+        .any(|(_, w)| w.starts_with("failure"));
+    assert!(failure_logged, "the failure event must be recorded");
+    // Survivors hold full parameter copies and run as 1-instance groups.
+    for g in state.alive_groups() {
+        let grp = state.group(g);
+        for &m in &grp.members {
+            assert_ne!(m, InstanceId(1), "the failed instance must leave service");
+            assert_eq!(state.instances[m.0 as usize].dropped_layers(), 0);
+        }
+    }
+}
+
+#[test]
+fn failure_without_prior_drop_also_recovers() {
+    // Failure of a plain data-parallel instance: its queue and running
+    // requests re-enter other groups and finish.
+    let trace = BurstTraceBuilder::new(Dataset::BurstGpt)
+        .base_rps(30.0)
+        .duration(SimDuration::from_secs(30))
+        .seed(13)
+        .build();
+    let policy = FaultyKunServe {
+        inner: KunServePolicy::new(KunServeConfig::default()),
+        kill_at: SimTime::from_secs(10),
+        victim: InstanceId(0),
+        killed: false,
+    };
+    let mut engine = Engine::new(ClusterConfig::tiny_test(3), policy);
+    let report = engine.run(&trace, SimDuration::from_secs(600));
+    assert_eq!(report.finished_requests, trace.len());
+    let state = engine.into_state();
+    // Two survivors keep serving.
+    let live: Vec<GroupId> = state.alive_groups();
+    assert_eq!(live.len(), 2, "two survivor groups expected");
+}

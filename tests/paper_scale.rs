@@ -1,0 +1,58 @@
+//! Paper-scale smoke tests: the real model configurations (Qwen-2.5-14B on
+//! 8 simulated A800s, Qwen-2.5-72B TP=4) run correctly end to end. Kept
+//! short so `cargo test` stays fast; the full experiments live in the
+//! `bench` harness.
+
+use kunserve_repro::prelude::*;
+
+fn short_trace(dataset: Dataset, rps: f64, seed: u64) -> Trace {
+    BurstTraceBuilder::new(dataset)
+        .base_rps(rps)
+        .duration(SimDuration::from_secs(30))
+        .burst(SimTime::from_secs(12), SimDuration::from_secs(8), 2.8)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn qwen14b_cluster_a_serves_burstgpt() {
+    let mut cfg = ClusterConfig::qwen14b_cluster_a();
+    cfg.reserve_frac = 0.55;
+    let trace = short_trace(Dataset::BurstGpt, 24.0, 1);
+    let out = run_system(SystemKind::KunServe, cfg, &trace, SimDuration::from_secs(300));
+    assert_eq!(out.report.finished_requests, trace.len());
+    // Unloaded TTFT should be sub-second; decode tens of ms — the
+    // calibration targets of the ground-truth model.
+    assert!(out.report.ttft.p50 < 1.0, "p50 {:.3}", out.report.ttft.p50);
+    assert!(
+        out.report.tpot.p50 > 0.005 && out.report.tpot.p50 < 0.2,
+        "tpot {:.4}",
+        out.report.tpot.p50
+    );
+}
+
+#[test]
+fn qwen72b_tp4_cluster_b_serves_longbench() {
+    let mut cfg = ClusterConfig::qwen72b_cluster_b();
+    cfg.reserve_frac = 0.35;
+    let trace = short_trace(Dataset::LongBench, 1.6, 2);
+    let out = run_system(SystemKind::KunServe, cfg, &trace, SimDuration::from_secs(400));
+    assert_eq!(out.report.finished_requests, trace.len());
+    // 72B prefills of ~6K tokens take seconds; TTFT must reflect that scale
+    // without exploding.
+    assert!(out.report.ttft.p50 < 20.0, "p50 {:.2}", out.report.ttft.p50);
+}
+
+#[test]
+fn vllm_pp_frees_parameter_memory_on_real_model() {
+    // The vLLM (PP) baseline halves per-instance parameters: its KV
+    // capacity must exceed vLLM (DP)'s by roughly the paper's Table 1
+    // parameter share.
+    let cfg = ClusterConfig::qwen14b_cluster_a();
+    let trace = short_trace(Dataset::BurstGpt, 10.0, 3);
+    let dp = run_system(SystemKind::VllmDp, cfg.clone(), &trace, SimDuration::from_secs(200));
+    let pp = run_system(SystemKind::VllmPp, cfg, &trace, SimDuration::from_secs(200));
+    let cap = |o: &RunOutcome| o.state.memory_totals().1 as f64;
+    let gain = cap(&pp) / cap(&dp);
+    assert!(gain > 1.2, "PP must gain KV capacity (got {gain:.2}x)");
+}
