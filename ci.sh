@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the KunServe reproduction workspace.
+#
+# Everything runs offline: external deps (rand, proptest, criterion) are
+# vendored as shim crates under vendor/, so no crates.io access is needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --workspace --all-targets"
+cargo build --release --workspace --all-targets --offline
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> OK: all gates passed"

@@ -22,8 +22,12 @@ use simgpu::{GpuDevice, GpuId, PAGE_SIZE};
 fn bench_drop_plan(c: &mut Criterion) {
     let mut g = c.benchmark_group("drop_plan_generation");
     for n in [8usize, 64, 512, 4096] {
-        let groups: Vec<PlanGroup> =
-            (0..n).map(|i| PlanGroup { id: GroupId(i), instances: 1 }).collect();
+        let groups: Vec<PlanGroup> = (0..n)
+            .map(|i| PlanGroup {
+                id: GroupId(i),
+                instances: 1,
+            })
+            .collect();
         let planner = DropPlanner::new(100);
         g.bench_with_input(BenchmarkId::from_parameter(n), &groups, |b, groups| {
             b.iter(|| planner.plan(black_box(groups), (n as u64 / 2) * 100))
@@ -40,7 +44,10 @@ fn bench_lookahead(c: &mut Criterion) {
             .map(|i| SeqChunk {
                 request: RequestId(i),
                 work: if i % 3 == 0 {
-                    ChunkWork { prefix_tokens: 0, new_tokens: 512 + (i as u64 % 7) * 128 }
+                    ChunkWork {
+                        prefix_tokens: 0,
+                        new_tokens: 512 + (i as u64 % 7) * 128,
+                    }
                 } else {
                     ChunkWork::decode(600 + (i as u64 % 11) * 100)
                 },
@@ -103,7 +110,10 @@ fn bench_vmm_remap(c: &mut Criterion) {
                 let params = gpu.va_reserve(64 * PAGE_SIZE).expect("reserve");
                 let kv = gpu.va_reserve(128 * PAGE_SIZE).expect("reserve");
                 let handles: Vec<_> = (0..24)
-                    .map(|i| gpu.alloc_and_map(params, i * PAGE_SIZE, PAGE_SIZE).expect("map"))
+                    .map(|i| {
+                        gpu.alloc_and_map(params, i * PAGE_SIZE, PAGE_SIZE)
+                            .expect("map")
+                    })
                     .collect();
                 (gpu, kv, handles)
             },
@@ -125,7 +135,7 @@ fn bench_network(c: &mut Criterion) {
             link.submit(SimTime::ZERO, 1 << 30, 64 << 20, Priority::KvExchange);
             let mut t = SimTime::ZERO;
             for _ in 0..100 {
-                t = t + SimDuration::from_millis(2);
+                t += SimDuration::from_millis(2);
                 black_box(link.interactive(t, 8 << 20));
             }
             link.take_completions(SimTime::from_secs(10))
@@ -140,7 +150,11 @@ fn bench_pipeline_schedule(c: &mut Criterion) {
     };
     c.bench_function("pipeline_schedule_16x4", |b| {
         b.iter(|| {
-            schedule_fixed_transfer(SimTime::ZERO, black_box(&timing), SimDuration::from_micros(50))
+            schedule_fixed_transfer(
+                SimTime::ZERO,
+                black_box(&timing),
+                SimDuration::from_micros(50),
+            )
         })
     });
 }

@@ -37,14 +37,28 @@ fn main() {
                 .map(|&(_, v)| v)
                 .unwrap_or(0.0);
             println!("capacity_limit_gb,{:.1}", cap / 1e9);
-            let demand =
-                out.state.metrics.mem_demand.windowed_mean(SimTime::ZERO, end, window);
+            let demand = out
+                .state
+                .metrics
+                .mem_demand
+                .windowed_mean(SimTime::ZERO, end, window);
             print_series("time_s,kv_demand_gb", &demand, 1e-9);
-            let avg: f64 = out.state.metrics.mem_used.points().iter().map(|&(_, v)| v).sum::<f64>()
+            let avg: f64 = out
+                .state
+                .metrics
+                .mem_used
+                .points()
+                .iter()
+                .map(|&(_, v)| v)
+                .sum::<f64>()
                 / out.state.metrics.mem_used.len().max(1) as f64;
             println!("avg_usage_pct,{:.1}", avg / cap * 100.0);
         }
-        let ttft = out.state.metrics.ttft_series.windowed_mean(SimTime::ZERO, end, window);
+        let ttft = out
+            .state
+            .metrics
+            .ttft_series
+            .windowed_mean(SimTime::ZERO, end, window);
         print_series("time_s,mean_ttft_s", &ttft, 1.0);
         println!(
             "summary,p50={},p99={},max={}",

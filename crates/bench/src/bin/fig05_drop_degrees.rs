@@ -23,9 +23,12 @@ fn main() {
     println!("| Setup | TTFT p50 (s) | TTFT p99 (s) | TPOT p50 (ms) | TPOT p99 (ms) |");
     println!("|---|---|---|---|---|");
     let mut cdfs = Vec::new();
-    for (label, group_size) in
-        [("DP x 8 (full)", 1u32), ("Drop 50% layers", 2), ("Drop 75% layers", 4), ("Drop 88% layers", 8)]
-    {
+    for (label, group_size) in [
+        ("DP x 8 (full)", 1u32),
+        ("Drop 50% layers", 2),
+        ("Drop 75% layers", 4),
+        ("Drop 88% layers", 8),
+    ] {
         let mut cfg = sc.cfg.clone();
         cfg.initial_group_size = group_size;
         let out = run_system(SystemKind::VllmDp, cfg, &trace, sc.drain);

@@ -19,15 +19,27 @@ fn main() {
             println!();
             println!("--- {} ---", out.name);
             // Column 1: memory timeline (capacity moves when KunServe drops).
-            let cap = out.state.metrics.mem_capacity.windowed_mean(SimTime::ZERO, end, window);
-            let demand = out.state.metrics.mem_demand.windowed_mean(SimTime::ZERO, end, window);
+            let cap = out
+                .state
+                .metrics
+                .mem_capacity
+                .windowed_mean(SimTime::ZERO, end, window);
+            let demand = out
+                .state
+                .metrics
+                .mem_demand
+                .windowed_mean(SimTime::ZERO, end, window);
             print_series("time_s,capacity_gb", &cap, 1e-9);
             print_series("time_s,kv_demand_gb", &demand, 1e-9);
             for (t, what) in &out.state.metrics.reconfig_events {
                 println!("event,{:.1},{what}", t.as_secs_f64());
             }
             // Column 2: mean TTFT timeline.
-            let ttft = out.state.metrics.ttft_series.windowed_mean(SimTime::ZERO, end, window);
+            let ttft = out
+                .state
+                .metrics
+                .ttft_series
+                .windowed_mean(SimTime::ZERO, end, window);
             print_series("time_s,mean_ttft_s", &ttft, 1.0);
             // Column 3: throughput timeline.
             let rates = out.state.metrics.tokens.rates(SimTime::ZERO, end, window);

@@ -18,9 +18,18 @@ fn main() {
     let systems: Vec<(&str, SystemKind)> = vec![
         ("vLLM (DP)", SystemKind::VllmDp),
         ("vLLM (PP)", SystemKind::VllmPp),
-        ("+Dynamic drop", SystemKind::KunServeWith(KunServeConfig::drop_only())),
-        ("+Coordinated ex.", SystemKind::KunServeWith(KunServeConfig::drop_and_coordinated())),
-        ("+Lookahead", SystemKind::KunServeWith(KunServeConfig::default())),
+        (
+            "+Dynamic drop",
+            SystemKind::KunServeWith(KunServeConfig::drop_only()),
+        ),
+        (
+            "+Coordinated ex.",
+            SystemKind::KunServeWith(KunServeConfig::drop_and_coordinated()),
+        ),
+        (
+            "+Lookahead",
+            SystemKind::KunServeWith(KunServeConfig::default()),
+        ),
     ];
 
     println!("# Figure 14: ablation on {}", sc.name);
@@ -42,15 +51,21 @@ fn main() {
             ms(out.report.tpot.p999),
         );
         let end = SimTime::ZERO + sc.duration + SimDuration::from_secs(60);
-        let bubbles = out
-            .state
-            .metrics
-            .bubbles
-            .windowed_mean(SimTime::ZERO, end, SimDuration::from_secs(5));
+        let bubbles =
+            out.state
+                .metrics
+                .bubbles
+                .windowed_mean(SimTime::ZERO, end, SimDuration::from_secs(5));
         let mean_bubble = if out.state.metrics.bubbles.is_empty() {
             0.0
         } else {
-            out.state.metrics.bubbles.points().iter().map(|&(_, v)| v).sum::<f64>()
+            out.state
+                .metrics
+                .bubbles
+                .points()
+                .iter()
+                .map(|&(_, v)| v)
+                .sum::<f64>()
                 / out.state.metrics.bubbles.len() as f64
         };
         bubble_series.push((label, bubbles, mean_bubble));

@@ -36,12 +36,12 @@ fn main() {
         let d_base = ((blind - actual) / actual * 100.0).abs();
         max_dev_ours = max_dev_ours.max(d_ours);
         max_dev_base = max_dev_base.max(d_base);
-        println!(
-            "| {len} | {actual:.0} | {ours:.0} | {d_ours:.1} | {blind:.0} | {d_base:.1} |"
-        );
+        println!("| {len} | {actual:.0} | {ours:.0} | {d_ours:.1} | {blind:.0} | {d_base:.1} |");
     }
     println!();
-    println!("max_dev: ours {max_dev_ours:.1}% vs w/o-attn {max_dev_base:.1}% (paper: <5% vs up to 48%)");
+    println!(
+        "max_dev: ours {max_dev_ours:.1}% vs w/o-attn {max_dev_base:.1}% (paper: <5% vs up to 48%)"
+    );
     println!();
 
     println!("## Prefill w/ prefix (512-token chunk, prefix length sweep)");
@@ -50,7 +50,10 @@ fn main() {
     let mut max_dev_ours2: f64 = 0.0;
     let mut max_dev_base2: f64 = 0.0;
     for prefix in [512u64, 1024, 2048, 4096, 6144, 8192] {
-        let w = ChunkWork { prefix_tokens: prefix, new_tokens: 512 };
+        let w = ChunkWork {
+            prefix_tokens: prefix,
+            new_tokens: 512,
+        };
         let actual = gt.expected_us(&[w], 1.0) / 1e3;
         let ours = fitted.chunk_cost_us(w) / 1e3;
         let blind = baseline.batch_cost_us(&[w]) / 1e3;
@@ -58,9 +61,7 @@ fn main() {
         let d_base = ((blind - actual) / actual * 100.0).abs();
         max_dev_ours2 = max_dev_ours2.max(d_ours);
         max_dev_base2 = max_dev_base2.max(d_base);
-        println!(
-            "| {prefix} | {actual:.0} | {ours:.0} | {d_ours:.1} | {blind:.0} | {d_base:.1} |"
-        );
+        println!("| {prefix} | {actual:.0} | {ours:.0} | {d_ours:.1} | {blind:.0} | {d_base:.1} |");
     }
     println!();
     println!(

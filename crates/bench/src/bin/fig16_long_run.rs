@@ -43,7 +43,10 @@ fn main() {
     let mut timelines = Vec::new();
     for (label, kind) in [
         ("vLLM (DP)", SystemKind::VllmDp),
-        ("KunServe w/o restore", SystemKind::KunServeWith(KunServeConfig::without_restore())),
+        (
+            "KunServe w/o restore",
+            SystemKind::KunServeWith(KunServeConfig::without_restore()),
+        ),
         ("KunServe", SystemKind::KunServe),
     ] {
         let out = kunserve::serving::run_system(kind, sc.cfg.clone(), &trace, sc.drain);
@@ -54,8 +57,16 @@ fn main() {
             ms(out.report.tpot.p50),
             ms(out.report.tpot.p99),
         );
-        let ttft = out.state.metrics.ttft_series.windowed_mean(SimTime::ZERO, end, window);
-        let demand = out.state.metrics.mem_demand.windowed_mean(SimTime::ZERO, end, window);
+        let ttft = out
+            .state
+            .metrics
+            .ttft_series
+            .windowed_mean(SimTime::ZERO, end, window);
+        let demand = out
+            .state
+            .metrics
+            .mem_demand
+            .windowed_mean(SimTime::ZERO, end, window);
         let events: Vec<(f64, String)> = out
             .state
             .metrics

@@ -18,10 +18,18 @@ fn main() {
     let b_start = SimTime::from_secs_f64(d * 0.35);
     let b_end = SimTime::from_secs_f64(d * 0.35 + 14.0);
     let trace = extreme_burst(&base, b_start, b_end, 6);
-    println!("# Figure 17: extreme burst on {} ({} requests)", sc.name, trace.len());
+    println!(
+        "# Figure 17: extreme burst on {} ({} requests)",
+        sc.name,
+        trace.len()
+    );
     println!();
     println!("# Arrival rate (req/s, 5s windows)");
-    print_series("time_s,req_per_s", &trace.rate_timeline(SimDuration::from_secs(5)), 1.0);
+    print_series(
+        "time_s,req_per_s",
+        &trace.rate_timeline(SimDuration::from_secs(5)),
+        1.0,
+    );
 
     let window = SimDuration::from_secs(5);
     let end = SimTime::ZERO + SimDuration::from_secs_f64(d + 120.0);
@@ -29,11 +37,23 @@ fn main() {
         let out = kunserve::serving::run_system(kind, sc.cfg.clone(), &trace, sc.drain);
         println!();
         println!("## {}", out.name);
-        let ttft = out.state.metrics.ttft_series.windowed_mean(SimTime::ZERO, end, window);
+        let ttft = out
+            .state
+            .metrics
+            .ttft_series
+            .windowed_mean(SimTime::ZERO, end, window);
         print_series("time_s,mean_ttft_s", &ttft, 1.0);
-        let used = out.state.metrics.mem_used.windowed_mean(SimTime::ZERO, end, window);
+        let used = out
+            .state
+            .metrics
+            .mem_used
+            .windowed_mean(SimTime::ZERO, end, window);
         print_series("time_s,kv_used_gb", &used, 1e-9);
-        let cap = out.state.metrics.mem_capacity.windowed_mean(SimTime::ZERO, end, window);
+        let cap = out
+            .state
+            .metrics
+            .mem_capacity
+            .windowed_mean(SimTime::ZERO, end, window);
         print_series("time_s,kv_capacity_gb", &cap, 1e-9);
         let drops = out
             .state

@@ -134,7 +134,10 @@ impl Scenario {
 
     /// Runs the full five-system lineup.
     pub fn run_lineup(&self) -> Vec<RunOutcome> {
-        SystemKind::paper_lineup().into_iter().map(|k| self.run(k)).collect()
+        SystemKind::paper_lineup()
+            .into_iter()
+            .map(|k| self.run(k))
+            .collect()
     }
 }
 

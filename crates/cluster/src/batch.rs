@@ -70,18 +70,27 @@ pub fn token_count_form(work: &[SeqChunk], num_microbatches: usize) -> Vec<Micro
         loop {
             if rest.new_tokens <= room {
                 room -= rest.new_tokens;
-                current.chunks.push(SeqChunk { request, work: rest });
+                current.chunks.push(SeqChunk {
+                    request,
+                    work: rest,
+                });
                 break;
             }
             // Split at the budget boundary; the tail keeps the head as
             // prefix (chunked-prefill semantics).
-            let head = ChunkWork { prefix_tokens: rest.prefix_tokens, new_tokens: room };
+            let head = ChunkWork {
+                prefix_tokens: rest.prefix_tokens,
+                new_tokens: room,
+            };
             let tail = ChunkWork {
                 prefix_tokens: rest.prefix_tokens + room,
                 new_tokens: rest.new_tokens - room,
             };
             if head.new_tokens > 0 {
-                current.chunks.push(SeqChunk { request, work: head });
+                current.chunks.push(SeqChunk {
+                    request,
+                    work: head,
+                });
             }
             mbs.push(std::mem::take(&mut current));
             room = budget;
@@ -107,19 +116,31 @@ mod tests {
     fn chunk(id: usize, prefix: u64, new: u64) -> SeqChunk {
         SeqChunk {
             request: RequestId(id),
-            work: ChunkWork { prefix_tokens: prefix, new_tokens: new },
+            work: ChunkWork {
+                prefix_tokens: prefix,
+                new_tokens: new,
+            },
         }
     }
 
     #[test]
     fn balances_token_counts() {
-        let work = vec![chunk(0, 0, 400), chunk(1, 0, 300), chunk(2, 0, 200), chunk(3, 0, 100)];
+        let work = vec![
+            chunk(0, 0, 400),
+            chunk(1, 0, 300),
+            chunk(2, 0, 200),
+            chunk(3, 0, 100),
+        ];
         let mbs = token_count_form(&work, 2);
         assert_eq!(mbs.len(), 2);
         let t0 = mbs[0].new_tokens();
         let t1 = mbs[1].new_tokens();
         assert_eq!(t0 + t1, 1000);
-        assert_eq!(t0.max(t1), 500, "sequential fill splits at the 500 boundary");
+        assert_eq!(
+            t0.max(t1),
+            500,
+            "sequential fill splits at the 500 boundary"
+        );
     }
 
     #[test]
@@ -197,10 +218,11 @@ mod tests {
         let work = vec![chunk(0, 0, 100), chunk(1, 0, 100), chunk(2, 0, 100)];
         let a = token_count_form(&work, 2);
         let b = token_count_form(&work, 2);
-        let ids =
-            |mbs: &[MicroBatch]| -> Vec<Vec<usize>> {
-                mbs.iter().map(|m| m.chunks.iter().map(|c| c.request.0).collect()).collect()
-            };
+        let ids = |mbs: &[MicroBatch]| -> Vec<Vec<usize>> {
+            mbs.iter()
+                .map(|m| m.chunks.iter().map(|c| c.request.0).collect())
+                .collect()
+        };
         assert_eq!(ids(&a), ids(&b));
     }
 }

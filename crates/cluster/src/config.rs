@@ -196,6 +196,9 @@ mod tests {
         let tokens = kv_pool / c.model.kv_bytes_per_token();
         // A few hundred K tokens max — small enough for fast test overload.
         assert!(tokens < 200_000, "tiny pool holds {tokens} tokens");
-        assert!(c.model.param_hbm_ratio() > 30.0, "params dominate like Table 1");
+        assert!(
+            c.model.param_hbm_ratio() > 30.0,
+            "params dominate like Table 1"
+        );
     }
 }

@@ -70,7 +70,9 @@ impl<P: Policy> Engine<P> {
         self.total = trace.len();
         for spec in &trace.requests {
             let id = RequestId(self.state.requests.len());
-            self.state.requests.push(Request::new(id, *spec, GroupId(0)));
+            self.state
+                .requests
+                .push(Request::new(id, *spec, GroupId(0)));
             self.events.push(spec.arrival, Event::Arrival(id));
         }
         self.events.push(SimTime::ZERO, Event::MonitorTick);
@@ -100,7 +102,9 @@ impl<P: Policy> Engine<P> {
         let group = self.state.dispatch(input);
         self.state.requests[id.0].group = group;
         let spec = self.state.requests[id.0].spec;
-        self.state.metrics.on_arrival(id, spec.arrival, spec.output_tokens);
+        self.state
+            .metrics
+            .on_arrival(id, spec.arrival, spec.output_tokens);
         self.state.group_mut(group).queue.push_back(id);
         self.try_start(group);
     }
@@ -139,7 +143,8 @@ impl<P: Policy> Engine<P> {
         let done = self.state.network.take_completions(self.now);
         for (_, job) in done {
             if let Some(event) = self.state.apply_transfer_done(job) {
-                self.policy.on_transfer_done(&mut self.state, self.now, &event);
+                self.policy
+                    .on_transfer_done(&mut self.state, self.now, &event);
             }
         }
         self.run_reconfigs();
@@ -195,7 +200,9 @@ impl<P: Policy> Engine<P> {
 
         let stages = self.state.group(group).stages();
         let mbs: Vec<MicroBatch> = if stages == 1 {
-            vec![MicroBatch { chunks: work.clone() }]
+            vec![MicroBatch {
+                chunks: work.clone(),
+            }]
         } else {
             self.policy.form_microbatches(&self.state, group, &work)
         };
@@ -208,7 +215,11 @@ impl<P: Policy> Engine<P> {
             let works = mb.works();
             let row: Vec<SimDuration> = fracs
                 .iter()
-                .map(|&f| self.state.ground_truth.sample(&works, f, &mut self.state.rng))
+                .map(|&f| {
+                    self.state
+                        .ground_truth
+                        .sample(&works, f, &mut self.state.rng)
+                })
                 .collect();
             times.push(row);
         }
@@ -251,7 +262,11 @@ impl<P: Policy> Engine<P> {
         let finish = start + makespan;
         if std::env::var("KS_DEBUG_ITER").is_ok() && makespan > SimDuration::from_millis(100) {
             let decodes = work.iter().filter(|c| c.work.new_tokens == 1).count();
-            let ptok: u64 = work.iter().filter(|c| c.work.new_tokens > 1).map(|c| c.work.new_tokens).sum();
+            let ptok: u64 = work
+                .iter()
+                .filter(|c| c.work.new_tokens > 1)
+                .map(|c| c.work.new_tokens)
+                .sum();
             eprintln!(
                 "[{}] big iter group{} stages={} mbs={} decodes={} prefill_tok={} makespan={} overhead={} bubble={:.2}",
                 self.now, group.0, stages, mbs.len(), decodes, ptok, makespan, overhead, bubble_frac
@@ -290,7 +305,8 @@ impl<P: Policy> Engine<P> {
                 return;
             }
             asked_policy = true;
-            self.policy.on_admission_blocked(&mut self.state, self.now, group);
+            self.policy
+                .on_admission_blocked(&mut self.state, self.now, group);
             if !self.state.group_alive(group) || self.state.group(group).frozen {
                 return;
             }
@@ -338,16 +354,23 @@ impl<P: Policy> Engine<P> {
             if self.state.requests[r.0].state != ReqState::Running {
                 continue; // preempted as an earlier victim
             }
-            let want = rounds.min(self.state.requests[r.0].output_remaining()).max(1);
+            let want = rounds
+                .min(self.state.requests[r.0].output_remaining())
+                .max(1);
             loop {
                 let ok = {
                     let g = self.state.group_mut(group);
-                    g.blocks.append_tokens(kvcache::SeqKey(r.0 as u64), want).is_ok()
+                    g.blocks
+                        .append_tokens(kvcache::SeqKey(r.0 as u64), want)
+                        .is_ok()
                 };
                 if ok {
                     break;
                 }
-                match self.policy.on_decode_oom(&mut self.state, self.now, group, r) {
+                match self
+                    .policy
+                    .on_decode_oom(&mut self.state, self.now, group, r)
+                {
                     crate::policy::OomResolution::Retry => continue,
                     crate::policy::OomResolution::SkipIteration => {
                         skipped.push(r);
@@ -396,7 +419,10 @@ impl<P: Policy> Engine<P> {
                     let n = rounds.min(req.output_remaining()).max(1);
                     work.push(SeqChunk {
                         request: r,
-                        work: ChunkWork { prefix_tokens: req.kv_tokens(), new_tokens: n },
+                        work: ChunkWork {
+                            prefix_tokens: req.kv_tokens(),
+                            new_tokens: n,
+                        },
                     });
                     used += n;
                 }
@@ -416,7 +442,10 @@ impl<P: Policy> Engine<P> {
             }
             work.push(SeqChunk {
                 request: r,
-                work: ChunkWork { prefix_tokens: req.prefilled, new_tokens: chunk },
+                work: ChunkWork {
+                    prefix_tokens: req.prefilled,
+                    new_tokens: chunk,
+                },
             });
             used += chunk;
         }
@@ -433,7 +462,10 @@ impl<P: Policy> Engine<P> {
         };
         let Some(plan) = plan else { return };
         let now = self.now;
-        self.state.metrics.iterations.push(now, plan.duration.as_secs_f64());
+        self.state
+            .metrics
+            .iterations
+            .push(now, plan.duration.as_secs_f64());
         if self.state.group(group).stages() > 1 {
             self.state.metrics.bubbles.push(now, plan.bubble_frac);
         }
@@ -529,7 +561,11 @@ mod tests {
         let report = eng.run(&trace, SimDuration::from_secs(120));
         assert_eq!(report.finished_requests, 4);
         // TPOT should be on the order of a decode iteration (ms–tens of ms).
-        assert!(report.tpot.p50 > 0.0005 && report.tpot.p50 < 0.2, "tpot {}", report.tpot.p50);
+        assert!(
+            report.tpot.p50 > 0.0005 && report.tpot.p50 < 0.2,
+            "tpot {}",
+            report.tpot.p50
+        );
     }
 
     #[test]
@@ -539,7 +575,10 @@ mod tests {
         let mut eng = Engine::new(ClusterConfig::tiny_test(1), QueueingPolicy);
         let trace = small_trace(80, 5, 1024, 512);
         let report = eng.run(&trace, SimDuration::from_secs(1200));
-        assert_eq!(report.finished_requests, 80, "fallback must guarantee progress");
+        assert_eq!(
+            report.finished_requests, 80,
+            "fallback must guarantee progress"
+        );
         assert!(
             report.preemptions > 0,
             "memory overload must force recompute preemptions"

@@ -132,8 +132,7 @@ impl ExecGroup {
         self.running.retain(|&r| r != id);
         self.stalled.retain(|&r| r != id);
         self.swapped.retain(|&r| r != id);
-        before
-            != self.queue.len() + self.running.len() + self.stalled.len() + self.swapped.len()
+        before != self.queue.len() + self.running.len() + self.stalled.len() + self.swapped.len()
     }
 
     /// Moves a request from `stalled` to `running`. Returns `true` on
@@ -269,6 +268,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "one fraction per member")]
     fn mismatched_fracs_panic() {
-        ExecGroup::new(GroupId(0), vec![InstanceId(0)], vec![], BlockManager::new(1, 16));
+        ExecGroup::new(
+            GroupId(0),
+            vec![InstanceId(0)],
+            vec![],
+            BlockManager::new(1, 16),
+        );
     }
 }

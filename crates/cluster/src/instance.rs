@@ -76,19 +76,26 @@ impl Instance {
         let num_layers = model.num_layers;
 
         let param_span = embed_bytes + layer_bytes * num_layers as u64;
-        let param_region =
-            device.va_reserve(align_up(param_span, PAGE_SIZE)).expect("param VA reserve");
+        let param_region = device
+            .va_reserve(align_up(param_span, PAGE_SIZE))
+            .expect("param VA reserve");
         // Reserve the whole HBM span of VA for KV: VA is cheap, and the tail
         // must be able to absorb every dropped layer.
-        let kv_region = device.va_reserve(align_up(hbm, PAGE_SIZE)).expect("kv VA reserve");
+        let kv_region = device
+            .va_reserve(align_up(hbm, PAGE_SIZE))
+            .expect("kv VA reserve");
 
         // Embedding at offset 0, then one handle per layer.
-        device.alloc_and_map(param_region, 0, embed_bytes).expect("embedding fits");
+        device
+            .alloc_and_map(param_region, 0, embed_bytes)
+            .expect("embedding fits");
         let mut layer_handles = Vec::with_capacity(num_layers as usize);
         let mut layer_offsets = Vec::with_capacity(num_layers as usize);
         let mut off = embed_bytes;
         for _ in 0..num_layers {
-            let h = device.alloc_and_map(param_region, off, layer_bytes).expect("layer fits");
+            let h = device
+                .alloc_and_map(param_region, off, layer_bytes)
+                .expect("layer fits");
             layer_handles.push(Some(h));
             layer_offsets.push(off);
             off += layer_bytes;
@@ -103,7 +110,9 @@ impl Instance {
             / PAGE_SIZE
             * PAGE_SIZE;
         assert!(kv_pool > 0, "no HBM left for KVCache");
-        device.alloc_and_map(kv_region, 0, kv_pool).expect("kv pool fits");
+        device
+            .alloc_and_map(kv_region, 0, kv_pool)
+            .expect("kv pool fits");
         let kv_base_extent = device.contiguous_extent(kv_region).expect("kv region");
 
         Instance {
@@ -135,7 +144,9 @@ impl Instance {
     /// Current KVCache pool size in bytes (the contiguous region kernels
     /// can address).
     pub fn kv_pool_bytes(&self) -> u64 {
-        self.device.contiguous_extent(self.kv_region).expect("kv region alive")
+        self.device
+            .contiguous_extent(self.kv_region)
+            .expect("kv region alive")
     }
 
     /// KV pool size before any drop.
@@ -145,7 +156,9 @@ impl Instance {
 
     /// Bytes of parameters currently resident.
     pub fn param_resident_bytes(&self) -> u64 {
-        self.device.mapped_bytes(self.param_region).expect("param region alive")
+        self.device
+            .mapped_bytes(self.param_region)
+            .expect("param region alive")
     }
 
     /// Number of layers currently dropped.
@@ -171,7 +184,9 @@ impl Instance {
                     .expect("drop plan must target resident layers");
                 self.device.mem_unmap_handle(h).expect("layer was mapped");
                 let off = self.kv_tail;
-                self.device.mem_map(self.kv_region, off, h).expect("tail slot free");
+                self.device
+                    .mem_map(self.kv_region, off, h)
+                    .expect("tail slot free");
                 self.dropped_at.insert(layer, (off, h));
                 self.kv_tail += self.layer_bytes;
                 ops += 1;
@@ -191,7 +206,10 @@ impl Instance {
         dropped.sort_by_key(|&(layer, _)| layer);
         let ops = dropped.len();
         for (layer, (off, h)) in dropped {
-            let got = self.device.mem_unmap(self.kv_region, off).expect("tail mapping");
+            let got = self
+                .device
+                .mem_unmap(self.kv_region, off)
+                .expect("tail mapping");
             debug_assert_eq!(got, h);
             self.device
                 .mem_map(self.param_region, self.layer_offsets[layer as usize], h)
@@ -250,7 +268,10 @@ mod tests {
         assert_eq!(inst.dropped_layers(), 4);
         assert_eq!(inst.resident_layers().len(), cfg.model.num_layers - 4);
         let gained = inst.kv_pool_bytes() - before;
-        assert_eq!(gained, 4 * align_up(cfg.model.layer_param_bytes(), PAGE_SIZE));
+        assert_eq!(
+            gained,
+            4 * align_up(cfg.model.layer_param_bytes(), PAGE_SIZE)
+        );
         assert!((inst.layer_fraction(&cfg.model) - 0.5).abs() < 1e-9);
     }
 

@@ -26,7 +26,8 @@ pub struct RequestRecord {
 impl RequestRecord {
     /// Time-to-first-token in seconds, if the first token was produced.
     pub fn ttft_secs(&self) -> Option<f64> {
-        self.first_token.map(|t| t.since(self.arrival).as_secs_f64())
+        self.first_token
+            .map(|t| t.since(self.arrival).as_secs_f64())
     }
 
     /// Mean time-per-output-token in seconds over the decode phase.
@@ -84,8 +85,14 @@ impl Metrics {
                 },
             );
         }
-        self.records[idx] =
-            RequestRecord { id, arrival, first_token: None, finished: None, output_tokens, preemptions: 0 };
+        self.records[idx] = RequestRecord {
+            id,
+            arrival,
+            first_token: None,
+            finished: None,
+            output_tokens,
+            preemptions: 0,
+        };
     }
 
     /// Records the first output token of a request.

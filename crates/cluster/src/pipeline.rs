@@ -76,8 +76,14 @@ pub fn schedule(
 ) -> PipelineSchedule {
     let m = timing.microbatches();
     let s = timing.stages();
-    assert!(m > 0 && s > 0, "schedule needs at least one microbatch and stage");
-    assert!(timing.times.iter().all(|row| row.len() == s), "ragged stage timing");
+    assert!(
+        m > 0 && s > 0,
+        "schedule needs at least one microbatch and stage"
+    );
+    assert!(
+        timing.times.iter().all(|row| row.len() == s),
+        "ragged stage timing"
+    );
 
     let mut finish = vec![vec![SimTime::ZERO; s]; m];
     let mut first_start = vec![SimTime::MAX; s];
@@ -98,10 +104,16 @@ pub fn schedule(
         }
     }
 
-    let stage_span: Vec<SimDuration> =
-        (0..s).map(|st| finish[m - 1][st] - first_start[st]).collect();
+    let stage_span: Vec<SimDuration> = (0..s)
+        .map(|st| finish[m - 1][st] - first_start[st])
+        .collect();
     let makespan = finish[m - 1][s - 1] - start;
-    PipelineSchedule { makespan, stage_busy: busy, stage_span, finish }
+    PipelineSchedule {
+        makespan,
+        stage_busy: busy,
+        stage_span,
+        finish,
+    }
 }
 
 /// Convenience: schedule with a fixed per-boundary transfer delay.
@@ -123,7 +135,9 @@ mod tests {
 
     #[test]
     fn single_stage_single_batch() {
-        let timing = StageTiming { times: vec![vec![ms(10)]] };
+        let timing = StageTiming {
+            times: vec![vec![ms(10)]],
+        };
         let sched = schedule_fixed_transfer(SimTime::ZERO, &timing, SimDuration::ZERO);
         assert_eq!(sched.makespan, ms(10));
         assert_eq!(sched.bubble_frac(), 0.0);
@@ -133,7 +147,9 @@ mod tests {
     fn balanced_pipeline_textbook_makespan() {
         // 3 microbatches × 2 stages, all 10 ms, no transfer delay:
         // makespan = (m + s - 1) × t = 4 × 10 ms.
-        let timing = StageTiming { times: vec![vec![ms(10); 2]; 3] };
+        let timing = StageTiming {
+            times: vec![vec![ms(10); 2]; 3],
+        };
         let sched = schedule_fixed_transfer(SimTime::ZERO, &timing, SimDuration::ZERO);
         assert_eq!(sched.makespan, ms(40));
         // Stage 0: busy 30 of span 30. Stage 1: busy 30 of span 30 (starts
@@ -145,10 +161,18 @@ mod tests {
     fn imbalance_creates_bubbles() {
         // Fig. 8 (b): B1 takes 3× longer; stage 1 idles waiting for it.
         let timing = StageTiming {
-            times: vec![vec![ms(10), ms(10)], vec![ms(30), ms(30)], vec![ms(10), ms(10)]],
+            times: vec![
+                vec![ms(10), ms(10)],
+                vec![ms(30), ms(30)],
+                vec![ms(10), ms(10)],
+            ],
         };
         let sched = schedule_fixed_transfer(SimTime::ZERO, &timing, SimDuration::ZERO);
-        assert!(sched.bubble_frac() > 0.15, "bubble {:.2}", sched.bubble_frac());
+        assert!(
+            sched.bubble_frac() > 0.15,
+            "bubble {:.2}",
+            sched.bubble_frac()
+        );
         // Hand-check stage 1: B0 runs 10–20, B1 arrives at 40 (10 ms gap),
         // runs 40–70, B2 arrives at 50 but stage busy until 70, runs 70–80.
         assert_eq!(sched.finish[2][1], SimTime::from_millis(80));
@@ -158,7 +182,9 @@ mod tests {
 
     #[test]
     fn transfer_delay_extends_makespan() {
-        let timing = StageTiming { times: vec![vec![ms(10); 2]; 2] };
+        let timing = StageTiming {
+            times: vec![vec![ms(10); 2]; 2],
+        };
         let no_delay = schedule_fixed_transfer(SimTime::ZERO, &timing, SimDuration::ZERO);
         let delayed = schedule_fixed_transfer(SimTime::ZERO, &timing, ms(5));
         assert_eq!(no_delay.makespan, ms(30));
@@ -167,7 +193,9 @@ mod tests {
 
     #[test]
     fn transfer_called_in_send_order_per_boundary() {
-        let timing = StageTiming { times: vec![vec![ms(10); 2]; 4] };
+        let timing = StageTiming {
+            times: vec![vec![ms(10); 2]; 4],
+        };
         let mut last_send = SimTime::ZERO;
         schedule(SimTime::ZERO, &timing, |_, boundary, send| {
             assert_eq!(boundary, 0);
@@ -180,7 +208,9 @@ mod tests {
     #[test]
     fn nonzero_start_offsets_everything() {
         let start = SimTime::from_secs(5);
-        let timing = StageTiming { times: vec![vec![ms(10)]] };
+        let timing = StageTiming {
+            times: vec![vec![ms(10)]],
+        };
         let sched = schedule_fixed_transfer(start, &timing, SimDuration::ZERO);
         assert_eq!(sched.finish[0][0], start + ms(10));
         assert_eq!(sched.makespan, ms(10));
@@ -200,8 +230,12 @@ mod tests {
     fn balanced_vs_imbalanced_same_work() {
         // Same total work split two ways: balanced beats imbalanced — the
         // premise of lookahead formation (Fig. 9 (c)).
-        let balanced = StageTiming { times: vec![vec![ms(20), ms(20)], vec![ms(20), ms(20)]] };
-        let imbalanced = StageTiming { times: vec![vec![ms(10), ms(10)], vec![ms(30), ms(30)]] };
+        let balanced = StageTiming {
+            times: vec![vec![ms(20), ms(20)], vec![ms(20), ms(20)]],
+        };
+        let imbalanced = StageTiming {
+            times: vec![vec![ms(10), ms(10)], vec![ms(30), ms(30)]],
+        };
         let b = schedule_fixed_transfer(SimTime::ZERO, &balanced, SimDuration::ZERO);
         let i = schedule_fixed_transfer(SimTime::ZERO, &imbalanced, SimDuration::ZERO);
         assert!(b.makespan < i.makespan);

@@ -102,8 +102,7 @@ pub trait Policy {
     /// Called when the head-of-line request of `group` cannot be admitted
     /// for lack of KV blocks. The policy may free memory (swap, migrate,
     /// preempt); the engine re-checks admission afterwards.
-    fn on_admission_blocked(&mut self, _state: &mut ClusterState, _now: SimTime, _group: GroupId) {
-    }
+    fn on_admission_blocked(&mut self, _state: &mut ClusterState, _now: SimTime, _group: GroupId) {}
 
     /// Called when `request` cannot grow its KVCache for the next decode
     /// step. See [`OomResolution`] for the possible outcomes.
@@ -130,7 +129,12 @@ pub trait Policy {
     }
 
     /// Called after the engine applied a completed transfer.
-    fn on_transfer_done(&mut self, _state: &mut ClusterState, _now: SimTime, _event: &TransferEvent) {
+    fn on_transfer_done(
+        &mut self,
+        _state: &mut ClusterState,
+        _now: SimTime,
+        _event: &TransferEvent,
+    ) {
     }
 }
 

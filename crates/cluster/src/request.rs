@@ -155,7 +155,12 @@ mod tests {
     use super::*;
 
     fn spec(input: u64, output: u64) -> RequestSpec {
-        RequestSpec { id: 0, arrival: SimTime::ZERO, input_tokens: input, output_tokens: output }
+        RequestSpec {
+            id: 0,
+            arrival: SimTime::ZERO,
+            input_tokens: input,
+            output_tokens: output,
+        }
     }
 
     fn req(input: u64, output: u64) -> Request {

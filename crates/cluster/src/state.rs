@@ -94,13 +94,14 @@ impl ClusterState {
     pub fn new(cfg: ClusterConfig) -> Self {
         assert!(cfg.num_instances > 0, "need at least one instance");
         assert!(
-            cfg.initial_group_size >= 1 && cfg.num_instances % cfg.initial_group_size == 0,
+            cfg.initial_group_size >= 1 && cfg.num_instances.is_multiple_of(cfg.initial_group_size),
             "group size must divide the instance count"
         );
         let ground_truth = GroundTruth::for_model(&cfg.model, cfg.gpu);
         let cost_model = Profiler::new(ground_truth.clone(), cfg.seed ^ 0xC0_57).fit();
-        let mut instances: Vec<Instance> =
-            (0..cfg.num_instances).map(|i| Instance::new(InstanceId(i), &cfg)).collect();
+        let mut instances: Vec<Instance> = (0..cfg.num_instances)
+            .map(|i| Instance::new(InstanceId(i), &cfg))
+            .collect();
 
         // Form initial groups of k members; for k > 1, pre-drop parameters
         // to the per-stage partition (the vLLM-PP baseline and Fig. 5).
@@ -108,8 +109,7 @@ impl ClusterState {
         let num_layers = cfg.model.num_layers;
         let mut groups = Vec::new();
         for g in 0..(cfg.num_instances / k) {
-            let members: Vec<InstanceId> =
-                (0..k).map(|j| InstanceId(g * k + j)).collect();
+            let members: Vec<InstanceId> = (0..k).map(|j| InstanceId(g * k + j)).collect();
             let parts = partition_layers(num_layers, k);
             for (j, &m) in members.iter().enumerate() {
                 if k > 1 {
@@ -137,8 +137,9 @@ impl ClusterState {
             )));
         }
 
-        let host_pools =
-            (0..cfg.num_instances).map(|_| HostSwapPool::new(cfg.host_swap_blocks)).collect();
+        let host_pools = (0..cfg.num_instances)
+            .map(|_| HostSwapPool::new(cfg.host_swap_blocks))
+            .collect();
         let network = Network::new(cfg.fabric);
         let rng = SmallRng::seed_from_u64(cfg.seed);
         ClusterState {
@@ -190,7 +191,10 @@ impl ClusterState {
 
     /// Ids of all live groups, ascending.
     pub fn alive_groups(&self) -> Vec<GroupId> {
-        (0..self.groups.len()).map(GroupId).filter(|&g| self.group_alive(g)).collect()
+        (0..self.groups.len())
+            .map(GroupId)
+            .filter(|&g| self.group_alive(g))
+            .collect()
     }
 
     /// Borrows a request.
@@ -220,8 +224,11 @@ impl ClusterState {
     /// head-of-line prompt demand (the paper's Llumnix-style load metric).
     pub fn group_demand_tokens(&self, id: GroupId) -> u64 {
         let g = self.group(id);
-        let queued: u64 =
-            g.queue.iter().map(|&r| self.requests[r.0].prefill_target()).sum();
+        let queued: u64 = g
+            .queue
+            .iter()
+            .map(|&r| self.requests[r.0].prefill_target())
+            .sum();
         g.blocks.used_tokens() + queued
     }
 
@@ -283,7 +290,9 @@ impl ClusterState {
         if !g.blocks.can_allocate(target) {
             return false;
         }
-        g.blocks.allocate(Self::seq_key(id), target).expect("checked can_allocate");
+        g.blocks
+            .allocate(Self::seq_key(id), target)
+            .expect("checked can_allocate");
         self.requests[id.0].state = ReqState::Running;
         true
     }
@@ -359,7 +368,10 @@ impl ClusterState {
         // Reserve host-pool space up front: a start-time check alone would
         // let concurrent swap-outs oversubscribe the pool by completion
         // time.
-        if self.host_pools[node.0 as usize].swap_out(Self::seq_key(id), blocks, tokens).is_err() {
+        if self.host_pools[node.0 as usize]
+            .swap_out(Self::seq_key(id), blocks, tokens)
+            .is_err()
+        {
             return false;
         }
         let g = self.groups[group.0].as_mut().expect("alive");
@@ -370,8 +382,11 @@ impl ClusterState {
             return false;
         }
         self.requests[id.0].state = ReqState::Stalled(StallReason::SwapOut);
-        let job = self.network.submit_host(now, node, bytes, Priority::KvExchange);
-        self.pending_transfers.insert(job, TransferPurpose::SwapOut { request: id });
+        let job = self
+            .network
+            .submit_host(now, node, bytes, Priority::KvExchange);
+        self.pending_transfers
+            .insert(job, TransferPurpose::SwapOut { request: id });
         true
     }
 
@@ -400,15 +415,22 @@ impl ClusterState {
             if !g.blocks.can_allocate(parked.tokens) {
                 return false;
             }
-            g.blocks.allocate(Self::seq_key(id), parked.tokens).expect("checked");
+            g.blocks
+                .allocate(Self::seq_key(id), parked.tokens)
+                .expect("checked");
             g.swapped.retain(|&r| r != id);
             g.stalled.push(id);
         }
-        self.host_pools[node.0 as usize].swap_in(Self::seq_key(id)).expect("parked");
+        self.host_pools[node.0 as usize]
+            .swap_in(Self::seq_key(id))
+            .expect("parked");
         self.requests[id.0].state = ReqState::Stalled(StallReason::SwapIn);
         let bytes = parked.tokens * self.cfg.model.kv_bytes_per_token();
-        let job = self.network.submit_host(now, node, bytes, Priority::KvExchange);
-        self.pending_transfers.insert(job, TransferPurpose::SwapIn { request: id });
+        let job = self
+            .network
+            .submit_host(now, node, bytes, Priority::KvExchange);
+        self.pending_transfers
+            .insert(job, TransferPurpose::SwapIn { request: id });
         true
     }
 
@@ -438,7 +460,9 @@ impl ClusterState {
             if !dst.blocks.can_allocate(tokens) {
                 return false;
             }
-            dst.blocks.allocate(Self::seq_key(id), tokens).expect("checked");
+            dst.blocks
+                .allocate(Self::seq_key(id), tokens)
+                .expect("checked");
         }
         {
             let src = self.groups[from.0].as_mut().expect("alive");
@@ -448,8 +472,11 @@ impl ClusterState {
         let bytes = (tokens * self.cfg.model.kv_bytes_per_token()).max(1);
         let src_node = self.primary_node(from);
         let dst_node = self.primary_node(to);
-        let job = self.network.submit_bulk(now, src_node, dst_node, bytes, Priority::KvExchange);
-        self.pending_transfers.insert(job, TransferPurpose::Migration { request: id });
+        let job = self
+            .network
+            .submit_bulk(now, src_node, dst_node, bytes, Priority::KvExchange);
+        self.pending_transfers
+            .insert(job, TransferPurpose::Migration { request: id });
         let req = &mut self.requests[id.0];
         req.group = to;
         req.state = ReqState::Stalled(StallReason::Migration);
@@ -489,9 +516,9 @@ impl ClusterState {
         let pending = std::mem::take(&mut self.pending_reconfigs);
         for rc in pending {
             let ready = match &rc {
-                Reconfig::Merge { groups } => {
-                    groups.iter().all(|&g| self.group_alive(g) && !self.group(g).is_busy())
-                }
+                Reconfig::Merge { groups } => groups
+                    .iter()
+                    .all(|&g| self.group_alive(g) && !self.group(g).is_busy()),
                 Reconfig::Split { group } => {
                     self.group_alive(*group) && !self.group(*group).is_busy()
                 }
@@ -510,7 +537,8 @@ impl ClusterState {
                                 self.group_mut(g).frozen = false;
                             }
                         }
-                        self.metrics.on_reconfig(now, format!("merge-failed: {msg}"));
+                        self.metrics
+                            .on_reconfig(now, format!("merge-failed: {msg}"));
                     }
                 },
                 Reconfig::Split { group } => match self.split_group(group, now) {
@@ -542,7 +570,10 @@ impl ClusterState {
         for &g in group_ids {
             let ms = self.group(g).members.clone();
             for &m in &ms {
-                old_frac_of.insert(m, self.instances[m.0 as usize].layer_fraction(&self.cfg.model));
+                old_frac_of.insert(
+                    m,
+                    self.instances[m.0 as usize].layer_fraction(&self.cfg.model),
+                );
             }
             old_members_of.insert(g, ms);
         }
@@ -641,7 +672,11 @@ impl ClusterState {
         new_group.stalled.extend(admitted_running.iter().copied());
         new_group.stalled.extend(admitted_stalled.iter().copied());
         new_group.swapped = swapped;
-        for &r in queued.iter().chain(&admitted_running).chain(&admitted_stalled) {
+        for &r in queued
+            .iter()
+            .chain(&admitted_running)
+            .chain(&admitted_stalled)
+        {
             self.requests[r.0].group = new_id;
         }
         for &r in &new_group.swapped.clone() {
@@ -695,7 +730,8 @@ impl ClusterState {
                     bytes,
                     Priority::KvExchange,
                 );
-                self.pending_transfers.insert(job, TransferPurpose::ExchangePart { batch });
+                self.pending_transfers
+                    .insert(job, TransferPurpose::ExchangePart { batch });
                 jobs += 1;
             }
             self.transfer_batches.insert(
@@ -720,7 +756,11 @@ impl ClusterState {
         self.pending_overhead.insert(slot, overhead);
         self.metrics.on_reconfig(
             now,
-            format!("drop: merged {} groups into {} stages", group_ids.len(), members.len()),
+            format!(
+                "drop: merged {} groups into {} stages",
+                group_ids.len(),
+                members.len()
+            ),
         );
         Ok(slot)
     }
@@ -766,11 +806,18 @@ impl ClusterState {
                 bytes,
                 Priority::ParamRestore,
             );
-            self.pending_transfers.insert(job, TransferPurpose::RestorePart { batch });
+            self.pending_transfers
+                .insert(job, TransferPurpose::RestorePart { batch });
         }
-        self.transfer_batches
-            .insert(batch, TransferBatch { remaining: n, effect: BatchEffect::ParamRestoreReady(group) });
-        self.metrics.on_reconfig(now, "restore: parameter pulls started");
+        self.transfer_batches.insert(
+            batch,
+            TransferBatch {
+                remaining: n,
+                effect: BatchEffect::ParamRestoreReady(group),
+            },
+        );
+        self.metrics
+            .on_reconfig(now, "restore: parameter pulls started");
         true
     }
 
@@ -828,7 +875,8 @@ impl ClusterState {
             let pools = [(self.instances[m.0 as usize].kv_pool_bytes(), 1.0)];
             let cap = group_capacity_blocks(&pools, kv_per_token, self.cfg.block_tokens);
             let blocks = BlockManager::new(cap, self.cfg.block_tokens);
-            self.groups.push(Some(ExecGroup::new(id, vec![m], vec![1.0], blocks)));
+            self.groups
+                .push(Some(ExecGroup::new(id, vec![m], vec![1.0], blocks)));
             self.instances[m.0 as usize].group = id;
             new_ids.push(id);
         }
@@ -839,7 +887,9 @@ impl ClusterState {
         for &(r, idx, tokens) in &placement {
             let dest = new_ids[idx];
             let g = self.groups[dest.0].as_mut().expect("alive");
-            g.blocks.allocate(Self::seq_key(r), tokens).expect("planned to fit");
+            g.blocks
+                .allocate(Self::seq_key(r), tokens)
+                .expect("planned to fit");
             g.stalled.push(r);
             self.requests[r.0].group = dest;
             self.requests[r.0].state = ReqState::Stalled(StallReason::KvExchange);
@@ -854,7 +904,11 @@ impl ClusterState {
         queued.sort_by_key(|&r| (self.requests[r.0].spec.arrival, r));
         for (i, r) in queued.into_iter().enumerate() {
             let dest = new_ids[i % new_ids.len()];
-            self.groups[dest.0].as_mut().expect("alive").queue.push_back(r);
+            self.groups[dest.0]
+                .as_mut()
+                .expect("alive")
+                .queue
+                .push_back(r);
             self.requests[r.0].group = dest;
         }
         // Swapped sequences follow their host pool's instance (member 0 of
@@ -883,17 +937,23 @@ impl ClusterState {
                     bytes,
                     Priority::KvExchange,
                 );
-                self.pending_transfers.insert(job, TransferPurpose::ExchangePart { batch });
+                self.pending_transfers
+                    .insert(job, TransferPurpose::ExchangePart { batch });
                 jobs += 1;
             }
             if jobs > 0 {
                 self.transfer_batches.insert(
                     batch,
-                    TransferBatch { remaining: jobs, effect: BatchEffect::UnstallRequests(stalled_ids) },
+                    TransferBatch {
+                        remaining: jobs,
+                        effect: BatchEffect::UnstallRequests(stalled_ids),
+                    },
                 );
             } else {
                 for r in stalled_ids {
-                    let g = self.groups[self.requests[r.0].group.0].as_mut().expect("alive");
+                    let g = self.groups[self.requests[r.0].group.0]
+                        .as_mut()
+                        .expect("alive");
                     g.unstall(r);
                     self.requests[r.0].state = ReqState::Running;
                 }
@@ -904,8 +964,10 @@ impl ClusterState {
         for &id in &new_ids {
             self.pending_overhead.insert(id, overhead);
         }
-        self.metrics
-            .on_reconfig(now, format!("restore: split into {} instances", new_ids.len()));
+        self.metrics.on_reconfig(
+            now,
+            format!("restore: split into {} instances", new_ids.len()),
+        );
         Ok(new_ids)
     }
 
@@ -944,8 +1006,12 @@ impl ClusterState {
 
         // Survivors restore full copies (host-DRAM replicas guarantee the
         // parameter data; only the remap + group bookkeeping happen here).
-        let survivors: Vec<InstanceId> =
-            old.members.iter().copied().filter(|&m| m != failed).collect();
+        let survivors: Vec<InstanceId> = old
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != failed)
+            .collect();
         let kv_per_token = self.cfg.model.kv_bytes_per_token();
         let mut ops = 0;
         let mut new_ids = Vec::new();
@@ -969,7 +1035,12 @@ impl ClusterState {
         // block manager). Everything re-enters queues round-robin.
         let fallback = if new_ids.is_empty() {
             // Whole group lost: fall back to any live group.
-            Some(*self.alive_groups().first().expect("cluster must retain capacity"))
+            Some(
+                *self
+                    .alive_groups()
+                    .first()
+                    .expect("cluster must retain capacity"),
+            )
         } else {
             None
         };
@@ -996,11 +1067,15 @@ impl ClusterState {
 
         let overhead = simgpu::timing::remap_cost(ops, ops);
         for &id in &new_ids {
-            self.pending_overhead.insert(id, overhead / new_ids.len().max(1) as u64);
+            self.pending_overhead
+                .insert(id, overhead / new_ids.len().max(1) as u64);
         }
         self.metrics.on_reconfig(
             now,
-            format!("failure: {failed} down, {} survivors restored", survivors.len()),
+            format!(
+                "failure: {failed} down, {} survivors restored",
+                survivors.len()
+            ),
         );
         new_ids
     }
@@ -1079,6 +1154,8 @@ impl ClusterState {
 
     /// Takes (and clears) the pending start-up overhead of a group.
     pub fn take_overhead(&mut self, group: GroupId) -> SimDuration {
-        self.pending_overhead.remove(&group).unwrap_or(SimDuration::ZERO)
+        self.pending_overhead
+            .remove(&group)
+            .unwrap_or(SimDuration::ZERO)
     }
 }

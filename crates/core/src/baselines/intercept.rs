@@ -20,7 +20,9 @@ pub struct InferCeptPolicy {
 
 impl Default for InferCeptPolicy {
     fn default() -> Self {
-        InferCeptPolicy { max_swap_per_event: 4 }
+        InferCeptPolicy {
+            max_swap_per_event: 4,
+        }
     }
 }
 
@@ -51,7 +53,9 @@ impl InferCeptPolicy {
     ) -> usize {
         let mut swapped = 0;
         for _ in 0..count {
-            let Some(victim) = Self::pick_victim(state, group, except) else { break };
+            let Some(victim) = Self::pick_victim(state, group, except) else {
+                break;
+            };
             if !state.start_swap_out(victim, now) {
                 break; // host pool full
             }

@@ -53,7 +53,13 @@ impl LlumnixPolicy {
     }
 
     /// Migrates up to `limit` youngest running sequences off `group`.
-    fn relieve(&self, state: &mut ClusterState, group: GroupId, now: SimTime, limit: usize) -> usize {
+    fn relieve(
+        &self,
+        state: &mut ClusterState,
+        group: GroupId,
+        now: SimTime,
+        limit: usize,
+    ) -> usize {
         let mut victims: Vec<RequestId> = state
             .group(group)
             .running
@@ -65,7 +71,9 @@ impl LlumnixPolicy {
         let mut moved = 0;
         for r in victims.into_iter().take(limit) {
             let tokens = state.request(r).kv_tokens().max(1);
-            let Some(dest) = self.find_dest(state, group, tokens) else { break };
+            let Some(dest) = self.find_dest(state, group, tokens) else {
+                break;
+            };
             if state.start_migration(r, dest, now) {
                 moved += 1;
             }

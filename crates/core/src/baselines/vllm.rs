@@ -24,12 +24,16 @@ pub struct VllmPolicy {
 impl VllmPolicy {
     /// Data-parallel vLLM (the default configuration).
     pub fn dp() -> Self {
-        VllmPolicy { pipeline_variant: false }
+        VllmPolicy {
+            pipeline_variant: false,
+        }
     }
 
     /// Pipeline-parallel vLLM (half parameters per instance).
     pub fn pp() -> Self {
-        VllmPolicy { pipeline_variant: true }
+        VllmPolicy {
+            pipeline_variant: true,
+        }
     }
 }
 

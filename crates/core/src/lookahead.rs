@@ -33,7 +33,9 @@ pub fn balance_microbatches(
     if work.is_empty() {
         return Vec::new();
     }
-    let all = MicroBatch { chunks: work.to_vec() };
+    let all = MicroBatch {
+        chunks: work.to_vec(),
+    };
     // Translate the MIN token threshold into a cost threshold: MIN implies
     // a target microbatch count `m = total/MIN`, and recursion halts once a
     // batch's cost falls to the per-leaf share. A cost-based halt treats
@@ -100,7 +102,11 @@ fn split_at_cost(b: &MicroBatch, cost: &CostParams, target: f64) -> (MicroBatch,
             right.chunks.push(*chunk);
             continue;
         }
-        let dedup = if left.chunks.is_empty() { 0.0 } else { cost.lambda_us };
+        let dedup = if left.chunks.is_empty() {
+            0.0
+        } else {
+            cost.lambda_us
+        };
         let c_cost = cost.chunk_cost_us(chunk.work) - dedup;
         if acc + c_cost <= target {
             acc += c_cost;
@@ -122,8 +128,14 @@ fn split_at_cost(b: &MicroBatch, cost: &CostParams, target: f64) -> (MicroBatch,
                     prefix_tokens: chunk.work.prefix_tokens + t,
                     new_tokens: chunk.work.new_tokens - t,
                 };
-                left.chunks.push(SeqChunk { request: chunk.request, work: first });
-                right.chunks.push(SeqChunk { request: chunk.request, work: second });
+                left.chunks.push(SeqChunk {
+                    request: chunk.request,
+                    work: first,
+                });
+                right.chunks.push(SeqChunk {
+                    request: chunk.request,
+                    work: second,
+                });
             }
             None => {
                 // Atomic chunk: put it on whichever side is cheaper overall.
@@ -146,7 +158,10 @@ fn best_split_tokens(w: ChunkWork, cost: &CostParams, want: f64) -> Option<u64> 
         return None;
     }
     let cost_of = |t: u64| {
-        cost.chunk_cost_us(ChunkWork { prefix_tokens: w.prefix_tokens, new_tokens: t })
+        cost.chunk_cost_us(ChunkWork {
+            prefix_tokens: w.prefix_tokens,
+            new_tokens: t,
+        })
     };
     let (mut lo, mut hi) = (1u64, w.new_tokens - 1);
     while lo < hi {
@@ -177,7 +192,10 @@ mod tests {
     fn chunk(id: usize, prefix: u64, new: u64) -> SeqChunk {
         SeqChunk {
             request: RequestId(id),
-            work: ChunkWork { prefix_tokens: prefix, new_tokens: new },
+            work: ChunkWork {
+                prefix_tokens: prefix,
+                new_tokens: new,
+            },
         }
     }
 
@@ -194,7 +212,12 @@ mod tests {
 
     #[test]
     fn preserves_every_token_exactly() {
-        let work = vec![chunk(0, 0, 3000), chunk(1, 0, 500), chunk(2, 1024, 1), chunk(3, 0, 1200)];
+        let work = vec![
+            chunk(0, 0, 3000),
+            chunk(1, 0, 500),
+            chunk(2, 1024, 1),
+            chunk(3, 0, 1200),
+        ];
         let mbs = balance_microbatches(&work, &params(), 256);
         let per_req = tokens_per_request(&mbs);
         assert_eq!(per_req[&0], 3000);
@@ -213,7 +236,10 @@ mod tests {
         let mut expected_prefix = 100;
         for mb in &mbs {
             let c = &mb.chunks[0];
-            assert_eq!(c.work.prefix_tokens, expected_prefix, "fragments chain as prefixes");
+            assert_eq!(
+                c.work.prefix_tokens, expected_prefix,
+                "fragments chain as prefixes"
+            );
             expected_prefix += c.work.new_tokens;
         }
     }
@@ -246,7 +272,11 @@ mod tests {
         for mb in &mbs {
             // No batch should fall much below the halt threshold: splitting
             // stops once at or under `min_tokens`.
-            assert!(mb.new_tokens() >= 500, "over-fragmented: {}", mb.new_tokens());
+            assert!(
+                mb.new_tokens() >= 500,
+                "over-fragmented: {}",
+                mb.new_tokens()
+            );
         }
         let coarse = balance_microbatches(&work, &params(), 4096);
         assert_eq!(coarse.len(), 1, "under the threshold nothing splits");
@@ -293,11 +323,8 @@ mod tests {
                     vec![t; stages]
                 })
                 .collect();
-            let sched = schedule_fixed_transfer(
-                SimTime::ZERO,
-                &StageTiming { times },
-                SimDuration::ZERO,
-            );
+            let sched =
+                schedule_fixed_transfer(SimTime::ZERO, &StageTiming { times }, SimDuration::ZERO);
             sched.bubble_frac()
         };
 

@@ -40,7 +40,11 @@ pub struct DropPlan {
 impl DropPlan {
     /// Largest merged-group size the plan produces (max pipeline depth).
     pub fn max_stages(&self, sizes: impl Fn(GroupId) -> u32) -> u32 {
-        self.merges.iter().map(|m| m.iter().map(|&g| sizes(g)).sum()).max().unwrap_or(0)
+        self.merges
+            .iter()
+            .map(|m| m.iter().map(|&g| sizes(g)).sum())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -96,7 +100,11 @@ impl DropPlanner {
         let mut merges = merges;
         // Deterministic output order: by smallest constituent id.
         merges.sort_by_key(|ids| ids.iter().copied().min());
-        DropPlan { merges, freed_bytes: freed, satisfies: freed >= required }
+        DropPlan {
+            merges,
+            freed_bytes: freed,
+            satisfies: freed >= required,
+        }
     }
 }
 
@@ -108,7 +116,10 @@ mod tests {
         sizes
             .iter()
             .enumerate()
-            .map(|(i, &s)| PlanGroup { id: GroupId(i), instances: s })
+            .map(|(i, &s)| PlanGroup {
+                id: GroupId(i),
+                instances: s,
+            })
             .collect()
     }
 
@@ -197,6 +208,10 @@ mod tests {
         let t0 = std::time::Instant::now();
         let plan = DropPlanner::new(COPY).plan(&gs, 5_000 * COPY);
         assert!(plan.satisfies);
-        assert!(t0.elapsed().as_millis() < 1_000, "planning took {:?}", t0.elapsed());
+        assert!(
+            t0.elapsed().as_millis() < 1_000,
+            "planning took {:?}",
+            t0.elapsed()
+        );
     }
 }

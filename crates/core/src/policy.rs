@@ -67,12 +67,18 @@ impl KunServeConfig {
 
     /// Fig. 14 ablation level 2: drop + coordinated exchange.
     pub fn drop_and_coordinated() -> Self {
-        KunServeConfig { lookahead: false, ..KunServeConfig::default() }
+        KunServeConfig {
+            lookahead: false,
+            ..KunServeConfig::default()
+        }
     }
 
     /// Fig. 16 variant: never restore parameters after a drop.
     pub fn without_restore() -> Self {
-        KunServeConfig { restore: false, ..KunServeConfig::default() }
+        KunServeConfig {
+            restore: false,
+            ..KunServeConfig::default()
+        }
     }
 }
 
@@ -150,7 +156,10 @@ impl KunServePolicy {
             .alive_groups()
             .into_iter()
             .filter(|&g| !state.group(g).frozen && !self.restoring.contains(&g))
-            .map(|g| PlanGroup { id: g, instances: state.group(g).members.len() as u32 })
+            .map(|g| PlanGroup {
+                id: g,
+                instances: state.group(g).members.len() as u32,
+            })
             .collect();
         if candidates.len() < 2 {
             return false; // fully merged: fall back to KVCache-centric
@@ -209,10 +218,8 @@ impl Policy for KunServePolicy {
         } else {
             self.overloaded_ticks = 0;
         }
-        if self.overloaded_ticks >= self.cfg.sustain_ticks {
-            if self.maybe_drop(state, now) {
-                self.overloaded_ticks = 0;
-            }
+        if self.overloaded_ticks >= self.cfg.sustain_ticks && self.maybe_drop(state, now) {
+            self.overloaded_ticks = 0;
         }
         self.maybe_restore(state, now);
     }

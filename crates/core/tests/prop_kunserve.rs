@@ -3,8 +3,8 @@
 
 use cluster::{GroupId, RequestId, SeqChunk};
 use costmodel::{ChunkWork, CostParams};
-use kunserve::plan::{DropPlanner, PlanGroup};
 use kunserve::balance_microbatches;
+use kunserve::plan::{DropPlanner, PlanGroup};
 use proptest::prelude::*;
 use std::collections::HashMap;
 

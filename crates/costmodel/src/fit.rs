@@ -25,19 +25,24 @@ fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     for col in 0..n {
         // Partial pivot.
         let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite")
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
         })?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }
         a.swap(col, pivot);
         b.swap(col, pivot);
-        for row in (col + 1)..n {
-            let f = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+        let (pivot_rows, rest) = a.split_at_mut(col + 1);
+        let prow = &pivot_rows[col];
+        for (off, row) in rest.iter_mut().enumerate() {
+            let f = row[col] / prow[col];
+            for (rv, &pv) in row[col..].iter_mut().zip(&prow[col..]) {
+                *rv -= f * pv;
             }
-            b[row] -= f * b[col];
+            b[col + 1 + off] -= f * b[col];
         }
     }
     let mut x = vec![0.0; n];
@@ -113,11 +118,16 @@ pub fn fit_lambda(params: &CostParams, samples: &[(Vec<ChunkWork>, f64)]) -> Opt
 /// Fits the attention-blind baseline (`time = a·tokens + b`) used as the
 /// Figure 15 comparison point.
 pub fn fit_token_count_model(samples: &[(ChunkWork, f64)]) -> Option<TokenCountModel> {
-    let xs: Vec<Vec<f64>> =
-        samples.iter().map(|(w, _)| vec![w.new_tokens as f64, 1.0]).collect();
+    let xs: Vec<Vec<f64>> = samples
+        .iter()
+        .map(|(w, _)| vec![w.new_tokens as f64, 1.0])
+        .collect();
     let ys: Vec<f64> = samples.iter().map(|&(_, y)| y).collect();
     let w = ols(&xs, &ys)?;
-    Some(TokenCountModel { per_token_us: w[0].max(0.0), fixed_us: w[1].max(0.0) })
+    Some(TokenCountModel {
+        per_token_us: w[0].max(0.0),
+        fixed_us: w[1].max(0.0),
+    })
 }
 
 /// Offline profiler: runs inference samples against a [`GroundTruth`] and
@@ -131,7 +141,10 @@ pub struct Profiler {
 impl Profiler {
     /// Creates a profiler over `ground_truth` with a deterministic seed.
     pub fn new(ground_truth: GroundTruth, seed: u64) -> Self {
-        Profiler { ground_truth, rng: SmallRng::seed_from_u64(seed) }
+        Profiler {
+            ground_truth,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Collects single-chunk profile samples over a grid of prompt and
@@ -143,7 +156,10 @@ impl Profiler {
         for &c in &lens {
             for &p in &prefixes {
                 for _ in 0..3 {
-                    let w = ChunkWork { prefix_tokens: p, new_tokens: c };
+                    let w = ChunkWork {
+                        prefix_tokens: p,
+                        new_tokens: c,
+                    };
                     let t = self.ground_truth.sample_us(&[w], 1.0, &mut self.rng);
                     samples.push((w, t));
                 }
@@ -157,8 +173,12 @@ impl Profiler {
         let mut samples = Vec::new();
         for n in [2usize, 4, 8, 16, 32] {
             for &c in &[32u64, 128, 512] {
-                let chunks: Vec<ChunkWork> =
-                    (0..n).map(|i| ChunkWork { prefix_tokens: (i as u64) * 64, new_tokens: c }).collect();
+                let chunks: Vec<ChunkWork> = (0..n)
+                    .map(|i| ChunkWork {
+                        prefix_tokens: (i as u64) * 64,
+                        new_tokens: c,
+                    })
+                    .collect();
                 let t = self.ground_truth.sample_us(&chunks, 1.0, &mut self.rng);
                 samples.push((chunks, t));
             }
@@ -216,11 +236,19 @@ mod tests {
     fn fit_recovers_exact_synthetic_params() {
         // Noise-free samples generated directly from Eq. 1 must be recovered
         // almost exactly.
-        let truth = CostParams { alpha_us: 0.017, beta_us: 88.0, gamma_us: 1_700.0, lambda_us: 0.0 };
+        let truth = CostParams {
+            alpha_us: 0.017,
+            beta_us: 88.0,
+            gamma_us: 1_700.0,
+            lambda_us: 0.0,
+        };
         let mut samples = Vec::new();
         for c in [16u64, 64, 256, 1024, 4096] {
             for p in [0u64, 512, 2048, 8192] {
-                let w = ChunkWork { prefix_tokens: p, new_tokens: c };
+                let w = ChunkWork {
+                    prefix_tokens: p,
+                    new_tokens: c,
+                };
                 samples.push((w, truth.chunk_cost_us(w)));
             }
         }
@@ -232,7 +260,12 @@ mod tests {
 
     #[test]
     fn fit_lambda_recovers_dedup() {
-        let truth = CostParams { alpha_us: 0.01, beta_us: 90.0, gamma_us: 1_500.0, lambda_us: 1_100.0 };
+        let truth = CostParams {
+            alpha_us: 0.01,
+            beta_us: 90.0,
+            gamma_us: 1_500.0,
+            lambda_us: 1_100.0,
+        };
         let mut batches = Vec::new();
         for n in [2usize, 4, 8] {
             let chunks: Vec<ChunkWork> = (0..n).map(|_| ChunkWork::prefill(128)).collect();
@@ -252,10 +285,19 @@ mod tests {
         let gt = GroundTruth::qwen14b_a800();
         let mut profiler = Profiler::new(gt.clone(), 42);
         let fitted = profiler.fit();
-        for &(p, c) in
-            &[(0u64, 512u64), (0, 1024), (0, 2048), (0, 4096), (0, 8192), (2048, 512), (4096, 1024)]
-        {
-            let w = ChunkWork { prefix_tokens: p, new_tokens: c };
+        for &(p, c) in &[
+            (0u64, 512u64),
+            (0, 1024),
+            (0, 2048),
+            (0, 4096),
+            (0, 8192),
+            (2048, 512),
+            (4096, 1024),
+        ] {
+            let w = ChunkWork {
+                prefix_tokens: p,
+                new_tokens: c,
+            };
             let actual = gt.expected_us(&[w], 1.0);
             let predicted = fitted.chunk_cost_us(w);
             let dev = (predicted - actual).abs() / actual;
@@ -275,14 +317,25 @@ mod tests {
         let actual = gt.expected_us(&[w8k], 1.0);
         let predicted = baseline.batch_cost_us(&[w8k]);
         let dev = (predicted - actual).abs() / actual;
-        assert!(dev > 0.10, "8K no-prefix deviation only {:.1}%", dev * 100.0);
+        assert!(
+            dev > 0.10,
+            "8K no-prefix deviation only {:.1}%",
+            dev * 100.0
+        );
 
-        let w_prefix = ChunkWork { prefix_tokens: 8192, new_tokens: 512 };
+        let w_prefix = ChunkWork {
+            prefix_tokens: 8192,
+            new_tokens: 512,
+        };
         let actual_p = gt.expected_us(&[w_prefix], 1.0);
         let predicted_p = baseline.batch_cost_us(&[w_prefix]);
         let dev_p = (predicted_p - actual_p).abs() / actual_p;
         assert!(dev_p > dev, "prefix-attention deviation must be worse");
-        assert!(dev_p > 0.30, "8K-prefix deviation only {:.1}%", dev_p * 100.0);
+        assert!(
+            dev_p > 0.30,
+            "8K-prefix deviation only {:.1}%",
+            dev_p * 100.0
+        );
     }
 
     #[test]

@@ -32,12 +32,22 @@ pub struct GpuPerf {
 impl GpuPerf {
     /// NVIDIA A800-80G (paper cluster A).
     pub fn a800() -> Self {
-        GpuPerf { tflops: 312.0, mfu: 0.62, attention_efficiency: 0.30, mem_bw_gbps: 2_039.0 }
+        GpuPerf {
+            tflops: 312.0,
+            mfu: 0.62,
+            attention_efficiency: 0.30,
+            mem_bw_gbps: 2_039.0,
+        }
     }
 
     /// NVIDIA H800-80G (paper cluster B).
     pub fn h800() -> Self {
-        GpuPerf { tflops: 989.0, mfu: 0.52, attention_efficiency: 0.28, mem_bw_gbps: 3_350.0 }
+        GpuPerf {
+            tflops: 989.0,
+            mfu: 0.52,
+            attention_efficiency: 0.28,
+            mem_bw_gbps: 3_350.0,
+        }
     }
 }
 
@@ -83,19 +93,22 @@ impl GroundTruth {
         // Decode attention: each step streams the context's KVCache from
         // HBM once — memory-bound at the aggregate bandwidth of the
         // instance's GPUs.
-        let alpha_decode_us = model.kv_bytes_per_token() as f64
-            / (gpu.mem_bw_gbps * 1e9 * gpus)
-            * 1e6;
+        let alpha_decode_us =
+            model.kv_bytes_per_token() as f64 / (gpu.mem_bw_gbps * 1e9 * gpus) * 1e6;
         // All GPUs stream their weight shards in parallel.
-        let weight_load_us =
-            model.param_bytes_per_gpu() as f64 / (gpu.mem_bw_gbps * 1e9) * 1e6;
+        let weight_load_us = model.param_bytes_per_gpu() as f64 / (gpu.mem_bw_gbps * 1e9) * 1e6;
         // λ is close to γ: batching amortizes nearly the whole per-chunk
         // fixed cost (weight loads, launches); the ~50 µs residual is the
         // per-sequence scheduling/sampling overhead. A 256-sequence decode
         // batch then costs 256·(β + α·ctx + 50 µs) + γ ≈ 45–60 ms on the
         // Qwen-14B/A800 calibration, matching the paper's ~60 ms decodes.
         GroundTruth {
-            params: CostParams { alpha_us, beta_us, gamma_us: 1_500.0, lambda_us: 1_450.0 },
+            params: CostParams {
+                alpha_us,
+                beta_us,
+                gamma_us: 1_500.0,
+                lambda_us: 1_450.0,
+            },
             alpha_decode_us,
             small_batch_knee_tokens: 256.0,
             small_batch_penalty: 0.35,
@@ -137,8 +150,11 @@ impl GroundTruth {
         let mut attn = 0.0;
         let mut gemm = 0.0;
         for (i, &w) in chunks.iter().enumerate() {
-            let alpha =
-                if w.new_tokens <= 8 { self.alpha_decode_us } else { self.params.alpha_us };
+            let alpha = if w.new_tokens <= 8 {
+                self.alpha_decode_us
+            } else {
+                self.params.alpha_us
+            };
             attn += alpha * w.attention_feature();
             gemm += self.params.beta_us * w.new_tokens as f64;
             fixed += self.params.gamma_us;
@@ -151,7 +167,12 @@ impl GroundTruth {
             + self.small_batch_penalty
                 * (1.0 - (new_tokens as f64 / self.small_batch_knee_tokens)).max(0.0);
         let base = fixed + attn * penalty + (gemm * penalty).max(self.weight_load_us);
-        base * layer_fraction + if layer_fraction < 1.0 { self.stage_overhead_us } else { 0.0 }
+        base * layer_fraction
+            + if layer_fraction < 1.0 {
+                self.stage_overhead_us
+            } else {
+                0.0
+            }
     }
 
     /// Samples the actual execution time of one iteration (expected time
@@ -247,7 +268,10 @@ mod tests {
         }
         let mut a = SmallRng::seed_from_u64(9);
         let mut b = SmallRng::seed_from_u64(9);
-        assert_eq!(gt.sample_us(&chunks, 1.0, &mut a), gt.sample_us(&chunks, 1.0, &mut b));
+        assert_eq!(
+            gt.sample_us(&chunks, 1.0, &mut a),
+            gt.sample_us(&chunks, 1.0, &mut b)
+        );
     }
 
     #[test]

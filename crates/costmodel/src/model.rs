@@ -20,12 +20,18 @@ pub struct ChunkWork {
 impl ChunkWork {
     /// A full (unchunked) prefill of `n` tokens.
     pub fn prefill(n: u64) -> Self {
-        ChunkWork { prefix_tokens: 0, new_tokens: n }
+        ChunkWork {
+            prefix_tokens: 0,
+            new_tokens: n,
+        }
     }
 
     /// One decode step at context length `p`.
     pub fn decode(p: u64) -> Self {
-        ChunkWork { prefix_tokens: p, new_tokens: 1 }
+        ChunkWork {
+            prefix_tokens: p,
+            new_tokens: 1,
+        }
     }
 
     /// The quadratic attention feature of Eq. 1:
@@ -80,7 +86,12 @@ impl CostParams {
     /// (§4.2 and §5.3). With these coefficients a 2 K prefill costs
     /// `95·2048 + 0.02·(2048²+2048)/2 + 2000 ≈ 238 ms`.
     pub fn qwen14b_a800() -> Self {
-        CostParams { alpha_us: 0.02, beta_us: 95.0, gamma_us: 2_000.0, lambda_us: 1_500.0 }
+        CostParams {
+            alpha_us: 0.02,
+            beta_us: 95.0,
+            gamma_us: 2_000.0,
+            lambda_us: 1_500.0,
+        }
     }
 }
 
@@ -113,19 +124,39 @@ mod tests {
     use super::*;
 
     fn params() -> CostParams {
-        CostParams { alpha_us: 0.01, beta_us: 100.0, gamma_us: 1_000.0, lambda_us: 800.0 }
+        CostParams {
+            alpha_us: 0.01,
+            beta_us: 100.0,
+            gamma_us: 1_000.0,
+            lambda_us: 800.0,
+        }
     }
 
     #[test]
     fn chunk_work_constructors() {
-        assert_eq!(ChunkWork::prefill(512), ChunkWork { prefix_tokens: 0, new_tokens: 512 });
-        assert_eq!(ChunkWork::decode(100), ChunkWork { prefix_tokens: 100, new_tokens: 1 });
+        assert_eq!(
+            ChunkWork::prefill(512),
+            ChunkWork {
+                prefix_tokens: 0,
+                new_tokens: 512
+            }
+        );
+        assert_eq!(
+            ChunkWork::decode(100),
+            ChunkWork {
+                prefix_tokens: 100,
+                new_tokens: 1
+            }
+        );
     }
 
     #[test]
     fn attention_feature_matches_eq1() {
         // p=10, c=4: 10*4 + (16+4)/2 = 50.
-        let w = ChunkWork { prefix_tokens: 10, new_tokens: 4 };
+        let w = ChunkWork {
+            prefix_tokens: 10,
+            new_tokens: 4,
+        };
         assert_eq!(w.attention_feature(), 50.0);
         // Decode: p=100, c=1: 100 + 1 = 101.
         assert_eq!(ChunkWork::decode(100).attention_feature(), 101.0);
@@ -134,7 +165,10 @@ mod tests {
     #[test]
     fn chunk_cost_composition() {
         let p = params();
-        let w = ChunkWork { prefix_tokens: 10, new_tokens: 4 };
+        let w = ChunkWork {
+            prefix_tokens: 10,
+            new_tokens: 4,
+        };
         // 0.01*50 + 100*4 + 1000 = 1400.5
         assert!((p.chunk_cost_us(w) - 1400.5).abs() < 1e-9);
     }
@@ -155,8 +189,14 @@ mod tests {
         // §4.3: "if a request is chunked into two parts, the latter chunk is
         // slower than the former even when the tokens are the same".
         let p = params();
-        let first = p.chunk_cost_us(ChunkWork { prefix_tokens: 0, new_tokens: 512 });
-        let second = p.chunk_cost_us(ChunkWork { prefix_tokens: 512, new_tokens: 512 });
+        let first = p.chunk_cost_us(ChunkWork {
+            prefix_tokens: 0,
+            new_tokens: 512,
+        });
+        let second = p.chunk_cost_us(ChunkWork {
+            prefix_tokens: 512,
+            new_tokens: 512,
+        });
         assert!(second > first);
     }
 
@@ -182,9 +222,18 @@ mod tests {
 
     #[test]
     fn token_count_model_ignores_prefix() {
-        let m = TokenCountModel { per_token_us: 100.0, fixed_us: 500.0 };
-        let with_prefix = [ChunkWork { prefix_tokens: 4096, new_tokens: 64 }];
-        let without = [ChunkWork { prefix_tokens: 0, new_tokens: 64 }];
+        let m = TokenCountModel {
+            per_token_us: 100.0,
+            fixed_us: 500.0,
+        };
+        let with_prefix = [ChunkWork {
+            prefix_tokens: 4096,
+            new_tokens: 64,
+        }];
+        let without = [ChunkWork {
+            prefix_tokens: 0,
+            new_tokens: 64,
+        }];
         assert_eq!(m.batch_cost_us(&with_prefix), m.batch_cost_us(&without));
         assert_eq!(m.batch_cost_us(&[]), 0.0);
     }

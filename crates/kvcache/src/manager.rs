@@ -113,12 +113,18 @@ impl BlockManager {
 
     /// Tokens stored for `seq`.
     pub fn tokens_of(&self, seq: SeqKey) -> Result<u64> {
-        self.tables.get(&seq).map(|t| t.tokens).ok_or(KvError::UnknownSeq)
+        self.tables
+            .get(&seq)
+            .map(|t| t.tokens)
+            .ok_or(KvError::UnknownSeq)
     }
 
     /// Blocks held by `seq`.
     pub fn blocks_of(&self, seq: SeqKey) -> Result<u32> {
-        self.tables.get(&seq).map(|t| t.blocks.len() as u32).ok_or(KvError::UnknownSeq)
+        self.tables
+            .get(&seq)
+            .map(|t| t.blocks.len() as u32)
+            .ok_or(KvError::UnknownSeq)
     }
 
     /// Allocates a fresh block table holding `tokens` tokens (prompt
@@ -129,7 +135,10 @@ impl BlockManager {
         }
         let needed = self.blocks_for(tokens);
         if needed > self.free_blocks() {
-            return Err(KvError::OutOfBlocks { needed, free: self.free_blocks() });
+            return Err(KvError::OutOfBlocks {
+                needed,
+                free: self.free_blocks(),
+            });
         }
         let blocks = (0..needed).map(|_| self.take_block()).collect();
         self.tables.insert(seq, BlockTable { blocks, tokens });
@@ -147,7 +156,10 @@ impl BlockManager {
         let have = table.blocks.len() as u32;
         let extra = needed_total.saturating_sub(have);
         if extra > self.free_blocks() {
-            return Err(KvError::OutOfBlocks { needed: extra, free: self.free_blocks() });
+            return Err(KvError::OutOfBlocks {
+                needed: extra,
+                free: self.free_blocks(),
+            });
         }
         let new_blocks: Vec<BlockId> = (0..extra).map(|_| self.take_block()).collect();
         let table = self.tables.get_mut(&seq).expect("checked above");
@@ -177,7 +189,10 @@ impl BlockManager {
     /// blocks are free.
     pub fn resize(&mut self, new_capacity: u32) -> Result<()> {
         if new_capacity < self.used {
-            return Err(KvError::ShrinkBelowUsage { used: self.used, requested: new_capacity });
+            return Err(KvError::ShrinkBelowUsage {
+                used: self.used,
+                requested: new_capacity,
+            });
         }
         // Drop recycled ids beyond the new capacity; fresh ids start above
         // the high-water mark, which stays valid across grows.
@@ -276,7 +291,10 @@ mod tests {
         m.allocate(SeqKey(1), 3 * 64).expect("alloc");
         assert_eq!(
             m.resize(2),
-            Err(KvError::ShrinkBelowUsage { used: 3, requested: 2 })
+            Err(KvError::ShrinkBelowUsage {
+                used: 3,
+                requested: 2
+            })
         );
         m.resize(3).expect("shrink to exactly used");
         assert_eq!(m.free_blocks(), 0);

@@ -31,7 +31,11 @@ pub struct SwappedSeq {
 impl HostSwapPool {
     /// Creates a pool of `capacity` blocks.
     pub fn new(capacity: u32) -> Self {
-        HostSwapPool { capacity, used: 0, swapped: HashMap::new() }
+        HostSwapPool {
+            capacity,
+            used: 0,
+            swapped: HashMap::new(),
+        }
     }
 
     /// Blocks currently free in the pool.
@@ -60,7 +64,10 @@ impl HostSwapPool {
             return Err(KvError::AlreadyAllocated);
         }
         if blocks > self.free_blocks() {
-            return Err(KvError::SwapPoolFull { needed: blocks, free: self.free_blocks() });
+            return Err(KvError::SwapPoolFull {
+                needed: blocks,
+                free: self.free_blocks(),
+            });
         }
         self.used += blocks;
         self.swapped.insert(seq, SwappedSeq { blocks, tokens });
@@ -91,7 +98,13 @@ mod tests {
         pool.swap_out(SeqKey(1), 4, 250).expect("out");
         assert_eq!(pool.used_blocks(), 4);
         assert!(pool.contains(SeqKey(1)));
-        assert_eq!(pool.get(SeqKey(1)), Some(SwappedSeq { blocks: 4, tokens: 250 }));
+        assert_eq!(
+            pool.get(SeqKey(1)),
+            Some(SwappedSeq {
+                blocks: 4,
+                tokens: 250
+            })
+        );
         let s = pool.swap_in(SeqKey(1)).expect("in");
         assert_eq!(s.tokens, 250);
         assert_eq!(pool.used_blocks(), 0);
@@ -110,7 +123,10 @@ mod tests {
     fn double_swap_out_rejected() {
         let mut pool = HostSwapPool::new(10);
         pool.swap_out(SeqKey(1), 1, 10).expect("out");
-        assert_eq!(pool.swap_out(SeqKey(1), 1, 10), Err(KvError::AlreadyAllocated));
+        assert_eq!(
+            pool.swap_out(SeqKey(1), 1, 10),
+            Err(KvError::AlreadyAllocated)
+        );
     }
 
     #[test]

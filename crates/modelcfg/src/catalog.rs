@@ -117,12 +117,20 @@ pub fn deepseek_v3_671b() -> ModelConfig {
 
 /// All Table 1 models, in paper order.
 pub fn table1_models() -> Vec<ModelConfig> {
-    vec![qwen2_5_14b(), qwen2_5_72b(), llama3_1_405b(), qwen3_235b(), deepseek_v3_671b()]
+    vec![
+        qwen2_5_14b(),
+        qwen2_5_72b(),
+        llama3_1_405b(),
+        qwen3_235b(),
+        deepseek_v3_671b(),
+    ]
 }
 
 /// Looks up a catalog model by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<ModelConfig> {
-    table1_models().into_iter().find(|m| m.name.eq_ignore_ascii_case(name))
+    table1_models()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -171,13 +179,21 @@ mod tests {
             let est = m.estimated_param_count() as f64 * m.dtype.bytes() as f64;
             let auth = m.param_bytes() as f64;
             let rel = (est - auth).abs() / auth;
-            assert!(rel < 0.10, "{}: estimate off by {:.1}%", m.name, rel * 100.0);
+            assert!(
+                rel < 0.10,
+                "{}: estimate off by {:.1}%",
+                m.name,
+                rel * 100.0
+            );
         }
     }
 
     #[test]
     fn lookup_by_name() {
-        assert_eq!(by_name("qwen-2.5-14b").map(|m| m.name), Some("Qwen-2.5-14B"));
+        assert_eq!(
+            by_name("qwen-2.5-14b").map(|m| m.name),
+            Some("Qwen-2.5-14B")
+        );
         assert!(by_name("gpt-5").is_none());
     }
 
@@ -190,6 +206,9 @@ mod tests {
         let burst_kv = 243_000 * m.kv_bytes_per_token();
         assert!(burst_kv > 44 * GB && burst_kv < 48 * GB);
         let free = m.gpu_hbm_bytes - m.param_bytes();
-        assert!(burst_kv > free * 8 / 10, "burst demand must pressure free HBM");
+        assert!(
+            burst_kv > free * 8 / 10,
+            "burst demand must pressure free HBM"
+        );
     }
 }

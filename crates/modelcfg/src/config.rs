@@ -215,7 +215,10 @@ mod tests {
         // Embedding + layers still account for the full total.
         let total = m.embedding_bytes() + m.layer_param_bytes() * m.num_layers as u64;
         let slack = m.param_bytes() - total;
-        assert!(slack < m.num_layers as u64, "only integer-division slack allowed");
+        assert!(
+            slack < m.num_layers as u64,
+            "only integer-division slack allowed"
+        );
     }
 
     #[test]

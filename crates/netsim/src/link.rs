@@ -126,8 +126,7 @@ impl Link {
     /// nothing new — committed state is cumulative and never rolls back.
     pub fn advance_to(&mut self, now: SimTime) {
         self.last_advance = self.last_advance.max(now);
-        loop {
-            let Some(job) = self.jobs.first_mut() else { break };
+        while let Some(job) = self.jobs.first_mut() {
             let start = self.free_at.max(job.submitted);
             if start >= now {
                 // The next chunk has not committed yet; an interactive
@@ -159,9 +158,8 @@ impl Link {
         for job in &self.jobs {
             let start = free_at.max(job.submitted);
             let chunks = job.remaining.div_ceil(job.chunk_bytes);
-            let end = start
-                + self.spec.wire_time(job.remaining)
-                + self.spec.latency * chunks.max(1);
+            let end =
+                start + self.spec.wire_time(job.remaining) + self.spec.latency * chunks.max(1);
             best = Some(best.map_or(end, |b: SimTime| b.min(end)));
             free_at = end;
         }
@@ -171,8 +169,12 @@ impl Link {
     /// Drains completions that occurred at or before `now`.
     pub fn take_completions(&mut self, now: SimTime) -> Vec<(SimTime, JobId)> {
         self.advance_to(now);
-        let mut done: Vec<(SimTime, JobId)> =
-            self.completions.iter().filter(|&&(t, _)| t <= now).copied().collect();
+        let mut done: Vec<(SimTime, JobId)> = self
+            .completions
+            .iter()
+            .filter(|&&(t, _)| t <= now)
+            .copied()
+            .collect();
         self.completions.retain(|&(t, _)| t > now);
         done.sort_by_key(|&(t, id)| (t, id));
         done
@@ -210,7 +212,10 @@ mod tests {
     /// A 10 MB/s link with zero latency keeps the math readable:
     /// 10 KB = 1 ms.
     fn test_link() -> Link {
-        Link::new(LinkSpec { bytes_per_sec: 10e6, latency: SimDuration::ZERO })
+        Link::new(LinkSpec {
+            bytes_per_sec: 10e6,
+            latency: SimDuration::ZERO,
+        })
     }
 
     #[test]
@@ -274,7 +279,10 @@ mod tests {
         assert_eq!(est, ms(10));
         // Interactive traffic delays the job past the estimate.
         l.interactive(ms(1), 50_000); // 5 ms of activation traffic
-        assert!(l.take_completions(est).is_empty(), "job not done at estimate");
+        assert!(
+            l.take_completions(est).is_empty(),
+            "job not done at estimate"
+        );
         let new_est = l.next_completion_estimate().expect("still pending");
         assert!(new_est > est, "estimate grows monotonically");
         let done = l.take_completions(new_est);
@@ -316,7 +324,10 @@ mod tests {
 
     #[test]
     fn per_chunk_latency_accumulates() {
-        let spec = LinkSpec { bytes_per_sec: 10e6, latency: SimDuration::from_micros(100) };
+        let spec = LinkSpec {
+            bytes_per_sec: 10e6,
+            latency: SimDuration::from_micros(100),
+        };
         let mut l = Link::new(spec);
         l.submit(SimTime::ZERO, 100_000, 10_000, Priority::KvExchange);
         // 10 chunks × (1 ms + 0.1 ms) = 11 ms.

@@ -159,7 +159,10 @@ impl Network {
 
     /// Earliest pending bulk completion across all links (lower bound).
     pub fn next_completion_estimate(&self) -> Option<SimTime> {
-        self.links.values().filter_map(|l| l.next_completion_estimate()).min()
+        self.links
+            .values()
+            .filter_map(|l| l.next_completion_estimate())
+            .min()
     }
 
     /// Drains all bulk completions up to `now`, as `(time, job)` pairs in
@@ -169,10 +172,16 @@ impl Network {
         keys.sort();
         let mut out = Vec::new();
         for key in keys {
-            let done = self.links.get_mut(&key).expect("key from map").take_completions(now);
+            let done = self
+                .links
+                .get_mut(&key)
+                .expect("key from map")
+                .take_completions(now);
             for (t, local) in done {
-                let global =
-                    *self.global_ids.get(&(key, local)).expect("every local id has a global id");
+                let global = *self
+                    .global_ids
+                    .get(&(key, local))
+                    .expect("every local id has a global id");
                 self.job_locations.remove(&global);
                 self.local_ids.remove(&global);
                 self.global_ids.remove(&(key, local));
@@ -206,17 +215,34 @@ mod tests {
     use super::*;
 
     fn net() -> Network {
-        let mut n =
-            Network::new(LinkSpec { bytes_per_sec: 10e6, latency: SimDuration::ZERO });
-        n.host_spec = LinkSpec { bytes_per_sec: 20e6, latency: SimDuration::ZERO };
+        let mut n = Network::new(LinkSpec {
+            bytes_per_sec: 10e6,
+            latency: SimDuration::ZERO,
+        });
+        n.host_spec = LinkSpec {
+            bytes_per_sec: 20e6,
+            latency: SimDuration::ZERO,
+        };
         n
     }
 
     #[test]
     fn bulk_jobs_complete_per_link() {
         let mut n = net();
-        let a = n.submit_bulk(SimTime::ZERO, NodeId(0), NodeId(1), 10_000, Priority::KvExchange);
-        let b = n.submit_bulk(SimTime::ZERO, NodeId(1), NodeId(0), 10_000, Priority::KvExchange);
+        let a = n.submit_bulk(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            10_000,
+            Priority::KvExchange,
+        );
+        let b = n.submit_bulk(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(0),
+            10_000,
+            Priority::KvExchange,
+        );
         // Opposite directions are independent links: both finish at 1 ms.
         let done = n.take_completions(SimTime::from_millis(1));
         let ids: Vec<JobId> = done.iter().map(|&(_, id)| id).collect();
@@ -228,7 +254,13 @@ mod tests {
     #[test]
     fn host_link_is_separate_from_fabric() {
         let mut n = net();
-        n.submit_bulk(SimTime::ZERO, NodeId(0), NodeId(1), 10_000, Priority::KvExchange);
+        n.submit_bulk(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            10_000,
+            Priority::KvExchange,
+        );
         let h = n.submit_host(SimTime::ZERO, NodeId(0), 20_000, Priority::KvExchange);
         // Host link runs at 20 MB/s: 20 KB in 1 ms, concurrent with fabric.
         let done = n.take_completions(SimTime::from_millis(1));
@@ -241,7 +273,13 @@ mod tests {
         // Coordinated: activation at 15 ms waits ≤ one chunk.
         let mut n = net();
         n.set_target_chunk_time(SimDuration::from_millis(10));
-        n.submit_bulk(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000, Priority::KvExchange);
+        n.submit_bulk(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            1_000_000,
+            Priority::KvExchange,
+        );
         let done = n.interactive(SimTime::from_millis(15), NodeId(0), NodeId(1), 10_000);
         assert_eq!(done, SimTime::from_millis(21));
 
@@ -249,26 +287,53 @@ mod tests {
         let mut n2 = net();
         n2.set_coordinated(false);
         assert!(!n2.coordinated());
-        n2.submit_bulk(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000, Priority::KvExchange);
+        n2.submit_bulk(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            1_000_000,
+            Priority::KvExchange,
+        );
         let done2 = n2.interactive(SimTime::from_millis(15), NodeId(0), NodeId(1), 10_000);
         assert_eq!(done2, SimTime::from_millis(101));
     }
 
     #[test]
-    fn estimates_cover_all_links(){
+    fn estimates_cover_all_links() {
         let mut n = net();
         assert_eq!(n.next_completion_estimate(), None);
-        n.submit_bulk(SimTime::ZERO, NodeId(0), NodeId(1), 50_000, Priority::KvExchange);
+        n.submit_bulk(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            50_000,
+            Priority::KvExchange,
+        );
         n.submit_host(SimTime::ZERO, NodeId(2), 10_000, Priority::ParamRestore);
         // Host: 10 KB at 20 MB/s = 0.5 ms — the earliest completion.
-        assert_eq!(n.next_completion_estimate(), Some(SimTime::from_micros(500)));
+        assert_eq!(
+            n.next_completion_estimate(),
+            Some(SimTime::from_micros(500))
+        );
     }
 
     #[test]
     fn remaining_bytes_and_ids_are_global() {
         let mut n = net();
-        let a = n.submit_bulk(SimTime::ZERO, NodeId(0), NodeId(1), 50_000, Priority::KvExchange);
-        let b = n.submit_bulk(SimTime::ZERO, NodeId(2), NodeId(3), 30_000, Priority::KvExchange);
+        let a = n.submit_bulk(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            50_000,
+            Priority::KvExchange,
+        );
+        let b = n.submit_bulk(
+            SimTime::ZERO,
+            NodeId(2),
+            NodeId(3),
+            30_000,
+            Priority::KvExchange,
+        );
         assert_ne!(a, b);
         assert_eq!(n.remaining_bytes(a), Some(50_000));
         assert_eq!(n.remaining_bytes(b), Some(30_000));
@@ -279,7 +344,13 @@ mod tests {
     #[test]
     fn carried_bytes_accumulate() {
         let mut n = net();
-        n.submit_bulk(SimTime::ZERO, NodeId(0), NodeId(1), 10_000, Priority::KvExchange);
+        n.submit_bulk(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            10_000,
+            Priority::KvExchange,
+        );
         n.interactive(SimTime::ZERO, NodeId(1), NodeId(0), 5_000);
         n.take_completions(SimTime::from_secs(1));
         assert_eq!(n.carried_bytes(), 15_000);

@@ -14,22 +14,34 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// 200 Gbps RDMA scale-out fabric (cluster A, Table 2).
     pub fn rdma_200gbps() -> Self {
-        LinkSpec { bytes_per_sec: 25e9, latency: SimDuration::from_micros(5) }
+        LinkSpec {
+            bytes_per_sec: 25e9,
+            latency: SimDuration::from_micros(5),
+        }
     }
 
     /// 400 Gbps RDMA scale-out fabric (cluster B, Table 2).
     pub fn rdma_400gbps() -> Self {
-        LinkSpec { bytes_per_sec: 50e9, latency: SimDuration::from_micros(5) }
+        LinkSpec {
+            bytes_per_sec: 50e9,
+            latency: SimDuration::from_micros(5),
+        }
     }
 
     /// 300 GB/s NVLink scale-up fabric (cluster B, Table 2).
     pub fn nvlink_300gbps() -> Self {
-        LinkSpec { bytes_per_sec: 300e9, latency: SimDuration::from_micros(2) }
+        LinkSpec {
+            bytes_per_sec: 300e9,
+            latency: SimDuration::from_micros(2),
+        }
     }
 
     /// Host PCIe Gen4 x16 path used by KVCache swapping (~32 GB/s).
     pub fn pcie_gen4() -> Self {
-        LinkSpec { bytes_per_sec: 32e9, latency: SimDuration::from_micros(10) }
+        LinkSpec {
+            bytes_per_sec: 32e9,
+            latency: SimDuration::from_micros(10),
+        }
     }
 
     /// Pure wire time for `bytes` (no queueing, no base latency).

@@ -6,7 +6,10 @@ use proptest::prelude::*;
 use sim_core::{SimDuration, SimTime};
 
 fn spec() -> LinkSpec {
-    LinkSpec { bytes_per_sec: 10e6, latency: SimDuration::ZERO }
+    LinkSpec {
+        bytes_per_sec: 10e6,
+        latency: SimDuration::ZERO,
+    }
 }
 
 proptest! {

@@ -28,8 +28,15 @@ pub struct Percentiles {
 
 impl Percentiles {
     /// An all-zero summary, returned for empty sample sets.
-    pub const EMPTY: Percentiles =
-        Percentiles { count: 0, mean: 0.0, p50: 0.0, p90: 0.0, p99: 0.0, p999: 0.0, max: 0.0 };
+    pub const EMPTY: Percentiles = Percentiles {
+        count: 0,
+        mean: 0.0,
+        p50: 0.0,
+        p90: 0.0,
+        p99: 0.0,
+        p999: 0.0,
+        max: 0.0,
+    };
 
     /// Computes a percentile summary from unsorted samples.
     ///
@@ -84,7 +91,7 @@ impl TimeSeries {
     /// order; this is asserted in debug builds.
     pub fn push(&mut self, t: SimTime, v: f64) {
         debug_assert!(
-            self.points.last().map_or(true, |&(last, _)| t >= last),
+            self.points.last().is_none_or(|&(last, _)| t >= last),
             "time series samples must be pushed in order"
         );
         self.points.push((t, v));
@@ -107,10 +114,13 @@ impl TimeSeries {
 
     /// Returns the maximum value in the series, or `None` if empty.
     pub fn max_value(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| match acc {
-            None => Some(v),
-            Some(m) => Some(m.max(v)),
-        })
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| match acc {
+                None => Some(v),
+                Some(m) => Some(m.max(v)),
+            })
     }
 
     /// Averages samples into fixed-width windows over `[start, end)`.
@@ -168,7 +178,7 @@ impl WindowedRate {
     /// Records `weight` occurrences at time `t` (e.g. tokens in a batch).
     pub fn record(&mut self, t: SimTime, weight: f64) {
         debug_assert!(
-            self.events.last().map_or(true, |&(last, _)| t >= last),
+            self.events.last().is_none_or(|&(last, _)| t >= last),
             "rate events must be recorded in order"
         );
         self.events.push((t, weight));
@@ -262,7 +272,11 @@ mod tests {
         ts.push(SimTime::from_secs(0), 20.0);
         // No samples in window [1s, 2s).
         ts.push(SimTime::from_secs(2), 30.0);
-        let w = ts.windowed_mean(SimTime::ZERO, SimTime::from_secs(3), SimDuration::from_secs(1));
+        let w = ts.windowed_mean(
+            SimTime::ZERO,
+            SimTime::from_secs(3),
+            SimDuration::from_secs(1),
+        );
         assert_eq!(w.len(), 3);
         assert_eq!(w[0].1, 15.0);
         assert_eq!(w[1].1, 15.0, "empty window carries previous mean");
@@ -275,8 +289,11 @@ mod tests {
         r.record(SimTime::from_millis(100), 50.0);
         r.record(SimTime::from_millis(600), 50.0);
         r.record(SimTime::from_millis(1100), 10.0);
-        let rates =
-            r.rates(SimTime::ZERO, SimTime::from_secs(2), SimDuration::from_millis(500));
+        let rates = r.rates(
+            SimTime::ZERO,
+            SimTime::from_secs(2),
+            SimDuration::from_millis(500),
+        );
         assert_eq!(rates.len(), 4);
         assert_eq!(rates[0].1, 100.0); // 50 tokens in 0.5 s.
         assert_eq!(rates[1].1, 100.0);

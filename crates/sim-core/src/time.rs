@@ -260,7 +260,10 @@ mod tests {
         assert_eq!(t - d, SimTime::from_secs(6));
         assert_eq!(t - SimTime::from_secs(7), SimDuration::from_secs(3));
         // Subtraction below the epoch saturates.
-        assert_eq!(SimTime::from_secs(1) - SimDuration::from_secs(5), SimTime::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimDuration::from_secs(5),
+            SimTime::ZERO
+        );
         assert_eq!(d * 3, SimDuration::from_secs(12));
         assert_eq!(d / 2, SimDuration::from_secs(2));
     }

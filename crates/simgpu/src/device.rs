@@ -31,7 +31,11 @@ pub struct GpuDevice {
 impl GpuDevice {
     /// Creates a device with `hbm_bytes` of physical memory.
     pub fn new(id: GpuId, hbm_bytes: u64) -> Self {
-        GpuDevice { id, pool: HbmPool::new(hbm_bytes), space: AddressSpace::new() }
+        GpuDevice {
+            id,
+            pool: HbmPool::new(hbm_bytes),
+            space: AddressSpace::new(),
+        }
     }
 
     /// Allocates physical memory (`cuMemCreate`).
@@ -82,12 +86,17 @@ impl GpuDevice {
         bytes: u64,
     ) -> Result<PhysHandle> {
         let handle = self.pool.mem_create(bytes)?;
-        match self.space.map(reservation, offset, handle, self.pool.size_of(handle)?) {
+        match self
+            .space
+            .map(reservation, offset, handle, self.pool.size_of(handle)?)
+        {
             Ok(()) => Ok(handle),
             Err(e) => {
                 // Roll back the physical allocation; it cannot fail because
                 // the handle was just created and is unmapped.
-                self.pool.mem_release(handle).expect("fresh handle must release");
+                self.pool
+                    .mem_release(handle)
+                    .expect("fresh handle must release");
                 Err(e)
             }
         }
@@ -185,19 +194,29 @@ mod tests {
         let params = g.va_reserve(8 * PAGE_SIZE).expect("param region");
         let kv = g.va_reserve(16 * PAGE_SIZE).expect("kv region");
         // 4 "layers" of parameters, one page each.
-        let layer_handles: Vec<_> =
-            (0..4).map(|i| g.alloc_and_map(params, i * PAGE_SIZE, PAGE_SIZE).expect("layer")).collect();
+        let layer_handles: Vec<_> = (0..4)
+            .map(|i| {
+                g.alloc_and_map(params, i * PAGE_SIZE, PAGE_SIZE)
+                    .expect("layer")
+            })
+            .collect();
         // KV pool initially 2 pages.
         for i in 0..2 {
-            g.alloc_and_map(kv, i * PAGE_SIZE, PAGE_SIZE).expect("kv page");
+            g.alloc_and_map(kv, i * PAGE_SIZE, PAGE_SIZE)
+                .expect("kv page");
         }
         assert_eq!(g.contiguous_extent(kv).expect("kv"), 2 * PAGE_SIZE);
         // Drop layers 2..4: unmap from params, map at the KV tail.
         for (i, &h) in layer_handles[2..].iter().enumerate() {
             g.mem_unmap_handle(h).expect("unmap param");
-            g.mem_map(kv, (2 + i as u64) * PAGE_SIZE, h).expect("map to kv tail");
+            g.mem_map(kv, (2 + i as u64) * PAGE_SIZE, h)
+                .expect("map to kv tail");
         }
-        assert_eq!(g.contiguous_extent(kv).expect("kv"), 4 * PAGE_SIZE, "KV pool doubled");
+        assert_eq!(
+            g.contiguous_extent(kv).expect("kv"),
+            4 * PAGE_SIZE,
+            "KV pool doubled"
+        );
         assert_eq!(g.contiguous_extent(params).expect("params"), 2 * PAGE_SIZE);
         // No physical allocation changed hands — pure remap.
         assert_eq!(g.used_bytes(), 6 * PAGE_SIZE);

@@ -35,7 +35,12 @@ impl HbmPool {
     /// pages.
     pub fn new(capacity_bytes: u64) -> Self {
         let total_pages = capacity_bytes / PAGE_SIZE;
-        HbmPool { total_pages, free_pages: total_pages, next_handle: 1, allocs: HashMap::new() }
+        HbmPool {
+            total_pages,
+            free_pages: total_pages,
+            next_handle: 1,
+            allocs: HashMap::new(),
+        }
     }
 
     /// Allocates physical memory for at least `bytes`, rounded up to page
@@ -51,7 +56,12 @@ impl HbmPool {
         self.free_pages -= pages;
         let handle = PhysHandle(self.next_handle);
         self.next_handle += 1;
-        self.allocs.insert(handle, PhysAlloc { pages: pages as u32 });
+        self.allocs.insert(
+            handle,
+            PhysAlloc {
+                pages: pages as u32,
+            },
+        );
         Ok(handle)
     }
 
@@ -130,7 +140,10 @@ mod tests {
         let err = pool.mem_create(2 * PAGE_SIZE).expect_err("must OOM");
         assert_eq!(
             err,
-            GpuError::OutOfMemory { requested: 2 * PAGE_SIZE, free: PAGE_SIZE }
+            GpuError::OutOfMemory {
+                requested: 2 * PAGE_SIZE,
+                free: PAGE_SIZE
+            }
         );
     }
 

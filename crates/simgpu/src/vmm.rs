@@ -49,18 +49,27 @@ impl AddressSpace {
     /// Reserves a virtual-address range of `size` bytes
     /// (`cuMemAddressReserve`). The size must be page-aligned.
     pub fn reserve(&mut self, size: u64) -> Result<VaReservation> {
-        if size == 0 || size % PAGE_SIZE != 0 {
+        if size == 0 || !size.is_multiple_of(PAGE_SIZE) {
             return Err(GpuError::Misaligned);
         }
         self.next_id += 1;
         let id = VaReservation(self.next_id);
-        self.reservations.insert(id, Reservation { size, mappings: BTreeMap::new() });
+        self.reservations.insert(
+            id,
+            Reservation {
+                size,
+                mappings: BTreeMap::new(),
+            },
+        );
         Ok(id)
     }
 
     /// Frees a reservation. All mappings inside it must be unmapped first.
     pub fn unreserve(&mut self, id: VaReservation) -> Result<()> {
-        let r = self.reservations.get(&id).ok_or(GpuError::InvalidReservation)?;
+        let r = self
+            .reservations
+            .get(&id)
+            .ok_or(GpuError::InvalidReservation)?;
         if !r.mappings.is_empty() {
             return Err(GpuError::MappingConflict);
         }
@@ -77,13 +86,16 @@ impl AddressSpace {
         handle: PhysHandle,
         bytes: u64,
     ) -> Result<()> {
-        if offset % PAGE_SIZE != 0 {
+        if !offset.is_multiple_of(PAGE_SIZE) {
             return Err(GpuError::Misaligned);
         }
         if self.mapped_at.contains_key(&handle) {
             return Err(GpuError::HandleAlreadyMapped);
         }
-        let r = self.reservations.get_mut(&id).ok_or(GpuError::InvalidReservation)?;
+        let r = self
+            .reservations
+            .get_mut(&id)
+            .ok_or(GpuError::InvalidReservation)?;
         let end = offset.checked_add(bytes).ok_or(GpuError::MappingConflict)?;
         if end > r.size {
             return Err(GpuError::MappingConflict);
@@ -108,8 +120,14 @@ impl AddressSpace {
     /// Unmaps whatever is mapped at `offset`, returning its handle
     /// (`cuMemUnmap`).
     pub fn unmap(&mut self, id: VaReservation, offset: u64) -> Result<PhysHandle> {
-        let r = self.reservations.get_mut(&id).ok_or(GpuError::InvalidReservation)?;
-        let m = r.mappings.remove(&offset).ok_or(GpuError::NoMappingAtOffset)?;
+        let r = self
+            .reservations
+            .get_mut(&id)
+            .ok_or(GpuError::InvalidReservation)?;
+        let m = r
+            .mappings
+            .remove(&offset)
+            .ok_or(GpuError::NoMappingAtOffset)?;
         self.mapped_at.remove(&m.handle);
         Ok(m.handle)
     }
@@ -136,7 +154,10 @@ impl AddressSpace {
     /// This is the usable size of a region addressed as `[base, base+extent)`
     /// by unmodified kernels (paper Fig. 7 (a)).
     pub fn contiguous_extent(&self, id: VaReservation) -> Result<u64> {
-        let r = self.reservations.get(&id).ok_or(GpuError::InvalidReservation)?;
+        let r = self
+            .reservations
+            .get(&id)
+            .ok_or(GpuError::InvalidReservation)?;
         let mut extent = 0u64;
         for (&off, m) in &r.mappings {
             if off != extent {
@@ -149,19 +170,31 @@ impl AddressSpace {
 
     /// Total bytes mapped inside the reservation (contiguous or not).
     pub fn mapped_bytes(&self, id: VaReservation) -> Result<u64> {
-        let r = self.reservations.get(&id).ok_or(GpuError::InvalidReservation)?;
+        let r = self
+            .reservations
+            .get(&id)
+            .ok_or(GpuError::InvalidReservation)?;
         Ok(r.mappings.values().map(|m| m.bytes).sum())
     }
 
     /// Size of the reservation.
     pub fn reservation_size(&self, id: VaReservation) -> Result<u64> {
-        self.reservations.get(&id).map(|r| r.size).ok_or(GpuError::InvalidReservation)
+        self.reservations
+            .get(&id)
+            .map(|r| r.size)
+            .ok_or(GpuError::InvalidReservation)
     }
 
     /// Handles mapped in the reservation, ordered by offset.
     pub fn handles_in(&self, id: VaReservation) -> Result<Vec<(u64, PhysHandle, u64)>> {
-        let r = self.reservations.get(&id).ok_or(GpuError::InvalidReservation)?;
-        Ok(r.mappings.iter().map(|(&off, m)| (off, m.handle, m.bytes)).collect())
+        let r = self
+            .reservations
+            .get(&id)
+            .ok_or(GpuError::InvalidReservation)?;
+        Ok(r.mappings
+            .iter()
+            .map(|(&off, m)| (off, m.handle, m.bytes))
+            .collect())
     }
 }
 
@@ -193,7 +226,8 @@ mod tests {
     fn overlap_rejected() {
         let mut vs = AddressSpace::new();
         let r = vs.reserve(10 * PAGE_SIZE).expect("reserve");
-        vs.map(r, 2 * PAGE_SIZE, handle(1), 2 * PAGE_SIZE).expect("map");
+        vs.map(r, 2 * PAGE_SIZE, handle(1), 2 * PAGE_SIZE)
+            .expect("map");
         // Overlaps tail of existing mapping.
         assert_eq!(
             vs.map(r, 3 * PAGE_SIZE, handle(2), PAGE_SIZE),
@@ -223,7 +257,8 @@ mod tests {
         // After unmapping it can map elsewhere — the remap dance of Fig. 3(d).
         let h = vs.unmap(r, 0).expect("unmap");
         assert_eq!(h, handle(1));
-        vs.map(r, 5 * PAGE_SIZE, handle(1), PAGE_SIZE).expect("remap");
+        vs.map(r, 5 * PAGE_SIZE, handle(1), PAGE_SIZE)
+            .expect("remap");
         assert_eq!(vs.location_of(handle(1)), Some((r, 5 * PAGE_SIZE)));
     }
 
@@ -256,7 +291,10 @@ mod tests {
         assert_eq!(vs.reserve(100), Err(GpuError::Misaligned));
         assert_eq!(vs.reserve(0), Err(GpuError::Misaligned));
         let r = vs.reserve(4 * PAGE_SIZE).expect("reserve");
-        assert_eq!(vs.map(r, 17, handle(1), PAGE_SIZE), Err(GpuError::Misaligned));
+        assert_eq!(
+            vs.map(r, 17, handle(1), PAGE_SIZE),
+            Err(GpuError::Misaligned)
+        );
     }
 
     #[test]

@@ -84,7 +84,11 @@ impl BurstTraceBuilder {
     /// Adds a burst phase.
     pub fn burst(mut self, start: SimTime, duration: SimDuration, multiplier: f64) -> Self {
         assert!(multiplier > 0.0, "multiplier must be positive");
-        self.phases.push(BurstPhase { start, duration, multiplier });
+        self.phases.push(BurstPhase {
+            start,
+            duration,
+            multiplier,
+        });
         self
     }
 
@@ -96,7 +100,11 @@ impl BurstTraceBuilder {
 
     /// The rate multiplier in effect at `t` (product of active phases).
     pub fn multiplier_at(&self, t: SimTime) -> f64 {
-        self.phases.iter().filter(|p| p.contains(t)).map(|p| p.multiplier).product()
+        self.phases
+            .iter()
+            .filter(|p| p.contains(t))
+            .map(|p| p.multiplier)
+            .product()
     }
 
     /// Generates the trace.
@@ -106,8 +114,13 @@ impl BurstTraceBuilder {
     pub fn build(&self) -> Trace {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let sampler = self.dataset.sampler();
-        let peak_rps =
-            self.base_rps * self.phases.iter().map(|p| p.multiplier).fold(1.0, f64::max).max(1.0);
+        let peak_rps = self.base_rps
+            * self
+                .phases
+                .iter()
+                .map(|p| p.multiplier)
+                .fold(1.0, f64::max)
+                .max(1.0);
         let mut requests = Vec::new();
         let mut t = 0.0f64;
         let end = self.duration.as_secs_f64();
@@ -122,7 +135,12 @@ impl BurstTraceBuilder {
             let accept_p = self.base_rps * self.multiplier_at(now) / peak_rps;
             if rng.gen_bool(accept_p.clamp(0.0, 1.0)) {
                 let (input_tokens, output_tokens) = sampler.sample(&mut rng);
-                requests.push(RequestSpec { id: 0, arrival: now, input_tokens, output_tokens });
+                requests.push(RequestSpec {
+                    id: 0,
+                    arrival: now,
+                    input_tokens,
+                    output_tokens,
+                });
             }
         }
         Trace::new(requests)
@@ -130,7 +148,12 @@ impl BurstTraceBuilder {
 
     /// A BurstGPT-like preset: two unannounced ~2× bursts, the first around
     /// 35 % and the second around 65 % of the trace (Fig. 2 (a) / Fig. 16).
-    pub fn burstgpt_like(dataset: Dataset, base_rps: f64, duration: SimDuration, seed: u64) -> Trace {
+    pub fn burstgpt_like(
+        dataset: Dataset,
+        base_rps: f64,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Trace {
         let d = duration.as_secs_f64();
         BurstTraceBuilder::new(dataset)
             .base_rps(base_rps)

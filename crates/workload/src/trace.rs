@@ -51,7 +51,9 @@ impl Trace {
 
     /// Time of the last arrival.
     pub fn duration(&self) -> SimDuration {
-        self.requests.last().map_or(SimDuration::ZERO, |r| r.arrival - SimTime::ZERO)
+        self.requests
+            .last()
+            .map_or(SimDuration::ZERO, |r| r.arrival - SimTime::ZERO)
     }
 
     /// Mean request rate over the trace span, in requests/second.
@@ -68,7 +70,11 @@ impl Trace {
         if self.is_empty() {
             return 0.0;
         }
-        self.requests.iter().map(|r| r.input_tokens as f64).sum::<f64>() / self.len() as f64
+        self.requests
+            .iter()
+            .map(|r| r.input_tokens as f64)
+            .sum::<f64>()
+            / self.len() as f64
     }
 
     /// Mean output length in tokens.
@@ -76,7 +82,11 @@ impl Trace {
         if self.is_empty() {
             return 0.0;
         }
-        self.requests.iter().map(|r| r.output_tokens as f64).sum::<f64>() / self.len() as f64
+        self.requests
+            .iter()
+            .map(|r| r.output_tokens as f64)
+            .sum::<f64>()
+            / self.len() as f64
     }
 
     /// Requests per second in fixed windows — the Fig. 2 (a) arrival plot.
@@ -136,11 +146,20 @@ impl Trace {
 /// Builds the Fig. 17 "extreme burst" variant of a trace: once the burst
 /// window `[burst_start, burst_end)` first plays, it replays back-to-back
 /// `repeats` more times, overwhelming any fixed memory budget.
-pub fn extreme_burst(trace: &Trace, burst_start: SimTime, burst_end: SimTime, repeats: u32) -> Trace {
+pub fn extreme_burst(
+    trace: &Trace,
+    burst_start: SimTime,
+    burst_end: SimTime,
+    repeats: u32,
+) -> Trace {
     assert!(burst_end > burst_start, "burst window must be non-empty");
     let window = burst_end - burst_start;
-    let mut out: Vec<RequestSpec> =
-        trace.requests.iter().copied().filter(|r| r.arrival < burst_end).collect();
+    let mut out: Vec<RequestSpec> = trace
+        .requests
+        .iter()
+        .copied()
+        .filter(|r| r.arrival < burst_end)
+        .collect();
     let burst: Vec<RequestSpec> = trace
         .requests
         .iter()
@@ -149,7 +168,10 @@ pub fn extreme_burst(trace: &Trace, burst_start: SimTime, burst_end: SimTime, re
         .collect();
     for i in 1..=repeats {
         let shift = window * i as u64;
-        out.extend(burst.iter().map(|r| RequestSpec { arrival: r.arrival + shift, ..*r }));
+        out.extend(burst.iter().map(|r| RequestSpec {
+            arrival: r.arrival + shift,
+            ..*r
+        }));
     }
     Trace::new(out)
 }
@@ -159,7 +181,12 @@ mod tests {
     use super::*;
 
     fn spec(arrival_ms: u64, input: u64, output: u64) -> RequestSpec {
-        RequestSpec { id: 0, arrival: SimTime::from_millis(arrival_ms), input_tokens: input, output_tokens: output }
+        RequestSpec {
+            id: 0,
+            arrival: SimTime::from_millis(arrival_ms),
+            input_tokens: input,
+            output_tokens: output,
+        }
     }
 
     #[test]
@@ -215,14 +242,22 @@ mod tests {
 
     #[test]
     fn extreme_burst_replays_window() {
-        let t = Trace::new(vec![spec(0, 1, 1), spec(1100, 2, 2), spec(1900, 3, 3), spec(2500, 4, 4)]);
+        let t = Trace::new(vec![
+            spec(0, 1, 1),
+            spec(1100, 2, 2),
+            spec(1900, 3, 3),
+            spec(2500, 4, 4),
+        ]);
         let e = extreme_burst(&t, SimTime::from_secs(1), SimTime::from_secs(2), 2);
         // Base: 3 requests before burst_end; burst window has 2 requests,
         // replayed twice → 3 + 4 = 7.
         assert_eq!(e.len(), 7);
         // Replayed copies land at +1 s and +2 s shifts.
-        let arrivals: Vec<u64> =
-            e.requests.iter().map(|r| r.arrival.as_micros() / 1000).collect();
+        let arrivals: Vec<u64> = e
+            .requests
+            .iter()
+            .map(|r| r.arrival.as_micros() / 1000)
+            .collect();
         assert!(arrivals.contains(&2100) && arrivals.contains(&3100));
         assert!(arrivals.contains(&2900) && arrivals.contains(&3900));
         // The post-burst tail of the original trace is dropped.

@@ -28,13 +28,10 @@ impl Policy for EagerDropper {
         if state.has_pending_reconfigs() {
             return;
         }
-        let hot = state
-            .alive_groups()
-            .into_iter()
-            .any(|g| {
-                state.group_demand_tokens(g) as f64
-                    > self.threshold * state.group_capacity_tokens(g) as f64
-            });
+        let hot = state.alive_groups().into_iter().any(|g| {
+            state.group_demand_tokens(g) as f64
+                > self.threshold * state.group_capacity_tokens(g) as f64
+        });
         if !hot {
             return;
         }
@@ -42,7 +39,10 @@ impl Policy for EagerDropper {
             .alive_groups()
             .into_iter()
             .filter(|&g| !state.group(g).frozen)
-            .map(|g| PlanGroup { id: g, instances: state.group(g).members.len() as u32 })
+            .map(|g| PlanGroup {
+                id: g,
+                instances: state.group(g).members.len() as u32,
+            })
             .collect();
         if candidates.len() < 2 {
             return;
@@ -69,20 +69,37 @@ fn main() {
     let drain = SimDuration::from_secs(300);
 
     // The custom policy, driven directly through the engine API.
-    let mut engine =
-        Engine::new(cfg.clone(), EagerDropper { threshold: 0.75, drops: 0 });
+    let mut engine = Engine::new(
+        cfg.clone(),
+        EagerDropper {
+            threshold: 0.75,
+            drops: 0,
+        },
+    );
     let report = engine.run(&trace, drain);
     println!("=== EagerDropper (custom policy) ===");
     println!("drops triggered : {}", engine.policy.drops);
-    println!("finished        : {}/{}", report.finished_requests, report.total_requests);
-    println!("TTFT p50/p99    : {:.3}s / {:.3}s", report.ttft.p50, report.ttft.p99);
+    println!(
+        "finished        : {}/{}",
+        report.finished_requests, report.total_requests
+    );
+    println!(
+        "TTFT p50/p99    : {:.3}s / {:.3}s",
+        report.ttft.p50, report.ttft.p99
+    );
     println!("TPOT p50        : {:.1}ms", report.tpot.p50 * 1e3);
 
     // The reference policy for comparison.
     let out = run_system(SystemKind::KunServe, cfg, &trace, drain);
     println!();
     println!("=== KunServe (reference) ===");
-    println!("finished        : {}/{}", out.report.finished_requests, out.report.total_requests);
-    println!("TTFT p50/p99    : {:.3}s / {:.3}s", out.report.ttft.p50, out.report.ttft.p99);
+    println!(
+        "finished        : {}/{}",
+        out.report.finished_requests, out.report.total_requests
+    );
+    println!(
+        "TTFT p50/p99    : {:.3}s / {:.3}s",
+        out.report.ttft.p50, out.report.ttft.p99
+    );
     println!("TPOT p50        : {:.1}ms", out.report.tpot.p50 * 1e3);
 }

@@ -27,7 +27,11 @@ fn main() {
     cfg.reserve_frac = 0.40;
 
     let drain = SimDuration::from_secs(400);
-    for kind in [SystemKind::VllmDp, SystemKind::InferCept, SystemKind::KunServe] {
+    for kind in [
+        SystemKind::VllmDp,
+        SystemKind::InferCept,
+        SystemKind::KunServe,
+    ] {
         let out = run_system(kind, cfg.clone(), &trace, drain);
         println!();
         println!("=== {} ===", out.name);

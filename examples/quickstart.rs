@@ -35,9 +35,16 @@ fn main() {
         let r = &outcome.report;
         println!();
         println!("=== {} ===", outcome.name);
-        println!("finished      : {}/{}", r.finished_requests, r.total_requests);
+        println!(
+            "finished      : {}/{}",
+            r.finished_requests, r.total_requests
+        );
         println!("TTFT p50/p99  : {:.3}s / {:.3}s", r.ttft.p50, r.ttft.p99);
-        println!("TPOT p50/p99  : {:.1}ms / {:.1}ms", r.tpot.p50 * 1e3, r.tpot.p99 * 1e3);
+        println!(
+            "TPOT p50/p99  : {:.1}ms / {:.1}ms",
+            r.tpot.p50 * 1e3,
+            r.tpot.p99 * 1e3
+        );
         println!("preemptions   : {}", r.preemptions);
         for (t, what) in &outcome.state.metrics.reconfig_events {
             println!("event         : [{t}] {what}");

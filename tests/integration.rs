@@ -27,7 +27,12 @@ fn all_systems_conserve_requests() {
     // to its KVCache (preempt, swap, migrate, exchange).
     let trace = bursty_trace(45.0, 2.5, 1);
     for kind in SystemKind::paper_lineup() {
-        let out = run_system(kind, paper_like_tiny(4), &trace, SimDuration::from_secs(600));
+        let out = run_system(
+            kind,
+            paper_like_tiny(4),
+            &trace,
+            SimDuration::from_secs(600),
+        );
         assert_eq!(
             out.report.finished_requests,
             trace.len(),
@@ -37,7 +42,11 @@ fn all_systems_conserve_requests() {
         // Token conservation: every finished request emitted exactly its
         // output length.
         let expected: u64 = trace.requests.iter().map(|r| r.output_tokens).sum();
-        assert_eq!(out.report.total_tokens, expected, "{}: token mismatch", out.name);
+        assert_eq!(
+            out.report.total_tokens, expected,
+            "{}: token mismatch",
+            out.name
+        );
     }
 }
 
@@ -51,7 +60,7 @@ fn burst_overloads_vllm_but_not_kunserve() {
     let vllm = run_system(SystemKind::VllmDp, paper_like_tiny(4), &trace, drain);
     let kun = run_system(SystemKind::KunServe, paper_like_tiny(4), &trace, drain);
     assert!(
-        vllm.report.ttft.p99 > 10.0 * vllm.report.ttft.p50.min(0.2).max(0.02),
+        vllm.report.ttft.p99 > 10.0 * vllm.report.ttft.p50.clamp(0.02, 0.2),
         "vLLM must exhibit a queuing tail (p50 {:.3}, p99 {:.3})",
         vllm.report.ttft.p50,
         vllm.report.ttft.p99
@@ -81,10 +90,21 @@ fn drop_restore_round_trip_restores_full_copies() {
         &trace,
         SimDuration::from_secs(600),
     );
-    let events: Vec<&str> =
-        out.state.metrics.reconfig_events.iter().map(|(_, w)| w.as_str()).collect();
-    assert!(events.iter().any(|w| w.starts_with("drop")), "events: {events:?}");
-    assert!(events.iter().any(|w| w.starts_with("restore: split")), "events: {events:?}");
+    let events: Vec<&str> = out
+        .state
+        .metrics
+        .reconfig_events
+        .iter()
+        .map(|(_, w)| w.as_str())
+        .collect();
+    assert!(
+        events.iter().any(|w| w.starts_with("drop")),
+        "events: {events:?}"
+    );
+    assert!(
+        events.iter().any(|w| w.starts_with("restore: split")),
+        "events: {events:?}"
+    );
     for inst in &out.state.instances {
         assert_eq!(inst.dropped_layers(), 0, "{}: layers not restored", inst.id);
         assert_eq!(
@@ -112,7 +132,11 @@ fn no_restore_variant_stays_pipelined() {
     let dropped: u32 = out.state.instances.iter().map(|i| i.dropped_layers()).sum();
     assert!(dropped > 0, "without restore the drop must persist");
     assert!(
-        !out.state.metrics.reconfig_events.iter().any(|(_, w)| w.starts_with("restore: split")),
+        !out.state
+            .metrics
+            .reconfig_events
+            .iter()
+            .any(|(_, w)| w.starts_with("restore: split")),
         "restore must not fire when disabled"
     );
 }
@@ -150,12 +174,7 @@ fn extreme_burst_kunserve_survives_longer() {
     // than vLLM's (measured by median TTFT of requests arriving during the
     // replay phase).
     let base = bursty_trace(50.0, 3.5, 17);
-    let trace = extreme_burst(
-        &base,
-        SimTime::from_secs(18),
-        SimTime::from_secs(28),
-        3,
-    );
+    let trace = extreme_burst(&base, SimTime::from_secs(18), SimTime::from_secs(28), 3);
     let drain = SimDuration::from_secs(900);
     let vllm = run_system(SystemKind::VllmDp, paper_like_tiny(4), &trace, drain);
     let kun = run_system(SystemKind::KunServe, paper_like_tiny(4), &trace, drain);
@@ -179,7 +198,12 @@ fn extreme_burst_kunserve_survives_longer() {
 fn runs_are_deterministic() {
     let trace = bursty_trace(50.0, 2.5, 3);
     let run = |kind| {
-        let out = run_system(kind, paper_like_tiny(4), &trace, SimDuration::from_secs(600));
+        let out = run_system(
+            kind,
+            paper_like_tiny(4),
+            &trace,
+            SimDuration::from_secs(600),
+        );
         (
             out.report.finished_requests,
             out.report.ttft_samples.clone(),
