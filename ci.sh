@@ -18,4 +18,10 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> bench smoke: fig18 multi-model JSON regression gate"
+SMOKE_JSON=target/bench-json/fig18_smoke.json
+cargo run --release --offline -p bench --bin fig18_multi_model -- --smoke --json "$SMOKE_JSON"
+cargo run --release --offline -p bench --bin check_bench_json -- \
+    "$SMOKE_JSON" crates/bench/tolerances/fig18_smoke.json
+
 echo "==> OK: all gates passed"

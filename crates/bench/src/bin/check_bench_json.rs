@@ -1,0 +1,130 @@
+//! CI gate over bench JSON output: parses a figure's emitted JSON and
+//! fails (exit 1) on malformed output, missing fields, lost requests or a
+//! p99-TTFT regression beyond the stored tolerance.
+//!
+//! Usage: `check_bench_json <bench.json> <tolerance.json>`
+//!
+//! The tolerance file pins, per system name:
+//! - `max_ttft_p99_s`: hard ceiling on cluster-wide p99 TTFT (seconds);
+//! - optionally `min_finished_frac` (default 1.0): the fraction of
+//!   requests every listed system must finish;
+//! - optionally `scenario`: for multi-scenario figures (fig12's
+//!   `{figure, scenarios: [{scenario, systems}]}` shape), the named
+//!   scenario whose `systems` array to gate. Single-scenario figures
+//!   (fig18) keep their `systems` at the top level and omit this.
+
+use bench::Json;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("check_bench_json: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [bench_path, tol_path] = args.as_slice() else {
+        return fail("usage: check_bench_json <bench.json> <tolerance.json>");
+    };
+    let bench_text = match std::fs::read_to_string(bench_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {bench_path}: {e}")),
+    };
+    let tol_text = match std::fs::read_to_string(tol_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {tol_path}: {e}")),
+    };
+    let bench = match Json::parse(&bench_text) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("{bench_path} is malformed JSON: {e}")),
+    };
+    let tol = match Json::parse(&tol_text) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("{tol_path} is malformed JSON: {e}")),
+    };
+
+    // The figure name must match the tolerance's target.
+    let (Some(fig), Some(want_fig)) = (
+        bench.get("figure").and_then(Json::as_str),
+        tol.get("figure").and_then(Json::as_str),
+    ) else {
+        return fail("both files need a string `figure` field");
+    };
+    if fig != want_fig {
+        return fail(&format!("figure mismatch: got `{fig}`, want `{want_fig}`"));
+    }
+
+    // Top-level `systems` (fig18 shape), or one scenario's `systems`
+    // selected by the tolerance's `scenario` field (fig12 shape).
+    let systems = match bench.get("systems").and_then(Json::as_arr) {
+        Some(s) => s,
+        None => {
+            let Some(want_sc) = tol.get("scenario").and_then(Json::as_str) else {
+                return fail(
+                    "bench JSON lacks a top-level `systems` array and the tolerance names no `scenario`",
+                );
+            };
+            let Some(scenarios) = bench.get("scenarios").and_then(Json::as_arr) else {
+                return fail("bench JSON lacks both `systems` and `scenarios`");
+            };
+            let Some(sc) = scenarios
+                .iter()
+                .find(|s| s.get("scenario").and_then(Json::as_str) == Some(want_sc))
+            else {
+                return fail(&format!("bench JSON has no scenario `{want_sc}`"));
+            };
+            match sc.get("systems").and_then(Json::as_arr) {
+                Some(s) => s,
+                None => return fail(&format!("scenario `{want_sc}` lacks a `systems` array")),
+            }
+        }
+    };
+    let Some(ceilings) = tol.get("max_ttft_p99_s").and_then(Json::as_obj) else {
+        return fail("tolerance lacks a `max_ttft_p99_s` object");
+    };
+    let min_finished = tol
+        .get("min_finished_frac")
+        .and_then(Json::as_f64)
+        .unwrap_or(1.0);
+
+    let mut checked = 0;
+    for (name, ceiling) in ceilings {
+        let Some(ceiling) = ceiling.as_f64() else {
+            return fail(&format!("tolerance for `{name}` is not a number"));
+        };
+        let Some(sys) = systems
+            .iter()
+            .find(|s| s.get("system").and_then(Json::as_str) == Some(name))
+        else {
+            return fail(&format!("bench JSON has no system `{name}`"));
+        };
+        let p99 = sys.get("ttft_p99_s").and_then(Json::as_f64);
+        let finished = sys.get("finished").and_then(Json::as_f64);
+        let total = sys.get("total").and_then(Json::as_f64);
+        let (Some(p99), Some(finished), Some(total)) = (p99, finished, total) else {
+            return fail(&format!("system `{name}` lacks p99/finished/total fields"));
+        };
+        if !p99.is_finite() || p99 < 0.0 {
+            return fail(&format!("system `{name}`: p99 TTFT {p99} is not sane"));
+        }
+        if p99 > ceiling {
+            return fail(&format!(
+                "system `{name}`: p99 TTFT {p99:.3}s exceeds tolerance {ceiling:.3}s"
+            ));
+        }
+        if total <= 0.0 || finished < total * min_finished {
+            return fail(&format!(
+                "system `{name}`: finished {finished}/{total} below the {min_finished} floor"
+            ));
+        }
+        println!(
+            "check_bench_json: ok: {name} p99 {p99:.3}s <= {ceiling:.3}s, finished {finished}/{total}"
+        );
+        checked += 1;
+    }
+    if checked == 0 {
+        return fail("tolerance file pinned no systems");
+    }
+    println!("check_bench_json: PASS ({checked} systems within tolerance)");
+    ExitCode::SUCCESS
+}

@@ -6,16 +6,23 @@
 //! (third column).
 //!
 //! Run: `cargo run --release -p bench --bin fig12_end_to_end`
+//!
+//! Alongside the CSV timelines, a machine-readable summary is written to
+//! `target/bench-json/fig12_end_to_end.json` (`--json PATH` overrides).
 
-use bench::{print_series, secs, Scenario};
+use bench::{json_out_path, outcome_json, print_series, secs, write_json, Json, Scenario};
 use sim_core::{SimDuration, SimTime};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let window = SimDuration::from_secs(5);
+    let mut scenario_jsons = Vec::new();
     for sc in Scenario::paper_matrix() {
         let end = SimTime::ZERO + sc.duration + SimDuration::from_secs(60);
         println!("==== {} ====", sc.name);
+        let mut sys_jsons = Vec::new();
         for out in sc.run_lineup() {
+            sys_jsons.push(outcome_json(&sc.cfg, &out));
             println!();
             println!("--- {} ---", out.name);
             // Column 1: memory timeline (capacity moves when KunServe drops).
@@ -55,6 +62,17 @@ fn main() {
                 out.report.total_tokens as f64 / sc.duration.as_secs_f64(),
             );
         }
+        scenario_jsons.push(Json::obj([
+            ("scenario", Json::str(sc.name)),
+            ("systems", Json::Arr(sys_jsons)),
+        ]));
         println!();
     }
+    let doc = Json::obj([
+        ("figure", Json::str("fig12_end_to_end")),
+        ("scenarios", Json::Arr(scenario_jsons)),
+    ]);
+    let path = json_out_path("fig12_end_to_end", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
 }

@@ -1,0 +1,87 @@
+//! Figure 18 (extension): multi-model co-serving under colliding bursts.
+//!
+//! Two models share one cluster — Qwen-2.5-14B chat traffic bursting on
+//! top of steady Qwen-2.5-72B long-context traffic. Every system is
+//! model-aware (dispatch, migration and vLLM-PP pairing never cross
+//! models); KunServe additionally arbitrates the two models' drop plans
+//! against the shared reclaim allowance. The output is a per-system,
+//! per-model latency table (CSV) plus the machine-readable JSON the CI
+//! regression gate consumes.
+//!
+//! Run: `cargo run --release -p bench --bin fig18_multi_model`
+//! Flags: `--smoke` (tiny config, seconds instead of minutes),
+//!        `--json PATH` (JSON output path; default
+//!        `target/bench-json/fig18_multi_model.json`).
+
+use bench::{json_out_path, outcome_json, secs, write_json, Json, MultiScenario};
+use kunserve::serving::SystemKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let sc = if smoke {
+        MultiScenario::fig18_smoke()
+    } else {
+        MultiScenario::fig18_14b_chat_vs_72b_longctx()
+    };
+    let trace = sc.trace();
+    println!("==== fig18: {} ====", sc.name);
+    println!(
+        "trace: {} requests over {:.0}s ({} models)",
+        trace.len(),
+        sc.duration.as_secs_f64(),
+        trace.models().len()
+    );
+
+    let systems = [
+        SystemKind::VllmDp,
+        SystemKind::Llumnix,
+        SystemKind::KunServe,
+    ];
+    let mut sys_jsons = Vec::new();
+    println!("system,model,name,finished,total,ttft_p50_s,ttft_p99_s,tpot_p50_s,tpot_p99_s");
+    for kind in systems {
+        let out = sc.run_on(kind, &trace);
+        for m in &out.report.per_model {
+            println!(
+                "{},{},{},{},{},{},{},{},{}",
+                out.name,
+                m.model,
+                sc.cfg.model_cfg(m.model).name,
+                m.finished_requests,
+                m.total_requests,
+                secs(m.ttft.p50),
+                secs(m.ttft.p99),
+                secs(m.tpot.p50),
+                secs(m.tpot.p99),
+            );
+        }
+        let drops = out
+            .state
+            .metrics
+            .reconfig_events
+            .iter()
+            .filter(|(_, w)| w.starts_with("drop"))
+            .count();
+        println!(
+            "summary,{},finished={}/{},ttft_p99={},drops={}",
+            out.name,
+            out.report.finished_requests,
+            out.report.total_requests,
+            secs(out.report.ttft.p99),
+            drops,
+        );
+        sys_jsons.push(outcome_json(&sc.cfg, &out));
+    }
+
+    let doc = Json::obj([
+        ("figure", Json::str("fig18_multi_model")),
+        ("scenario", Json::str(sc.name)),
+        ("smoke", Json::Bool(smoke)),
+        ("requests", Json::Num(trace.len() as f64)),
+        ("systems", Json::Arr(sys_jsons)),
+    ]);
+    let path = json_out_path("fig18_multi_model", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
+}

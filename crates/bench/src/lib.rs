@@ -7,10 +7,14 @@
 //! to the simulated cluster's serving capacity (the paper does the same
 //! with TraceUpscaler).
 
-use cluster::ClusterConfig;
+use cluster::{ClusterConfig, ModelId};
 use kunserve::serving::{run_system, RunOutcome, SystemKind};
 use sim_core::{SimDuration, SimTime};
 use workload::{BurstTraceBuilder, Dataset, Trace};
+
+pub mod json;
+
+pub use json::Json;
 
 /// A calibrated experiment scenario.
 #[derive(Debug, Clone)]
@@ -139,6 +143,192 @@ impl Scenario {
             .map(|k| self.run(k))
             .collect()
     }
+}
+
+/// One model's workload inside a [`MultiScenario`].
+#[derive(Debug, Clone)]
+pub struct ModelWorkload {
+    /// The target model id (an index into the cluster's deployments).
+    pub model: ModelId,
+    /// The length dataset.
+    pub dataset: Dataset,
+    /// Base request rate for this model.
+    pub base_rps: f64,
+    /// Burst phases: `(start_frac, secs, multiplier)`.
+    pub bursts: Vec<(f64, f64, f64)>,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+/// A multi-model co-serving scenario: several models share one cluster,
+/// each with its own workload; their traces merge chronologically.
+#[derive(Debug, Clone)]
+pub struct MultiScenario {
+    /// Display name.
+    pub name: &'static str,
+    /// Cluster configuration (all deployments).
+    pub cfg: ClusterConfig,
+    /// Per-model workloads.
+    pub workloads: Vec<ModelWorkload>,
+    /// Trace duration (shared by all workloads).
+    pub duration: SimDuration,
+    /// Drain allowance after the last arrival.
+    pub drain: SimDuration,
+}
+
+impl MultiScenario {
+    /// The Fig. 18 headline scenario: a Qwen-2.5-14B chat burst colliding
+    /// with steady Qwen-2.5-72B long-context traffic on one cluster.
+    pub fn fig18_14b_chat_vs_72b_longctx() -> MultiScenario {
+        let mut cfg = ClusterConfig::multi_model_14b_72b();
+        // Tight provisioning (the paper's ~2.1x-average methodology) so the
+        // colliding bursts overload memory rather than compute.
+        cfg.reserve_frac = 0.50;
+        MultiScenario {
+            name: "14B chat burst x 72B long-context",
+            cfg,
+            workloads: vec![
+                ModelWorkload {
+                    model: ModelId(0),
+                    dataset: Dataset::BurstGpt,
+                    base_rps: 22.0,
+                    bursts: vec![(0.30, 15.0, 3.0), (0.65, 12.0, 2.5)],
+                    seed: 181,
+                },
+                ModelWorkload {
+                    model: ModelId(1),
+                    dataset: Dataset::LongBench,
+                    base_rps: 2.5,
+                    bursts: vec![(0.32, 15.0, 2.5)],
+                    seed: 182,
+                },
+            ],
+            duration: SimDuration::from_secs(120),
+            drain: SimDuration::from_secs(400),
+        }
+    }
+
+    /// A tiny two-model variant of the same collision, for smoke tests and
+    /// CI gating (runs in seconds).
+    pub fn fig18_smoke() -> MultiScenario {
+        let mut cfg = ClusterConfig::tiny_two_model(4, 4);
+        cfg.reserve_frac = 0.45;
+        MultiScenario {
+            name: "tiny two-model smoke",
+            cfg,
+            workloads: vec![
+                ModelWorkload {
+                    model: ModelId(0),
+                    dataset: Dataset::BurstGpt,
+                    base_rps: 45.0,
+                    bursts: vec![(0.25, 10.0, 3.0)],
+                    seed: 31,
+                },
+                ModelWorkload {
+                    model: ModelId(1),
+                    dataset: Dataset::BurstGpt,
+                    base_rps: 25.0,
+                    bursts: vec![(0.25, 10.0, 3.0)],
+                    seed: 32,
+                },
+            ],
+            duration: SimDuration::from_secs(25),
+            drain: SimDuration::from_secs(900),
+        }
+    }
+
+    /// Builds the merged multi-model arrival trace.
+    pub fn trace(&self) -> Trace {
+        let d = self.duration.as_secs_f64();
+        let per_model: Vec<Trace> = self
+            .workloads
+            .iter()
+            .map(|w| {
+                let mut b = BurstTraceBuilder::new(w.dataset)
+                    .base_rps(w.base_rps)
+                    .duration(self.duration)
+                    .seed(w.seed)
+                    .model(w.model);
+                for &(frac, secs, mult) in &w.bursts {
+                    b = b.burst(
+                        SimTime::from_secs_f64(d * frac),
+                        SimDuration::from_secs_f64(secs),
+                        mult,
+                    );
+                }
+                b.build()
+            })
+            .collect();
+        Trace::merge(&per_model)
+    }
+
+    /// Runs one system on this scenario (building a fresh trace; use
+    /// [`MultiScenario::run_on`] to share one trace across systems).
+    pub fn run(&self, kind: SystemKind) -> RunOutcome {
+        self.run_on(kind, &self.trace())
+    }
+
+    /// Runs one system on a prebuilt trace of this scenario.
+    pub fn run_on(&self, kind: SystemKind, trace: &Trace) -> RunOutcome {
+        run_system(kind, self.cfg.clone(), trace, self.drain)
+    }
+}
+
+/// Builds the JSON summary of one system's run: cluster-wide percentiles
+/// plus the per-model breakdown (the bench regression harness's contract —
+/// see README "Bench JSON output").
+pub fn outcome_json(cfg: &ClusterConfig, out: &RunOutcome) -> Json {
+    let models: Vec<Json> = out
+        .report
+        .per_model
+        .iter()
+        .map(|m| {
+            Json::obj([
+                ("model", Json::str(m.model.to_string())),
+                ("name", Json::str(cfg.model_cfg(m.model).name)),
+                ("total", Json::Num(m.total_requests as f64)),
+                ("finished", Json::Num(m.finished_requests as f64)),
+                ("ttft_p50_s", Json::Num(m.ttft.p50)),
+                ("ttft_p99_s", Json::Num(m.ttft.p99)),
+                ("tpot_p50_s", Json::Num(m.tpot.p50)),
+                ("tpot_p99_s", Json::Num(m.tpot.p99)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("system", Json::str(out.name)),
+        ("total", Json::Num(out.report.total_requests as f64)),
+        ("finished", Json::Num(out.report.finished_requests as f64)),
+        ("ttft_p50_s", Json::Num(out.report.ttft.p50)),
+        ("ttft_p99_s", Json::Num(out.report.ttft.p99)),
+        ("tpot_p50_s", Json::Num(out.report.tpot.p50)),
+        ("tpot_p99_s", Json::Num(out.report.tpot.p99)),
+        (
+            "throughput_tok_s",
+            Json::Num(out.report.mean_throughput(out.span)),
+        ),
+        ("preemptions", Json::Num(out.report.preemptions as f64)),
+        ("models", Json::Arr(models)),
+    ])
+}
+
+/// Resolves the output path for a figure's JSON: `--json PATH` from `args`
+/// if given, else the sibling default `target/bench-json/<figure>.json`.
+pub fn json_out_path(figure: &str, args: &[String]) -> std::path::PathBuf {
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        if let Some(p) = args.get(i + 1) {
+            return std::path::PathBuf::from(p);
+        }
+    }
+    std::path::PathBuf::from(format!("target/bench-json/{figure}.json"))
+}
+
+/// Writes a figure's JSON document, creating parent directories.
+pub fn write_json(path: &std::path::Path, doc: &Json) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, format!("{doc}\n"))
 }
 
 /// Prints a markdown table row.

@@ -4,6 +4,7 @@ use costmodel::GpuPerf;
 use modelcfg::ModelConfig;
 use netsim::LinkSpec;
 use sim_core::SimDuration;
+use workload::ModelId;
 
 /// The two evaluation clusters of paper Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +49,38 @@ impl Testbed {
     }
 }
 
+/// One co-served model beyond the primary: its architecture plus the slice
+/// of the cluster dedicated to it.
+///
+/// Multi-model co-serving binds each instance *group* to exactly one model;
+/// all groups draw on the same HBM pool and the same fabric, so overloads
+/// of different models compete for the same reclaimed bytes (the drop-plan
+/// arbitration in the `kunserve` crate).
+#[derive(Debug, Clone)]
+pub struct ModelDeployment {
+    /// The served model.
+    pub model: ModelConfig,
+    /// Instances dedicated to this model.
+    pub num_instances: u32,
+    /// Instances per execution group at startup (1 = data parallel).
+    pub initial_group_size: u32,
+    /// Relative SLO weight used by SLO-weighted drop-plan arbitration
+    /// (higher = this model's memory requirement is satisfied first).
+    pub slo_weight: f64,
+}
+
+impl ModelDeployment {
+    /// A data-parallel deployment with unit SLO weight.
+    pub fn new(model: ModelConfig, num_instances: u32) -> Self {
+        ModelDeployment {
+            model,
+            num_instances,
+            initial_group_size: 1,
+            slo_weight: 1.0,
+        }
+    }
+}
+
 /// Static configuration of one simulated serving cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -79,6 +112,11 @@ pub struct ClusterConfig {
     pub host_swap_blocks: u32,
     /// RNG seed for execution-time noise.
     pub seed: u64,
+    /// SLO weight of the primary model (see [`ModelDeployment::slo_weight`]).
+    pub primary_slo_weight: f64,
+    /// Additional co-served models; model id `k + 1` is `extra_models[k]`
+    /// (the primary model is id 0). Empty for single-model clusters.
+    pub extra_models: Vec<ModelDeployment>,
 }
 
 impl ClusterConfig {
@@ -98,6 +136,8 @@ impl ClusterConfig {
             monitor_interval: SimDuration::from_millis(250),
             host_swap_blocks: 8192,
             seed: 0x5EED,
+            primary_slo_weight: 1.0,
+            extra_models: Vec::new(),
         }
     }
 
@@ -117,6 +157,8 @@ impl ClusterConfig {
             monitor_interval: SimDuration::from_millis(250),
             host_swap_blocks: 8192,
             seed: 0x5EED,
+            primary_slo_weight: 1.0,
+            extra_models: Vec::new(),
         }
     }
 
@@ -153,17 +195,115 @@ impl ClusterConfig {
             monitor_interval: SimDuration::from_millis(100),
             host_swap_blocks: 4096,
             seed: 7,
+            primary_slo_weight: 1.0,
+            extra_models: Vec::new(),
         }
     }
 
-    /// Bytes of one KVCache block at full layer residency.
+    /// A two-model co-serving configuration for fast tests: the tiny test
+    /// model (id 0) next to a "tiny-chat" variant (id 1) with twice the
+    /// layers — different KV bytes/token, different parameter copies, both
+    /// easy to overload.
+    pub fn tiny_two_model(primary_instances: u32, chat_instances: u32) -> Self {
+        use modelcfg::{DType, Parallelism};
+        let mut cfg = ClusterConfig::tiny_test(primary_instances);
+        let chat = ModelConfig {
+            name: "tiny-chat",
+            num_layers: 16,
+            hidden_size: 1024,
+            num_heads: 8,
+            num_kv_heads: 2,
+            head_dim: 128,
+            intermediate_size: 4096,
+            vocab_size: 32_000,
+            dtype: DType::BF16,
+            parallelism: Parallelism::Single,
+            gpu_hbm_bytes: 1 << 30,
+            param_bytes_authoritative: Some(500 << 20),
+        };
+        cfg.extra_models
+            .push(ModelDeployment::new(chat, chat_instances));
+        cfg
+    }
+
+    /// The Fig. 18 co-serving setup: Qwen-2.5-14B chat traffic next to
+    /// Qwen-2.5-72B (TP=4) long-context traffic, on one cluster-A-class
+    /// fabric and HBM pool.
+    pub fn multi_model_14b_72b() -> Self {
+        let mut cfg = ClusterConfig::qwen14b_cluster_a();
+        cfg.extra_models
+            .push(ModelDeployment::new(modelcfg::catalog::qwen2_5_72b(), 4));
+        cfg
+    }
+
+    /// Number of co-served models (1 + extras).
+    pub fn num_models(&self) -> u32 {
+        1 + self.extra_models.len() as u32
+    }
+
+    /// The architecture of model `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not deployed on this cluster.
+    pub fn model_cfg(&self, m: ModelId) -> &ModelConfig {
+        if m.0 == 0 {
+            &self.model
+        } else {
+            &self.extra_models[m.0 as usize - 1].model
+        }
+    }
+
+    /// Instances dedicated to model `m`.
+    pub fn instances_of(&self, m: ModelId) -> u32 {
+        if m.0 == 0 {
+            self.num_instances
+        } else {
+            self.extra_models[m.0 as usize - 1].num_instances
+        }
+    }
+
+    /// Startup group size of model `m`.
+    pub fn group_size_of(&self, m: ModelId) -> u32 {
+        if m.0 == 0 {
+            self.initial_group_size
+        } else {
+            self.extra_models[m.0 as usize - 1].initial_group_size
+        }
+    }
+
+    /// SLO arbitration weight of model `m`.
+    pub fn slo_weight_of(&self, m: ModelId) -> f64 {
+        if m.0 == 0 {
+            self.primary_slo_weight
+        } else {
+            self.extra_models[m.0 as usize - 1].slo_weight
+        }
+    }
+
+    /// All model ids, in deployment order.
+    pub fn model_ids(&self) -> impl Iterator<Item = ModelId> {
+        (0..self.num_models()).map(ModelId)
+    }
+
+    /// Total serving instances across all models.
+    pub fn total_instances(&self) -> u32 {
+        self.model_ids().map(|m| self.instances_of(m)).sum()
+    }
+
+    /// Bytes of one KVCache block at full layer residency (primary model).
     pub fn block_bytes(&self) -> u64 {
         self.block_tokens as u64 * self.model.kv_bytes_per_token()
     }
 
-    /// HBM bytes reserved for activations per instance.
+    /// HBM bytes reserved for activations per instance (primary model).
     pub fn reserve_bytes(&self) -> u64 {
-        (self.model.instance_hbm_bytes() as f64 * self.reserve_frac) as u64
+        self.reserve_bytes_for(&self.model)
+    }
+
+    /// HBM bytes reserved for activations per instance of `model`.
+    pub fn reserve_bytes_for(&self, model: &ModelConfig) -> u64 {
+        (model.instance_hbm_bytes() as f64 * self.reserve_frac) as u64
     }
 }
 
@@ -187,6 +327,30 @@ mod tests {
         assert_eq!(c.model.gpus_per_instance(), 1);
         // One 64-token block of Qwen-14B KV = 12 MB.
         assert_eq!(c.block_bytes(), 64 * 192 * 1024);
+    }
+
+    #[test]
+    fn multi_model_accessors_index_deployments() {
+        let cfg = ClusterConfig::tiny_two_model(2, 2);
+        assert_eq!(cfg.num_models(), 2);
+        assert_eq!(cfg.total_instances(), 4);
+        assert_eq!(cfg.model_cfg(ModelId(0)).name, "tiny-test");
+        assert_eq!(cfg.model_cfg(ModelId(1)).name, "tiny-chat");
+        // Twice the layers at the same KV head shape = twice the KV/token.
+        assert_eq!(
+            cfg.model_cfg(ModelId(1)).kv_bytes_per_token(),
+            2 * cfg.model_cfg(ModelId(0)).kv_bytes_per_token()
+        );
+        assert_eq!(cfg.instances_of(ModelId(1)), 2);
+        assert_eq!(cfg.slo_weight_of(ModelId(0)), 1.0);
+    }
+
+    #[test]
+    fn fig18_setup_co_deploys_14b_and_72b() {
+        let cfg = ClusterConfig::multi_model_14b_72b();
+        assert_eq!(cfg.num_models(), 2);
+        assert_eq!(cfg.model_cfg(ModelId(1)).name, "Qwen-2.5-72B");
+        assert_eq!(cfg.total_instances(), 12);
     }
 
     #[test]

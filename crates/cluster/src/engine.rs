@@ -67,8 +67,26 @@ impl<P: Policy> Engine<P> {
     /// The drain cap bounds runs where a policy cannot clear its backlog —
     /// the extreme-burst experiment relies on this.
     pub fn run(&mut self, trace: &Trace, drain: SimDuration) -> crate::metrics::RunReport {
+        self.run_observed(trace, drain, |_, _| {})
+    }
+
+    /// Like [`Engine::run`], but invokes `observer` with the cluster state
+    /// after every processed event — the hook invariant checks (HBM
+    /// accounting, layer-coverage) use to inspect each simulated step.
+    pub fn run_observed(
+        &mut self,
+        trace: &Trace,
+        drain: SimDuration,
+        mut observer: impl FnMut(&ClusterState, SimTime),
+    ) -> crate::metrics::RunReport {
         self.total = trace.len();
+        let num_models = self.state.cfg.num_models();
         for spec in &trace.requests {
+            assert!(
+                spec.model.0 < num_models,
+                "trace references model {} but the cluster deploys {num_models}",
+                spec.model
+            );
             let id = RequestId(self.state.requests.len());
             self.state
                 .requests
@@ -90,6 +108,7 @@ impl<P: Policy> Engine<P> {
                 Event::MonitorTick => self.on_monitor_tick(hard_stop),
                 Event::NetPoll => self.on_net_poll(),
             }
+            observer(&self.state, self.now);
             if self.finished == self.total {
                 break;
             }
@@ -98,13 +117,12 @@ impl<P: Policy> Engine<P> {
     }
 
     fn on_arrival(&mut self, id: RequestId) {
-        let input = self.state.requests[id.0].spec.input_tokens;
-        let group = self.state.dispatch(input);
-        self.state.requests[id.0].group = group;
         let spec = self.state.requests[id.0].spec;
+        let group = self.state.dispatch(spec.model, spec.input_tokens);
+        self.state.requests[id.0].group = group;
         self.state
             .metrics
-            .on_arrival(id, spec.arrival, spec.output_tokens);
+            .on_arrival(id, spec.arrival, spec.output_tokens, spec.model);
         self.state.group_mut(group).queue.push_back(id);
         self.try_start(group);
     }
@@ -208,7 +226,9 @@ impl<P: Policy> Engine<P> {
         };
         debug_assert!(!mbs.is_empty(), "non-empty work forms microbatches");
 
-        // Sample execution times per (microbatch, stage).
+        // Sample execution times per (microbatch, stage) from the serving
+        // model's ground truth.
+        let model = self.state.group(group).model;
         let fracs = self.state.group(group).stage_fracs.clone();
         let mut times = Vec::with_capacity(mbs.len());
         for mb in &mbs {
@@ -216,9 +236,11 @@ impl<P: Policy> Engine<P> {
             let row: Vec<SimDuration> = fracs
                 .iter()
                 .map(|&f| {
-                    self.state
-                        .ground_truth
-                        .sample(&works, f, &mut self.state.rng)
+                    self.state.ground_truths[model.0 as usize].sample(
+                        &works,
+                        f,
+                        &mut self.state.rng,
+                    )
                 })
                 .collect();
             times.push(row);
@@ -231,7 +253,7 @@ impl<P: Policy> Engine<P> {
             (timing.times[0][0], 0.0)
         } else {
             let members = self.state.group(group).members.clone();
-            let act_per_token = self.state.cfg.model.activation_bytes_per_token();
+            let act_per_token = self.state.cfg.model_cfg(model).activation_bytes_per_token();
             let mb_tokens: Vec<u64> = mbs.iter().map(|m| m.new_tokens()).collect();
             let network = &mut self.state.network;
             let sched = schedule(start, &timing, |mb, boundary, send| {
@@ -524,6 +546,7 @@ mod tests {
             (0..n)
                 .map(|i| RequestSpec {
                     id: 0,
+                    model: workload::ModelId::PRIMARY,
                     arrival: SimTime::from_millis(i as u64 * gap_ms),
                     input_tokens: input,
                     output_tokens: output,
@@ -603,6 +626,55 @@ mod tests {
             !eng.state.metrics.bubbles.is_empty(),
             "pipelined iterations must record bubble samples"
         );
+    }
+
+    #[test]
+    fn two_model_cluster_serves_both_and_isolates_dispatch() {
+        let mut eng = Engine::new(ClusterConfig::tiny_two_model(2, 2), QueueingPolicy);
+        let mut reqs = Vec::new();
+        for i in 0..24u64 {
+            reqs.push(RequestSpec {
+                id: 0,
+                model: workload::ModelId((i % 2) as u32),
+                arrival: SimTime::from_millis(i * 150),
+                input_tokens: 200,
+                output_tokens: 10,
+            });
+        }
+        let trace = Trace::new(reqs);
+        let mut seen_cross_model = false;
+        let report = eng.run_observed(&trace, SimDuration::from_secs(300), |state, _| {
+            // Every admitted request must sit on a group of its own model.
+            for g in state.alive_groups() {
+                let gm = state.group(g).model;
+                for r in state.group(g).admitted() {
+                    if state.request(r).spec.model != gm {
+                        seen_cross_model = true;
+                    }
+                }
+            }
+        });
+        assert!(!seen_cross_model, "dispatch must never cross models");
+        assert_eq!(report.finished_requests, 24);
+        assert_eq!(report.per_model.len(), 2);
+        for m in &report.per_model {
+            assert_eq!(m.finished_requests, 12, "{} must finish all", m.model);
+            assert!(m.ttft.p50 > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "references model")]
+    fn trace_referencing_undeployed_model_panics() {
+        let mut eng = Engine::new(ClusterConfig::tiny_test(1), QueueingPolicy);
+        let trace = Trace::new(vec![RequestSpec {
+            id: 0,
+            model: workload::ModelId(3),
+            arrival: SimTime::ZERO,
+            input_tokens: 10,
+            output_tokens: 1,
+        }]);
+        eng.run(&trace, SimDuration::from_secs(10));
     }
 
     #[test]

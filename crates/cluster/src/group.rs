@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 
 use kvcache::BlockManager;
 use sim_core::{SimDuration, SimTime};
+use workload::ModelId;
 
 use crate::instance::InstanceId;
 use crate::request::RequestId;
@@ -42,6 +43,8 @@ pub struct IterationPlan {
 pub struct ExecGroup {
     /// This group's id.
     pub id: GroupId,
+    /// The model every member serves (groups never span models).
+    pub model: ModelId,
     /// Member instances in pipeline-stage order.
     pub members: Vec<InstanceId>,
     /// Layer fraction of each member (parallel to `members`).
@@ -68,9 +71,10 @@ pub struct ExecGroup {
 }
 
 impl ExecGroup {
-    /// Creates an idle group.
+    /// Creates an idle group serving `model`.
     pub fn new(
         id: GroupId,
+        model: ModelId,
         members: Vec<InstanceId>,
         stage_fracs: Vec<f64>,
         blocks: BlockManager,
@@ -79,6 +83,7 @@ impl ExecGroup {
         assert!(!members.is_empty(), "groups must have members");
         ExecGroup {
             id,
+            model,
             members,
             stage_fracs,
             blocks,
@@ -189,6 +194,7 @@ mod tests {
     fn group() -> ExecGroup {
         ExecGroup::new(
             GroupId(0),
+            ModelId::PRIMARY,
             vec![InstanceId(0)],
             vec![1.0],
             BlockManager::new(100, 16),
@@ -270,6 +276,7 @@ mod tests {
     fn mismatched_fracs_panic() {
         ExecGroup::new(
             GroupId(0),
+            ModelId::PRIMARY,
             vec![InstanceId(0)],
             vec![],
             BlockManager::new(1, 16),

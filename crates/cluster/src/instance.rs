@@ -19,6 +19,7 @@ use std::collections::HashMap;
 
 use modelcfg::{LayerSet, ModelConfig};
 use simgpu::{GpuDevice, GpuId, PhysHandle, VaReservation, PAGE_SIZE};
+use workload::ModelId;
 
 use crate::config::ClusterConfig;
 use crate::group::GroupId;
@@ -38,6 +39,8 @@ impl std::fmt::Display for InstanceId {
 pub struct Instance {
     /// This instance's id.
     pub id: InstanceId,
+    /// The model this instance serves (fixed at construction).
+    pub model: ModelId,
     /// The execution group the instance currently belongs to.
     pub group: GroupId,
     device: GpuDevice,
@@ -60,14 +63,20 @@ pub struct Instance {
 }
 
 impl Instance {
-    /// Builds an instance with a full parameter copy and the base KV pool.
+    /// Builds an instance of the cluster's primary model.
+    pub fn new(id: InstanceId, cfg: &ClusterConfig) -> Self {
+        Instance::for_model(id, ModelId::PRIMARY, cfg)
+    }
+
+    /// Builds an instance serving `model_id` with a full parameter copy and
+    /// the base KV pool.
     ///
     /// # Panics
     ///
     /// Panics if the model + reserve do not fit in the configured HBM, which
     /// indicates a misconfigured experiment.
-    pub fn new(id: InstanceId, cfg: &ClusterConfig) -> Self {
-        let model = &cfg.model;
+    pub fn for_model(id: InstanceId, model_id: ModelId, cfg: &ClusterConfig) -> Self {
+        let model = cfg.model_cfg(model_id);
         let hbm = model.instance_hbm_bytes();
         let mut device = GpuDevice::new(GpuId(id.0), hbm);
 
@@ -102,7 +111,7 @@ impl Instance {
         }
 
         // Base KV pool: everything left after parameters and the reserve.
-        let reserve = cfg.reserve_bytes();
+        let reserve = cfg.reserve_bytes_for(model);
         let used = device.used_bytes();
         let kv_pool = hbm
             .checked_sub(used + reserve)
@@ -117,6 +126,7 @@ impl Instance {
 
         Instance {
             id,
+            model: model_id,
             group: GroupId(id.0 as usize),
             device,
             param_region,

@@ -32,12 +32,13 @@ pub mod request;
 pub mod state;
 
 pub use batch::{token_count_form, MicroBatch, SeqChunk};
-pub use config::{ClusterConfig, Testbed};
+pub use config::{ClusterConfig, ModelDeployment, Testbed};
 pub use engine::Engine;
 pub use group::{ExecGroup, GroupId};
 pub use instance::{Instance, InstanceId};
-pub use metrics::{Metrics, RequestRecord, RunReport};
+pub use metrics::{Metrics, ModelReport, RequestRecord, RunReport};
 pub use pipeline::{PipelineSchedule, StageTiming};
 pub use policy::{OomResolution, Policy, QueueingPolicy, TransferEvent, TransferPurpose};
 pub use request::{ReqState, Request, RequestId, StallReason};
 pub use state::ClusterState;
+pub use workload::ModelId;

@@ -3,6 +3,7 @@
 
 use sim_core::stats::{empirical_cdf, Percentiles, TimeSeries, WindowedRate};
 use sim_core::{SimDuration, SimTime};
+use workload::ModelId;
 
 use crate::request::RequestId;
 
@@ -11,6 +12,8 @@ use crate::request::RequestId;
 pub struct RequestRecord {
     /// The request.
     pub id: RequestId,
+    /// The model the request targeted.
+    pub model: ModelId,
     /// Client send time.
     pub arrival: SimTime,
     /// First output token time, if reached.
@@ -70,13 +73,20 @@ impl Metrics {
     }
 
     /// Registers an arriving request.
-    pub fn on_arrival(&mut self, id: RequestId, arrival: SimTime, output_tokens: u64) {
+    pub fn on_arrival(
+        &mut self,
+        id: RequestId,
+        arrival: SimTime,
+        output_tokens: u64,
+        model: ModelId,
+    ) {
         let idx = id.0;
         if idx >= self.records.len() {
             self.records.resize(
                 idx + 1,
                 RequestRecord {
                     id: RequestId(usize::MAX),
+                    model: ModelId::PRIMARY,
                     arrival: SimTime::ZERO,
                     first_token: None,
                     finished: None,
@@ -87,6 +97,7 @@ impl Metrics {
         }
         self.records[idx] = RequestRecord {
             id,
+            model,
             arrival,
             first_token: None,
             finished: None,
@@ -135,6 +146,29 @@ impl Metrics {
         let ttft: Vec<f64> = self.records.iter().filter_map(|r| r.ttft_secs()).collect();
         let tpot: Vec<f64> = self.records.iter().filter_map(|r| r.tpot_secs()).collect();
         let finished = self.records.iter().filter(|r| r.finished.is_some()).count();
+
+        // Per-model breakdown, ascending by model id.
+        let mut model_ids: Vec<ModelId> = self.records.iter().map(|r| r.model).collect();
+        model_ids.sort();
+        model_ids.dedup();
+        let per_model = model_ids
+            .into_iter()
+            .map(|m| {
+                let recs: Vec<&RequestRecord> =
+                    self.records.iter().filter(|r| r.model == m).collect();
+                let ttft: Vec<f64> = recs.iter().filter_map(|r| r.ttft_secs()).collect();
+                let tpot: Vec<f64> = recs.iter().filter_map(|r| r.tpot_secs()).collect();
+                ModelReport {
+                    model: m,
+                    total_requests: recs.len(),
+                    finished_requests: recs.iter().filter(|r| r.finished.is_some()).count(),
+                    ttft: Percentiles::from_samples(&ttft),
+                    tpot: Percentiles::from_samples(&tpot),
+                    ttft_samples: ttft,
+                }
+            })
+            .collect();
+
         RunReport {
             total_requests: self.records.len(),
             finished_requests: finished,
@@ -144,8 +178,26 @@ impl Metrics {
             tpot_samples: tpot,
             total_tokens: self.tokens.total() as u64,
             preemptions: self.records.iter().map(|r| r.preemptions as u64).sum(),
+            per_model,
         }
     }
+}
+
+/// Latency summary of one co-served model within a run.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// The model.
+    pub model: ModelId,
+    /// Requests that arrived for this model.
+    pub total_requests: usize,
+    /// Requests that finished generation.
+    pub finished_requests: usize,
+    /// TTFT percentile summary (seconds).
+    pub ttft: Percentiles,
+    /// TPOT percentile summary (seconds per token).
+    pub tpot: Percentiles,
+    /// Raw TTFT samples for SLO/CDF analysis.
+    pub ttft_samples: Vec<f64>,
 }
 
 /// Aggregated results of one simulation run.
@@ -167,9 +219,16 @@ pub struct RunReport {
     pub total_tokens: u64,
     /// Total preemption count.
     pub preemptions: u64,
+    /// Per-model latency breakdown (one entry per model seen in the trace,
+    /// ascending by model id; a single entry for single-model runs).
+    pub per_model: Vec<ModelReport>,
 }
 
 impl RunReport {
+    /// The breakdown of one model, if any of its requests arrived.
+    pub fn model_report(&self, model: ModelId) -> Option<&ModelReport> {
+        self.per_model.iter().find(|r| r.model == model)
+    }
     /// SLO-violation ratio for TTFT at `scale × baseline_p50` (the paper's
     /// SLO-scale methodology, Figure 13 last column).
     pub fn ttft_violation(&self, baseline_p50: f64, scale: f64) -> f64 {
@@ -207,6 +266,7 @@ mod tests {
     fn record_latency_math() {
         let rec = RequestRecord {
             id: RequestId(0),
+            model: ModelId::PRIMARY,
             arrival: t(1.0),
             first_token: Some(t(1.5)),
             finished: Some(t(3.5)),
@@ -222,6 +282,7 @@ mod tests {
     fn tpot_undefined_for_single_token() {
         let rec = RequestRecord {
             id: RequestId(0),
+            model: ModelId::PRIMARY,
             arrival: t(0.0),
             first_token: Some(t(1.0)),
             finished: Some(t(1.0)),
@@ -234,8 +295,8 @@ mod tests {
     #[test]
     fn lifecycle_to_report() {
         let mut m = Metrics::new();
-        m.on_arrival(RequestId(0), t(0.0), 10);
-        m.on_arrival(RequestId(1), t(0.5), 10);
+        m.on_arrival(RequestId(0), t(0.0), 10, ModelId::PRIMARY);
+        m.on_arrival(RequestId(1), t(0.5), 10, ModelId(1));
         m.on_first_token(RequestId(0), t(1.0));
         m.on_first_token(RequestId(1), t(4.5));
         m.on_finished(RequestId(0), t(2.0));
@@ -249,12 +310,19 @@ mod tests {
         assert_eq!(rep.total_tokens, 10);
         // TTFT samples: 1.0 and 4.0 s.
         assert!((rep.ttft.max - 4.0).abs() < 1e-9);
+        // Per-model breakdown: request 0 on the primary, request 1 on m1.
+        assert_eq!(rep.per_model.len(), 2);
+        assert_eq!(rep.per_model[0].model, ModelId::PRIMARY);
+        assert_eq!(rep.per_model[0].finished_requests, 1);
+        assert_eq!(rep.per_model[1].model, ModelId(1));
+        assert!((rep.per_model[1].ttft.p50 - 4.0).abs() < 1e-9);
+        assert!(rep.model_report(ModelId(2)).is_none());
     }
 
     #[test]
     fn first_token_only_recorded_once() {
         let mut m = Metrics::new();
-        m.on_arrival(RequestId(0), t(0.0), 5);
+        m.on_arrival(RequestId(0), t(0.0), 5, ModelId::PRIMARY);
         m.on_first_token(RequestId(0), t(1.0));
         m.on_first_token(RequestId(0), t(9.0));
         let rep = m.report();
@@ -272,6 +340,7 @@ mod tests {
             tpot_samples: vec![],
             total_tokens: 0,
             preemptions: 0,
+            per_model: Vec::new(),
         };
         // Baseline P50 = 0.1 s, scale 5 → threshold 0.5 s → 2 of 4 violate.
         assert_eq!(rep.ttft_violation(0.1, 5.0), 0.5);

@@ -157,6 +157,7 @@ mod tests {
     fn spec(input: u64, output: u64) -> RequestSpec {
         RequestSpec {
             id: 0,
+            model: workload::ModelId::PRIMARY,
             arrival: SimTime::ZERO,
             input_tokens: input,
             output_tokens: output,

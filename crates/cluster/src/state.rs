@@ -11,11 +11,12 @@ use std::collections::HashMap;
 
 use costmodel::{CostParams, GroundTruth, Profiler};
 use kvcache::{BlockManager, HostSwapPool, SeqKey};
-use modelcfg::{partition_layers, LayerSet};
+use modelcfg::{partition_layers, LayerSet, ModelConfig};
 use netsim::{JobId, Network, NodeId, Priority};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sim_core::{SimDuration, SimTime};
+use workload::ModelId;
 
 use crate::config::ClusterConfig;
 use crate::group::{group_capacity_blocks, ExecGroup, GroupId};
@@ -67,10 +68,12 @@ pub struct ClusterState {
     pub requests: Vec<Request>,
     /// The inter-instance and host network.
     pub network: Network,
-    /// The execution-time ground truth the simulator charges.
-    pub ground_truth: GroundTruth,
-    /// The fitted cost model schedulers plan with (§4.3 offline profiling).
-    pub cost_model: CostParams,
+    /// Per-model execution-time ground truth the simulator charges
+    /// (indexed by [`ModelId`]).
+    pub ground_truths: Vec<GroundTruth>,
+    /// Per-model fitted cost models schedulers plan with (§4.3 offline
+    /// profiling), indexed by [`ModelId`].
+    pub cost_models: Vec<CostParams>,
     /// Metrics collector.
     pub metrics: Metrics,
     /// Per-instance host swap pools.
@@ -88,56 +91,77 @@ pub struct ClusterState {
 }
 
 impl ClusterState {
-    /// Builds a cluster per `cfg`: instances, initial groups (of
-    /// `initial_group_size` members, with parameters pre-dropped for static
-    /// pipeline baselines), a profiled cost model and an idle network.
+    /// Builds a cluster per `cfg`: per-model instances, initial groups (of
+    /// each model's `initial_group_size` members, with parameters
+    /// pre-dropped for static pipeline baselines), profiled per-model cost
+    /// models and an idle network.
     pub fn new(cfg: ClusterConfig) -> Self {
         assert!(cfg.num_instances > 0, "need at least one instance");
-        assert!(
-            cfg.initial_group_size >= 1 && cfg.num_instances.is_multiple_of(cfg.initial_group_size),
-            "group size must divide the instance count"
-        );
-        let ground_truth = GroundTruth::for_model(&cfg.model, cfg.gpu);
-        let cost_model = Profiler::new(ground_truth.clone(), cfg.seed ^ 0xC0_57).fit();
-        let mut instances: Vec<Instance> = (0..cfg.num_instances)
-            .map(|i| Instance::new(InstanceId(i), &cfg))
-            .collect();
-
-        // Form initial groups of k members; for k > 1, pre-drop parameters
-        // to the per-stage partition (the vLLM-PP baseline and Fig. 5).
-        let k = cfg.initial_group_size;
-        let num_layers = cfg.model.num_layers;
-        let mut groups = Vec::new();
-        for g in 0..(cfg.num_instances / k) {
-            let members: Vec<InstanceId> = (0..k).map(|j| InstanceId(g * k + j)).collect();
-            let parts = partition_layers(num_layers, k);
-            for (j, &m) in members.iter().enumerate() {
-                if k > 1 {
-                    let keep = LayerSet::from_range(parts[j]);
-                    let drop = instances[m.0 as usize].resident_layers().difference(&keep);
-                    instances[m.0 as usize].drop_layers(&drop);
-                }
-                instances[m.0 as usize].group = GroupId(g as usize);
-            }
-            let pools: Vec<(u64, f64)> = members
-                .iter()
-                .map(|&m| {
-                    let inst = &instances[m.0 as usize];
-                    (inst.kv_pool_bytes(), inst.layer_fraction(&cfg.model))
-                })
-                .collect();
-            let capacity =
-                group_capacity_blocks(&pools, cfg.model.kv_bytes_per_token(), cfg.block_tokens);
-            let fracs = pools.iter().map(|&(_, f)| f).collect();
-            groups.push(Some(ExecGroup::new(
-                GroupId(g as usize),
-                members,
-                fracs,
-                BlockManager::new(capacity, cfg.block_tokens),
-            )));
+        let mut ground_truths = Vec::new();
+        let mut cost_models = Vec::new();
+        for m in cfg.model_ids() {
+            let k = cfg.group_size_of(m);
+            let n = cfg.instances_of(m);
+            assert!(n > 0, "model {m} needs at least one instance");
+            assert!(
+                k >= 1 && n.is_multiple_of(k),
+                "model {m}: group size must divide the instance count"
+            );
+            let gt = GroundTruth::for_model(cfg.model_cfg(m), cfg.gpu);
+            // Distinct profiling seed per model keeps fits independent.
+            let fitted = Profiler::new(gt.clone(), cfg.seed ^ 0xC0_57 ^ (m.0 as u64) << 32).fit();
+            ground_truths.push(gt);
+            cost_models.push(fitted);
         }
 
-        let host_pools = (0..cfg.num_instances)
+        let mut instances: Vec<Instance> = Vec::with_capacity(cfg.total_instances() as usize);
+        let mut groups: Vec<Option<ExecGroup>> = Vec::new();
+        for m in cfg.model_ids() {
+            let model = cfg.model_cfg(m).clone();
+            let k = cfg.group_size_of(m);
+            let base_inst = instances.len() as u32;
+            for i in 0..cfg.instances_of(m) {
+                instances.push(Instance::for_model(InstanceId(base_inst + i), m, &cfg));
+            }
+
+            // Form this model's groups of k members; for k > 1, pre-drop
+            // parameters to the per-stage partition (the vLLM-PP baseline
+            // and Fig. 5).
+            let num_layers = model.num_layers;
+            for g in 0..(cfg.instances_of(m) / k) {
+                let gid = GroupId(groups.len());
+                let members: Vec<InstanceId> =
+                    (0..k).map(|j| InstanceId(base_inst + g * k + j)).collect();
+                let parts = partition_layers(num_layers, k);
+                for (j, &mm) in members.iter().enumerate() {
+                    if k > 1 {
+                        let keep = LayerSet::from_range(parts[j]);
+                        let drop = instances[mm.0 as usize].resident_layers().difference(&keep);
+                        instances[mm.0 as usize].drop_layers(&drop);
+                    }
+                    instances[mm.0 as usize].group = gid;
+                }
+                let pools: Vec<(u64, f64)> = members
+                    .iter()
+                    .map(|&mm| {
+                        let inst = &instances[mm.0 as usize];
+                        (inst.kv_pool_bytes(), inst.layer_fraction(&model))
+                    })
+                    .collect();
+                let capacity =
+                    group_capacity_blocks(&pools, model.kv_bytes_per_token(), cfg.block_tokens);
+                let fracs = pools.iter().map(|&(_, f)| f).collect();
+                groups.push(Some(ExecGroup::new(
+                    gid,
+                    m,
+                    members,
+                    fracs,
+                    BlockManager::new(capacity, cfg.block_tokens),
+                )));
+            }
+        }
+
+        let host_pools = (0..instances.len())
             .map(|_| HostSwapPool::new(cfg.host_swap_blocks))
             .collect();
         let network = Network::new(cfg.fabric);
@@ -148,8 +172,8 @@ impl ClusterState {
             groups,
             requests: Vec::new(),
             network,
-            ground_truth,
-            cost_model,
+            ground_truths,
+            cost_models,
             metrics: Metrics::new(),
             host_pools,
             pending_transfers: HashMap::new(),
@@ -168,6 +192,26 @@ impl ClusterState {
     /// Returns whether the group slot is alive.
     pub fn group_alive(&self, id: GroupId) -> bool {
         self.groups.get(id.0).is_some_and(|g| g.is_some())
+    }
+
+    /// The model a live group serves.
+    pub fn group_model(&self, id: GroupId) -> ModelId {
+        self.group(id).model
+    }
+
+    /// Architecture of the model a live group serves.
+    pub fn group_model_cfg(&self, id: GroupId) -> &ModelConfig {
+        self.cfg.model_cfg(self.group(id).model)
+    }
+
+    /// The execution ground truth of model `m`.
+    pub fn ground_truth_of(&self, m: ModelId) -> &GroundTruth {
+        &self.ground_truths[m.0 as usize]
+    }
+
+    /// The fitted cost model of model `m`.
+    pub fn cost_model_of(&self, m: ModelId) -> &CostParams {
+        &self.cost_models[m.0 as usize]
     }
 
     /// Borrows a live group.
@@ -249,13 +293,14 @@ impl ClusterState {
     }
 
     /// Cluster-wide `(demand, capacity, used)` in bytes for the memory
-    /// timelines (Fig. 2 (b), Fig. 12 first column).
+    /// timelines (Fig. 2 (b), Fig. 12 first column), summed across all
+    /// co-served models at each model's own KV bytes/token.
     pub fn memory_totals(&self) -> (u64, u64, u64) {
-        let kv = self.cfg.model.kv_bytes_per_token();
         let mut demand = 0;
         let mut capacity = 0;
         let mut used = 0;
         for g in self.alive_groups() {
+            let kv = self.group_model_cfg(g).kv_bytes_per_token();
             demand += self.group_demand_tokens(g) * kv;
             capacity += self.group_capacity_tokens(g) * kv;
             used += self.group(g).blocks.used_tokens() * kv;
@@ -263,11 +308,53 @@ impl ClusterState {
         (demand, capacity, used)
     }
 
-    /// Chooses the least-loaded group for a new request (the shared
-    /// Llumnix-style dispatcher, §3).
-    pub fn dispatch(&self, input_tokens: u64) -> GroupId {
+    /// `(demand, capacity, used)` bytes restricted to one model's groups.
+    pub fn memory_totals_of(&self, model: ModelId) -> (u64, u64, u64) {
+        let kv = self.cfg.model_cfg(model).kv_bytes_per_token();
+        let mut demand = 0;
+        let mut capacity = 0;
+        let mut used = 0;
+        for g in self.alive_groups() {
+            if self.group(g).model != model {
+                continue;
+            }
+            demand += self.group_demand_tokens(g) * kv;
+            capacity += self.group_capacity_tokens(g) * kv;
+            used += self.group(g).blocks.used_tokens() * kv;
+        }
+        (demand, capacity, used)
+    }
+
+    /// Physical HBM accounting of one instance:
+    /// `(param_resident, kv_used, reserve, hbm_capacity)` in bytes. KV used
+    /// is the instance's layer-fraction share of its group's allocated
+    /// blocks — the quantity that must never push the sum past capacity.
+    pub fn instance_hbm_breakdown(&self, id: InstanceId) -> (u64, u64, u64, u64) {
+        let inst = &self.instances[id.0 as usize];
+        let model = self.cfg.model_cfg(inst.model);
+        let params = inst.param_resident_bytes();
+        let reserve = self.cfg.reserve_bytes_for(model);
+        let kv_used = if self.group_alive(inst.group) {
+            let g = self.group(inst.group);
+            let frac = inst.layer_fraction(model);
+            (g.blocks.used_tokens() as f64 * model.kv_bytes_per_token() as f64 * frac) as u64
+        } else {
+            0
+        };
+        (params, kv_used, reserve, inst.hbm_bytes())
+    }
+
+    /// Chooses the least-loaded group of `model` for a new request (the
+    /// shared Llumnix-style dispatcher, §3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no live group serves `model` — traces must only reference
+    /// deployed models.
+    pub fn dispatch(&self, model: ModelId, input_tokens: u64) -> GroupId {
         self.alive_groups()
             .into_iter()
+            .filter(|&g| self.group(g).model == model)
             .min_by(|&a, &b| {
                 let load = |g: GroupId| {
                     (self.group_demand_tokens(g) + input_tokens) as f64
@@ -275,7 +362,7 @@ impl ClusterState {
                 };
                 load(a).partial_cmp(&load(b)).expect("loads are finite")
             })
-            .expect("at least one live group")
+            .unwrap_or_else(|| panic!("no live group serves model {model}"))
     }
 
     // ------------------------------------------------------------------
@@ -361,7 +448,7 @@ impl ClusterState {
                 _ => return false,
             }
         };
-        let bytes = tokens * self.cfg.model.kv_bytes_per_token();
+        let bytes = tokens * self.group_model_cfg(group).kv_bytes_per_token();
         if bytes == 0 {
             return false;
         }
@@ -425,7 +512,7 @@ impl ClusterState {
             .swap_in(Self::seq_key(id))
             .expect("parked");
         self.requests[id.0].state = ReqState::Stalled(StallReason::SwapIn);
-        let bytes = parked.tokens * self.cfg.model.kv_bytes_per_token();
+        let bytes = parked.tokens * self.group_model_cfg(group).kv_bytes_per_token();
         let job = self
             .network
             .submit_host(now, node, bytes, Priority::KvExchange);
@@ -446,6 +533,10 @@ impl ClusterState {
     pub fn start_migration(&mut self, id: RequestId, to: GroupId, now: SimTime) -> bool {
         let from = self.requests[id.0].group;
         if from == to || !self.group_alive(to) {
+            return false;
+        }
+        // KVCache layouts are model-specific: migration never crosses models.
+        if self.group(from).model != self.group(to).model {
             return false;
         }
         let tokens = {
@@ -469,7 +560,7 @@ impl ClusterState {
             src.blocks.free(Self::seq_key(id)).expect("had blocks");
             src.forget(id);
         }
-        let bytes = (tokens * self.cfg.model.kv_bytes_per_token()).max(1);
+        let bytes = (tokens * self.group_model_cfg(from).kv_bytes_per_token()).max(1);
         let src_node = self.primary_node(from);
         let dst_node = self.primary_node(to);
         let job = self
@@ -492,6 +583,11 @@ impl ClusterState {
     /// start no new one) and the merge executes once all are idle.
     pub fn request_merge(&mut self, groups: Vec<GroupId>) {
         assert!(groups.len() >= 2, "a merge needs at least two groups");
+        let model = self.group(groups[0]).model;
+        assert!(
+            groups.iter().all(|&g| self.group(g).model == model),
+            "merged groups must serve the same model"
+        );
         for &g in &groups {
             self.group_mut(g).frozen = true;
         }
@@ -562,7 +658,9 @@ impl ClusterState {
     /// the block accounting, moves requests across and launches the KVCache
     /// exchange for admitted sequences.
     fn merge_groups(&mut self, group_ids: &[GroupId], now: SimTime) -> Result<GroupId, String> {
-        let num_layers = self.cfg.model.num_layers;
+        let model_id = self.group(group_ids[0]).model;
+        let model = self.cfg.model_cfg(model_id).clone();
+        let num_layers = model.num_layers;
         // Capture pre-drop membership and layer fractions: the exchange
         // volume depends on how KV was distributed *before* the merge.
         let mut old_members_of: HashMap<GroupId, Vec<InstanceId>> = HashMap::new();
@@ -570,10 +668,7 @@ impl ClusterState {
         for &g in group_ids {
             let ms = self.group(g).members.clone();
             for &m in &ms {
-                old_frac_of.insert(
-                    m,
-                    self.instances[m.0 as usize].layer_fraction(&self.cfg.model),
-                );
+                old_frac_of.insert(m, self.instances[m.0 as usize].layer_fraction(&model));
             }
             old_members_of.insert(g, ms);
         }
@@ -619,17 +714,15 @@ impl ClusterState {
             .iter()
             .map(|&m| {
                 let inst = &self.instances[m.0 as usize];
-                (inst.kv_pool_bytes(), inst.layer_fraction(&self.cfg.model))
+                (inst.kv_pool_bytes(), inst.layer_fraction(&model))
             })
             .collect();
-        let capacity = group_capacity_blocks(
-            &pools,
-            self.cfg.model.kv_bytes_per_token(),
-            self.cfg.block_tokens,
-        );
+        let capacity =
+            group_capacity_blocks(&pools, model.kv_bytes_per_token(), self.cfg.block_tokens);
         let fracs: Vec<f64> = pools.iter().map(|&(_, f)| f).collect();
         let mut new_group = ExecGroup::new(
             new_id,
+            model_id,
             members.clone(),
             fracs,
             BlockManager::new(capacity, self.cfg.block_tokens),
@@ -695,13 +788,13 @@ impl ClusterState {
         // every member of the merged group holds `kv × new_frac(m)`. Bytes
         // leaving each member are aggregated into one bulk job per member
         // (to its ring neighbor), coordinated-chunked by the network.
-        let kv_per_token = self.cfg.model.kv_bytes_per_token();
+        let kv_per_token = model.kv_bytes_per_token();
         let mut outgoing: HashMap<InstanceId, u64> = HashMap::new();
         for &(_, tokens, old_gid) in &exchange_seqs {
             let kv_bytes = (tokens * kv_per_token) as f64;
             for &m in &old_members_of[&old_gid] {
                 let old_share = kv_bytes * old_frac_of[&m];
-                let new_frac = self.instances[m.0 as usize].layer_fraction(&self.cfg.model);
+                let new_frac = self.instances[m.0 as usize].layer_fraction(&model);
                 let leaving = (old_share - kv_bytes * new_frac).max(0.0) as u64;
                 if leaving > 0 {
                     *outgoing.entry(m).or_insert(0) += leaving;
@@ -757,7 +850,7 @@ impl ClusterState {
         self.metrics.on_reconfig(
             now,
             format!(
-                "drop: merged {} groups into {} stages",
+                "drop: merged {} groups into {} stages ({model_id})",
                 group_ids.len(),
                 members.len()
             ),
@@ -780,7 +873,7 @@ impl ClusterState {
         if members.len() < 2 {
             return false;
         }
-        let layer_bytes = self.cfg.model.layer_param_bytes();
+        let layer_bytes = self.group_model_cfg(group).layer_param_bytes();
         let mut jobs = Vec::new();
         for (i, &m) in members.iter().enumerate() {
             let dropped = self.instances[m.0 as usize].dropped_layers() as u64;
@@ -832,7 +925,8 @@ impl ClusterState {
         if members.len() < 2 {
             return Err(());
         }
-        let kv_per_token = self.cfg.model.kv_bytes_per_token();
+        let model_id = self.group(gid).model;
+        let kv_per_token = self.group_model_cfg(gid).kv_bytes_per_token();
         // Per-instance capacity after restore.
         let capacities: Vec<u64> = members
             .iter()
@@ -875,8 +969,13 @@ impl ClusterState {
             let pools = [(self.instances[m.0 as usize].kv_pool_bytes(), 1.0)];
             let cap = group_capacity_blocks(&pools, kv_per_token, self.cfg.block_tokens);
             let blocks = BlockManager::new(cap, self.cfg.block_tokens);
-            self.groups
-                .push(Some(ExecGroup::new(id, vec![m], vec![1.0], blocks)));
+            self.groups.push(Some(ExecGroup::new(
+                id,
+                model_id,
+                vec![m],
+                vec![1.0],
+                blocks,
+            )));
             self.instances[m.0 as usize].group = id;
             new_ids.push(id);
         }
@@ -966,7 +1065,10 @@ impl ClusterState {
         }
         self.metrics.on_reconfig(
             now,
-            format!("restore: split into {} instances", new_ids.len()),
+            format!(
+                "restore: split into {} instances ({model_id})",
+                new_ids.len()
+            ),
         );
         Ok(new_ids)
     }
@@ -994,6 +1096,8 @@ impl ClusterState {
     pub fn fail_instance(&mut self, failed: InstanceId, now: SimTime) -> Vec<GroupId> {
         let gid = self.instances[failed.0 as usize].group;
         assert!(self.group_alive(gid), "instance already failed");
+        let model_id = self.group(gid).model;
+        let kv_per_token = self.cfg.model_cfg(model_id).kv_bytes_per_token();
         let old = self.groups[gid.0].take().expect("alive");
 
         // Collect every request the dying group was responsible for.
@@ -1012,7 +1116,6 @@ impl ClusterState {
             .copied()
             .filter(|&m| m != failed)
             .collect();
-        let kv_per_token = self.cfg.model.kv_bytes_per_token();
         let mut ops = 0;
         let mut new_ids = Vec::new();
         for &m in &survivors {
@@ -1022,6 +1125,7 @@ impl ClusterState {
             let cap = group_capacity_blocks(&pools, kv_per_token, self.cfg.block_tokens);
             self.groups.push(Some(ExecGroup::new(
                 id,
+                model_id,
                 vec![m],
                 vec![1.0],
                 BlockManager::new(cap, self.cfg.block_tokens),
@@ -1034,12 +1138,12 @@ impl ClusterState {
         // slice: recompute from scratch (their blocks died with the group's
         // block manager). Everything re-enters queues round-robin.
         let fallback = if new_ids.is_empty() {
-            // Whole group lost: fall back to any live group.
+            // Whole group lost: fall back to any live group of this model.
             Some(
-                *self
-                    .alive_groups()
-                    .first()
-                    .expect("cluster must retain capacity"),
+                self.alive_groups()
+                    .into_iter()
+                    .find(|&g| self.group(g).model == model_id)
+                    .expect("cluster must retain capacity for the model"),
             )
         } else {
             None

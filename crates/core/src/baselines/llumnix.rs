@@ -32,12 +32,14 @@ impl Default for LlumnixPolicy {
 
 impl LlumnixPolicy {
     /// Least-loaded destination that can absorb `tokens` and stay under the
-    /// destination threshold.
+    /// destination threshold. Model-aware: KVCache layouts are
+    /// model-specific, so only groups serving `from`'s model qualify.
     fn find_dest(&self, state: &ClusterState, from: GroupId, tokens: u64) -> Option<GroupId> {
+        let model = state.group(from).model;
         state
             .alive_groups()
             .into_iter()
-            .filter(|&g| g != from && !state.group(g).frozen)
+            .filter(|&g| g != from && state.group(g).model == model && !state.group(g).frozen)
             .filter(|&g| {
                 let demand = state.group_demand_tokens(g) + tokens;
                 (demand as f64) < self.dest_threshold * state.group_capacity_tokens(g) as f64

@@ -59,6 +59,8 @@ pub mod serving;
 
 pub use baselines::{InferCeptPolicy, LlumnixPolicy, VllmPolicy};
 pub use lookahead::balance_microbatches;
-pub use plan::{DropPlan, DropPlanner};
+pub use plan::{
+    arbitrate_drop_plans, ArbitratedPlan, Arbitration, DropPlan, DropPlanner, ModelDemand,
+};
 pub use policy::{KunServeConfig, KunServePolicy};
 pub use serving::{run_system, RunOutcome, SystemKind};

@@ -12,7 +12,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use cluster::GroupId;
+use cluster::{GroupId, ModelId};
 
 /// One group considered by the planner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +108,160 @@ impl DropPlanner {
     }
 }
 
+// ---------------------------------------------------------------------
+// Multi-model arbitration.
+// ---------------------------------------------------------------------
+
+/// How simultaneous per-model memory requirements share a bounded
+/// cluster-wide reclaim allowance.
+///
+/// Dropping parameters is not free: every merge stalls its groups and puts
+/// KVCache-exchange traffic on the shared fabric, so a multi-model cluster
+/// bounds how much reclamation one arbitration round may trigger. When two
+/// models overload simultaneously their drop plans compete for that
+/// allowance; the arbiter decides the split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arbitration {
+    /// Shares proportional to each model's memory requirement.
+    Proportional,
+    /// Shares proportional to `slo_weight × requirement`: latency-critical
+    /// models get their requirement satisfied first.
+    SloWeighted,
+}
+
+/// One overloaded model's input to arbitration.
+#[derive(Debug, Clone)]
+pub struct ModelDemand {
+    /// The model.
+    pub model: ModelId,
+    /// Memory requirement R (§4.1) in bytes, margin already applied.
+    pub required_bytes: u64,
+    /// Bytes one duplicated parameter copy of this model frees.
+    pub copy_bytes: u64,
+    /// SLO weight (see [`Arbitration::SloWeighted`]).
+    pub slo_weight: f64,
+    /// This model's candidate groups (each holding a complete copy).
+    pub groups: Vec<PlanGroup>,
+}
+
+impl ModelDemand {
+    /// The most this model can free by merging all its candidates.
+    fn max_freeable(&self) -> u64 {
+        self.copy_bytes * (self.groups.len() as u64).saturating_sub(1)
+    }
+}
+
+/// One model's arbitrated outcome.
+#[derive(Debug, Clone)]
+pub struct ArbitratedPlan {
+    /// The model.
+    pub model: ModelId,
+    /// Bytes of the requirement the arbiter granted this round.
+    pub granted_bytes: u64,
+    /// The drop plan computed against the granted requirement.
+    pub plan: DropPlan,
+}
+
+/// Arbitrates simultaneous per-model drop plans against a shared reclaim
+/// allowance.
+///
+/// With `allowance = None` (or enough allowance for everyone) each model
+/// plans for its full requirement — single-model behaviour is unchanged.
+/// Under a bounded allowance the hard constraint is that parameters free in
+/// **whole copies**, so shares are allocated copy by copy: each model's
+/// ideal byte share is `allowance × w_m / Σw` ([`Arbitration`] weights),
+/// and copies are awarded one at a time to the model furthest below its
+/// ideal, while the remaining allowance still covers that model's copy
+/// size. Grants are therefore exact copy multiples and their sum never
+/// exceeds the allowance — the bound a round's KV-exchange traffic relies
+/// on. The ideal shares set priority only; leftover allowance keeps
+/// flowing to models with unmet feasible need, so nothing reclaimable is
+/// stranded, but a model whose copy no longer fits the remainder gets
+/// nothing rather than rounding up past the allowance.
+///
+/// The result is deterministic and ordered by model id.
+pub fn arbitrate_drop_plans(
+    demands: &[ModelDemand],
+    allowance: Option<u64>,
+    arbitration: Arbitration,
+) -> Vec<ArbitratedPlan> {
+    let mut demands: Vec<&ModelDemand> = demands.iter().collect();
+    demands.sort_by_key(|d| d.model);
+
+    // Feasible need per model: capped by its own mergeable copies.
+    let need: Vec<u64> = demands
+        .iter()
+        .map(|d| d.required_bytes.min(d.max_freeable()))
+        .collect();
+    let total_need: u64 = need.iter().sum();
+
+    let granted: Vec<u64> = match allowance {
+        None => need.clone(),
+        Some(a) if a >= total_need => need.clone(),
+        Some(a) => {
+            let weight = |d: &ModelDemand| -> f64 {
+                match arbitration {
+                    Arbitration::Proportional => d.required_bytes as f64,
+                    Arbitration::SloWeighted => d.slo_weight * d.required_bytes as f64,
+                }
+            };
+            let wsum: f64 = demands.iter().map(|d| weight(d)).sum();
+            let ideal: Vec<f64> = demands
+                .iter()
+                .map(|d| {
+                    if wsum > 0.0 {
+                        a as f64 * weight(d) / wsum
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            // Useful copies per model: enough to cover its feasible need
+            // (the last copy may overshoot the need, never the allowance).
+            let cap_copies: Vec<u64> = demands
+                .iter()
+                .zip(&need)
+                .map(|(d, &n)| n.div_ceil(d.copy_bytes.max(1)))
+                .collect();
+            let mut grant = vec![0u64; demands.len()];
+            let mut copies = vec![0u64; demands.len()];
+            let mut left = a;
+            loop {
+                // Award one copy to the open model furthest below its ideal
+                // share (ties broken by model id for determinism). The
+                // deficit sets *priority* only: the loop keeps awarding
+                // until no open model's copy fits the remaining allowance,
+                // so no reclaimable allowance is stranded under scarcity.
+                let next = (0..demands.len())
+                    .filter(|&i| copies[i] < cap_copies[i] && demands[i].copy_bytes <= left)
+                    .max_by(|&x, &y| {
+                        let dx = ideal[x] - grant[x] as f64;
+                        let dy = ideal[y] - grant[y] as f64;
+                        dx.partial_cmp(&dy)
+                            .expect("finite deficits")
+                            .then(demands[y].model.cmp(&demands[x].model))
+                    });
+                let Some(i) = next else { break };
+                copies[i] += 1;
+                grant[i] += demands[i].copy_bytes;
+                left -= demands[i].copy_bytes;
+            }
+            grant
+        }
+    };
+
+    // Plan each model against its granted requirement.
+    demands
+        .iter()
+        .zip(&granted)
+        .map(|(d, &granted_bytes)| ArbitratedPlan {
+            model: d.model,
+            granted_bytes,
+            plan: DropPlanner::new(d.copy_bytes).plan(&d.groups, granted_bytes),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +353,135 @@ mod tests {
         let a = DropPlanner::new(COPY).plan(&gs, 3 * COPY);
         let b = DropPlanner::new(COPY).plan(&gs, 3 * COPY);
         assert_eq!(a, b);
+    }
+
+    fn demand(
+        model: u32,
+        required: u64,
+        weight: f64,
+        n_groups: usize,
+        base_id: usize,
+    ) -> ModelDemand {
+        ModelDemand {
+            model: ModelId(model),
+            required_bytes: required,
+            copy_bytes: COPY,
+            slo_weight: weight,
+            groups: (0..n_groups)
+                .map(|i| PlanGroup {
+                    id: GroupId(base_id + i),
+                    instances: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn unbounded_allowance_plans_each_model_independently() {
+        let demands = [demand(0, 2 * COPY, 1.0, 4, 0), demand(1, COPY, 1.0, 4, 4)];
+        let plans = arbitrate_drop_plans(&demands, None, Arbitration::Proportional);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].granted_bytes, 2 * COPY);
+        assert_eq!(plans[0].plan.freed_bytes, 2 * COPY);
+        assert_eq!(plans[1].plan.freed_bytes, COPY);
+        // Plans stay within each model's own groups.
+        for p in &plans {
+            for m in &p.plan.merges {
+                for g in m {
+                    let lo = if p.model == ModelId(0) { 0 } else { 4 };
+                    assert!((lo..lo + 4).contains(&g.0), "cross-model merge");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_allowance_splits_proportionally() {
+        // Both models want 2 copies; allowance covers only 2 total.
+        let demands = [
+            demand(0, 2 * COPY, 1.0, 4, 0),
+            demand(1, 2 * COPY, 1.0, 4, 4),
+        ];
+        let plans = arbitrate_drop_plans(&demands, Some(2 * COPY), Arbitration::Proportional);
+        // Equal weights: one copy each (grants quantize up inside the
+        // planner, so each frees exactly one copy).
+        assert_eq!(plans[0].plan.freed_bytes, COPY);
+        assert_eq!(plans[1].plan.freed_bytes, COPY);
+    }
+
+    #[test]
+    fn slo_weighting_gives_the_heavier_model_the_allowance() {
+        // One copy of allowance, model 1 is 4x as latency-critical.
+        let demands = [
+            demand(0, 2 * COPY, 1.0, 4, 0),
+            demand(1, 2 * COPY, 4.0, 4, 4),
+        ];
+        let plans = arbitrate_drop_plans(&demands, Some(COPY), Arbitration::SloWeighted);
+        let by_model: Vec<u64> = plans.iter().map(|p| p.granted_bytes).collect();
+        assert!(
+            by_model[1] > by_model[0],
+            "SLO-heavy model must win the round: {by_model:?}"
+        );
+        assert_eq!(plans[1].plan.freed_bytes, COPY);
+        // The loser gets nothing — a sub-copy sliver must not round up to
+        // a full copy and bust the allowance.
+        assert_eq!(plans[0].granted_bytes, 0);
+        assert!(plans[0].plan.merges.is_empty());
+    }
+
+    #[test]
+    fn allowance_is_a_hard_bound_on_total_freed_bytes() {
+        // Whatever the weights and needs, Σ freed never exceeds the
+        // allowance (grants are exact copy multiples).
+        for allowance in [0, COPY / 2, COPY, 2 * COPY + 1, 3 * COPY] {
+            let demands = [
+                demand(0, 5 * COPY, 1.0, 4, 0),
+                demand(1, 5 * COPY, 3.0, 4, 4),
+            ];
+            for arb in [Arbitration::Proportional, Arbitration::SloWeighted] {
+                let plans = arbitrate_drop_plans(&demands, Some(allowance), arb);
+                let freed: u64 = plans.iter().map(|p| p.plan.freed_bytes).sum();
+                assert!(
+                    freed <= allowance,
+                    "{arb:?} allowance {allowance}: freed {freed}"
+                );
+                for p in &plans {
+                    assert_eq!(p.granted_bytes % COPY, 0, "grants are copy multiples");
+                    assert_eq!(p.plan.freed_bytes, p.granted_bytes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grants_cap_at_what_a_model_can_free() {
+        // Model 0 wants 10 copies but has only 2 groups (1 copy freeable);
+        // the leftover goes to model 1.
+        let demands = [
+            demand(0, 10 * COPY, 1.0, 2, 0),
+            demand(1, 3 * COPY, 1.0, 4, 2),
+        ];
+        let plans = arbitrate_drop_plans(&demands, Some(4 * COPY), Arbitration::Proportional);
+        assert_eq!(plans[0].granted_bytes, COPY);
+        assert_eq!(plans[0].plan.freed_bytes, COPY);
+        assert_eq!(plans[1].granted_bytes, 3 * COPY);
+        assert_eq!(plans[1].plan.freed_bytes, 3 * COPY);
+    }
+
+    #[test]
+    fn arbitration_is_deterministic() {
+        let demands = [
+            demand(0, 3 * COPY, 2.0, 5, 0),
+            demand(1, 2 * COPY, 1.0, 3, 5),
+            demand(2, 4 * COPY, 3.0, 6, 8),
+        ];
+        let run = || {
+            arbitrate_drop_plans(&demands, Some(5 * COPY), Arbitration::SloWeighted)
+                .into_iter()
+                .map(|p| (p.model, p.granted_bytes, p.plan))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(format!("{:?}", run()), format!("{:?}", run()));
     }
 
     #[test]

@@ -3,11 +3,13 @@
 
 use std::collections::HashSet;
 
-use cluster::{ClusterState, GroupId, MicroBatch, Policy, RequestId, SeqChunk, TransferEvent};
+use cluster::{
+    ClusterState, GroupId, MicroBatch, ModelId, Policy, RequestId, SeqChunk, TransferEvent,
+};
 use sim_core::SimTime;
 
 use crate::lookahead::balance_microbatches;
-use crate::plan::{DropPlanner, PlanGroup};
+use crate::plan::{arbitrate_drop_plans, Arbitration, ModelDemand, PlanGroup};
 
 /// Feature flags and thresholds of the KunServe policy.
 ///
@@ -37,6 +39,13 @@ pub struct KunServeConfig {
     /// Monitor ticks the overload must persist before a drop triggers
     /// (debounces transient spikes the baseline absorbs by itself).
     pub sustain_ticks: u32,
+    /// Cluster-wide cap on bytes one arbitration round may reclaim across
+    /// all co-served models (`None` = unbounded). Bounding this limits the
+    /// exchange traffic a round puts on the shared fabric and forces
+    /// simultaneous overloads to *compete* — see [`Arbitration`].
+    pub reclaim_allowance_bytes: Option<u64>,
+    /// How simultaneous per-model requirements share the allowance.
+    pub arbitration: Arbitration,
 }
 
 impl Default for KunServeConfig {
@@ -51,6 +60,8 @@ impl Default for KunServeConfig {
             requirement_margin: 1.2,
             min_batch_tokens: 256,
             sustain_ticks: 2,
+            reclaim_allowance_bytes: None,
+            arbitration: Arbitration::SloWeighted,
         }
     }
 }
@@ -88,7 +99,10 @@ pub struct KunServePolicy {
     cfg: KunServeConfig,
     restoring: HashSet<GroupId>,
     network_configured: bool,
-    overloaded_ticks: u32,
+    /// Consecutive monitor ticks each model has been overloaded — the
+    /// debounce is per model so one tenant's persistent overload cannot
+    /// waive another tenant's spike filter.
+    overloaded_ticks: std::collections::HashMap<ModelId, u32>,
     /// Drop events triggered, for reporting.
     pub drops_triggered: u32,
     /// Restore events triggered, for reporting.
@@ -102,7 +116,7 @@ impl KunServePolicy {
             cfg,
             restoring: HashSet::new(),
             network_configured: false,
-            overloaded_ticks: 0,
+            overloaded_ticks: std::collections::HashMap::new(),
             drops_triggered: 0,
             restores_triggered: 0,
         }
@@ -120,17 +134,23 @@ impl KunServePolicy {
         }
     }
 
-    /// Bytes one duplicated parameter copy frees (droppable layers only).
-    fn copy_bytes(state: &ClusterState) -> u64 {
-        state.cfg.model.layer_param_bytes() * state.cfg.model.num_layers as u64
+    /// Bytes one duplicated parameter copy of `model` frees (droppable
+    /// layers only).
+    fn copy_bytes_of(state: &ClusterState, model: ModelId) -> u64 {
+        let m = state.cfg.model_cfg(model);
+        m.layer_param_bytes() * m.num_layers as u64
     }
 
-    /// Memory requirement R (§4.1 line 1): the queued + admitted demand
-    /// exceeding what the overloaded groups can hold, in bytes.
-    fn required_bytes(&self, state: &ClusterState) -> u64 {
-        let kv = state.cfg.model.kv_bytes_per_token();
+    /// Memory requirement R (§4.1 line 1) of one model: the queued +
+    /// admitted demand exceeding what its overloaded groups can hold, in
+    /// bytes (margin not applied).
+    fn required_bytes_of(&self, state: &ClusterState, model: ModelId) -> u64 {
+        let kv = state.cfg.model_cfg(model).kv_bytes_per_token();
         let mut required: u64 = 0;
         for g in state.alive_groups() {
+            if state.group(g).model != model {
+                continue;
+            }
             let demand = state.group_demand_tokens(g) as f64;
             let cap = state.group_capacity_tokens(g) as f64;
             if demand > cap * self.cfg.overload_threshold {
@@ -140,39 +160,79 @@ impl KunServePolicy {
         required
     }
 
-    /// Detects overload and requests merges per the Fig. 6 plan. Returns
+    /// Detects overload and requests merges per the Fig. 6 plan; when
+    /// several models overload simultaneously their plans are arbitrated
+    /// against the shared reclaim allowance. `eligible` restricts which
+    /// models may drop this call (the per-model debounce on monitor ticks;
+    /// `None` = all, used by the reactive admission/OOM paths). Returns
     /// `true` if a drop was initiated.
-    fn maybe_drop(&mut self, state: &mut ClusterState, _now: SimTime) -> bool {
+    fn maybe_drop(
+        &mut self,
+        state: &mut ClusterState,
+        _now: SimTime,
+        eligible: Option<&HashSet<ModelId>>,
+    ) -> bool {
         if !self.cfg.dynamic_drop || state.has_pending_reconfigs() {
             return false;
         }
-        let required = self.required_bytes(state);
-        if required == 0 {
+        let mut demands: Vec<ModelDemand> = Vec::new();
+        for model in state.cfg.model_ids() {
+            if eligible.is_some_and(|e| !e.contains(&model)) {
+                continue;
+            }
+            let required = self.required_bytes_of(state, model);
+            if required == 0 {
+                continue;
+            }
+            let required = (required as f64 * self.cfg.requirement_margin) as u64;
+            // Candidates: this model's live, unfrozen groups not mid-restore.
+            let candidates: Vec<PlanGroup> = state
+                .alive_groups()
+                .into_iter()
+                .filter(|&g| {
+                    state.group(g).model == model
+                        && !state.group(g).frozen
+                        && !self.restoring.contains(&g)
+                })
+                .map(|g| PlanGroup {
+                    id: g,
+                    instances: state.group(g).members.len() as u32,
+                })
+                .collect();
+            if candidates.len() < 2 {
+                continue; // fully merged: fall back to KVCache-centric
+            }
+            demands.push(ModelDemand {
+                model,
+                required_bytes: required,
+                copy_bytes: Self::copy_bytes_of(state, model),
+                slo_weight: state.cfg.slo_weight_of(model),
+                groups: candidates,
+            });
+        }
+        if demands.is_empty() {
             return false;
         }
-        let required = (required as f64 * self.cfg.requirement_margin) as u64;
-        // Candidates: every live, unfrozen group not mid-restore.
-        let candidates: Vec<PlanGroup> = state
-            .alive_groups()
-            .into_iter()
-            .filter(|&g| !state.group(g).frozen && !self.restoring.contains(&g))
-            .map(|g| PlanGroup {
-                id: g,
-                instances: state.group(g).members.len() as u32,
-            })
-            .collect();
-        if candidates.len() < 2 {
-            return false; // fully merged: fall back to KVCache-centric
+        let plans = arbitrate_drop_plans(
+            &demands,
+            self.cfg.reclaim_allowance_bytes,
+            self.cfg.arbitration,
+        );
+        let mut any = false;
+        for arb in &plans {
+            for merge in &arb.plan.merges {
+                state.request_merge(merge.clone());
+                any = true;
+            }
+            if !arb.plan.merges.is_empty() {
+                // This model got its drop; its debounce restarts.
+                self.overloaded_ticks.remove(&arb.model);
+            }
         }
-        let plan = DropPlanner::new(Self::copy_bytes(state)).plan(&candidates, required);
-        if plan.merges.is_empty() {
-            return false;
+        if any {
+            self.drops_triggered += 1;
         }
-        for merge in &plan.merges {
-            state.request_merge(merge.clone());
-        }
-        self.drops_triggered += 1;
-        true
+        any
     }
 
     /// Detects demand subsiding and starts background parameter pulls
@@ -182,8 +242,8 @@ impl KunServePolicy {
             return;
         }
         self.restoring.retain(|&g| state.group_alive(g));
-        let kv = state.cfg.model.kv_bytes_per_token();
         for g in state.alive_groups() {
+            let kv = state.group_model_cfg(g).kv_bytes_per_token();
             let group = state.group(g);
             if group.stages() < 2 || group.frozen || self.restoring.contains(&g) {
                 continue;
@@ -211,33 +271,47 @@ impl Policy for KunServePolicy {
 
     fn on_tick(&mut self, state: &mut ClusterState, now: SimTime) {
         self.configure_network(state);
-        // Debounce: drop only when the overload persists across monitor
-        // ticks; one-tick spikes are absorbed by normal queuing.
-        if self.required_bytes(state) > 0 {
-            self.overloaded_ticks += 1;
-        } else {
-            self.overloaded_ticks = 0;
+        // Debounce per model: a model drops only when *its own* overload
+        // persists across monitor ticks; one-tick spikes are absorbed by
+        // normal queuing, and another tenant's sustained overload does not
+        // waive the filter.
+        let mut eligible = HashSet::new();
+        for model in state.cfg.model_ids() {
+            if self.required_bytes_of(state, model) > 0 {
+                let t = self.overloaded_ticks.entry(model).or_insert(0);
+                *t += 1;
+                if *t >= self.cfg.sustain_ticks {
+                    eligible.insert(model);
+                }
+            } else {
+                self.overloaded_ticks.remove(&model);
+            }
         }
-        if self.overloaded_ticks >= self.cfg.sustain_ticks && self.maybe_drop(state, now) {
-            self.overloaded_ticks = 0;
+        if !eligible.is_empty() {
+            self.maybe_drop(state, now, Some(&eligible));
         }
         self.maybe_restore(state, now);
     }
 
-    fn on_admission_blocked(&mut self, state: &mut ClusterState, now: SimTime, _group: GroupId) {
+    fn on_admission_blocked(&mut self, state: &mut ClusterState, now: SimTime, group: GroupId) {
         self.configure_network(state);
-        self.maybe_drop(state, now);
+        // A realized admission failure bypasses the tick debounce, but only
+        // for the model that actually hit the wall — it must not drag other
+        // tenants' groups into a drop.
+        let eligible = HashSet::from([state.group_model(group)]);
+        self.maybe_drop(state, now, Some(&eligible));
     }
 
     fn on_decode_oom(
         &mut self,
         state: &mut ClusterState,
         now: SimTime,
-        _group: GroupId,
+        group: GroupId,
         _request: RequestId,
     ) -> cluster::OomResolution {
         self.configure_network(state);
-        if self.maybe_drop(state, now) || state.has_pending_reconfigs() {
+        let eligible = HashSet::from([state.group_model(group)]);
+        if self.maybe_drop(state, now, Some(&eligible)) || state.has_pending_reconfigs() {
             // More memory is on the way; skip this decode step.
             return cluster::OomResolution::SkipIteration;
         }
@@ -259,7 +333,8 @@ impl Policy for KunServePolicy {
             // halting at total/m yields roughly m cost-balanced leaves.
             let total: u64 = work.iter().map(|c| c.work.new_tokens).sum();
             let min_tokens = (total / target_mbs).max(self.cfg.min_batch_tokens);
-            let mbs = balance_microbatches(work, &state.cost_model, min_tokens);
+            let cost_model = state.cost_model_of(state.group(group).model);
+            let mbs = balance_microbatches(work, cost_model, min_tokens);
             if !mbs.is_empty() {
                 return mbs;
             }

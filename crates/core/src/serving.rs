@@ -59,10 +59,19 @@ impl SystemKind {
     }
 
     /// Adjusts the cluster configuration for this system (vLLM-PP statically
-    /// halves parameters by pairing instances).
+    /// halves parameters by pairing instances — of every co-served model
+    /// whose instance count allows it, so multi-model comparisons stay
+    /// apples-to-apples).
     pub fn adjust_config(&self, mut cfg: ClusterConfig) -> ClusterConfig {
         if matches!(self, SystemKind::VllmPp) {
-            cfg.initial_group_size = 2;
+            if cfg.num_instances.is_multiple_of(2) {
+                cfg.initial_group_size = 2;
+            }
+            for dep in &mut cfg.extra_models {
+                if dep.num_instances.is_multiple_of(2) {
+                    dep.initial_group_size = 2;
+                }
+            }
         }
         cfg
     }
@@ -236,6 +245,51 @@ mod tests {
             kun.report.ttft.p99,
             vllm.report.ttft.p99
         );
+    }
+
+    #[test]
+    fn two_model_overload_drops_per_model() {
+        // Both co-served models burst simultaneously; KunServe must drop
+        // parameters within each model's own groups and finish everything.
+        let a = BurstTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(45.0)
+            .duration(SimDuration::from_secs(20))
+            .burst(SimTime::from_secs(5), SimDuration::from_secs(10), 3.0)
+            .seed(21)
+            .build();
+        let b = BurstTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(25.0)
+            .duration(SimDuration::from_secs(20))
+            .burst(SimTime::from_secs(5), SimDuration::from_secs(10), 3.0)
+            .seed(22)
+            .model(cluster::ModelId(1))
+            .build();
+        let trace = workload::Trace::merge(&[a, b]);
+        let mut cfg = cluster::ClusterConfig::tiny_two_model(4, 4);
+        cfg.reserve_frac = 0.45;
+        let out = run_system(
+            SystemKind::KunServe,
+            cfg,
+            &trace,
+            SimDuration::from_secs(900),
+        );
+        assert_eq!(out.report.finished_requests, trace.len());
+        assert_eq!(out.report.per_model.len(), 2);
+        let drops = out
+            .state
+            .metrics
+            .reconfig_events
+            .iter()
+            .filter(|(_, what)| what.starts_with("drop"))
+            .count();
+        assert!(drops > 0, "simultaneous bursts must trigger drops");
+        // Groups never mix models, even after reconfigurations.
+        for g in out.state.alive_groups() {
+            let gm = out.state.group(g).model;
+            for &m in &out.state.group(g).members {
+                assert_eq!(out.state.instances[m.0 as usize].model, gm);
+            }
+        }
     }
 
     #[test]

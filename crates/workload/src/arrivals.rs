@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 use sim_core::{SimDuration, SimTime};
 
 use crate::dataset::Dataset;
-use crate::trace::{RequestSpec, Trace};
+use crate::trace::{ModelId, RequestSpec, Trace};
 
 /// One burst phase: the arrival rate is multiplied by `multiplier` inside
 /// `[start, start + duration)`.
@@ -54,6 +54,7 @@ pub struct BurstTraceBuilder {
     duration: SimDuration,
     phases: Vec<BurstPhase>,
     seed: u64,
+    model: ModelId,
 }
 
 impl BurstTraceBuilder {
@@ -65,7 +66,15 @@ impl BurstTraceBuilder {
             duration: SimDuration::from_secs(120),
             phases: Vec::new(),
             seed: 0,
+            model: ModelId::PRIMARY,
         }
+    }
+
+    /// Tags every generated request with `model` (for multi-model traces
+    /// assembled with [`Trace::merge`]).
+    pub fn model(mut self, model: ModelId) -> Self {
+        self.model = model;
+        self
     }
 
     /// Sets the base (non-burst) request rate.
@@ -137,6 +146,7 @@ impl BurstTraceBuilder {
                 let (input_tokens, output_tokens) = sampler.sample(&mut rng);
                 requests.push(RequestSpec {
                     id: 0,
+                    model: self.model,
                     arrival: now,
                     input_tokens,
                     output_tokens,

@@ -26,4 +26,4 @@ pub mod trace;
 
 pub use arrivals::{BurstPhase, BurstTraceBuilder};
 pub use dataset::{Dataset, LengthSampler};
-pub use trace::{extreme_burst, RequestSpec, Trace};
+pub use trace::{extreme_burst, ModelId, RequestSpec, Trace};

@@ -2,11 +2,32 @@
 
 use sim_core::{SimDuration, SimTime};
 
+/// Identifier of the model a request targets in a multi-model cluster.
+///
+/// Single-model traces use [`ModelId::PRIMARY`] (id 0) throughout; the id
+/// indexes the cluster's deployment list, so a trace and the cluster it runs
+/// on must agree on model numbering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelId(pub u32);
+
+impl ModelId {
+    /// The default (first-deployed) model of a cluster.
+    pub const PRIMARY: ModelId = ModelId(0);
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
 /// One request of a workload trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestSpec {
     /// Dense id within the trace.
     pub id: u64,
+    /// The model this request targets (0 for single-model traces).
+    pub model: ModelId,
     /// Arrival (client send) time.
     pub arrival: SimTime,
     /// Prompt length in tokens.
@@ -54,6 +75,36 @@ impl Trace {
         self.requests
             .last()
             .map_or(SimDuration::ZERO, |r| r.arrival - SimTime::ZERO)
+    }
+
+    /// Merges per-model traces into one co-served trace, preserving each
+    /// request's model tag; arrivals interleave chronologically.
+    pub fn merge(traces: &[Trace]) -> Trace {
+        Trace::new(
+            traces
+                .iter()
+                .flat_map(|t| t.requests.iter().copied())
+                .collect(),
+        )
+    }
+
+    /// Model ids present in the trace, ascending and deduplicated.
+    pub fn models(&self) -> Vec<ModelId> {
+        let mut ids: Vec<ModelId> = self.requests.iter().map(|r| r.model).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// The sub-trace targeting one model (ids re-densified within it).
+    pub fn for_model(&self, model: ModelId) -> Trace {
+        Trace::new(
+            self.requests
+                .iter()
+                .copied()
+                .filter(|r| r.model == model)
+                .collect(),
+        )
     }
 
     /// Mean request rate over the trace span, in requests/second.
@@ -133,6 +184,7 @@ impl Trace {
                 let jitter_us = if c == 0 { 0 } else { rng.gen_range(0..500_000) };
                 out.push(RequestSpec {
                     id: 0,
+                    model: r.model,
                     arrival: r.arrival + SimDuration::from_micros(jitter_us),
                     input_tokens: r.input_tokens,
                     output_tokens: r.output_tokens,
@@ -183,6 +235,7 @@ mod tests {
     fn spec(arrival_ms: u64, input: u64, output: u64) -> RequestSpec {
         RequestSpec {
             id: 0,
+            model: ModelId::PRIMARY,
             arrival: SimTime::from_millis(arrival_ms),
             input_tokens: input,
             output_tokens: output,
@@ -262,6 +315,28 @@ mod tests {
         assert!(arrivals.contains(&2900) && arrivals.contains(&3900));
         // The post-burst tail of the original trace is dropped.
         assert!(!arrivals.contains(&2500));
+    }
+
+    #[test]
+    fn merge_interleaves_and_preserves_model_tags() {
+        let a = Trace::new(vec![spec(0, 10, 1), spec(2000, 10, 1)]);
+        let mut b = Trace::new(vec![spec(1000, 20, 2)]);
+        for r in &mut b.requests {
+            r.model = ModelId(1);
+        }
+        let merged = Trace::merge(&[a, b]);
+        assert_eq!(merged.len(), 3);
+        // Chronological interleave.
+        let models: Vec<u32> = merged.requests.iter().map(|r| r.model.0).collect();
+        assert_eq!(models, vec![0, 1, 0]);
+        assert_eq!(merged.models(), vec![ModelId(0), ModelId(1)]);
+        // Per-model projection recovers each sub-trace.
+        assert_eq!(merged.for_model(ModelId(1)).len(), 1);
+        assert_eq!(
+            merged.for_model(ModelId(1)).requests[0].input_tokens,
+            20,
+            "model-1 lengths survive the round trip"
+        );
     }
 
     #[test]

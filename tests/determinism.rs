@@ -44,6 +44,50 @@ fn same_seed_yields_byte_identical_reports() {
     }
 }
 
+/// Multi-model runs are held to the same contract: merged two-model traces
+/// on a co-serving cluster must reproduce byte-identically, including the
+/// per-model report breakdown and the arbitration-driven reconfig log.
+fn multi_model_run_bytes(kind: SystemKind, seed: u64) -> String {
+    let mk = |model: u32, rps: f64, seed: u64| {
+        BurstTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(rps)
+            .duration(SimDuration::from_secs(20))
+            .burst(SimTime::from_secs(6), SimDuration::from_secs(8), 2.8)
+            .seed(seed)
+            .model(cluster::ModelId(model))
+            .build()
+    };
+    let trace = Trace::merge(&[mk(0, 45.0, seed), mk(1, 25.0, seed ^ 0xABCD)]);
+    let mut cfg = ClusterConfig::tiny_two_model(2, 2);
+    cfg.reserve_frac = 0.45;
+    let out = run_system(kind, cfg, &trace, SimDuration::from_secs(900));
+    format!(
+        "{:?}|{:?}|{:?}",
+        out.report, out.report.per_model, out.state.metrics.reconfig_events
+    )
+}
+
+#[test]
+fn multi_model_same_seed_yields_byte_identical_reports() {
+    for kind in [
+        SystemKind::VllmDp,
+        SystemKind::Llumnix,
+        SystemKind::KunServe,
+    ] {
+        let a = multi_model_run_bytes(kind, 0xBEEF);
+        let b = multi_model_run_bytes(kind, 0xBEEF);
+        assert_eq!(
+            a,
+            b,
+            "{}: same seed must reproduce the multi-model run exactly",
+            kind.name()
+        );
+    }
+    let a = multi_model_run_bytes(SystemKind::KunServe, 3);
+    let b = multi_model_run_bytes(SystemKind::KunServe, 4);
+    assert_ne!(a, b, "different seeds must differ");
+}
+
 #[test]
 fn trace_generation_is_seed_deterministic() {
     let a = trace_with_seed(99);
