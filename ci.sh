@@ -24,4 +24,16 @@ cargo run --release --offline -p bench --bin fig18_multi_model -- --smoke --json
 cargo run --release --offline -p bench --bin check_bench_json -- \
     "$SMOKE_JSON" crates/bench/tolerances/fig18_smoke.json
 
+echo "==> bench smoke: fig17 extreme-burst JSON regression gate"
+FIG17_JSON=target/bench-json/fig17_smoke.json
+cargo run --release --offline -p bench --bin fig17_extreme_burst -- --smoke --json "$FIG17_JSON"
+cargo run --release --offline -p bench --bin check_bench_json -- \
+    "$FIG17_JSON" crates/bench/tolerances/fig17_smoke.json
+
+echo "==> paper scale: Cluster A fidelity lineup via the parallel executor"
+PS_JSON=target/bench-json/paper_scale_parallel.json
+cargo run --release --offline -p bench --bin paper_scale_parallel -- --threads 4 --json "$PS_JSON"
+cargo run --release --offline -p bench --bin check_bench_json -- \
+    "$PS_JSON" crates/bench/tolerances/paper_scale.json
+
 echo "==> OK: all gates passed"

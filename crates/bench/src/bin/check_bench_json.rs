@@ -11,7 +11,18 @@
 //! - optionally `scenario`: for multi-scenario figures (fig12's
 //!   `{figure, scenarios: [{scenario, systems}]}` shape), the named
 //!   scenario whose `systems` array to gate. Single-scenario figures
-//!   (fig18) keep their `systems` at the top level and omit this.
+//!   (fig18) keep their `systems` at the top level and omit this;
+//! - optionally `p99_less_than`: `{ "A": "B", ... }` — system A's p99
+//!   TTFT must be strictly below system B's (the paper's ordering
+//!   claims, e.g. KunServe < vLLM);
+//! - optionally `min_speedup` (+ `min_speedup_host_threads`, default 4):
+//!   the bench JSON's `speedup` must reach the floor — enforced only
+//!   when the JSON's `threads_available` shows the host actually has
+//!   that many cores (a 1-core CI box cannot show wall-clock speedup;
+//!   the value is still recorded and printed).
+//!
+//! Wall-clock metadata (`wall_clock_ms`, `threads`) is echoed when
+//! present so CI logs track executor performance over time.
 
 use bench::Json;
 use std::process::ExitCode;
@@ -125,6 +136,64 @@ fn main() -> ExitCode {
     if checked == 0 {
         return fail("tolerance file pinned no systems");
     }
+
+    // Ordering claims: A's p99 must beat B's.
+    if let Some(orderings) = tol.get("p99_less_than").and_then(Json::as_obj) {
+        let p99_of = |name: &str| -> Option<f64> {
+            systems
+                .iter()
+                .find(|s| s.get("system").and_then(Json::as_str) == Some(name))?
+                .get("ttft_p99_s")
+                .and_then(Json::as_f64)
+        };
+        for (a, b) in orderings {
+            let Some(b) = b.as_str() else {
+                return fail(&format!("p99_less_than value for `{a}` is not a string"));
+            };
+            let (Some(pa), Some(pb)) = (p99_of(a), p99_of(b)) else {
+                return fail(&format!("p99_less_than: missing system `{a}` or `{b}`"));
+            };
+            if pa >= pb {
+                return fail(&format!(
+                    "ordering violated: `{a}` p99 {pa:.3}s must be below `{b}` p99 {pb:.3}s"
+                ));
+            }
+            println!("check_bench_json: ok: {a} p99 {pa:.3}s < {b} p99 {pb:.3}s");
+        }
+    }
+
+    // Executor wall-clock metadata and the host-conditional speedup gate.
+    if let Some(wall) = bench.get("wall_clock_ms").and_then(Json::as_f64) {
+        let threads = bench.get("threads").and_then(Json::as_f64).unwrap_or(1.0);
+        println!("check_bench_json: wall_clock {wall:.0} ms at {threads:.0} threads");
+    }
+    if let Some(min_speedup) = tol.get("min_speedup").and_then(Json::as_f64) {
+        let Some(speedup) = bench.get("speedup").and_then(Json::as_f64) else {
+            return fail("tolerance requires `min_speedup` but bench JSON has no `speedup`");
+        };
+        let host = bench
+            .get("threads_available")
+            .and_then(Json::as_f64)
+            .unwrap_or(1.0);
+        let need_host = tol
+            .get("min_speedup_host_threads")
+            .and_then(Json::as_f64)
+            .unwrap_or(4.0);
+        if host >= need_host {
+            if speedup < min_speedup {
+                return fail(&format!(
+                    "speedup {speedup:.2}x below the {min_speedup:.2}x floor ({host:.0} host threads)"
+                ));
+            }
+            println!("check_bench_json: ok: speedup {speedup:.2}x >= {min_speedup:.2}x");
+        } else {
+            println!(
+                "check_bench_json: note: speedup {speedup:.2}x recorded; gate skipped \
+                 (host has {host:.0} threads, gate needs {need_host:.0})"
+            );
+        }
+    }
+
     println!("check_bench_json: PASS ({checked} systems within tolerance)");
     ExitCode::SUCCESS
 }

@@ -6,11 +6,16 @@
 //!
 //! Run: `cargo run --release -p bench --bin fig02_motivation`
 
-use bench::{print_series, secs, Scenario};
+use bench::{
+    harness, json_out_path, outcome_json, print_series, secs, with_exec_meta, write_json, Json,
+    Scenario,
+};
 use kunserve::serving::SystemKind;
 use sim_core::{SimDuration, SimTime};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = harness::threads_from_args(&args);
     let sc = Scenario::burstgpt_14b();
     let trace = sc.trace();
     let window = SimDuration::from_secs(4);
@@ -19,12 +24,20 @@ fn main() {
     println!("# Figure 2 (a): BurstGPT-like arrival rate (req/s, 4s windows)");
     print_series("time_s,req_per_s", &trace.rate_timeline(window), 1.0);
 
-    for (label, kind) in [
+    let systems = [
         ("(b)+(c) Drop/recompute KVCache (vLLM)", SystemKind::VllmDp),
         ("(d) Swap KVCache (InferCept)", SystemKind::InferCept),
         ("(e) Migrate KVCache (Llumnix)", SystemKind::Llumnix),
-    ] {
-        let out = sc.run(kind);
+    ];
+    let timer = std::time::Instant::now();
+    let outcomes = harness::run_indexed(threads, systems.len(), |i| {
+        kunserve::serving::run_system(systems[i].1, sc.cfg.clone(), &trace, sc.drain)
+    });
+    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
+    let mut sys_jsons = Vec::new();
+    for ((label, kind), out) in systems.iter().zip(&outcomes) {
+        let (label, kind) = (*label, *kind);
+        sys_jsons.push(outcome_json(&sc.cfg, out));
         println!();
         println!("# Figure 2 {label}");
         if kind == SystemKind::VllmDp {
@@ -71,4 +84,17 @@ fn main() {
             out.report.ttft.p99 / out.report.ttft.p50.max(1e-3)
         );
     }
+
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("fig02_motivation")),
+            ("scenario", Json::str(sc.name)),
+            ("systems", Json::Arr(sys_jsons)),
+        ]),
+        threads,
+        wall_ms,
+    );
+    let path = json_out_path("fig02_motivation", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
 }

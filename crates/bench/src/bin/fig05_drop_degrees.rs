@@ -7,10 +7,15 @@
 //!
 //! Run: `cargo run --release -p bench --bin fig05_drop_degrees`
 
-use bench::{ms, secs, Scenario};
+use bench::{
+    harness, json_out_path, ms, outcome_json_labeled, secs, with_exec_meta, write_json, Json,
+    Scenario,
+};
 use kunserve::serving::{run_system, SystemKind};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = harness::threads_from_args(&args);
     let base = Scenario::burstgpt_14b();
     // Moderate load with no bursts: isolate the parallelism cost.
     let mut sc = base.clone();
@@ -22,16 +27,22 @@ fn main() {
     println!();
     println!("| Setup | TTFT p50 (s) | TTFT p99 (s) | TPOT p50 (ms) | TPOT p99 (ms) |");
     println!("|---|---|---|---|---|");
-    let mut cdfs = Vec::new();
-    for (label, group_size) in [
+    let setups = [
         ("DP x 8 (full)", 1u32),
         ("Drop 50% layers", 2),
         ("Drop 75% layers", 4),
         ("Drop 88% layers", 8),
-    ] {
+    ];
+    let timer = std::time::Instant::now();
+    let outcomes = harness::run_indexed(threads, setups.len(), |i| {
         let mut cfg = sc.cfg.clone();
-        cfg.initial_group_size = group_size;
-        let out = run_system(SystemKind::VllmDp, cfg, &trace, sc.drain);
+        cfg.initial_group_size = setups[i].1;
+        run_system(SystemKind::VllmDp, cfg, &trace, sc.drain)
+    });
+    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
+    let mut cdfs = Vec::new();
+    let mut sys_jsons = Vec::new();
+    for ((label, _), out) in setups.iter().zip(&outcomes) {
         println!(
             "| {label} | {} | {} | {} | {} |",
             secs(out.report.ttft.p50),
@@ -39,7 +50,8 @@ fn main() {
             ms(out.report.tpot.p50),
             ms(out.report.tpot.p99),
         );
-        cdfs.push((label, out.report.ttft_cdf(20)));
+        cdfs.push((*label, out.report.ttft_cdf(20)));
+        sys_jsons.push(outcome_json_labeled(&sc.cfg, out, label));
     }
     println!();
     println!("# TTFT CDFs (value_s, cum_frac)");
@@ -49,4 +61,17 @@ fn main() {
             println!("{:.3},{:.2}", v, f);
         }
     }
+
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("fig05_drop_degrees")),
+            ("scenario", Json::str(sc.name)),
+            ("systems", Json::Arr(sys_jsons)),
+        ]),
+        threads,
+        wall_ms,
+    );
+    let path = json_out_path("fig05_drop_degrees", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
 }

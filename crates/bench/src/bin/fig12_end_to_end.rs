@@ -10,18 +10,23 @@
 //! Alongside the CSV timelines, a machine-readable summary is written to
 //! `target/bench-json/fig12_end_to_end.json` (`--json PATH` overrides).
 
-use bench::{json_out_path, outcome_json, print_series, secs, write_json, Json, Scenario};
+use bench::{
+    harness, json_out_path, outcome_json, print_series, secs, with_exec_meta, write_json, Json,
+    Scenario,
+};
 use sim_core::{SimDuration, SimTime};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = harness::threads_from_args(&args);
     let window = SimDuration::from_secs(5);
     let mut scenario_jsons = Vec::new();
+    let timer = std::time::Instant::now();
     for sc in Scenario::paper_matrix() {
         let end = SimTime::ZERO + sc.duration + SimDuration::from_secs(60);
         println!("==== {} ====", sc.name);
         let mut sys_jsons = Vec::new();
-        for out in sc.run_lineup() {
+        for out in sc.run_lineup_parallel(threads) {
             sys_jsons.push(outcome_json(&sc.cfg, &out));
             println!();
             println!("--- {} ---", out.name);
@@ -68,10 +73,14 @@ fn main() {
         ]));
         println!();
     }
-    let doc = Json::obj([
-        ("figure", Json::str("fig12_end_to_end")),
-        ("scenarios", Json::Arr(scenario_jsons)),
-    ]);
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("fig12_end_to_end")),
+            ("scenarios", Json::Arr(scenario_jsons)),
+        ]),
+        threads,
+        timer.elapsed().as_secs_f64() * 1e3,
+    );
     let path = json_out_path("fig12_end_to_end", &args);
     write_json(&path, &doc).expect("write JSON");
     println!("json,{}", path.display());

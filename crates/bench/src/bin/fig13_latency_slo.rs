@@ -5,13 +5,27 @@
 //! best baseline on that workload; chat uses scale 5, summarization 10.
 //!
 //! Run: `cargo run --release -p bench --bin fig13_latency_slo`
+//! Flags: `--threads N` (parallel lineup runs), `--json PATH`.
 
-use bench::{ms, secs, Scenario};
+use bench::{
+    harness, json_out_path, ms, outcome_json, secs, with_exec_meta, write_json, Json, Scenario,
+};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = harness::threads_from_args(&args);
+    let timer = std::time::Instant::now();
+    let mut scenario_jsons = Vec::new();
     for sc in Scenario::paper_matrix() {
         println!("==== {} ====", sc.name);
-        let outcomes = sc.run_lineup();
+        let outcomes = sc.run_lineup_parallel(threads);
+        scenario_jsons.push(Json::obj([
+            ("scenario", Json::str(sc.name)),
+            (
+                "systems",
+                Json::Arr(outcomes.iter().map(|o| outcome_json(&sc.cfg, o)).collect()),
+            ),
+        ]));
 
         println!();
         println!("| System | TTFT p50 (s) | TTFT p99 (s) | TPOT p50 (ms) | TPOT p99 (ms) |");
@@ -73,4 +87,16 @@ fn main() {
         }
         println!();
     }
+
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("fig13_latency_slo")),
+            ("scenarios", Json::Arr(scenario_jsons)),
+        ]),
+        threads,
+        timer.elapsed().as_secs_f64() * 1e3,
+    );
+    let path = json_out_path("fig13_latency_slo", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
 }

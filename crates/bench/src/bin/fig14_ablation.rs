@@ -7,13 +7,19 @@
 //! bubble-time series (1 − GPU utilization during pipelined execution).
 //!
 //! Run: `cargo run --release -p bench --bin fig14_ablation`
+//! Flags: `--threads N` (parallel ablation runs), `--json PATH`.
 
-use bench::{ms, print_series, secs, Scenario};
+use bench::{
+    harness, json_out_path, ms, outcome_json_labeled, print_series, secs, with_exec_meta,
+    write_json, Json, Scenario,
+};
 use kunserve::serving::SystemKind;
 use kunserve::KunServeConfig;
 use sim_core::{SimDuration, SimTime};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = harness::threads_from_args(&args);
     let sc = Scenario::longbench_14b();
     let systems: Vec<(&str, SystemKind)> = vec![
         ("vLLM (DP)", SystemKind::VllmDp),
@@ -36,9 +42,15 @@ fn main() {
     println!();
     println!("| Config | TTFT p50 | p90 | p99 | p999 (s) | TPOT p50 | p90 | p99 | p999 (ms) |");
     println!("|---|---|---|---|---|---|---|---|---|");
+    let timer = std::time::Instant::now();
+    let trace = sc.trace();
+    let outcomes = harness::run_indexed(threads, systems.len(), |i| {
+        kunserve::serving::run_system(systems[i].1, sc.cfg.clone(), &trace, sc.drain)
+    });
+    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
+    let mut sys_jsons = Vec::new();
     let mut bubble_series = Vec::new();
-    for (label, kind) in systems {
-        let out = sc.run(kind);
+    for ((label, _), out) in systems.iter().zip(&outcomes) {
         println!(
             "| {label} | {} | {} | {} | {} | {} | {} | {} | {} |",
             secs(out.report.ttft.p50),
@@ -69,6 +81,9 @@ fn main() {
                 / out.state.metrics.bubbles.len() as f64
         };
         bubble_series.push((label, bubbles, mean_bubble));
+        // JSON rows are labeled by ablation level (several share the
+        // KunServe display name).
+        sys_jsons.push(outcome_json_labeled(&sc.cfg, out, label));
     }
 
     println!();
@@ -77,4 +92,17 @@ fn main() {
         println!("## {label} (mean {:.1}%)", mean * 100.0);
         print_series("time_s,bubble_pct", &series, 100.0);
     }
+
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("fig14_ablation")),
+            ("scenario", Json::str(sc.name)),
+            ("systems", Json::Arr(sys_jsons)),
+        ]),
+        threads,
+        wall_ms,
+    );
+    let path = json_out_path("fig14_ablation", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
 }

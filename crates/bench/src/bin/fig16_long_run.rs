@@ -5,13 +5,18 @@
 //!
 //! Run: `cargo run --release -p bench --bin fig16_long_run`
 
-use bench::{ms, print_series, secs, Scenario};
+use bench::{
+    harness, json_out_path, ms, outcome_json_labeled, print_series, secs, with_exec_meta,
+    write_json, Json, Scenario,
+};
 use kunserve::serving::SystemKind;
 use kunserve::KunServeConfig;
 use sim_core::{SimDuration, SimTime};
 use workload::BurstTraceBuilder;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = harness::threads_from_args(&args);
     let mut sc = Scenario::burstgpt_14b();
     sc.duration = SimDuration::from_secs(640);
     sc.drain = SimDuration::from_secs(400);
@@ -40,16 +45,23 @@ fn main() {
     println!();
     println!("| System | TTFT p50 (s) | TTFT p99 (s) | TPOT p50 (ms) | TPOT p99 (ms) |");
     println!("|---|---|---|---|---|");
-    let mut timelines = Vec::new();
-    for (label, kind) in [
+    let systems = [
         ("vLLM (DP)", SystemKind::VllmDp),
         (
             "KunServe w/o restore",
             SystemKind::KunServeWith(KunServeConfig::without_restore()),
         ),
         ("KunServe", SystemKind::KunServe),
-    ] {
-        let out = kunserve::serving::run_system(kind, sc.cfg.clone(), &trace, sc.drain);
+    ];
+    let timer = std::time::Instant::now();
+    let outcomes = harness::run_indexed(threads, systems.len(), |i| {
+        kunserve::serving::run_system(systems[i].1, sc.cfg.clone(), &trace, sc.drain)
+    });
+    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
+    let mut timelines = Vec::new();
+    let mut sys_jsons = Vec::new();
+    for ((label, _), out) in systems.iter().zip(&outcomes) {
+        sys_jsons.push(outcome_json_labeled(&sc.cfg, out, label));
         println!(
             "| {label} | {} | {} | {} | {} |",
             secs(out.report.ttft.p50),
@@ -89,4 +101,17 @@ fn main() {
             println!("event,{t:.1},{what}");
         }
     }
+
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("fig16_long_run")),
+            ("scenario", Json::str("640s long run")),
+            ("systems", Json::Arr(sys_jsons)),
+        ]),
+        threads,
+        wall_ms,
+    );
+    let path = json_out_path("fig16_long_run", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
 }

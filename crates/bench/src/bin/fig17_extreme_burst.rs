@@ -4,20 +4,55 @@
 //! parameter memory, bounded by model size) and triggers multiple drops.
 //!
 //! Run: `cargo run --release -p bench --bin fig17_extreme_burst`
+//! Flags: `--smoke` (tiny cluster, seconds — the CI regression scenario),
+//!        `--threads N` (parallel system runs),
+//!        `--json PATH` (default `target/bench-json/fig17_extreme_burst.json`).
 
-use bench::{print_series, secs, Scenario};
+use bench::{
+    harness, json_out_path, outcome_json, print_series, secs, with_exec_meta, write_json, Json,
+    Scenario,
+};
+use cluster::ClusterConfig;
 use kunserve::serving::SystemKind;
 use sim_core::{SimDuration, SimTime};
-use workload::extreme_burst;
+use workload::{extreme_burst, Dataset};
+
+/// A tiny extreme-burst scenario for CI: the same replayed-burst
+/// methodology on the fast test cluster.
+fn smoke_scenario() -> Scenario {
+    let mut cfg = ClusterConfig::tiny_test(4);
+    cfg.reserve_frac = 0.45;
+    Scenario {
+        name: "tiny extreme burst",
+        dataset: Dataset::BurstGpt,
+        cfg,
+        base_rps: 40.0,
+        duration: SimDuration::from_secs(20),
+        bursts: vec![(0.30, 6.0, 3.0)],
+        drain: SimDuration::from_secs(900),
+        seed: 77,
+    }
+}
 
 fn main() {
-    let sc = Scenario::longbench_72b();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = harness::threads_from_args(&args);
+    let (sc, replays) = if smoke {
+        (smoke_scenario(), 3)
+    } else {
+        (Scenario::longbench_72b(), 6)
+    };
     let base = sc.trace();
     let d = sc.duration.as_secs_f64();
     // Replay the first burst window repeatedly (paper methodology).
-    let b_start = SimTime::from_secs_f64(d * 0.35);
-    let b_end = SimTime::from_secs_f64(d * 0.35 + 14.0);
-    let trace = extreme_burst(&base, b_start, b_end, 6);
+    let (b_len, b_start) = if smoke {
+        (6.0, SimTime::from_secs_f64(d * 0.30))
+    } else {
+        (14.0, SimTime::from_secs_f64(d * 0.35))
+    };
+    let b_end = b_start + SimDuration::from_secs_f64(b_len);
+    let trace = extreme_burst(&base, b_start, b_end, replays);
     println!(
         "# Figure 17: extreme burst on {} ({} requests)",
         sc.name,
@@ -33,8 +68,14 @@ fn main() {
 
     let window = SimDuration::from_secs(5);
     let end = SimTime::ZERO + SimDuration::from_secs_f64(d + 120.0);
-    for kind in [SystemKind::VllmDp, SystemKind::KunServe] {
-        let out = kunserve::serving::run_system(kind, sc.cfg.clone(), &trace, sc.drain);
+    let systems = [SystemKind::VllmDp, SystemKind::KunServe];
+    let timer = std::time::Instant::now();
+    let outcomes = harness::run_indexed(threads, systems.len(), |i| {
+        kunserve::serving::run_system(systems[i], sc.cfg.clone(), &trace, sc.drain)
+    });
+    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
+    let mut sys_jsons = Vec::new();
+    for out in &outcomes {
         println!();
         println!("## {}", out.name);
         let ttft = out
@@ -81,5 +122,25 @@ fn main() {
             secs(out.report.ttft.p50),
             secs(out.report.ttft.p99)
         );
+        let mut j = outcome_json(&sc.cfg, out);
+        if let Json::Obj(pairs) = &mut j {
+            pairs.push(("drop_events".into(), Json::Num(drops as f64)));
+        }
+        sys_jsons.push(j);
     }
+
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("fig17_extreme_burst")),
+            ("scenario", Json::str(sc.name)),
+            ("smoke", Json::Bool(smoke)),
+            ("requests", Json::Num(trace.len() as f64)),
+            ("systems", Json::Arr(sys_jsons)),
+        ]),
+        threads,
+        wall_ms,
+    );
+    let path = json_out_path("fig17_extreme_burst", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
 }

@@ -13,12 +13,15 @@
 //!        `--json PATH` (JSON output path; default
 //!        `target/bench-json/fig18_multi_model.json`).
 
-use bench::{json_out_path, outcome_json, secs, write_json, Json, MultiScenario};
+use bench::{
+    harness, json_out_path, outcome_json, secs, with_exec_meta, write_json, Json, MultiScenario,
+};
 use kunserve::serving::SystemKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = harness::threads_from_args(&args);
     let sc = if smoke {
         MultiScenario::fig18_smoke()
     } else {
@@ -38,10 +41,12 @@ fn main() {
         SystemKind::Llumnix,
         SystemKind::KunServe,
     ];
+    let timer = std::time::Instant::now();
+    let outcomes = harness::run_indexed(threads, systems.len(), |i| sc.run_on(systems[i], &trace));
+    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
     let mut sys_jsons = Vec::new();
     println!("system,model,name,finished,total,ttft_p50_s,ttft_p99_s,tpot_p50_s,tpot_p99_s");
-    for kind in systems {
-        let out = sc.run_on(kind, &trace);
+    for out in &outcomes {
         for m in &out.report.per_model {
             println!(
                 "{},{},{},{},{},{},{},{},{}",
@@ -71,16 +76,20 @@ fn main() {
             secs(out.report.ttft.p99),
             drops,
         );
-        sys_jsons.push(outcome_json(&sc.cfg, &out));
+        sys_jsons.push(outcome_json(&sc.cfg, out));
     }
 
-    let doc = Json::obj([
-        ("figure", Json::str("fig18_multi_model")),
-        ("scenario", Json::str(sc.name)),
-        ("smoke", Json::Bool(smoke)),
-        ("requests", Json::Num(trace.len() as f64)),
-        ("systems", Json::Arr(sys_jsons)),
-    ]);
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("fig18_multi_model")),
+            ("scenario", Json::str(sc.name)),
+            ("smoke", Json::Bool(smoke)),
+            ("requests", Json::Num(trace.len() as f64)),
+            ("systems", Json::Arr(sys_jsons)),
+        ]),
+        threads,
+        wall_ms,
+    );
     let path = json_out_path("fig18_multi_model", &args);
     write_json(&path, &doc).expect("write JSON");
     println!("json,{}", path.display());

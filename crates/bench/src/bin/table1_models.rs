@@ -2,13 +2,17 @@
 //!
 //! Run: `cargo run --release -p bench --bin table1_models`
 
+use bench::{harness, json_out_path, with_exec_meta, write_json, Json};
 use modelcfg::{catalog, GB};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let timer = std::time::Instant::now();
     println!("# Table 1: parameter memory share of instance HBM");
     println!();
     println!("| Model | Model size | #GPU/instance | Ratio (%) |");
     println!("|---|---|---|---|");
+    let mut rows = Vec::new();
     for m in catalog::table1_models() {
         println!(
             "| {} | {} GB | {} ({} GB) | {:.1} |",
@@ -18,10 +22,28 @@ fn main() {
             m.instance_hbm_bytes() / GB,
             m.param_hbm_ratio(),
         );
+        rows.push(Json::obj([
+            ("model", Json::str(m.name)),
+            ("param_gb", Json::Num((m.param_bytes() / GB) as f64)),
+            ("gpus_per_instance", Json::Num(m.gpus_per_instance() as f64)),
+            ("param_hbm_ratio_pct", Json::Num(m.param_hbm_ratio())),
+        ]));
     }
     println!();
     println!(
         "KV bytes/token (Qwen-2.5-14B): {} KB (paper: 192 KB)",
         catalog::qwen2_5_14b().kv_bytes_per_token() / 1024
     );
+
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("table1_models")),
+            ("models", Json::Arr(rows)),
+        ]),
+        harness::threads_from_args(&args),
+        timer.elapsed().as_secs_f64() * 1e3,
+    );
+    let path = json_out_path("table1_models", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
 }

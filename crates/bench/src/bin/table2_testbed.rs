@@ -2,9 +2,12 @@
 //!
 //! Run: `cargo run --release -p bench --bin table2_testbed`
 
+use bench::{harness, json_out_path, with_exec_meta, write_json, Json};
 use cluster::Testbed;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let timer = std::time::Instant::now();
     println!("# Table 2: testbeds (simulated equivalents)");
     println!();
     println!("| | Cluster A | Cluster B |");
@@ -29,4 +32,33 @@ fn main() {
         b.gpu().mem_bw_gbps
     );
     println!("| Total GPUs | {} | {} |", a.total_gpus(), b.total_gpus());
+
+    let cluster_json = |t: Testbed| {
+        Json::obj([
+            ("name", Json::str(t.name())),
+            ("total_gpus", Json::Num(t.total_gpus() as f64)),
+            (
+                "fabric_gbps",
+                Json::Num(t.fabric().bytes_per_sec * 8.0 / 1e9),
+            ),
+            ("gpu_tflops", Json::Num(t.gpu().tflops)),
+        ])
+    };
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("table2_testbed")),
+            (
+                "clusters",
+                Json::Arr(vec![
+                    cluster_json(Testbed::ClusterA),
+                    cluster_json(Testbed::ClusterB),
+                ]),
+            ),
+        ]),
+        harness::threads_from_args(&args),
+        timer.elapsed().as_secs_f64() * 1e3,
+    );
+    let path = json_out_path("table2_testbed", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
 }

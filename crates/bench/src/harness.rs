@@ -1,0 +1,139 @@
+//! Inter-run parallelism: a scoped thread pool that fans independent
+//! simulation runs (scenarios × systems × seeds) across worker threads
+//! with deterministic result ordering.
+//!
+//! Every `fig*` binary runs several *independent* simulations (the five
+//! systems of a lineup, ablation levels, drop degrees). Each simulation is
+//! internally deterministic, so executing them concurrently and collecting
+//! results **by job index** yields byte-identical output at any thread
+//! count — the printing stays sequential, only the compute overlaps.
+//!
+//! Thread count resolution order: `--threads N` argument, then the
+//! `KS_BENCH_THREADS` environment variable, then the host's available
+//! parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The host's available hardware parallelism (1 if unknown).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Default worker count: `KS_BENCH_THREADS` if set, else host parallelism.
+pub fn default_threads() -> usize {
+    if let Some(n) = std::env::var("KS_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n >= 1 {
+            return n;
+        }
+    }
+    host_parallelism()
+}
+
+/// Resolves the worker count from `--threads N` in `args`, falling back to
+/// [`default_threads`].
+pub fn threads_from_args(args: &[String]) -> usize {
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    default_threads()
+}
+
+/// Runs `n` independent jobs on up to `threads` workers and returns their
+/// results **in job-index order** — the caller cannot observe scheduling.
+///
+/// With `threads <= 1` (or a single job) everything runs inline on the
+/// caller's thread; the parallel path produces the exact same vector.
+pub fn run_indexed<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let v = f(i);
+                *slots[i].lock().expect("result slot") = Some(v);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot").expect("job ran"))
+        .collect()
+}
+
+/// A value with the wall-clock time it took to produce.
+#[derive(Debug)]
+pub struct Timed<T> {
+    /// The produced value.
+    pub value: T,
+    /// Wall-clock milliseconds spent.
+    pub wall_ms: f64,
+}
+
+/// Times a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> Timed<T> {
+    let t0 = Instant::now();
+    let value = f();
+    Timed {
+        value,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order_at_any_thread_count() {
+        let serial = run_indexed(1, 17, |i| i * i);
+        for threads in [2, 4, 8] {
+            assert_eq!(run_indexed(threads, 17, |i| i * i), serial);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_and_oversubscription() {
+        assert!(run_indexed::<usize, _>(4, 0, |i| i).is_empty());
+        // More threads than jobs clamps cleanly.
+        assert_eq!(run_indexed(64, 3, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn threads_from_args_parses() {
+        let args = vec!["--threads".to_string(), "3".to_string()];
+        assert_eq!(threads_from_args(&args), 3);
+        // Malformed values fall back to the default.
+        let bad = vec!["--threads".to_string(), "zero".to_string()];
+        assert!(threads_from_args(&bad) >= 1);
+    }
+
+    #[test]
+    fn timed_measures_something() {
+        let t = timed(|| 42);
+        assert_eq!(t.value, 42);
+        assert!(t.wall_ms >= 0.0);
+    }
+}

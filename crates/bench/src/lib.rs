@@ -12,6 +12,7 @@ use kunserve::serving::{run_system, RunOutcome, SystemKind};
 use sim_core::{SimDuration, SimTime};
 use workload::{BurstTraceBuilder, Dataset, Trace};
 
+pub mod harness;
 pub mod json;
 
 pub use json::Json;
@@ -142,6 +143,20 @@ impl Scenario {
             .into_iter()
             .map(|k| self.run(k))
             .collect()
+    }
+
+    /// Runs the five-system lineup on up to `threads` worker threads (one
+    /// shared trace, one independent simulation per system), returning
+    /// outcomes in lineup order. Results are identical to
+    /// [`Scenario::run_lineup`] at any thread count — the systems'
+    /// simulations are mutually independent and individually
+    /// deterministic.
+    pub fn run_lineup_parallel(&self, threads: usize) -> Vec<RunOutcome> {
+        let kinds = SystemKind::paper_lineup();
+        let trace = self.trace();
+        harness::run_indexed(threads, kinds.len(), |i| {
+            run_system(kinds[i], self.cfg.clone(), &trace, self.drain)
+        })
     }
 }
 
@@ -310,6 +325,39 @@ pub fn outcome_json(cfg: &ClusterConfig, out: &RunOutcome) -> Json {
         ("preemptions", Json::Num(out.report.preemptions as f64)),
         ("models", Json::Arr(models)),
     ])
+}
+
+/// Like [`outcome_json`], but with the `system` field overridden —
+/// for bins whose rows are configurations of one system (ablation
+/// levels, drop degrees, executor variants) rather than distinct
+/// systems.
+pub fn outcome_json_labeled(cfg: &ClusterConfig, out: &RunOutcome, label: &str) -> Json {
+    let mut j = outcome_json(cfg, out);
+    if let Json::Obj(pairs) = &mut j {
+        if let Some(p) = pairs.iter_mut().find(|(k, _)| k == "system") {
+            p.1 = Json::str(label);
+        }
+    }
+    j
+}
+
+/// Appends the executor metadata fields of the bench-JSON schema —
+/// `wall_clock_ms`, `threads` (workers used) and `threads_available`
+/// (host parallelism; speedup gates are meaningless below it) — to a
+/// figure document.
+pub fn with_exec_meta(doc: Json, threads: usize, wall_clock_ms: f64) -> Json {
+    match doc {
+        Json::Obj(mut pairs) => {
+            pairs.push(("wall_clock_ms".into(), Json::Num(wall_clock_ms)));
+            pairs.push(("threads".into(), Json::Num(threads as f64)));
+            pairs.push((
+                "threads_available".into(),
+                Json::Num(harness::host_parallelism() as f64),
+            ));
+            Json::Obj(pairs)
+        }
+        other => other,
+    }
 }
 
 /// Resolves the output path for a figure's JSON: `--json PATH` from `args`

@@ -25,6 +25,112 @@ enum Event {
     NetPoll,
 }
 
+/// Read-only access to the request table — the serial engine reads the
+/// `ClusterState` slice directly, the sharded executor reads through its
+/// disjoint-ownership raw table. Sharing the iteration-collection logic
+/// below through this trait keeps the two executors' batching rules from
+/// drifting apart.
+pub(crate) trait ReqRead {
+    /// Borrows one request.
+    fn read(&self, id: RequestId) -> &Request;
+}
+
+impl ReqRead for [Request] {
+    fn read(&self, id: RequestId) -> &Request {
+        &self[id.0]
+    }
+}
+
+/// Tokens each in-decode request advances per iteration.
+///
+/// Single-stage groups decode one token per iteration (classic
+/// continuous batching). Pipelined groups stream microbatches back to
+/// back, so over one engine iteration (`m` microbatches, `s` stages)
+/// each microbatch cycles roughly `m/s + 1` times, one decode step per
+/// cycle. Modelling this as one multi-token decode chunk keeps
+/// per-token latency faithful to continuous pipeline streaming without
+/// per-cycle event traffic; the Eq. 1 cost of a `(p, K)` chunk equals
+/// the summed cost of `K` single-token steps exactly.
+pub(crate) fn decode_tokens_per_iter(stages: usize, cfg: &ClusterConfig) -> u64 {
+    if stages == 1 {
+        1
+    } else {
+        // With `m = microbatches_per_stage × s` microbatches the
+        // makespan spans `(m+s−1)/s ≈ microbatches_per_stage + 1`
+        // single-batch times; advancing `microbatches_per_stage`
+        // tokens per iteration leaves pipelined TPOT ~25–40 % above
+        // single-stage TPOT — the Fig. 5 depth gradient.
+        cfg.microbatches_per_stage as u64
+    }
+}
+
+/// Collects one iteration's work for a group: a decode chunk per running
+/// decode request plus budget-bounded prefill chunks in arrival order.
+/// Shared verbatim by both executors (see [`ReqRead`]).
+pub(crate) fn collect_work<R: ReqRead + ?Sized>(
+    g: &crate::group::ExecGroup,
+    reqs: &R,
+    cfg: &ClusterConfig,
+    skipped: &[RequestId],
+) -> Vec<SeqChunk> {
+    let rounds = decode_tokens_per_iter(g.stages(), cfg);
+    let stages = g.stages() as u64;
+    let budget = if stages == 1 {
+        cfg.token_budget
+    } else {
+        // One token budget per microbatch keeps every microbatch as
+        // dense as a single-stage batch.
+        cfg.token_budget * stages * cfg.microbatches_per_stage as u64
+    };
+    let mut work = Vec::with_capacity(g.running.len());
+    let mut used = 0u64;
+    let mut prefills: Vec<RequestId> = Vec::new();
+    for &r in &g.running {
+        if skipped.contains(&r) {
+            continue; // no KV slot this iteration (swap in flight)
+        }
+        let req = reqs.read(r);
+        if req.state != ReqState::Running {
+            continue;
+        }
+        if req.in_decode() {
+            if !req.is_done() {
+                let n = rounds.min(req.output_remaining()).max(1);
+                work.push(SeqChunk {
+                    request: r,
+                    work: ChunkWork {
+                        prefix_tokens: req.kv_tokens(),
+                        new_tokens: n,
+                    },
+                });
+                used += n;
+            }
+        } else {
+            prefills.push(r);
+        }
+    }
+    prefills.sort_by_key(|&r| (reqs.read(r).spec.arrival, r));
+    for r in prefills {
+        if used >= budget {
+            break;
+        }
+        let req = reqs.read(r);
+        let chunk = req.prefill_remaining().min(budget - used);
+        if chunk == 0 {
+            continue;
+        }
+        work.push(SeqChunk {
+            request: r,
+            work: ChunkWork {
+                prefix_tokens: req.prefilled,
+                new_tokens: chunk,
+            },
+        });
+        used += chunk;
+    }
+    work
+}
+
 /// The simulation engine: cluster state + policy + event queue.
 pub struct Engine<P: Policy> {
     /// The cluster being simulated.
@@ -35,6 +141,14 @@ pub struct Engine<P: Policy> {
     now: SimTime,
     finished: usize,
     total: usize,
+    /// Earliest `NetPoll` currently queued; dedupes the poll events that
+    /// every group-done/reconfig used to push redundantly.
+    net_poll_at: Option<SimTime>,
+    /// Reused scratch buffer for group sweeps (avoids a `Vec` allocation
+    /// per monitor tick / net poll).
+    groups_buf: Vec<GroupId>,
+    /// Reused scratch buffer for decode-growth reservation.
+    decodes_buf: Vec<RequestId>,
 }
 
 impl<P: Policy> Engine<P> {
@@ -47,6 +161,9 @@ impl<P: Policy> Engine<P> {
             now: SimTime::ZERO,
             finished: 0,
             total: 0,
+            net_poll_at: None,
+            groups_buf: Vec::new(),
+            decodes_buf: Vec::new(),
         }
     }
 
@@ -97,7 +214,15 @@ impl<P: Policy> Engine<P> {
         let hard_stop = SimTime::ZERO + trace.duration() + drain;
 
         while let Some((t, ev)) = self.events.pop() {
-            debug_assert!(t >= self.now, "events must fire in order");
+            // A hard assert, not a debug_assert: time running backwards
+            // means event bookkeeping (e.g. a shard merge) is corrupt, and
+            // that must fail loudly in release CI too — every metric
+            // recorded after a regression would be silently wrong.
+            assert!(
+                t >= self.now,
+                "event time regressed: {t} < {now} ({ev:?})",
+                now = self.now
+            );
             self.now = t;
             if self.now > hard_stop {
                 break;
@@ -106,7 +231,12 @@ impl<P: Policy> Engine<P> {
                 Event::Arrival(id) => self.on_arrival(id),
                 Event::GroupDone { group, seq } => self.on_group_done(group, seq),
                 Event::MonitorTick => self.on_monitor_tick(hard_stop),
-                Event::NetPoll => self.on_net_poll(),
+                Event::NetPoll => {
+                    if self.net_poll_at == Some(t) {
+                        self.net_poll_at = None;
+                    }
+                    self.on_net_poll()
+                }
             }
             observer(&self.state, self.now);
             if self.finished == self.total {
@@ -147,9 +277,7 @@ impl<P: Policy> Engine<P> {
         self.state.metrics.mem_used.push(now, used as f64);
         self.policy.on_tick(&mut self.state, now);
         self.run_reconfigs();
-        for g in self.state.alive_groups() {
-            self.try_start(g);
-        }
+        self.sweep_groups();
         self.schedule_net_poll();
         let next = now + self.state.cfg.monitor_interval;
         if next <= hard_stop && self.finished < self.total {
@@ -166,10 +294,20 @@ impl<P: Policy> Engine<P> {
             }
         }
         self.run_reconfigs();
-        for g in self.state.alive_groups() {
+        self.sweep_groups();
+        self.schedule_net_poll();
+    }
+
+    /// Runs [`Engine::try_start`] over a snapshot of the live groups,
+    /// reusing one scratch buffer across sweeps.
+    fn sweep_groups(&mut self) {
+        let mut groups = std::mem::take(&mut self.groups_buf);
+        groups.clear();
+        groups.extend(self.state.alive_group_ids());
+        for &g in &groups {
             self.try_start(g);
         }
-        self.schedule_net_poll();
+        self.groups_buf = groups;
     }
 
     fn run_reconfigs(&mut self) {
@@ -186,7 +324,17 @@ impl<P: Policy> Engine<P> {
     fn schedule_net_poll(&mut self) {
         if let Some(est) = self.state.network.next_completion_estimate() {
             let at = est.max(self.now);
-            self.events.push(at, Event::NetPoll);
+            // Dedupe: only queue a poll if none is pending at or before the
+            // estimate. Group-done bursts used to push dozens of identical
+            // polls per completion, each costing a heap op and a full
+            // group sweep on pop.
+            match self.net_poll_at {
+                Some(t) if t <= at => {}
+                _ => {
+                    self.events.push(at, Event::NetPoll);
+                    self.net_poll_at = Some(at);
+                }
+            }
         }
     }
 
@@ -211,16 +359,21 @@ impl<P: Policy> Engine<P> {
             return; // an OOM handler requested a reconfiguration
         }
 
-        let work = self.collect_work(group, &skipped);
+        let work = collect_work(
+            self.state.group(group),
+            &self.state.requests[..],
+            &self.state.cfg,
+            &skipped,
+        );
         if work.is_empty() {
             return;
         }
 
         let stages = self.state.group(group).stages();
         let mbs: Vec<MicroBatch> = if stages == 1 {
-            vec![MicroBatch {
-                chunks: work.clone(),
-            }]
+            // Single-stage groups execute the whole collection as one
+            // batch; move the chunks instead of cloning them.
+            vec![MicroBatch { chunks: work }]
         } else {
             self.policy.form_microbatches(&self.state, group, &work)
         };
@@ -283,9 +436,9 @@ impl<P: Policy> Engine<P> {
 
         let finish = start + makespan;
         if std::env::var("KS_DEBUG_ITER").is_ok() && makespan > SimDuration::from_millis(100) {
-            let decodes = work.iter().filter(|c| c.work.new_tokens == 1).count();
-            let ptok: u64 = work
-                .iter()
+            let chunks = mbs.iter().flat_map(|m| m.chunks.iter());
+            let decodes = chunks.clone().filter(|c| c.work.new_tokens == 1).count();
+            let ptok: u64 = chunks
                 .filter(|c| c.work.new_tokens > 1)
                 .map(|c| c.work.new_tokens)
                 .sum();
@@ -335,44 +488,23 @@ impl<P: Policy> Engine<P> {
         }
     }
 
-    /// Tokens each in-decode request advances per iteration.
-    ///
-    /// Single-stage groups decode one token per iteration (classic
-    /// continuous batching). Pipelined groups stream microbatches back to
-    /// back, so over one engine iteration (`m` microbatches, `s` stages)
-    /// each microbatch cycles roughly `m/s + 1` times, one decode step per
-    /// cycle. Modelling this as one multi-token decode chunk keeps
-    /// per-token latency faithful to continuous pipeline streaming without
-    /// per-cycle event traffic; the Eq. 1 cost of a `(p, K)` chunk equals
-    /// the summed cost of `K` single-token steps exactly.
-    fn decode_tokens_per_iter(&self, group: GroupId) -> u64 {
-        if self.state.group(group).stages() == 1 {
-            1
-        } else {
-            // With `m = microbatches_per_stage × s` microbatches the
-            // makespan spans `(m+s−1)/s ≈ microbatches_per_stage + 1`
-            // single-batch times; advancing `microbatches_per_stage`
-            // tokens per iteration leaves pipelined TPOT ~25–40 % above
-            // single-stage TPOT — the Fig. 5 depth gradient.
-            self.state.cfg.microbatches_per_stage as u64
-        }
-    }
-
     /// Reserves decode slots per running in-decode request, invoking the
     /// OOM chain (policy, then vLLM-style recompute fallback) when blocks
     /// run out. Returns the requests that skip this iteration.
     fn reserve_decode_growth(&mut self, group: GroupId) -> Vec<RequestId> {
-        let rounds = self.decode_tokens_per_iter(group);
-        let decodes: Vec<RequestId> = self
-            .state
-            .group(group)
-            .running
-            .iter()
-            .copied()
-            .filter(|&r| self.state.requests[r.0].in_decode())
-            .collect();
+        let rounds = decode_tokens_per_iter(self.state.group(group).stages(), &self.state.cfg);
+        let mut decodes = std::mem::take(&mut self.decodes_buf);
+        decodes.clear();
+        decodes.extend(
+            self.state
+                .group(group)
+                .running
+                .iter()
+                .copied()
+                .filter(|&r| self.state.requests[r.0].in_decode()),
+        );
         let mut skipped = Vec::new();
-        for r in decodes {
+        for r in decodes.drain(..) {
             if self.state.requests[r.0].state != ReqState::Running {
                 continue; // preempted as an earlier victim
             }
@@ -408,70 +540,8 @@ impl<P: Policy> Engine<P> {
                 }
             }
         }
+        self.decodes_buf = decodes;
         skipped
-    }
-
-    /// Collects this iteration's work: a decode chunk per running decode
-    /// request plus budget-bounded prefill chunks in arrival order.
-    fn collect_work(&mut self, group: GroupId, skipped: &[RequestId]) -> Vec<SeqChunk> {
-        let rounds = self.decode_tokens_per_iter(group);
-        let stages = self.state.group(group).stages() as u64;
-        let budget = if stages == 1 {
-            self.state.cfg.token_budget
-        } else {
-            // One token budget per microbatch keeps every microbatch as
-            // dense as a single-stage batch.
-            self.state.cfg.token_budget * stages * self.state.cfg.microbatches_per_stage as u64
-        };
-        let mut work = Vec::new();
-        let mut used = 0u64;
-
-        let running = self.state.group(group).running.clone();
-        let mut prefills: Vec<RequestId> = Vec::new();
-        for r in running {
-            if skipped.contains(&r) {
-                continue; // no KV slot this iteration (swap in flight)
-            }
-            let req = &self.state.requests[r.0];
-            if req.state != ReqState::Running {
-                continue;
-            }
-            if req.in_decode() {
-                if !req.is_done() {
-                    let n = rounds.min(req.output_remaining()).max(1);
-                    work.push(SeqChunk {
-                        request: r,
-                        work: ChunkWork {
-                            prefix_tokens: req.kv_tokens(),
-                            new_tokens: n,
-                        },
-                    });
-                    used += n;
-                }
-            } else {
-                prefills.push(r);
-            }
-        }
-        prefills.sort_by_key(|&r| (self.state.requests[r.0].spec.arrival, r));
-        for r in prefills {
-            if used >= budget {
-                break;
-            }
-            let req = &self.state.requests[r.0];
-            let chunk = req.prefill_remaining().min(budget - used);
-            if chunk == 0 {
-                continue;
-            }
-            work.push(SeqChunk {
-                request: r,
-                work: ChunkWork {
-                    prefix_tokens: req.prefilled,
-                    new_tokens: chunk,
-                },
-            });
-            used += chunk;
-        }
-        work
     }
 
     /// Applies a finished iteration: token progress, first-token metrics,

@@ -23,22 +23,26 @@
 pub mod batch;
 pub mod config;
 pub mod engine;
+pub mod former;
 pub mod group;
 pub mod instance;
 pub mod metrics;
 pub mod pipeline;
 pub mod policy;
 pub mod request;
+pub mod shard;
 pub mod state;
 
 pub use batch::{token_count_form, MicroBatch, SeqChunk};
 pub use config::{ClusterConfig, ModelDeployment, Testbed};
 pub use engine::Engine;
+pub use former::{balance_microbatches, MicrobatchFormerSpec};
 pub use group::{ExecGroup, GroupId};
 pub use instance::{Instance, InstanceId};
 pub use metrics::{Metrics, ModelReport, RequestRecord, RunReport};
 pub use pipeline::{PipelineSchedule, StageTiming};
 pub use policy::{OomResolution, Policy, QueueingPolicy, TransferEvent, TransferPurpose};
 pub use request::{ReqState, Request, RequestId, StallReason};
+pub use shard::{derive_lookahead, ParallelConfig, ShardedEngine};
 pub use state::ClusterState;
 pub use workload::ModelId;

@@ -8,7 +8,8 @@
 
 use sim_core::SimTime;
 
-use crate::batch::{token_count_form, MicroBatch, SeqChunk};
+use crate::batch::{MicroBatch, SeqChunk};
+use crate::former::MicrobatchFormerSpec;
 use crate::group::GroupId;
 use crate::request::RequestId;
 use crate::state::ClusterState;
@@ -116,6 +117,17 @@ pub trait Policy {
         OomResolution::GiveUp
     }
 
+    /// The self-contained microbatch former this policy uses.
+    ///
+    /// The sharded executor captures this spec at a time-sync barrier and
+    /// forms microbatches inside shards (which own only their own groups,
+    /// not the full `ClusterState`). The default serial
+    /// [`Policy::form_microbatches`] delegates to the same spec, so the two
+    /// executors batch identically for policies that don't override either.
+    fn microbatch_former(&self) -> MicrobatchFormerSpec {
+        MicrobatchFormerSpec::TokenCount
+    }
+
     /// Splits collected iteration work into pipeline microbatches.
     fn form_microbatches(
         &self,
@@ -123,9 +135,13 @@ pub trait Policy {
         group: GroupId,
         work: &[SeqChunk],
     ) -> Vec<MicroBatch> {
-        let stages = state.group(group).stages();
-        let count = stages * state.cfg.microbatches_per_stage as usize;
-        token_count_form(work, count.max(1))
+        let g = state.group(group);
+        self.microbatch_former().form(
+            work,
+            g.stages(),
+            state.cfg.microbatches_per_stage,
+            state.cost_model_of(g.model),
+        )
     }
 
     /// Called after the engine applied a completed transfer.
@@ -173,6 +189,10 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
         request: RequestId,
     ) -> OomResolution {
         (**self).on_decode_oom(state, now, group, request)
+    }
+
+    fn microbatch_former(&self) -> MicrobatchFormerSpec {
+        (**self).microbatch_former()
     }
 
     fn form_microbatches(

@@ -235,10 +235,38 @@ impl ClusterState {
 
     /// Ids of all live groups, ascending.
     pub fn alive_groups(&self) -> Vec<GroupId> {
-        (0..self.groups.len())
-            .map(GroupId)
-            .filter(|&g| self.group_alive(g))
-            .collect()
+        self.alive_group_ids().collect()
+    }
+
+    /// Iterator over live group ids, ascending — the allocation-free
+    /// variant for hot paths (dispatch, monitor sweeps).
+    pub fn alive_group_ids(&self) -> impl Iterator<Item = GroupId> + '_ {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.is_some())
+            .map(|(i, _)| GroupId(i))
+    }
+
+    /// Number of group slots ever created (live or dead). Slot ids below
+    /// this bound are valid indices for [`Self::group_alive`].
+    pub fn group_slots(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Removes a live group from its slot, leaving a dead slot behind.
+    /// The sharded executor uses this to hand a shard exclusive ownership
+    /// of its groups for one conservative window; [`Self::put_group`]
+    /// reinstalls them at the barrier.
+    pub fn take_group(&mut self, id: GroupId) -> ExecGroup {
+        self.groups[id.0].take().expect("group is alive")
+    }
+
+    /// Reinstalls a group taken with [`Self::take_group`].
+    pub fn put_group(&mut self, group: ExecGroup) {
+        let slot = group.id.0;
+        debug_assert!(self.groups[slot].is_none(), "slot must be empty");
+        self.groups[slot] = Some(group);
     }
 
     /// Borrows a request.
@@ -283,8 +311,7 @@ impl ClusterState {
 
     /// Groups whose demand exceeds `threshold × capacity`.
     pub fn overloaded_groups(&self, threshold: f64) -> Vec<GroupId> {
-        self.alive_groups()
-            .into_iter()
+        self.alive_group_ids()
             .filter(|&g| {
                 self.group_demand_tokens(g) as f64
                     > self.group_capacity_tokens(g) as f64 * threshold
@@ -299,7 +326,7 @@ impl ClusterState {
         let mut demand = 0;
         let mut capacity = 0;
         let mut used = 0;
-        for g in self.alive_groups() {
+        for g in self.alive_group_ids() {
             let kv = self.group_model_cfg(g).kv_bytes_per_token();
             demand += self.group_demand_tokens(g) * kv;
             capacity += self.group_capacity_tokens(g) * kv;
@@ -314,7 +341,7 @@ impl ClusterState {
         let mut demand = 0;
         let mut capacity = 0;
         let mut used = 0;
-        for g in self.alive_groups() {
+        for g in self.alive_group_ids() {
             if self.group(g).model != model {
                 continue;
             }
@@ -352,12 +379,26 @@ impl ClusterState {
     /// Panics if no live group serves `model` — traces must only reference
     /// deployed models.
     pub fn dispatch(&self, model: ModelId, input_tokens: u64) -> GroupId {
-        self.alive_groups()
-            .into_iter()
+        self.dispatch_with_pending(model, input_tokens, None)
+    }
+
+    /// The same least-loaded rule with an optional map of *pending* tokens
+    /// per group — arrivals already dispatched but not yet enqueued. The
+    /// sharded executor dispatches a whole conservative window's arrivals
+    /// at one barrier and threads the in-flight batch through here so the
+    /// two executors share one dispatch policy.
+    pub fn dispatch_with_pending(
+        &self,
+        model: ModelId,
+        input_tokens: u64,
+        pending: Option<&HashMap<GroupId, u64>>,
+    ) -> GroupId {
+        self.alive_group_ids()
             .filter(|&g| self.group(g).model == model)
             .min_by(|&a, &b| {
                 let load = |g: GroupId| {
-                    (self.group_demand_tokens(g) + input_tokens) as f64
+                    let extra = pending.and_then(|p| p.get(&g).copied()).unwrap_or_default();
+                    (self.group_demand_tokens(g) + extra + input_tokens) as f64
                         / self.group_capacity_tokens(g).max(1) as f64
                 };
                 load(a).partial_cmp(&load(b)).expect("loads are finite")

@@ -4,11 +4,10 @@
 use std::collections::HashSet;
 
 use cluster::{
-    ClusterState, GroupId, MicroBatch, ModelId, Policy, RequestId, SeqChunk, TransferEvent,
+    ClusterState, GroupId, MicrobatchFormerSpec, ModelId, Policy, RequestId, TransferEvent,
 };
 use sim_core::SimTime;
 
-use crate::lookahead::balance_microbatches;
 use crate::plan::{arbitrate_drop_plans, Arbitration, ModelDemand, PlanGroup};
 
 /// Feature flags and thresholds of the KunServe policy.
@@ -320,26 +319,14 @@ impl Policy for KunServePolicy {
         cluster::OomResolution::GiveUp
     }
 
-    fn form_microbatches(
-        &self,
-        state: &ClusterState,
-        group: GroupId,
-        work: &[SeqChunk],
-    ) -> Vec<MicroBatch> {
-        let stages = state.group(group).stages();
-        let target_mbs = (stages * state.cfg.microbatches_per_stage as usize).max(1) as u64;
+    fn microbatch_former(&self) -> MicrobatchFormerSpec {
         if self.cfg.lookahead {
-            // Fig. 11's MIN: "derived by dividing total token numbers" —
-            // halting at total/m yields roughly m cost-balanced leaves.
-            let total: u64 = work.iter().map(|c| c.work.new_tokens).sum();
-            let min_tokens = (total / target_mbs).max(self.cfg.min_batch_tokens);
-            let cost_model = state.cost_model_of(state.group(group).model);
-            let mbs = balance_microbatches(work, cost_model, min_tokens);
-            if !mbs.is_empty() {
-                return mbs;
+            MicrobatchFormerSpec::CostBalanced {
+                min_batch_tokens: self.cfg.min_batch_tokens,
             }
+        } else {
+            MicrobatchFormerSpec::TokenCount
         }
-        cluster::token_count_form(work, target_mbs as usize)
     }
 
     fn on_transfer_done(&mut self, state: &mut ClusterState, _now: SimTime, event: &TransferEvent) {

@@ -1,6 +1,8 @@
 //! One-call API to run any of the paper's five systems on a trace.
 
-use cluster::{ClusterConfig, ClusterState, Engine, Policy, RunReport};
+use cluster::{
+    ClusterConfig, ClusterState, Engine, ParallelConfig, Policy, RunReport, ShardedEngine,
+};
 use sim_core::SimDuration;
 use workload::Trace;
 
@@ -111,6 +113,33 @@ pub fn run_system(
     }
 }
 
+/// Runs `kind` over `trace` on the **sharded** executor: per-group event
+/// shards advanced by `pcfg.workers` threads under a conservative
+/// time-sync barrier, with the policy invoked at barriers.
+///
+/// Same seed + same [`ParallelConfig::num_shards`] ⇒ byte-identical
+/// report at any worker count. Results are *not* byte-identical with
+/// [`run_system`] (the serial engine): the sharded executor quantizes
+/// reactive policy hooks to barriers — compare runs within one executor.
+pub fn run_system_sharded(
+    kind: SystemKind,
+    cfg: ClusterConfig,
+    trace: &Trace,
+    drain: SimDuration,
+    pcfg: ParallelConfig,
+) -> RunOutcome {
+    let cfg = kind.adjust_config(cfg);
+    let policy = kind.build_policy();
+    let mut engine = ShardedEngine::new(cfg, policy, pcfg);
+    let report = engine.run(trace, drain);
+    RunOutcome {
+        name: kind.name(),
+        report,
+        state: engine.into_state(),
+        span: trace.duration() + drain,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +173,63 @@ mod tests {
             );
             assert_eq!(out.report.total_requests, trace.len());
         }
+    }
+
+    #[test]
+    fn all_five_systems_complete_a_burst_on_the_sharded_executor() {
+        let trace = small_burst_trace(11);
+        for kind in SystemKind::paper_lineup() {
+            let out = run_system_sharded(
+                kind,
+                ClusterConfig::tiny_test(4),
+                &trace,
+                SimDuration::from_secs(600),
+                ParallelConfig::with_workers(2),
+            );
+            assert_eq!(
+                out.report.finished_requests,
+                trace.len(),
+                "{} (sharded) must finish every request",
+                out.name
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_kunserve_still_drops_and_beats_vllm_tail() {
+        // The headline ordering must survive the conservative executor:
+        // KunServe's drops fire at barriers (monitor ticks), exactly where
+        // the serial engine fires them too.
+        let trace = BurstTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(60.0)
+            .duration(SimDuration::from_secs(25))
+            .burst(SimTime::from_secs(6), SimDuration::from_secs(12), 3.0)
+            .seed(9)
+            .build();
+        let mut cfg = ClusterConfig::tiny_test(4);
+        cfg.reserve_frac = 0.45;
+        let drain = SimDuration::from_secs(600);
+        let pcfg = ParallelConfig::with_workers(2);
+        let vllm = run_system_sharded(SystemKind::VllmDp, cfg.clone(), &trace, drain, pcfg);
+        let kun = run_system_sharded(SystemKind::KunServe, cfg, &trace, drain, pcfg);
+        assert_eq!(kun.report.finished_requests, trace.len());
+        let drops = kun
+            .state
+            .metrics
+            .reconfig_events
+            .iter()
+            .filter(|(_, w)| w.starts_with("drop"))
+            .count();
+        assert!(
+            drops > 0,
+            "the burst must trigger drops on the sharded path"
+        );
+        assert!(
+            kun.report.ttft.p99 < vllm.report.ttft.p99,
+            "KunServe p99 {:.2}s must beat vLLM p99 {:.2}s (sharded)",
+            kun.report.ttft.p99,
+            vllm.report.ttft.p99
+        );
     }
 
     #[test]

@@ -85,6 +85,12 @@ impl Network {
         self.target_chunk_time = t;
     }
 
+    /// The chunk-time target — the atomic-transfer floor the sharded
+    /// executor derives its conservative lookahead from.
+    pub fn target_chunk_time(&self) -> SimDuration {
+        self.target_chunk_time
+    }
+
     /// The fabric spec used for inter-instance links.
     pub fn fabric_spec(&self) -> LinkSpec {
         self.fabric_spec

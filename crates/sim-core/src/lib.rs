@@ -22,9 +22,11 @@
 //! ```
 
 pub mod queue;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
 pub use queue::EventQueue;
+pub use shard::{ConservativeClock, ShardId, ShardedQueue};
 pub use stats::{Percentiles, TimeSeries, WindowedRate};
 pub use time::{SimDuration, SimTime};

@@ -41,8 +41,10 @@ pub use workload;
 
 /// One-line imports for examples and tests.
 pub mod prelude {
-    pub use cluster::{ClusterConfig, Engine, Policy, RunReport, Testbed};
-    pub use kunserve::serving::{run_system, RunOutcome, SystemKind};
+    pub use cluster::{
+        ClusterConfig, Engine, ParallelConfig, Policy, RunReport, ShardedEngine, Testbed,
+    };
+    pub use kunserve::serving::{run_system, run_system_sharded, RunOutcome, SystemKind};
     pub use kunserve::{KunServeConfig, KunServePolicy};
     pub use sim_core::{SimDuration, SimTime};
     pub use workload::{BurstTraceBuilder, Dataset, Trace};

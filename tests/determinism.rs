@@ -88,6 +88,101 @@ fn multi_model_same_seed_yields_byte_identical_reports() {
     assert_ne!(a, b, "different seeds must differ");
 }
 
+/// One sharded-executor run serialized to its determinism-contract bytes.
+fn sharded_run_bytes(kind: SystemKind, seed: u64, workers: usize) -> String {
+    let trace = trace_with_seed(seed);
+    let out = run_system_sharded(
+        kind,
+        ClusterConfig::tiny_test(4),
+        &trace,
+        SimDuration::from_secs(600),
+        ParallelConfig {
+            workers,
+            num_shards: 4,
+            lookahead: None,
+        },
+    );
+    format!(
+        "{:?}|{:?}|{:?}",
+        out.report, out.report.per_model, out.state.metrics.reconfig_events
+    )
+}
+
+/// The cross-thread-count determinism matrix: the sharded executor must
+/// produce byte-identical reports at 1, 2 and 4 workers — worker threads
+/// decide only *where* a shard runs, never what it computes.
+#[test]
+fn sharded_executor_byte_identical_across_1_2_4_workers() {
+    for kind in SystemKind::paper_lineup() {
+        let one = sharded_run_bytes(kind, 0xD5EED, 1);
+        for workers in [2usize, 4] {
+            assert_eq!(
+                one,
+                sharded_run_bytes(kind, 0xD5EED, workers),
+                "{}: sharded run must be identical at {workers} workers",
+                kind.name()
+            );
+        }
+    }
+    // Seed sensitivity: the matrix must not pass vacuously.
+    assert_ne!(
+        sharded_run_bytes(SystemKind::KunServe, 1, 2),
+        sharded_run_bytes(SystemKind::KunServe, 2, 2),
+        "different seeds must produce different sharded runs"
+    );
+}
+
+/// Same contract run-to-run: two sharded runs with the same seed and the
+/// same worker count reproduce exactly (per-group RNG streams, barrier
+/// merges and deferred policy flags are all deterministic).
+#[test]
+fn sharded_executor_same_seed_reproduces() {
+    for kind in [SystemKind::VllmDp, SystemKind::KunServe] {
+        let a = sharded_run_bytes(kind, 0xABC, 4);
+        let b = sharded_run_bytes(kind, 0xABC, 4);
+        assert_eq!(a, b, "{}: sharded run must reproduce", kind.name());
+    }
+}
+
+/// The multi-model co-serving matrix: merged two-model traces through the
+/// sharded executor must also be worker-count-invariant (arbitrated drop
+/// plans run at barriers; per-model groups land on different shards).
+#[test]
+fn sharded_multi_model_byte_identical_across_worker_counts() {
+    let run = |workers: usize| {
+        let mk = |model: u32, rps: f64, seed: u64| {
+            BurstTraceBuilder::new(Dataset::BurstGpt)
+                .base_rps(rps)
+                .duration(SimDuration::from_secs(20))
+                .burst(SimTime::from_secs(6), SimDuration::from_secs(8), 2.8)
+                .seed(seed)
+                .model(cluster::ModelId(model))
+                .build()
+        };
+        let trace = Trace::merge(&[mk(0, 45.0, 0xBEEF), mk(1, 25.0, 0xBEEF ^ 0xABCD)]);
+        let mut cfg = ClusterConfig::tiny_two_model(2, 2);
+        cfg.reserve_frac = 0.45;
+        let out = run_system_sharded(
+            SystemKind::KunServe,
+            cfg,
+            &trace,
+            SimDuration::from_secs(900),
+            ParallelConfig {
+                workers,
+                num_shards: 4,
+                lookahead: None,
+            },
+        );
+        format!(
+            "{:?}|{:?}|{:?}",
+            out.report, out.report.per_model, out.state.metrics.reconfig_events
+        )
+    };
+    let one = run(1);
+    assert_eq!(one, run(2), "2 workers must match 1");
+    assert_eq!(one, run(4), "4 workers must match 1");
+}
+
 #[test]
 fn trace_generation_is_seed_deterministic() {
     let a = trace_with_seed(99);
