@@ -20,9 +20,15 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "==> bench smoke: fig18 multi-model JSON regression gate"
 SMOKE_JSON=target/bench-json/fig18_smoke.json
-cargo run --release --offline -p bench --bin fig18_multi_model -- --smoke --json "$SMOKE_JSON"
+DONATION_JSON=target/bench-json/fig18_donation.json
+cargo run --release --offline -p bench --bin fig18_multi_model -- --smoke \
+    --json "$SMOKE_JSON" --donation-json "$DONATION_JSON"
 cargo run --release --offline -p bench --bin check_bench_json -- \
     "$SMOKE_JSON" crates/bench/tolerances/fig18_smoke.json
+
+echo "==> bench smoke: fig18 cross-model donation ablation gate"
+cargo run --release --offline -p bench --bin check_bench_json -- \
+    "$DONATION_JSON" crates/bench/tolerances/fig18_donation.json
 
 echo "==> bench smoke: fig17 extreme-burst JSON regression gate"
 FIG17_JSON=target/bench-json/fig17_smoke.json

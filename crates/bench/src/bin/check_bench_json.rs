@@ -15,6 +15,12 @@
 //! - optionally `p99_less_than`: `{ "A": "B", ... }` — system A's p99
 //!   TTFT must be strictly below system B's (the paper's ordering
 //!   claims, e.g. KunServe < vLLM);
+//! - optionally `per_model_p99_less_than`:
+//!   `{ "m1": { "A": "B", ... }, ... }` — within model `m1`'s breakdown,
+//!   system A's p99 TTFT must be strictly below system B's (the
+//!   cross-model donation claim: the starved model improves);
+//! - optionally `min_donated_bytes`: `{ "A": floor }` — system A's
+//!   `donated_bytes_peak` must reach the floor (donation actually fired);
 //! - optionally `min_speedup` (+ `min_speedup_host_threads`, default 4):
 //!   the bench JSON's `speedup` must reach the floor — enforced only
 //!   when the JSON's `threads_available` shows the host actually has
@@ -159,6 +165,70 @@ fn main() -> ExitCode {
                 ));
             }
             println!("check_bench_json: ok: {a} p99 {pa:.3}s < {b} p99 {pb:.3}s");
+        }
+    }
+
+    // Per-model ordering claims: within one model's breakdown, A beats B.
+    if let Some(per_model) = tol.get("per_model_p99_less_than").and_then(Json::as_obj) {
+        let model_p99 = |sys_name: &str, model: &str| -> Option<f64> {
+            systems
+                .iter()
+                .find(|s| s.get("system").and_then(Json::as_str) == Some(sys_name))?
+                .get("models")?
+                .as_arr()?
+                .iter()
+                .find(|m| m.get("model").and_then(Json::as_str) == Some(model))?
+                .get("ttft_p99_s")?
+                .as_f64()
+        };
+        for (model, pairs) in per_model {
+            let Some(pairs) = pairs.as_obj() else {
+                return fail(&format!(
+                    "per_model_p99_less_than[{model}] is not an object"
+                ));
+            };
+            for (a, b) in pairs {
+                let Some(b) = b.as_str() else {
+                    return fail(&format!(
+                        "per-model ordering value for `{a}` is not a string"
+                    ));
+                };
+                let (Some(pa), Some(pb)) = (model_p99(a, model), model_p99(b, model)) else {
+                    return fail(&format!(
+                        "per-model ordering: model `{model}` missing in `{a}` or `{b}`"
+                    ));
+                };
+                if pa >= pb {
+                    return fail(&format!(
+                        "per-model ordering violated ({model}): `{a}` p99 {pa:.3}s must be \
+                         below `{b}` p99 {pb:.3}s"
+                    ));
+                }
+                println!("check_bench_json: ok: [{model}] {a} p99 {pa:.3}s < {b} p99 {pb:.3}s");
+            }
+        }
+    }
+
+    // Donation floors: the mechanism must actually have fired.
+    if let Some(floors) = tol.get("min_donated_bytes").and_then(Json::as_obj) {
+        for (name, floor) in floors {
+            let Some(floor) = floor.as_f64() else {
+                return fail(&format!("min_donated_bytes for `{name}` is not a number"));
+            };
+            let donated = systems
+                .iter()
+                .find(|s| s.get("system").and_then(Json::as_str) == Some(name))
+                .and_then(|s| s.get("donated_bytes_peak"))
+                .and_then(Json::as_f64);
+            let Some(donated) = donated else {
+                return fail(&format!("system `{name}` lacks `donated_bytes_peak`"));
+            };
+            if donated < floor {
+                return fail(&format!(
+                    "system `{name}`: donated_bytes_peak {donated:.0} below the {floor:.0} floor"
+                ));
+            }
+            println!("check_bench_json: ok: {name} donated_bytes_peak {donated:.0} >= {floor:.0}");
         }
     }
 

@@ -8,15 +8,27 @@
 //! per-model latency table (CSV) plus the machine-readable JSON the CI
 //! regression gate consumes.
 //!
+//! A second section runs the **cross-model donation ablation**: the same
+//! KunServe system with `cross_model_donation` on vs. off, on a scenario
+//! whose starved model (a single group — nothing of its own to drop) can
+//! only be rescued by another model's donated bytes. It emits its own
+//! JSON document (`fig18_donation`) with `donated_bytes_peak` and the
+//! per-model latency breakdown, gated in CI by
+//! `tolerances/fig18_donation.json`.
+//!
 //! Run: `cargo run --release -p bench --bin fig18_multi_model`
 //! Flags: `--smoke` (tiny config, seconds instead of minutes),
 //!        `--json PATH` (JSON output path; default
-//!        `target/bench-json/fig18_multi_model.json`).
+//!        `target/bench-json/fig18_multi_model.json`),
+//!        `--donation-json PATH` (ablation JSON output path; default
+//!        `target/bench-json/fig18_donation.json`).
 
 use bench::{
-    harness, json_out_path, outcome_json, secs, with_exec_meta, write_json, Json, MultiScenario,
+    harness, json_out_path, json_out_path_for, outcome_json, outcome_json_labeled, secs,
+    with_exec_meta, write_json, Json, MultiScenario,
 };
 use kunserve::serving::SystemKind;
+use kunserve::KunServeConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,4 +105,58 @@ fn main() {
     let path = json_out_path("fig18_multi_model", &args);
     write_json(&path, &doc).expect("write JSON");
     println!("json,{}", path.display());
+
+    // ---- Cross-model donation ablation ----
+    let dsc = if smoke {
+        MultiScenario::fig18_donation_smoke()
+    } else {
+        MultiScenario::fig18_donation()
+    };
+    let dtrace = dsc.trace();
+    println!("==== fig18 donation ablation: {} ====", dsc.name);
+    let variants = [
+        ("KunServe", SystemKind::KunServe),
+        (
+            "KunServe (no donation)",
+            SystemKind::KunServeWith(KunServeConfig::without_donation()),
+        ),
+    ];
+    let timer = std::time::Instant::now();
+    let outcomes = harness::run_indexed(threads, variants.len(), |i| {
+        dsc.run_on(variants[i].1, &dtrace)
+    });
+    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
+    let mut sys_jsons = Vec::new();
+    println!("system,model,name,finished,total,ttft_p50_s,ttft_p99_s,donated_bytes_peak");
+    for (i, out) in outcomes.iter().enumerate() {
+        let label = variants[i].0;
+        for m in &out.report.per_model {
+            println!(
+                "{},{},{},{},{},{},{},{}",
+                label,
+                m.model,
+                dsc.cfg.model_cfg(m.model).name,
+                m.finished_requests,
+                m.total_requests,
+                secs(m.ttft.p50),
+                secs(m.ttft.p99),
+                out.report.donated_bytes_peak,
+            );
+        }
+        sys_jsons.push(outcome_json_labeled(&dsc.cfg, out, label));
+    }
+    let ddoc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("fig18_donation")),
+            ("scenario", Json::str(dsc.name)),
+            ("smoke", Json::Bool(smoke)),
+            ("requests", Json::Num(dtrace.len() as f64)),
+            ("systems", Json::Arr(sys_jsons)),
+        ]),
+        threads,
+        wall_ms,
+    );
+    let dpath = json_out_path_for("--donation-json", "fig18_donation", &args);
+    write_json(&dpath, &ddoc).expect("write donation JSON");
+    println!("json,{}", dpath.display());
 }

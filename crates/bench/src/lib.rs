@@ -173,6 +173,28 @@ pub struct ModelWorkload {
     pub bursts: Vec<(f64, f64, f64)>,
     /// Trace seed.
     pub seed: u64,
+    /// Optional `(min, max)` clamp on sampled input lengths — used by the
+    /// donation scenarios so every borrower request fits the starved
+    /// model's native pool (the baseline then queues instead of
+    /// deadlocking on an unadmittable prompt).
+    pub input_clamp: Option<(u64, u64)>,
+    /// Optional `(min, max)` clamp on sampled output lengths.
+    pub output_clamp: Option<(u64, u64)>,
+}
+
+impl ModelWorkload {
+    /// An unclamped workload.
+    pub fn new(model: ModelId, dataset: Dataset, base_rps: f64, seed: u64) -> Self {
+        ModelWorkload {
+            model,
+            dataset,
+            base_rps,
+            bursts: Vec::new(),
+            seed,
+            input_clamp: None,
+            output_clamp: None,
+        }
+    }
 }
 
 /// A multi-model co-serving scenario: several models share one cluster,
@@ -204,18 +226,12 @@ impl MultiScenario {
             cfg,
             workloads: vec![
                 ModelWorkload {
-                    model: ModelId(0),
-                    dataset: Dataset::BurstGpt,
-                    base_rps: 22.0,
                     bursts: vec![(0.30, 15.0, 3.0), (0.65, 12.0, 2.5)],
-                    seed: 181,
+                    ..ModelWorkload::new(ModelId(0), Dataset::BurstGpt, 22.0, 181)
                 },
                 ModelWorkload {
-                    model: ModelId(1),
-                    dataset: Dataset::LongBench,
-                    base_rps: 2.5,
                     bursts: vec![(0.32, 15.0, 2.5)],
-                    seed: 182,
+                    ..ModelWorkload::new(ModelId(1), Dataset::LongBench, 2.5, 182)
                 },
             ],
             duration: SimDuration::from_secs(120),
@@ -233,21 +249,67 @@ impl MultiScenario {
             cfg,
             workloads: vec![
                 ModelWorkload {
-                    model: ModelId(0),
-                    dataset: Dataset::BurstGpt,
-                    base_rps: 45.0,
                     bursts: vec![(0.25, 10.0, 3.0)],
-                    seed: 31,
+                    ..ModelWorkload::new(ModelId(0), Dataset::BurstGpt, 45.0, 31)
                 },
                 ModelWorkload {
-                    model: ModelId(1),
-                    dataset: Dataset::BurstGpt,
-                    base_rps: 25.0,
                     bursts: vec![(0.25, 10.0, 3.0)],
-                    seed: 32,
+                    ..ModelWorkload::new(ModelId(1), Dataset::BurstGpt, 25.0, 32)
                 },
             ],
             duration: SimDuration::from_secs(25),
+            drain: SimDuration::from_secs(900),
+        }
+    }
+
+    /// The cross-model donation ablation scenario (smoke scale): the
+    /// primary model holds spare replicas under light traffic (the
+    /// lender); the chat model runs one instance — a single group with
+    /// nothing of its own to drop — and takes a hard decode-heavy burst
+    /// (the borrower). The only parameter-centric relief for the borrower
+    /// is a donated extent out of the lender's dropped replicas, so
+    /// toggling `cross_model_donation` isolates the donation mechanism.
+    pub fn fig18_donation_smoke() -> MultiScenario {
+        let mut cfg = ClusterConfig::tiny_two_model(4, 1);
+        cfg.reserve_frac = 0.45;
+        MultiScenario {
+            name: "donation smoke: starved tiny-chat x lender tiny-test",
+            cfg,
+            workloads: vec![
+                ModelWorkload::new(ModelId(0), Dataset::BurstGpt, 12.0, 71),
+                ModelWorkload {
+                    bursts: vec![(0.07, 12.0, 8.0)],
+                    input_clamp: Some((64, 400)),
+                    output_clamp: Some((128, 600)),
+                    ..ModelWorkload::new(ModelId(1), Dataset::BurstGpt, 4.0, 72)
+                },
+            ],
+            duration: SimDuration::from_secs(70),
+            drain: SimDuration::from_secs(900),
+        }
+    }
+
+    /// The paper-scale donation ablation: Qwen-2.5-72B long-context
+    /// traffic on a single TP=4 instance (one group — nothing to drop)
+    /// bursting against lightly-loaded Qwen-2.5-14B replicas that can
+    /// lend their freed parameter memory.
+    pub fn fig18_donation() -> MultiScenario {
+        let mut cfg = ClusterConfig::multi_model_14b_72b();
+        cfg.extra_models[0].num_instances = 1;
+        cfg.reserve_frac = 0.50;
+        MultiScenario {
+            name: "donation: starved 72B x lender 14B",
+            cfg,
+            workloads: vec![
+                ModelWorkload::new(ModelId(0), Dataset::BurstGpt, 10.0, 281),
+                ModelWorkload {
+                    bursts: vec![(0.10, 15.0, 6.0)],
+                    input_clamp: Some((256, 2048)),
+                    output_clamp: Some((128, 800)),
+                    ..ModelWorkload::new(ModelId(1), Dataset::ShareGpt, 1.0, 282)
+                },
+            ],
+            duration: SimDuration::from_secs(120),
             drain: SimDuration::from_secs(900),
         }
     }
@@ -271,7 +333,18 @@ impl MultiScenario {
                         mult,
                     );
                 }
-                b.build()
+                let mut t = b.build();
+                if w.input_clamp.is_some() || w.output_clamp.is_some() {
+                    for r in &mut t.requests {
+                        if let Some((lo, hi)) = w.input_clamp {
+                            r.input_tokens = r.input_tokens.clamp(lo, hi);
+                        }
+                        if let Some((lo, hi)) = w.output_clamp {
+                            r.output_tokens = r.output_tokens.clamp(lo, hi);
+                        }
+                    }
+                }
+                t
             })
             .collect();
         Trace::merge(&per_model)
@@ -323,6 +396,10 @@ pub fn outcome_json(cfg: &ClusterConfig, out: &RunOutcome) -> Json {
             Json::Num(out.report.mean_throughput(out.span)),
         ),
         ("preemptions", Json::Num(out.report.preemptions as f64)),
+        (
+            "donated_bytes_peak",
+            Json::Num(out.report.donated_bytes_peak as f64),
+        ),
         ("models", Json::Arr(models)),
     ])
 }
@@ -363,7 +440,13 @@ pub fn with_exec_meta(doc: Json, threads: usize, wall_clock_ms: f64) -> Json {
 /// Resolves the output path for a figure's JSON: `--json PATH` from `args`
 /// if given, else the sibling default `target/bench-json/<figure>.json`.
 pub fn json_out_path(figure: &str, args: &[String]) -> std::path::PathBuf {
-    if let Some(i) = args.iter().position(|a| a == "--json") {
+    json_out_path_for("--json", figure, args)
+}
+
+/// [`json_out_path`] generalized over the flag name — for bins emitting
+/// more than one JSON document (e.g. fig18's `--donation-json`).
+pub fn json_out_path_for(flag: &str, figure: &str, args: &[String]) -> std::path::PathBuf {
+    if let Some(i) = args.iter().position(|a| a == flag) {
         if let Some(p) = args.get(i + 1) {
             return std::path::PathBuf::from(p);
         }
@@ -424,6 +507,35 @@ mod tests {
                 sc.name,
                 sc.base_rps
             );
+        }
+    }
+
+    #[test]
+    fn donation_scenarios_validate_and_clamp() {
+        for sc in [
+            MultiScenario::fig18_donation_smoke(),
+            MultiScenario::fig18_donation(),
+        ] {
+            sc.cfg
+                .validate()
+                .expect("donation scenario must be feasible");
+            assert_eq!(
+                sc.cfg.instances_of(ModelId(1)),
+                1,
+                "{}: the borrower must be a single group (nothing to drop)",
+                sc.name
+            );
+            let trace = sc.trace();
+            assert!(!trace.is_empty(), "{}: empty trace", sc.name);
+            let (ilo, ihi) = sc.workloads[1].input_clamp.expect("borrower clamped");
+            for r in trace.requests.iter().filter(|r| r.model == ModelId(1)) {
+                assert!(
+                    (ilo..=ihi).contains(&r.input_tokens),
+                    "{}: borrower input {} outside clamp",
+                    sc.name,
+                    r.input_tokens
+                );
+            }
         }
     }
 

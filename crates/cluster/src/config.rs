@@ -1,10 +1,100 @@
 //! Cluster configuration and the paper's testbeds (Table 2).
 
+use std::fmt;
+
 use costmodel::GpuPerf;
 use modelcfg::ModelConfig;
 use netsim::LinkSpec;
 use sim_core::SimDuration;
+use simgpu::PAGE_SIZE;
 use workload::ModelId;
+
+/// Why a cluster configuration cannot be instantiated.
+///
+/// Surfaced by [`ClusterConfig::validate`] before any device is built, so
+/// infeasible (especially multi-model) deployments fail with a diagnosable
+/// message instead of a panic mid-construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A model's parameters plus the activation reserve exceed the HBM of
+    /// one of its instances.
+    ModelDoesNotFit {
+        /// Model name.
+        model: &'static str,
+        /// Per-instance HBM capacity in bytes.
+        hbm_bytes: u64,
+        /// Page-aligned parameter footprint in bytes.
+        param_bytes: u64,
+        /// Activation/workspace reserve in bytes.
+        reserve_bytes: u64,
+    },
+    /// Parameters + reserve fit, but leave no whole page for the KVCache.
+    NoKvSpace {
+        /// Model name.
+        model: &'static str,
+        /// Per-instance HBM capacity in bytes.
+        hbm_bytes: u64,
+        /// Page-aligned parameter footprint in bytes.
+        param_bytes: u64,
+        /// Activation/workspace reserve in bytes.
+        reserve_bytes: u64,
+    },
+    /// A deployed model has zero instances.
+    NoInstances {
+        /// Model name.
+        model: &'static str,
+    },
+    /// A model's initial group size does not divide its instance count.
+    GroupSizeMismatch {
+        /// Model name.
+        model: &'static str,
+        /// Instances deployed for the model.
+        instances: u32,
+        /// Configured initial group size.
+        group_size: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ModelDoesNotFit {
+                model,
+                hbm_bytes,
+                param_bytes,
+                reserve_bytes,
+            } => write!(
+                f,
+                "model `{model}` does not fit: params {param_bytes} B + reserve \
+                 {reserve_bytes} B exceed instance HBM {hbm_bytes} B"
+            ),
+            ConfigError::NoKvSpace {
+                model,
+                hbm_bytes,
+                param_bytes,
+                reserve_bytes,
+            } => write!(
+                f,
+                "model `{model}` leaves no HBM for KVCache: params {param_bytes} B + \
+                 reserve {reserve_bytes} B ~= instance HBM {hbm_bytes} B"
+            ),
+            ConfigError::NoInstances { model } => {
+                write!(f, "model `{model}` is deployed with zero instances")
+            }
+            ConfigError::GroupSizeMismatch {
+                model,
+                instances,
+                group_size,
+            } => write!(
+                f,
+                "model `{model}`: group size {group_size} must divide its \
+                 {instances} instances"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// The two evaluation clusters of paper Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -305,6 +395,70 @@ impl ClusterConfig {
     pub fn reserve_bytes_for(&self, model: &ModelConfig) -> u64 {
         (model.instance_hbm_bytes() as f64 * self.reserve_frac) as u64
     }
+
+    /// Page-aligned parameter footprint of one full copy of `model` on an
+    /// instance: the embedding plus one aligned handle per layer — exactly
+    /// the layout [`crate::instance::Instance`] maps.
+    pub fn param_footprint_bytes(model: &ModelConfig) -> u64 {
+        let layer = align_up_page(model.layer_param_bytes());
+        let embed = align_up_page(model.embedding_bytes().max(1));
+        embed + layer * model.num_layers as u64
+    }
+
+    /// The base KVCache pool one instance of `model` maps at construction:
+    /// everything left after parameters and the reserve, rounded down to a
+    /// whole page. Errors when the model does not fit or nothing is left.
+    pub fn kv_pool_bytes_for(&self, model: &ModelConfig) -> Result<u64, ConfigError> {
+        let hbm = model.instance_hbm_bytes();
+        let params = Self::param_footprint_bytes(model);
+        let reserve = self.reserve_bytes_for(model);
+        let Some(left) = hbm.checked_sub(params + reserve) else {
+            return Err(ConfigError::ModelDoesNotFit {
+                model: model.name,
+                hbm_bytes: hbm,
+                param_bytes: params,
+                reserve_bytes: reserve,
+            });
+        };
+        let pool = left / PAGE_SIZE * PAGE_SIZE;
+        if pool == 0 {
+            return Err(ConfigError::NoKvSpace {
+                model: model.name,
+                hbm_bytes: hbm,
+                param_bytes: params,
+                reserve_bytes: reserve,
+            });
+        }
+        Ok(pool)
+    }
+
+    /// Checks that every deployed model fits its instances (parameters +
+    /// reserve + a non-empty KV pool ≤ HBM) and that instance counts and
+    /// group sizes are coherent. [`crate::ClusterState::try_new`] runs this
+    /// before building any device.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for m in self.model_ids() {
+            let model = self.model_cfg(m);
+            let n = self.instances_of(m);
+            if n == 0 {
+                return Err(ConfigError::NoInstances { model: model.name });
+            }
+            let k = self.group_size_of(m);
+            if k < 1 || !n.is_multiple_of(k) {
+                return Err(ConfigError::GroupSizeMismatch {
+                    model: model.name,
+                    instances: n,
+                    group_size: k,
+                });
+            }
+            self.kv_pool_bytes_for(model)?;
+        }
+        Ok(())
+    }
+}
+
+fn align_up_page(v: u64) -> u64 {
+    v.div_ceil(PAGE_SIZE) * PAGE_SIZE
 }
 
 #[cfg(test)]
@@ -351,6 +505,50 @@ mod tests {
         assert_eq!(cfg.num_models(), 2);
         assert_eq!(cfg.model_cfg(ModelId(1)).name, "Qwen-2.5-72B");
         assert_eq!(cfg.total_instances(), 12);
+    }
+
+    #[test]
+    fn validate_accepts_all_presets() {
+        for cfg in [
+            ClusterConfig::qwen14b_cluster_a(),
+            ClusterConfig::qwen72b_cluster_b(),
+            ClusterConfig::tiny_test(2),
+            ClusterConfig::tiny_two_model(2, 2),
+            ClusterConfig::multi_model_14b_72b(),
+        ] {
+            cfg.validate().expect("preset must be feasible");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_oversized_models_with_diagnosable_errors() {
+        // An extra model whose parameters alone exceed its HBM must fail
+        // with a typed, named error — not a panic mid-construction.
+        let mut cfg = ClusterConfig::tiny_two_model(2, 2);
+        cfg.extra_models[0].model.param_bytes_authoritative = Some(2 << 30);
+        let err = cfg.validate().expect_err("infeasible deployment");
+        assert!(matches!(err, ConfigError::ModelDoesNotFit { model, .. } if model == "tiny-chat"));
+        assert!(err.to_string().contains("tiny-chat"), "{err}");
+
+        // Reserve so large nothing is left for KV.
+        let mut cfg = ClusterConfig::tiny_test(1);
+        cfg.reserve_frac = 0.99;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::ModelDoesNotFit { .. }) | Err(ConfigError::NoKvSpace { .. })
+        ));
+
+        // Group size not dividing the instance count.
+        let mut cfg = ClusterConfig::tiny_test(3);
+        cfg.initial_group_size = 2;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::GroupSizeMismatch {
+                instances: 3,
+                group_size: 2,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -275,6 +275,13 @@ impl<P: Policy> Engine<P> {
         self.state.metrics.mem_demand.push(now, demand as f64);
         self.state.metrics.mem_capacity.push(now, capacity as f64);
         self.state.metrics.mem_used.push(now, used as f64);
+        // The elastic-HBM safety net: params + KV + donations + reserve
+        // within HBM on every device, donations reclaimed before restore.
+        #[cfg(debug_assertions)]
+        {
+            let v = self.state.ledger().check_invariants(&now.to_string());
+            assert!(v.is_empty(), "HBM ledger violated:\n{}", v.join("\n"));
+        }
         self.policy.on_tick(&mut self.state, now);
         self.run_reconfigs();
         self.sweep_groups();

@@ -60,6 +60,10 @@ pub struct Instance {
     kv_base_extent: u64,
     /// Running offset for the next tail mapping.
     kv_tail: u64,
+    /// Bytes of this device's KV region lent to another model's KV pool
+    /// (cross-model donation). Always within the tail growth — donations
+    /// come out of dropped-parameter memory, never the base pool.
+    donated_out: u64,
 }
 
 impl Instance {
@@ -73,10 +77,16 @@ impl Instance {
     ///
     /// # Panics
     ///
-    /// Panics if the model + reserve do not fit in the configured HBM, which
-    /// indicates a misconfigured experiment.
+    /// Panics (with the [`crate::config::ConfigError`] diagnostic) if the
+    /// model + reserve do not fit in the configured HBM. Callers that want
+    /// the typed error run [`ClusterConfig::validate`] (or
+    /// [`crate::ClusterState::try_new`]) first — the cluster constructor
+    /// does, so infeasible deployments fail before any device is built.
     pub fn for_model(id: InstanceId, model_id: ModelId, cfg: &ClusterConfig) -> Self {
         let model = cfg.model_cfg(model_id);
+        let kv_pool = cfg
+            .kv_pool_bytes_for(model)
+            .unwrap_or_else(|e| panic!("{e}"));
         let hbm = model.instance_hbm_bytes();
         let mut device = GpuDevice::new(GpuId(id.0), hbm);
 
@@ -110,15 +120,14 @@ impl Instance {
             off += layer_bytes;
         }
 
-        // Base KV pool: everything left after parameters and the reserve.
-        let reserve = cfg.reserve_bytes_for(model);
-        let used = device.used_bytes();
-        let kv_pool = hbm
-            .checked_sub(used + reserve)
-            .expect("model + reserve must fit in HBM")
-            / PAGE_SIZE
-            * PAGE_SIZE;
-        assert!(kv_pool > 0, "no HBM left for KVCache");
+        // Base KV pool: everything left after parameters and the reserve
+        // (pre-validated by `kv_pool_bytes_for` above; the mapped layout
+        // must agree with the validator's footprint math).
+        debug_assert_eq!(
+            device.used_bytes(),
+            ClusterConfig::param_footprint_bytes(model),
+            "instance layout drifted from the validator's footprint"
+        );
         device
             .alloc_and_map(kv_region, 0, kv_pool)
             .expect("kv pool fits");
@@ -138,6 +147,7 @@ impl Instance {
             layer_bytes,
             kv_base_extent,
             kv_tail: kv_base_extent,
+            donated_out: 0,
         }
     }
 
@@ -162,6 +172,53 @@ impl Instance {
     /// KV pool size before any drop.
     pub fn kv_base_bytes(&self) -> u64 {
         self.kv_base_extent
+    }
+
+    /// Bytes of this device's KV region currently lent to another model.
+    pub fn donated_out_bytes(&self) -> u64 {
+        self.donated_out
+    }
+
+    /// KV pool bytes usable by *this* instance's own group: the mapped
+    /// pool minus what is lent out.
+    pub fn usable_kv_bytes(&self) -> u64 {
+        self.kv_pool_bytes() - self.donated_out
+    }
+
+    /// Bytes of tail growth (dropped-parameter memory remapped into the KV
+    /// region) not yet lent out — the donatable headroom.
+    pub fn donatable_bytes(&self) -> u64 {
+        (self.kv_tail - self.kv_base_extent).saturating_sub(self.donated_out)
+    }
+
+    /// Lends `bytes` of this device's dropped-parameter KV growth to
+    /// another model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds [`Instance::donatable_bytes`] — donation
+    /// grants must come out of tail growth, never the base pool.
+    pub fn donate_out(&mut self, bytes: u64) {
+        assert!(
+            bytes <= self.donatable_bytes(),
+            "donation {bytes} B exceeds donatable tail growth {} B",
+            self.donatable_bytes()
+        );
+        self.donated_out += bytes;
+    }
+
+    /// Takes back `bytes` previously lent with [`Instance::donate_out`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is returned than was lent.
+    pub fn reclaim_donated(&mut self, bytes: u64) {
+        assert!(
+            bytes <= self.donated_out,
+            "reclaim {bytes} B exceeds outstanding donation {} B",
+            self.donated_out
+        );
+        self.donated_out -= bytes;
     }
 
     /// Bytes of parameters currently resident.
@@ -211,7 +268,19 @@ impl Instance {
     /// KV blocks live in the tail.
     ///
     /// Returns the number of remap operation pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any donated-out bytes are still outstanding: the tail
+    /// being restored *is* the memory lent to the borrower, so the
+    /// donation must be reclaimed (borrower shrunk) before parameters can
+    /// come home — the ledger's restore-ordering invariant.
     pub fn restore_all(&mut self) -> usize {
+        assert_eq!(
+            self.donated_out, 0,
+            "restore with {} donated-out bytes outstanding; reclaim first",
+            self.donated_out
+        );
         let mut dropped: Vec<(u32, (u64, PhysHandle))> = self.dropped_at.drain().collect();
         dropped.sort_by_key(|&(layer, _)| layer);
         let ops = dropped.len();
@@ -262,9 +331,23 @@ mod tests {
         assert_eq!(inst.resident_layers().len(), cfg.model.num_layers);
         assert_eq!(inst.layer_fraction(&cfg.model), 1.0);
         assert!(inst.kv_pool_bytes() > 0);
-        // Params + KV + reserve ≈ HBM.
+        // Params + KV + reserve ≈ HBM — checked through the shared ledger
+        // invariant (see `crate::ledger`), not a hand-rolled assertion.
+        let entry = crate::ledger::LedgerEntry {
+            instance: inst.id,
+            model: inst.model,
+            hbm_bytes: inst.hbm_bytes(),
+            param_bytes: inst.param_resident_bytes(),
+            kv_pool_bytes: inst.kv_pool_bytes(),
+            donated_out_bytes: inst.donated_out_bytes(),
+            kv_used_bytes: 0,
+            reserve_bytes: cfg.reserve_bytes(),
+            fully_resident: inst.dropped_layers() == 0,
+        };
+        let mut violations = Vec::new();
+        entry.check("construction", &mut violations);
+        assert!(violations.is_empty(), "{violations:?}");
         let accounted = inst.param_resident_bytes() + inst.kv_pool_bytes();
-        assert!(accounted <= inst.hbm_bytes());
         assert!(accounted as f64 >= inst.hbm_bytes() as f64 * 0.85);
     }
 
@@ -321,6 +404,40 @@ mod tests {
         let set = LayerSet::from_range(LayerRange::new(0, 2));
         inst.drop_layers(&set);
         inst.drop_layers(&set); // already gone
+    }
+
+    #[test]
+    fn donation_comes_out_of_tail_growth_only() {
+        let (mut inst, _cfg) = test_instance();
+        assert_eq!(inst.donatable_bytes(), 0, "no growth yet");
+        inst.drop_layers(&LayerSet::from_range(LayerRange::new(4, 8)));
+        let grown = inst.kv_pool_bytes() - inst.kv_base_bytes();
+        assert_eq!(inst.donatable_bytes(), grown);
+        inst.donate_out(grown / 2);
+        assert_eq!(inst.donated_out_bytes(), grown / 2);
+        assert_eq!(inst.usable_kv_bytes(), inst.kv_pool_bytes() - grown / 2);
+        assert_eq!(inst.donatable_bytes(), grown - grown / 2);
+        inst.reclaim_donated(grown / 2);
+        assert_eq!(inst.donated_out_bytes(), 0);
+        inst.restore_all();
+        assert_eq!(inst.donatable_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds donatable")]
+    fn donating_base_pool_panics() {
+        let (mut inst, _cfg) = test_instance();
+        inst.drop_layers(&LayerSet::from_range(LayerRange::new(6, 8)));
+        inst.donate_out(inst.donatable_bytes() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reclaim first")]
+    fn restore_with_outstanding_donation_panics() {
+        let (mut inst, _cfg) = test_instance();
+        inst.drop_layers(&LayerSet::from_range(LayerRange::new(6, 8)));
+        inst.donate_out(1);
+        inst.restore_all();
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod engine;
 pub mod former;
 pub mod group;
 pub mod instance;
+pub mod ledger;
 pub mod metrics;
 pub mod pipeline;
 pub mod policy;
@@ -34,11 +35,12 @@ pub mod shard;
 pub mod state;
 
 pub use batch::{token_count_form, MicroBatch, SeqChunk};
-pub use config::{ClusterConfig, ModelDeployment, Testbed};
+pub use config::{ClusterConfig, ConfigError, ModelDeployment, Testbed};
 pub use engine::Engine;
 pub use former::{balance_microbatches, MicrobatchFormerSpec};
 pub use group::{ExecGroup, GroupId};
 pub use instance::{Instance, InstanceId};
+pub use ledger::{LedgerEntry, MemoryLedger};
 pub use metrics::{Metrics, ModelReport, RequestRecord, RunReport};
 pub use pipeline::{PipelineSchedule, StageTiming};
 pub use policy::{OomResolution, Policy, QueueingPolicy, TransferEvent, TransferPurpose};

@@ -64,6 +64,9 @@ pub struct Metrics {
     pub ttft_series: TimeSeries,
     /// Drop/restore events: (time, +stages merged / -split marker).
     pub reconfig_events: Vec<(SimTime, String)>,
+    /// Peak bytes simultaneously lent across models (cross-model KV
+    /// donation high-water mark).
+    pub donated_bytes_peak: u64,
 }
 
 impl Metrics {
@@ -136,6 +139,11 @@ impl Metrics {
         self.reconfig_events.push((now, what.into()));
     }
 
+    /// Records the current outstanding donated bytes (tracks the peak).
+    pub fn on_donation_outstanding(&mut self, bytes: u64) {
+        self.donated_bytes_peak = self.donated_bytes_peak.max(bytes);
+    }
+
     /// All request records.
     pub fn records(&self) -> &[RequestRecord] {
         &self.records
@@ -178,6 +186,7 @@ impl Metrics {
             tpot_samples: tpot,
             total_tokens: self.tokens.total() as u64,
             preemptions: self.records.iter().map(|r| r.preemptions as u64).sum(),
+            donated_bytes_peak: self.donated_bytes_peak,
             per_model,
         }
     }
@@ -219,6 +228,8 @@ pub struct RunReport {
     pub total_tokens: u64,
     /// Total preemption count.
     pub preemptions: u64,
+    /// Peak bytes simultaneously lent across models (0 without donation).
+    pub donated_bytes_peak: u64,
     /// Per-model latency breakdown (one entry per model seen in the trace,
     /// ascending by model id; a single entry for single-model runs).
     pub per_model: Vec<ModelReport>,
@@ -340,6 +351,7 @@ mod tests {
             tpot_samples: vec![],
             total_tokens: 0,
             preemptions: 0,
+            donated_bytes_peak: 0,
             per_model: Vec::new(),
         };
         // Baseline P50 = 0.1 s, scale 5 → threshold 0.5 s → 2 of 4 violate.

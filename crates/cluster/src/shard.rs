@@ -823,6 +823,18 @@ impl<P: Policy> ShardedEngine<P> {
                 self.state.group_mut(g).current_iter = plan;
             }
 
+            // 4b. The elastic-HBM safety net, checked while the state is
+            //     fully reassembled (groups all in their slots).
+            #[cfg(debug_assertions)]
+            {
+                let v = self.state.ledger().check_invariants(&b.to_string());
+                assert!(
+                    v.is_empty(),
+                    "HBM ledger violated at barrier:\n{}",
+                    v.join("\n")
+                );
+            }
+
             // 5. Re-arm the transfer-completion poll (deduped).
             if let Some(est) = self.state.network.next_completion_estimate() {
                 let at = est.max(b);

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use costmodel::{CostParams, GroundTruth, Profiler};
-use kvcache::{BlockManager, HostSwapPool, SeqKey};
+use kvcache::{BlockManager, ExtentTag, HostSwapPool, KvError, SeqKey};
 use modelcfg::{partition_layers, LayerSet, ModelConfig};
 use netsim::{JobId, Network, NodeId, Priority};
 use rand::rngs::SmallRng;
@@ -18,7 +18,7 @@ use rand::SeedableRng;
 use sim_core::{SimDuration, SimTime};
 use workload::ModelId;
 
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, ConfigError};
 use crate::group::{group_capacity_blocks, ExecGroup, GroupId};
 use crate::instance::{Instance, InstanceId};
 use crate::metrics::Metrics;
@@ -33,12 +33,37 @@ pub enum Reconfig {
     Merge {
         /// The groups to merge, all of which are frozen while pending.
         groups: Vec<GroupId>,
+        /// Cross-model donation grants: `(borrower model, bytes)` of the
+        /// freed parameter memory granted to another model's KV pool
+        /// instead of this model's own. Empty for ordinary merges.
+        grants: Vec<(ModelId, u64)>,
     },
     /// Split a pipelined group back into per-instance groups (restore).
     Split {
         /// The group to split.
         group: GroupId,
     },
+}
+
+/// One outstanding cross-model donation in the cluster's memory ledger:
+/// `bytes` of a lender group's dropped-parameter memory backing `blocks`
+/// of a borrower group's KV capacity.
+#[derive(Debug, Clone)]
+pub struct DonationRecord {
+    /// The model that lent the bytes.
+    pub lender: ModelId,
+    /// The (merged) lender group whose instances host the bytes.
+    pub lender_group: GroupId,
+    /// The borrowing model.
+    pub borrower: ModelId,
+    /// The borrower group whose block manager holds the extent.
+    pub borrower_group: GroupId,
+    /// Donated bytes (on the lender's devices).
+    pub bytes: u64,
+    /// Blocks granted in the borrower's block manager.
+    pub blocks: u32,
+    /// How the donated bytes are distributed across lender instances.
+    per_instance: Vec<(InstanceId, u64)>,
 }
 
 /// Effect applied when the last job of a transfer batch completes.
@@ -82,6 +107,8 @@ pub struct ClusterState {
     pub pending_transfers: HashMap<JobId, TransferPurpose>,
     /// Reconfigurations waiting for their groups to go idle.
     pub pending_reconfigs: Vec<Reconfig>,
+    /// Outstanding cross-model donations (lender → borrower extents).
+    pub donations: Vec<DonationRecord>,
     /// Deterministic RNG for execution-time noise.
     pub rng: SmallRng,
     /// Extra delay the next iteration of a group must absorb (VMM remaps).
@@ -91,22 +118,27 @@ pub struct ClusterState {
 }
 
 impl ClusterState {
+    /// Builds a cluster per `cfg`, panicking (with the
+    /// [`ConfigError`] diagnostic) on an infeasible configuration. Use
+    /// [`ClusterState::try_new`] to handle infeasibility as a value.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        ClusterState::try_new(cfg).unwrap_or_else(|e| panic!("invalid cluster config: {e}"))
+    }
+
     /// Builds a cluster per `cfg`: per-model instances, initial groups (of
     /// each model's `initial_group_size` members, with parameters
     /// pre-dropped for static pipeline baselines), profiled per-model cost
     /// models and an idle network.
-    pub fn new(cfg: ClusterConfig) -> Self {
-        assert!(cfg.num_instances > 0, "need at least one instance");
+    ///
+    /// Validates the whole deployment first — every model's parameters +
+    /// reserve + a non-empty KV pool must fit its instances' HBM — so an
+    /// infeasible (especially multi-model) configuration fails with a
+    /// typed, diagnosable [`ConfigError`] before any device is built.
+    pub fn try_new(cfg: ClusterConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let mut ground_truths = Vec::new();
         let mut cost_models = Vec::new();
         for m in cfg.model_ids() {
-            let k = cfg.group_size_of(m);
-            let n = cfg.instances_of(m);
-            assert!(n > 0, "model {m} needs at least one instance");
-            assert!(
-                k >= 1 && n.is_multiple_of(k),
-                "model {m}: group size must divide the instance count"
-            );
             let gt = GroundTruth::for_model(cfg.model_cfg(m), cfg.gpu);
             // Distinct profiling seed per model keeps fits independent.
             let fitted = Profiler::new(gt.clone(), cfg.seed ^ 0xC0_57 ^ (m.0 as u64) << 32).fit();
@@ -145,7 +177,7 @@ impl ClusterState {
                     .iter()
                     .map(|&mm| {
                         let inst = &instances[mm.0 as usize];
-                        (inst.kv_pool_bytes(), inst.layer_fraction(&model))
+                        (inst.usable_kv_bytes(), inst.layer_fraction(&model))
                     })
                     .collect();
                 let capacity =
@@ -166,7 +198,7 @@ impl ClusterState {
             .collect();
         let network = Network::new(cfg.fabric);
         let rng = SmallRng::seed_from_u64(cfg.seed);
-        ClusterState {
+        Ok(ClusterState {
             cfg,
             instances,
             groups,
@@ -178,11 +210,12 @@ impl ClusterState {
             host_pools,
             pending_transfers: HashMap::new(),
             pending_reconfigs: Vec::new(),
+            donations: Vec::new(),
             rng,
             pending_overhead: HashMap::new(),
             transfer_batches: HashMap::new(),
             next_batch: 0,
-        }
+        })
     }
 
     // ------------------------------------------------------------------
@@ -352,23 +385,26 @@ impl ClusterState {
         (demand, capacity, used)
     }
 
-    /// Physical HBM accounting of one instance:
-    /// `(param_resident, kv_used, reserve, hbm_capacity)` in bytes. KV used
-    /// is the instance's layer-fraction share of its group's allocated
-    /// blocks — the quantity that must never push the sum past capacity.
-    pub fn instance_hbm_breakdown(&self, id: InstanceId) -> (u64, u64, u64, u64) {
-        let inst = &self.instances[id.0 as usize];
-        let model = self.cfg.model_cfg(inst.model);
-        let params = inst.param_resident_bytes();
-        let reserve = self.cfg.reserve_bytes_for(model);
-        let kv_used = if self.group_alive(inst.group) {
-            let g = self.group(inst.group);
-            let frac = inst.layer_fraction(model);
-            (g.blocks.used_tokens() as f64 * model.kv_bytes_per_token() as f64 * frac) as u64
-        } else {
-            0
-        };
-        (params, kv_used, reserve, inst.hbm_bytes())
+    /// Snapshots the per-device HBM ledger (params + KV + donations +
+    /// reserve per instance). See [`crate::ledger::MemoryLedger`] for the
+    /// invariants it checks.
+    pub fn ledger(&self) -> crate::ledger::MemoryLedger {
+        crate::ledger::MemoryLedger::snapshot(self)
+    }
+
+    /// Total bytes currently lent across models.
+    pub fn donated_bytes_outstanding(&self) -> u64 {
+        self.donations.iter().map(|d| d.bytes).sum()
+    }
+
+    /// Whether `group`'s instances host bytes lent to another model.
+    pub fn group_donations_out(&self, group: GroupId) -> bool {
+        self.donations.iter().any(|d| d.lender_group == group)
+    }
+
+    /// Whether `group`'s KV pool contains borrowed extents.
+    pub fn group_has_borrowed(&self, group: GroupId) -> bool {
+        self.group(group).blocks.borrowed_blocks() > 0
     }
 
     /// Chooses the least-loaded group of `model` for a new request (the
@@ -623,22 +659,280 @@ impl ClusterState {
     /// Requests a merge: the groups freeze (finish their current iteration,
     /// start no new one) and the merge executes once all are idle.
     pub fn request_merge(&mut self, groups: Vec<GroupId>) {
+        self.request_merge_granting(groups, Vec::new());
+    }
+
+    /// Requests a merge whose freed parameter memory is (partly) **donated**
+    /// to other models' KV pools: each `(borrower, bytes)` grant is
+    /// credited to the borrower model's most-loaded group when the merge
+    /// executes, instead of growing this model's own capacity.
+    pub fn request_merge_granting(&mut self, groups: Vec<GroupId>, grants: Vec<(ModelId, u64)>) {
         assert!(groups.len() >= 2, "a merge needs at least two groups");
         let model = self.group(groups[0]).model;
         assert!(
             groups.iter().all(|&g| self.group(g).model == model),
             "merged groups must serve the same model"
         );
+        assert!(
+            grants.iter().all(|&(b, _)| b != model),
+            "donation grants must cross models"
+        );
         for &g in &groups {
             self.group_mut(g).frozen = true;
         }
-        self.pending_reconfigs.push(Reconfig::Merge { groups });
+        self.pending_reconfigs
+            .push(Reconfig::Merge { groups, grants });
     }
 
     /// Requests a split (restore): the group freezes and splits once idle.
     pub fn request_split(&mut self, group: GroupId) {
         self.group_mut(group).frozen = true;
         self.pending_reconfigs.push(Reconfig::Split { group });
+    }
+
+    // ------------------------------------------------------------------
+    // Mechanism: cross-model KV donation (the elastic HBM ledger).
+    // ------------------------------------------------------------------
+
+    /// Executes the donation `grants` of one just-dropped merge: carves the
+    /// granted bytes out of the members' freed tail growth and credits them
+    /// to each borrower model's most-loaded group as a borrowed KV extent.
+    ///
+    /// Grants quantize down to whole borrower blocks, and are additionally
+    /// capped so the lender group keeps enough usable pool for the
+    /// `needed_blocks` its own admitted sequences re-register after the
+    /// merge — a donor never lends KV out from under its own requests.
+    /// Unfulfillable grants (no donatable headroom, no live borrower group,
+    /// sub-block sliver) are dropped, never partially charged. Returns the
+    /// bytes donated.
+    fn execute_donation_grants(
+        &mut self,
+        members: &[InstanceId],
+        lender: ModelId,
+        lender_group: GroupId,
+        needed_blocks: u64,
+        grants: &[(ModelId, u64)],
+        now: SimTime,
+    ) -> u64 {
+        let mut total = 0u64;
+        let lender_model = self.cfg.model_cfg(lender).clone();
+        let lender_kv = lender_model.kv_bytes_per_token();
+        // One block of per-member slack absorbs the float rounding between
+        // byte pools and block capacities.
+        let tokens_needed = (needed_blocks + 1) * self.cfg.block_tokens as u64;
+        // Per-member donatable headroom: tail growth not yet lent, minus
+        // what the member must retain to carry its share of the group's
+        // admitted KV.
+        fn member_cap(
+            inst: &Instance,
+            lender_model: &ModelConfig,
+            lender_kv: u64,
+            tokens_needed: u64,
+        ) -> u64 {
+            let frac = inst.layer_fraction(lender_model);
+            let retain = (tokens_needed as f64 * lender_kv as f64 * frac).ceil() as u64;
+            inst.donatable_bytes()
+                .min(inst.usable_kv_bytes().saturating_sub(retain))
+        }
+        for &(borrower, want) in grants {
+            debug_assert_ne!(borrower, lender, "grants cross models");
+            let donatable: u64 = members
+                .iter()
+                .map(|&m| {
+                    member_cap(
+                        &self.instances[m.0 as usize],
+                        &lender_model,
+                        lender_kv,
+                        tokens_needed,
+                    )
+                })
+                .sum();
+            let kv_per_block =
+                self.cfg.model_cfg(borrower).kv_bytes_per_token() * self.cfg.block_tokens as u64;
+            let blocks = (want.min(donatable) / kv_per_block.max(1)) as u32;
+            if blocks == 0 {
+                continue;
+            }
+            // The borrower's most-loaded live group consumes the grant
+            // (deterministic: max demand tokens, ties to the lowest id).
+            let Some(bg) = self
+                .alive_group_ids()
+                .filter(|&g| self.group(g).model == borrower)
+                .max_by_key(|&g| (self.group_demand_tokens(g), std::cmp::Reverse(g.0)))
+            else {
+                continue;
+            };
+            let bytes = blocks as u64 * kv_per_block;
+            // Charge lender instances in member order.
+            let mut per_instance = Vec::new();
+            let mut left = bytes;
+            for &m in members {
+                if left == 0 {
+                    break;
+                }
+                let take = member_cap(
+                    &self.instances[m.0 as usize],
+                    &lender_model,
+                    lender_kv,
+                    tokens_needed,
+                )
+                .min(left);
+                if take > 0 {
+                    self.instances[m.0 as usize].donate_out(take);
+                    per_instance.push((m, take));
+                    left -= take;
+                }
+            }
+            debug_assert_eq!(left, 0, "donatable re-checked above");
+            self.group_mut(bg)
+                .blocks
+                .grow_extent(ExtentTag::Borrowed(lender.0), blocks);
+            self.donations.push(DonationRecord {
+                lender,
+                lender_group,
+                borrower,
+                borrower_group: bg,
+                bytes,
+                blocks,
+                per_instance,
+            });
+            total += bytes;
+            self.metrics.on_reconfig(
+                now,
+                format!("donate: {bytes}B {lender} -> {borrower} (g{})", bg.0),
+            );
+        }
+        if total > 0 {
+            let outstanding = self.donated_bytes_outstanding();
+            self.metrics.on_donation_outstanding(outstanding);
+        }
+        total
+    }
+
+    /// Attempts to reclaim every donation lent by `lender_group`: each
+    /// borrower's borrowed extent must shrink (requiring free blocks — the
+    /// borrower drains its borrowed share first), then the bytes return to
+    /// the lender instances. Returns `true` when no donation from
+    /// `lender_group` remains outstanding — the precondition for starting
+    /// the lender's parameter restore.
+    pub fn try_reclaim_donations(&mut self, lender_group: GroupId, now: SimTime) -> bool {
+        self.reclaim_matching(|d| d.lender_group == lender_group, false, now);
+        !self.group_donations_out(lender_group)
+    }
+
+    /// Attempts to hand back every extent `borrower_group` borrowed (the
+    /// borrower-initiated return when its own demand subsides). Returns
+    /// `true` if nothing borrowed remains.
+    pub fn try_return_borrowed(&mut self, borrower_group: GroupId, now: SimTime) -> bool {
+        self.reclaim_matching(|d| d.borrower_group == borrower_group, false, now);
+        !self
+            .donations
+            .iter()
+            .any(|d| d.borrower_group == borrower_group)
+    }
+
+    /// Reclaims donations matching `pred`. With `force`, the borrower's
+    /// youngest admitted requests are recompute-preempted until the shrink
+    /// succeeds (the fault-tolerance path: the lender's memory is going
+    /// away *now*). Without it, donations whose borrower cannot yet free
+    /// enough blocks stay outstanding for a later retry.
+    fn reclaim_matching(
+        &mut self,
+        pred: impl Fn(&DonationRecord) -> bool,
+        force: bool,
+        now: SimTime,
+    ) {
+        let mut remaining = Vec::new();
+        let mut records = std::mem::take(&mut self.donations);
+        for d in records.drain(..) {
+            if !pred(&d) {
+                remaining.push(d);
+                continue;
+            }
+            let reclaimed = loop {
+                if !self.group_alive(d.borrower_group) {
+                    // The borrower group died with its blocks; the bytes
+                    // simply return to the lender.
+                    break true;
+                }
+                let tag = ExtentTag::Borrowed(d.lender.0);
+                match self
+                    .group_mut(d.borrower_group)
+                    .blocks
+                    .shrink_extent(tag, d.blocks)
+                {
+                    Ok(()) => break true,
+                    Err(KvError::ShrinkBelowUsage { .. }) if force => {
+                        if self.preempt_youngest_admitted(d.borrower_group).is_none() {
+                            break true; // nothing left to hold blocks
+                        }
+                    }
+                    Err(_) => break false,
+                }
+            };
+            if reclaimed {
+                for &(m, bytes) in &d.per_instance {
+                    self.instances[m.0 as usize].reclaim_donated(bytes);
+                }
+                // The returned bytes are remapped-parameter memory on the
+                // lender's devices again: grow the lender group's pool so
+                // they are usable immediately, not only after its next
+                // reconfiguration (the lender may keep serving merged for
+                // a long time before a restore).
+                self.regrow_lender_capacity(d.lender_group, d.lender);
+                self.metrics.on_reconfig(
+                    now,
+                    format!(
+                        "reclaim: {bytes}B {lender} <- {borrower}",
+                        bytes = d.bytes,
+                        lender = d.lender,
+                        borrower = d.borrower
+                    ),
+                );
+            } else {
+                remaining.push(d);
+            }
+        }
+        self.donations = remaining;
+    }
+
+    /// Recomputes a lender group's block capacity from its members'
+    /// current usable pools and grows the non-borrowed share up to it (as
+    /// a [`ExtentTag::Remap`] extent — reclaimed bytes *are* remapped
+    /// parameter memory). Growth only; shrinking happens through the
+    /// explicit extent paths.
+    fn regrow_lender_capacity(&mut self, group: GroupId, lender: ModelId) {
+        if !self.group_alive(group) {
+            return;
+        }
+        let model = self.cfg.model_cfg(lender).clone();
+        let pools: Vec<(u64, f64)> = self
+            .group(group)
+            .members
+            .iter()
+            .map(|&m| {
+                let inst = &self.instances[m.0 as usize];
+                (inst.usable_kv_bytes(), inst.layer_fraction(&model))
+            })
+            .collect();
+        let cap = group_capacity_blocks(&pools, model.kv_bytes_per_token(), self.cfg.block_tokens);
+        let g = self.group_mut(group);
+        let native = g.blocks.native_capacity_blocks();
+        if cap > native {
+            g.blocks.grow_extent(ExtentTag::Remap, cap - native);
+        }
+    }
+
+    /// Recompute-preempts the youngest admitted (running or stalled)
+    /// request of `group`, freeing its blocks. Returns the victim.
+    fn preempt_youngest_admitted(&mut self, group: GroupId) -> Option<RequestId> {
+        let victim = {
+            let g = self.group(group);
+            g.admitted()
+                .max_by_key(|&r| (self.requests[r.0].spec.arrival, r))?
+        };
+        self.preempt_recompute(victim);
+        Some(victim)
     }
 
     /// Returns `true` if any reconfiguration is pending.
@@ -653,7 +947,7 @@ impl ClusterState {
         let pending = std::mem::take(&mut self.pending_reconfigs);
         for rc in pending {
             let ready = match &rc {
-                Reconfig::Merge { groups } => groups
+                Reconfig::Merge { groups, .. } => groups
                     .iter()
                     .all(|&g| self.group_alive(g) && !self.group(g).is_busy()),
                 Reconfig::Split { group } => {
@@ -665,19 +959,21 @@ impl ClusterState {
                 continue;
             }
             match rc {
-                Reconfig::Merge { groups } => match self.merge_groups(&groups, now) {
-                    Ok(g) => created.push(g),
-                    Err(msg) => {
-                        // Unfreeze and abandon; the policy will retry.
-                        for &g in &groups {
-                            if self.group_alive(g) {
-                                self.group_mut(g).frozen = false;
+                Reconfig::Merge { groups, grants } => {
+                    match self.merge_groups(&groups, &grants, now) {
+                        Ok(g) => created.push(g),
+                        Err(msg) => {
+                            // Unfreeze and abandon; the policy will retry.
+                            for &g in &groups {
+                                if self.group_alive(g) {
+                                    self.group_mut(g).frozen = false;
+                                }
                             }
+                            self.metrics
+                                .on_reconfig(now, format!("merge-failed: {msg}"));
                         }
-                        self.metrics
-                            .on_reconfig(now, format!("merge-failed: {msg}"));
                     }
-                },
+                }
                 Reconfig::Split { group } => match self.split_group(group, now) {
                     Ok(gs) => created.extend(gs),
                     Err(_busy) => {
@@ -696,9 +992,16 @@ impl ClusterState {
 
     /// Merges idle groups into one pipeline group: computes the per-member
     /// layer partition, executes the parameter drops (VMM remap), rebuilds
-    /// the block accounting, moves requests across and launches the KVCache
-    /// exchange for admitted sequences.
-    fn merge_groups(&mut self, group_ids: &[GroupId], now: SimTime) -> Result<GroupId, String> {
+    /// the block accounting (carrying borrowed extents across), executes
+    /// any cross-model donation `grants` out of the freed memory, moves
+    /// requests across and launches the KVCache exchange for admitted
+    /// sequences.
+    fn merge_groups(
+        &mut self,
+        group_ids: &[GroupId],
+        grants: &[(ModelId, u64)],
+        now: SimTime,
+    ) -> Result<GroupId, String> {
         let model_id = self.group(group_ids[0]).model;
         let model = self.cfg.model_cfg(model_id).clone();
         let num_layers = model.num_layers;
@@ -738,6 +1041,41 @@ impl ClusterState {
             }
         }
 
+        // Feasibility pre-check, BEFORE any mutation: the merged pool
+        // (usable bytes after the planned drops, minus nothing — donation
+        // grants below are separately capped) must hold every admitted
+        // block the constituents will re-register. This can genuinely
+        // fail when members still have bytes lent out to another model
+        // (`donated_out`), so the merge defers cleanly instead of
+        // corrupting the group table halfway through.
+        let needed_blocks: u64 = group_ids
+            .iter()
+            .map(|&g| self.group(g).blocks.used_blocks() as u64)
+            .sum();
+        let layer_bytes = model.layer_param_bytes().div_ceil(simgpu::PAGE_SIZE) * simgpu::PAGE_SIZE;
+        let pools_after: Vec<(u64, f64)> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let inst = &self.instances[m.0 as usize];
+                let target = LayerSet::from_range(parts[i]);
+                let dropping = inst.resident_layers().difference(&target).len() as u64;
+                let frac_after = target.len() as f64 / num_layers as f64;
+                (inst.usable_kv_bytes() + dropping * layer_bytes, frac_after)
+            })
+            .collect();
+        let capacity_after = group_capacity_blocks(
+            &pools_after,
+            model.kv_bytes_per_token(),
+            self.cfg.block_tokens,
+        );
+        if (capacity_after as u64) < needed_blocks {
+            return Err(format!(
+                "merged pool holds {capacity_after} blocks but members have \
+                 {needed_blocks} admitted (bytes lent out?)"
+            ));
+        }
+
         // Execute the drops; total VMM ops determine the remap stall.
         let mut ops = 0;
         for (i, &m) in members.iter().enumerate() {
@@ -749,17 +1087,50 @@ impl ClusterState {
             }
         }
 
-        // New group bookkeeping.
+        // Execute donation grants out of the freed (undonated tail) memory
+        // *before* sizing the new group's pool: donated bytes belong to the
+        // borrower, not this group. Grants are capped so the merged group
+        // retains capacity for the blocks its admitted sequences will
+        // re-register below.
         let new_id = GroupId(self.groups.len());
-        let pools: Vec<(u64, f64)> = members
-            .iter()
-            .map(|&m| {
-                let inst = &self.instances[m.0 as usize];
-                (inst.kv_pool_bytes(), inst.layer_fraction(&model))
-            })
-            .collect();
-        let capacity =
+        self.execute_donation_grants(&members, model_id, new_id, needed_blocks, grants, now);
+
+        // New group bookkeeping over the *usable* (undonated) pools.
+        let member_pools = |state: &Self| -> Vec<(u64, f64)> {
+            members
+                .iter()
+                .map(|&m| {
+                    let inst = &state.instances[m.0 as usize];
+                    (inst.usable_kv_bytes(), inst.layer_fraction(&model))
+                })
+                .collect()
+        };
+        let mut pools = member_pools(self);
+        let mut capacity =
             group_capacity_blocks(&pools, model.kv_bytes_per_token(), self.cfg.block_tokens);
+        if (capacity as u64) < needed_blocks {
+            // The grant-retention math (`member_cap`) and the capacity
+            // floor disagreed — possible only through float rounding at
+            // extreme shapes. Recovery, not corruption: the grants were
+            // created this instant, so the borrower extents are untouched
+            // and the roll-back cannot fail; the full pools then satisfy
+            // the feasibility pre-check above.
+            self.reclaim_matching(|d| d.lender_group == new_id, false, now);
+            pools = member_pools(self);
+            capacity =
+                group_capacity_blocks(&pools, model.kv_bytes_per_token(), self.cfg.block_tokens);
+            debug_assert!(
+                (capacity as u64) >= needed_blocks,
+                "pre-checked capacity lost without donations"
+            );
+        }
+        // Whatever survived the (unlikely) roll-back is what was donated.
+        let executed_grants: u64 = self
+            .donations
+            .iter()
+            .filter(|d| d.lender_group == new_id)
+            .map(|d| d.bytes)
+            .sum();
         let fracs: Vec<f64> = pools.iter().map(|&(_, f)| f).collect();
         let mut new_group = ExecGroup::new(
             new_id,
@@ -768,6 +1139,28 @@ impl ClusterState {
             fracs,
             BlockManager::new(capacity, self.cfg.block_tokens),
         );
+
+        // Carry borrowed extents held by the constituent groups into the
+        // new manager (before sequences re-register, so spilled usage
+        // still fits) and retarget their ledger records. Lender-side
+        // records of constituents merging deeper retarget too.
+        for &gid in group_ids {
+            let old = self.groups[gid.0].as_ref().expect("alive");
+            for lender in old.blocks.lenders() {
+                let tag = ExtentTag::Borrowed(lender);
+                new_group
+                    .blocks
+                    .grow_extent(tag, old.blocks.extent_blocks(tag));
+            }
+        }
+        for d in &mut self.donations {
+            if group_ids.contains(&d.borrower_group) {
+                d.borrower_group = new_id;
+            }
+            if group_ids.contains(&d.lender_group) {
+                d.lender_group = new_id;
+            }
+        }
 
         // Move requests: queued (merged by arrival), admitted (re-allocate),
         // swapped (carried over).
@@ -888,10 +1281,15 @@ impl ClusterState {
         // Charge the VMM remap as start-up overhead for the new group.
         let overhead = simgpu::timing::remap_cost(ops, ops);
         self.pending_overhead.insert(slot, overhead);
+        let donated_note = if executed_grants > 0 {
+            format!(" donated={executed_grants}B")
+        } else {
+            String::new()
+        };
         self.metrics.on_reconfig(
             now,
             format!(
-                "drop: merged {} groups into {} stages ({model_id})",
+                "drop: merged {} groups into {} stages ({model_id}){donated_note}",
                 group_ids.len(),
                 members.len()
             ),
@@ -960,18 +1358,39 @@ impl ClusterState {
     /// requests and launches KV consolidation transfers.
     ///
     /// Fails (leaving the group intact) if current KV usage no longer fits
-    /// the restored per-instance capacities.
+    /// the restored per-instance capacities, or if any member still has
+    /// donated-out bytes outstanding — the tail being restored *is* the
+    /// lent memory, so the donation must be reclaimed first (the ledger's
+    /// restore-ordering invariant).
     fn split_group(&mut self, gid: GroupId, now: SimTime) -> Result<Vec<GroupId>, ()> {
         let members = self.group(gid).members.clone();
         if members.len() < 2 {
             return Err(());
         }
+        if members
+            .iter()
+            .any(|&m| self.instances[m.0 as usize].donated_out_bytes() > 0)
+        {
+            return Err(()); // reclaim donations before restoring parameters
+        }
         let model_id = self.group(gid).model;
         let kv_per_token = self.group_model_cfg(gid).kv_bytes_per_token();
-        // Per-instance capacity after restore.
+        // Per-instance capacity after restore. Extents this group borrowed
+        // from other models survive the split attached to the first new
+        // group, so its planning capacity includes them.
+        let borrowed_tokens = self.group(gid).blocks.borrowed_blocks() as u64
+            * self.group(gid).blocks.block_tokens() as u64;
         let capacities: Vec<u64> = members
             .iter()
-            .map(|&m| self.instances[m.0 as usize].kv_base_bytes() / kv_per_token)
+            .enumerate()
+            .map(|(i, &m)| {
+                let base = self.instances[m.0 as usize].kv_base_bytes() / kv_per_token;
+                if i == 0 {
+                    base + borrowed_tokens
+                } else {
+                    base
+                }
+            })
             .collect();
 
         // Plan request placement: bin-pack admitted sequences by tokens.
@@ -1007,7 +1426,7 @@ impl ClusterState {
         let base = self.groups.len();
         for (i, &m) in members.iter().enumerate() {
             let id = GroupId(base + i);
-            let pools = [(self.instances[m.0 as usize].kv_pool_bytes(), 1.0)];
+            let pools = [(self.instances[m.0 as usize].usable_kv_bytes(), 1.0)];
             let cap = group_capacity_blocks(&pools, kv_per_token, self.cfg.block_tokens);
             let blocks = BlockManager::new(cap, self.cfg.block_tokens);
             self.groups.push(Some(ExecGroup::new(
@@ -1019,6 +1438,22 @@ impl ClusterState {
             )));
             self.instances[m.0 as usize].group = id;
             new_ids.push(id);
+        }
+
+        // Extents this group borrowed from other models survive on the
+        // first new group (planned into `capacities[0]` above).
+        for lender in old.blocks.lenders() {
+            let tag = ExtentTag::Borrowed(lender);
+            self.groups[new_ids[0].0]
+                .as_mut()
+                .expect("alive")
+                .blocks
+                .grow_extent(tag, old.blocks.extent_blocks(tag));
+        }
+        for d in &mut self.donations {
+            if d.borrower_group == gid {
+                d.borrower_group = new_ids[0];
+            }
         }
 
         // Place admitted sequences; they stall for KV consolidation.
@@ -1139,7 +1574,15 @@ impl ClusterState {
         assert!(self.group_alive(gid), "instance already failed");
         let model_id = self.group(gid).model;
         let kv_per_token = self.cfg.model_cfg(model_id).kv_bytes_per_token();
+        // Settle the donation ledger before anything restores: bytes this
+        // group lent are force-reclaimed (the survivors' tails are about to
+        // become parameters again — borrowers preempt if they must).
+        self.reclaim_matching(|d| d.lender_group == gid, true, now);
         let old = self.groups[gid.0].take().expect("alive");
+        // Extents this group *borrowed* died with its block manager just
+        // now; the dead-borrower branch of `reclaim_matching` returns the
+        // bytes to their lenders and regrows the lenders' pools.
+        self.reclaim_matching(|d| d.borrower_group == gid, false, now);
 
         // Collect every request the dying group was responsible for.
         let mut to_requeue: Vec<RequestId> = Vec::new();
@@ -1162,7 +1605,7 @@ impl ClusterState {
         for &m in &survivors {
             ops += self.instances[m.0 as usize].restore_all();
             let id = GroupId(self.groups.len());
-            let pools = [(self.instances[m.0 as usize].kv_pool_bytes(), 1.0)];
+            let pools = [(self.instances[m.0 as usize].usable_kv_bytes(), 1.0)];
             let cap = group_capacity_blocks(&pools, kv_per_token, self.cfg.block_tokens);
             self.groups.push(Some(ExecGroup::new(
                 id,

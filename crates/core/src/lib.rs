@@ -60,7 +60,8 @@ pub mod serving;
 pub use baselines::{InferCeptPolicy, LlumnixPolicy, VllmPolicy};
 pub use lookahead::balance_microbatches;
 pub use plan::{
-    arbitrate_drop_plans, ArbitratedPlan, Arbitration, DropPlan, DropPlanner, ModelDemand,
+    arbitrate_drop_plans, arbitrate_with_donation, ArbitratedPlan, Arbitration, ArbitrationOutcome,
+    DonationGrant, DonorPlan, DropPlan, DropPlanner, LenderOffer, ModelDemand,
 };
 pub use policy::{KunServeConfig, KunServePolicy};
 pub use serving::{run_system, RunOutcome, SystemKind};

@@ -162,6 +162,54 @@ pub struct ArbitratedPlan {
     pub plan: DropPlan,
 }
 
+/// One non-overloaded model's offer of donor parameter copies: groups it
+/// could merge so the freed bytes feed **another** model's KV pool.
+#[derive(Debug, Clone)]
+pub struct LenderOffer {
+    /// The offering (lender) model.
+    pub model: ModelId,
+    /// Bytes one duplicated parameter copy of this model frees.
+    pub copy_bytes: u64,
+    /// SLO weight — under [`Arbitration::SloWeighted`] the *least*
+    /// latency-critical lender donates first.
+    pub slo_weight: f64,
+    /// The lender's mergeable groups (each holding a complete copy).
+    pub groups: Vec<PlanGroup>,
+}
+
+/// One cross-model donation decided by arbitration: `bytes` of the
+/// lender's dropped-parameter memory granted to the borrower's KV pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DonationGrant {
+    /// The model whose drop frees the bytes.
+    pub lender: ModelId,
+    /// The model whose KV pool consumes them.
+    pub borrower: ModelId,
+    /// Granted bytes (an exact multiple of the lender's copy size).
+    pub bytes: u64,
+}
+
+/// A lender's arbitrated outcome: merges of its own groups whose freed
+/// bytes are donated per `grants` instead of growing its own pool.
+#[derive(Debug, Clone)]
+pub struct DonorPlan {
+    /// The lender model.
+    pub model: ModelId,
+    /// The merges to execute (freeing exactly the granted bytes).
+    pub plan: DropPlan,
+    /// Who consumes the freed bytes.
+    pub grants: Vec<DonationGrant>,
+}
+
+/// The complete outcome of one arbitration round.
+#[derive(Debug, Clone)]
+pub struct ArbitrationOutcome {
+    /// Per overloaded model: its own-copy plan (ordered by model id).
+    pub plans: Vec<ArbitratedPlan>,
+    /// Per lender that donates this round (ordered by model id).
+    pub donor_plans: Vec<DonorPlan>,
+}
+
 /// Arbitrates simultaneous per-model drop plans against a shared reclaim
 /// allowance.
 ///
@@ -185,6 +233,28 @@ pub fn arbitrate_drop_plans(
     allowance: Option<u64>,
     arbitration: Arbitration,
 ) -> Vec<ArbitratedPlan> {
+    arbitrate_with_donation(demands, &[], allowance, arbitration).plans
+}
+
+/// Arbitrates simultaneous drop plans **with cross-model donation**: after
+/// each overloaded model's own copies are awarded (exactly as
+/// [`arbitrate_drop_plans`]), residual requirements — including those of
+/// models that cannot free anything themselves (fully merged, or a single
+/// group) — are served from `offers`, donor copies of models that are not
+/// overloaded this round. Donor copies are awarded one at a time to the
+/// borrower with the largest weighted residual ([`Arbitration`] weights);
+/// under [`Arbitration::SloWeighted`] the least latency-critical lender
+/// donates first. The shared `allowance` bounds own + donated bytes
+/// together, so a round's total reclaim (and hence its KV-exchange
+/// traffic) stays bounded regardless of who the bytes end up serving.
+///
+/// The result is deterministic and ordered by model id.
+pub fn arbitrate_with_donation(
+    demands: &[ModelDemand],
+    offers: &[LenderOffer],
+    allowance: Option<u64>,
+    arbitration: Arbitration,
+) -> ArbitrationOutcome {
     let mut demands: Vec<&ModelDemand> = demands.iter().collect();
     demands.sort_by_key(|d| d.model);
 
@@ -250,8 +320,99 @@ pub fn arbitrate_drop_plans(
         }
     };
 
+    // Donation round: serve residual requirements from donor copies under
+    // whatever allowance remains.
+    let mut left = allowance.map(|a| a.saturating_sub(granted.iter().sum::<u64>()));
+    let mut residual: Vec<u64> = demands
+        .iter()
+        .zip(&granted)
+        .map(|(d, &g)| d.required_bytes.saturating_sub(g))
+        .collect();
+    let mut offers: Vec<&LenderOffer> = offers.iter().collect();
+    offers.sort_by_key(|o| o.model);
+    // A lender must keep at least one group serving, and never lends to
+    // models also lending this round (offers come from non-overloaded
+    // models only, which the caller guarantees).
+    let mut donor_copies: Vec<u64> = offers
+        .iter()
+        .map(|o| (o.groups.len() as u64).saturating_sub(1))
+        .collect();
+    let mut donated: Vec<u64> = vec![0; offers.len()];
+    let mut grants: Vec<DonationGrant> = Vec::new();
+    let weight = |d: &ModelDemand| -> f64 {
+        match arbitration {
+            Arbitration::Proportional => 1.0,
+            Arbitration::SloWeighted => d.slo_weight,
+        }
+    };
+    // Neediest open borrower each round: largest weighted residual, ties
+    // to the lowest model id.
+    let neediest = |residual: &[u64]| -> Option<usize> {
+        (0..demands.len())
+            .filter(|&i| residual[i] > 0)
+            .max_by(|&x, &y| {
+                let wx = weight(demands[x]) * residual[x] as f64;
+                let wy = weight(demands[y]) * residual[y] as f64;
+                wx.partial_cmp(&wy)
+                    .expect("finite weights")
+                    .then(demands[y].model.cmp(&demands[x].model))
+            })
+    };
+    while let Some(b) = neediest(&residual) {
+        // Cheapest donor whose copy still fits the allowance: lowest SLO
+        // weight first (SloWeighted), ties to the lowest model id.
+        let Some(l) = (0..offers.len())
+            .filter(|&i| donor_copies[i] > 0 && left.is_none_or(|a| offers[i].copy_bytes <= a))
+            .min_by(|&x, &y| {
+                let (wx, wy) = match arbitration {
+                    Arbitration::Proportional => (0.0, 0.0),
+                    Arbitration::SloWeighted => (offers[x].slo_weight, offers[y].slo_weight),
+                };
+                wx.partial_cmp(&wy)
+                    .expect("finite weights")
+                    .then(offers[x].model.cmp(&offers[y].model))
+            })
+        else {
+            break;
+        };
+        let bytes = offers[l].copy_bytes;
+        donor_copies[l] -= 1;
+        donated[l] += bytes;
+        residual[b] = residual[b].saturating_sub(bytes);
+        if let Some(a) = left.as_mut() {
+            *a -= bytes;
+        }
+        // Merge adjacent grants of the same (lender, borrower) pair.
+        match grants
+            .iter_mut()
+            .find(|g| g.lender == offers[l].model && g.borrower == demands[b].model)
+        {
+            Some(g) => g.bytes += bytes,
+            None => grants.push(DonationGrant {
+                lender: offers[l].model,
+                borrower: demands[b].model,
+                bytes,
+            }),
+        }
+    }
+
+    let donor_plans: Vec<DonorPlan> = offers
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| donated[i] > 0)
+        .map(|(i, o)| DonorPlan {
+            model: o.model,
+            plan: DropPlanner::new(o.copy_bytes).plan(&o.groups, donated[i]),
+            grants: grants
+                .iter()
+                .filter(|g| g.lender == o.model)
+                .cloned()
+                .collect(),
+        })
+        .collect();
+
     // Plan each model against its granted requirement.
-    demands
+    let plans = demands
         .iter()
         .zip(&granted)
         .map(|(d, &granted_bytes)| ArbitratedPlan {
@@ -259,7 +420,8 @@ pub fn arbitrate_drop_plans(
             granted_bytes,
             plan: DropPlanner::new(d.copy_bytes).plan(&d.groups, granted_bytes),
         })
-        .collect()
+        .collect();
+    ArbitrationOutcome { plans, donor_plans }
 }
 
 #[cfg(test)]
@@ -466,6 +628,119 @@ mod tests {
         assert_eq!(plans[0].plan.freed_bytes, COPY);
         assert_eq!(plans[1].granted_bytes, 3 * COPY);
         assert_eq!(plans[1].plan.freed_bytes, 3 * COPY);
+    }
+
+    fn offer(model: u32, weight: f64, n_groups: usize, base_id: usize) -> LenderOffer {
+        LenderOffer {
+            model: ModelId(model),
+            copy_bytes: COPY,
+            slo_weight: weight,
+            groups: (0..n_groups)
+                .map(|i| PlanGroup {
+                    id: GroupId(base_id + i),
+                    instances: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn starved_model_with_no_own_copies_receives_donations() {
+        // The borrower is fully merged (a single group): its own plan can
+        // free nothing, so donor copies must cover the requirement.
+        let demands = [demand(0, 2 * COPY, 1.0, 1, 0)];
+        let offers = [offer(1, 1.0, 4, 1)];
+        let out = arbitrate_with_donation(&demands, &offers, None, Arbitration::SloWeighted);
+        assert_eq!(out.plans[0].granted_bytes, 0);
+        assert!(out.plans[0].plan.merges.is_empty());
+        assert_eq!(out.donor_plans.len(), 1);
+        let dp = &out.donor_plans[0];
+        assert_eq!(dp.model, ModelId(1));
+        assert_eq!(dp.plan.freed_bytes, 2 * COPY);
+        assert_eq!(
+            dp.grants,
+            vec![DonationGrant {
+                lender: ModelId(1),
+                borrower: ModelId(0),
+                bytes: 2 * COPY,
+            }]
+        );
+        // Donor merges stay within the donor's own groups.
+        for m in &dp.plan.merges {
+            for g in m {
+                assert!((1..5).contains(&g.0), "donor merge uses foreign group");
+            }
+        }
+    }
+
+    #[test]
+    fn donation_respects_the_shared_allowance() {
+        // Own copies and donated copies draw on ONE allowance.
+        let demands = [demand(0, 4 * COPY, 1.0, 2, 0)]; // own freeable: 1 copy
+        let offers = [offer(1, 1.0, 4, 2)];
+        let out =
+            arbitrate_with_donation(&demands, &offers, Some(2 * COPY), Arbitration::SloWeighted);
+        let own: u64 = out.plans.iter().map(|p| p.plan.freed_bytes).sum();
+        let donated: u64 = out.donor_plans.iter().map(|p| p.plan.freed_bytes).sum();
+        assert_eq!(own, COPY);
+        assert_eq!(donated, COPY, "only one donated copy fits the allowance");
+        assert!(own + donated <= 2 * COPY);
+    }
+
+    #[test]
+    fn least_critical_lender_donates_first_under_slo_weighting() {
+        let demands = [demand(0, COPY, 5.0, 1, 0)];
+        let offers = [offer(1, 4.0, 3, 1), offer(2, 0.5, 3, 4)];
+        let out = arbitrate_with_donation(&demands, &offers, None, Arbitration::SloWeighted);
+        assert_eq!(out.donor_plans.len(), 1);
+        assert_eq!(
+            out.donor_plans[0].model,
+            ModelId(2),
+            "the cheap model lends before the latency-critical one"
+        );
+    }
+
+    #[test]
+    fn donor_keeps_one_serving_group() {
+        // A lender with 3 groups can donate at most 2 copies no matter the
+        // residual demand.
+        let demands = [demand(0, 10 * COPY, 1.0, 1, 0)];
+        let offers = [offer(1, 1.0, 3, 1)];
+        let out = arbitrate_with_donation(&demands, &offers, None, Arbitration::Proportional);
+        assert_eq!(out.donor_plans[0].plan.freed_bytes, 2 * COPY);
+        assert_eq!(out.donor_plans[0].grants[0].bytes, 2 * COPY);
+    }
+
+    #[test]
+    fn no_offers_reduces_to_plain_arbitration() {
+        let demands = [
+            demand(0, 2 * COPY, 1.0, 4, 0),
+            demand(1, 2 * COPY, 1.0, 4, 4),
+        ];
+        let with =
+            arbitrate_with_donation(&demands, &[], Some(2 * COPY), Arbitration::Proportional);
+        let plain = arbitrate_drop_plans(&demands, Some(2 * COPY), Arbitration::Proportional);
+        assert!(with.donor_plans.is_empty());
+        assert_eq!(format!("{:?}", with.plans), format!("{plain:?}"));
+    }
+
+    #[test]
+    fn donation_outcome_is_deterministic() {
+        let demands = [
+            demand(0, 3 * COPY, 2.0, 1, 0),
+            demand(1, 2 * COPY, 1.0, 1, 1),
+        ];
+        let offers = [offer(2, 1.0, 4, 2), offer(3, 0.9, 4, 6)];
+        let run = || {
+            let out = arbitrate_with_donation(
+                &demands,
+                &offers,
+                Some(4 * COPY),
+                Arbitration::SloWeighted,
+            );
+            format!("{:?}|{:?}", out.plans, out.donor_plans)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

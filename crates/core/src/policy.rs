@@ -8,7 +8,7 @@ use cluster::{
 };
 use sim_core::SimTime;
 
-use crate::plan::{arbitrate_drop_plans, Arbitration, ModelDemand, PlanGroup};
+use crate::plan::{arbitrate_with_donation, Arbitration, LenderOffer, ModelDemand, PlanGroup};
 
 /// Feature flags and thresholds of the KunServe policy.
 ///
@@ -45,6 +45,18 @@ pub struct KunServeConfig {
     pub reclaim_allowance_bytes: Option<u64>,
     /// How simultaneous per-model requirements share the allowance.
     pub arbitration: Arbitration,
+    /// Enable **cross-model KV donation**: when an overloaded model cannot
+    /// free enough from its own replicas (fully merged, or a single
+    /// group), a co-served model that is *not* overloaded may drop its own
+    /// parameter copies and lend the freed bytes to the starved model's KV
+    /// pool. Borrowed bytes are reclaimed (borrower shrinks first) before
+    /// the lender's parameters are restored.
+    pub cross_model_donation: bool,
+    /// Monitor ticks a borrower's demand must stay below the restore
+    /// threshold before its borrowed KV is handed back (and before a
+    /// lender may reclaim it for a restore). Hysteresis against
+    /// donate/reclaim thrash when demand hovers around the threshold.
+    pub donation_hold_ticks: u32,
 }
 
 impl Default for KunServeConfig {
@@ -61,6 +73,8 @@ impl Default for KunServeConfig {
             sustain_ticks: 2,
             reclaim_allowance_bytes: None,
             arbitration: Arbitration::SloWeighted,
+            cross_model_donation: true,
+            donation_hold_ticks: 8,
         }
     }
 }
@@ -90,6 +104,15 @@ impl KunServeConfig {
             ..KunServeConfig::default()
         }
     }
+
+    /// Donation-ablation variant: freed bytes only ever grow the dropping
+    /// model's own KV pool (the PR 2 behaviour).
+    pub fn without_donation() -> Self {
+        KunServeConfig {
+            cross_model_donation: false,
+            ..KunServeConfig::default()
+        }
+    }
 }
 
 /// The KunServe serving policy.
@@ -102,6 +125,10 @@ pub struct KunServePolicy {
     /// debounce is per model so one tenant's persistent overload cannot
     /// waive another tenant's spike filter.
     overloaded_ticks: std::collections::HashMap<ModelId, u32>,
+    /// Consecutive monitor ticks each *borrowing* group's demand has sat
+    /// below the restore threshold of its native capacity — the
+    /// donation-return hysteresis ([`KunServeConfig::donation_hold_ticks`]).
+    borrower_calm_ticks: std::collections::HashMap<GroupId, u32>,
     /// Drop events triggered, for reporting.
     pub drops_triggered: u32,
     /// Restore events triggered, for reporting.
@@ -116,6 +143,7 @@ impl KunServePolicy {
             restoring: HashSet::new(),
             network_configured: false,
             overloaded_ticks: std::collections::HashMap::new(),
+            borrower_calm_ticks: std::collections::HashMap::new(),
             drops_triggered: 0,
             restores_triggered: 0,
         }
@@ -161,10 +189,14 @@ impl KunServePolicy {
 
     /// Detects overload and requests merges per the Fig. 6 plan; when
     /// several models overload simultaneously their plans are arbitrated
-    /// against the shared reclaim allowance. `eligible` restricts which
-    /// models may drop this call (the per-model debounce on monitor ticks;
-    /// `None` = all, used by the reactive admission/OOM paths). Returns
-    /// `true` if a drop was initiated.
+    /// against the shared reclaim allowance. With cross-model donation
+    /// enabled, models that are *not* overloaded offer their spare replica
+    /// copies, and residual requirements (including those of fully-merged
+    /// models) are served by donor merges whose freed bytes are granted to
+    /// the starved model's KV pool. `eligible` restricts which models may
+    /// drop this call (the per-model debounce on monitor ticks; `None` =
+    /// all, used by the reactive admission/OOM paths). Returns `true` if a
+    /// drop was initiated.
     fn maybe_drop(
         &mut self,
         state: &mut ClusterState,
@@ -174,20 +206,24 @@ impl KunServePolicy {
         if !self.cfg.dynamic_drop || state.has_pending_reconfigs() {
             return false;
         }
+        let donation = self.cfg.cross_model_donation && state.cfg.num_models() > 1;
         let mut demands: Vec<ModelDemand> = Vec::new();
+        let mut offers: Vec<LenderOffer> = Vec::new();
         for model in state.cfg.model_ids() {
-            if eligible.is_some_and(|e| !e.contains(&model)) {
+            let is_eligible = eligible.is_none_or(|e| e.contains(&model));
+            // Without donation, ineligible models contribute nothing —
+            // skip them before any group scan (the reactive
+            // admission-blocked/decode-OOM hot path).
+            if !donation && !is_eligible {
                 continue;
             }
             let required = self.required_bytes_of(state, model);
-            if required == 0 {
+            if required == 0 && !donation {
                 continue;
             }
-            let required = (required as f64 * self.cfg.requirement_margin) as u64;
             // Candidates: this model's live, unfrozen groups not mid-restore.
             let candidates: Vec<PlanGroup> = state
-                .alive_groups()
-                .into_iter()
+                .alive_group_ids()
                 .filter(|&g| {
                     state.group(g).model == model
                         && !state.group(g).frozen
@@ -198,9 +234,26 @@ impl KunServePolicy {
                     instances: state.group(g).members.len() as u32,
                 })
                 .collect();
-            if candidates.len() < 2 {
+            if required == 0 {
+                // Not overloaded: with donation on, spare replica copies go
+                // on offer for starved co-served models.
+                if candidates.len() >= 2 {
+                    offers.push(LenderOffer {
+                        model,
+                        copy_bytes: Self::copy_bytes_of(state, model),
+                        slo_weight: state.cfg.slo_weight_of(model),
+                        groups: candidates,
+                    });
+                }
+                continue;
+            }
+            if !is_eligible {
+                continue;
+            }
+            if candidates.len() < 2 && !donation {
                 continue; // fully merged: fall back to KVCache-centric
             }
+            let required = (required as f64 * self.cfg.requirement_margin) as u64;
             demands.push(ModelDemand {
                 model,
                 required_bytes: required,
@@ -212,13 +265,14 @@ impl KunServePolicy {
         if demands.is_empty() {
             return false;
         }
-        let plans = arbitrate_drop_plans(
+        let outcome = arbitrate_with_donation(
             &demands,
+            &offers,
             self.cfg.reclaim_allowance_bytes,
             self.cfg.arbitration,
         );
         let mut any = false;
-        for arb in &plans {
+        for arb in &outcome.plans {
             for merge in &arb.plan.merges {
                 state.request_merge(merge.clone());
                 any = true;
@@ -226,6 +280,35 @@ impl KunServePolicy {
             if !arb.plan.merges.is_empty() {
                 // This model got its drop; its debounce restarts.
                 self.overloaded_ticks.remove(&arb.model);
+            }
+        }
+        // Donor merges: walk each donor's merges in plan order, assigning
+        // the freed copies to its grants front to back — every merge
+        // carries exactly the grants its freed bytes cover.
+        for dp in &outcome.donor_plans {
+            let copy_bytes = Self::copy_bytes_of(state, dp.model);
+            let mut queue: Vec<(ModelId, u64)> =
+                dp.grants.iter().map(|g| (g.borrower, g.bytes)).collect();
+            for merge in &dp.plan.merges {
+                let mut freed = (merge.len() as u64 - 1) * copy_bytes;
+                let mut grants = Vec::new();
+                while freed > 0 && !queue.is_empty() {
+                    let (borrower, bytes) = &mut queue[0];
+                    let take = (*bytes).min(freed);
+                    grants.push((*borrower, take));
+                    *bytes -= take;
+                    freed -= take;
+                    if *bytes == 0 {
+                        queue.remove(0);
+                    }
+                }
+                state.request_merge_granting(merge.clone(), grants);
+                any = true;
+            }
+            if !dp.plan.merges.is_empty() {
+                for g in &dp.grants {
+                    self.overloaded_ticks.remove(&g.borrower);
+                }
             }
         }
         if any {
@@ -236,15 +319,62 @@ impl KunServePolicy {
 
     /// Detects demand subsiding and starts background parameter pulls
     /// (§4.4). The split is requested when the pulls complete.
+    ///
+    /// Donation-aware restore ordering: a group whose demand subsided
+    /// first hands back anything it *borrowed*; a lender group must get
+    /// every donated byte back (borrower shrinks, retried each tick until
+    /// it drains) **before** its parameter pulls may start — the restored
+    /// tail is the lent memory.
     fn maybe_restore(&mut self, state: &mut ClusterState, now: SimTime) {
         if !self.cfg.restore || state.has_pending_reconfigs() {
             return;
         }
         self.restoring.retain(|&g| state.group_alive(g));
+
+        // Track per-borrower calm: consecutive ticks a borrowing group's
+        // demand stayed below the restore threshold of its *native*
+        // capacity. Borrowed KV only goes home once the borrower has been
+        // calm for `donation_hold_ticks` — the hysteresis that prevents
+        // donate/reclaim thrash while demand hovers around the threshold.
+        self.borrower_calm_ticks
+            .retain(|&g, _| state.group_alive(g) && state.group_has_borrowed(g));
+        for g in state.alive_groups() {
+            if !state.group_has_borrowed(g) {
+                continue;
+            }
+            let blocks = &state.group(g).blocks;
+            let native_tokens =
+                blocks.native_capacity_blocks() as u64 * blocks.block_tokens() as u64;
+            let demand = state.group_demand_tokens(g);
+            if (demand as f64) < self.cfg.restore_threshold * native_tokens as f64 {
+                *self.borrower_calm_ticks.entry(g).or_insert(0) += 1;
+            } else {
+                self.borrower_calm_ticks.remove(&g);
+            }
+        }
+        let borrower_calm = |calm: &std::collections::HashMap<GroupId, u32>,
+                             state: &ClusterState,
+                             g: GroupId|
+         -> bool {
+            !state.group_alive(g)
+                || calm.get(&g).copied().unwrap_or(0) >= self.cfg.donation_hold_ticks
+        };
+
         for g in state.alive_groups() {
             let kv = state.group_model_cfg(g).kv_bytes_per_token();
+            {
+                let group = state.group(g);
+                if group.frozen || self.restoring.contains(&g) {
+                    continue;
+                }
+            }
+            // Borrower-side return: once this group has been calm long
+            // enough, its borrowed extents go home.
+            if state.group_has_borrowed(g) && borrower_calm(&self.borrower_calm_ticks, state, g) {
+                state.try_return_borrowed(g, now);
+            }
             let group = state.group(g);
-            if group.stages() < 2 || group.frozen || self.restoring.contains(&g) {
+            if group.stages() < 2 {
                 continue;
             }
             let base_tokens: u64 = group
@@ -253,11 +383,33 @@ impl KunServePolicy {
                 .map(|&m| state.instances[m.0 as usize].kv_base_bytes() / kv)
                 .sum();
             let demand = state.group_demand_tokens(g);
-            if (demand as f64) < self.cfg.restore_threshold * base_tokens as f64
-                && state.start_param_restore(g, now)
-            {
-                self.restoring.insert(g);
-                self.restores_triggered += 1;
+            if (demand as f64) < self.cfg.restore_threshold * base_tokens as f64 {
+                // Lender-side reclaim precedes the parameter pulls — and a
+                // lender only pulls a loan back once every borrower of its
+                // bytes has been calm for the hold-down, so a lightly
+                // loaded donor does not snatch KV from a still-bursting
+                // borrower just because *it* could restore.
+                if state.group_donations_out(g) {
+                    let borrowers: Vec<GroupId> = state
+                        .donations
+                        .iter()
+                        .filter(|d| d.lender_group == g)
+                        .map(|d| d.borrower_group)
+                        .collect();
+                    if !borrowers
+                        .iter()
+                        .all(|&b| borrower_calm(&self.borrower_calm_ticks, state, b))
+                    {
+                        continue;
+                    }
+                    if !state.try_reclaim_donations(g, now) {
+                        continue; // borrower not drained yet; retry next tick
+                    }
+                }
+                if state.start_param_restore(g, now) {
+                    self.restoring.insert(g);
+                    self.restores_triggered += 1;
+                }
             }
         }
     }

@@ -23,6 +23,15 @@ pub enum KvError {
         /// Capacity requested.
         requested: u32,
     },
+    /// The pool has no extent with the requested tag.
+    UnknownExtent,
+    /// The tagged extent is smaller than the requested shrink.
+    ExtentUnderflow {
+        /// Blocks the extent holds.
+        have: u32,
+        /// Blocks requested to remove.
+        requested: u32,
+    },
     /// The host swap pool is full.
     SwapPoolFull {
         /// Blocks needed in the host pool.
@@ -44,6 +53,10 @@ impl fmt::Display for KvError {
             KvError::AlreadyAllocated => write!(f, "sequence already allocated"),
             KvError::ShrinkBelowUsage { used, requested } => {
                 write!(f, "cannot shrink to {requested} blocks: {used} in use")
+            }
+            KvError::UnknownExtent => write!(f, "no extent with the requested tag"),
+            KvError::ExtentUnderflow { have, requested } => {
+                write!(f, "extent holds {have} blocks, cannot remove {requested}")
             }
             KvError::SwapPoolFull { needed, free } => {
                 write!(f, "host swap pool full: need {needed}, {free} free")

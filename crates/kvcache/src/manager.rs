@@ -21,15 +21,44 @@ struct BlockTable {
     tokens: u64,
 }
 
-/// A paged KVCache allocator with per-sequence block tables.
+/// Where one capacity extent of a segmented pool came from.
 ///
-/// Capacity is measured in blocks of `block_tokens` token slots. The
-/// capacity can be **resized live**: growing models KunServe's remapping of
-/// freed parameter memory into the KVCache region; shrinking (used on
-/// restore) fails unless enough blocks are free.
+/// The elastic memory ledger tags every slice of a group's KV capacity with
+/// its provenance, so lender/borrower accounting and reclaim ordering are
+/// explicit instead of implied by a single opaque capacity number:
+///
+/// - [`ExtentTag::Native`]: the base pool carved out at construction;
+/// - [`ExtentTag::Remap`]: capacity gained by remapping this model's own
+///   dropped parameter memory into the KV region (KunServe §4.1);
+/// - [`ExtentTag::Borrowed`]: capacity *donated* by another co-served
+///   model's drop — physically resident on the lender's devices, reclaimed
+///   before the lender restores its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExtentTag {
+    /// The base pool mapped at construction.
+    Native,
+    /// Capacity from this model's own dropped parameters.
+    Remap,
+    /// Capacity borrowed from another model (the lender's model id).
+    Borrowed(u32),
+}
+
+/// A paged KVCache allocator with per-sequence block tables over a
+/// **segmented** capacity.
+///
+/// Capacity is measured in blocks of `block_tokens` token slots and is the
+/// sum of tagged *extents* (see [`ExtentTag`]). Extents can be grown and
+/// shrunk live: growth models KunServe's remapping of freed parameter
+/// memory (or a cross-model donation) into the KVCache region; shrinking
+/// (used on restore/reclaim) fails unless enough blocks are free. Blocks
+/// themselves are fungible — the segmentation is an accounting layer, so a
+/// reclaim needs free *headroom*, which callers create by draining usage
+/// from the borrowed share first.
 #[derive(Debug, Clone)]
 pub struct BlockManager {
-    capacity: u32,
+    /// Tagged capacity extents; the total capacity is their sum. At most
+    /// one extent per tag (grows merge into the existing extent).
+    extents: Vec<(ExtentTag, u32)>,
     block_tokens: u32,
     next_free: u32,
     recycled: Vec<BlockId>,
@@ -38,7 +67,8 @@ pub struct BlockManager {
 }
 
 impl BlockManager {
-    /// Creates a manager with `capacity` blocks of `block_tokens` tokens.
+    /// Creates a manager with a single [`ExtentTag::Native`] extent of
+    /// `capacity` blocks of `block_tokens` tokens.
     ///
     /// # Panics
     ///
@@ -46,7 +76,7 @@ impl BlockManager {
     pub fn new(capacity: u32, block_tokens: u32) -> Self {
         assert!(block_tokens > 0, "block size must be positive");
         BlockManager {
-            capacity,
+            extents: vec![(ExtentTag::Native, capacity)],
             block_tokens,
             next_free: 0,
             recycled: Vec::new(),
@@ -60,14 +90,112 @@ impl BlockManager {
         self.block_tokens
     }
 
-    /// Total capacity in blocks.
+    /// Total capacity in blocks (sum over all extents).
     pub fn capacity_blocks(&self) -> u32 {
-        self.capacity
+        self.extents.iter().map(|&(_, b)| b).sum()
+    }
+
+    /// Blocks of the extent tagged `tag` (0 if absent).
+    pub fn extent_blocks(&self, tag: ExtentTag) -> u32 {
+        self.extents
+            .iter()
+            .find(|&&(t, _)| t == tag)
+            .map_or(0, |&(_, b)| b)
+    }
+
+    /// Total blocks borrowed from other models.
+    pub fn borrowed_blocks(&self) -> u32 {
+        self.extents
+            .iter()
+            .filter(|(t, _)| matches!(t, ExtentTag::Borrowed(_)))
+            .map(|&(_, b)| b)
+            .sum()
+    }
+
+    /// Capacity excluding borrowed extents — the share physically resident
+    /// on this group's own devices.
+    pub fn native_capacity_blocks(&self) -> u32 {
+        self.capacity_blocks() - self.borrowed_blocks()
+    }
+
+    /// Lender model ids with live borrowed extents, ascending.
+    pub fn lenders(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .extents
+            .iter()
+            .filter_map(|&(t, b)| match t {
+                ExtentTag::Borrowed(l) if b > 0 => Some(l),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Grows the extent tagged `tag` by `blocks` (creating it if absent).
+    pub fn grow_extent(&mut self, tag: ExtentTag, blocks: u32) {
+        if blocks == 0 {
+            return;
+        }
+        match self.extents.iter_mut().find(|(t, _)| *t == tag) {
+            Some((_, b)) => *b += blocks,
+            None => self.extents.push((tag, blocks)),
+        }
+    }
+
+    /// Shrinks the extent tagged `tag` by `blocks`.
+    ///
+    /// Fails with [`KvError::UnknownExtent`] / [`KvError::ExtentUnderflow`]
+    /// if the extent is absent or smaller than `blocks`, and with
+    /// [`KvError::ShrinkBelowUsage`] if fewer than `blocks` blocks are free
+    /// — usage must drain (borrowed blocks first, from the caller's
+    /// perspective) before capacity can be handed back.
+    pub fn shrink_extent(&mut self, tag: ExtentTag, blocks: u32) -> Result<()> {
+        if blocks == 0 {
+            return Ok(());
+        }
+        let have = match self.extents.iter().find(|&&(t, _)| t == tag) {
+            None => return Err(KvError::UnknownExtent),
+            Some(&(_, b)) => b,
+        };
+        if have < blocks {
+            return Err(KvError::ExtentUnderflow {
+                have,
+                requested: blocks,
+            });
+        }
+        if self.free_blocks() < blocks {
+            return Err(KvError::ShrinkBelowUsage {
+                used: self.used,
+                requested: self.capacity_blocks() - blocks,
+            });
+        }
+        let e = self
+            .extents
+            .iter_mut()
+            .find(|(t, _)| *t == tag)
+            .expect("checked above");
+        e.1 -= blocks;
+        self.extents
+            .retain(|&(t, b)| t == ExtentTag::Native || b > 0);
+        Ok(())
+    }
+
+    /// Reclaims the **whole** extent tagged `tag`, returning how many
+    /// blocks were handed back. Same failure modes as
+    /// [`BlockManager::shrink_extent`].
+    pub fn reclaim_extent(&mut self, tag: ExtentTag) -> Result<u32> {
+        let have = match self.extents.iter().find(|&&(t, _)| t == tag) {
+            None => return Err(KvError::UnknownExtent),
+            Some(&(_, b)) => b,
+        };
+        self.shrink_extent(tag, have)?;
+        Ok(have)
     }
 
     /// Total capacity in token slots.
     pub fn capacity_tokens(&self) -> u64 {
-        self.capacity as u64 * self.block_tokens as u64
+        self.capacity_blocks() as u64 * self.block_tokens as u64
     }
 
     /// Blocks currently allocated to sequences.
@@ -77,7 +205,7 @@ impl BlockManager {
 
     /// Blocks currently free.
     pub fn free_blocks(&self) -> u32 {
-        self.capacity - self.used
+        self.capacity_blocks() - self.used
     }
 
     /// Tokens currently stored across all sequences.
@@ -182,21 +310,36 @@ impl BlockManager {
         self.allocate(seq, tokens)
     }
 
-    /// Grows or shrinks the capacity to `new_capacity` blocks.
+    /// Grows or shrinks the **native** extent so the total capacity becomes
+    /// `new_capacity` blocks (the legacy single-extent resize).
     ///
     /// Growth always succeeds. Shrinking fails with
     /// [`KvError::ShrinkBelowUsage`] if fewer than `capacity - new_capacity`
     /// blocks are free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shrink would cut into non-native extents — segmented
+    /// pools shrink via [`BlockManager::shrink_extent`].
     pub fn resize(&mut self, new_capacity: u32) -> Result<()> {
+        let cap = self.capacity_blocks();
+        if new_capacity >= cap {
+            self.grow_extent(ExtentTag::Native, new_capacity - cap);
+            return Ok(());
+        }
         if new_capacity < self.used {
             return Err(KvError::ShrinkBelowUsage {
                 used: self.used,
                 requested: new_capacity,
             });
         }
-        // Drop recycled ids beyond the new capacity; fresh ids start above
-        // the high-water mark, which stays valid across grows.
-        self.capacity = new_capacity;
+        let delta = cap - new_capacity;
+        assert!(
+            self.extent_blocks(ExtentTag::Native) >= delta,
+            "resize below the native extent; shrink tagged extents explicitly"
+        );
+        self.shrink_extent(ExtentTag::Native, delta)
+            .expect("usage checked above");
         Ok(())
     }
 
@@ -311,6 +454,70 @@ mod tests {
         assert_eq!(m.blocks_for(1), 1);
         assert_eq!(m.blocks_for(64), 1);
         assert_eq!(m.blocks_for(6400), 100);
+    }
+
+    #[test]
+    fn borrowed_extent_lifecycle() {
+        // grant → borrow → reclaim, with lender accounting throughout.
+        let mut m = BlockManager::new(4, 64);
+        m.grow_extent(ExtentTag::Borrowed(1), 6);
+        assert_eq!(m.capacity_blocks(), 10);
+        assert_eq!(m.native_capacity_blocks(), 4);
+        assert_eq!(m.borrowed_blocks(), 6);
+        assert_eq!(m.extent_blocks(ExtentTag::Borrowed(1)), 6);
+        assert_eq!(m.lenders(), vec![1]);
+        // Usage may spill into the borrowed share...
+        m.allocate(SeqKey(1), 9 * 64).expect("spills into borrowed");
+        // ...and then the reclaim must wait for headroom.
+        assert_eq!(
+            m.reclaim_extent(ExtentTag::Borrowed(1)),
+            Err(KvError::ShrinkBelowUsage {
+                used: 9,
+                requested: 4
+            })
+        );
+        m.free(SeqKey(1)).expect("drain");
+        assert_eq!(m.reclaim_extent(ExtentTag::Borrowed(1)), Ok(6));
+        assert_eq!(m.capacity_blocks(), 4);
+        assert!(m.lenders().is_empty());
+        assert_eq!(
+            m.reclaim_extent(ExtentTag::Borrowed(1)),
+            Err(KvError::UnknownExtent)
+        );
+    }
+
+    #[test]
+    fn remap_extent_grows_and_shrinks() {
+        let mut m = BlockManager::new(2, 64);
+        m.grow_extent(ExtentTag::Remap, 4);
+        m.grow_extent(ExtentTag::Remap, 2);
+        assert_eq!(m.extent_blocks(ExtentTag::Remap), 6);
+        assert_eq!(m.native_capacity_blocks(), 8, "remap is locally resident");
+        assert_eq!(
+            m.shrink_extent(ExtentTag::Remap, 7),
+            Err(KvError::ExtentUnderflow {
+                have: 6,
+                requested: 7
+            })
+        );
+        m.shrink_extent(ExtentTag::Remap, 6).expect("all free");
+        assert_eq!(m.capacity_blocks(), 2);
+        assert_eq!(
+            m.shrink_extent(ExtentTag::Remap, 1),
+            Err(KvError::UnknownExtent)
+        );
+    }
+
+    #[test]
+    fn resize_keeps_tagged_extents_intact() {
+        let mut m = BlockManager::new(4, 64);
+        m.grow_extent(ExtentTag::Borrowed(2), 3);
+        m.resize(9).expect("grow native to 6");
+        assert_eq!(m.extent_blocks(ExtentTag::Native), 6);
+        assert_eq!(m.extent_blocks(ExtentTag::Borrowed(2)), 3);
+        m.resize(5).expect("shrink native back");
+        assert_eq!(m.extent_blocks(ExtentTag::Native), 2);
+        assert_eq!(m.borrowed_blocks(), 3);
     }
 
     #[test]

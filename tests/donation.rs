@@ -1,0 +1,363 @@
+//! Cross-model KV donation tests: the elastic-HBM ledger invariants at
+//! every simulated step, the end-to-end claim that donation rescues a
+//! memory-starved model another model can bail out, the reclaim-before-
+//! restore ordering, and worker-count invariance of the sharded executor
+//! with donation active.
+
+use bench::MultiScenario;
+use cluster::{ClusterConfig, ClusterState, Engine, ModelId};
+use kunserve::serving::{run_system, run_system_sharded, SystemKind};
+use kunserve_repro::prelude::*;
+use proptest::prelude::*;
+use sim_core::SimTime;
+use workload::Trace;
+
+/// The CI-gated donation ablation scenario (see
+/// [`MultiScenario::fig18_donation_smoke`]): the primary model (m0) has
+/// spare replicas and light traffic (the lender); the chat model (m1)
+/// runs on a single instance — one group, nothing of its own to drop —
+/// and takes a hard decode-heavy burst (the borrower). Reusing the bench
+/// scenario keeps this test and the `fig18_donation.json` gate testing
+/// the same regime.
+fn donation_cluster() -> ClusterConfig {
+    MultiScenario::fig18_donation_smoke().cfg
+}
+
+/// The gated scenario's trace, verbatim.
+fn donation_trace() -> Trace {
+    MultiScenario::fig18_donation_smoke().trace()
+}
+
+/// A parameterized variant of the same shape for the property tests:
+/// light steady lender traffic + a hard early borrower burst over `secs`
+/// seconds, borrower requests clamped to the scenario's chat-sized
+/// bounds so every request *fits* the native pool (memory binds on
+/// concurrency, not on a single unadmittable prompt).
+fn donation_trace_with(
+    lender_rps: f64,
+    borrower_rps: f64,
+    mult: f64,
+    seed: u64,
+    secs: u64,
+) -> Trace {
+    let shape = MultiScenario::fig18_donation_smoke();
+    let (ilo, ihi) = shape.workloads[1].input_clamp.expect("borrower clamped");
+    let (olo, ohi) = shape.workloads[1].output_clamp.expect("borrower clamped");
+    let lender = BurstTraceBuilder::new(Dataset::BurstGpt)
+        .base_rps(lender_rps)
+        .duration(SimDuration::from_secs(secs))
+        .seed(seed)
+        .build();
+    let mut borrower = BurstTraceBuilder::new(Dataset::BurstGpt)
+        .base_rps(borrower_rps)
+        .duration(SimDuration::from_secs(secs))
+        .burst(SimTime::from_secs(5), SimDuration::from_secs(12), mult)
+        .seed(seed ^ 0x00D0_7A7E)
+        .model(ModelId(1))
+        .build();
+    for r in &mut borrower.requests {
+        r.input_tokens = r.input_tokens.clamp(ilo, ihi);
+        r.output_tokens = r.output_tokens.clamp(olo, ohi);
+    }
+    Trace::merge(&[lender, borrower])
+}
+
+/// The full ledger invariants (HBM accounting, restore ordering, and the
+/// donation cross-audit of borrowed extents vs. records), per step.
+fn check_step(state: &ClusterState, now: SimTime, violations: &mut Vec<String>) {
+    violations.extend(state.ledger().check_invariants(&now.to_string()));
+}
+
+#[test]
+fn donation_rescues_the_starved_model_and_reclaims_cleanly() {
+    let sc = MultiScenario::fig18_donation_smoke();
+    let cfg = sc.cfg.clone();
+    let trace = donation_trace();
+    let drain = sc.drain;
+
+    // Donation off: the borrower has no parameter-centric relief.
+    let off = run_system(
+        SystemKind::KunServeWith(KunServeConfig::without_donation()),
+        cfg.clone(),
+        &trace,
+        drain,
+    );
+    assert_eq!(off.report.donated_bytes_peak, 0, "ablation must not donate");
+
+    // Donation on (the default), with step-level invariant checking.
+    let mut eng = Engine::new(cfg, KunServePolicy::new(KunServeConfig::default()));
+    let mut violations = Vec::new();
+    let on = eng.run_observed(&trace, drain, |state, now| {
+        check_step(state, now, &mut violations);
+    });
+    assert!(violations.is_empty(), "{}", violations.join("\n"));
+    assert_eq!(on.finished_requests, trace.len(), "lost requests");
+    assert!(
+        on.donated_bytes_peak > 0,
+        "the borrower's burst must trigger a donation"
+    );
+
+    // Lifecycle: drop → grant → borrow → reclaim; after the drain the
+    // ledger is settled and every lender restored.
+    let state = eng.into_state();
+    let events: Vec<&str> = state
+        .metrics
+        .reconfig_events
+        .iter()
+        .map(|(_, w)| w.as_str())
+        .collect();
+    assert!(
+        events.iter().any(|w| w.starts_with("donate:")),
+        "expected a donate event; got {events:?}"
+    );
+    assert!(
+        events.iter().any(|w| w.starts_with("reclaim:")),
+        "expected a reclaim event; got {events:?}"
+    );
+    assert_eq!(state.donated_bytes_outstanding(), 0, "ledger not settled");
+    for inst in &state.instances {
+        assert_eq!(inst.donated_out_bytes(), 0, "{} still lending", inst.id);
+        assert_eq!(inst.dropped_layers(), 0, "{} not restored", inst.id);
+    }
+
+    // The headline: the starved model's p99 TTFT strictly improves with
+    // donation, and the donor stays comparable.
+    let on_m1 = on.model_report(ModelId(1)).expect("borrower served");
+    let off_m1 = off
+        .report
+        .model_report(ModelId(1))
+        .expect("borrower served");
+    assert!(
+        on_m1.ttft.p99 < off_m1.ttft.p99,
+        "donation must improve the starved model's p99: on {:.2}s vs off {:.2}s",
+        on_m1.ttft.p99,
+        off_m1.ttft.p99
+    );
+    let on_m0 = on.model_report(ModelId(0)).expect("donor served");
+    assert_eq!(
+        on_m0.finished_requests, on_m0.total_requests,
+        "the donor must still finish everything"
+    );
+}
+
+#[test]
+fn sharded_donation_byte_identical_across_1_2_4_workers() {
+    let run = |workers: usize| {
+        let out = run_system_sharded(
+            SystemKind::KunServe,
+            donation_cluster(),
+            &donation_trace(),
+            SimDuration::from_secs(900),
+            ParallelConfig {
+                workers,
+                num_shards: 4,
+                lookahead: None,
+            },
+        );
+        (
+            out.report.donated_bytes_peak,
+            format!(
+                "{:?}|{:?}|{:?}",
+                out.report, out.report.per_model, out.state.metrics.reconfig_events
+            ),
+        )
+    };
+    let (peak, one) = run(1);
+    assert!(peak > 0, "donation must fire on the sharded path too");
+    for workers in [2usize, 4] {
+        assert_eq!(
+            one,
+            run(workers).1,
+            "sharded donation run must be identical at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn reclaimed_bytes_regrow_the_lender_pool_immediately() {
+    // A lender that keeps serving merged after a borrower-initiated
+    // return must see the reclaimed bytes in its own capacity right away,
+    // not only after its next reconfiguration.
+    let mut state = ClusterState::new(donation_cluster());
+    let now = SimTime::ZERO;
+    let m0_groups: Vec<_> = state
+        .alive_groups()
+        .into_iter()
+        .filter(|&g| state.group(g).model == ModelId(0))
+        .take(2)
+        .collect();
+    state.request_merge_granting(m0_groups, vec![(ModelId(1), u64::MAX / 2)]);
+    let created = state.execute_ready_reconfigs(now);
+    assert_eq!(created.len(), 1, "merge must execute");
+    let lender_group = created[0];
+    assert!(state.donated_bytes_outstanding() > 0, "grant must land");
+    let borrower_group = state.donations[0].borrower_group;
+    assert!(state.group_has_borrowed(borrower_group));
+    let cap_before = state.group(lender_group).blocks.capacity_blocks();
+
+    // Nothing admitted on the borrower: the return succeeds at once.
+    assert!(state.try_return_borrowed(borrower_group, now));
+    assert_eq!(state.donated_bytes_outstanding(), 0);
+    assert!(!state.group_has_borrowed(borrower_group));
+    let cap_after = state.group(lender_group).blocks.capacity_blocks();
+    assert!(
+        cap_after > cap_before,
+        "returned bytes must be usable immediately: {cap_before} -> {cap_after} blocks"
+    );
+    let violations = state.ledger().check_invariants("after-return");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+/// Builds a two-model cluster with an active donation from m0's first
+/// two groups to m1's most-loaded group, returning
+/// `(state, lender_group, borrower_group)`.
+fn cluster_with_live_donation(
+    cfg: ClusterConfig,
+) -> (ClusterState, cluster::GroupId, cluster::GroupId) {
+    let mut state = ClusterState::new(cfg);
+    let m0_groups: Vec<_> = state
+        .alive_groups()
+        .into_iter()
+        .filter(|&g| state.group(g).model == ModelId(0))
+        .take(2)
+        .collect();
+    state.request_merge_granting(m0_groups, vec![(ModelId(1), u64::MAX / 2)]);
+    let created = state.execute_ready_reconfigs(SimTime::ZERO);
+    assert_eq!(created.len(), 1, "merge must execute");
+    let lender_group = created[0];
+    assert!(state.donated_bytes_outstanding() > 0, "grant must land");
+    let borrower_group = state.donations[0].borrower_group;
+    (state, lender_group, borrower_group)
+}
+
+#[test]
+fn borrower_failure_returns_the_loan_and_regrows_the_lender() {
+    // Two borrower instances so the failed group's requests have a
+    // fallback home (a whole-model wipeout is out of scope here).
+    let mut cfg = ClusterConfig::tiny_two_model(4, 2);
+    cfg.reserve_frac = 0.45;
+    let (mut state, lender_group, borrower_group) = cluster_with_live_donation(cfg);
+    let cap_before = state.group(lender_group).blocks.capacity_blocks();
+    let victim = state.group(borrower_group).members[0];
+    state.fail_instance(victim, SimTime::ZERO);
+    assert_eq!(state.donated_bytes_outstanding(), 0, "loan must settle");
+    for inst in &state.instances {
+        assert_eq!(inst.donated_out_bytes(), 0, "{} still lending", inst.id);
+    }
+    assert!(
+        state.group(lender_group).blocks.capacity_blocks() > cap_before,
+        "returned bytes must regrow the lender pool immediately"
+    );
+    let violations = state.ledger().check_invariants("borrower-failed");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn lender_failure_force_reclaims_before_the_survivor_restores() {
+    let (mut state, lender_group, borrower_group) = cluster_with_live_donation(donation_cluster());
+    let victim = state.group(lender_group).members[0];
+    // The survivor's restore_all would panic if any donated byte were
+    // still outstanding — this exercising the force-reclaim ordering.
+    let new_groups = state.fail_instance(victim, SimTime::ZERO);
+    assert!(!new_groups.is_empty(), "a survivor must return to service");
+    assert_eq!(state.donated_bytes_outstanding(), 0, "loan must settle");
+    assert!(
+        !state.group_has_borrowed(borrower_group),
+        "the borrower's extent must be gone"
+    );
+    for inst in &state.instances {
+        if inst.id != victim {
+            assert_eq!(inst.dropped_layers(), 0, "{} must be restored", inst.id);
+        }
+    }
+    let violations = state.ledger().check_invariants("lender-failed");
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn single_model_cluster_never_donates() {
+    // Donation enabled but nobody to lend to: byte-identical to the
+    // ablation on a single-model cluster.
+    let trace = BurstTraceBuilder::new(Dataset::BurstGpt)
+        .base_rps(60.0)
+        .duration(SimDuration::from_secs(20))
+        .burst(SimTime::from_secs(5), SimDuration::from_secs(10), 3.0)
+        .seed(3)
+        .build();
+    let mut cfg = ClusterConfig::tiny_test(4);
+    cfg.reserve_frac = 0.45;
+    let drain = SimDuration::from_secs(600);
+    let on = run_system(SystemKind::KunServe, cfg.clone(), &trace, drain);
+    let off = run_system(
+        SystemKind::KunServeWith(KunServeConfig::without_donation()),
+        cfg,
+        &trace,
+        drain,
+    );
+    assert_eq!(on.report.donated_bytes_peak, 0);
+    assert_eq!(
+        format!("{:?}", on.report),
+        format!("{:?}", off.report),
+        "donation flag must be inert on single-model clusters"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Donation safety under random overloads, serial executor: at every
+    /// simulated step borrowed KV is fully returned before any donor
+    /// instance completes a parameter restore (the ledger's
+    /// `fully_resident ⇒ donated_out == 0` invariant), and params + KV
+    /// never exceed HBM on any device.
+    #[test]
+    fn donation_invariants_hold_at_every_step(
+        seed in 0u64..300,
+        lender_rps in 8u64..18,
+        borrower_rps in 3u64..10,
+        mult_x10 in 30u64..90,
+    ) {
+        let trace = donation_trace_with(
+            lender_rps as f64,
+            borrower_rps as f64,
+            mult_x10 as f64 / 10.0,
+            seed,
+            25,
+        );
+        let mut eng = Engine::new(
+            donation_cluster(),
+            KunServePolicy::new(KunServeConfig::default()),
+        );
+        let mut violations = Vec::new();
+        let report = eng.run_observed(&trace, SimDuration::from_secs(900), |state, now| {
+            check_step(state, now, &mut violations);
+        });
+        prop_assert!(violations.is_empty(), "{}", violations.join("\n"));
+        prop_assert_eq!(report.finished_requests, trace.len(), "requests lost");
+    }
+
+    /// The same safety property on the sharded executor (invariants are
+    /// checked at every barrier, where a consistent state exists).
+    #[test]
+    fn sharded_donation_invariants_hold_at_every_barrier(
+        seed in 0u64..300,
+        workers in 1usize..5,
+    ) {
+        let trace = donation_trace_with(12.0, 6.0, 6.0, seed, 25);
+        let mut eng = cluster::ShardedEngine::new(
+            donation_cluster(),
+            KunServePolicy::new(KunServeConfig::default()),
+            ParallelConfig {
+                workers,
+                num_shards: 4,
+                lookahead: None,
+            },
+        );
+        let mut violations = Vec::new();
+        let report = eng.run_observed(&trace, SimDuration::from_secs(900), |state, now| {
+            check_step(state, now, &mut violations);
+        });
+        prop_assert!(violations.is_empty(), "{}", violations.join("\n"));
+        prop_assert_eq!(report.finished_requests, trace.len(), "requests lost");
+    }
+}

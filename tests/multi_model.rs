@@ -29,27 +29,10 @@ fn two_model_trace(rps_a: f64, rps_b: f64, mult: f64, seed: u64) -> Trace {
 /// Checks every step-level invariant of multi-model HBM accounting; any
 /// violations are returned as messages (empty = all invariants held).
 fn check_invariants(state: &ClusterState, now: SimTime, violations: &mut Vec<String>) {
-    // (1) Per instance: resident parameters + this instance's share of
-    // allocated KV + the activation reserve never exceed its HBM.
-    // (2) Cluster-wide: the sums never exceed total HBM.
-    let mut total_used = 0u64;
-    let mut total_hbm = 0u64;
-    for inst in &state.instances {
-        let (params, kv_used, reserve, hbm) = state.instance_hbm_breakdown(inst.id);
-        if params + kv_used + reserve > hbm {
-            violations.push(format!(
-                "{now}: {id} over capacity: params {params} + kv {kv_used} + reserve {reserve} > hbm {hbm}",
-                id = inst.id,
-            ));
-        }
-        total_used += params + kv_used;
-        total_hbm += hbm;
-    }
-    if total_used > total_hbm {
-        violations.push(format!(
-            "{now}: cluster params+kv {total_used} exceed total HBM {total_hbm}"
-        ));
-    }
+    // (1)+(2) Per instance and cluster-wide HBM accounting (params + KV +
+    // donations + reserve ≤ HBM) — the shared `MemoryLedger` invariants,
+    // which the executors also `debug_assert!` at barriers.
+    violations.extend(state.ledger().check_invariants(&now.to_string()));
     // (3) Every live group jointly holds a complete copy of its model, so
     // it never serves with missing (dropped, unrestored) parameters; a
     // standalone instance must hold the full copy itself.
