@@ -6,8 +6,17 @@
 //! show up here before they show up in end-to-end wall-clock.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kvcache::{BlockManager, ExtentTag, SeqKey};
+use kvcache::{BlockManager, ExtentTag, Loan, SeqKey};
 use std::hint::black_box;
+
+/// A whole-copy loan of an 8-layer lender, for benchmark purposes.
+fn loan(lender: u32) -> Loan {
+    Loan {
+        lender,
+        layer_start: 0,
+        layer_end: 8,
+    }
+}
 
 /// One drop/restore round trip: grow the remap extent, lend a borrowed
 /// extent, reclaim it, shrink back — the exact sequence a KunServe
@@ -22,8 +31,10 @@ fn bench_grow_shrink_reclaim(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(seqs), &seqs, |b, _| {
             b.iter(|| {
                 m.grow_extent(ExtentTag::Remap, 4096);
-                m.grow_extent(ExtentTag::Borrowed(1), 2048);
-                let got = m.reclaim_extent(ExtentTag::Borrowed(1)).expect("free");
+                m.grow_extent(ExtentTag::Borrowed(loan(1)), 2048);
+                let got = m
+                    .reclaim_extent(ExtentTag::Borrowed(loan(1)))
+                    .expect("free");
                 m.shrink_extent(ExtentTag::Remap, 4096).expect("free");
                 black_box(got)
             })
@@ -59,8 +70,8 @@ fn bench_alloc_append_free(c: &mut Criterion) {
 fn bench_accounting_reads(c: &mut Criterion) {
     let mut m = BlockManager::new(64 * 1024, 64);
     m.grow_extent(ExtentTag::Remap, 4096);
-    m.grow_extent(ExtentTag::Borrowed(1), 2048);
-    m.grow_extent(ExtentTag::Borrowed(2), 2048);
+    m.grow_extent(ExtentTag::Borrowed(loan(1)), 2048);
+    m.grow_extent(ExtentTag::Borrowed(loan(2)), 2048);
     for i in 0..4096u64 {
         m.allocate(SeqKey(i), 640).expect("fits");
     }

@@ -2,7 +2,22 @@
 //! fails (exit 1) on malformed output, missing fields, lost requests or a
 //! p99-TTFT regression beyond the stored tolerance.
 //!
-//! Usage: `check_bench_json <bench.json> <tolerance.json>`
+//! Usage:
+//! - `check_bench_json <bench.json> <tolerance.json>` — the regression
+//!   gate described below;
+//! - `check_bench_json --schema <bench.json>...` — schema validation
+//!   only: every document must carry the bench-JSON contract
+//!   (`figure`, `wall_clock_ms`, `threads`, `threads_available`, a
+//!   `systems` array — top-level or per scenario — whose entries have
+//!   `system`/`total`/`finished`/`ttft_p99_s`, and, when a system
+//!   reports a multi-model breakdown, per-model `ttft_p99_s`). New bins
+//!   cannot ship ungated fields past this;
+//! - `check_bench_json --budget <budget.json> <bench.json>...` — the
+//!   tier-1 wall-clock budget gate: `budget.json` maps each figure name
+//!   to a `max_wall_clock_ms` ceiling (`{"budgets": {"fig": ms}}`);
+//!   every given bench document must name a budgeted figure and come in
+//!   under its ceiling, so bench-bin runtime regressions fail CI
+//!   instead of silently bloating tier-1.
 //!
 //! The tolerance file pins, per system name:
 //! - `max_ttft_p99_s`: hard ceiling on cluster-wide p99 TTFT (seconds);
@@ -21,6 +36,11 @@
 //!   cross-model donation claim: the starved model improves);
 //! - optionally `min_donated_bytes`: `{ "A": floor }` — system A's
 //!   `donated_bytes_peak` must reach the floor (donation actually fired);
+//! - optionally `donated_bytes_less_than`: `{ "A": "B" }` — system A's
+//!   `donated_bytes_peak` must be strictly below system B's (the
+//!   layer-granular donation claim: donate less, rescue the same);
+//! - optionally `max_wall_clock_ms`: ceiling on the document's recorded
+//!   `wall_clock_ms` (the per-figure form of the `--budget` gate);
 //! - optionally `min_speedup` (+ `min_speedup_host_threads`, default 4):
 //!   the bench JSON's `speedup` must reach the floor — enforced only
 //!   when the JSON's `threads_available` shows the host actually has
@@ -38,26 +58,172 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path} is malformed JSON: {e}"))
+}
+
+/// Validates one document against the bench-JSON schema, appending one
+/// message per violation.
+fn check_schema(path: &str, doc: &Json, out: &mut Vec<String>) {
+    let mut need_num = |key: &str| {
+        if doc.get(key).and_then(Json::as_f64).is_none() {
+            out.push(format!("{path}: missing numeric `{key}`"));
+        }
+    };
+    need_num("wall_clock_ms");
+    need_num("threads");
+    need_num("threads_available");
+    if doc.get("figure").and_then(Json::as_str).is_none() {
+        out.push(format!("{path}: missing string `figure`"));
+    }
+    // Systems live at the top level (fig17/fig18 shape) or inside each
+    // scenario (fig12 shape).
+    let mut system_arrays: Vec<(String, &[Json])> = Vec::new();
+    if let Some(systems) = doc.get("systems").and_then(Json::as_arr) {
+        system_arrays.push(("systems".into(), systems));
+    } else if let Some(scenarios) = doc.get("scenarios").and_then(Json::as_arr) {
+        for (i, sc) in scenarios.iter().enumerate() {
+            match sc.get("systems").and_then(Json::as_arr) {
+                Some(systems) => system_arrays.push((format!("scenarios[{i}]"), systems)),
+                None => out.push(format!("{path}: scenarios[{i}] lacks a `systems` array")),
+            }
+        }
+    } else {
+        out.push(format!("{path}: missing `systems` (or `scenarios`) array"));
+    }
+    for (ctx, systems) in system_arrays {
+        if systems.is_empty() {
+            out.push(format!("{path}: {ctx} is empty"));
+        }
+        for sys in systems {
+            let name = sys
+                .get("system")
+                .and_then(Json::as_str)
+                .unwrap_or("<unnamed>");
+            if name == "<unnamed>" {
+                out.push(format!("{path}: {ctx} entry lacks a string `system`"));
+            }
+            for key in ["total", "finished", "ttft_p99_s"] {
+                if sys.get(key).and_then(Json::as_f64).is_none() {
+                    out.push(format!("{path}: {ctx}/{name} lacks numeric `{key}`"));
+                }
+            }
+            // Multi-model systems must gate per model: every breakdown
+            // entry carries its own p99.
+            if let Some(models) = sys.get("models").and_then(Json::as_arr) {
+                for (j, m) in models.iter().enumerate() {
+                    if m.get("model").and_then(Json::as_str).is_none() {
+                        out.push(format!(
+                            "{path}: {ctx}/{name} models[{j}] lacks a string `model`"
+                        ));
+                    }
+                    if m.get("ttft_p99_s").and_then(Json::as_f64).is_none() {
+                        out.push(format!(
+                            "{path}: {ctx}/{name} models[{j}] lacks numeric `ttft_p99_s` \
+                             (multi-model output must be gateable per model)"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_schema_mode(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        return fail("usage: check_bench_json --schema <bench.json>...");
+    }
+    let mut violations = Vec::new();
+    for path in paths {
+        match load(path) {
+            Ok(doc) => check_schema(path, &doc, &mut violations),
+            Err(e) => violations.push(e),
+        }
+    }
+    if violations.is_empty() {
+        println!(
+            "check_bench_json: PASS (schema valid for {} document{})",
+            paths.len(),
+            if paths.len() == 1 { "" } else { "s" }
+        );
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        eprintln!("check_bench_json: schema: {v}");
+    }
+    fail(&format!("{} schema violation(s)", violations.len()))
+}
+
+fn run_budget_mode(paths: &[String]) -> ExitCode {
+    let [budget_path, bench_paths @ ..] = paths else {
+        return fail("usage: check_bench_json --budget <budget.json> <bench.json>...");
+    };
+    if bench_paths.is_empty() {
+        return fail("usage: check_bench_json --budget <budget.json> <bench.json>...");
+    }
+    let budget = match load(budget_path) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    let Some(budgets) = budget.get("budgets").and_then(Json::as_obj) else {
+        return fail(&format!("{budget_path} lacks a `budgets` object"));
+    };
+    for path in bench_paths {
+        let doc = match load(path) {
+            Ok(d) => d,
+            Err(e) => return fail(&e),
+        };
+        let Some(fig) = doc.get("figure").and_then(Json::as_str) else {
+            return fail(&format!("{path}: missing string `figure`"));
+        };
+        let Some(wall) = doc.get("wall_clock_ms").and_then(Json::as_f64) else {
+            return fail(&format!("{path}: missing numeric `wall_clock_ms`"));
+        };
+        let Some(ceiling) = budgets
+            .iter()
+            .find(|(k, _)| k == fig)
+            .and_then(|(_, v)| v.as_f64())
+        else {
+            return fail(&format!(
+                "{path}: figure `{fig}` has no wall-clock budget in {budget_path} — \
+                 every tier-1 smoke must be budgeted"
+            ));
+        };
+        if wall > ceiling {
+            return fail(&format!(
+                "{path}: `{fig}` took {wall:.0} ms, over its {ceiling:.0} ms budget"
+            ));
+        }
+        println!("check_bench_json: ok: {fig} wall_clock {wall:.0} ms <= {ceiling:.0} ms");
+    }
+    println!(
+        "check_bench_json: PASS ({} document(s) within wall-clock budget)",
+        bench_paths.len()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((mode, rest)) if mode == "--schema" => return run_schema_mode(rest),
+        Some((mode, rest)) if mode == "--budget" => return run_budget_mode(rest),
+        _ => {}
+    }
     let [bench_path, tol_path] = args.as_slice() else {
-        return fail("usage: check_bench_json <bench.json> <tolerance.json>");
+        return fail(
+            "usage: check_bench_json <bench.json> <tolerance.json> | --schema <bench.json>... \
+             | --budget <budget.json> <bench.json>...",
+        );
     };
-    let bench_text = match std::fs::read_to_string(bench_path) {
-        Ok(t) => t,
-        Err(e) => return fail(&format!("cannot read {bench_path}: {e}")),
-    };
-    let tol_text = match std::fs::read_to_string(tol_path) {
-        Ok(t) => t,
-        Err(e) => return fail(&format!("cannot read {tol_path}: {e}")),
-    };
-    let bench = match Json::parse(&bench_text) {
+    let bench = match load(bench_path) {
         Ok(v) => v,
-        Err(e) => return fail(&format!("{bench_path} is malformed JSON: {e}")),
+        Err(e) => return fail(&e),
     };
-    let tol = match Json::parse(&tol_text) {
+    let tol = match load(tol_path) {
         Ok(v) => v,
-        Err(e) => return fail(&format!("{tol_path} is malformed JSON: {e}")),
+        Err(e) => return fail(&e),
     };
 
     // The figure name must match the tolerance's target.
@@ -232,10 +398,55 @@ fn main() -> ExitCode {
         }
     }
 
-    // Executor wall-clock metadata and the host-conditional speedup gate.
+    // Donation-granularity ordering: A must donate strictly less than B
+    // (the layer-granular claim — donate less, rescue the same).
+    if let Some(orderings) = tol.get("donated_bytes_less_than").and_then(Json::as_obj) {
+        let donated_of = |name: &str| -> Option<f64> {
+            systems
+                .iter()
+                .find(|s| s.get("system").and_then(Json::as_str) == Some(name))?
+                .get("donated_bytes_peak")
+                .and_then(Json::as_f64)
+        };
+        for (a, b) in orderings {
+            let Some(b) = b.as_str() else {
+                return fail(&format!(
+                    "donated_bytes_less_than value for `{a}` is not a string"
+                ));
+            };
+            let (Some(da), Some(db)) = (donated_of(a), donated_of(b)) else {
+                return fail(&format!(
+                    "donated_bytes_less_than: `{a}` or `{b}` lacks `donated_bytes_peak`"
+                ));
+            };
+            if da >= db {
+                return fail(&format!(
+                    "donation ordering violated: `{a}` peak {da:.0} B must be strictly \
+                     below `{b}` peak {db:.0} B"
+                ));
+            }
+            println!("check_bench_json: ok: {a} donated {da:.0} B < {b} donated {db:.0} B");
+        }
+    }
+
+    // Executor wall-clock metadata, the per-figure budget ceiling, and the
+    // host-conditional speedup gate.
     if let Some(wall) = bench.get("wall_clock_ms").and_then(Json::as_f64) {
         let threads = bench.get("threads").and_then(Json::as_f64).unwrap_or(1.0);
         println!("check_bench_json: wall_clock {wall:.0} ms at {threads:.0} threads");
+    }
+    if let Some(ceiling) = tol.get("max_wall_clock_ms").and_then(Json::as_f64) {
+        let Some(wall) = bench.get("wall_clock_ms").and_then(Json::as_f64) else {
+            return fail(
+                "tolerance sets `max_wall_clock_ms` but bench JSON has no `wall_clock_ms`",
+            );
+        };
+        if wall > ceiling {
+            return fail(&format!(
+                "wall_clock {wall:.0} ms exceeds the {ceiling:.0} ms budget"
+            ));
+        }
+        println!("check_bench_json: ok: wall_clock {wall:.0} ms <= {ceiling:.0} ms");
     }
     if let Some(min_speedup) = tol.get("min_speedup").and_then(Json::as_f64) {
         let Some(speedup) = bench.get("speedup").and_then(Json::as_f64) else {

@@ -9,16 +9,22 @@
 //! regression gate consumes.
 //!
 //! A second section runs the **cross-model donation ablation**: the same
-//! KunServe system with `cross_model_donation` on vs. off, on a scenario
-//! whose starved model (a single group — nothing of its own to drop) can
-//! only be rescued by another model's donated bytes. It emits its own
-//! JSON document (`fig18_donation`) with `donated_bytes_peak` and the
+//! KunServe system at three donation granularities — layer-granular (the
+//! default), whole-copy (the PR 4 baseline, which over-donates whenever
+//! the deficit is not a copy multiple) and off — on a scenario whose
+//! starved model (a single group — nothing of its own to drop) can only
+//! be rescued by another model's donated bytes. It emits its own JSON
+//! document (`fig18_donation`) with `donated_bytes_peak` and the
 //! per-model latency breakdown, gated in CI by
-//! `tolerances/fig18_donation.json`.
+//! `tolerances/fig18_donation.json` (including the strictly-lower
+//! donated-bytes claim of layer-granular grants).
 //!
 //! Run: `cargo run --release -p bench --bin fig18_multi_model`
 //! Flags: `--smoke` (tiny config, seconds instead of minutes),
-//!        `--json PATH` (JSON output path; default
+//!        `--legs main`, `--legs donation` or `--legs main,donation`
+//!        (default: both) — leg selection, so a CI stage gating one
+//!        document does not pay for the other leg's simulations,
+//!        `--json PATH` (main-leg JSON output path; default
 //!        `target/bench-json/fig18_multi_model.json`),
 //!        `--donation-json PATH` (ablation JSON output path; default
 //!        `target/bench-json/fig18_donation.json`).
@@ -34,129 +40,154 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let threads = harness::threads_from_args(&args);
-    let sc = if smoke {
-        MultiScenario::fig18_smoke()
-    } else {
-        MultiScenario::fig18_14b_chat_vs_72b_longctx()
-    };
-    let trace = sc.trace();
-    println!("==== fig18: {} ====", sc.name);
-    println!(
-        "trace: {} requests over {:.0}s ({} models)",
-        trace.len(),
-        sc.duration.as_secs_f64(),
-        trace.models().len()
-    );
-
-    let systems = [
-        SystemKind::VllmDp,
-        SystemKind::Llumnix,
-        SystemKind::KunServe,
-    ];
-    let timer = std::time::Instant::now();
-    let outcomes = harness::run_indexed(threads, systems.len(), |i| sc.run_on(systems[i], &trace));
-    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
-    let mut sys_jsons = Vec::new();
-    println!("system,model,name,finished,total,ttft_p50_s,ttft_p99_s,tpot_p50_s,tpot_p99_s");
-    for out in &outcomes {
-        for m in &out.report.per_model {
-            println!(
-                "{},{},{},{},{},{},{},{},{}",
-                out.name,
-                m.model,
-                sc.cfg.model_cfg(m.model).name,
-                m.finished_requests,
-                m.total_requests,
-                secs(m.ttft.p50),
-                secs(m.ttft.p99),
-                secs(m.tpot.p50),
-                secs(m.tpot.p99),
-            );
+    let legs: Vec<String> = match args.iter().position(|a| a == "--legs") {
+        Some(i) => {
+            let value = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("--legs needs a value (main and/or donation)"));
+            value.split(',').map(|s| s.trim().to_string()).collect()
         }
-        let drops = out
-            .state
-            .metrics
-            .reconfig_events
-            .iter()
-            .filter(|(_, w)| w.starts_with("drop"))
-            .count();
-        println!(
-            "summary,{},finished={}/{},ttft_p99={},drops={}",
-            out.name,
-            out.report.finished_requests,
-            out.report.total_requests,
-            secs(out.report.ttft.p99),
-            drops,
+        None => vec!["main".into(), "donation".into()],
+    };
+    for leg in &legs {
+        assert!(
+            leg == "main" || leg == "donation",
+            "unknown leg `{leg}` (expected `main` and/or `donation`)"
         );
-        sys_jsons.push(outcome_json(&sc.cfg, out));
     }
 
-    let doc = with_exec_meta(
-        Json::obj([
-            ("figure", Json::str("fig18_multi_model")),
-            ("scenario", Json::str(sc.name)),
-            ("smoke", Json::Bool(smoke)),
-            ("requests", Json::Num(trace.len() as f64)),
-            ("systems", Json::Arr(sys_jsons)),
-        ]),
-        threads,
-        wall_ms,
-    );
-    let path = json_out_path("fig18_multi_model", &args);
-    write_json(&path, &doc).expect("write JSON");
-    println!("json,{}", path.display());
+    if legs.iter().any(|l| l == "main") {
+        let sc = if smoke {
+            MultiScenario::fig18_smoke()
+        } else {
+            MultiScenario::fig18_14b_chat_vs_72b_longctx()
+        };
+        let trace = sc.trace();
+        println!("==== fig18: {} ====", sc.name);
+        println!(
+            "trace: {} requests over {:.0}s ({} models)",
+            trace.len(),
+            sc.duration.as_secs_f64(),
+            trace.models().len()
+        );
 
-    // ---- Cross-model donation ablation ----
-    let dsc = if smoke {
-        MultiScenario::fig18_donation_smoke()
-    } else {
-        MultiScenario::fig18_donation()
-    };
-    let dtrace = dsc.trace();
-    println!("==== fig18 donation ablation: {} ====", dsc.name);
-    let variants = [
-        ("KunServe", SystemKind::KunServe),
-        (
-            "KunServe (no donation)",
-            SystemKind::KunServeWith(KunServeConfig::without_donation()),
-        ),
-    ];
-    let timer = std::time::Instant::now();
-    let outcomes = harness::run_indexed(threads, variants.len(), |i| {
-        dsc.run_on(variants[i].1, &dtrace)
-    });
-    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
-    let mut sys_jsons = Vec::new();
-    println!("system,model,name,finished,total,ttft_p50_s,ttft_p99_s,donated_bytes_peak");
-    for (i, out) in outcomes.iter().enumerate() {
-        let label = variants[i].0;
-        for m in &out.report.per_model {
+        let systems = [
+            SystemKind::VllmDp,
+            SystemKind::Llumnix,
+            SystemKind::KunServe,
+        ];
+        let timer = std::time::Instant::now();
+        let outcomes =
+            harness::run_indexed(threads, systems.len(), |i| sc.run_on(systems[i], &trace));
+        let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
+        let mut sys_jsons = Vec::new();
+        println!("system,model,name,finished,total,ttft_p50_s,ttft_p99_s,tpot_p50_s,tpot_p99_s");
+        for out in &outcomes {
+            for m in &out.report.per_model {
+                println!(
+                    "{},{},{},{},{},{},{},{},{}",
+                    out.name,
+                    m.model,
+                    sc.cfg.model_cfg(m.model).name,
+                    m.finished_requests,
+                    m.total_requests,
+                    secs(m.ttft.p50),
+                    secs(m.ttft.p99),
+                    secs(m.tpot.p50),
+                    secs(m.tpot.p99),
+                );
+            }
+            let drops = out
+                .state
+                .metrics
+                .reconfig_events
+                .iter()
+                .filter(|(_, w)| w.starts_with("drop"))
+                .count();
             println!(
-                "{},{},{},{},{},{},{},{}",
-                label,
-                m.model,
-                dsc.cfg.model_cfg(m.model).name,
-                m.finished_requests,
-                m.total_requests,
-                secs(m.ttft.p50),
-                secs(m.ttft.p99),
-                out.report.donated_bytes_peak,
+                "summary,{},finished={}/{},ttft_p99={},drops={}",
+                out.name,
+                out.report.finished_requests,
+                out.report.total_requests,
+                secs(out.report.ttft.p99),
+                drops,
             );
+            sys_jsons.push(outcome_json(&sc.cfg, out));
         }
-        sys_jsons.push(outcome_json_labeled(&dsc.cfg, out, label));
+
+        let doc = with_exec_meta(
+            Json::obj([
+                ("figure", Json::str("fig18_multi_model")),
+                ("scenario", Json::str(sc.name)),
+                ("smoke", Json::Bool(smoke)),
+                ("requests", Json::Num(trace.len() as f64)),
+                ("systems", Json::Arr(sys_jsons)),
+            ]),
+            threads,
+            wall_ms,
+        );
+        let path = json_out_path("fig18_multi_model", &args);
+        write_json(&path, &doc).expect("write JSON");
+        println!("json,{}", path.display());
     }
-    let ddoc = with_exec_meta(
-        Json::obj([
-            ("figure", Json::str("fig18_donation")),
-            ("scenario", Json::str(dsc.name)),
-            ("smoke", Json::Bool(smoke)),
-            ("requests", Json::Num(dtrace.len() as f64)),
-            ("systems", Json::Arr(sys_jsons)),
-        ]),
-        threads,
-        wall_ms,
-    );
-    let dpath = json_out_path_for("--donation-json", "fig18_donation", &args);
-    write_json(&dpath, &ddoc).expect("write donation JSON");
-    println!("json,{}", dpath.display());
+
+    if legs.iter().any(|l| l == "donation") {
+        // ---- Cross-model donation ablation ----
+        let dsc = if smoke {
+            MultiScenario::fig18_donation_smoke()
+        } else {
+            MultiScenario::fig18_donation()
+        };
+        let dtrace = dsc.trace();
+        println!("==== fig18 donation ablation: {} ====", dsc.name);
+        let variants = [
+            ("KunServe", SystemKind::KunServe),
+            (
+                "KunServe (whole-copy)",
+                SystemKind::KunServeWith(KunServeConfig::whole_copy_donation()),
+            ),
+            (
+                "KunServe (no donation)",
+                SystemKind::KunServeWith(KunServeConfig::without_donation()),
+            ),
+        ];
+        let timer = std::time::Instant::now();
+        let outcomes = harness::run_indexed(threads, variants.len(), |i| {
+            dsc.run_on(variants[i].1, &dtrace)
+        });
+        let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
+        let mut sys_jsons = Vec::new();
+        println!("system,model,name,finished,total,ttft_p50_s,ttft_p99_s,donated_bytes_peak");
+        for (i, out) in outcomes.iter().enumerate() {
+            let label = variants[i].0;
+            for m in &out.report.per_model {
+                println!(
+                    "{},{},{},{},{},{},{},{}",
+                    label,
+                    m.model,
+                    dsc.cfg.model_cfg(m.model).name,
+                    m.finished_requests,
+                    m.total_requests,
+                    secs(m.ttft.p50),
+                    secs(m.ttft.p99),
+                    out.report.donated_bytes_peak,
+                );
+            }
+            sys_jsons.push(outcome_json_labeled(&dsc.cfg, out, label));
+        }
+        let ddoc = with_exec_meta(
+            Json::obj([
+                ("figure", Json::str("fig18_donation")),
+                ("scenario", Json::str(dsc.name)),
+                ("smoke", Json::Bool(smoke)),
+                ("requests", Json::Num(dtrace.len() as f64)),
+                ("systems", Json::Arr(sys_jsons)),
+            ]),
+            threads,
+            wall_ms,
+        );
+        let dpath = json_out_path_for("--donation-json", "fig18_donation", &args);
+        write_json(&dpath, &ddoc).expect("write donation JSON");
+        println!("json,{}", dpath.display());
+    }
 }

@@ -292,7 +292,11 @@ impl MultiScenario {
     /// The paper-scale donation ablation: Qwen-2.5-72B long-context
     /// traffic on a single TP=4 instance (one group — nothing to drop)
     /// bursting against lightly-loaded Qwen-2.5-14B replicas that can
-    /// lend their freed parameter memory.
+    /// lend their freed parameter memory. The burst is sized so the
+    /// borrower's deficit is a *fraction* of one 14B parameter copy —
+    /// the regime the layer-granular mechanism targets: a whole-copy
+    /// lender must over-donate, a layer lender frees only what is
+    /// needed.
     pub fn fig18_donation() -> MultiScenario {
         let mut cfg = ClusterConfig::multi_model_14b_72b();
         cfg.extra_models[0].num_instances = 1;
@@ -303,9 +307,9 @@ impl MultiScenario {
             workloads: vec![
                 ModelWorkload::new(ModelId(0), Dataset::BurstGpt, 10.0, 281),
                 ModelWorkload {
-                    bursts: vec![(0.10, 15.0, 6.0)],
+                    bursts: vec![(0.10, 15.0, 4.5)],
                     input_clamp: Some((256, 2048)),
-                    output_clamp: Some((128, 800)),
+                    output_clamp: Some((128, 600)),
                     ..ModelWorkload::new(ModelId(1), Dataset::ShareGpt, 1.0, 282)
                 },
             ],

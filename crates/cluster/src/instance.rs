@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use modelcfg::{LayerSet, ModelConfig};
+use modelcfg::{LayerRange, LayerSet, ModelConfig};
 use simgpu::{GpuDevice, GpuId, PhysHandle, VaReservation, PAGE_SIZE};
 use workload::ModelId;
 
@@ -185,10 +185,24 @@ impl Instance {
         self.kv_pool_bytes() - self.donated_out
     }
 
+    /// Bytes of dropped-parameter memory currently remapped into the KV
+    /// region (the tail growth). Always exactly `dropped_layers ×
+    /// page-aligned layer bytes` — the ledger verifies this at layer-byte
+    /// granularity.
+    pub fn tail_growth_bytes(&self) -> u64 {
+        self.kv_tail - self.kv_base_extent
+    }
+
+    /// Page-aligned parameter bytes of one transformer layer on this
+    /// instance — the byte quantum of layer-granular drops and loans.
+    pub fn layer_stride_bytes(&self) -> u64 {
+        self.layer_bytes
+    }
+
     /// Bytes of tail growth (dropped-parameter memory remapped into the KV
     /// region) not yet lent out — the donatable headroom.
     pub fn donatable_bytes(&self) -> u64 {
-        (self.kv_tail - self.kv_base_extent).saturating_sub(self.donated_out)
+        self.tail_growth_bytes().saturating_sub(self.donated_out)
     }
 
     /// Lends `bytes` of this device's dropped-parameter KV growth to
@@ -300,6 +314,84 @@ impl Instance {
         ops
     }
 
+    /// Restores a **subset** of the dropped layers — the layer-granular
+    /// reclaim path: when a loan of layer range `[s, e)` is handed back,
+    /// the lender restores exactly those layers instead of waiting for a
+    /// full split.
+    ///
+    /// Physical pages are fungible, so the restore pops handles off the
+    /// *top* of the KV tail (keeping the tail contiguous) and maps them
+    /// into the restored layers' home slots; the still-dropped layers are
+    /// re-associated with the surviving bottom slots. The parameter values
+    /// come from the host-DRAM replica, as in the §4.4 failure path.
+    ///
+    /// Layers in `layers` that are not currently dropped are ignored.
+    /// Returns the number of remap operation pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the restore would cut into bytes still lent out: the
+    /// freed tail must always cover `donated_out` (reclaim before
+    /// restore, per layer range).
+    pub fn restore_layers(&mut self, layers: &LayerSet) -> usize {
+        let mut targets: Vec<u32> = self
+            .dropped_at
+            .keys()
+            .copied()
+            .filter(|&l| layers.contains(l))
+            .collect();
+        targets.sort_unstable();
+        if targets.is_empty() {
+            return 0;
+        }
+        let shrink = targets.len() as u64 * self.layer_bytes;
+        assert!(
+            self.tail_growth_bytes() - shrink >= self.donated_out,
+            "restoring {shrink} B would cut into {} donated-out bytes \
+             (tail growth {}); reclaim the loan first",
+            self.donated_out,
+            self.tail_growth_bytes()
+        );
+        // All tail slots, bottom-up; the top |targets| slots free up.
+        let mut slots: Vec<(u64, PhysHandle)> = self.dropped_at.values().copied().collect();
+        slots.sort_unstable_by_key(|&(off, _)| off);
+        let keep = slots.len() - targets.len();
+        for &(off, h) in &slots[keep..] {
+            let got = self
+                .device
+                .mem_unmap(self.kv_region, off)
+                .expect("tail mapping");
+            debug_assert_eq!(got, h);
+            let _ = h;
+        }
+        // Freed handles come home into the restored layers' slots.
+        for (&layer, &(_, h)) in targets.iter().zip(&slots[keep..]) {
+            self.device
+                .mem_map(self.param_region, self.layer_offsets[layer as usize], h)
+                .expect("home slot free");
+            self.layer_handles[layer as usize] = Some(h);
+        }
+        // Still-dropped layers re-associate with the surviving bottom
+        // slots (mappings unchanged; only the bookkeeping moves).
+        let mut remaining: Vec<u32> = self
+            .dropped_at
+            .keys()
+            .copied()
+            .filter(|l| !targets.contains(l))
+            .collect();
+        remaining.sort_unstable();
+        debug_assert_eq!(remaining.len(), keep);
+        self.dropped_at = remaining
+            .into_iter()
+            .zip(slots[..keep].iter().copied())
+            .collect();
+        for &l in &targets {
+            self.resident.insert(LayerRange::new(l, l + 1));
+        }
+        self.kv_tail -= shrink;
+        targets.len()
+    }
+
     /// Physical HBM utilization of the instance.
     pub fn hbm_utilization(&self) -> f64 {
         self.device.utilization()
@@ -339,6 +431,9 @@ mod tests {
             hbm_bytes: inst.hbm_bytes(),
             param_bytes: inst.param_resident_bytes(),
             kv_pool_bytes: inst.kv_pool_bytes(),
+            remap_tail_bytes: inst.tail_growth_bytes(),
+            dropped_layers: inst.dropped_layers(),
+            layer_stride_bytes: inst.layer_stride_bytes(),
             donated_out_bytes: inst.donated_out_bytes(),
             kv_used_bytes: 0,
             reserve_bytes: cfg.reserve_bytes(),
@@ -395,6 +490,59 @@ mod tests {
         assert_eq!(inst.resident_layers().len(), 2);
         inst.restore_all();
         assert_eq!(inst.resident_layers().len(), 8);
+    }
+
+    #[test]
+    fn restore_layers_brings_back_exactly_the_range() {
+        let (mut inst, cfg) = test_instance();
+        let base_kv = inst.kv_pool_bytes();
+        inst.drop_layers(&LayerSet::from_range(LayerRange::new(2, 8)));
+        assert_eq!(inst.dropped_layers(), 6);
+        let grown = inst.tail_growth_bytes();
+        assert_eq!(grown, 6 * inst.layer_stride_bytes());
+        // Restore the top two layers of the drop only.
+        let ops = inst.restore_layers(&LayerSet::from_range(LayerRange::new(6, 8)));
+        assert_eq!(ops, 2);
+        assert_eq!(inst.dropped_layers(), 4);
+        assert!(inst.resident_layers().contains(6) && inst.resident_layers().contains(7));
+        assert!(!inst.resident_layers().contains(2));
+        assert_eq!(inst.tail_growth_bytes(), 4 * inst.layer_stride_bytes());
+        // Non-dropped layers in the set are ignored.
+        assert_eq!(
+            inst.restore_layers(&LayerSet::from_range(LayerRange::new(6, 8))),
+            0
+        );
+        // The rest comes home through the ordinary full restore.
+        assert_eq!(inst.restore_all(), 4);
+        assert_eq!(inst.kv_pool_bytes(), base_kv);
+        assert_eq!(inst.resident_layers().len(), cfg.model.num_layers);
+    }
+
+    #[test]
+    fn restore_layers_interleaves_with_full_restore() {
+        // Partial restores shuffle tail-slot bookkeeping; a later
+        // restore_all must still find every mapping where the books say.
+        let (mut inst, cfg) = test_instance();
+        inst.drop_layers(&LayerSet::from_range(LayerRange::new(0, 4)));
+        inst.drop_layers(&LayerSet::from_range(LayerRange::new(5, 8)));
+        inst.restore_layers(&LayerSet::from_ranges([
+            LayerRange::new(1, 2),
+            LayerRange::new(6, 7),
+        ]));
+        assert_eq!(inst.dropped_layers(), 5);
+        inst.drop_layers(&LayerSet::from_range(LayerRange::new(1, 2)));
+        assert_eq!(inst.restore_all(), 6);
+        assert_eq!(inst.resident_layers().len(), cfg.model.num_layers);
+        assert_eq!(inst.tail_growth_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reclaim the loan first")]
+    fn restore_layers_never_cuts_into_a_loan() {
+        let (mut inst, _cfg) = test_instance();
+        inst.drop_layers(&LayerSet::from_range(LayerRange::new(6, 8)));
+        inst.donate_out(inst.donatable_bytes());
+        inst.restore_layers(&LayerSet::from_range(LayerRange::new(6, 8)));
     }
 
     #[test]

@@ -20,13 +20,19 @@
 //!    that hosts them.
 //! 2. `donated_out ≤ kv_pool` and `kv_used ≤ kv_pool − donated_out` — a
 //!    device can neither lend nor use KV it does not map.
-//! 3. A fully-restored device (`dropped_layers == 0`) has no outstanding
+//! 3. **Layer-byte granularity:** the KV tail growth is exactly
+//!    `dropped_layers × layer_stride` (drops and restores move whole
+//!    page-aligned layers), and `donated_out ≤ tail growth` — loans are
+//!    backed by dropped-parameter layer bytes, never by the base pool.
+//! 4. A fully-restored device (`dropped_layers == 0`) has no outstanding
 //!    donations: the tail being restored *is* the lent memory, so borrowed
-//!    KV must be fully returned before the donor's parameter restore
-//!    completes.
+//!    KV must be fully returned — per lent layer range — before the
+//!    donor's parameter restore completes.
 //!
-//! And cluster-wide: `Σ(params + kv_used + donated_out) ≤ Σ hbm`.
+//! And cluster-wide: `Σ(params + kv_used + donated_out) ≤ Σ hbm`, plus the
+//! per-**loan** donation cross-audit (borrowed extents vs. records).
 
+use kvcache::Loan;
 use workload::ModelId;
 
 use crate::group::GroupId;
@@ -46,6 +52,13 @@ pub struct LedgerEntry {
     pub param_bytes: u64,
     /// Mapped KVCache pool bytes (base + remapped tail).
     pub kv_pool_bytes: u64,
+    /// Bytes of dropped-parameter memory remapped into the pool (the tail
+    /// growth; `kv_pool_bytes − tail` is the base pool).
+    pub remap_tail_bytes: u64,
+    /// Layers currently dropped on the device.
+    pub dropped_layers: u32,
+    /// Page-aligned parameter bytes of one layer — the tail's quantum.
+    pub layer_stride_bytes: u64,
     /// Pool bytes lent to another model's KV pool.
     pub donated_out_bytes: u64,
     /// This device's share of its group's *allocated* KV bytes, clamped to
@@ -67,6 +80,9 @@ impl LedgerEntry {
             hbm_bytes,
             param_bytes,
             kv_pool_bytes,
+            remap_tail_bytes,
+            dropped_layers,
+            layer_stride_bytes,
             donated_out_bytes,
             kv_used_bytes,
             reserve_bytes,
@@ -90,6 +106,20 @@ impl LedgerEntry {
                 usable = kv_pool_bytes - donated_out_bytes.min(kv_pool_bytes)
             ));
         }
+        // Layer-byte granularity: the tail is whole dropped layers, and
+        // every lent byte is tail (dropped-parameter) memory.
+        if remap_tail_bytes != dropped_layers as u64 * layer_stride_bytes {
+            out.push(format!(
+                "{ctx}: {instance} tail {remap_tail_bytes} B is not {dropped_layers} layers \
+                 x {layer_stride_bytes} B — drops/restores must move whole layers"
+            ));
+        }
+        if donated_out_bytes > remap_tail_bytes {
+            out.push(format!(
+                "{ctx}: {instance} lends {donated_out_bytes} B but only \
+                 {remap_tail_bytes} B of dropped-layer tail backs it"
+            ));
+        }
         if fully_resident && donated_out_bytes > 0 {
             out.push(format!(
                 "{ctx}: {instance} fully restored with {donated_out_bytes} donated bytes \
@@ -100,17 +130,17 @@ impl LedgerEntry {
 }
 
 /// A cluster-wide snapshot of every device's [`LedgerEntry`], plus the
-/// donation cross-audit: every borrowed block of KV capacity must be
-/// backed by exactly one donation record (and vice versa), or capacity
-/// exists that no physical memory backs.
+/// donation cross-audit: every borrowed extent — **per loan**, i.e. per
+/// `(lender, layer range)` — must be backed by matching donation records
+/// (and vice versa), or capacity exists that no physical memory backs.
 #[derive(Debug, Clone)]
 pub struct MemoryLedger {
     /// One entry per instance, in instance order.
     pub entries: Vec<LedgerEntry>,
-    /// Per live group: `(group, blocks in its Borrowed extents, blocks
-    /// the donation ledger records for it)`. Only groups where either
-    /// side is non-zero appear.
-    pub borrows: Vec<(GroupId, u32, u32)>,
+    /// Per live group and loan: `(group, loan, blocks in the Borrowed
+    /// extent, blocks the donation ledger records)`. Only pairs where
+    /// either side is non-zero appear.
+    pub borrows: Vec<(GroupId, Loan, u32, u32)>,
     /// Total bytes lender instances report lent out.
     pub donated_instance_bytes: u64,
     /// Total bytes the donation records account for.
@@ -130,7 +160,15 @@ impl MemoryLedger {
                     let native_cap_tokens =
                         g.blocks.native_capacity_blocks() as u64 * g.blocks.block_tokens() as u64;
                     let native_used = g.blocks.used_tokens().min(native_cap_tokens);
-                    let frac = inst.layer_fraction(model);
+                    // KV distribution follows the execution partition, not
+                    // parameter residency — a partially-merged member may
+                    // hold spare replica layers it does not execute.
+                    let frac = g
+                        .members
+                        .iter()
+                        .position(|&m| m == inst.id)
+                        .map(|i| g.stage_fracs[i])
+                        .expect("instance is a member of its group");
                     (native_used as f64 * model.kv_bytes_per_token() as f64 * frac) as u64
                 } else {
                     0
@@ -141,6 +179,9 @@ impl MemoryLedger {
                     hbm_bytes: inst.hbm_bytes(),
                     param_bytes: inst.param_resident_bytes(),
                     kv_pool_bytes: inst.kv_pool_bytes(),
+                    remap_tail_bytes: inst.tail_growth_bytes(),
+                    dropped_layers: inst.dropped_layers(),
+                    layer_stride_bytes: inst.layer_stride_bytes(),
                     donated_out_bytes: inst.donated_out_bytes(),
                     kv_used_bytes,
                     reserve_bytes: state.cfg.reserve_bytes_for(model),
@@ -148,19 +189,34 @@ impl MemoryLedger {
                 }
             })
             .collect();
-        let borrows = state
-            .alive_group_ids()
-            .filter_map(|g| {
-                let extent = state.group(g).blocks.borrowed_blocks();
-                let recorded: u32 = state
+        let mut borrows: Vec<(GroupId, Loan, u32, u32)> = Vec::new();
+        for g in state.alive_group_ids() {
+            let mut loans: Vec<Loan> = state.group(g).blocks.loans();
+            loans.extend(
+                state
                     .donations
                     .iter()
                     .filter(|d| d.borrower_group == g)
+                    .map(|d| d.loan),
+            );
+            loans.sort_unstable();
+            loans.dedup();
+            for loan in loans {
+                let extent = state
+                    .group(g)
+                    .blocks
+                    .extent_blocks(kvcache::ExtentTag::Borrowed(loan));
+                let recorded: u32 = state
+                    .donations
+                    .iter()
+                    .filter(|d| d.borrower_group == g && d.loan == loan)
                     .map(|d| d.blocks)
                     .sum();
-                (extent > 0 || recorded > 0).then_some((g, extent, recorded))
-            })
-            .collect();
+                if extent > 0 || recorded > 0 {
+                    borrows.push((g, loan, extent, recorded));
+                }
+            }
+        }
         MemoryLedger {
             entries,
             borrows,
@@ -191,15 +247,18 @@ impl MemoryLedger {
                 "{ctx}: cluster params+kv {total_used} exceed total HBM {total_hbm}"
             ));
         }
-        // Donation cross-audit: a borrowed extent no record backs is
-        // capacity without physical memory; a record no extent matches is
-        // lent memory nobody can use.
-        for &(g, extent, recorded) in &self.borrows {
+        // Donation cross-audit, per loan: a borrowed extent no record backs
+        // is capacity without physical memory; a record no extent matches
+        // is lent memory nobody can use.
+        for &(g, loan, extent, recorded) in &self.borrows {
             if extent != recorded {
                 out.push(format!(
-                    "{ctx}: group {g} holds {extent} borrowed blocks but the donation \
-                     ledger records {recorded}",
-                    g = g.0
+                    "{ctx}: group {g} holds {extent} blocks borrowed from model {l} \
+                     layers [{s},{e}) but the donation ledger records {recorded}",
+                    g = g.0,
+                    l = loan.lender,
+                    s = loan.layer_start,
+                    e = loan.layer_end
                 ));
             }
         }
@@ -226,6 +285,9 @@ mod tests {
             hbm_bytes: 1000,
             param_bytes: 400,
             kv_pool_bytes: 500,
+            remap_tail_bytes: 0,
+            dropped_layers: 0,
+            layer_stride_bytes: 50,
             donated_out_bytes: 0,
             kv_used_bytes: 300,
             reserve_bytes: 100,
@@ -250,6 +312,8 @@ mod tests {
 
         let mut e = entry();
         e.fully_resident = false;
+        e.dropped_layers = 4;
+        e.remap_tail_bytes = 200;
         e.param_bytes = 200;
         e.donated_out_bytes = 600; // more than the pool maps
         let mut out = Vec::new();
@@ -258,10 +322,39 @@ mod tests {
     }
 
     #[test]
+    fn layer_byte_granularity_flagged() {
+        // Tail growth that is not a whole number of layers.
+        let mut e = entry();
+        e.fully_resident = false;
+        e.dropped_layers = 2;
+        e.remap_tail_bytes = 120; // 2 layers would be 100
+        let mut out = Vec::new();
+        e.check("t", &mut out);
+        assert!(out.iter().any(|m| m.contains("whole layers")), "{out:?}");
+
+        // A loan larger than the dropped-layer tail backing it.
+        let mut e = entry();
+        e.fully_resident = false;
+        e.dropped_layers = 2;
+        e.remap_tail_bytes = 100;
+        e.donated_out_bytes = 150;
+        e.kv_used_bytes = 0;
+        let mut out = Vec::new();
+        e.check("t", &mut out);
+        assert!(
+            out.iter().any(|m| m.contains("dropped-layer tail")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
     fn restore_ordering_violation_flagged() {
         let mut e = entry();
+        e.remap_tail_bytes = 100;
+        e.dropped_layers = 2;
         e.donated_out_bytes = 64;
         e.kv_used_bytes = 0;
+        e.fully_resident = true; // inconsistent on purpose
         let mut out = Vec::new();
         e.check("t", &mut out);
         assert!(
@@ -286,6 +379,7 @@ mod tests {
                 (e.param_bytes + e.kv_pool_bytes) as f64 >= e.hbm_bytes as f64 * 0.85,
                 "device underutilized: {e:?}"
             );
+            assert_eq!(e.remap_tail_bytes, 0, "no drop at construction");
         }
     }
 }

@@ -10,8 +10,8 @@
 use std::collections::HashMap;
 
 use costmodel::{CostParams, GroundTruth, Profiler};
-use kvcache::{BlockManager, ExtentTag, HostSwapPool, KvError, SeqKey};
-use modelcfg::{partition_layers, LayerSet, ModelConfig};
+use kvcache::{BlockManager, ExtentTag, HostSwapPool, KvError, Loan, SeqKey};
+use modelcfg::{layers_covering, partition_layers, LayerRange, LayerSet, ModelConfig};
 use netsim::{JobId, Network, NodeId, Priority};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -37,6 +37,12 @@ pub enum Reconfig {
         /// freed parameter memory granted to another model's KV pool
         /// instead of this model's own. Empty for ordinary merges.
         grants: Vec<(ModelId, u64)>,
+        /// The contiguous layer range whose duplicates the merge drops.
+        /// `None` de-duplicates every layer (the whole-copy merge); a
+        /// partial range leaves the other layers replicated on every
+        /// member — the layer-granular donation path, where a lender
+        /// frees only what the borrower's deficit needs.
+        drop_range: Option<LayerRange>,
     },
     /// Split a pipelined group back into per-instance groups (restore).
     Split {
@@ -62,6 +68,10 @@ pub struct DonationRecord {
     pub bytes: u64,
     /// Blocks granted in the borrower's block manager.
     pub blocks: u32,
+    /// The loan identity the borrower's extent is tagged with: lender
+    /// model plus the lent layer range. Reclaiming this record lets the
+    /// lender restore exactly `loan.layer_start..loan.layer_end`.
+    pub loan: Loan,
     /// How the donated bytes are distributed across lender instances.
     per_instance: Vec<(InstanceId, u64)>,
 }
@@ -667,6 +677,20 @@ impl ClusterState {
     /// credited to the borrower model's most-loaded group when the merge
     /// executes, instead of growing this model's own capacity.
     pub fn request_merge_granting(&mut self, groups: Vec<GroupId>, grants: Vec<(ModelId, u64)>) {
+        self.request_merge_ranged(groups, grants, None);
+    }
+
+    /// Requests a **layer-granular** merge: only the duplicates of
+    /// `drop_range` (`None` = all layers) are dropped, sized by the
+    /// planner to the borrower's actual deficit. Layers outside the range
+    /// stay replicated on every member, so the group restores them
+    /// without any parameter pull.
+    pub fn request_merge_ranged(
+        &mut self,
+        groups: Vec<GroupId>,
+        grants: Vec<(ModelId, u64)>,
+        drop_range: Option<LayerRange>,
+    ) {
         assert!(groups.len() >= 2, "a merge needs at least two groups");
         let model = self.group(groups[0]).model;
         assert!(
@@ -680,8 +704,11 @@ impl ClusterState {
         for &g in &groups {
             self.group_mut(g).frozen = true;
         }
-        self.pending_reconfigs
-            .push(Reconfig::Merge { groups, grants });
+        self.pending_reconfigs.push(Reconfig::Merge {
+            groups,
+            grants,
+            drop_range,
+        });
     }
 
     /// Requests a split (restore): the group freezes and splits once idle.
@@ -703,11 +730,12 @@ impl ClusterState {
     /// `needed_blocks` its own admitted sequences re-register after the
     /// merge — a donor never lends KV out from under its own requests.
     /// Unfulfillable grants (no donatable headroom, no live borrower group,
-    /// sub-block sliver) are dropped, never partially charged. Returns the
-    /// bytes donated.
+    /// sub-block sliver) are dropped, never partially charged. `members`
+    /// pairs each lender instance with its execution-partition fraction.
+    /// Returns the bytes donated.
     fn execute_donation_grants(
         &mut self,
-        members: &[InstanceId],
+        members: &[(InstanceId, f64)],
         lender: ModelId,
         lender_group: GroupId,
         needed_blocks: u64,
@@ -717,19 +745,15 @@ impl ClusterState {
         let mut total = 0u64;
         let lender_model = self.cfg.model_cfg(lender).clone();
         let lender_kv = lender_model.kv_bytes_per_token();
+        let num_layers = lender_model.num_layers;
+        let layer_bytes = lender_model.layer_param_bytes();
         // One block of per-member slack absorbs the float rounding between
         // byte pools and block capacities.
         let tokens_needed = (needed_blocks + 1) * self.cfg.block_tokens as u64;
         // Per-member donatable headroom: tail growth not yet lent, minus
         // what the member must retain to carry its share of the group's
         // admitted KV.
-        fn member_cap(
-            inst: &Instance,
-            lender_model: &ModelConfig,
-            lender_kv: u64,
-            tokens_needed: u64,
-        ) -> u64 {
-            let frac = inst.layer_fraction(lender_model);
+        fn member_cap(inst: &Instance, frac: f64, lender_kv: u64, tokens_needed: u64) -> u64 {
             let retain = (tokens_needed as f64 * lender_kv as f64 * frac).ceil() as u64;
             inst.donatable_bytes()
                 .min(inst.usable_kv_bytes().saturating_sub(retain))
@@ -738,10 +762,10 @@ impl ClusterState {
             debug_assert_ne!(borrower, lender, "grants cross models");
             let donatable: u64 = members
                 .iter()
-                .map(|&m| {
+                .map(|&(m, frac)| {
                     member_cap(
                         &self.instances[m.0 as usize],
-                        &lender_model,
+                        frac,
                         lender_kv,
                         tokens_needed,
                     )
@@ -766,13 +790,13 @@ impl ClusterState {
             // Charge lender instances in member order.
             let mut per_instance = Vec::new();
             let mut left = bytes;
-            for &m in members {
+            for &(m, frac) in members {
                 if left == 0 {
                     break;
                 }
                 let take = member_cap(
                     &self.instances[m.0 as usize],
-                    &lender_model,
+                    frac,
                     lender_kv,
                     tokens_needed,
                 )
@@ -784,9 +808,27 @@ impl ClusterState {
                 }
             }
             debug_assert_eq!(left, 0, "donatable re-checked above");
+            // The loan identity: the topmost lent layer slice not already
+            // out on loan from this lender group. Nominal when grants wrap
+            // past a full copy; exact (and disjoint) in the common
+            // sub-copy case — which is what makes "reclaim this range ⇒
+            // restore exactly these layers" well-defined.
+            let lent_layers = layers_covering(bytes, layer_bytes).min(num_layers);
+            let already: u32 = self
+                .donations
+                .iter()
+                .filter(|d| d.lender_group == lender_group)
+                .map(|d| d.loan.layers())
+                .sum();
+            let end = num_layers - (already % num_layers.max(1));
+            let loan = Loan {
+                lender: lender.0,
+                layer_start: end.saturating_sub(lent_layers),
+                layer_end: end,
+            };
             self.group_mut(bg)
                 .blocks
-                .grow_extent(ExtentTag::Borrowed(lender.0), blocks);
+                .grow_extent(ExtentTag::Borrowed(loan), blocks);
             self.donations.push(DonationRecord {
                 lender,
                 lender_group,
@@ -794,12 +836,16 @@ impl ClusterState {
                 borrower_group: bg,
                 bytes,
                 blocks,
+                loan,
                 per_instance,
             });
             total += bytes;
             self.metrics.on_reconfig(
                 now,
-                format!("donate: {bytes}B {lender} -> {borrower} (g{})", bg.0),
+                format!(
+                    "donate: {bytes}B layers[{},{}) {lender} -> {borrower} (g{})",
+                    loan.layer_start, loan.layer_end, bg.0
+                ),
             );
         }
         if total > 0 {
@@ -816,7 +862,7 @@ impl ClusterState {
     /// `lender_group` remains outstanding — the precondition for starting
     /// the lender's parameter restore.
     pub fn try_reclaim_donations(&mut self, lender_group: GroupId, now: SimTime) -> bool {
-        self.reclaim_matching(|d| d.lender_group == lender_group, false, now);
+        self.reclaim_matching(|d| d.lender_group == lender_group, false, true, now);
         !self.group_donations_out(lender_group)
     }
 
@@ -824,7 +870,7 @@ impl ClusterState {
     /// borrower-initiated return when its own demand subsides). Returns
     /// `true` if nothing borrowed remains.
     pub fn try_return_borrowed(&mut self, borrower_group: GroupId, now: SimTime) -> bool {
-        self.reclaim_matching(|d| d.borrower_group == borrower_group, false, now);
+        self.reclaim_matching(|d| d.borrower_group == borrower_group, false, true, now);
         !self
             .donations
             .iter()
@@ -836,10 +882,21 @@ impl ClusterState {
     /// succeeds (the fault-tolerance path: the lender's memory is going
     /// away *now*). Without it, donations whose borrower cannot yet free
     /// enough blocks stay outstanding for a later retry.
+    ///
+    /// With `restore_params`, a reclaimed loan immediately restores
+    /// **exactly the lent layer range** on the lender's members (the
+    /// layer-granular reclaim ⇒ restore ordering; parameter values come
+    /// from the host-DRAM replica as in §4.4). Any reclaimed bytes not
+    /// absorbed by whole-layer restores — block-quantization slack, or
+    /// layers outside a member's own drop — regrow the lender group's
+    /// pool instead, so the capacity its sequences rely on never shrinks.
+    /// The merge roll-back path passes `false`: there the bytes must come
+    /// back as KV capacity, not as parameters.
     fn reclaim_matching(
         &mut self,
         pred: impl Fn(&DonationRecord) -> bool,
         force: bool,
+        restore_params: bool,
         now: SimTime,
     ) {
         let mut remaining = Vec::new();
@@ -855,7 +912,7 @@ impl ClusterState {
                     // simply return to the lender.
                     break true;
                 }
-                let tag = ExtentTag::Borrowed(d.lender.0);
+                let tag = ExtentTag::Borrowed(d.loan);
                 match self
                     .group_mut(d.borrower_group)
                     .blocks
@@ -871,20 +928,35 @@ impl ClusterState {
                 }
             };
             if reclaimed {
+                let mut restore_ops = 0usize;
                 for &(m, bytes) in &d.per_instance {
                     self.instances[m.0 as usize].reclaim_donated(bytes);
+                    if restore_params {
+                        restore_ops += self.restore_loaned_layers(m, &d.loan, bytes);
+                    }
                 }
-                // The returned bytes are remapped-parameter memory on the
-                // lender's devices again: grow the lender group's pool so
-                // they are usable immediately, not only after its next
-                // reconfiguration (the lender may keep serving merged for
-                // a long time before a restore).
+                // Whatever the layer restores did not consume is
+                // remapped-parameter memory on the lender's devices again:
+                // grow the lender group's pool so it is usable immediately,
+                // not only after its next reconfiguration (the lender may
+                // keep serving merged for a long time before a restore).
                 self.regrow_lender_capacity(d.lender_group, d.lender);
+                if restore_ops > 0 && self.group_alive(d.lender_group) {
+                    let overhead = simgpu::timing::remap_cost(restore_ops, restore_ops);
+                    let slot = self
+                        .pending_overhead
+                        .entry(d.lender_group)
+                        .or_insert(SimDuration::ZERO);
+                    *slot += overhead;
+                }
                 self.metrics.on_reconfig(
                     now,
                     format!(
-                        "reclaim: {bytes}B {lender} <- {borrower}",
+                        "reclaim: {bytes}B layers[{s},{e}) {lender} <- {borrower} \
+                         ({restore_ops} restored)",
                         bytes = d.bytes,
+                        s = d.loan.layer_start,
+                        e = d.loan.layer_end,
                         lender = d.lender,
                         borrower = d.borrower
                     ),
@@ -894,6 +966,38 @@ impl ClusterState {
             }
         }
         self.donations = remaining;
+    }
+
+    /// Restores the dropped layers of `loan`'s range on one lender member,
+    /// capped to whole layers the member's reclaimed `bytes` cover — the
+    /// reclaimed bytes *are* those layers' parameter memory, so restoring
+    /// within the cap can never cut into other loans or into KV capacity
+    /// the member's group still counts on. Returns the remap op count.
+    fn restore_loaned_layers(&mut self, m: InstanceId, loan: &Loan, bytes: u64) -> usize {
+        let inst = &self.instances[m.0 as usize];
+        let stride = inst.layer_stride_bytes().max(1);
+        let budget = (bytes / stride) as u32;
+        if budget == 0 {
+            return 0;
+        }
+        let range = LayerRange::new(loan.layer_start, loan.layer_end);
+        let dropped_in_range = {
+            let resident = inst.resident_layers();
+            let mut ls: Vec<u32> = (range.start..range.end)
+                .filter(|&l| !resident.contains(l))
+                .collect();
+            // Prefer the topmost layers — the slice the loan nominally
+            // covers is allocated top-down.
+            ls.sort_unstable_by(|a, b| b.cmp(a));
+            ls.truncate(budget as usize);
+            ls
+        };
+        if dropped_in_range.is_empty() {
+            return 0;
+        }
+        let set =
+            LayerSet::from_ranges(dropped_in_range.iter().map(|&l| LayerRange::new(l, l + 1)));
+        self.instances[m.0 as usize].restore_layers(&set)
     }
 
     /// Recomputes a lender group's block capacity from its members'
@@ -906,13 +1010,17 @@ impl ClusterState {
             return;
         }
         let model = self.cfg.model_cfg(lender).clone();
-        let pools: Vec<(u64, f64)> = self
-            .group(group)
+        // KV distribution follows the *execution* partition (stage_fracs),
+        // not parameter residency — a partially-merged member may hold
+        // spare replica layers it does not execute.
+        let g = self.group(group);
+        let pools: Vec<(u64, f64)> = g
             .members
             .iter()
-            .map(|&m| {
+            .zip(&g.stage_fracs)
+            .map(|(&m, &frac)| {
                 let inst = &self.instances[m.0 as usize];
-                (inst.usable_kv_bytes(), inst.layer_fraction(&model))
+                (inst.usable_kv_bytes(), frac)
             })
             .collect();
         let cap = group_capacity_blocks(&pools, model.kv_bytes_per_token(), self.cfg.block_tokens);
@@ -959,8 +1067,12 @@ impl ClusterState {
                 continue;
             }
             match rc {
-                Reconfig::Merge { groups, grants } => {
-                    match self.merge_groups(&groups, &grants, now) {
+                Reconfig::Merge {
+                    groups,
+                    grants,
+                    drop_range,
+                } => {
+                    match self.merge_groups(&groups, &grants, drop_range, now) {
                         Ok(g) => created.push(g),
                         Err(msg) => {
                             // Unfreeze and abandon; the policy will retry.
@@ -991,28 +1103,45 @@ impl ClusterState {
     }
 
     /// Merges idle groups into one pipeline group: computes the per-member
-    /// layer partition, executes the parameter drops (VMM remap), rebuilds
-    /// the block accounting (carrying borrowed extents across), executes
-    /// any cross-model donation `grants` out of the freed memory, moves
+    /// layer partition, executes the parameter drops (VMM remap) — all
+    /// duplicated layers, or only those inside `drop_range` for a
+    /// layer-granular (donation-sized) merge — rebuilds the block
+    /// accounting (carrying borrowed extents across), executes any
+    /// cross-model donation `grants` out of the freed memory, moves
     /// requests across and launches the KVCache exchange for admitted
     /// sequences.
+    ///
+    /// Every member executes (and stores KV for) its slice of the pipeline
+    /// partition; under a partial `drop_range` it additionally *retains*
+    /// replica copies of the layers outside the range, so restoring those
+    /// layers later needs no parameter pull.
     fn merge_groups(
         &mut self,
         group_ids: &[GroupId],
         grants: &[(ModelId, u64)],
+        drop_range: Option<LayerRange>,
         now: SimTime,
     ) -> Result<GroupId, String> {
         let model_id = self.group(group_ids[0]).model;
         let model = self.cfg.model_cfg(model_id).clone();
         let num_layers = model.num_layers;
-        // Capture pre-drop membership and layer fractions: the exchange
-        // volume depends on how KV was distributed *before* the merge.
+        let range = drop_range.unwrap_or_else(|| LayerRange::new(0, num_layers));
+        let range_set = LayerSet::from_range(LayerRange::new(
+            range.start.min(num_layers),
+            range.end.min(num_layers),
+        ));
+        // Capture pre-drop membership and *execution* fractions: the
+        // exchange volume depends on how KV was distributed before the
+        // merge, and KV follows the execution partition (a member may
+        // hold spare replica layers it does not execute after a partial
+        // merge).
         let mut old_members_of: HashMap<GroupId, Vec<InstanceId>> = HashMap::new();
         let mut old_frac_of: HashMap<InstanceId, f64> = HashMap::new();
         for &g in group_ids {
-            let ms = self.group(g).members.clone();
-            for &m in &ms {
-                old_frac_of.insert(m, self.instances[m.0 as usize].layer_fraction(&model));
+            let grp = self.group(g);
+            let ms = grp.members.clone();
+            for (&m, &f) in ms.iter().zip(&grp.stage_fracs) {
+                old_frac_of.insert(m, f);
             }
             old_members_of.insert(g, ms);
         }
@@ -1029,14 +1158,25 @@ impl ClusterState {
             (start, r.len())
         });
         let parts = partition_layers(num_layers, members.len() as u32);
+        let exec_fracs: Vec<f64> = parts
+            .iter()
+            .map(|p| p.len() as f64 / num_layers as f64)
+            .collect();
+        // Per-member target residency: its execution slice plus, under a
+        // partial range, every currently-resident layer outside the range
+        // (kept as replica copies for pull-free restore).
+        let target_of = |state: &Self, i: usize, m: InstanceId| -> LayerSet {
+            let resident = state.instances[m.0 as usize].resident_layers();
+            LayerSet::from_range(parts[i]).union(&resident.difference(&range_set))
+        };
         for (i, &m) in members.iter().enumerate() {
-            let target = LayerSet::from_range(parts[i]);
+            let slice = LayerSet::from_range(parts[i]);
             let resident = self.instances[m.0 as usize].resident_layers();
-            if !target.difference(resident).is_empty() {
+            if !slice.difference(resident).is_empty() {
                 return Err(format!(
-                    "member {m} holds {resident} which does not cover {target}",
+                    "member {m} holds {resident} which does not cover {slice}",
                     resident = resident,
-                    target = target
+                    slice = slice
                 ));
             }
         }
@@ -1057,11 +1197,13 @@ impl ClusterState {
             .iter()
             .enumerate()
             .map(|(i, &m)| {
+                let target = target_of(self, i, m);
                 let inst = &self.instances[m.0 as usize];
-                let target = LayerSet::from_range(parts[i]);
-                let dropping = inst.resident_layers().difference(&target).len() as u64;
-                let frac_after = target.len() as f64 / num_layers as f64;
-                (inst.usable_kv_bytes() + dropping * layer_bytes, frac_after)
+                let gained = inst
+                    .resident_layers()
+                    .difference(&target)
+                    .param_bytes(layer_bytes);
+                (inst.usable_kv_bytes() + gained, exec_fracs[i])
             })
             .collect();
         let capacity_after = group_capacity_blocks(
@@ -1079,7 +1221,7 @@ impl ClusterState {
         // Execute the drops; total VMM ops determine the remap stall.
         let mut ops = 0;
         for (i, &m) in members.iter().enumerate() {
-            let target = LayerSet::from_range(parts[i]);
+            let target = target_of(self, i, m);
             let inst = &mut self.instances[m.0 as usize];
             let drop = inst.resident_layers().difference(&target);
             if !drop.is_empty() {
@@ -1093,15 +1235,22 @@ impl ClusterState {
         // retains capacity for the blocks its admitted sequences will
         // re-register below.
         let new_id = GroupId(self.groups.len());
-        self.execute_donation_grants(&members, model_id, new_id, needed_blocks, grants, now);
+        let member_shares: Vec<(InstanceId, f64)> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (m, exec_fracs[i]))
+            .collect();
+        self.execute_donation_grants(&member_shares, model_id, new_id, needed_blocks, grants, now);
 
-        // New group bookkeeping over the *usable* (undonated) pools.
+        // New group bookkeeping over the *usable* (undonated) pools,
+        // distributed by the execution partition.
         let member_pools = |state: &Self| -> Vec<(u64, f64)> {
             members
                 .iter()
-                .map(|&m| {
+                .enumerate()
+                .map(|(i, &m)| {
                     let inst = &state.instances[m.0 as usize];
-                    (inst.usable_kv_bytes(), inst.layer_fraction(&model))
+                    (inst.usable_kv_bytes(), exec_fracs[i])
                 })
                 .collect()
         };
@@ -1115,7 +1264,7 @@ impl ClusterState {
             // created this instant, so the borrower extents are untouched
             // and the roll-back cannot fail; the full pools then satisfy
             // the feasibility pre-check above.
-            self.reclaim_matching(|d| d.lender_group == new_id, false, now);
+            self.reclaim_matching(|d| d.lender_group == new_id, false, false, now);
             pools = member_pools(self);
             capacity =
                 group_capacity_blocks(&pools, model.kv_bytes_per_token(), self.cfg.block_tokens);
@@ -1146,8 +1295,8 @@ impl ClusterState {
         // records of constituents merging deeper retarget too.
         for &gid in group_ids {
             let old = self.groups[gid.0].as_ref().expect("alive");
-            for lender in old.blocks.lenders() {
-                let tag = ExtentTag::Borrowed(lender);
+            for loan in old.blocks.loans() {
+                let tag = ExtentTag::Borrowed(loan);
                 new_group
                     .blocks
                     .grow_extent(tag, old.blocks.extent_blocks(tag));
@@ -1223,13 +1372,17 @@ impl ClusterState {
         // leaving each member are aggregated into one bulk job per member
         // (to its ring neighbor), coordinated-chunked by the network.
         let kv_per_token = model.kv_bytes_per_token();
+        let new_frac_of: HashMap<InstanceId, f64> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (m, exec_fracs[i]))
+            .collect();
         let mut outgoing: HashMap<InstanceId, u64> = HashMap::new();
         for &(_, tokens, old_gid) in &exchange_seqs {
             let kv_bytes = (tokens * kv_per_token) as f64;
             for &m in &old_members_of[&old_gid] {
                 let old_share = kv_bytes * old_frac_of[&m];
-                let new_frac = self.instances[m.0 as usize].layer_fraction(&model);
-                let leaving = (old_share - kv_bytes * new_frac).max(0.0) as u64;
+                let leaving = (old_share - kv_bytes * new_frac_of[&m]).max(0.0) as u64;
                 if leaving > 0 {
                     *outgoing.entry(m).or_insert(0) += leaving;
                 }
@@ -1286,10 +1439,14 @@ impl ClusterState {
         } else {
             String::new()
         };
+        let range_note = match drop_range {
+            Some(r) => format!(" range[{},{})", r.start, r.end),
+            None => String::new(),
+        };
         self.metrics.on_reconfig(
             now,
             format!(
-                "drop: merged {} groups into {} stages ({model_id}){donated_note}",
+                "drop: merged {} groups into {} stages ({model_id}){range_note}{donated_note}",
                 group_ids.len(),
                 members.len()
             ),
@@ -1442,8 +1599,8 @@ impl ClusterState {
 
         // Extents this group borrowed from other models survive on the
         // first new group (planned into `capacities[0]` above).
-        for lender in old.blocks.lenders() {
-            let tag = ExtentTag::Borrowed(lender);
+        for loan in old.blocks.loans() {
+            let tag = ExtentTag::Borrowed(loan);
             self.groups[new_ids[0].0]
                 .as_mut()
                 .expect("alive")
@@ -1576,13 +1733,16 @@ impl ClusterState {
         let kv_per_token = self.cfg.model_cfg(model_id).kv_bytes_per_token();
         // Settle the donation ledger before anything restores: bytes this
         // group lent are force-reclaimed (the survivors' tails are about to
-        // become parameters again — borrowers preempt if they must).
-        self.reclaim_matching(|d| d.lender_group == gid, true, now);
+        // become parameters again — borrowers preempt if they must). No
+        // per-loan layer restore here: the survivors' `restore_all` below
+        // brings every layer home and charges the remap once.
+        self.reclaim_matching(|d| d.lender_group == gid, true, false, now);
         let old = self.groups[gid.0].take().expect("alive");
         // Extents this group *borrowed* died with its block manager just
         // now; the dead-borrower branch of `reclaim_matching` returns the
-        // bytes to their lenders and regrows the lenders' pools.
-        self.reclaim_matching(|d| d.borrower_group == gid, false, now);
+        // bytes to their lenders (restoring the lent layer ranges) and
+        // regrows the lenders' pools.
+        self.reclaim_matching(|d| d.borrower_group == gid, false, true, now);
 
         // Collect every request the dying group was responsible for.
         let mut to_requeue: Vec<RequestId> = Vec::new();

@@ -61,7 +61,8 @@ pub use baselines::{InferCeptPolicy, LlumnixPolicy, VllmPolicy};
 pub use lookahead::balance_microbatches;
 pub use plan::{
     arbitrate_drop_plans, arbitrate_with_donation, ArbitratedPlan, Arbitration, ArbitrationOutcome,
-    DonationGrant, DonorPlan, DropPlan, DropPlanner, LenderOffer, ModelDemand,
+    DonationGrant, DonorMerge, DonorPlan, DropPlan, DropPlanner, LenderOffer, ModelDemand,
+    PlanGroup,
 };
 pub use policy::{KunServeConfig, KunServePolicy};
 pub use serving::{run_system, RunOutcome, SystemKind};

@@ -13,6 +13,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use cluster::{GroupId, ModelId};
+use modelcfg::{layers_covering, param_bytes_for_layers, top_range, LayerRange};
 
 /// One group considered by the planner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,14 +163,22 @@ pub struct ArbitratedPlan {
     pub plan: DropPlan,
 }
 
-/// One non-overloaded model's offer of donor parameter copies: groups it
-/// could merge so the freed bytes feed **another** model's KV pool.
+/// One non-overloaded model's offer of donor parameter **layers**: groups
+/// it could (partially) merge so the freed bytes feed **another** model's
+/// KV pool. Grants are sized in whole layers — the paper's parameter-drop
+/// granularity — so a lender with a mild surplus lends exactly what the
+/// borrower's deficit needs instead of a whole replica copy.
 #[derive(Debug, Clone)]
 pub struct LenderOffer {
     /// The offering (lender) model.
     pub model: ModelId,
-    /// Bytes one duplicated parameter copy of this model frees.
-    pub copy_bytes: u64,
+    /// Bytes one droppable layer frees per eliminated duplicate.
+    pub layer_bytes: u64,
+    /// Layers in one complete copy.
+    pub num_layers: u32,
+    /// Grant quantum in layers: `1` for layer-granular donation (the
+    /// default), `num_layers` to reproduce the whole-copy baseline.
+    pub grant_quantum_layers: u32,
     /// SLO weight — under [`Arbitration::SloWeighted`] the *least*
     /// latency-critical lender donates first.
     pub slo_weight: f64,
@@ -177,7 +186,25 @@ pub struct LenderOffer {
     pub groups: Vec<PlanGroup>,
 }
 
-/// One cross-model donation decided by arbitration: `bytes` of the
+impl LenderOffer {
+    /// Bytes one duplicated parameter copy frees.
+    pub fn copy_bytes(&self) -> u64 {
+        param_bytes_for_layers(self.num_layers, self.layer_bytes)
+    }
+
+    /// A whole-copy-granularity variant of this offer (the pre-layer-range
+    /// donation baseline, kept for the fig18 ablation).
+    pub fn whole_copies(mut self) -> Self {
+        self.grant_quantum_layers = self.num_layers;
+        self
+    }
+
+    fn quantum(&self) -> u64 {
+        u64::from(self.grant_quantum_layers.clamp(1, self.num_layers.max(1)))
+    }
+}
+
+/// One cross-model donation decided by arbitration: `layers` of the
 /// lender's dropped-parameter memory granted to the borrower's KV pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DonationGrant {
@@ -185,20 +212,49 @@ pub struct DonationGrant {
     pub lender: ModelId,
     /// The model whose KV pool consumes them.
     pub borrower: ModelId,
-    /// Granted bytes (an exact multiple of the lender's copy size).
+    /// Granted layers (a multiple of the offer's grant quantum — whole
+    /// layers by default, whole copies in the ablation baseline). The
+    /// smallest quantum multiple covering the borrower's residual need,
+    /// so the overshoot is bounded by one quantum.
+    pub layers: u64,
+    /// Granted bytes (`layers × layer_bytes`).
     pub bytes: u64,
 }
 
-/// A lender's arbitrated outcome: merges of its own groups whose freed
-/// bytes are donated per `grants` instead of growing its own pool.
+/// One merge a donor executes: the groups to merge plus the contiguous
+/// layer range whose duplicates the merge drops. A full range is the
+/// classic whole-copy drop; a partial range de-duplicates only the lent
+/// layers, leaving the rest replicated for pull-free restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DonorMerge {
+    /// The groups to merge.
+    pub groups: Vec<GroupId>,
+    /// The layer range to de-duplicate across the merged members.
+    pub drop_layers: LayerRange,
+    /// Layers of duplicate parameters the merge frees:
+    /// `(copies − 1) × drop_layers.len()`.
+    pub freed_layers: u64,
+}
+
+/// A lender's arbitrated outcome: layer-ranged merges of its own groups
+/// whose freed bytes are donated per `grants` instead of growing its own
+/// pool.
 #[derive(Debug, Clone)]
 pub struct DonorPlan {
     /// The lender model.
     pub model: ModelId,
-    /// The merges to execute (freeing exactly the granted bytes).
-    pub plan: DropPlan,
+    /// The merges to execute (freeing at least the granted layers; any
+    /// round-up slack stays with the lender as its own pool growth).
+    pub merges: Vec<DonorMerge>,
     /// Who consumes the freed bytes.
     pub grants: Vec<DonationGrant>,
+}
+
+impl DonorPlan {
+    /// Total layers of duplicates the plan's merges free.
+    pub fn freed_layers(&self) -> u64 {
+        self.merges.iter().map(|m| m.freed_layers).sum()
+    }
 }
 
 /// The complete outcome of one arbitration round.
@@ -320,8 +376,11 @@ pub fn arbitrate_with_donation(
         }
     };
 
-    // Donation round: serve residual requirements from donor copies under
-    // whatever allowance remains.
+    // Donation round: serve residual requirements from donor **layers**
+    // under whatever allowance remains. Each award is the smallest
+    // quantum multiple (whole layers by default, whole copies for the
+    // ablation baseline) covering the borrower's residual, so the grant
+    // never overshoots the deficit by more than one quantum.
     let mut left = allowance.map(|a| a.saturating_sub(granted.iter().sum::<u64>()));
     let mut residual: Vec<u64> = demands
         .iter()
@@ -330,14 +389,15 @@ pub fn arbitrate_with_donation(
         .collect();
     let mut offers: Vec<&LenderOffer> = offers.iter().collect();
     offers.sort_by_key(|o| o.model);
-    // A lender must keep at least one group serving, and never lends to
-    // models also lending this round (offers come from non-overloaded
+    // A lender must keep at least one group serving (so at most
+    // `groups − 1` copies' worth of layers are lendable), and never lends
+    // to models also lending this round (offers come from non-overloaded
     // models only, which the caller guarantees).
-    let mut donor_copies: Vec<u64> = offers
+    let mut donor_layers: Vec<u64> = offers
         .iter()
-        .map(|o| (o.groups.len() as u64).saturating_sub(1))
+        .map(|o| (o.groups.len() as u64).saturating_sub(1) * o.num_layers as u64)
         .collect();
-    let mut donated: Vec<u64> = vec![0; offers.len()];
+    let mut donated_layers: Vec<u64> = vec![0; offers.len()];
     let mut grants: Vec<DonationGrant> = Vec::new();
     let weight = |d: &ModelDemand| -> f64 {
         match arbitration {
@@ -359,10 +419,14 @@ pub fn arbitrate_with_donation(
             })
     };
     while let Some(b) = neediest(&residual) {
-        // Cheapest donor whose copy still fits the allowance: lowest SLO
-        // weight first (SloWeighted), ties to the lowest model id.
+        // Cheapest donor with a lendable quantum that still fits the
+        // allowance: lowest SLO weight first (SloWeighted), ties to the
+        // lowest model id.
         let Some(l) = (0..offers.len())
-            .filter(|&i| donor_copies[i] > 0 && left.is_none_or(|a| offers[i].copy_bytes <= a))
+            .filter(|&i| {
+                let q = offers[i].quantum();
+                donor_layers[i] >= q && left.is_none_or(|a| q * offers[i].layer_bytes <= a)
+            })
             .min_by(|&x, &y| {
                 let (wx, wy) = match arbitration {
                     Arbitration::Proportional => (0.0, 0.0),
@@ -375,9 +439,20 @@ pub fn arbitrate_with_donation(
         else {
             break;
         };
-        let bytes = offers[l].copy_bytes;
-        donor_copies[l] -= 1;
-        donated[l] += bytes;
+        let o = offers[l];
+        let q = o.quantum();
+        // The smallest quantum multiple covering the residual, capped by
+        // the lender's remaining layers and the allowance.
+        let need = u64::from(layers_covering(residual[b], o.layer_bytes));
+        let mut layers = need.div_ceil(q) * q;
+        layers = layers.min(donor_layers[l] / q * q);
+        if let Some(a) = left {
+            layers = layers.min(a / o.layer_bytes / q * q);
+        }
+        debug_assert!(layers >= q, "filter guarantees one lendable quantum");
+        let bytes = layers * o.layer_bytes;
+        donor_layers[l] -= layers;
+        donated_layers[l] += layers;
         residual[b] = residual[b].saturating_sub(bytes);
         if let Some(a) = left.as_mut() {
             *a -= bytes;
@@ -385,12 +460,16 @@ pub fn arbitrate_with_donation(
         // Merge adjacent grants of the same (lender, borrower) pair.
         match grants
             .iter_mut()
-            .find(|g| g.lender == offers[l].model && g.borrower == demands[b].model)
+            .find(|g| g.lender == o.model && g.borrower == demands[b].model)
         {
-            Some(g) => g.bytes += bytes,
+            Some(g) => {
+                g.layers += layers;
+                g.bytes += bytes;
+            }
             None => grants.push(DonationGrant {
-                lender: offers[l].model,
+                lender: o.model,
                 borrower: demands[b].model,
+                layers,
                 bytes,
             }),
         }
@@ -399,10 +478,10 @@ pub fn arbitrate_with_donation(
     let donor_plans: Vec<DonorPlan> = offers
         .iter()
         .enumerate()
-        .filter(|&(i, _)| donated[i] > 0)
+        .filter(|&(i, _)| donated_layers[i] > 0)
         .map(|(i, o)| DonorPlan {
             model: o.model,
-            plan: DropPlanner::new(o.copy_bytes).plan(&o.groups, donated[i]),
+            merges: plan_donor_merges(&o.groups, donated_layers[i], o.num_layers),
             grants: grants
                 .iter()
                 .filter(|g| g.lender == o.model)
@@ -422,6 +501,64 @@ pub fn arbitrate_with_donation(
         })
         .collect();
     ArbitrationOutcome { plans, donor_plans }
+}
+
+/// Plans the merges that free `donated_layers` layers of duplicates from
+/// `groups` (each holding one complete `num_layers`-layer copy).
+///
+/// The same greedy shape as [`DropPlanner::plan`] — repeatedly merge the
+/// two smallest groups — but **layer-granular**: each merge event takes
+/// only the layers still needed, so the final merge of a plan carries a
+/// partial [`DonorMerge::drop_layers`] range (the smallest top slice
+/// covering its share) instead of de-duplicating a whole copy. A merge of
+/// `c` constituent copies with range `R` frees `(c − 1) × |R|` layers, so
+/// the per-merge range is `⌈taken / (c − 1)⌉` — for the dominant pairwise
+/// case the freed layers equal the taken layers exactly.
+fn plan_donor_merges(
+    groups: &[PlanGroup],
+    donated_layers: u64,
+    num_layers: u32,
+) -> Vec<DonorMerge> {
+    // Heap entries: (instances, insertion order, constituent ids, layers
+    // taken from this set so far).
+    type Entry = (u32, u64, Vec<GroupId>, u64);
+    let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+    for (i, g) in groups.iter().enumerate() {
+        heap.push(Reverse((g.instances, i as u64, vec![g.id], 0)));
+    }
+    let mut next_seq = groups.len() as u64;
+    let mut remaining = donated_layers;
+    while remaining > 0 && heap.len() >= 2 {
+        let Reverse((s0, _, ids0, t0)) = heap.pop().expect("len >= 2");
+        let Reverse((s1, _, ids1, t1)) = heap.pop().expect("len >= 2");
+        let mut merged = ids0;
+        merged.extend(ids1);
+        // De-duplication capacity of the merged set, minus what earlier
+        // rounds already took from its constituents.
+        let capacity = ((merged.len() as u64 - 1) * num_layers as u64).saturating_sub(t0 + t1);
+        let take = remaining.min(capacity);
+        remaining -= take;
+        heap.push(Reverse((s0 + s1, next_seq, merged, t0 + t1 + take)));
+        next_seq += 1;
+    }
+    let mut merges: Vec<DonorMerge> = heap
+        .into_iter()
+        .filter_map(|Reverse((_, _, ids, taken))| {
+            if ids.len() < 2 || taken == 0 {
+                return None;
+            }
+            let copies = ids.len() as u64 - 1;
+            let range_len = taken.div_ceil(copies).min(num_layers as u64) as u32;
+            Some(DonorMerge {
+                groups: ids,
+                drop_layers: top_range(num_layers, range_len),
+                freed_layers: copies * range_len as u64,
+            })
+        })
+        .collect();
+    // Deterministic output order: by smallest constituent id.
+    merges.sort_by_key(|m| m.groups.iter().copied().min());
+    merges
 }
 
 #[cfg(test)]
@@ -630,10 +767,16 @@ mod tests {
         assert_eq!(plans[1].plan.freed_bytes, 3 * COPY);
     }
 
+    /// A 10-layer lender copy at 10 B/layer, so `COPY = 100` still holds.
+    const LAYER: u64 = COPY / 10;
+    const LAYERS_PER_COPY: u32 = 10;
+
     fn offer(model: u32, weight: f64, n_groups: usize, base_id: usize) -> LenderOffer {
         LenderOffer {
             model: ModelId(model),
-            copy_bytes: COPY,
+            layer_bytes: LAYER,
+            num_layers: LAYERS_PER_COPY,
+            grant_quantum_layers: 1,
             slo_weight: weight,
             groups: (0..n_groups)
                 .map(|i| PlanGroup {
@@ -644,10 +787,14 @@ mod tests {
         }
     }
 
+    fn donated_bytes(dp: &DonorPlan) -> u64 {
+        dp.grants.iter().map(|g| g.bytes).sum()
+    }
+
     #[test]
     fn starved_model_with_no_own_copies_receives_donations() {
         // The borrower is fully merged (a single group): its own plan can
-        // free nothing, so donor copies must cover the requirement.
+        // free nothing, so donor layers must cover the requirement.
         let demands = [demand(0, 2 * COPY, 1.0, 1, 0)];
         let offers = [offer(1, 1.0, 4, 1)];
         let out = arbitrate_with_donation(&demands, &offers, None, Arbitration::SloWeighted);
@@ -656,18 +803,19 @@ mod tests {
         assert_eq!(out.donor_plans.len(), 1);
         let dp = &out.donor_plans[0];
         assert_eq!(dp.model, ModelId(1));
-        assert_eq!(dp.plan.freed_bytes, 2 * COPY);
+        assert_eq!(dp.freed_layers() * LAYER, 2 * COPY);
         assert_eq!(
             dp.grants,
             vec![DonationGrant {
                 lender: ModelId(1),
                 borrower: ModelId(0),
+                layers: 2 * LAYERS_PER_COPY as u64,
                 bytes: 2 * COPY,
             }]
         );
         // Donor merges stay within the donor's own groups.
-        for m in &dp.plan.merges {
-            for g in m {
+        for m in &dp.merges {
+            for g in &m.groups {
                 assert!((1..5).contains(&g.0), "donor merge uses foreign group");
             }
         }
@@ -675,16 +823,120 @@ mod tests {
 
     #[test]
     fn donation_respects_the_shared_allowance() {
-        // Own copies and donated copies draw on ONE allowance.
+        // Own copies and donated layers draw on ONE allowance.
         let demands = [demand(0, 4 * COPY, 1.0, 2, 0)]; // own freeable: 1 copy
         let offers = [offer(1, 1.0, 4, 2)];
         let out =
             arbitrate_with_donation(&demands, &offers, Some(2 * COPY), Arbitration::SloWeighted);
         let own: u64 = out.plans.iter().map(|p| p.plan.freed_bytes).sum();
-        let donated: u64 = out.donor_plans.iter().map(|p| p.plan.freed_bytes).sum();
+        let donated: u64 = out.donor_plans.iter().map(donated_bytes).sum();
         assert_eq!(own, COPY);
-        assert_eq!(donated, COPY, "only one donated copy fits the allowance");
+        assert_eq!(donated, COPY, "only one donated copy's worth fits");
         assert!(own + donated <= 2 * COPY);
+    }
+
+    #[test]
+    fn grants_are_layer_granular_not_whole_copy() {
+        // Deficit of 2.5 layers: the grant is 3 layers (the smallest range
+        // covering the need — one layer of quantization, not one copy).
+        let deficit = 2 * LAYER + LAYER / 2;
+        let demands = [demand(0, deficit, 1.0, 1, 0)];
+        let offers = [offer(1, 1.0, 4, 1)];
+        let out = arbitrate_with_donation(&demands, &offers, None, Arbitration::SloWeighted);
+        let dp = &out.donor_plans[0];
+        assert_eq!(dp.grants.len(), 1);
+        assert_eq!(dp.grants[0].layers, 3);
+        assert_eq!(dp.grants[0].bytes, 3 * LAYER);
+        assert!(dp.grants[0].bytes < COPY, "must lend less than a copy");
+        assert!(
+            dp.grants[0].bytes - deficit < LAYER,
+            "overshoot bounded by one layer"
+        );
+        // The single pair merge carries the matching partial top range.
+        assert_eq!(dp.merges.len(), 1);
+        let m = &dp.merges[0];
+        assert_eq!(m.groups.len(), 2);
+        assert_eq!(
+            m.drop_layers,
+            LayerRange::new(LAYERS_PER_COPY - 3, LAYERS_PER_COPY)
+        );
+        assert_eq!(m.freed_layers, 3);
+    }
+
+    #[test]
+    fn whole_copy_quantum_reproduces_the_baseline() {
+        // The ablation baseline: the same 2.5-layer deficit costs a whole
+        // copy when the offer quantizes to copies.
+        let deficit = 2 * LAYER + LAYER / 2;
+        let demands = [demand(0, deficit, 1.0, 1, 0)];
+        let offers = [offer(1, 1.0, 4, 1).whole_copies()];
+        let out = arbitrate_with_donation(&demands, &offers, None, Arbitration::SloWeighted);
+        let dp = &out.donor_plans[0];
+        assert_eq!(dp.grants[0].layers, LAYERS_PER_COPY as u64);
+        assert_eq!(dp.grants[0].bytes, COPY);
+        assert_eq!(dp.merges.len(), 1);
+        assert_eq!(
+            dp.merges[0].drop_layers,
+            LayerRange::new(0, LAYERS_PER_COPY),
+            "whole-copy merges de-duplicate every layer"
+        );
+    }
+
+    #[test]
+    fn layer_granular_never_donates_more_than_whole_copy() {
+        // Strict dominance over a sweep of deficits: the layer-granular
+        // grant total is never above the whole-copy baseline's, and is
+        // strictly below whenever the deficit is not a copy multiple.
+        for deficit in [1, LAYER, COPY / 2, COPY, COPY + 1, 3 * COPY - LAYER] {
+            let demands = [demand(0, deficit, 1.0, 1, 0)];
+            let fine = arbitrate_with_donation(
+                &demands,
+                &[offer(1, 1.0, 5, 1)],
+                None,
+                Arbitration::SloWeighted,
+            );
+            let coarse = arbitrate_with_donation(
+                &demands,
+                &[offer(1, 1.0, 5, 1).whole_copies()],
+                None,
+                Arbitration::SloWeighted,
+            );
+            let fine_b: u64 = fine.donor_plans.iter().map(donated_bytes).sum();
+            let coarse_b: u64 = coarse.donor_plans.iter().map(donated_bytes).sum();
+            assert!(
+                fine_b >= deficit.min(4 * COPY),
+                "deficit {deficit} uncovered"
+            );
+            assert!(
+                fine_b <= coarse_b,
+                "deficit {deficit}: layer-granular {fine_b} above whole-copy {coarse_b}"
+            );
+            if deficit % COPY != 0 && deficit < 4 * COPY {
+                assert!(
+                    fine_b < coarse_b,
+                    "deficit {deficit}: partial grant must beat a whole copy"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deep_donor_merges_cover_multi_copy_grants() {
+        // A 2.2-copy deficit from a 4-group lender: the planner chains
+        // merges, and total freed layers cover the grant with bounded
+        // slack.
+        let deficit = 2 * COPY + 2 * LAYER;
+        let demands = [demand(0, deficit, 1.0, 1, 0)];
+        let offers = [offer(1, 1.0, 4, 1)];
+        let out = arbitrate_with_donation(&demands, &offers, None, Arbitration::SloWeighted);
+        let dp = &out.donor_plans[0];
+        assert_eq!(dp.grants[0].layers, 22);
+        let freed = dp.freed_layers();
+        assert!(freed >= 22, "merges must cover the grant: {freed}");
+        assert!(
+            freed * LAYER <= dp.grants[0].bytes + 2 * COPY,
+            "slack stays bounded: {freed} layers for a 22-layer grant"
+        );
     }
 
     #[test]
@@ -702,12 +954,12 @@ mod tests {
 
     #[test]
     fn donor_keeps_one_serving_group() {
-        // A lender with 3 groups can donate at most 2 copies no matter the
-        // residual demand.
+        // A lender with 3 groups can donate at most 2 copies' worth of
+        // layers no matter the residual demand.
         let demands = [demand(0, 10 * COPY, 1.0, 1, 0)];
         let offers = [offer(1, 1.0, 3, 1)];
         let out = arbitrate_with_donation(&demands, &offers, None, Arbitration::Proportional);
-        assert_eq!(out.donor_plans[0].plan.freed_bytes, 2 * COPY);
+        assert_eq!(out.donor_plans[0].freed_layers() * LAYER, 2 * COPY);
         assert_eq!(out.donor_plans[0].grants[0].bytes, 2 * COPY);
     }
 

@@ -52,6 +52,12 @@ pub struct KunServeConfig {
     /// pool. Borrowed bytes are reclaimed (borrower shrinks first) before
     /// the lender's parameters are restored.
     pub cross_model_donation: bool,
+    /// Grant donations at **layer** granularity (the default): lenders
+    /// merge with a partial drop range sized to the borrower's actual
+    /// deficit, keeping the other layers replicated. Off = the whole-copy
+    /// baseline, which over-donates whenever the deficit is not an exact
+    /// copy multiple (the fig18 `donated_bytes_peak` ablation).
+    pub layer_granular_donation: bool,
     /// Monitor ticks a borrower's demand must stay below the restore
     /// threshold before its borrowed KV is handed back (and before a
     /// lender may reclaim it for a restore). Hysteresis against
@@ -74,6 +80,7 @@ impl Default for KunServeConfig {
             reclaim_allowance_bytes: None,
             arbitration: Arbitration::SloWeighted,
             cross_model_donation: true,
+            layer_granular_donation: true,
             donation_hold_ticks: 8,
         }
     }
@@ -110,6 +117,16 @@ impl KunServeConfig {
     pub fn without_donation() -> Self {
         KunServeConfig {
             cross_model_donation: false,
+            ..KunServeConfig::default()
+        }
+    }
+
+    /// Donation-granularity ablation: donations on, but quantized to
+    /// whole replica copies (the PR 4 behaviour) — a lender with a mild
+    /// surplus either over-donates or refuses.
+    pub fn whole_copy_donation() -> Self {
+        KunServeConfig {
+            layer_granular_donation: false,
             ..KunServeConfig::default()
         }
     }
@@ -165,7 +182,30 @@ impl KunServePolicy {
     /// layers only).
     fn copy_bytes_of(state: &ClusterState, model: ModelId) -> u64 {
         let m = state.cfg.model_cfg(model);
-        m.layer_param_bytes() * m.num_layers as u64
+        modelcfg::param_bytes_for_layers(m.num_layers, m.layer_param_bytes())
+    }
+
+    /// Projected decode growth of a model's admitted + queued sequences
+    /// (peak KV minus current KV) in bytes — the §4.1 future-window term.
+    /// The simulator reads the trace's output lengths directly where a
+    /// real deployment would use the paper's windowed estimator. This
+    /// deliberately over-approximates (queued work never all decodes
+    /// concurrently), so donation asks built on it are capped at the
+    /// whole-copy boundary of the backlog in `maybe_drop`.
+    fn projected_growth_bytes(state: &ClusterState, model: ModelId) -> u64 {
+        let kv = state.cfg.model_cfg(model).kv_bytes_per_token();
+        let mut growth_tokens = 0u64;
+        for g in state.alive_group_ids() {
+            let grp = state.group(g);
+            if grp.model != model {
+                continue;
+            }
+            for r in grp.admitted().chain(grp.queue.iter().copied()) {
+                let req = state.request(r);
+                growth_tokens += req.peak_kv_tokens().saturating_sub(req.kv_tokens());
+            }
+        }
+        growth_tokens * kv
     }
 
     /// Memory requirement R (§4.1 line 1) of one model: the queued +
@@ -209,6 +249,9 @@ impl KunServePolicy {
         let donation = self.cfg.cross_model_donation && state.cfg.num_models() > 1;
         let mut demands: Vec<ModelDemand> = Vec::new();
         let mut offers: Vec<LenderOffer> = Vec::new();
+        // Donation-dependent demands whose ask includes the projected
+        // forward term: `(index into demands, margined backlog)`.
+        let mut projected: Vec<(usize, u64)> = Vec::new();
         for model in state.cfg.model_ids() {
             let is_eligible = eligible.is_none_or(|e| e.contains(&model));
             // Without donation, ineligible models contribute nothing —
@@ -235,12 +278,20 @@ impl KunServePolicy {
                 })
                 .collect();
             if required == 0 {
-                // Not overloaded: with donation on, spare replica copies go
-                // on offer for starved co-served models.
+                // Not overloaded: with donation on, spare replica layers go
+                // on offer for starved co-served models — whole layers by
+                // default, whole copies under the granularity ablation.
                 if candidates.len() >= 2 {
+                    let m = state.cfg.model_cfg(model);
                     offers.push(LenderOffer {
                         model,
-                        copy_bytes: Self::copy_bytes_of(state, model),
+                        layer_bytes: m.layer_param_bytes(),
+                        num_layers: m.num_layers,
+                        grant_quantum_layers: if self.cfg.layer_granular_donation {
+                            1
+                        } else {
+                            m.num_layers
+                        },
                         slo_weight: state.cfg.slo_weight_of(model),
                         groups: candidates,
                     });
@@ -254,9 +305,24 @@ impl KunServePolicy {
                 continue; // fully merged: fall back to KVCache-centric
             }
             let required = (required as f64 * self.cfg.requirement_margin) as u64;
+            // A donation-dependent model (nothing of its own to drop) sizes
+            // its deficit forward: grants are cut to whole layers, so an
+            // instantaneous-backlog deficit would chase the burst one layer
+            // at a time while decode growth outruns it. The projection is
+            // capped below (once the lenders are known) so the forward ask
+            // never exceeds what the whole-copy baseline would grant for
+            // the same backlog. Models with their own copies keep the
+            // backlog-based requirement — their grants quantize to whole
+            // copies regardless.
+            let projection = if donation && candidates.len() < 2 {
+                projected.push((demands.len(), required));
+                Self::projected_growth_bytes(state, model)
+            } else {
+                0
+            };
             demands.push(ModelDemand {
                 model,
-                required_bytes: required,
+                required_bytes: required + projection,
                 copy_bytes: Self::copy_bytes_of(state, model),
                 slo_weight: state.cfg.slo_weight_of(model),
                 groups: candidates,
@@ -264,6 +330,18 @@ impl KunServePolicy {
         }
         if demands.is_empty() {
             return false;
+        }
+        // Cap each projected ask at the next whole-copy boundary of its
+        // backlog (per the *smallest* offered copy): a layer-granular round
+        // then never requests — and so never donates — more than the
+        // whole-copy baseline would grant for the same backlog, which
+        // breaks the capacity→admission→projection ratchet while still
+        // letting the forward term round a grant up toward a copy.
+        if let Some(cap_copy) = offers.iter().map(LenderOffer::copy_bytes).min() {
+            for &(i, backlog) in &projected {
+                let ceiling = backlog.div_ceil(cap_copy.max(1)) * cap_copy.max(1);
+                demands[i].required_bytes = demands[i].required_bytes.min(ceiling.max(backlog));
+            }
         }
         let outcome = arbitrate_with_donation(
             &demands,
@@ -282,15 +360,19 @@ impl KunServePolicy {
                 self.overloaded_ticks.remove(&arb.model);
             }
         }
-        // Donor merges: walk each donor's merges in plan order, assigning
-        // the freed copies to its grants front to back — every merge
-        // carries exactly the grants its freed bytes cover.
+        // Donor merges: walk each donor's layer-ranged merges in plan
+        // order, assigning the freed layers' bytes to its grants front to
+        // back — every merge carries exactly the grants its freed bytes
+        // cover, and drops only its planned layer range.
         for dp in &outcome.donor_plans {
-            let copy_bytes = Self::copy_bytes_of(state, dp.model);
+            let layer_bytes = state.cfg.model_cfg(dp.model).layer_param_bytes();
             let mut queue: Vec<(ModelId, u64)> =
                 dp.grants.iter().map(|g| (g.borrower, g.bytes)).collect();
-            for merge in &dp.plan.merges {
-                let mut freed = (merge.len() as u64 - 1) * copy_bytes;
+            for merge in &dp.merges {
+                // Freed bytes = (copies − 1) duplicates of the drop range.
+                let copies = merge.groups.len() as u64;
+                let mut freed = (copies - 1) * merge.drop_layers.param_bytes(layer_bytes);
+                debug_assert_eq!(freed, merge.freed_layers * layer_bytes);
                 let mut grants = Vec::new();
                 while freed > 0 && !queue.is_empty() {
                     let (borrower, bytes) = &mut queue[0];
@@ -302,14 +384,14 @@ impl KunServePolicy {
                         queue.remove(0);
                     }
                 }
-                state.request_merge_granting(merge.clone(), grants);
+                state.request_merge_ranged(merge.groups.clone(), grants, Some(merge.drop_layers));
                 any = true;
             }
-            if !dp.plan.merges.is_empty() {
-                for g in &dp.grants {
-                    self.overloaded_ticks.remove(&g.borrower);
-                }
-            }
+            // The borrowers' overload debounce is deliberately NOT reset
+            // here: layer-granular grants are sized (and capped) to the
+            // deficit, so a still-growing burst must be able to top up on
+            // the next tick instead of re-serving the sustain window —
+            // the spike filter's job is done once the overload is real.
         }
         if any {
             self.drops_triggered += 1;

@@ -29,7 +29,7 @@ pub mod manager;
 pub mod swap;
 
 pub use error::KvError;
-pub use manager::{BlockId, BlockManager, ExtentTag, SeqKey};
+pub use manager::{BlockId, BlockManager, ExtentTag, Loan, SeqKey};
 pub use swap::HostSwapPool;
 
 /// Convenience alias for fallible KVCache operations.

@@ -21,6 +21,30 @@ struct BlockTable {
     tokens: u64,
 }
 
+/// One cross-model loan's identity: the lending model plus the contiguous
+/// layer range of its parameters whose dropped bytes back the extent.
+///
+/// The layer range makes reclaim ordering *layer-granular*: reclaiming one
+/// loan's extent lets the lender restore exactly the layers `[layer_start,
+/// layer_end)` it lent, instead of being all-or-nothing on a whole replica
+/// copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loan {
+    /// The lending model's id.
+    pub lender: u32,
+    /// First lent layer (inclusive).
+    pub layer_start: u32,
+    /// One past the last lent layer.
+    pub layer_end: u32,
+}
+
+impl Loan {
+    /// Number of layers the loan covers.
+    pub fn layers(&self) -> u32 {
+        self.layer_end.saturating_sub(self.layer_start)
+    }
+}
+
 /// Where one capacity extent of a segmented pool came from.
 ///
 /// The elastic memory ledger tags every slice of a group's KV capacity with
@@ -32,15 +56,15 @@ struct BlockTable {
 ///   dropped parameter memory into the KV region (KunServe §4.1);
 /// - [`ExtentTag::Borrowed`]: capacity *donated* by another co-served
 ///   model's drop — physically resident on the lender's devices, reclaimed
-///   before the lender restores its parameters.
+///   (by [`Loan`] layer range) before the lender restores those layers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ExtentTag {
     /// The base pool mapped at construction.
     Native,
     /// Capacity from this model's own dropped parameters.
     Remap,
-    /// Capacity borrowed from another model (the lender's model id).
-    Borrowed(u32),
+    /// Capacity borrowed from another model under the given loan.
+    Borrowed(Loan),
 }
 
 /// A paged KVCache allocator with per-sequence block tables over a
@@ -118,9 +142,19 @@ impl BlockManager {
         self.capacity_blocks() - self.borrowed_blocks()
     }
 
-    /// Lender model ids with live borrowed extents, ascending.
+    /// Lender model ids with live borrowed extents, ascending and
+    /// deduplicated (one model may back several per-range loans). A
+    /// summary view over [`BlockManager::loans`] for diagnostics.
     pub fn lenders(&self) -> Vec<u32> {
-        let mut out: Vec<u32> = self
+        let mut out: Vec<u32> = self.loans().into_iter().map(|l| l.lender).collect();
+        out.dedup();
+        out
+    }
+
+    /// All live loans (non-empty borrowed extents), ascending by
+    /// `(lender, layer_start, layer_end)`.
+    pub fn loans(&self) -> Vec<Loan> {
+        let mut out: Vec<Loan> = self
             .extents
             .iter()
             .filter_map(|&(t, b)| match t {
@@ -456,34 +490,65 @@ mod tests {
         assert_eq!(m.blocks_for(6400), 100);
     }
 
+    fn loan(lender: u32, layer_start: u32, layer_end: u32) -> Loan {
+        Loan {
+            lender,
+            layer_start,
+            layer_end,
+        }
+    }
+
     #[test]
     fn borrowed_extent_lifecycle() {
         // grant → borrow → reclaim, with lender accounting throughout.
         let mut m = BlockManager::new(4, 64);
-        m.grow_extent(ExtentTag::Borrowed(1), 6);
+        m.grow_extent(ExtentTag::Borrowed(loan(1, 2, 8)), 6);
         assert_eq!(m.capacity_blocks(), 10);
         assert_eq!(m.native_capacity_blocks(), 4);
         assert_eq!(m.borrowed_blocks(), 6);
-        assert_eq!(m.extent_blocks(ExtentTag::Borrowed(1)), 6);
+        assert_eq!(m.extent_blocks(ExtentTag::Borrowed(loan(1, 2, 8))), 6);
         assert_eq!(m.lenders(), vec![1]);
+        assert_eq!(m.loans(), vec![loan(1, 2, 8)]);
+        assert_eq!(m.loans()[0].layers(), 6);
         // Usage may spill into the borrowed share...
         m.allocate(SeqKey(1), 9 * 64).expect("spills into borrowed");
         // ...and then the reclaim must wait for headroom.
         assert_eq!(
-            m.reclaim_extent(ExtentTag::Borrowed(1)),
+            m.reclaim_extent(ExtentTag::Borrowed(loan(1, 2, 8))),
             Err(KvError::ShrinkBelowUsage {
                 used: 9,
                 requested: 4
             })
         );
         m.free(SeqKey(1)).expect("drain");
-        assert_eq!(m.reclaim_extent(ExtentTag::Borrowed(1)), Ok(6));
+        assert_eq!(m.reclaim_extent(ExtentTag::Borrowed(loan(1, 2, 8))), Ok(6));
         assert_eq!(m.capacity_blocks(), 4);
         assert!(m.lenders().is_empty());
         assert_eq!(
-            m.reclaim_extent(ExtentTag::Borrowed(1)),
+            m.reclaim_extent(ExtentTag::Borrowed(loan(1, 2, 8))),
             Err(KvError::UnknownExtent)
         );
+    }
+
+    #[test]
+    fn per_range_loans_reclaim_independently() {
+        // One lender, two disjoint layer ranges: each loan is its own
+        // extent, so one range can go home while the other stays borrowed
+        // — the layer-granular reclaim ordering.
+        let mut m = BlockManager::new(4, 64);
+        m.grow_extent(ExtentTag::Borrowed(loan(1, 6, 8)), 2);
+        m.grow_extent(ExtentTag::Borrowed(loan(1, 4, 6)), 3);
+        m.grow_extent(ExtentTag::Borrowed(loan(2, 0, 1)), 1);
+        assert_eq!(m.borrowed_blocks(), 6);
+        assert_eq!(m.lenders(), vec![1, 2], "lenders dedup across ranges");
+        assert_eq!(m.loans(), vec![loan(1, 4, 6), loan(1, 6, 8), loan(2, 0, 1)]);
+        assert_eq!(m.reclaim_extent(ExtentTag::Borrowed(loan(1, 6, 8))), Ok(2));
+        assert_eq!(m.borrowed_blocks(), 4);
+        assert_eq!(m.loans(), vec![loan(1, 4, 6), loan(2, 0, 1)]);
+        assert_eq!(m.lenders(), vec![1, 2]);
+        // Same-identity grants merge into one extent.
+        m.grow_extent(ExtentTag::Borrowed(loan(2, 0, 1)), 2);
+        assert_eq!(m.extent_blocks(ExtentTag::Borrowed(loan(2, 0, 1))), 3);
     }
 
     #[test]
@@ -511,10 +576,10 @@ mod tests {
     #[test]
     fn resize_keeps_tagged_extents_intact() {
         let mut m = BlockManager::new(4, 64);
-        m.grow_extent(ExtentTag::Borrowed(2), 3);
+        m.grow_extent(ExtentTag::Borrowed(loan(2, 0, 3)), 3);
         m.resize(9).expect("grow native to 6");
         assert_eq!(m.extent_blocks(ExtentTag::Native), 6);
-        assert_eq!(m.extent_blocks(ExtentTag::Borrowed(2)), 3);
+        assert_eq!(m.extent_blocks(ExtentTag::Borrowed(loan(2, 0, 3))), 3);
         m.resize(5).expect("shrink native back");
         assert_eq!(m.extent_blocks(ExtentTag::Native), 2);
         assert_eq!(m.borrowed_blocks(), 3);

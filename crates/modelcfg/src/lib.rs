@@ -27,7 +27,9 @@ pub mod config;
 pub mod partition;
 
 pub use config::{DType, ModelConfig, Parallelism};
-pub use partition::{partition_layers, LayerRange, LayerSet};
+pub use partition::{
+    layers_covering, param_bytes_for_layers, partition_layers, top_range, LayerRange, LayerSet,
+};
 
 /// Bytes in one gibibyte, used throughout the memory math.
 pub const GIB: u64 = 1 << 30;

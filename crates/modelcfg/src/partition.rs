@@ -40,6 +40,34 @@ impl LayerRange {
     pub fn contains(self, layer: u32) -> bool {
         layer >= self.start && layer < self.end
     }
+
+    /// Parameter bytes the range's layers occupy at `layer_param_bytes`
+    /// per layer — the footprint a partial (layer-granular) drop frees per
+    /// eliminated duplicate.
+    pub fn param_bytes(self, layer_param_bytes: u64) -> u64 {
+        self.len() as u64 * layer_param_bytes
+    }
+}
+
+/// Parameter bytes `layers` transformer layers occupy at
+/// `layer_param_bytes` per layer. The footprint quantum of layer-granular
+/// parameter donation: grants are sized in whole layers, not whole copies.
+pub fn param_bytes_for_layers(layers: u32, layer_param_bytes: u64) -> u64 {
+    layers as u64 * layer_param_bytes
+}
+
+/// The smallest number of layers whose parameter footprint covers `bytes`
+/// (zero only for a zero requirement). The layer-granular analogue of
+/// "round the grant up to a whole copy": round up to a whole **layer**.
+pub fn layers_covering(bytes: u64, layer_param_bytes: u64) -> u32 {
+    bytes.div_ceil(layer_param_bytes.max(1)) as u32
+}
+
+/// The top `len` layers of a `num_layers`-layer model as a range —
+/// the deterministic slice layer-granular donations lend (and restore)
+/// first. `len` is clamped to `num_layers`.
+pub fn top_range(num_layers: u32, len: u32) -> LayerRange {
+    LayerRange::new(num_layers.saturating_sub(len), num_layers)
 }
 
 impl fmt::Display for LayerRange {
@@ -113,6 +141,12 @@ impl LayerSet {
     /// Total number of layers in the set.
     pub fn len(&self) -> u32 {
         self.ranges.iter().map(|r| r.len()).sum()
+    }
+
+    /// Parameter bytes the set's layers occupy at `layer_param_bytes` per
+    /// layer (see [`param_bytes_for_layers`]).
+    pub fn param_bytes(&self, layer_param_bytes: u64) -> u64 {
+        param_bytes_for_layers(self.len(), layer_param_bytes)
     }
 
     /// Returns `true` if the set is empty.
@@ -295,6 +329,33 @@ mod tests {
         let b = LayerSet::from_ranges([LayerRange::new(0, 2), LayerRange::new(8, 10)]);
         let d = a.difference(&b);
         assert_eq!(d.ranges(), &[LayerRange::new(2, 8)]);
+    }
+
+    #[test]
+    fn layer_footprint_math() {
+        const LAYER: u64 = 1 << 20;
+        assert_eq!(param_bytes_for_layers(0, LAYER), 0);
+        assert_eq!(param_bytes_for_layers(7, LAYER), 7 * LAYER);
+        assert_eq!(LayerRange::new(2, 5).param_bytes(LAYER), 3 * LAYER);
+        let s = LayerSet::from_ranges([LayerRange::new(0, 2), LayerRange::new(6, 9)]);
+        assert_eq!(s.param_bytes(LAYER), 5 * LAYER);
+        // Smallest covering layer count: exact multiples stay exact, any
+        // remainder rounds up by exactly one layer.
+        assert_eq!(layers_covering(0, LAYER), 0);
+        assert_eq!(layers_covering(1, LAYER), 1);
+        assert_eq!(layers_covering(3 * LAYER, LAYER), 3);
+        assert_eq!(layers_covering(3 * LAYER + 1, LAYER), 4);
+        // A zero quantum must not divide by zero.
+        assert_eq!(layers_covering(5, 0), 5);
+    }
+
+    #[test]
+    fn top_range_slices_from_the_top() {
+        assert_eq!(top_range(48, 0), LayerRange::new(48, 48));
+        assert_eq!(top_range(48, 5), LayerRange::new(43, 48));
+        assert_eq!(top_range(48, 48), LayerRange::new(0, 48));
+        // Clamped: asking for more than the model has yields the full copy.
+        assert_eq!(top_range(48, 60), LayerRange::new(0, 48));
     }
 
     #[test]
