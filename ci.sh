@@ -6,6 +6,8 @@
 #   build   release build, all targets
 #   test    cargo test across the workspace
 #   clippy  clippy with -D warnings
+#   lint    simlint determinism & unsafe-memory pass (D-*/U-* rules):
+#           zero unsuppressed diagnostics, report schema + budget gated
 #   smoke   fig18 (main + donation legs), fig17 smokes: schema validation,
 #           per-figure regression gates, and the wall-clock budget gate
 #   scale   Cluster A fidelity lineup on the parallel executor
@@ -21,7 +23,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt build test clippy smoke scale)
+ALL_STAGES=(fmt build test clippy lint smoke scale)
 TIMINGS_JSON=target/ci-timings.json
 STAGE_NAMES=()
 STAGE_MS=()
@@ -84,6 +86,18 @@ stage_test() {
 
 stage_clippy() {
     cargo clippy --workspace --all-targets --offline -- -D warnings
+}
+
+stage_lint() {
+    local lint_json=target/simlint.json
+    echo "--- simlint scan (determinism + unsafe-memory rules)"
+    cargo run --release --offline -q -p simlint -- --json "$lint_json"
+    echo "--- simlint report schema + cleanliness gate"
+    cargo run --release --offline -q -p bench --bin check_bench_json -- \
+        --simlint "$lint_json"
+    echo "--- simlint wall-clock budget gate"
+    cargo run --release --offline -q -p bench --bin check_bench_json -- \
+        --budget crates/bench/tolerances/ci_budget.json "$lint_json"
 }
 
 stage_smoke() {

@@ -51,6 +51,14 @@ impl Json {
         }
     }
 
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice, if it is one.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -96,6 +104,8 @@ impl fmt::Display for Json {
             Json::Bool(b) => write!(f, "{b}"),
             Json::Num(n) => {
                 if n.fract() == 0.0 && n.abs() < 1e15 {
+                    // simlint: allow(D-CAST) — exact: fract() == 0 and
+                    // |n| < 1e15 < 2^53, so the integer is represented.
                     write!(f, "{}", *n as i64)
                 } else {
                     write!(f, "{n:.6}")
@@ -110,6 +120,8 @@ impl fmt::Display for Json {
                         '\n' => write!(f, "\\n")?,
                         '\t' => write!(f, "\\t")?,
                         '\r' => write!(f, "\\r")?,
+                        // simlint: allow(D-CAST) — char -> u32 is a
+                        // lossless widening of the scalar value.
                         c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
                         c => write!(f, "{c}")?,
                     }

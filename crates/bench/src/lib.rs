@@ -7,6 +7,11 @@
 //! to the simulated cluster's serving capacity (the paper does the same
 //! with TraceUpscaler).
 
+// `unsafe` is confined to the audited allowlist in `simlint::config`
+// (today: `cluster/src/shard.rs` only); everything else refuses it at
+// compile time.
+#![deny(unsafe_code)]
+
 use cluster::{ClusterConfig, ModelId};
 use kunserve::serving::{run_system, RunOutcome, SystemKind};
 use sim_core::{SimDuration, SimTime};

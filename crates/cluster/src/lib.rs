@@ -20,6 +20,12 @@
 //!                  └── monitor ◄──┴──────── metrics ◄──────────────┘
 //! ```
 
+// The one crate with `unsafe` (the sharded executor's request table,
+// `shard.rs`): inner unsafe operations stay explicit, and every block
+// carries its `// SAFETY:` argument (also enforced by `simlint`).
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+
 pub mod batch;
 pub mod config;
 pub mod engine;

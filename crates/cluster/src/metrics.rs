@@ -55,6 +55,10 @@ pub struct Metrics {
     pub mem_used: TimeSeries,
     /// Tokens emitted over time (throughput).
     pub tokens: WindowedRate,
+    /// Exact emitted-token count. Kept as an integer alongside the f64
+    /// `tokens` rate series: summing f64 samples loses exactness past
+    /// 2^53 and would put a rounding step on the report path.
+    total_tokens: u64,
     /// Pipeline bubble fraction per iteration (multi-stage groups only).
     pub bubbles: TimeSeries,
     /// Iteration durations: one `(completion_time, duration_secs)` sample
@@ -131,6 +135,7 @@ impl Metrics {
 
     /// Records emitted tokens (throughput accounting).
     pub fn on_tokens(&mut self, now: SimTime, n: u64) {
+        self.total_tokens += n;
         self.tokens.record(now, n as f64);
     }
 
@@ -184,7 +189,8 @@ impl Metrics {
             tpot: Percentiles::from_samples(&tpot),
             ttft_samples: ttft,
             tpot_samples: tpot,
-            total_tokens: self.tokens.total() as u64,
+            total_tokens: self.total_tokens,
+            // simlint: allow(D-CAST) — widening u32 -> u64, lossless.
             preemptions: self.records.iter().map(|r| r.preemptions as u64).sum(),
             donated_bytes_peak: self.donated_bytes_peak,
             per_model,

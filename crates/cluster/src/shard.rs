@@ -50,7 +50,11 @@
 //! link model instead of sharing `netsim` links with bulk traffic. Both
 //! executors are individually deterministic; compare like with like.
 
+// simlint: allow(D-MAP) — audit: every map in this module is keyed lookup
+// only (see the per-site pragmas); nothing iterates one.
 use std::collections::HashMap;
+#[cfg(debug_assertions)]
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -176,6 +180,8 @@ struct ReadCtx {
 #[derive(Debug)]
 struct LocalLinks {
     spec: LinkSpec,
+    // simlint: allow(D-MAP) — audit: keyed by (src, dst) pair; entry
+    // lookup only, never iterated.
     free_at: HashMap<(u32, u32), SimTime>,
 }
 
@@ -183,6 +189,7 @@ impl LocalLinks {
     fn new(spec: LinkSpec) -> Self {
         LocalLinks {
             spec,
+            // simlint: allow(D-MAP) — audit: see the field declaration.
             free_at: HashMap::new(),
         }
     }
@@ -214,22 +221,118 @@ impl LocalLinks {
 ///
 /// The coordinator never touches `ClusterState::requests` while a window
 /// is in flight (it blocks collecting shard results first).
-#[derive(Clone, Copy)]
+///
+/// Debug builds additionally *check* the contract at runtime: every
+/// dereference is recorded in a shadow-ownership table
+/// ([`ShadowOwners`]), and a request touched by two different shards
+/// within the same window panics the run (see
+/// `detector_catches_cross_shard_access`).
+#[derive(Clone)]
 struct ReqTable {
     ptr: *mut Request,
     len: usize,
+    /// Which shard's view this is (tagged by [`ReqTable::for_shard`]).
+    #[cfg(debug_assertions)]
+    shard: u16,
+    /// The current conservative window, bumped by the coordinator at
+    /// every barrier.
+    #[cfg(debug_assertions)]
+    epoch: u64,
+    /// The run-wide shadow-ownership table, shared by all views.
+    #[cfg(debug_assertions)]
+    shadow: Arc<ShadowOwners>,
 }
 
+// SAFETY: sending a `ReqTable` view to a worker thread is sound because
+// each view is handed to exactly one shard per window, a shard
+// dereferences only requests owned by its own groups (`group.id %
+// num_shards`, see the ownership contract above), group membership only
+// changes at barriers while no window is in flight, and the backing
+// `Vec`'s length and allocation are fixed before the first window.
 unsafe impl Send for ReqTable {}
+// SAFETY: concurrent `&ReqTable` use is sound under the same partition
+// argument: within a window, shards dereference pairwise-disjoint sets of
+// requests, so no two threads ever hold references to the same `Request`
+// at the same time. Debug builds verify this disjointness at runtime via
+// the shadow-ownership table.
 unsafe impl Sync for ReqTable {}
 
+/// Debug-build shadow-ownership table: one atomic tag per request slot
+/// recording which shard last touched it and in which conservative
+/// window. Tag layout: `(epoch + 1) << 16 | (shard + 1)`; zero means
+/// "never touched". Two different shards touching the same request in
+/// the same window is a violated ownership contract and panics — in CI
+/// this piggybacks on every debug-mode sharded test, including the
+/// 1/2/4-worker byte-identity matrix.
+#[cfg(debug_assertions)]
+struct ShadowOwners {
+    tags: Vec<AtomicU64>,
+}
+
+#[cfg(debug_assertions)]
+impl ShadowOwners {
+    fn new(len: usize) -> Self {
+        ShadowOwners {
+            tags: (0..len).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records that `shard` touched request `id` during `epoch`.
+    ///
+    /// Relaxed ordering suffices: the tags guard no other data — they
+    /// only need per-slot atomicity, and the claim CAS-loops so a
+    /// concurrent conflicting claim is observed by at least one side.
+    fn claim(&self, id: usize, shard: u16, epoch: u64) {
+        let slot = &self.tags[id];
+        let tag = ((epoch + 1) << 16) | (u64::from(shard) + 1);
+        let mut cur = slot.load(Ordering::Relaxed);
+        loop {
+            let owner = cur & 0xFFFF;
+            if cur >> 16 == epoch + 1 && owner != u64::from(shard) + 1 {
+                panic!(
+                    "cross-shard access: request {id} touched by shard {shard} but already \
+                     owned by shard {} in window {epoch}",
+                    owner - 1
+                );
+            }
+            match slot.compare_exchange_weak(cur, tag, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(v) => cur = v,
+            }
+        }
+    }
+}
+
 impl ReqTable {
+    /// The view handed to shard `shard` for the current window.
+    fn for_shard(&self, shard: usize) -> ReqTable {
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = shard;
+            self.clone()
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut t = self.clone();
+            t.shard = u16::try_from(shard).expect("shard count fits in u16");
+            t
+        }
+    }
+
     /// Dereferences one request. Callers must uphold the [`ReqTable`]
     /// ownership contract and must not hold two references to the same
     /// request at once.
     #[allow(clippy::mut_from_ref)]
+    // SAFETY: (declaration) callers must only pass ids of requests owned
+    // by this view's shard in the current window; see the type-level
+    // ownership contract.
     unsafe fn req<'a>(&self, id: RequestId) -> &'a mut Request {
         debug_assert!(id.0 < self.len, "request id in bounds");
+        #[cfg(debug_assertions)]
+        self.shadow.claim(id.0, self.shard, self.epoch);
+        // SAFETY: `id` is in bounds (asserted above) and, per the
+        // ownership contract the caller upholds, no other shard touches
+        // this element during the current window.
         unsafe { &mut *self.ptr.add(id.0) }
     }
 }
@@ -238,6 +341,8 @@ impl ReqRead for ReqTable {
     fn read(&self, id: RequestId) -> &Request {
         // Shared-read view under the same ownership contract: within a
         // window only the owning shard touches this request at all.
+        // SAFETY: delegated to the `req` contract — the callers of `read`
+        // (work collection) only name requests of the shard's own groups.
         unsafe { self.req(id) }
     }
 }
@@ -253,6 +358,8 @@ struct ShardWorkspace {
     /// Per-group RNG streams for execution-time noise. Keyed by slot id;
     /// a group's stream lives wherever the group does, so sampling order
     /// inside one group is independent of every other group.
+    // simlint: allow(D-MAP) — audit: keyed lookup by slot id; never
+    // iterated (each stream is consumed only by its own group).
     rngs: HashMap<usize, SmallRng>,
     links: LocalLinks,
     /// Metric deltas recorded this window, in processing order.
@@ -265,6 +372,8 @@ struct ShardWorkspace {
     /// Decode-OOM events this window (deferred `Policy::on_decode_oom`).
     oom: Vec<(GroupId, RequestId)>,
     /// Pending start-up overheads (VMM remaps) moved in with the groups.
+    // simlint: allow(D-MAP) — audit: keyed lookup by slot id (`remove`
+    // per group); never iterated.
     overheads: HashMap<usize, SimDuration>,
 }
 
@@ -275,12 +384,14 @@ impl ShardWorkspace {
             queue: EventQueue::new(),
             clock: SimTime::ZERO,
             groups: Vec::new(),
+            // simlint: allow(D-MAP) — audit: see the field declaration.
             rngs: HashMap::new(),
             links: LocalLinks::new(fabric),
             log: Vec::new(),
             finished: 0,
             blocked: Vec::new(),
             oom: Vec::new(),
+            // simlint: allow(D-MAP) — audit: see the field declaration.
             overheads: HashMap::new(),
         }
     }
@@ -312,7 +423,7 @@ fn group_rng(seed: u64, gid: GroupId) -> SmallRng {
 /// Advances one shard through the window `[ws.clock, w_end)`: sweeps its
 /// groups for startable iterations, then processes local events in time
 /// order. Pure with respect to everything outside the shard.
-fn run_window(ws: &mut ShardWorkspace, table: ReqTable, ctx: &ReadCtx, w_end: SimTime) {
+fn run_window(ws: &mut ShardWorkspace, table: &ReqTable, ctx: &ReadCtx, w_end: SimTime) {
     // Barrier actions (arrival dispatch, unstalls, reconfigs, preemptions)
     // may have made groups startable: sweep once at window start, like the
     // serial engine does after each tick/poll.
@@ -339,6 +450,9 @@ fn run_window(ws: &mut ShardWorkspace, table: ReqTable, ctx: &ReadCtx, w_end: Si
                 // in the same window — so the group must be checked out to
                 // this shard. A miss is routing corruption, not staleness:
                 // dropping the event would lose the request silently.
+                // SAFETY: the arrival was dispatched to this shard's group
+                // at the barrier, so this shard owns the request this
+                // window; the reference is dropped within the statement.
                 let group = unsafe { table.req(id) }.group;
                 let gi = ws
                     .groups
@@ -377,7 +491,7 @@ fn run_window(ws: &mut ShardWorkspace, table: ReqTable, ctx: &ReadCtx, w_end: Si
 ///   this iteration (the serial `SkipIteration` resolution). The barrier
 ///   invokes the real policy hook and, if it gives up, applies the
 ///   guaranteed-progress recompute preemption there.
-fn try_start(ws: &mut ShardWorkspace, gi: usize, table: ReqTable, ctx: &ReadCtx) {
+fn try_start(ws: &mut ShardWorkspace, gi: usize, table: &ReqTable, ctx: &ReadCtx) {
     {
         let g = &ws.groups[gi];
         if g.is_busy() || g.frozen {
@@ -389,6 +503,9 @@ fn try_start(ws: &mut ShardWorkspace, gi: usize, table: ReqTable, ctx: &ReadCtx)
     loop {
         let g = &mut ws.groups[gi];
         let Some(&head) = g.queue.front() else { break };
+        // SAFETY: `head` is queued on this shard's own group, so this
+        // shard owns it this window; `req` is the only live reference to
+        // it (the loop re-borrows afresh each round).
         let req = unsafe { table.req(head) };
         debug_assert_eq!(req.group, g.id, "queued request owned by its group");
         let target = req.prefill_target();
@@ -411,11 +528,15 @@ fn try_start(ws: &mut ShardWorkspace, gi: usize, table: ReqTable, ctx: &ReadCtx)
         .running
         .iter()
         .copied()
+        // SAFETY: `r` runs on this shard's own group; the reference is
+        // dropped within the closure.
         .filter(|&r| unsafe { table.req(r) }.in_decode())
         .collect();
     let mut skipped: Vec<RequestId> = Vec::new();
     for r in decodes {
         let (state_ok, want) = {
+            // SAFETY: `r` runs on this shard's own group; the reference
+            // does not escape this block.
             let req = unsafe { table.req(r) };
             (
                 req.state == ReqState::Running,
@@ -434,7 +555,7 @@ fn try_start(ws: &mut ShardWorkspace, gi: usize, table: ReqTable, ctx: &ReadCtx)
 
     // Collect this iteration's work — the exact logic the serial engine
     // uses, shared through `engine::collect_work`.
-    let work = collect_work(&ws.groups[gi], &table, &ctx.cfg, &skipped);
+    let work = collect_work(&ws.groups[gi], table, &ctx.cfg, &skipped);
     if work.is_empty() {
         return;
     }
@@ -522,7 +643,7 @@ fn try_start(ws: &mut ShardWorkspace, gi: usize, table: ReqTable, ctx: &ReadCtx)
 }
 
 /// Shard-local mirror of the serial `complete_iteration`.
-fn complete_iteration(ws: &mut ShardWorkspace, gi: usize, table: ReqTable) {
+fn complete_iteration(ws: &mut ShardWorkspace, gi: usize, table: &ReqTable) {
     let now = ws.clock;
     let (plan, group, stages) = {
         let g = &mut ws.groups[gi];
@@ -541,6 +662,10 @@ fn complete_iteration(ws: &mut ShardWorkspace, gi: usize, table: ReqTable) {
     let mut emitted = 0u64;
     for (r, ntok) in plan.work {
         let (state_ok, was_decoding) = {
+            // SAFETY: `r` was planned by this shard's own group; after
+            // barrier scrubbing every planned request still belongs to
+            // the group, so this shard owns it. The reference does not
+            // escape this block.
             let req = unsafe { table.req(r) };
             (
                 req.state == ReqState::Running && req.group == group,
@@ -551,6 +676,8 @@ fn complete_iteration(ws: &mut ShardWorkspace, gi: usize, table: ReqTable) {
             continue; // preempted / migrated at a barrier mid-iteration
         }
         {
+            // SAFETY: as above — `r` belongs to this shard's group; the
+            // reference is scoped to this block.
             let req = unsafe { table.req(r) };
             if was_decoding {
                 req.generated += ntok;
@@ -569,11 +696,14 @@ fn complete_iteration(ws: &mut ShardWorkspace, gi: usize, table: ReqTable) {
                 }
             }
         }
+        // SAFETY: as above; the reference is dropped within the statement.
         let done = unsafe { table.req(r) }.is_done();
         if done {
             let g = &mut ws.groups[gi];
             let _ = g.blocks.free(SeqKey(r.0 as u64));
             g.forget(r);
+            // SAFETY: as above; this is the only live reference (`done`
+            // and the block-free above re-borrowed and dropped theirs).
             let req = unsafe { table.req(r) };
             req.state = ReqState::Finished;
             req.finished_at = Some(now);
@@ -679,7 +809,7 @@ impl<P: Policy> ShardedEngine<P> {
                     let result_tx = result_tx.clone();
                     s.spawn(move || {
                         while let Ok(mut task) = rx.recv() {
-                            run_window(&mut task.ws, task.table, &task.ctx, task.w_end);
+                            run_window(&mut task.ws, &task.table, &task.ctx, task.w_end);
                             if result_tx.send(task.ws).is_err() {
                                 break;
                             }
@@ -735,6 +865,13 @@ impl<P: Policy> ShardedEngine<P> {
         // the next global event.
         let mut clk = ConservativeClock::new(num_shards, lookahead);
         let mut b = SimTime::ZERO;
+        // Debug builds: the shadow-ownership table behind the race
+        // detector. Sized once here — every request is created before the
+        // first window, matching the `ReqTable` contract.
+        #[cfg(debug_assertions)]
+        let shadow = Arc::new(ShadowOwners::new(self.state.requests.len()));
+        #[cfg(debug_assertions)]
+        let mut epoch: u64 = 0;
 
         loop {
             if b > hard_stop {
@@ -871,6 +1008,8 @@ impl<P: Policy> ShardedEngine<P> {
 
             // 7. Dispatch arrivals landing in this window (load-balanced
             //    against barrier-time loads plus this batch).
+            // simlint: allow(D-MAP) — audit: pending-load accumulator,
+            // keyed lookup by group inside dispatch; never iterated.
             let mut extra: HashMap<GroupId, u64> = HashMap::new();
             while cursor < total && trace.requests[cursor].arrival < w_end {
                 let spec = trace.requests[cursor];
@@ -938,12 +1077,19 @@ impl<P: Policy> ShardedEngine<P> {
             let table = ReqTable {
                 ptr: self.state.requests.as_mut_ptr(),
                 len: self.state.requests.len(),
+                #[cfg(debug_assertions)]
+                shard: u16::MAX, // base view; real views come from `for_shard`
+                #[cfg(debug_assertions)]
+                epoch,
+                #[cfg(debug_assertions)]
+                shadow: Arc::clone(&shadow),
             };
             match pool {
                 None => {
                     for &s in &to_run {
+                        let view = table.for_shard(s);
                         let ws = workspaces[s].as_mut().expect("present");
-                        run_window(ws, table, ctx, w_end);
+                        run_window(ws, &view, ctx, w_end);
                     }
                 }
                 Some((task_txs, results)) => {
@@ -952,7 +1098,7 @@ impl<P: Policy> ShardedEngine<P> {
                         task_txs[i % task_txs.len()]
                             .send(WindowTask {
                                 ws,
-                                table,
+                                table: table.for_shard(s),
                                 ctx: Arc::clone(ctx),
                                 w_end,
                             })
@@ -994,6 +1140,12 @@ impl<P: Policy> ShardedEngine<P> {
 
             for s in 0..num_shards {
                 clk.advance(ShardId(s), w_end);
+            }
+            // New window ⇒ new detector epoch: ownership may legitimately
+            // move across shards between windows, never within one.
+            #[cfg(debug_assertions)]
+            {
+                epoch += 1;
             }
             b = w_end;
         }
@@ -1111,6 +1263,72 @@ mod tests {
         let la = derive_lookahead(&cfg, SimDuration::from_millis(50));
         assert!(la <= cfg.monitor_interval);
         assert!(la >= SimDuration::from_micros(1000));
+    }
+
+    /// A deliberately seeded ownership violation: two different shard
+    /// views touch the same request in the same window. The shadow table
+    /// must catch it (debug builds only — release builds compile the
+    /// detector out entirely).
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "cross-shard access")]
+    fn detector_catches_cross_shard_access() {
+        let spec = RequestSpec {
+            id: 0,
+            model: ModelId::PRIMARY,
+            arrival: SimTime::ZERO,
+            input_tokens: 8,
+            output_tokens: 1,
+        };
+        let mut reqs = vec![Request::new(RequestId(0), spec, GroupId(0))];
+        let base = ReqTable {
+            ptr: reqs.as_mut_ptr(),
+            len: reqs.len(),
+            shard: u16::MAX,
+            epoch: 7,
+            shadow: Arc::new(ShadowOwners::new(reqs.len())),
+        };
+        let (a, b) = (base.for_shard(0), base.for_shard(1));
+        // SAFETY: single-threaded test; the reference is dropped within
+        // the statement, and only one view is dereferenced at a time.
+        let _ = unsafe { a.req(RequestId(0)) }.group;
+        // SAFETY: as above — this access is the *deliberate* contract
+        // violation the detector must turn into a panic.
+        let _ = unsafe { b.req(RequestId(0)) }.group;
+    }
+
+    /// The detector permits repeated same-shard access within a window
+    /// and cross-shard handover across windows (epoch bump).
+    #[cfg(debug_assertions)]
+    #[test]
+    fn detector_allows_same_shard_and_new_windows() {
+        let spec = RequestSpec {
+            id: 0,
+            model: ModelId::PRIMARY,
+            arrival: SimTime::ZERO,
+            input_tokens: 8,
+            output_tokens: 1,
+        };
+        let mut reqs = vec![Request::new(RequestId(0), spec, GroupId(0))];
+        let shadow = Arc::new(ShadowOwners::new(reqs.len()));
+        let mut base = ReqTable {
+            ptr: reqs.as_mut_ptr(),
+            len: reqs.len(),
+            shard: u16::MAX,
+            epoch: 0,
+            shadow,
+        };
+        let a = base.for_shard(0);
+        // SAFETY: single-threaded test; references are dropped within
+        // each statement, never held across the next dereference.
+        let _ = unsafe { a.req(RequestId(0)) }.group;
+        // SAFETY: as above — same shard, same window: allowed.
+        let _ = unsafe { a.req(RequestId(0)) }.group;
+        base.epoch = 1; // barrier: next conservative window
+        let b = base.for_shard(1);
+        // SAFETY: as above — different shard, *new* window: a legitimate
+        // barrier-time ownership handover.
+        let _ = unsafe { b.req(RequestId(0)) }.group;
     }
 
     #[test]

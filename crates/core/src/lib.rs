@@ -51,6 +51,11 @@
 //! assert_eq!(outcome.report.finished_requests, trace.len());
 //! ```
 
+// `unsafe` is confined to the audited allowlist in `simlint::config`
+// (today: `cluster/src/shard.rs` only); everything else refuses it at
+// compile time.
+#![deny(unsafe_code)]
+
 pub mod baselines;
 pub mod lookahead;
 pub mod plan;

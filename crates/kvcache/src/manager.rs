@@ -377,9 +377,14 @@ impl BlockManager {
         Ok(())
     }
 
-    /// All sequence keys with live tables, in unspecified order.
+    /// All sequence keys with live tables, ascending by key.
+    ///
+    /// Sorted so callers can iterate directly without re-introducing hash
+    /// order into anything observable (simlint rule `D-MAP`).
     pub fn seqs(&self) -> Vec<SeqKey> {
-        self.tables.keys().copied().collect()
+        let mut keys: Vec<SeqKey> = self.tables.keys().copied().collect();
+        keys.sort();
+        keys
     }
 
     fn take_block(&mut self) -> BlockId {

@@ -22,6 +22,11 @@
 //! assert_eq!(m.kv_bytes_per_token(), 192 * 1024);
 //! ```
 
+// `unsafe` is confined to the audited allowlist in `simlint::config`
+// (today: `cluster/src/shard.rs` only); everything else refuses it at
+// compile time.
+#![deny(unsafe_code)]
+
 pub mod catalog;
 pub mod config;
 pub mod partition;

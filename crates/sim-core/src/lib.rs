@@ -21,6 +21,11 @@
 //! assert_eq!(q.pop().unwrap().1, "later");
 //! ```
 
+// `unsafe` is confined to the audited allowlist in `simlint::config`
+// (today: `cluster/src/shard.rs` only); everything else refuses it at
+// compile time.
+#![deny(unsafe_code)]
+
 pub mod queue;
 pub mod shard;
 pub mod stats;

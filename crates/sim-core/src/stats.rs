@@ -49,6 +49,8 @@ impl Percentiles {
         let mut sorted: Vec<f64> = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latency samples must not be NaN"));
         let pick = |p: f64| -> f64 {
+            // simlint: allow(D-CAST) — nearest-rank percentile: ceil of a
+            // value in (0, len], then clamped; the round-up is the method.
             let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
             sorted[rank - 1]
         };
@@ -224,6 +226,8 @@ pub fn empirical_cdf(samples: &[f64], resolution: usize) -> Vec<(f64, f64)> {
     (1..=resolution)
         .map(|i| {
             let frac = i as f64 / resolution as f64;
+            // simlint: allow(D-CAST) — nearest-rank CDF sampling, same
+            // intentional ceil-then-clamp as `Percentiles::from_samples`.
             let rank = ((frac * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
             (sorted[rank - 1], frac)
         })

@@ -28,6 +28,11 @@
 //! assert_eq!(gpu.contiguous_extent(kv).unwrap(), 4 << 20);
 //! ```
 
+// `unsafe` is confined to the audited allowlist in `simlint::config`
+// (today: `cluster/src/shard.rs` only); everything else refuses it at
+// compile time.
+#![deny(unsafe_code)]
+
 pub mod device;
 pub mod error;
 pub mod hbm;

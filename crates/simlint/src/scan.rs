@@ -1,0 +1,545 @@
+//! The hand-rolled token scanner.
+//!
+//! `simlint` deliberately avoids `syn` (the workspace builds offline with
+//! vendored shims only), so this module implements the minimal lexical
+//! analysis the rules need: a token stream of identifiers / punctuation
+//! with line numbers, a separate comment stream (rules read `// SAFETY:`
+//! justifications and `// simlint: allow(..)` pragmas out of it), and a
+//! conservative `#[cfg(test)]` / `#[test]` item-range detector so
+//! determinism rules skip test-only code.
+//!
+//! The lexer understands exactly as much Rust as needed to never
+//! mis-tokenize real workspace source: line and (nested) block comments,
+//! string / raw-string / byte-string / char literals, lifetimes vs. char
+//! literals, numeric literals and identifiers. Everything else is emitted
+//! as single-character punctuation tokens.
+
+/// What a token is — rules only ever distinguish identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// A numeric literal (consumed as one token).
+    Num,
+    /// A lifetime (`'a`), emitted so generic scans cannot misparse.
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// Token kind.
+    pub kind: TokKind,
+    /// The token text (a slice of the scanned source).
+    pub text: &'a str,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block) with its covered line span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` sigils.
+    pub text: String,
+    /// 1-based first line of the comment.
+    pub start_line: u32,
+    /// 1-based last line of the comment.
+    pub end_line: u32,
+    /// Whether source code precedes the comment on its first line (a
+    /// trailing comment annotates its own line, a standalone comment
+    /// annotates the code below it).
+    pub standalone: bool,
+}
+
+/// Scanner output for one file.
+#[derive(Debug, Default)]
+pub struct Scanned<'a> {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token<'a>>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    /// 1-based line ranges (inclusive) covered by `#[cfg(test)]` /
+    /// `#[test]`-gated items.
+    pub test_ranges: Vec<(u32, u32)>,
+}
+
+impl Scanned<'_> {
+    /// Whether `line` falls inside a test-gated item.
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(s, e)| s <= line && line <= e)
+    }
+}
+
+/// Tokenizes `src`, splitting comments out of the token stream.
+pub fn scan(src: &str) -> Scanned<'_> {
+    let bytes = src.as_bytes();
+    let mut out = Scanned::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut code_on_line = false;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                code_on_line = false;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    start_line: line,
+                    end_line: line,
+                    standalone: !code_on_line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let standalone = !code_on_line;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    start_line,
+                    end_line: line,
+                    standalone,
+                });
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut line);
+                code_on_line = true;
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
+                i = skip_prefixed_literal(bytes, i, &mut line);
+                code_on_line = true;
+            }
+            b'\'' => {
+                // Lifetime or char literal. A lifetime is `'ident` NOT
+                // followed by a closing quote; a char literal always
+                // closes (possibly after an escape).
+                code_on_line = true;
+                if is_lifetime(bytes, i) {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && is_ident_char(bytes[j]) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: &src[i..j],
+                        line,
+                    });
+                    i = j;
+                } else {
+                    i = skip_char_literal(bytes, i);
+                }
+            }
+            c if is_ident_start(c) => {
+                code_on_line = true;
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: &src[start..i],
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                code_on_line = true;
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // `0..10` range syntax: stop the literal at `..`.
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: &src[start..i],
+                    line,
+                });
+            }
+            _ => {
+                code_on_line = true;
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: &src[i..i + 1],
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out.test_ranges = find_test_ranges(&out.tokens);
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// `'a` (lifetime) vs `'a'` (char literal): a lifetime has an identifier
+/// after the quote and no closing quote right after it.
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(&c) if is_ident_start(c) => {
+            let mut j = i + 1;
+            while j < b.len() && is_ident_char(b[j]) {
+                j += 1;
+            }
+            b.get(j) != Some(&b'\'')
+        }
+        _ => false,
+    }
+}
+
+fn skip_char_literal(b: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    if b.get(i) == Some(&b'\\') {
+        i += 2; // escape + escaped char (covers \', \\, \n, \u's opener)
+        while i < b.len() && b[i] != b'\'' {
+            i += 1; // the rest of \u{...}
+        }
+    } else if i < b.len() {
+        // One (possibly multi-byte) character.
+        i += utf8_len(b[i]);
+    }
+    if b.get(i) == Some(&b'\'') {
+        i += 1;
+    }
+    i
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether position `i` starts `r"`, `r#"`, `br"`, `b"`, `b'` — literal
+/// forms with an `r`/`b` identifier-like prefix.
+fn starts_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'r') {
+        j += 1;
+        while b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return b.get(j) == Some(&b'"');
+    }
+    // b"..." / b'...'
+    b[i] == b'b' && matches!(b.get(j), Some(&b'"') | Some(&b'\''))
+}
+
+fn skip_prefixed_literal(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if b.get(i) == Some(&b'r') {
+        i += 1;
+        let mut hashes = 0usize;
+        while b.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        loop {
+            if i >= b.len() {
+                return i;
+            }
+            if b[i] == b'\n' {
+                *line += 1;
+                i += 1;
+                continue;
+            }
+            if b[i] == b'"' {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while seen < hashes && b.get(j) == Some(&b'#') {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return j;
+                }
+            }
+            i += 1;
+        }
+    }
+    if b.get(i) == Some(&b'\'') {
+        return skip_char_literal(b, i);
+    }
+    skip_string(b, i, line)
+}
+
+/// Finds line ranges of items gated by `#[cfg(test)]` (any `cfg(..)`
+/// predicate mentioning `test`) or `#[test]` / `#[bench]`.
+///
+/// Conservative by construction: after the gating attribute (and any
+/// further attributes on the same item) the item body is taken to be
+/// everything up to the matching close of its first `{ .. }` block, or up
+/// to the first `;` for brace-less items (`use`, `type`, ...).
+fn find_test_ranges(tokens: &[Token<'_>]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text != "#" {
+            i += 1;
+            continue;
+        }
+        // `#[...]` or `#![...]`.
+        let mut j = i + 1;
+        if j < tokens.len() && tokens[j].text == "!" {
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].text != "[" {
+            i += 1;
+            continue;
+        }
+        let (attr_end, is_test) = scan_attr(tokens, j);
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Skip any further attributes on the same item.
+        let mut k = attr_end;
+        while k + 1 < tokens.len() && tokens[k].text == "#" {
+            let mut l = k + 1;
+            if tokens[l].text == "!" {
+                l += 1;
+            }
+            if l < tokens.len() && tokens[l].text == "[" {
+                let (e, _) = scan_attr(tokens, l);
+                k = e;
+            } else {
+                break;
+            }
+        }
+        // Consume the item: to the matching `}` of the first brace, or a
+        // top-level `;` before any brace.
+        let mut depth = 0i32;
+        let mut end_line = start_line;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            match t.text {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = t.line;
+                        k += 1;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    end_line = t.line;
+                    k += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = t.line;
+            k += 1;
+        }
+        ranges.push((start_line, end_line));
+        i = k;
+    }
+    ranges
+}
+
+/// Scans one attribute starting at its `[` token; returns the index just
+/// past the closing `]` and whether the attribute gates test code.
+fn scan_attr(tokens: &[Token<'_>], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut k = open;
+    let mut idents: Vec<&str> = Vec::new();
+    while k < tokens.len() {
+        let t = &tokens[k];
+        match t.text {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            _ => {
+                if t.kind == TokKind::Ident {
+                    idents.push(t.text);
+                }
+            }
+        }
+        k += 1;
+    }
+    let is_test = match idents.first() {
+        Some(&"cfg") => idents.contains(&"test"),
+        Some(&"test") | Some(&"bench") => true,
+        _ => false,
+    };
+    (k, is_test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_lines() {
+        let s = scan("fn main() {\n    let x = 1;\n}\n");
+        let idents: Vec<&str> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, vec!["fn", "main", "let", "x"]);
+        assert_eq!(s.tokens.iter().find(|t| t.text == "x").unwrap().line, 2);
+    }
+
+    #[test]
+    fn comments_leave_token_stream() {
+        let s = scan("let a = 1; // HashMap in a comment\n/* Instant::now */ let b = 2;\n");
+        assert!(s.tokens.iter().all(|t| t.text != "HashMap"));
+        assert!(s.tokens.iter().all(|t| t.text != "Instant"));
+        assert_eq!(s.comments.len(), 2);
+        assert!(!s.comments[0].standalone, "trailing comment");
+        assert!(s.comments[1].standalone, "leading block comment");
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque() {
+        let s = scan(r#"let a = "unsafe HashMap"; let b = 'x'; let c = '\n';"#);
+        assert!(s.tokens.iter().all(|t| t.text != "unsafe"));
+        assert!(s.tokens.iter().all(|t| t.text != "HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let s = scan("let a = r#\"unsafe \"quoted\" HashMap\"#; let b = unsafe_marker;");
+        assert!(s.tokens.iter().all(|t| t.text != "unsafe"));
+        assert!(s.tokens.iter().any(|t| t.text == "unsafe_marker"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lifetimes = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+        assert!(s.tokens.iter().any(|t| t.text == "str"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_range() {
+        let src = "\
+use std::collections::HashMap;
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn t() {}
+}
+";
+        let s = scan(src);
+        assert!(!s.in_test_code(1));
+        assert!(s.in_test_code(5));
+        assert!(s.in_test_code(8));
+        assert!(!s.in_test_code(2));
+    }
+
+    #[test]
+    fn test_attr_gates_single_fn() {
+        let src = "\
+fn live() {}
+
+#[test]
+fn gated() {
+    let x = 1;
+}
+
+fn live_again() {}
+";
+        let s = scan(src);
+        assert!(!s.in_test_code(1));
+        assert!(s.in_test_code(4));
+        assert!(s.in_test_code(5));
+        assert!(!s.in_test_code(8));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod m { fn f() {} }\n";
+        let s = scan(src);
+        assert!(s.in_test_code(2));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* outer /* inner */ still comment */ let x = 1;");
+        assert!(s.tokens.iter().any(|t| t.text == "x"));
+        assert_eq!(s.comments.len(), 1);
+    }
+}

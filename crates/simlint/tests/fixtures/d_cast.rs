@@ -1,0 +1,20 @@
+//! D-CAST fixture: truncating `as` casts on a metric path.
+//! Expected (metric path): 2 fired, 1 suppressed.
+//! Expected (non-metric path): 0 fired.
+
+fn p99_rank(frac: f64, len: usize) -> usize {
+    (frac * len as f64) as usize // fires: line 6 (f64 -> usize truncates)
+}
+
+fn total(samples: &[f64]) -> u64 {
+    samples.iter().sum::<f64>() as u64 // fires: line 10
+}
+
+fn widened(n: u32) -> f64 {
+    n as f64 // not an integer target: no finding
+}
+
+fn documented(x: f64) -> i64 {
+    // simlint: allow(D-CAST) — fixture: rounding rationale stated here.
+    x.round() as i64 // suppressed
+}

@@ -1,0 +1,22 @@
+//! D-MAP fixture: unordered hash collections in determinism-critical code.
+//! Expected (Sim scope, non-allowlisted path): 2 fired, 1 suppressed.
+//! Expected (allowlisted path): 0 fired, 3 allowlisted.
+
+use std::collections::HashMap; // fires: line 5
+use std::collections::HashSet; // fires: line 6
+
+struct Suppressed {
+    // simlint: allow(D-MAP) — audit: fixture example of a keyed-lookup-only
+    // map with its audit reason wrapping onto a second comment line.
+    by_id: HashMap<u32, u64>, // suppressed by the pragma block above
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-gated code is exempt from determinism rules.
+    use std::collections::HashMap;
+
+    fn helper() -> HashMap<u8, u8> {
+        HashMap::new()
+    }
+}

@@ -1,0 +1,21 @@
+//! D-RAND fixture: ambient entropy. Applies in *every* scope, including
+//! test-gated code — lineups are byte-compared across runs.
+//! Expected: 2 fired, 1 suppressed.
+
+fn ambient() -> u32 {
+    let mut rng = rand::thread_rng(); // fires: line 6
+    rng.gen()
+}
+
+fn seeded_badly() -> rand::rngs::SmallRng {
+    // simlint: allow(D-RAND) — fixture: a documented entropy draw.
+    rand::rngs::SmallRng::from_entropy() // suppressed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn still_checked_in_tests() {
+        let _ = rand::thread_rng(); // fires: line 19 (no test exemption)
+    }
+}

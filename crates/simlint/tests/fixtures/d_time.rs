@@ -1,0 +1,20 @@
+//! D-TIME fixture: wall-clock reads in simulation code.
+//! Expected (Sim scope): 1 fired, 1 suppressed.
+//! Expected (Bench scope): 0 fired (measuring wall time is the bench's job).
+
+use std::time::Instant; // fires: line 5
+
+fn measure() -> std::time::Duration {
+    // simlint: allow(D-TIME) — fixture: a documented wall-clock read.
+    let t0 = Instant::now(); // suppressed
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn gated() {
+        // Test-gated wall-clock reads are exempt (harness timing).
+        let _ = std::time::Instant::now();
+    }
+}

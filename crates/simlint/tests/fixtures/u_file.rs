@@ -1,0 +1,16 @@
+//! U-FILE fixture: `unsafe` outside the audited file allowlist. The
+//! sites are fully SAFETY-documented, so only the *file* rule fires —
+//! and the pragma attempt proves U-FILE cannot be suppressed inline.
+//! Expected: U-FILE 2 fired, LINT-PRAGMA 1 fired.
+
+fn documented_but_misplaced(p: *mut u32) {
+    // SAFETY: fixture — fully documented, but this file is not in the
+    // audited unsafe allowlist, so U-FILE fires regardless.
+    unsafe { *p = 1 }; // fires U-FILE: line 9
+}
+
+fn pragma_does_not_help(p: *mut u32) {
+    // simlint: allow(U-FILE) — fires LINT-PRAGMA: allowlist-only rule
+    // SAFETY: fixture — documented again; U-FILE still fires.
+    unsafe { *p = 2 }; // fires U-FILE: line 15
+}

@@ -1,0 +1,27 @@
+//! U-SAFETY / U-SEND fixture, linted under the allowlisted unsafe file
+//! path so `U-FILE` stays quiet.
+//! Expected: U-SAFETY 1 fired, 1 suppressed; U-SEND 1 fired (the Send
+//! impl has a SAFETY marker — so no U-SAFETY — but no argument).
+
+fn undocumented(p: *mut u32) {
+    unsafe { *p = 1 }; // fires U-SAFETY: line 7
+}
+
+fn documented(p: *mut u32) {
+    // SAFETY: fixture — p is valid and uniquely borrowed by the caller.
+    unsafe { *p = 2 }; // ok: SAFETY comment directly above
+}
+
+fn pragma_escape(p: *mut u32) {
+    // simlint: allow(U-SAFETY) — fixture: the suppression path.
+    unsafe { *p = 3 }; // suppressed (still a U-FILE hit in other files)
+}
+
+struct Table(*mut u8);
+
+// SAFETY: short.
+unsafe impl Send for Table {} // fires U-SEND: marker comment, no argument
+
+// SAFETY: fixture ownership argument — each thread dereferences only the
+// slots its shard owns during a window, so access is pairwise disjoint.
+unsafe impl Sync for Table {} // ok: a substantive (≥ 8 word) argument

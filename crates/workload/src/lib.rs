@@ -20,6 +20,11 @@
 //! - [`extreme_burst`]: the Fig. 17 methodology — replay the burst until
 //!   every system runs out of memory.
 
+// `unsafe` is confined to the audited allowlist in `simlint::config`
+// (today: `cluster/src/shard.rs` only); everything else refuses it at
+// compile time.
+#![deny(unsafe_code)]
+
 pub mod arrivals;
 pub mod dataset;
 pub mod trace;

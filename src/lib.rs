@@ -29,6 +29,11 @@
 //! assert_eq!(outcome.report.finished_requests, trace.len());
 //! ```
 
+// `unsafe` is confined to the audited allowlist in `simlint::config`
+// (today: `cluster/src/shard.rs` only); everything else refuses it at
+// compile time.
+#![deny(unsafe_code)]
+
 pub use cluster;
 pub use costmodel;
 pub use kunserve;
