@@ -10,6 +10,10 @@
 #           zero unsuppressed diagnostics, report schema + budget gated
 #   smoke   fig18 (main + donation legs), fig17 smokes: schema validation,
 #           per-figure regression gates, and the wall-clock budget gate
+#   scenarios  the fig19-fig22 scenario matrix (diurnal, cold-start storm,
+#           shared prefix, failure storm) smokes: schema validation,
+#           per-figure fidelity gates (KunServe beats vLLM p99 on every
+#           leg, bounded prefix-recompute amplification), budget gate
 #   scale   Cluster A fidelity lineup on the parallel executor
 #
 # Usage: ./ci.sh [stage...]   (no args = every stage, in the order above)
@@ -23,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt build test clippy lint smoke scale)
+ALL_STAGES=(fmt build test clippy lint smoke scenarios scale)
 TIMINGS_JSON=target/ci-timings.json
 STAGE_NAMES=()
 STAGE_MS=()
@@ -133,6 +137,35 @@ stage_smoke() {
     cargo run --release --offline -q -p bench --bin check_bench_json -- \
         --budget crates/bench/tolerances/ci_budget.json \
         "$smoke_json" "$donation_json" "$fig17_json"
+}
+
+stage_scenarios() {
+    local figs=(fig19_diurnal fig20_coldstart_storm fig21_shared_prefix fig22_failure_storm)
+    local tols=(fig19_smoke fig20_smoke fig21_smoke fig22_smoke)
+    local jsons=()
+    local i
+    for i in "${!figs[@]}"; do
+        local fig=${figs[$i]}
+        local json=target/bench-json/${fig}.json
+        jsons+=("$json")
+        echo "--- ${fig} smoke"
+        cargo run --release --offline -q -p bench --bin "$fig" -- \
+            --smoke --threads 2 --json "$json"
+    done
+
+    echo "--- bench-JSON schema validation"
+    cargo run --release --offline -q -p bench --bin check_bench_json -- \
+        --schema "${jsons[@]}"
+
+    echo "--- scenario fidelity gates"
+    for i in "${!figs[@]}"; do
+        cargo run --release --offline -q -p bench --bin check_bench_json -- \
+            "${jsons[$i]}" "crates/bench/tolerances/${tols[$i]}.json"
+    done
+
+    echo "--- tier-1 wall-clock budget gate"
+    cargo run --release --offline -q -p bench --bin check_bench_json -- \
+        --budget crates/bench/tolerances/ci_budget.json "${jsons[@]}"
 }
 
 stage_scale() {

@@ -46,6 +46,11 @@
 //! - optionally `donated_bytes_less_than`: `{ "A": "B" }` — system A's
 //!   `donated_bytes_peak` must be strictly below system B's (the
 //!   layer-granular donation claim: donate less, rescue the same);
+//! - optionally `max_prefix_recompute_amplification`: `{ "A": cap }` —
+//!   system A's `prefix_recompute_amplification` (recomputed shared-prefix
+//!   tokens per uniquely computed one) must stay at or below the cap (the
+//!   shared-prefix scenario's bounded-amplification claim: dropping
+//!   parameters must not blow up prefix recompute across dependents);
 //! - optionally `max_wall_clock_ms`: ceiling on the document's recorded
 //!   `wall_clock_ms` (the per-figure form of the `--budget` gate);
 //! - optionally `min_speedup` (+ `min_speedup_host_threads`, default 4):
@@ -556,6 +561,44 @@ fn main() -> ExitCode {
                 ));
             }
             println!("check_bench_json: ok: {a} donated {da:.0} B < {b} donated {db:.0} B");
+        }
+    }
+
+    // Bounded shared-prefix recompute: a system may not amplify prefix
+    // recompute past its cap (fig21's fidelity claim — the drop planner's
+    // evictions cost each shared prefix a bounded number of recomputes).
+    if let Some(caps) = tol
+        .get("max_prefix_recompute_amplification")
+        .and_then(Json::as_obj)
+    {
+        for (name, cap) in caps {
+            let Some(cap) = cap.as_f64() else {
+                return fail(&format!(
+                    "max_prefix_recompute_amplification for `{name}` is not a number"
+                ));
+            };
+            let amp = systems
+                .iter()
+                .find(|s| s.get("system").and_then(Json::as_str) == Some(name))
+                .and_then(|s| s.get("prefix_recompute_amplification"))
+                .and_then(Json::as_f64);
+            let Some(amp) = amp else {
+                return fail(&format!(
+                    "system `{name}` lacks `prefix_recompute_amplification`"
+                ));
+            };
+            if !amp.is_finite() || amp < 0.0 {
+                return fail(&format!(
+                    "system `{name}`: prefix amplification {amp} is not sane"
+                ));
+            }
+            if amp > cap {
+                return fail(&format!(
+                    "system `{name}`: prefix recompute amplification {amp:.3} exceeds \
+                     the {cap:.3} cap"
+                ));
+            }
+            println!("check_bench_json: ok: {name} prefix amplification {amp:.3} <= {cap:.3}");
         }
     }
 

@@ -1,0 +1,147 @@
+//! Regenerates Figure 19: a diurnal tide — the workload breathes through
+//! day/night cycles with high-frequency noise on top. Each peak overloads
+//! the KV pool; each trough gives KunServe room to restore. vLLM queues
+//! through every peak, while KunServe's drop/restore tracks the tide and
+//! keeps the TTFT tail bounded across all cycles.
+//!
+//! Run: `cargo run --release -p bench --bin fig19_diurnal`
+//! Flags: `--smoke` (tiny cluster, seconds — the CI regression scenario),
+//!        `--threads N` (parallel system runs),
+//!        `--json PATH` (default `target/bench-json/fig19_diurnal.json`).
+
+use bench::{
+    harness, json_out_path, outcome_json, print_series, secs, with_exec_meta, write_json, Json,
+};
+use cluster::ClusterConfig;
+use kunserve::serving::SystemKind;
+use sim_core::{SimDuration, SimTime};
+use workload::{Dataset, DiurnalTraceBuilder};
+
+struct Setup {
+    name: &'static str,
+    cfg: ClusterConfig,
+    builder: DiurnalTraceBuilder,
+    drain: SimDuration,
+}
+
+/// The CI scenario: two compressed "days" on the fast test cluster, with
+/// peaks ~90% above the trough plus band-limited noise.
+fn smoke_setup() -> Setup {
+    let mut cfg = ClusterConfig::tiny_test(4);
+    cfg.reserve_frac = 0.45;
+    Setup {
+        name: "tiny diurnal tide",
+        cfg,
+        builder: DiurnalTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(55.0)
+            .period(SimDuration::from_secs(30))
+            .days(2.0)
+            .amplitude(0.85)
+            .noise(0.15, 3)
+            .seed(19),
+        drain: SimDuration::from_secs(900),
+    }
+}
+
+/// Paper-scale: BurstGPT × 14B on cluster A over two longer cycles.
+fn full_setup() -> Setup {
+    let mut cfg = ClusterConfig::qwen14b_cluster_a();
+    cfg.reserve_frac = 0.55;
+    Setup {
+        name: "BurstGPT x 14B diurnal",
+        cfg,
+        builder: DiurnalTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(22.0)
+            .period(SimDuration::from_secs(80))
+            .days(2.0)
+            .amplitude(0.6)
+            .noise(0.2, 5)
+            .seed(46),
+        drain: SimDuration::from_secs(400),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = harness::threads_from_args(&args);
+    let setup = if smoke { smoke_setup() } else { full_setup() };
+    let trace = setup.builder.build();
+    println!(
+        "# Figure 19: diurnal tide on {} ({} requests, {:.0} expected)",
+        setup.name,
+        trace.len(),
+        setup.builder.expected_requests()
+    );
+    println!();
+    println!("# Arrival rate (req/s, 5s windows)");
+    print_series(
+        "time_s,req_per_s",
+        &trace.rate_timeline(SimDuration::from_secs(5)),
+        1.0,
+    );
+
+    let window = SimDuration::from_secs(5);
+    let end = SimTime::ZERO + setup.builder.span() + SimDuration::from_secs(60);
+    let systems = [SystemKind::VllmDp, SystemKind::KunServe];
+    let timer = std::time::Instant::now();
+    let outcomes = harness::run_indexed(threads, systems.len(), |i| {
+        kunserve::serving::run_system(systems[i], setup.cfg.clone(), &trace, setup.drain)
+    });
+    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
+    let mut sys_jsons = Vec::new();
+    for out in &outcomes {
+        println!();
+        println!("## {}", out.name);
+        let ttft = out
+            .state
+            .metrics
+            .ttft_series
+            .windowed_mean(SimTime::ZERO, end, window);
+        print_series("time_s,mean_ttft_s", &ttft, 1.0);
+        let drops = out
+            .state
+            .metrics
+            .reconfig_events
+            .iter()
+            .filter(|(_, w)| w.starts_with("drop"))
+            .count();
+        let restores = out
+            .state
+            .metrics
+            .reconfig_events
+            .iter()
+            .filter(|(_, w)| w.starts_with("restore: split"))
+            .count();
+        println!("drop_events,{drops}");
+        println!("restore_events,{restores}");
+        println!(
+            "summary,finished={}/{},p50={},p99={}",
+            out.report.finished_requests,
+            out.report.total_requests,
+            secs(out.report.ttft.p50),
+            secs(out.report.ttft.p99)
+        );
+        let mut j = outcome_json(&setup.cfg, out);
+        if let Json::Obj(pairs) = &mut j {
+            pairs.push(("drop_events".into(), Json::Num(drops as f64)));
+            pairs.push(("restore_events".into(), Json::Num(restores as f64)));
+        }
+        sys_jsons.push(j);
+    }
+
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("fig19_diurnal")),
+            ("scenario", Json::str(setup.name)),
+            ("smoke", Json::Bool(smoke)),
+            ("requests", Json::Num(trace.len() as f64)),
+            ("systems", Json::Arr(sys_jsons)),
+        ]),
+        threads,
+        wall_ms,
+    );
+    let path = json_out_path("fig19_diurnal", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
+}

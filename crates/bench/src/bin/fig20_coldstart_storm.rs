@@ -1,0 +1,129 @@
+//! Regenerates Figure 20: cold-start storms on a long-tail model zoo. A
+//! Zipf-popular head model hums along while bursts of traffic slam the
+//! rarely-used tail models (each provisioned with a single instance).
+//! vLLM's per-model queues collapse on every storm; KunServe lends the
+//! head model's parameter memory to the starved tail via cross-model KV
+//! donation and keeps the cluster-wide tail bounded.
+//!
+//! Run: `cargo run --release -p bench --bin fig20_coldstart_storm`
+//! Flags: `--smoke` (tiny cluster, seconds — the CI regression scenario),
+//!        `--threads N` (parallel system runs),
+//!        `--json PATH` (default
+//!        `target/bench-json/fig20_coldstart_storm.json`).
+
+use bench::{
+    harness, json_out_path, outcome_json, print_series, secs, with_exec_meta, write_json, Json,
+};
+use cluster::ClusterConfig;
+use kunserve::serving::SystemKind;
+use sim_core::SimDuration;
+use workload::{Dataset, PopularityTraceBuilder};
+
+struct Setup {
+    name: &'static str,
+    cfg: ClusterConfig,
+    builder: PopularityTraceBuilder,
+    drain: SimDuration,
+}
+
+/// The CI scenario: a 4-instance head model plus four single-instance
+/// tail models, storms clustered on the cold half of the popularity
+/// ranking.
+fn smoke_setup() -> Setup {
+    let mut cfg = ClusterConfig::tiny_many_models(4, 4);
+    cfg.reserve_frac = 0.45;
+    Setup {
+        name: "tiny cold-start storm",
+        cfg,
+        builder: PopularityTraceBuilder::new(Dataset::BurstGpt, 5)
+            .zipf(1.1)
+            .base_rps(26.0)
+            .duration(SimDuration::from_secs(25))
+            .storms(0.12, 30, SimDuration::from_secs(3))
+            .seed(20),
+        drain: SimDuration::from_secs(900),
+    }
+}
+
+/// Paper-scale: a larger head deployment and the full 8-model tail.
+fn full_setup() -> Setup {
+    let mut cfg = ClusterConfig::tiny_many_models(8, 8);
+    cfg.reserve_frac = 0.50;
+    Setup {
+        name: "long-tail cold-start storm",
+        cfg,
+        builder: PopularityTraceBuilder::new(Dataset::BurstGpt, 9)
+            .zipf(1.1)
+            .base_rps(50.0)
+            .duration(SimDuration::from_secs(60))
+            .storms(0.10, 45, SimDuration::from_secs(4))
+            .seed(47),
+        drain: SimDuration::from_secs(900),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = harness::threads_from_args(&args);
+    let setup = if smoke { smoke_setup() } else { full_setup() };
+    let trace = setup.builder.build();
+    println!(
+        "# Figure 20: cold-start storms on {} ({} requests, {:.0} expected)",
+        setup.name,
+        trace.len(),
+        setup.builder.expected_requests()
+    );
+    println!();
+    println!("# Arrival rate (req/s, 5s windows)");
+    print_series(
+        "time_s,req_per_s",
+        &trace.rate_timeline(SimDuration::from_secs(5)),
+        1.0,
+    );
+
+    let systems = [SystemKind::VllmDp, SystemKind::KunServe];
+    let timer = std::time::Instant::now();
+    let outcomes = harness::run_indexed(threads, systems.len(), |i| {
+        kunserve::serving::run_system(systems[i], setup.cfg.clone(), &trace, setup.drain)
+    });
+    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
+    let mut sys_jsons = Vec::new();
+    for out in &outcomes {
+        println!();
+        println!("## {}", out.name);
+        for m in &out.report.per_model {
+            println!(
+                "model,{},total={},finished={},p99={}",
+                setup.cfg.model_cfg(m.model).name,
+                m.total_requests,
+                m.finished_requests,
+                secs(m.ttft.p99)
+            );
+        }
+        println!("donated_bytes_peak,{}", out.report.donated_bytes_peak);
+        println!(
+            "summary,finished={}/{},p50={},p99={}",
+            out.report.finished_requests,
+            out.report.total_requests,
+            secs(out.report.ttft.p50),
+            secs(out.report.ttft.p99)
+        );
+        sys_jsons.push(outcome_json(&setup.cfg, out));
+    }
+
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("fig20_coldstart_storm")),
+            ("scenario", Json::str(setup.name)),
+            ("smoke", Json::Bool(smoke)),
+            ("requests", Json::Num(trace.len() as f64)),
+            ("systems", Json::Arr(sys_jsons)),
+        ]),
+        threads,
+        wall_ms,
+    );
+    let path = json_out_path("fig20_coldstart_storm", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
+}

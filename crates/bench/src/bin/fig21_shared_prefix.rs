@@ -1,0 +1,145 @@
+//! Regenerates Figure 21: shared-prefix agent/RAG traffic under a burst.
+//! Requests arrive in groups that share a long system-prompt prefix; the
+//! first dependent per serving group computes the prefix once and the rest
+//! hit resident KV. The gate is two-sided: KunServe must still beat vLLM's
+//! p99 TTFT under the burst, *and* its drop planner's evictions must not
+//! amplify shared-prefix recompute beyond a bounded factor — dropping
+//! parameters is only free if it doesn't silently multiply prefill work
+//! across every dependent of an evicted prefix.
+//!
+//! Run: `cargo run --release -p bench --bin fig21_shared_prefix`
+//! Flags: `--smoke` (tiny cluster, seconds — the CI regression scenario),
+//!        `--threads N` (parallel system runs),
+//!        `--json PATH` (default
+//!        `target/bench-json/fig21_shared_prefix.json`).
+
+use bench::{
+    harness, json_out_path, outcome_json, print_series, secs, with_exec_meta, write_json, Json,
+};
+use cluster::ClusterConfig;
+use kunserve::serving::SystemKind;
+use sim_core::{SimDuration, SimTime};
+use workload::{Dataset, SharedPrefixTraceBuilder};
+
+struct Setup {
+    name: &'static str,
+    cfg: ClusterConfig,
+    builder: SharedPrefixTraceBuilder,
+    drain: SimDuration,
+}
+
+/// The CI scenario: eight prefix groups (200–800 shared tokens each) on
+/// the fast test cluster, with a mid-trace burst forcing evictions.
+fn smoke_setup() -> Setup {
+    let mut cfg = ClusterConfig::tiny_test(4);
+    cfg.reserve_frac = 0.45;
+    Setup {
+        name: "tiny shared prefix",
+        cfg,
+        builder: SharedPrefixTraceBuilder::new(Dataset::BurstGpt, 8)
+            .base_rps(40.0)
+            .duration(SimDuration::from_secs(20))
+            .burst(SimTime::from_secs(6), SimDuration::from_secs(8), 3.0)
+            .prefix_tokens(200, 800)
+            .seed(21),
+        drain: SimDuration::from_secs(900),
+    }
+}
+
+/// Paper-scale: BurstGPT × 14B on cluster A with more groups and longer
+/// shared prefixes.
+fn full_setup() -> Setup {
+    let mut cfg = ClusterConfig::qwen14b_cluster_a();
+    cfg.reserve_frac = 0.55;
+    Setup {
+        name: "BurstGPT x 14B shared prefix",
+        cfg,
+        builder: SharedPrefixTraceBuilder::new(Dataset::BurstGpt, 24)
+            .base_rps(22.0)
+            .duration(SimDuration::from_secs(120))
+            .burst(SimTime::from_secs(42), SimDuration::from_secs(12), 3.0)
+            .burst(SimTime::from_secs(82), SimDuration::from_secs(10), 2.5)
+            .prefix_tokens(400, 1600)
+            .seed(48),
+        drain: SimDuration::from_secs(400),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = harness::threads_from_args(&args);
+    let setup = if smoke { smoke_setup() } else { full_setup() };
+    let trace = setup.builder.build();
+    println!(
+        "# Figure 21: shared-prefix traffic on {} ({} requests)",
+        setup.name,
+        trace.len()
+    );
+    println!();
+    println!("# Arrival rate (req/s, 5s windows)");
+    print_series(
+        "time_s,req_per_s",
+        &trace.rate_timeline(SimDuration::from_secs(5)),
+        1.0,
+    );
+
+    let systems = [SystemKind::VllmDp, SystemKind::KunServe];
+    let timer = std::time::Instant::now();
+    let outcomes = harness::run_indexed(threads, systems.len(), |i| {
+        kunserve::serving::run_system(systems[i], setup.cfg.clone(), &trace, setup.drain)
+    });
+    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
+    let mut sys_jsons = Vec::new();
+    for out in &outcomes {
+        println!();
+        println!("## {}", out.name);
+        let amp = out.report.prefix_recompute_amplification();
+        println!("prefix_saved_tokens,{}", out.report.prefix_saved_tokens);
+        println!("prefix_unique_tokens,{}", out.report.prefix_unique_tokens);
+        println!(
+            "prefix_recompute_tokens,{}",
+            out.report.prefix_recompute_tokens
+        );
+        println!("prefix_recompute_amplification,{amp:.4}");
+        println!(
+            "summary,finished={}/{},p50={},p99={}",
+            out.report.finished_requests,
+            out.report.total_requests,
+            secs(out.report.ttft.p50),
+            secs(out.report.ttft.p99)
+        );
+        let mut j = outcome_json(&setup.cfg, out);
+        if let Json::Obj(pairs) = &mut j {
+            pairs.push((
+                "prefix_saved_tokens".into(),
+                Json::Num(out.report.prefix_saved_tokens as f64),
+            ));
+            pairs.push((
+                "prefix_unique_tokens".into(),
+                Json::Num(out.report.prefix_unique_tokens as f64),
+            ));
+            pairs.push((
+                "prefix_recompute_tokens".into(),
+                Json::Num(out.report.prefix_recompute_tokens as f64),
+            ));
+            pairs.push(("prefix_recompute_amplification".into(), Json::Num(amp)));
+        }
+        sys_jsons.push(j);
+    }
+
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("fig21_shared_prefix")),
+            ("scenario", Json::str(setup.name)),
+            ("smoke", Json::Bool(smoke)),
+            ("requests", Json::Num(trace.len() as f64)),
+            ("systems", Json::Arr(sys_jsons)),
+        ]),
+        threads,
+        wall_ms,
+    );
+    let path = json_out_path("fig21_shared_prefix", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
+}

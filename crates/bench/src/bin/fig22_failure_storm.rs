@@ -1,0 +1,154 @@
+//! Regenerates Figure 22: a failure storm — a whole rack (power/ToR
+//! failure domain) goes down mid-burst, taking every instance behind it.
+//! Both systems face the identical scripted storm through the
+//! policy-transparent `FailureInjector`; survivors restore full parameter
+//! copies and absorb the dead rack's requests. KunServe additionally keeps
+//! donating memory through the recovery, so its TTFT tail stays below
+//! vLLM's even while the cluster is degraded.
+//!
+//! Run: `cargo run --release -p bench --bin fig22_failure_storm`
+//! Flags: `--smoke` (tiny cluster, seconds — the CI regression scenario),
+//!        `--threads N` (parallel system runs),
+//!        `--json PATH` (default
+//!        `target/bench-json/fig22_failure_storm.json`).
+
+use bench::{
+    harness, json_out_path, outcome_json, print_series, secs, with_exec_meta, write_json, Json,
+};
+use cluster::{ClusterConfig, FailureSchedule};
+use kunserve::serving::SystemKind;
+use sim_core::{SimDuration, SimTime};
+use workload::{BurstTraceBuilder, Dataset};
+
+struct Setup {
+    name: &'static str,
+    cfg: ClusterConfig,
+    base_rps: f64,
+    duration: SimDuration,
+    burst: (SimTime, SimDuration, f64),
+    schedule: FailureSchedule,
+    seed: u64,
+    drain: SimDuration,
+}
+
+/// The CI scenario: 8 instances in 4 racks of 2; rack 1 dies at t=12s,
+/// inside the burst window.
+fn smoke_setup() -> Setup {
+    let mut cfg = ClusterConfig::tiny_test(8);
+    cfg.reserve_frac = 0.45;
+    cfg.rack_size = 2;
+    Setup {
+        name: "tiny failure storm",
+        cfg,
+        base_rps: 70.0,
+        duration: SimDuration::from_secs(20),
+        burst: (SimTime::from_secs(6), SimDuration::from_secs(9), 2.5),
+        schedule: FailureSchedule::new().rack_down(SimTime::from_secs(12), 1),
+        seed: 22,
+        drain: SimDuration::from_secs(900),
+    }
+}
+
+/// Paper-scale: a longer trace and a two-rack storm in close succession.
+fn full_setup() -> Setup {
+    let mut cfg = ClusterConfig::tiny_test(16);
+    cfg.reserve_frac = 0.50;
+    cfg.rack_size = 4;
+    Setup {
+        name: "two-rack failure storm",
+        cfg,
+        base_rps: 150.0,
+        duration: SimDuration::from_secs(60),
+        burst: (SimTime::from_secs(18), SimDuration::from_secs(20), 2.5),
+        schedule: FailureSchedule::new()
+            .rack_down(SimTime::from_secs(25), 1)
+            .rack_down(SimTime::from_secs(35), 2),
+        seed: 49,
+        drain: SimDuration::from_secs(900),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = harness::threads_from_args(&args);
+    let setup = if smoke { smoke_setup() } else { full_setup() };
+    let (b_start, b_len, b_mult) = setup.burst;
+    let trace = BurstTraceBuilder::new(Dataset::BurstGpt)
+        .base_rps(setup.base_rps)
+        .duration(setup.duration)
+        .burst(b_start, b_len, b_mult)
+        .seed(setup.seed)
+        .build();
+    println!(
+        "# Figure 22: failure storm on {} ({} requests, {} scripted failures)",
+        setup.name,
+        trace.len(),
+        setup.schedule.len()
+    );
+    println!();
+    println!("# Arrival rate (req/s, 5s windows)");
+    print_series(
+        "time_s,req_per_s",
+        &trace.rate_timeline(SimDuration::from_secs(5)),
+        1.0,
+    );
+
+    let systems = [SystemKind::VllmDp, SystemKind::KunServe];
+    let timer = std::time::Instant::now();
+    let outcomes = harness::run_indexed(threads, systems.len(), |i| {
+        kunserve::serving::run_system_with_failures(
+            systems[i],
+            setup.cfg.clone(),
+            &trace,
+            setup.drain,
+            &setup.schedule,
+        )
+    });
+    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
+    let mut sys_jsons = Vec::new();
+    for out in &outcomes {
+        println!();
+        println!("## {}", out.name);
+        let rack_failures = out
+            .state
+            .metrics
+            .reconfig_events
+            .iter()
+            .filter(|(_, w)| w.starts_with("rack-failure"))
+            .count();
+        for (t, what) in &out.state.metrics.reconfig_events {
+            if what.starts_with("rack-failure") || what.starts_with("failure") {
+                println!("event,{:.1},{what}", t.as_secs_f64());
+            }
+        }
+        println!("rack_failures,{rack_failures}");
+        println!(
+            "summary,finished={}/{},p50={},p99={}",
+            out.report.finished_requests,
+            out.report.total_requests,
+            secs(out.report.ttft.p50),
+            secs(out.report.ttft.p99)
+        );
+        let mut j = outcome_json(&setup.cfg, out);
+        if let Json::Obj(pairs) = &mut j {
+            pairs.push(("rack_failures".into(), Json::Num(rack_failures as f64)));
+        }
+        sys_jsons.push(j);
+    }
+
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("fig22_failure_storm")),
+            ("scenario", Json::str(setup.name)),
+            ("smoke", Json::Bool(smoke)),
+            ("requests", Json::Num(trace.len() as f64)),
+            ("systems", Json::Arr(sys_jsons)),
+        ]),
+        threads,
+        wall_ms,
+    );
+    let path = json_out_path("fig22_failure_storm", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
+}

@@ -207,6 +207,11 @@ pub struct ClusterConfig {
     /// Additional co-served models; model id `k + 1` is `extra_models[k]`
     /// (the primary model is id 0). Empty for single-model clusters.
     pub extra_models: Vec<ModelDeployment>,
+    /// Rack-correlation granularity for failure injection: instances
+    /// `[k·rack_size, (k+1)·rack_size)` (by global instance index) share a
+    /// rack — one power/ToR failure domain. 0 disables racking (every
+    /// failure is independent).
+    pub rack_size: u32,
 }
 
 impl ClusterConfig {
@@ -228,6 +233,7 @@ impl ClusterConfig {
             seed: 0x5EED,
             primary_slo_weight: 1.0,
             extra_models: Vec::new(),
+            rack_size: 0,
         }
     }
 
@@ -249,6 +255,7 @@ impl ClusterConfig {
             seed: 0x5EED,
             primary_slo_weight: 1.0,
             extra_models: Vec::new(),
+            rack_size: 0,
         }
     }
 
@@ -287,6 +294,7 @@ impl ClusterConfig {
             seed: 7,
             primary_slo_weight: 1.0,
             extra_models: Vec::new(),
+            rack_size: 0,
         }
     }
 
@@ -313,6 +321,39 @@ impl ClusterConfig {
         };
         cfg.extra_models
             .push(ModelDeployment::new(chat, chat_instances));
+        cfg
+    }
+
+    /// A long-tail co-serving configuration for the cold-start-storm
+    /// scenario: the tiny test model (rank 0, `primary_instances`) plus
+    /// `tail_models` tail models of one instance each, all sharing the
+    /// tiny-test architecture so every rank overloads the same way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tail_models > 8` (the static name table's size).
+    pub fn tiny_many_models(primary_instances: u32, tail_models: u32) -> Self {
+        const TAIL_NAMES: [&str; 8] = [
+            "tiny-tail-1",
+            "tiny-tail-2",
+            "tiny-tail-3",
+            "tiny-tail-4",
+            "tiny-tail-5",
+            "tiny-tail-6",
+            "tiny-tail-7",
+            "tiny-tail-8",
+        ];
+        assert!(
+            tail_models as usize <= TAIL_NAMES.len(),
+            "at most {} tail models",
+            TAIL_NAMES.len()
+        );
+        let mut cfg = ClusterConfig::tiny_test(primary_instances);
+        for name in &TAIL_NAMES[..tail_models as usize] {
+            let mut tail = cfg.model.clone();
+            tail.name = name;
+            cfg.extra_models.push(ModelDeployment::new(tail, 1));
+        }
         cfg
     }
 
@@ -379,6 +420,24 @@ impl ClusterConfig {
     /// Total serving instances across all models.
     pub fn total_instances(&self) -> u32 {
         self.model_ids().map(|m| self.instances_of(m)).sum()
+    }
+
+    /// The rack holding global instance index `instance`, or `None` when
+    /// racking is disabled (`rack_size == 0`).
+    pub fn rack_of(&self, instance: u32) -> Option<u32> {
+        (self.rack_size > 0).then(|| instance / self.rack_size)
+    }
+
+    /// Global instance indices sharing rack `rack` (empty when racking is
+    /// disabled).
+    pub fn instances_in_rack(&self, rack: u32) -> Vec<u32> {
+        if self.rack_size == 0 {
+            return Vec::new();
+        }
+        let total = self.total_instances();
+        (rack * self.rack_size..(rack + 1) * self.rack_size)
+            .filter(|&i| i < total)
+            .collect()
     }
 
     /// Bytes of one KVCache block at full layer residency (primary model).
@@ -514,9 +573,38 @@ mod tests {
             ClusterConfig::qwen72b_cluster_b(),
             ClusterConfig::tiny_test(2),
             ClusterConfig::tiny_two_model(2, 2),
+            ClusterConfig::tiny_many_models(2, 4),
             ClusterConfig::multi_model_14b_72b(),
         ] {
             cfg.validate().expect("preset must be feasible");
+        }
+    }
+
+    #[test]
+    fn rack_helpers_partition_instances() {
+        let mut cfg = ClusterConfig::tiny_test(4);
+        assert_eq!(cfg.rack_of(3), None, "racking off by default");
+        assert!(cfg.instances_in_rack(0).is_empty());
+        cfg.rack_size = 2;
+        assert_eq!(cfg.rack_of(0), Some(0));
+        assert_eq!(cfg.rack_of(1), Some(0));
+        assert_eq!(cfg.rack_of(2), Some(1));
+        assert_eq!(cfg.instances_in_rack(0), vec![0, 1]);
+        assert_eq!(cfg.instances_in_rack(1), vec![2, 3]);
+        // The last rack may be ragged.
+        cfg.rack_size = 3;
+        assert_eq!(cfg.instances_in_rack(1), vec![3]);
+        assert!(cfg.instances_in_rack(2).is_empty());
+    }
+
+    #[test]
+    fn tiny_many_models_deploys_a_long_tail() {
+        let cfg = ClusterConfig::tiny_many_models(2, 5);
+        assert_eq!(cfg.num_models(), 6);
+        assert_eq!(cfg.total_instances(), 7);
+        assert_eq!(cfg.model_cfg(ModelId(3)).name, "tiny-tail-3");
+        for m in cfg.model_ids().skip(1) {
+            assert_eq!(cfg.instances_of(m), 1, "tail ranks get one instance");
         }
     }
 

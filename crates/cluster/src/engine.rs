@@ -249,7 +249,7 @@ impl<P: Policy> Engine<P> {
     fn on_arrival(&mut self, id: RequestId) {
         let spec = self.state.requests[id.0].spec;
         let group = self.state.dispatch(spec.model, spec.input_tokens);
-        self.state.requests[id.0].group = group;
+        self.state.note_dispatch(id, group);
         self.state
             .metrics
             .on_arrival(id, spec.arrival, spec.output_tokens, spec.model);
@@ -627,6 +627,7 @@ mod tests {
                     arrival: SimTime::from_millis(i as u64 * gap_ms),
                     input_tokens: input,
                     output_tokens: output,
+                    prefix: None,
                 })
                 .collect(),
         )
@@ -716,6 +717,7 @@ mod tests {
                 arrival: SimTime::from_millis(i * 150),
                 input_tokens: 200,
                 output_tokens: 10,
+                prefix: None,
             });
         }
         let trace = Trace::new(reqs);
@@ -750,6 +752,7 @@ mod tests {
             arrival: SimTime::ZERO,
             input_tokens: 10,
             output_tokens: 1,
+            prefix: None,
         }]);
         eng.run(&trace, SimDuration::from_secs(10));
     }

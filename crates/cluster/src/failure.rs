@@ -1,0 +1,187 @@
+//! Scripted correlated-failure injection (the failure-storm scenario).
+//!
+//! Real clusters lose whole *racks* at once — a PDU trip or a ToR switch
+//! takes down every instance behind it. The failure-storm scenario drives
+//! [`ClusterState::fail_rack`] from a deterministic [`FailureSchedule`]
+//! through a [`FailureInjector`], a transparent [`Policy`] wrapper: the
+//! inner policy keeps making its normal decisions while racks disappear
+//! underneath it, exactly like the scripted `FaultyKunServe` harness in
+//! `tests/fault_tolerance.rs` but schedule-driven and policy-agnostic.
+
+use sim_core::SimTime;
+
+use crate::batch::{MicroBatch, SeqChunk};
+use crate::former::MicrobatchFormerSpec;
+use crate::group::GroupId;
+use crate::policy::{OomResolution, Policy, TransferEvent};
+use crate::request::RequestId;
+use crate::state::ClusterState;
+
+/// One scripted correlated failure: rack `rack` goes down at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// Simulated time of the failure.
+    pub at: SimTime,
+    /// The rack that fails (see [`crate::ClusterConfig::rack_size`]).
+    pub rack: u32,
+}
+
+/// A deterministic sequence of rack failures, fired in time order.
+#[derive(Debug, Clone, Default)]
+pub struct FailureSchedule {
+    events: Vec<FailureEvent>,
+}
+
+impl FailureSchedule {
+    /// An empty schedule (injector becomes a pure pass-through).
+    pub fn new() -> Self {
+        FailureSchedule::default()
+    }
+
+    /// Adds a rack failure at `at`; events may be pushed in any order.
+    pub fn rack_down(mut self, at: SimTime, rack: u32) -> Self {
+        self.events.push(FailureEvent { at, rack });
+        self
+    }
+
+    /// The scripted events, sorted by (time, rack).
+    pub fn sorted_events(&self) -> Vec<FailureEvent> {
+        let mut ev = self.events.clone();
+        ev.sort_by_key(|e| (e.at, e.rack));
+        ev
+    }
+
+    /// Number of scripted failures.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Wraps any [`Policy`] and fires due [`FailureSchedule`] events at the
+/// start of each monitor tick, before delegating to the inner policy.
+///
+/// The wrapper is transparent: `name()` reports the inner system's name so
+/// bench comparisons stay labelled by policy, not by harness.
+#[derive(Debug)]
+pub struct FailureInjector<P: Policy> {
+    inner: P,
+    pending: Vec<FailureEvent>,
+    next: usize,
+    fired: Vec<FailureEvent>,
+}
+
+impl<P: Policy> FailureInjector<P> {
+    /// Wraps `inner`, scripting the failures in `schedule`.
+    pub fn new(inner: P, schedule: &FailureSchedule) -> Self {
+        FailureInjector {
+            inner,
+            pending: schedule.sorted_events(),
+            next: 0,
+            fired: Vec::new(),
+        }
+    }
+
+    /// The events already injected.
+    pub fn fired(&self) -> &[FailureEvent] {
+        &self.fired
+    }
+
+    /// Consumes the wrapper, returning the inner policy.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: Policy> Policy for FailureInjector<P> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn on_tick(&mut self, state: &mut ClusterState, now: SimTime) {
+        while self.next < self.pending.len() && self.pending[self.next].at <= now {
+            let ev = self.pending[self.next];
+            self.next += 1;
+            state.fail_rack(ev.rack, now);
+            self.fired.push(ev);
+        }
+        self.inner.on_tick(state, now);
+    }
+
+    fn on_admission_blocked(&mut self, state: &mut ClusterState, now: SimTime, group: GroupId) {
+        self.inner.on_admission_blocked(state, now, group);
+    }
+
+    fn on_decode_oom(
+        &mut self,
+        state: &mut ClusterState,
+        now: SimTime,
+        group: GroupId,
+        request: RequestId,
+    ) -> OomResolution {
+        self.inner.on_decode_oom(state, now, group, request)
+    }
+
+    fn microbatch_former(&self) -> MicrobatchFormerSpec {
+        self.inner.microbatch_former()
+    }
+
+    fn form_microbatches(
+        &self,
+        state: &ClusterState,
+        group: GroupId,
+        work: &[SeqChunk],
+    ) -> Vec<MicroBatch> {
+        self.inner.form_microbatches(state, group, work)
+    }
+
+    fn on_transfer_done(&mut self, state: &mut ClusterState, now: SimTime, event: &TransferEvent) {
+        self.inner.on_transfer_done(state, now, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::policy::QueueingPolicy;
+
+    #[test]
+    fn schedule_sorts_and_counts() {
+        let s = FailureSchedule::new()
+            .rack_down(SimTime::from_secs(30), 1)
+            .rack_down(SimTime::from_secs(10), 0);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        let ev = s.sorted_events();
+        assert_eq!(ev[0].rack, 0, "earlier event first after sorting");
+        assert_eq!(ev[1].at, SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn injector_fires_due_events_once() {
+        let mut cfg = ClusterConfig::tiny_test(4);
+        cfg.rack_size = 2; // instances {0,1} and {2,3}
+        let mut state = ClusterState::try_new(cfg).unwrap();
+        let schedule = FailureSchedule::new().rack_down(SimTime::from_secs(5), 0);
+        let mut inj = FailureInjector::new(QueueingPolicy, &schedule);
+        assert_eq!(inj.name(), "Queueing", "wrapper is transparent");
+
+        inj.on_tick(&mut state, SimTime::from_secs(1));
+        assert!(inj.fired().is_empty(), "not due yet");
+        let before = state.alive_groups().len();
+        assert_eq!(before, 4);
+
+        inj.on_tick(&mut state, SimTime::from_secs(5));
+        assert_eq!(inj.fired().len(), 1);
+        assert_eq!(state.alive_groups().len(), 2, "rack 0 gone");
+
+        // A later tick does not re-fire the same event.
+        inj.on_tick(&mut state, SimTime::from_secs(9));
+        assert_eq!(inj.fired().len(), 1);
+    }
+}

@@ -29,6 +29,7 @@
 pub mod batch;
 pub mod config;
 pub mod engine;
+pub mod failure;
 pub mod former;
 pub mod group;
 pub mod instance;
@@ -43,6 +44,7 @@ pub mod state;
 pub use batch::{token_count_form, MicroBatch, SeqChunk};
 pub use config::{ClusterConfig, ConfigError, ModelDeployment, Testbed};
 pub use engine::Engine;
+pub use failure::{FailureEvent, FailureInjector, FailureSchedule};
 pub use former::{balance_microbatches, MicrobatchFormerSpec};
 pub use group::{ExecGroup, GroupId};
 pub use instance::{Instance, InstanceId};

@@ -71,6 +71,13 @@ pub struct Metrics {
     /// Peak bytes simultaneously lent across models (cross-model KV
     /// donation high-water mark).
     pub donated_bytes_peak: u64,
+    /// Prefill tokens skipped thanks to resident shared prefixes.
+    pub prefix_saved_tokens: u64,
+    /// Shared-prefix tokens computed exactly once per (group, prefix) pair.
+    pub prefix_unique_tokens: u64,
+    /// Shared-prefix tokens recomputed after an eviction invalidated the
+    /// resident copy (the amplification cost the fig21 gate bounds).
+    pub prefix_recompute_tokens: u64,
 }
 
 impl Metrics {
@@ -193,6 +200,9 @@ impl Metrics {
             // simlint: allow(D-CAST) — widening u32 -> u64, lossless.
             preemptions: self.records.iter().map(|r| r.preemptions as u64).sum(),
             donated_bytes_peak: self.donated_bytes_peak,
+            prefix_saved_tokens: self.prefix_saved_tokens,
+            prefix_unique_tokens: self.prefix_unique_tokens,
+            prefix_recompute_tokens: self.prefix_recompute_tokens,
             per_model,
         }
     }
@@ -236,6 +246,12 @@ pub struct RunReport {
     pub preemptions: u64,
     /// Peak bytes simultaneously lent across models (0 without donation).
     pub donated_bytes_peak: u64,
+    /// Prefill tokens skipped thanks to resident shared prefixes.
+    pub prefix_saved_tokens: u64,
+    /// Shared-prefix tokens computed exactly once per (group, prefix) pair.
+    pub prefix_unique_tokens: u64,
+    /// Shared-prefix tokens recomputed after evictions.
+    pub prefix_recompute_tokens: u64,
     /// Per-model latency breakdown (one entry per model seen in the trace,
     /// ascending by model id; a single entry for single-model runs).
     pub per_model: Vec<ModelReport>,
@@ -245,6 +261,15 @@ impl RunReport {
     /// The breakdown of one model, if any of its requests arrived.
     pub fn model_report(&self, model: ModelId) -> Option<&ModelReport> {
         self.per_model.iter().find(|r| r.model == model)
+    }
+
+    /// Shared-prefix recompute amplification: recomputed prefix tokens per
+    /// uniquely computed prefix token (0 for prefix-free workloads).
+    pub fn prefix_recompute_amplification(&self) -> f64 {
+        if self.prefix_unique_tokens == 0 {
+            return 0.0;
+        }
+        self.prefix_recompute_tokens as f64 / self.prefix_unique_tokens as f64
     }
     /// SLO-violation ratio for TTFT at `scale × baseline_p50` (the paper's
     /// SLO-scale methodology, Figure 13 last column).
@@ -358,6 +383,9 @@ mod tests {
             total_tokens: 0,
             preemptions: 0,
             donated_bytes_peak: 0,
+            prefix_saved_tokens: 0,
+            prefix_unique_tokens: 0,
+            prefix_recompute_tokens: 0,
             per_model: Vec::new(),
         };
         // Baseline P50 = 0.1 s, scale 5 → threshold 0.5 s → 2 of 4 violate.

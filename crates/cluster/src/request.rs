@@ -70,6 +70,12 @@ pub struct Request {
     pub recompute_extra: u64,
     /// Output tokens generated so far.
     pub generated: u64,
+    /// Shared-prefix tokens already resident on the dispatched group
+    /// (granted by the cluster's prefix ledger at dispatch time): they are
+    /// skipped in prefill and not charged to this request's KV. Zeroed on
+    /// recompute preemption — a preempted request re-prefills its full
+    /// prompt, shared prefix included.
+    pub prefix_credit: u64,
     /// When the first output token was produced.
     pub first_token_at: Option<SimTime>,
     /// When generation finished.
@@ -89,6 +95,7 @@ impl Request {
             prefilled: 0,
             recompute_extra: 0,
             generated: 0,
+            prefix_credit: 0,
             first_token_at: None,
             finished_at: None,
             preemptions: 0,
@@ -96,16 +103,19 @@ impl Request {
     }
 
     /// Prompt tokens that still need prefilling, including recompute of
-    /// tokens generated before the last preemption.
+    /// tokens generated before the last preemption and minus any resident
+    /// shared-prefix credit.
     pub fn prefill_target(&self) -> u64 {
-        self.spec.input_tokens + self.recompute_extra
+        self.spec.input_tokens.saturating_sub(self.prefix_credit) + self.recompute_extra
     }
 
     /// Records a recompute preemption: KV is dropped; everything generated
-    /// so far becomes part of the prompt to re-prefill.
+    /// so far becomes part of the prompt to re-prefill. Any shared-prefix
+    /// credit is forfeited — the prefix KV was dropped with the rest.
     pub fn preempt_reset(&mut self) {
         self.recompute_extra = self.generated;
         self.prefilled = 0;
+        self.prefix_credit = 0;
         self.preemptions += 1;
     }
 
@@ -126,7 +136,7 @@ impl Request {
             ReqState::Queued | ReqState::Swapped | ReqState::Finished => 0,
             _ => {
                 if self.in_decode() {
-                    self.spec.input_tokens + self.generated
+                    self.spec.input_tokens.saturating_sub(self.prefix_credit) + self.generated
                 } else {
                     self.prefilled
                 }
@@ -134,9 +144,10 @@ impl Request {
         }
     }
 
-    /// Tokens of KVCache the request will hold when it finishes.
+    /// Tokens of KVCache the request will hold when it finishes (net of
+    /// any shared-prefix credit, whose KV the group already holds).
     pub fn peak_kv_tokens(&self) -> u64 {
-        self.spec.input_tokens + self.spec.output_tokens
+        self.spec.input_tokens.saturating_sub(self.prefix_credit) + self.spec.output_tokens
     }
 
     /// Remaining output tokens to generate.
@@ -161,6 +172,7 @@ mod tests {
             arrival: SimTime::ZERO,
             input_tokens: input,
             output_tokens: output,
+            prefix: None,
         }
     }
 
@@ -231,5 +243,23 @@ mod tests {
     fn peak_kv_is_total_tokens() {
         let r = req(100, 10);
         assert_eq!(r.peak_kv_tokens(), 110);
+    }
+
+    #[test]
+    fn prefix_credit_shrinks_prefill_and_kv_until_preemption() {
+        let mut r = req(100, 10);
+        r.prefix_credit = 40;
+        assert_eq!(r.prefill_target(), 60);
+        assert_eq!(r.peak_kv_tokens(), 70);
+        r.state = ReqState::Running;
+        r.prefilled = 60;
+        assert!(r.in_decode());
+        r.generated = 5;
+        assert_eq!(r.kv_tokens(), 65, "credit tokens are not charged");
+        // Preemption forfeits the credit: the full prompt plus generated
+        // context re-prefills, exactly like an independent request.
+        r.preempt_reset();
+        assert_eq!(r.prefix_credit, 0);
+        assert_eq!(r.prefill_target(), 105);
     }
 }

@@ -1017,7 +1017,7 @@ impl<P: Policy> ShardedEngine<P> {
                 let group =
                     self.state
                         .dispatch_with_pending(spec.model, spec.input_tokens, Some(&extra));
-                self.state.requests[id.0].group = group;
+                self.state.note_dispatch(id, group);
                 self.state
                     .metrics
                     .on_arrival(id, spec.arrival, spec.output_tokens, spec.model);
@@ -1188,6 +1188,7 @@ mod tests {
                     arrival: SimTime::from_millis(i as u64 * gap_ms),
                     input_tokens: input,
                     output_tokens: output,
+                    prefix: None,
                 })
                 .collect(),
         )
@@ -1279,6 +1280,7 @@ mod tests {
             arrival: SimTime::ZERO,
             input_tokens: 8,
             output_tokens: 1,
+            prefix: None,
         };
         let mut reqs = vec![Request::new(RequestId(0), spec, GroupId(0))];
         let base = ReqTable {
@@ -1308,6 +1310,7 @@ mod tests {
             arrival: SimTime::ZERO,
             input_tokens: 8,
             output_tokens: 1,
+            prefix: None,
         };
         let mut reqs = vec![Request::new(RequestId(0), spec, GroupId(0))];
         let shadow = Arc::new(ShadowOwners::new(reqs.len()));

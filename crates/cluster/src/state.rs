@@ -10,7 +10,9 @@
 use std::collections::HashMap;
 
 use costmodel::{CostParams, GroundTruth, Profiler};
-use kvcache::{BlockManager, ExtentTag, HostSwapPool, KvError, Loan, SeqKey};
+use kvcache::{
+    BlockManager, ExtentTag, HostSwapPool, KvError, Loan, PrefixLedger, PrefixOutcome, SeqKey,
+};
 use modelcfg::{layers_covering, partition_layers, LayerRange, LayerSet, ModelConfig};
 use netsim::{JobId, Network, NodeId, Priority};
 use rand::rngs::SmallRng;
@@ -119,6 +121,8 @@ pub struct ClusterState {
     pub pending_reconfigs: Vec<Reconfig>,
     /// Outstanding cross-model donations (lender → borrower extents).
     pub donations: Vec<DonationRecord>,
+    /// Shared-prompt prefix residency per (group slot, prefix group).
+    pub prefix: PrefixLedger,
     /// Deterministic RNG for execution-time noise.
     pub rng: SmallRng,
     /// Extra delay the next iteration of a group must absorb (VMM remaps).
@@ -221,6 +225,7 @@ impl ClusterState {
             pending_transfers: HashMap::new(),
             pending_reconfigs: Vec::new(),
             donations: Vec::new(),
+            prefix: PrefixLedger::new(),
             rng,
             pending_overhead: HashMap::new(),
             transfer_batches: HashMap::new(),
@@ -452,6 +457,33 @@ impl ClusterState {
             .unwrap_or_else(|| panic!("no live group serves model {model}"))
     }
 
+    /// Records the dispatcher's decision for an arriving request: binds it
+    /// to `group` and settles its shared-prefix credit against the prefix
+    /// ledger. Both executors route every arrival through here, so prefix
+    /// accounting is executor-invariant: the hit/miss decision happens at
+    /// dispatch time and is encoded in the request's `prefix_credit`, which
+    /// `prefill_target()` then applies identically under serial and
+    /// sharded admission.
+    pub fn note_dispatch(&mut self, id: RequestId, group: GroupId) {
+        self.requests[id.0].group = group;
+        let Some(p) = self.requests[id.0].spec.prefix else {
+            return;
+        };
+        match self.prefix.on_dispatch(group.0 as u64, p.group, p.tokens) {
+            PrefixOutcome::Hit => {
+                // Keep at least one prefill token so the prefill→decode
+                // transition (and first-token accounting) still fires.
+                let credit = p
+                    .tokens
+                    .min(self.requests[id.0].spec.input_tokens.saturating_sub(1));
+                self.requests[id.0].prefix_credit = credit;
+                self.metrics.prefix_saved_tokens += credit;
+            }
+            PrefixOutcome::FirstCompute => self.metrics.prefix_unique_tokens += p.tokens,
+            PrefixOutcome::Recompute => self.metrics.prefix_recompute_tokens += p.tokens,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Admission and release.
     // ------------------------------------------------------------------
@@ -491,6 +523,14 @@ impl ClusterState {
     pub fn preempt_recompute(&mut self, id: RequestId) {
         let group = self.requests[id.0].group;
         self.release_blocks(id);
+        // Dropping the victim's KV also drops its shared prefix from the
+        // serving group: the victim (requeued below, never re-dispatched)
+        // pays the recompute now; later dependents pay at dispatch.
+        if let Some(p) = self.requests[id.0].spec.prefix {
+            if self.prefix.invalidate(group.0 as u64, p.group) {
+                self.metrics.prefix_recompute_tokens += p.tokens;
+            }
+        }
         let req = &mut self.requests[id.0];
         req.preempt_reset();
         req.state = ReqState::Queued;
@@ -1744,6 +1784,10 @@ impl ClusterState {
         // regrows the lenders' pools.
         self.reclaim_matching(|d| d.borrower_group == gid, false, true, now);
 
+        // Every shared prefix resident on the dead group died with its
+        // block manager; dependents dispatched later recompute.
+        self.prefix.invalidate_group(gid.0 as u64);
+
         // Collect every request the dying group was responsible for.
         let mut to_requeue: Vec<RequestId> = Vec::new();
         for &r in old.running.iter().chain(&old.stalled) {
@@ -1799,6 +1843,14 @@ impl ClusterState {
             let dest = fallback.unwrap_or_else(|| new_ids[i % new_ids.len()]);
             {
                 let req = &mut self.requests[r.0];
+                // A requeued request re-prefills from scratch on `dest`
+                // without passing through dispatch again: any prefix credit
+                // it held is recompute work now.
+                if let Some(p) = req.spec.prefix {
+                    if req.prefix_credit > 0 {
+                        self.metrics.prefix_recompute_tokens += p.tokens;
+                    }
+                }
                 req.preempt_reset();
                 req.state = ReqState::Queued;
                 req.group = dest;
@@ -1826,6 +1878,44 @@ impl ClusterState {
             ),
         );
         new_ids
+    }
+
+    /// Fails every still-live instance in rack `rack` (a correlated
+    /// power/ToR failure domain, sized by [`ClusterConfig::rack_size`]).
+    ///
+    /// Instances are failed in id order; a group rebuilt for an earlier
+    /// victim's survivor can itself die when a later victim in the same
+    /// rack belongs to it, so the returned replacement-group list keeps
+    /// only groups still alive once the whole rack is down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is unracked (`rack_size == 0`), or if the rack
+    /// held the last capacity of some model (`fail_instance`'s invariant).
+    pub fn fail_rack(&mut self, rack: u32, now: SimTime) -> Vec<GroupId> {
+        assert!(
+            self.cfg.rack_size > 0,
+            "fail_rack requires a racked config (rack_size > 0)"
+        );
+        let members = self.cfg.instances_in_rack(rack);
+        let mut rebuilt: Vec<GroupId> = Vec::new();
+        for &i in &members {
+            // Group slots are append-only, so a previously failed
+            // instance's group pointer stays dead forever: skip it.
+            if !self.group_alive(self.instances[i as usize].group) {
+                continue;
+            }
+            rebuilt.extend(self.fail_instance(InstanceId(i), now));
+        }
+        rebuilt.retain(|&g| self.group_alive(g));
+        self.metrics.on_reconfig(
+            now,
+            format!(
+                "rack-failure: rack {rack} down ({} instances)",
+                members.len()
+            ),
+        );
+        rebuilt
     }
 
     // ------------------------------------------------------------------

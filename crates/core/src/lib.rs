@@ -70,4 +70,4 @@ pub use plan::{
     PlanGroup,
 };
 pub use policy::{KunServeConfig, KunServePolicy};
-pub use serving::{run_system, RunOutcome, SystemKind};
+pub use serving::{run_system, run_system_with_failures, RunOutcome, SystemKind};

@@ -1,7 +1,8 @@
 //! One-call API to run any of the paper's five systems on a trace.
 
 use cluster::{
-    ClusterConfig, ClusterState, Engine, ParallelConfig, Policy, RunReport, ShardedEngine,
+    ClusterConfig, ClusterState, Engine, FailureInjector, FailureSchedule, ParallelConfig, Policy,
+    RunReport, ShardedEngine,
 };
 use sim_core::SimDuration;
 use workload::Trace;
@@ -104,6 +105,31 @@ pub fn run_system(
     let cfg = kind.adjust_config(cfg);
     let policy = kind.build_policy();
     let mut engine = Engine::new(cfg, policy);
+    let report = engine.run(trace, drain);
+    RunOutcome {
+        name: kind.name(),
+        report,
+        state: engine.into_state(),
+        span: trace.duration() + drain,
+    }
+}
+
+/// Runs `kind` over `trace` while injecting the correlated rack failures
+/// in `schedule` (the failure-storm scenario): the policy is wrapped in a
+/// [`FailureInjector`] that fires every due [`FailureSchedule`] event at
+/// monitor ticks before delegating, so each system faces the same scripted
+/// storm while making its own recovery decisions. Requires a racked
+/// config (`cfg.rack_size > 0`).
+pub fn run_system_with_failures(
+    kind: SystemKind,
+    cfg: ClusterConfig,
+    trace: &Trace,
+    drain: SimDuration,
+    schedule: &FailureSchedule,
+) -> RunOutcome {
+    let cfg = kind.adjust_config(cfg);
+    let policy = FailureInjector::new(kind.build_policy(), schedule);
+    let mut engine = Engine::new(cfg, Box::new(policy) as Box<dyn Policy>);
     let report = engine.run(trace, drain);
     RunOutcome {
         name: kind.name(),

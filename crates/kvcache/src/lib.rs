@@ -10,6 +10,10 @@
 //!   KVCache region and shrinks again on restore.
 //! - [`HostSwapPool`]: host-DRAM staging area used by the swap baseline
 //!   (InferCept) and by fault-tolerant parameter restoration.
+//! - [`PrefixLedger`]: shared-prompt prefix residency accounting — a
+//!   dropped prefix charges recompute once per dependent admitted after
+//!   the eviction (the shared-prefix scenario's bounded-amplification
+//!   gate).
 //!
 //! # Examples
 //!
@@ -31,10 +35,12 @@
 
 pub mod error;
 pub mod manager;
+pub mod prefix;
 pub mod swap;
 
 pub use error::KvError;
 pub use manager::{BlockId, BlockManager, ExtentTag, Loan, SeqKey};
+pub use prefix::{PrefixLedger, PrefixOutcome};
 pub use swap::HostSwapPool;
 
 /// Convenience alias for fallible KVCache operations.

@@ -116,6 +116,31 @@ impl BurstTraceBuilder {
             .product()
     }
 
+    /// Expected request count of the configured envelope: the exact
+    /// integral of the piecewise-constant rate over `[0, duration)`.
+    ///
+    /// The envelope is constant between phase boundaries, so the integral
+    /// is a finite sum of `rate × segment` terms — the analytic target the
+    /// rate-conservation proptests hold [`BurstTraceBuilder::build`] to.
+    pub fn expected_requests(&self) -> f64 {
+        let end = self.duration.as_secs_f64();
+        let mut cuts = vec![0.0, end];
+        for p in &self.phases {
+            let s = (p.start - SimTime::ZERO).as_secs_f64();
+            let e = (p.start + p.duration - SimTime::ZERO).as_secs_f64();
+            cuts.push(s.clamp(0.0, end));
+            cuts.push(e.clamp(0.0, end));
+        }
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup();
+        cuts.windows(2)
+            .map(|w| {
+                let mid = SimTime::from_secs_f64((w[0] + w[1]) / 2.0);
+                self.base_rps * self.multiplier_at(mid) * (w[1] - w[0])
+            })
+            .sum()
+    }
+
     /// Generates the trace.
     ///
     /// Arrivals are drawn by thinning a homogeneous Poisson process at the
@@ -150,6 +175,7 @@ impl BurstTraceBuilder {
                     arrival: now,
                     input_tokens,
                     output_tokens,
+                    prefix: None,
                 });
             }
         }
@@ -229,6 +255,22 @@ mod tests {
         assert_eq!(b.multiplier_at(SimTime::from_secs(17)), 6.0);
         assert_eq!(b.multiplier_at(SimTime::from_secs(22)), 3.0);
         assert_eq!(b.multiplier_at(SimTime::from_secs(30)), 1.0);
+    }
+
+    #[test]
+    fn expected_requests_integrates_the_envelope() {
+        // 100 s at 20 rps, with a 2× phase over 50 s: 2000 + 1000 extra.
+        let b = BurstTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(20.0)
+            .duration(SimDuration::from_secs(100))
+            .burst(SimTime::from_secs(25), SimDuration::from_secs(50), 2.0);
+        assert!((b.expected_requests() - 3000.0).abs() < 1e-6);
+        // A phase sticking out past the trace end is clipped.
+        let c = BurstTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(10.0)
+            .duration(SimDuration::from_secs(60))
+            .burst(SimTime::from_secs(50), SimDuration::from_secs(100), 3.0);
+        assert!((c.expected_requests() - (600.0 + 2.0 * 10.0 * 10.0)).abs() < 1e-6);
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Multi-day diurnal rate envelopes: a slow sinusoidal tide plus seeded
+//! high-frequency noise.
+//!
+//! Production serving load is not a step burst — it is a day/night tide
+//! whose peaks and troughs differ by 2–4× and whose minute-scale texture is
+//! noisy (eLLM's inflation/deflation motivation). The builder composes a
+//! sinusoid at the diurnal period with a small bank of faster seeded
+//! sinusoids, and thins a homogeneous Poisson process at the analytic peak
+//! rate — the same exact-sampling scheme as
+//! [`crate::arrivals::BurstTraceBuilder`], just with a smooth envelope.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim_core::{SimDuration, SimTime};
+
+use crate::dataset::Dataset;
+use crate::trace::{ModelId, RequestSpec, Trace};
+
+/// Builder for diurnal (sinusoid + noise) traces.
+///
+/// The instantaneous rate is
+///
+/// ```text
+/// rate(t) = base · (1 + amplitude · sin(2π(t/period + phase)))
+///               · (1 + Σ_k (noise_amp/K) · sin(2π(f_k·t + φ_k)))
+/// ```
+///
+/// with `K = noise_waves` frequencies `f_k` and phases `φ_k` drawn once
+/// from the seed. `amplitude, noise_amp ∈ [0, 1)` keep the rate positive.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{Dataset, DiurnalTraceBuilder};
+/// use sim_core::SimDuration;
+///
+/// // Two compressed "days" of 30 s each.
+/// let trace = DiurnalTraceBuilder::new(Dataset::BurstGpt)
+///     .base_rps(20.0)
+///     .period(SimDuration::from_secs(30))
+///     .days(2.0)
+///     .amplitude(0.6)
+///     .seed(7)
+///     .build();
+/// assert!(trace.len() > 600);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiurnalTraceBuilder {
+    dataset: Dataset,
+    base_rps: f64,
+    period: SimDuration,
+    days: f64,
+    amplitude: f64,
+    phase: f64,
+    noise_amp: f64,
+    noise_waves: u32,
+    seed: u64,
+    model: ModelId,
+}
+
+impl DiurnalTraceBuilder {
+    /// Creates a builder for `dataset` with defaults: 10 rps mean, one
+    /// 60 s "day", 0.5 amplitude, 0.15 noise over 3 waves, seed 0.
+    pub fn new(dataset: Dataset) -> Self {
+        DiurnalTraceBuilder {
+            dataset,
+            base_rps: 10.0,
+            period: SimDuration::from_secs(60),
+            days: 1.0,
+            amplitude: 0.5,
+            phase: 0.0,
+            noise_amp: 0.15,
+            noise_waves: 3,
+            seed: 0,
+            model: ModelId::PRIMARY,
+        }
+    }
+
+    /// Sets the mean (tide-averaged) request rate.
+    pub fn base_rps(mut self, rps: f64) -> Self {
+        assert!(rps > 0.0, "base rate must be positive");
+        self.base_rps = rps;
+        self
+    }
+
+    /// Sets the diurnal period (one simulated "day").
+    pub fn period(mut self, period: SimDuration) -> Self {
+        assert!(period > SimDuration::ZERO, "period must be positive");
+        self.period = period;
+        self
+    }
+
+    /// Sets the trace length in periods (fractional days allowed).
+    pub fn days(mut self, days: f64) -> Self {
+        assert!(days > 0.0, "days must be positive");
+        self.days = days;
+        self
+    }
+
+    /// Sets the tide amplitude (peak/trough swing), in `[0, 1)`.
+    pub fn amplitude(mut self, amplitude: f64) -> Self {
+        assert!((0.0..1.0).contains(&amplitude), "amplitude in [0, 1)");
+        self.amplitude = amplitude;
+        self
+    }
+
+    /// Shifts the tide by `phase` periods (0.25 puts the peak at t = 0).
+    pub fn phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Sets the total noise amplitude, in `[0, 1)`, split across
+    /// `noise_waves` seeded sinusoids.
+    pub fn noise(mut self, noise_amp: f64, noise_waves: u32) -> Self {
+        assert!((0.0..1.0).contains(&noise_amp), "noise_amp in [0, 1)");
+        self.noise_amp = noise_amp;
+        self.noise_waves = noise_waves;
+        self
+    }
+
+    /// Sets the RNG seed (noise bank and arrival sampling).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Tags every generated request with `model`.
+    pub fn model(mut self, model: ModelId) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Trace length: `days × period`.
+    pub fn span(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.period.as_secs_f64() * self.days)
+    }
+
+    /// The seeded noise bank: `(frequency_hz, phase)` per wave. Derived
+    /// from the seed alone, so `rate_at` agrees between `build`,
+    /// `expected_requests` and external callers.
+    fn noise_bank(&self) -> Vec<(f64, f64)> {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0xD1F5_EED0);
+        let day = self.period.as_secs_f64();
+        (0..self.noise_waves)
+            .map(|_| {
+                // Faster than the tide: 3–17 cycles per period.
+                let freq = rng.gen_range(3.0..17.0) / day;
+                let phase = rng.gen_range(0.0..1.0);
+                (freq, phase)
+            })
+            .collect()
+    }
+
+    /// The instantaneous arrival rate at `t` seconds into the trace.
+    pub fn rate_at(&self, t_secs: f64) -> f64 {
+        use std::f64::consts::TAU;
+        let day = self.period.as_secs_f64();
+        let tide = 1.0 + self.amplitude * (TAU * (t_secs / day + self.phase)).sin();
+        let per_wave = if self.noise_waves == 0 {
+            0.0
+        } else {
+            self.noise_amp / self.noise_waves as f64
+        };
+        let noise: f64 = self
+            .noise_bank()
+            .iter()
+            .map(|&(f, p)| per_wave * (TAU * (f * t_secs + p)).sin())
+            .sum();
+        (self.base_rps * tide * (1.0 + noise)).max(0.0)
+    }
+
+    /// Analytic upper bound on the rate (the thinning peak).
+    pub fn peak_rps(&self) -> f64 {
+        self.base_rps * (1.0 + self.amplitude) * (1.0 + self.noise_amp)
+    }
+
+    /// Expected request count: the envelope's integral over the span,
+    /// trapezoid-summed at 4096 steps (the envelope is smooth and
+    /// band-limited, so this is far tighter than Poisson sampling noise).
+    pub fn expected_requests(&self) -> f64 {
+        let end = self.span().as_secs_f64();
+        let steps = 4096usize;
+        let h = end / steps as f64;
+        let mut sum = (self.rate_at(0.0) + self.rate_at(end)) / 2.0;
+        for i in 1..steps {
+            sum += self.rate_at(i as f64 * h);
+        }
+        sum * h
+    }
+
+    /// Generates the trace by thinning at [`DiurnalTraceBuilder::peak_rps`].
+    pub fn build(&self) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let sampler = self.dataset.sampler();
+        let peak = self.peak_rps();
+        let end = self.span().as_secs_f64();
+        let mut requests = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / peak;
+            if t >= end {
+                break;
+            }
+            let accept_p = self.rate_at(t) / peak;
+            if rng.gen_bool(accept_p.clamp(0.0, 1.0)) {
+                let (input_tokens, output_tokens) = sampler.sample(&mut rng);
+                requests.push(RequestSpec {
+                    id: 0,
+                    model: self.model,
+                    arrival: SimTime::from_secs_f64(t),
+                    input_tokens,
+                    output_tokens,
+                    prefix: None,
+                });
+            }
+        }
+        Trace::new(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tide_peaks_and_troughs_differ() {
+        let t = DiurnalTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(30.0)
+            .period(SimDuration::from_secs(40))
+            .days(2.0)
+            .amplitude(0.7)
+            .phase(0.25) // peak at t = 0, trough at t = period/2
+            .noise(0.0, 0)
+            .seed(5)
+            .build();
+        let count = |a: f64, b: f64| {
+            t.requests
+                .iter()
+                .filter(|r| {
+                    r.arrival >= SimTime::from_secs_f64(a) && r.arrival < SimTime::from_secs_f64(b)
+                })
+                .count() as f64
+        };
+        // Peak windows (around t = 0 and t = 40) vs trough (around t = 20).
+        let peak = (count(0.0, 8.0) + count(36.0, 44.0)) / 16.0;
+        let trough = count(16.0, 24.0) / 8.0;
+        assert!(
+            peak > 3.0 * trough,
+            "peak {peak:.1} rps vs trough {trough:.1} rps"
+        );
+    }
+
+    #[test]
+    fn mean_rate_tracks_expected_requests() {
+        let b = DiurnalTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(25.0)
+            .period(SimDuration::from_secs(50))
+            .days(3.0)
+            .amplitude(0.5)
+            .noise(0.2, 4)
+            .seed(11);
+        let t = b.build();
+        let expected = b.expected_requests();
+        let err = (t.len() as f64 - expected).abs() / expected;
+        assert!(err < 0.10, "count {} vs expected {expected:.0}", t.len());
+        // Whole periods integrate the tide away: expected ≈ base × span.
+        let flat = b.base_rps * b.span().as_secs_f64();
+        assert!(
+            (expected - flat).abs() / flat < 0.05,
+            "expected {expected:.0} vs flat {flat:.0}"
+        );
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let mk = |seed| {
+            DiurnalTraceBuilder::new(Dataset::ShareGpt)
+                .base_rps(15.0)
+                .period(SimDuration::from_secs(30))
+                .days(1.5)
+                .seed(seed)
+                .build()
+        };
+        let a = mk(9);
+        let b = mk(9);
+        assert_eq!(a.requests, b.requests);
+        assert_ne!(mk(9).requests, mk(10).requests);
+    }
+
+    #[test]
+    fn rate_never_exceeds_peak() {
+        let b = DiurnalTraceBuilder::new(Dataset::BurstGpt)
+            .amplitude(0.8)
+            .noise(0.3, 5)
+            .seed(3);
+        let peak = b.peak_rps();
+        let end = b.span().as_secs_f64();
+        for i in 0..=1000 {
+            let r = b.rate_at(end * i as f64 / 1000.0);
+            assert!(r >= 0.0 && r <= peak + 1e-9, "rate {r} vs peak {peak}");
+        }
+    }
+}

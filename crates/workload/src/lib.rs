@@ -19,6 +19,16 @@
 //!   temporal pattern (§5.1).
 //! - [`extreme_burst`]: the Fig. 17 methodology — replay the burst until
 //!   every system runs out of memory.
+//!
+//! The scenario-matrix generators extend the regression surface past the
+//! paper's short bursts:
+//!
+//! - [`DiurnalTraceBuilder`]: multi-day sinusoid + noise rate envelopes
+//!   (slow tide, not step bursts).
+//! - [`PopularityTraceBuilder`]: many models on a Zipf long tail with
+//!   cold-start arrival storms.
+//! - [`SharedPrefixTraceBuilder`]: requests tagged with a [`SharedPrefix`]
+//!   group for prefix-aware KV accounting.
 
 // `unsafe` is confined to the audited allowlist in `simlint::config`
 // (today: `cluster/src/shard.rs` only); everything else refuses it at
@@ -27,8 +37,14 @@
 
 pub mod arrivals;
 pub mod dataset;
+pub mod diurnal;
+pub mod popularity;
+pub mod prefix;
 pub mod trace;
 
 pub use arrivals::{BurstPhase, BurstTraceBuilder};
 pub use dataset::{Dataset, LengthSampler};
-pub use trace::{extreme_burst, ModelId, RequestSpec, Trace};
+pub use diurnal::DiurnalTraceBuilder;
+pub use popularity::PopularityTraceBuilder;
+pub use prefix::SharedPrefixTraceBuilder;
+pub use trace::{extreme_burst, ModelId, RequestSpec, SharedPrefix, Trace};

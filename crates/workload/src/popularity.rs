@@ -1,0 +1,269 @@
+//! Long-tail model popularity with cold-start arrival clustering.
+//!
+//! Serverless multi-model serving (the C2CServe framing) routes a steady
+//! background of traffic over many models ranked by a Zipf popularity law,
+//! punctuated by *cold-start storms*: a burst of clustered arrivals landing
+//! on one cold-tail model that has seen no recent traffic. The builder
+//! generates both components deterministically from one seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim_core::{SimDuration, SimTime};
+
+use crate::dataset::Dataset;
+use crate::trace::{ModelId, RequestSpec, Trace};
+
+/// Builder for Zipf-popularity traces with cold-start storms.
+///
+/// Background arrivals form a homogeneous Poisson process at `base_rps`;
+/// each request's model is drawn from a Zipf(`zipf_s`) law over
+/// `num_models` ranks (model id 0 is the most popular). Storms arrive as
+/// their own Poisson process at `storm_rate`; each storm picks a model
+/// uniformly from the *cold half* of the ranking and drops `storm_size`
+/// requests within a `storm_spread` window — the cold-start cluster.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{Dataset, PopularityTraceBuilder};
+/// use sim_core::SimDuration;
+///
+/// let trace = PopularityTraceBuilder::new(Dataset::BurstGpt, 6)
+///     .base_rps(20.0)
+///     .duration(SimDuration::from_secs(30))
+///     .storms(0.1, 25, SimDuration::from_secs(2))
+///     .seed(3)
+///     .build();
+/// assert!(trace.models().len() > 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PopularityTraceBuilder {
+    dataset: Dataset,
+    num_models: u32,
+    zipf_s: f64,
+    base_rps: f64,
+    duration: SimDuration,
+    storm_rate: f64,
+    storm_size: u32,
+    storm_spread: SimDuration,
+    seed: u64,
+}
+
+impl PopularityTraceBuilder {
+    /// Creates a builder over `num_models` ranks with defaults: Zipf
+    /// exponent 1.1, 10 rps background, 60 s, no storms, seed 0.
+    pub fn new(dataset: Dataset, num_models: u32) -> Self {
+        assert!(num_models >= 1, "at least one model");
+        PopularityTraceBuilder {
+            dataset,
+            num_models,
+            zipf_s: 1.1,
+            base_rps: 10.0,
+            duration: SimDuration::from_secs(60),
+            storm_rate: 0.0,
+            storm_size: 0,
+            storm_spread: SimDuration::from_secs(1),
+            seed: 0,
+        }
+    }
+
+    /// Sets the Zipf exponent (larger = steeper head).
+    pub fn zipf(mut self, s: f64) -> Self {
+        assert!(s > 0.0, "zipf exponent must be positive");
+        self.zipf_s = s;
+        self
+    }
+
+    /// Sets the background request rate (aggregate over all models).
+    pub fn base_rps(mut self, rps: f64) -> Self {
+        assert!(rps > 0.0, "base rate must be positive");
+        self.base_rps = rps;
+        self
+    }
+
+    /// Sets the trace length.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Enables cold-start storms: Poisson storm arrivals at `rate` per
+    /// second, each clustering `size` requests on one cold-tail model
+    /// within a `spread` window.
+    pub fn storms(mut self, rate: f64, size: u32, spread: SimDuration) -> Self {
+        assert!(rate >= 0.0, "storm rate must be non-negative");
+        self.storm_rate = rate;
+        self.storm_size = size;
+        self.storm_spread = spread;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Cumulative Zipf weights over the ranks (last entry = 1).
+    fn zipf_cdf(&self) -> Vec<f64> {
+        let mut cdf: Vec<f64> = Vec::with_capacity(self.num_models as usize);
+        let mut acc = 0.0;
+        for rank in 0..self.num_models {
+            acc += 1.0 / ((rank + 1) as f64).powf(self.zipf_s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for w in &mut cdf {
+            *w /= total;
+        }
+        cdf
+    }
+
+    /// Expected request count of the configured process (background plus
+    /// mean storm mass).
+    pub fn expected_requests(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        self.base_rps * secs + self.storm_rate * secs * self.storm_size as f64
+    }
+
+    /// Generates the trace.
+    pub fn build(&self) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let sampler = self.dataset.sampler();
+        let cdf = self.zipf_cdf();
+        let end = self.duration.as_secs_f64();
+        let mut requests = Vec::new();
+
+        // Background: Poisson at base_rps, Zipf-ranked model per request.
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / self.base_rps;
+            if t >= end {
+                break;
+            }
+            let pick: f64 = rng.gen_range(0.0..1.0);
+            let rank = cdf.partition_point(|&c| c < pick) as u32;
+            let (input_tokens, output_tokens) = sampler.sample(&mut rng);
+            requests.push(RequestSpec {
+                id: 0,
+                model: ModelId(rank.min(self.num_models - 1)),
+                arrival: SimTime::from_secs_f64(t),
+                input_tokens,
+                output_tokens,
+                prefix: None,
+            });
+        }
+
+        // Storms: Poisson storm starts, each clustered on a cold-half model.
+        if self.storm_rate > 0.0 && self.storm_size > 0 {
+            let cold_from = self.num_models / 2;
+            let spread = self.storm_spread.as_secs_f64();
+            let mut s = 0.0f64;
+            loop {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                s += -u.ln() / self.storm_rate;
+                if s >= end {
+                    break;
+                }
+                let model = ModelId(rng.gen_range(cold_from..self.num_models));
+                for _ in 0..self.storm_size {
+                    let at = s + rng.gen_range(0.0..spread.max(1e-6));
+                    let (input_tokens, output_tokens) = sampler.sample(&mut rng);
+                    requests.push(RequestSpec {
+                        id: 0,
+                        model,
+                        arrival: SimTime::from_secs_f64(at),
+                        input_tokens,
+                        output_tokens,
+                        prefix: None,
+                    });
+                }
+            }
+        }
+        Trace::new(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popularity_follows_a_long_tail() {
+        let t = PopularityTraceBuilder::new(Dataset::BurstGpt, 8)
+            .base_rps(80.0)
+            .duration(SimDuration::from_secs(60))
+            .zipf(1.2)
+            .seed(1)
+            .build();
+        let count = |m: u32| t.requests.iter().filter(|r| r.model.0 == m).count();
+        // Head rank clearly dominates the mid-tail, which dominates the
+        // cold tail (Zipf monotonicity, with sampling slack).
+        assert!(
+            count(0) > 2 * count(3),
+            "head {} mid {}",
+            count(0),
+            count(3)
+        );
+        assert!(
+            count(0) > 4 * count(7),
+            "head {} cold {}",
+            count(0),
+            count(7)
+        );
+    }
+
+    #[test]
+    fn storms_cluster_on_cold_models() {
+        let quiet = PopularityTraceBuilder::new(Dataset::BurstGpt, 6)
+            .base_rps(10.0)
+            .duration(SimDuration::from_secs(40))
+            .seed(4);
+        let stormy = quiet.clone().storms(0.2, 30, SimDuration::from_secs(2));
+        let q = quiet.build();
+        let s = stormy.build();
+        assert!(
+            s.len() > q.len() + 60,
+            "storms add mass: {} vs {}",
+            s.len(),
+            q.len()
+        );
+        // Storm mass lands on the cold half (ranks 3..6).
+        let cold = |t: &Trace| t.requests.iter().filter(|r| r.model.0 >= 3).count();
+        assert!(cold(&s) > cold(&q) + 50, "cold-tail clustering");
+        // Expected-count accounting includes the storm mass.
+        let err = (s.len() as f64 - stormy.expected_requests()).abs() / stormy.expected_requests();
+        assert!(
+            err < 0.25,
+            "count {} vs expected {:.0}",
+            s.len(),
+            stormy.expected_requests()
+        );
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let mk = |seed| {
+            PopularityTraceBuilder::new(Dataset::ShareGpt, 12)
+                .base_rps(25.0)
+                .duration(SimDuration::from_secs(20))
+                .storms(0.15, 10, SimDuration::from_secs(1))
+                .seed(seed)
+                .build()
+        };
+        assert_eq!(mk(42).requests, mk(42).requests);
+        assert_ne!(mk(42).requests, mk(43).requests);
+    }
+
+    #[test]
+    fn model_ids_stay_in_range() {
+        let t = PopularityTraceBuilder::new(Dataset::BurstGpt, 5)
+            .base_rps(50.0)
+            .duration(SimDuration::from_secs(30))
+            .storms(0.3, 15, SimDuration::from_secs(1))
+            .seed(8)
+            .build();
+        assert!(t.requests.iter().all(|r| r.model.0 < 5));
+    }
+}

@@ -1,0 +1,239 @@
+//! Shared-prefix workloads: requests whose prompts open with a common
+//! system-prompt / few-shot template shared across a prefix group.
+//!
+//! Each generated request carries a [`SharedPrefix`] tag; the prefix tokens
+//! are *included* in `input_tokens`, so prefix-oblivious systems run the
+//! trace unchanged while prefix-aware KV accounting (the `cluster` crate's
+//! `PrefixLedger`) charges the shared tokens once per group instead of once
+//! per request — and charges them *again* for every dependent when a drop
+//! or preemption invalidates the group's resident prefix.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sim_core::{SimDuration, SimTime};
+
+use crate::arrivals::BurstPhase;
+use crate::dataset::Dataset;
+use crate::trace::{ModelId, RequestSpec, SharedPrefix, Trace};
+
+/// Builder for shared-prefix traces.
+///
+/// Arrivals come from the same thinned non-homogeneous Poisson process as
+/// [`crate::BurstTraceBuilder`] (base rate plus multiplicative burst
+/// phases). Each request joins one of `num_groups` prefix groups uniformly
+/// at random; every group has a fixed, seeded prefix length in
+/// `[min_prefix, max_prefix]`, prepended to the dataset-sampled prompt.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{Dataset, SharedPrefixTraceBuilder};
+/// use sim_core::SimDuration;
+///
+/// let trace = SharedPrefixTraceBuilder::new(Dataset::BurstGpt, 4)
+///     .base_rps(15.0)
+///     .duration(SimDuration::from_secs(20))
+///     .prefix_tokens(200, 600)
+///     .seed(1)
+///     .build();
+/// assert!(trace.requests.iter().all(|r| r.prefix.is_some()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedPrefixTraceBuilder {
+    dataset: Dataset,
+    num_groups: u32,
+    base_rps: f64,
+    duration: SimDuration,
+    phases: Vec<BurstPhase>,
+    min_prefix: u64,
+    max_prefix: u64,
+    seed: u64,
+    model: ModelId,
+}
+
+impl SharedPrefixTraceBuilder {
+    /// Creates a builder with `num_groups` prefix groups and defaults:
+    /// 10 rps, 60 s, prefixes of 200–800 tokens, seed 0.
+    pub fn new(dataset: Dataset, num_groups: u32) -> Self {
+        assert!(num_groups >= 1, "at least one prefix group");
+        SharedPrefixTraceBuilder {
+            dataset,
+            num_groups,
+            base_rps: 10.0,
+            duration: SimDuration::from_secs(60),
+            phases: Vec::new(),
+            min_prefix: 200,
+            max_prefix: 800,
+            seed: 0,
+            model: ModelId::PRIMARY,
+        }
+    }
+
+    /// Sets the base request rate.
+    pub fn base_rps(mut self, rps: f64) -> Self {
+        assert!(rps > 0.0, "base rate must be positive");
+        self.base_rps = rps;
+        self
+    }
+
+    /// Sets the trace length.
+    pub fn duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Adds a burst phase (rate × `multiplier` inside the window).
+    pub fn burst(mut self, start: SimTime, duration: SimDuration, multiplier: f64) -> Self {
+        assert!(multiplier > 0.0, "multiplier must be positive");
+        self.phases.push(BurstPhase {
+            start,
+            duration,
+            multiplier,
+        });
+        self
+    }
+
+    /// Sets the per-group prefix length range (inclusive).
+    pub fn prefix_tokens(mut self, min: u64, max: u64) -> Self {
+        assert!(min >= 1 && min <= max, "need 1 <= min <= max");
+        self.min_prefix = min;
+        self.max_prefix = max;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Tags every generated request with `model`.
+    pub fn model(mut self, model: ModelId) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The rate multiplier in effect at `t` (product of active phases).
+    fn multiplier_at(&self, t: SimTime) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.contains(t))
+            .map(|p| p.multiplier)
+            .product()
+    }
+
+    /// Generates the trace.
+    pub fn build(&self) -> Trace {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let sampler = self.dataset.sampler();
+        // Fixed per-group prefix lengths, seeded once.
+        let group_prefix: Vec<u64> = (0..self.num_groups)
+            .map(|_| rng.gen_range(self.min_prefix..=self.max_prefix))
+            .collect();
+        let peak_rps = self.base_rps
+            * self
+                .phases
+                .iter()
+                .map(|p| p.multiplier)
+                .fold(1.0, f64::max)
+                .max(1.0);
+        let end = self.duration.as_secs_f64();
+        let mut requests = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / peak_rps;
+            if t >= end {
+                break;
+            }
+            let now = SimTime::from_secs_f64(t);
+            let accept_p = self.base_rps * self.multiplier_at(now) / peak_rps;
+            if rng.gen_bool(accept_p.clamp(0.0, 1.0)) {
+                let group = rng.gen_range(0..self.num_groups);
+                let tokens = group_prefix[group as usize];
+                let (body_tokens, output_tokens) = sampler.sample(&mut rng);
+                requests.push(RequestSpec {
+                    id: 0,
+                    model: self.model,
+                    arrival: now,
+                    // The shared prefix is part of the prompt, so the total
+                    // input strictly exceeds the prefix.
+                    input_tokens: tokens + body_tokens.max(1),
+                    output_tokens,
+                    prefix: Some(SharedPrefix { group, tokens }),
+                });
+            }
+        }
+        Trace::new(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_builder() -> SharedPrefixTraceBuilder {
+        SharedPrefixTraceBuilder::new(Dataset::BurstGpt, 4)
+            .base_rps(25.0)
+            .duration(SimDuration::from_secs(30))
+            .prefix_tokens(100, 400)
+            .seed(6)
+    }
+
+    #[test]
+    fn every_request_has_a_group_and_consistent_length() {
+        let t = smoke_builder().build();
+        assert!(t.len() > 400);
+        for r in &t.requests {
+            let p = r.prefix.expect("prefix tag");
+            assert!(p.group < 4);
+            assert!(
+                p.tokens < r.input_tokens,
+                "prefix {} must be a strict subset of input {}",
+                p.tokens,
+                r.input_tokens
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_length_is_constant_within_a_group() {
+        let t = smoke_builder().build();
+        let mut len_of = [None; 4];
+        for r in &t.requests {
+            let p = r.prefix.unwrap();
+            match len_of[p.group as usize] {
+                None => len_of[p.group as usize] = Some(p.tokens),
+                Some(l) => assert_eq!(l, p.tokens, "group {} length drifted", p.group),
+            }
+        }
+        assert!(len_of.iter().all(|l| l.is_some()), "all groups sampled");
+    }
+
+    #[test]
+    fn bursts_raise_the_local_rate() {
+        let t = SharedPrefixTraceBuilder::new(Dataset::BurstGpt, 3)
+            .base_rps(20.0)
+            .duration(SimDuration::from_secs(60))
+            .burst(SimTime::from_secs(30), SimDuration::from_secs(20), 3.0)
+            .seed(2)
+            .build();
+        let count = |a: u64, b: u64| {
+            t.requests
+                .iter()
+                .filter(|r| r.arrival >= SimTime::from_secs(a) && r.arrival < SimTime::from_secs(b))
+                .count() as f64
+        };
+        let quiet = count(0, 30) / 30.0;
+        let burst = count(30, 50) / 20.0;
+        assert!(burst / quiet > 2.0, "burst ratio {:.2}", burst / quiet);
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let a = smoke_builder().build();
+        let b = smoke_builder().build();
+        assert_eq!(a.requests, b.requests);
+        assert_ne!(a.requests, smoke_builder().seed(7).build().requests);
+    }
+}

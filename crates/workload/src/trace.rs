@@ -21,6 +21,23 @@ impl std::fmt::Display for ModelId {
     }
 }
 
+/// A shared prompt prefix: `tokens` leading prompt tokens identical across
+/// every request carrying the same `(model, group)` pair — the system-prompt
+/// / few-shot-template sharing pattern of agentic workloads.
+///
+/// The prefix tokens are *included* in the request's `input_tokens`
+/// (`tokens < input_tokens` always), so a trace runs unchanged on a cluster
+/// that ignores sharing; prefix-aware KV accounting only changes who pays
+/// for those tokens, never how many there are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SharedPrefix {
+    /// Prefix-group id (scoped to the request's model).
+    pub group: u32,
+    /// Shared leading tokens, strictly less than the request's
+    /// `input_tokens`.
+    pub tokens: u64,
+}
+
 /// One request of a workload trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestSpec {
@@ -34,12 +51,19 @@ pub struct RequestSpec {
     pub input_tokens: u64,
     /// Output length in tokens (how long the model will generate).
     pub output_tokens: u64,
+    /// Shared-prefix membership (`None` for independent prompts).
+    pub prefix: Option<SharedPrefix>,
 }
 
 impl RequestSpec {
     /// Total KVCache tokens this request will hold when finished.
     pub fn total_tokens(&self) -> u64 {
         self.input_tokens + self.output_tokens
+    }
+
+    /// Shared leading prompt tokens (0 for independent prompts).
+    pub fn prefix_tokens(&self) -> u64 {
+        self.prefix.map_or(0, |p| p.tokens)
     }
 }
 
@@ -52,8 +76,13 @@ pub struct Trace {
 
 impl Trace {
     /// Builds a trace from requests, sorting by arrival and re-assigning ids.
+    ///
+    /// Equal-arrival requests tie-break on model id (then on the stable
+    /// input order), so merging per-model splits back together reproduces
+    /// the original ordering even when two models collide on an arrival
+    /// microsecond.
     pub fn new(mut requests: Vec<RequestSpec>) -> Self {
-        requests.sort_by_key(|r| r.arrival);
+        requests.sort_by_key(|r| (r.arrival, r.model));
         for (i, r) in requests.iter_mut().enumerate() {
             r.id = i as u64;
         }
@@ -188,6 +217,7 @@ impl Trace {
                     arrival: r.arrival + SimDuration::from_micros(jitter_us),
                     input_tokens: r.input_tokens,
                     output_tokens: r.output_tokens,
+                    prefix: r.prefix,
                 });
             }
         }
@@ -239,7 +269,31 @@ mod tests {
             arrival: SimTime::from_millis(arrival_ms),
             input_tokens: input,
             output_tokens: output,
+            prefix: None,
         }
+    }
+
+    #[test]
+    fn equal_arrival_requests_tie_break_on_model() {
+        let mut a = spec(100, 1, 1);
+        let mut b = spec(100, 2, 2);
+        a.model = ModelId(1);
+        b.model = ModelId(0);
+        let t = Trace::new(vec![a, b]);
+        let models: Vec<u32> = t.requests.iter().map(|r| r.model.0).collect();
+        assert_eq!(models, vec![0, 1], "model id breaks arrival ties");
+    }
+
+    #[test]
+    fn prefix_tokens_accessor() {
+        let mut r = spec(0, 100, 10);
+        assert_eq!(r.prefix_tokens(), 0);
+        r.prefix = Some(SharedPrefix {
+            group: 3,
+            tokens: 40,
+        });
+        assert_eq!(r.prefix_tokens(), 40);
+        assert_eq!(r.total_tokens(), 110, "prefix is part of input_tokens");
     }
 
     #[test]

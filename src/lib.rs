@@ -47,10 +47,16 @@ pub use workload;
 /// One-line imports for examples and tests.
 pub mod prelude {
     pub use cluster::{
-        ClusterConfig, Engine, ParallelConfig, Policy, RunReport, ShardedEngine, Testbed,
+        ClusterConfig, Engine, FailureInjector, FailureSchedule, ParallelConfig, Policy, RunReport,
+        ShardedEngine, Testbed,
     };
-    pub use kunserve::serving::{run_system, run_system_sharded, RunOutcome, SystemKind};
+    pub use kunserve::serving::{
+        run_system, run_system_sharded, run_system_with_failures, RunOutcome, SystemKind,
+    };
     pub use kunserve::{KunServeConfig, KunServePolicy};
     pub use sim_core::{SimDuration, SimTime};
-    pub use workload::{BurstTraceBuilder, Dataset, Trace};
+    pub use workload::{
+        BurstTraceBuilder, Dataset, DiurnalTraceBuilder, PopularityTraceBuilder,
+        SharedPrefixTraceBuilder, Trace,
+    };
 }

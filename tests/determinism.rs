@@ -203,3 +203,87 @@ fn different_seeds_actually_differ() {
     let b = run_bytes(SystemKind::KunServe, 2);
     assert_ne!(a, b, "different trace seeds must produce different runs");
 }
+
+/// Every scenario-matrix generator is held to the trace-level determinism
+/// contract: same seed ⇒ byte-identical `Trace` (arrivals, lengths, model
+/// tags and shared-prefix annotations all included via `Debug`).
+#[test]
+fn scenario_generators_are_seed_deterministic() {
+    let diurnal = || {
+        DiurnalTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(30.0)
+            .period(SimDuration::from_secs(30))
+            .days(2.0)
+            .amplitude(0.7)
+            .noise(0.2, 4)
+            .seed(0xD1)
+            .build()
+    };
+    let popularity = || {
+        PopularityTraceBuilder::new(Dataset::BurstGpt, 6)
+            .zipf(1.1)
+            .base_rps(25.0)
+            .duration(SimDuration::from_secs(25))
+            .storms(0.15, 20, SimDuration::from_secs(3))
+            .seed(0xB0)
+            .build()
+    };
+    let prefix = || {
+        SharedPrefixTraceBuilder::new(Dataset::BurstGpt, 8)
+            .base_rps(35.0)
+            .duration(SimDuration::from_secs(20))
+            .burst(SimTime::from_secs(6), SimDuration::from_secs(7), 2.5)
+            .prefix_tokens(200, 800)
+            .seed(0x9F)
+            .build()
+    };
+    let pairs: [(&str, Trace, Trace); 3] = [
+        ("diurnal", diurnal(), diurnal()),
+        ("popularity", popularity(), popularity()),
+        ("shared-prefix", prefix(), prefix()),
+    ];
+    for (name, a, b) in &pairs {
+        assert!(!a.is_empty(), "{name}: generator produced no requests");
+        assert_eq!(
+            format!("{:?}", a.requests),
+            format!("{:?}", b.requests),
+            "{name}: same seed must reproduce the trace byte-for-byte"
+        );
+    }
+}
+
+/// The diurnal scenario through the sharded executor: byte-identical at
+/// 1, 2 and 4 workers, like every other workload shape.
+#[test]
+fn diurnal_scenario_byte_identical_across_worker_counts() {
+    let run = |workers: usize| {
+        let trace = DiurnalTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(40.0)
+            .period(SimDuration::from_secs(25))
+            .days(1.0)
+            .amplitude(0.8)
+            .noise(0.15, 3)
+            .seed(0xD1D)
+            .build();
+        let mut cfg = ClusterConfig::tiny_test(4);
+        cfg.reserve_frac = 0.45;
+        let out = run_system_sharded(
+            SystemKind::KunServe,
+            cfg,
+            &trace,
+            SimDuration::from_secs(600),
+            ParallelConfig {
+                workers,
+                num_shards: 4,
+                lookahead: None,
+            },
+        );
+        format!(
+            "{:?}|{:?}|{:?}",
+            out.report, out.report.per_model, out.state.metrics.reconfig_events
+        )
+    };
+    let one = run(1);
+    assert_eq!(one, run(2), "2 workers must match 1");
+    assert_eq!(one, run(4), "4 workers must match 1");
+}

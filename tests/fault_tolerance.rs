@@ -1,8 +1,15 @@
 //! Fault-tolerance tests (§4.4): an instance failure inside a pipeline
 //! group must not lose requests — survivors restore full parameter copies
-//! and all affected requests recompute and finish.
+//! and all affected requests recompute and finish. Rack-scoped correlated
+//! failures (the fig22 failure-storm regime) are held to the same
+//! contract, including mid-donation: force-reclaimed loans must leave the
+//! elastic-HBM ledger balanced.
 
-use cluster::{ClusterConfig, ClusterState, Engine, GroupId, InstanceId, Policy};
+use bench::MultiScenario;
+use cluster::{
+    ClusterConfig, ClusterState, Engine, FailureInjector, FailureSchedule, GroupId, InstanceId,
+    Policy,
+};
 use kunserve::{KunServeConfig, KunServePolicy};
 use kunserve_repro::prelude::*;
 
@@ -127,4 +134,69 @@ fn failure_without_prior_drop_also_recovers() {
     // Two survivors keep serving.
     let live: Vec<GroupId> = state.alive_groups();
     assert_eq!(live.len(), 2, "two survivor groups expected");
+}
+
+/// A rack dies while the lender model is actively donating memory to the
+/// starved borrower (the fig18 donation regime + the fig22 failure
+/// regime at once). The failed rack's loans are force-reclaimed during
+/// recovery; the elastic-HBM ledger must hold its invariants at every
+/// step, settle to zero outstanding bytes after the drain, and no request
+/// may be lost.
+#[test]
+fn rack_failure_during_active_donation_settles_the_ledger() {
+    let sc = MultiScenario::fig18_donation_smoke();
+    let mut cfg = sc.cfg.clone();
+    // tiny_two_model(4, 1): lender m0 on instances 0-3, borrower m1 on
+    // instance 4. Racks of 2 ⇒ {0,1}, {2,3}, {4}; killing rack 1 takes
+    // two lender instances mid-donation while both models keep capacity.
+    cfg.rack_size = 2;
+    let trace = sc.trace();
+    let schedule = FailureSchedule::new().rack_down(SimTime::from_secs(15), 1);
+    let policy = FailureInjector::new(KunServePolicy::new(KunServeConfig::default()), &schedule);
+
+    let mut engine = Engine::new(cfg, policy);
+    let mut violations = Vec::new();
+    let report = engine.run_observed(&trace, sc.drain, |state, now| {
+        violations.extend(state.ledger().check_invariants(&now.to_string()));
+    });
+    assert!(violations.is_empty(), "{}", violations.join("\n"));
+    assert_eq!(
+        report.finished_requests,
+        trace.len(),
+        "no request may be lost to the rack failure"
+    );
+    assert!(
+        report.donated_bytes_peak > 0,
+        "the borrower's burst must have triggered a donation"
+    );
+
+    let state = engine.into_state();
+    assert!(
+        state
+            .metrics
+            .reconfig_events
+            .iter()
+            .any(|(_, w)| w.starts_with("rack-failure")),
+        "the rack failure must be recorded"
+    );
+    // Loan settlement balances: nothing outstanding, no live instance
+    // still lending or degraded. (The dead instances keep their final
+    // pre-failure layout; only live ones serve.)
+    assert_eq!(state.donated_bytes_outstanding(), 0, "ledger not settled");
+    for inst in &state.instances {
+        if !state.group_alive(inst.group) {
+            continue;
+        }
+        assert_eq!(inst.donated_out_bytes(), 0, "{} still lending", inst.id);
+        assert_eq!(inst.dropped_layers(), 0, "{} not restored", inst.id);
+    }
+    // The failed rack's instances are out of service for good.
+    for g in state.alive_groups() {
+        for &m in &state.group(g).members {
+            assert!(
+                m != InstanceId(2) && m != InstanceId(3),
+                "failed instance {m} must leave service"
+            );
+        }
+    }
 }
