@@ -140,8 +140,8 @@ stage_smoke() {
 }
 
 stage_scenarios() {
-    local figs=(fig19_diurnal fig20_coldstart_storm fig21_shared_prefix fig22_failure_storm)
-    local tols=(fig19_smoke fig20_smoke fig21_smoke fig22_smoke)
+    local figs=(fig19_diurnal fig20_coldstart_storm fig21_shared_prefix fig22_failure_storm fig23_cascading_recovery)
+    local tols=(fig19_smoke fig20_smoke fig21_smoke fig22_smoke fig23_smoke)
     local jsons=()
     local i
     for i in "${!figs[@]}"; do

@@ -51,6 +51,19 @@
 //!   tokens per uniquely computed one) must stay at or below the cap (the
 //!   shared-prefix scenario's bounded-amplification claim: dropping
 //!   parameters must not blow up prefix recompute across dependents);
+//! - optionally `min_goodput_frac`: `{ "A": floor }` — system A's
+//!   `goodput_frac` (deadline-met completions over total) must reach the
+//!   floor (the resilience scenario's graceful-degradation claim);
+//! - optionally `goodput_greater_than`: `{ "A": "B" }` — system A's
+//!   `goodput_frac` must be strictly above system B's (shedding beats the
+//!   no-shed ablation);
+//! - optionally `max_shed_frac`: `{ "A": cap }` — system A's
+//!   `shed_requests / total` must stay at or below the cap (admission
+//!   control may not buy goodput by shedding everything);
+//! - optionally `retry_decays` / `retry_grows`: `[ "A", ... ]` — system
+//!   A's `retries_late` must be strictly below / above its
+//!   `retries_early` (the cascade damps under shedding; the ablation's
+//!   retry storm keeps growing);
 //! - optionally `max_wall_clock_ms`: ceiling on the document's recorded
 //!   `wall_clock_ms` (the per-figure form of the `--budget` gate);
 //! - optionally `min_speedup` (+ `min_speedup_host_threads`, default 4):
@@ -119,6 +132,30 @@ fn check_schema(path: &str, doc: &Json, out: &mut Vec<String>) {
             for key in ["total", "finished", "ttft_p99_s"] {
                 if sys.get(key).and_then(Json::as_f64).is_none() {
                     out.push(format!("{path}: {ctx}/{name} lacks numeric `{key}`"));
+                }
+            }
+            // Resilience bins (fig23) report the closed-loop client
+            // counters as a set: a system that carries any of them must
+            // carry all of them, numerically — goodput claims cannot ship
+            // half-gated.
+            const CLIENT_KEYS: [&str; 8] = [
+                "goodput_frac",
+                "goodput_requests",
+                "deadline_misses",
+                "shed_requests",
+                "abandoned_requests",
+                "retries",
+                "retries_early",
+                "retries_late",
+            ];
+            if CLIENT_KEYS.iter().any(|k| sys.get(k).is_some()) {
+                for key in CLIENT_KEYS {
+                    if sys.get(key).and_then(Json::as_f64).is_none() {
+                        out.push(format!(
+                            "{path}: {ctx}/{name} lacks numeric `{key}` (closed-loop \
+                             client counters ship as a full set)"
+                        ));
+                    }
                 }
             }
             // Multi-model systems must gate per model: every breakdown
@@ -599,6 +636,114 @@ fn main() -> ExitCode {
                 ));
             }
             println!("check_bench_json: ok: {name} prefix amplification {amp:.3} <= {cap:.3}");
+        }
+    }
+
+    // Closed-loop resilience gates (fig23): goodput floors and ordering,
+    // a shed-volume cap, and the retry-storm direction per arm.
+    let field_of = |name: &str, key: &str| -> Option<f64> {
+        systems
+            .iter()
+            .find(|s| s.get("system").and_then(Json::as_str) == Some(name))?
+            .get(key)
+            .and_then(Json::as_f64)
+    };
+    if let Some(floors) = tol.get("min_goodput_frac").and_then(Json::as_obj) {
+        for (name, floor) in floors {
+            let Some(floor) = floor.as_f64() else {
+                return fail(&format!("min_goodput_frac for `{name}` is not a number"));
+            };
+            let Some(frac) = field_of(name, "goodput_frac") else {
+                return fail(&format!("system `{name}` lacks `goodput_frac`"));
+            };
+            if !frac.is_finite() || !(0.0..=1.0).contains(&frac) {
+                return fail(&format!("system `{name}`: goodput_frac {frac} is not sane"));
+            }
+            if frac < floor {
+                return fail(&format!(
+                    "system `{name}`: goodput_frac {frac:.3} below the {floor:.3} floor"
+                ));
+            }
+            println!("check_bench_json: ok: {name} goodput {frac:.3} >= {floor:.3}");
+        }
+    }
+    if let Some(orderings) = tol.get("goodput_greater_than").and_then(Json::as_obj) {
+        for (a, b) in orderings {
+            let Some(b) = b.as_str() else {
+                return fail(&format!(
+                    "goodput_greater_than value for `{a}` is not a string"
+                ));
+            };
+            let (Some(ga), Some(gb)) = (field_of(a, "goodput_frac"), field_of(b, "goodput_frac"))
+            else {
+                return fail(&format!(
+                    "goodput_greater_than: `{a}` or `{b}` lacks `goodput_frac`"
+                ));
+            };
+            if ga <= gb {
+                return fail(&format!(
+                    "goodput ordering violated: `{a}` {ga:.3} must be strictly above `{b}` {gb:.3}"
+                ));
+            }
+            println!("check_bench_json: ok: {a} goodput {ga:.3} > {b} goodput {gb:.3}");
+        }
+    }
+    if let Some(caps) = tol.get("max_shed_frac").and_then(Json::as_obj) {
+        for (name, cap) in caps {
+            let Some(cap) = cap.as_f64() else {
+                return fail(&format!("max_shed_frac for `{name}` is not a number"));
+            };
+            let (Some(shed), Some(total)) =
+                (field_of(name, "shed_requests"), field_of(name, "total"))
+            else {
+                return fail(&format!(
+                    "system `{name}` lacks `shed_requests`/`total` for max_shed_frac"
+                ));
+            };
+            let frac = if total > 0.0 { shed / total } else { 1.0 };
+            if frac > cap {
+                return fail(&format!(
+                    "system `{name}`: shed {shed:.0}/{total:.0} = {frac:.3} over the {cap:.3} cap \
+                     — admission control may not buy goodput by shedding everything"
+                ));
+            }
+            println!("check_bench_json: ok: {name} shed_frac {frac:.3} <= {cap:.3}");
+        }
+    }
+    // Retry-storm direction: under shedding the re-arrival volume must
+    // fall from the outage window to the recovery window (the cascade
+    // damps); the no-shed ablation must show it still growing (the
+    // metastable spiral the scenario exists to demonstrate).
+    for (key, want_decay) in [("retry_decays", true), ("retry_grows", false)] {
+        let Some(names) = tol.get(key).and_then(Json::as_arr) else {
+            continue;
+        };
+        for name in names {
+            let Some(name) = name.as_str() else {
+                return fail(&format!("`{key}` entries must be system-name strings"));
+            };
+            let (Some(early), Some(late)) = (
+                field_of(name, "retries_early"),
+                field_of(name, "retries_late"),
+            ) else {
+                return fail(&format!(
+                    "system `{name}` lacks `retries_early`/`retries_late` for `{key}`"
+                ));
+            };
+            let ok = if want_decay {
+                late < early
+            } else {
+                late > early
+            };
+            if !ok {
+                return fail(&format!(
+                    "system `{name}`: retry volume early {early:.0} -> late {late:.0} \
+                     violates `{key}`"
+                ));
+            }
+            println!(
+                "check_bench_json: ok: {name} retries early {early:.0} -> late {late:.0} ({key})"
+            );
         }
     }
 

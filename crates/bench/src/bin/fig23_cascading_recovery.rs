@@ -1,0 +1,233 @@
+//! Regenerates Figure 23: the cascading-recovery storm. A rack dies
+//! mid-burst and comes back minutes later; the rejoined instances reload
+//! parameters over the host links (real `ParamRestore` traffic) while the
+//! deadline-missed requests of the outage window re-arrive with
+//! exponential backoff — a retry storm that lands exactly when the cluster
+//! is busiest absorbing the recovery reload. This is the metastable
+//! failure mode: the *recovery itself* seeds the second overload.
+//!
+//! Two arms of the same system face the identical storm:
+//! - "KunServe": deadline-aware admission control sheds the requests the
+//!   load predictor says cannot meet their SLO; the retry volume decays
+//!   and goodput stays above the bar.
+//! - "KunServe (no shed)": the ablation admits everything; retries beget
+//!   misses beget retries, goodput is strictly worse and the retry volume
+//!   keeps growing across the storm window.
+//!
+//! Run: `cargo run --release -p bench --bin fig23_cascading_recovery`
+//! Flags: `--smoke` (tiny cluster, seconds — the CI regression scenario),
+//!        `--threads N` (parallel system runs),
+//!        `--json PATH` (default
+//!        `target/bench-json/fig23_cascading_recovery.json`).
+
+use bench::{
+    harness, json_out_path, outcome_json_labeled, print_series, secs, with_exec_meta, write_json,
+    Json,
+};
+use cluster::{ClusterConfig, FailureSchedule, RetryPolicy};
+use kunserve::policy::KunServeConfig;
+use kunserve::serving::SystemKind;
+use sim_core::{SimDuration, SimTime};
+use workload::{BurstTraceBuilder, Dataset, Deadline};
+
+struct Setup {
+    name: &'static str,
+    cfg: ClusterConfig,
+    base_rps: f64,
+    duration: SimDuration,
+    burst: (SimTime, SimDuration, f64),
+    deadline: Deadline,
+    outage: SimTime,
+    recovery: SimTime,
+    seed: u64,
+    drain: SimDuration,
+}
+
+impl Setup {
+    fn schedule(&self) -> FailureSchedule {
+        FailureSchedule::new()
+            .rack_down(self.outage, 1)
+            .rack_up(self.recovery, 1)
+    }
+
+    /// The retry-storm observation windows: `early` opens at the outage
+    /// (first misses, first backoffs), `late` opens at recovery — where
+    /// the reload traffic and the re-arrivals collide — and both have the
+    /// width of the outage itself, so the two volumes are comparable.
+    fn storm_windows(&self) -> ((SimTime, SimTime), (SimTime, SimTime)) {
+        let width = self.recovery.since(self.outage);
+        (
+            (self.outage, self.recovery),
+            (self.recovery, self.recovery + width),
+        )
+    }
+}
+
+/// The CI scenario: 8 instances in 4 racks of 2; rack 1 dies at t=10s
+/// inside the burst and rejoins at t=20s, so the parameter reload and the
+/// backed-off re-arrivals overlap.
+fn smoke_setup() -> Setup {
+    let mut cfg = ClusterConfig::tiny_test(8);
+    cfg.reserve_frac = 0.45;
+    cfg.rack_size = 2;
+    cfg.retry = Some(RetryPolicy {
+        max_retries: 4,
+        base: SimDuration::from_millis(500),
+        multiplier: 2,
+        cap: SimDuration::from_secs(8),
+        seed: 23,
+    });
+    Setup {
+        name: "tiny cascading recovery",
+        cfg,
+        base_rps: 90.0,
+        duration: SimDuration::from_secs(30),
+        burst: (SimTime::from_secs(6), SimDuration::from_secs(14), 3.0),
+        deadline: Deadline::ttft(SimDuration::from_millis(1500)),
+        outage: SimTime::from_secs(10),
+        recovery: SimTime::from_secs(20),
+        seed: 23,
+        drain: SimDuration::from_secs(900),
+    }
+}
+
+/// Paper-scale: a longer trace, a bigger rack, a longer outage.
+fn full_setup() -> Setup {
+    let mut cfg = ClusterConfig::tiny_test(16);
+    cfg.reserve_frac = 0.50;
+    cfg.rack_size = 4;
+    cfg.retry = Some(RetryPolicy {
+        max_retries: 5,
+        base: SimDuration::from_millis(500),
+        multiplier: 2,
+        cap: SimDuration::from_secs(8),
+        seed: 51,
+    });
+    Setup {
+        name: "cascading recovery storm",
+        cfg,
+        base_rps: 150.0,
+        duration: SimDuration::from_secs(60),
+        burst: (SimTime::from_secs(15), SimDuration::from_secs(25), 2.0),
+        deadline: Deadline::ttft(SimDuration::from_secs(3)),
+        outage: SimTime::from_secs(20),
+        recovery: SimTime::from_secs(40),
+        seed: 51,
+        drain: SimDuration::from_secs(900),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = harness::threads_from_args(&args);
+    let setup = if smoke { smoke_setup() } else { full_setup() };
+    let (b_start, b_len, b_mult) = setup.burst;
+    let trace = BurstTraceBuilder::new(Dataset::BurstGpt)
+        .base_rps(setup.base_rps)
+        .duration(setup.duration)
+        .burst(b_start, b_len, b_mult)
+        .seed(setup.seed)
+        .build()
+        .with_deadline(setup.deadline);
+    let schedule = setup.schedule();
+    println!(
+        "# Figure 23: cascading recovery on {} ({} requests, outage {}-{}s)",
+        setup.name,
+        trace.len(),
+        setup.outage.as_secs_f64(),
+        setup.recovery.as_secs_f64()
+    );
+    println!();
+    println!("# Arrival rate (req/s, 5s windows)");
+    print_series(
+        "time_s,req_per_s",
+        &trace.rate_timeline(SimDuration::from_secs(5)),
+        1.0,
+    );
+
+    // Two arms of one system: admission control on (the paper's
+    // configuration) vs off (the ablation that spirals).
+    let arms = [
+        ("KunServe", KunServeConfig::default()),
+        ("KunServe (no shed)", KunServeConfig::without_shedding()),
+    ];
+    let (early, late) = setup.storm_windows();
+    let timer = std::time::Instant::now();
+    let outcomes = harness::run_indexed(threads, arms.len(), |i| {
+        kunserve::serving::run_system_with_failures(
+            SystemKind::KunServeWith(arms[i].1),
+            setup.cfg.clone(),
+            &trace,
+            setup.drain,
+            &schedule,
+        )
+    });
+    let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
+    let mut sys_jsons = Vec::new();
+    for (i, out) in outcomes.iter().enumerate() {
+        let label = arms[i].0;
+        let retries_early = out.state.metrics.retries_in(early.0, early.1);
+        let retries_late = out.state.metrics.retries_in(late.0, late.1);
+        println!();
+        println!("## {label}");
+        for (t, what) in &out.state.metrics.reconfig_events {
+            if what.starts_with("rack-") || what.starts_with("recovery") {
+                println!("event,{:.1},{what}", t.as_secs_f64());
+            }
+        }
+        println!(
+            "summary,finished={}/{},goodput={:.3},p99={}",
+            out.report.finished_requests,
+            out.report.total_requests,
+            out.report.goodput_frac(),
+            secs(out.report.ttft.p99)
+        );
+        println!(
+            "client,misses={},retries={},shed={},abandoned={},retry_early={retries_early},retry_late={retries_late}",
+            out.report.deadline_misses,
+            out.report.retries,
+            out.report.shed_requests,
+            out.report.abandoned_requests,
+        );
+        let mut j = outcome_json_labeled(&setup.cfg, out, label);
+        if let Json::Obj(pairs) = &mut j {
+            pairs.push(("goodput_frac".into(), Json::Num(out.report.goodput_frac())));
+            pairs.push((
+                "goodput_requests".into(),
+                Json::Num(out.report.goodput_requests as f64),
+            ));
+            pairs.push((
+                "deadline_misses".into(),
+                Json::Num(out.report.deadline_misses as f64),
+            ));
+            pairs.push((
+                "shed_requests".into(),
+                Json::Num(out.report.shed_requests as f64),
+            ));
+            pairs.push((
+                "abandoned_requests".into(),
+                Json::Num(out.report.abandoned_requests as f64),
+            ));
+            pairs.push(("retries".into(), Json::Num(out.report.retries as f64)));
+            pairs.push(("retries_early".into(), Json::Num(retries_early as f64)));
+            pairs.push(("retries_late".into(), Json::Num(retries_late as f64)));
+        }
+        sys_jsons.push(j);
+    }
+
+    let doc = with_exec_meta(
+        Json::obj([
+            ("figure", Json::str("fig23_cascading_recovery")),
+            ("scenario", Json::str(setup.name)),
+            ("smoke", Json::Bool(smoke)),
+            ("requests", Json::Num(trace.len() as f64)),
+            ("systems", Json::Arr(sys_jsons)),
+        ]),
+        threads,
+        wall_ms,
+    );
+    let path = json_out_path("fig23_cascading_recovery", &args);
+    write_json(&path, &doc).expect("write JSON");
+    println!("json,{}", path.display());
+}

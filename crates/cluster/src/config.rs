@@ -7,7 +7,7 @@ use modelcfg::ModelConfig;
 use netsim::LinkSpec;
 use sim_core::SimDuration;
 use simgpu::PAGE_SIZE;
-use workload::ModelId;
+use workload::{ModelId, RetryPolicy};
 
 /// Why a cluster configuration cannot be instantiated.
 ///
@@ -212,6 +212,10 @@ pub struct ClusterConfig {
     /// rack — one power/ToR failure domain. 0 disables racking (every
     /// failure is independent).
     pub rack_size: u32,
+    /// Closed-loop client retry behaviour. `None` (the default) models
+    /// patient open-loop clients: deadline-carrying requests are never
+    /// aborted or re-sent, and runs are byte-identical to pre-retry builds.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl ClusterConfig {
@@ -234,6 +238,7 @@ impl ClusterConfig {
             primary_slo_weight: 1.0,
             extra_models: Vec::new(),
             rack_size: 0,
+            retry: None,
         }
     }
 
@@ -256,6 +261,7 @@ impl ClusterConfig {
             primary_slo_weight: 1.0,
             extra_models: Vec::new(),
             rack_size: 0,
+            retry: None,
         }
     }
 
@@ -295,6 +301,7 @@ impl ClusterConfig {
             primary_slo_weight: 1.0,
             extra_models: Vec::new(),
             rack_size: 0,
+            retry: None,
         }
     }
 

@@ -248,11 +248,19 @@ impl<P: Policy> Engine<P> {
 
     fn on_arrival(&mut self, id: RequestId) {
         let spec = self.state.requests[id.0].spec;
-        let group = self.state.dispatch(spec.model, spec.input_tokens);
-        self.state.note_dispatch(id, group);
         self.state
             .metrics
             .on_arrival(id, spec.arrival, spec.output_tokens, spec.model);
+        // Deadline-aware admission control: shed before dispatch so a
+        // hopeless request never adds queue load (the default policy
+        // admits everything, keeping pre-shedding runs byte-identical).
+        if self.policy.should_shed(&self.state, self.now, id) {
+            self.state.shed_request(id);
+            self.finished += 1;
+            return;
+        }
+        let group = self.state.dispatch(spec.model, spec.input_tokens);
+        self.state.note_dispatch(id, group);
         self.state.group_mut(group).queue.push_back(id);
         self.try_start(group);
     }
@@ -284,11 +292,34 @@ impl<P: Policy> Engine<P> {
         }
         self.policy.on_tick(&mut self.state, now);
         self.run_reconfigs();
+        self.client_sweep(now);
         self.sweep_groups();
         self.schedule_net_poll();
         let next = now + self.state.cfg.monitor_interval;
         if next <= hard_stop && self.finished < self.total {
             self.events.push(next, Event::MonitorTick);
+        }
+    }
+
+    /// The closed-loop client pass (no-op without [`ClusterConfig::retry`]):
+    /// aborts deadline-missed attempts into backoff, terminates exhausted
+    /// requests, and re-dispatches retries whose timer expired — each
+    /// re-arrival passing through the same shedding gate as a fresh one.
+    fn client_sweep(&mut self, now: SimTime) {
+        if self.state.cfg.retry.is_none() {
+            return;
+        }
+        let sweep = self.state.sweep_deadlines(now);
+        self.finished += sweep.abandoned.len();
+        for r in sweep.due {
+            if self.policy.should_shed(&self.state, now, r) {
+                self.state.shed_request(r);
+                self.finished += 1;
+                continue;
+            }
+            let g = self.state.redispatch_retry(r, now, None);
+            self.state.group_mut(g).queue.push_back(r);
+            self.try_start(g);
         }
     }
 
@@ -601,6 +632,8 @@ impl<P: Policy> Engine<P> {
                 let req = &mut self.state.requests[r.0];
                 req.state = ReqState::Finished;
                 req.finished_at = Some(now);
+                let met = self.state.requests[r.0].deadline_met_at(now);
+                self.state.metrics.on_finish_outcome(met);
                 self.state.metrics.on_finished(r, now);
                 self.state.group_mut(group).forget(r);
                 self.finished += 1;
@@ -628,6 +661,7 @@ mod tests {
                     input_tokens: input,
                     output_tokens: output,
                     prefix: None,
+                    deadline: None,
                 })
                 .collect(),
         )
@@ -718,6 +752,7 @@ mod tests {
                 input_tokens: 200,
                 output_tokens: 10,
                 prefix: None,
+                deadline: None,
             });
         }
         let trace = Trace::new(reqs);
@@ -753,6 +788,7 @@ mod tests {
             input_tokens: 10,
             output_tokens: 1,
             prefix: None,
+            deadline: None,
         }]);
         eng.run(&trace, SimDuration::from_secs(10));
     }

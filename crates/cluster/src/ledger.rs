@@ -145,6 +145,13 @@ pub struct MemoryLedger {
     pub donated_instance_bytes: u64,
     /// Total bytes the donation records account for.
     pub donated_record_bytes: u64,
+    /// Donation records whose lender or borrower group slot is dead:
+    /// `(lender group, borrower group, bytes)`. Failure handling settles
+    /// (reclaims or returns) every loan touching a dying group, and a
+    /// rejoined lender comes back as a *new* fully-resident group — so a
+    /// record still pointing at a dead slot is a resurrected loan nobody's
+    /// HBM backs.
+    pub dead_group_records: Vec<(GroupId, GroupId, u64)>,
 }
 
 impl MemoryLedger {
@@ -217,11 +224,18 @@ impl MemoryLedger {
                 }
             }
         }
+        let dead_group_records = state
+            .donations
+            .iter()
+            .filter(|d| !state.group_alive(d.lender_group) || !state.group_alive(d.borrower_group))
+            .map(|d| (d.lender_group, d.borrower_group, d.bytes))
+            .collect();
         MemoryLedger {
             entries,
             borrows,
             donated_instance_bytes: state.instances.iter().map(|i| i.donated_out_bytes()).sum(),
             donated_record_bytes: state.donations.iter().map(|d| d.bytes).sum(),
+            dead_group_records,
         }
     }
 
@@ -267,6 +281,18 @@ impl MemoryLedger {
                 "{ctx}: instances report {ib} donated bytes, records account for {rb}",
                 ib = self.donated_instance_bytes,
                 rb = self.donated_record_bytes
+            ));
+        }
+        // Loans must bind two *live* groups. Failure handling settles every
+        // loan touching a dying group, and a rejoined lender restarts as a
+        // fresh group — a record naming a dead slot is a settled loan
+        // someone resurrected.
+        for &(lender, borrower, bytes) in &self.dead_group_records {
+            out.push(format!(
+                "{ctx}: donation record ({bytes} B, lender group {l}, borrower group {b}) \
+                 references a dead group — settled loans must not be resurrected",
+                l = lender.0,
+                b = borrower.0
             ));
         }
         out

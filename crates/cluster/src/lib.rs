@@ -44,7 +44,7 @@ pub mod state;
 pub use batch::{token_count_form, MicroBatch, SeqChunk};
 pub use config::{ClusterConfig, ConfigError, ModelDeployment, Testbed};
 pub use engine::Engine;
-pub use failure::{FailureEvent, FailureInjector, FailureSchedule};
+pub use failure::{FailureEvent, FailureInjector, FailureSchedule, FaultKind, ScheduleError};
 pub use former::{balance_microbatches, MicrobatchFormerSpec};
 pub use group::{ExecGroup, GroupId};
 pub use instance::{Instance, InstanceId};
@@ -54,5 +54,5 @@ pub use pipeline::{PipelineSchedule, StageTiming};
 pub use policy::{OomResolution, Policy, QueueingPolicy, TransferEvent, TransferPurpose};
 pub use request::{ReqState, Request, RequestId, StallReason};
 pub use shard::{derive_lookahead, ParallelConfig, ShardedEngine};
-pub use state::ClusterState;
-pub use workload::ModelId;
+pub use state::{ClusterState, DeadlineSweep};
+pub use workload::{Deadline, ModelId, RetryPolicy};

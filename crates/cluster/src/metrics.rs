@@ -78,6 +78,20 @@ pub struct Metrics {
     /// Shared-prefix tokens recomputed after an eviction invalidated the
     /// resident copy (the amplification cost the fig21 gate bounds).
     pub prefix_recompute_tokens: u64,
+    /// Finished requests that met their deadline (requests without a
+    /// deadline count — goodput is "useful completed work").
+    pub goodput_requests: u64,
+    /// Deadline-miss events: aborted attempts plus finishes past the bound.
+    pub deadline_misses: u64,
+    /// Requests the admission controller refused (predicted SLO miss).
+    pub shed_requests: u64,
+    /// Requests abandoned after exhausting their retry budget.
+    pub abandoned_requests: u64,
+    /// Client retry re-arrivals that re-entered the system.
+    pub retries: u64,
+    /// When each retry re-arrived — the cascade-damping evidence the
+    /// fig23 gate bins into before/after-recovery windows.
+    pub retry_events: Vec<SimTime>,
 }
 
 impl Metrics {
@@ -156,6 +170,47 @@ impl Metrics {
         self.donated_bytes_peak = self.donated_bytes_peak.max(bytes);
     }
 
+    /// Records the deadline outcome of a finished request.
+    pub fn on_finish_outcome(&mut self, met: bool) {
+        if met {
+            self.goodput_requests += 1;
+        } else {
+            self.deadline_misses += 1;
+        }
+    }
+
+    /// Records a deadline-missed attempt abort (the client gave up).
+    pub fn on_deadline_miss(&mut self) {
+        self.deadline_misses += 1;
+    }
+
+    /// Records a client retry re-arriving.
+    pub fn on_retry(&mut self, now: SimTime) {
+        self.retries += 1;
+        self.retry_events.push(now);
+    }
+
+    /// Records an admission-controller shed.
+    pub fn on_shed(&mut self) {
+        self.shed_requests += 1;
+    }
+
+    /// Records a request abandoned after its last retry.
+    pub fn on_abandoned(&mut self) {
+        self.abandoned_requests += 1;
+    }
+
+    /// Retry re-arrivals in the half-open window `[from, to)`.
+    pub fn retries_in(&self, from: SimTime, to: SimTime) -> u64 {
+        let n = self
+            .retry_events
+            .iter()
+            .filter(|&&t| t >= from && t < to)
+            .count();
+        // simlint: allow(D-CAST) — count of in-window events, lossless.
+        n as u64
+    }
+
     /// All request records.
     pub fn records(&self) -> &[RequestRecord] {
         &self.records
@@ -203,6 +258,11 @@ impl Metrics {
             prefix_saved_tokens: self.prefix_saved_tokens,
             prefix_unique_tokens: self.prefix_unique_tokens,
             prefix_recompute_tokens: self.prefix_recompute_tokens,
+            goodput_requests: self.goodput_requests,
+            deadline_misses: self.deadline_misses,
+            shed_requests: self.shed_requests,
+            abandoned_requests: self.abandoned_requests,
+            retries: self.retries,
             per_model,
         }
     }
@@ -252,6 +312,17 @@ pub struct RunReport {
     pub prefix_unique_tokens: u64,
     /// Shared-prefix tokens recomputed after evictions.
     pub prefix_recompute_tokens: u64,
+    /// Finished requests that met their deadline (deadline-free requests
+    /// count: goodput is useful completed work).
+    pub goodput_requests: u64,
+    /// Deadline-miss events (aborted attempts + late finishes).
+    pub deadline_misses: u64,
+    /// Requests shed by the admission controller.
+    pub shed_requests: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub abandoned_requests: u64,
+    /// Retry re-arrivals that re-entered the system.
+    pub retries: u64,
     /// Per-model latency breakdown (one entry per model seen in the trace,
     /// ascending by model id; a single entry for single-model runs).
     pub per_model: Vec<ModelReport>,
@@ -270,6 +341,15 @@ impl RunReport {
             return 0.0;
         }
         self.prefix_recompute_tokens as f64 / self.prefix_unique_tokens as f64
+    }
+
+    /// Fraction of arrived requests that completed within deadline — the
+    /// resilience-layer headline number (1.0 for an idle deadline-free run).
+    pub fn goodput_frac(&self) -> f64 {
+        if self.total_requests == 0 {
+            return 1.0;
+        }
+        self.goodput_requests as f64 / self.total_requests as f64
     }
     /// SLO-violation ratio for TTFT at `scale × baseline_p50` (the paper's
     /// SLO-scale methodology, Figure 13 last column).
@@ -386,10 +466,38 @@ mod tests {
             prefix_saved_tokens: 0,
             prefix_unique_tokens: 0,
             prefix_recompute_tokens: 0,
+            goodput_requests: 3,
+            deadline_misses: 1,
+            shed_requests: 0,
+            abandoned_requests: 0,
+            retries: 0,
             per_model: Vec::new(),
         };
         // Baseline P50 = 0.1 s, scale 5 → threshold 0.5 s → 2 of 4 violate.
         assert_eq!(rep.ttft_violation(0.1, 5.0), 0.5);
+        assert!((rep.goodput_frac() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resilience_counters_accumulate() {
+        let mut m = Metrics::new();
+        m.on_arrival(RequestId(0), t(0.0), 10, ModelId::PRIMARY);
+        m.on_arrival(RequestId(1), t(0.0), 10, ModelId::PRIMARY);
+        m.on_deadline_miss();
+        m.on_retry(t(2.0));
+        m.on_retry(t(7.0));
+        m.on_shed();
+        m.on_abandoned();
+        m.on_finish_outcome(true);
+        m.on_finish_outcome(false);
+        assert_eq!(m.retries_in(t(0.0), t(5.0)), 1);
+        assert_eq!(m.retries_in(t(5.0), t(10.0)), 1);
+        let rep = m.report();
+        assert_eq!(rep.goodput_requests, 1);
+        assert_eq!(rep.deadline_misses, 2, "abort miss + late finish");
+        assert_eq!(rep.shed_requests, 1);
+        assert_eq!(rep.abandoned_requests, 1);
+        assert_eq!(rep.retries, 2);
     }
 
     #[test]

@@ -73,6 +73,12 @@ pub enum TransferEvent {
         /// The resumed request.
         request: RequestId,
     },
+    /// A recovering instance finished reloading its parameters from the
+    /// host-DRAM replica; its replacement group is unfrozen and serving.
+    RecoveryReady {
+        /// The rejoined instance's replacement group.
+        group: GroupId,
+    },
 }
 
 /// How a policy resolved a decode out-of-memory event.
@@ -115,6 +121,17 @@ pub trait Policy {
         _request: RequestId,
     ) -> OomResolution {
         OomResolution::GiveUp
+    }
+
+    /// Deadline-aware admission control: called once per (re-)arrival
+    /// *before* the request is dispatched to a group. Returning `true`
+    /// sheds the request — it terminates immediately as
+    /// [`ReqState::Dropped`](crate::ReqState::Dropped) instead of queueing
+    /// toward a deadline it is predicted to miss. The default admits
+    /// everything (open-loop behaviour, byte-identical to pre-shedding
+    /// runs).
+    fn should_shed(&mut self, _state: &ClusterState, _now: SimTime, _request: RequestId) -> bool {
+        false
     }
 
     /// The self-contained microbatch former this policy uses.
@@ -189,6 +206,10 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
         request: RequestId,
     ) -> OomResolution {
         (**self).on_decode_oom(state, now, group, request)
+    }
+
+    fn should_shed(&mut self, state: &ClusterState, now: SimTime, request: RequestId) -> bool {
+        (**self).should_shed(state, now, request)
     }
 
     fn microbatch_former(&self) -> MicrobatchFormerSpec {

@@ -27,11 +27,13 @@ pub enum StallReason {
 ///
 /// ```text
 /// Queued ──► Running ──► Finished
-///   ▲          │ ▲
-///   │ preempt  │ │ unstall / swap-in complete
-///   └──────────┤ │
-///              ▼ │
-///        Stalled / Swapped
+///   ▲ ▲        │ ▲
+///   │ │preempt │ │ unstall / swap-in complete
+///   │ └────────┤ │
+///   │          ▼ │
+///   │    Stalled / Swapped
+///   │ retry    │
+///   └─ Backoff ◄┘ deadline miss      (budget gone / shed ──► Dropped)
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReqState {
@@ -46,6 +48,13 @@ pub enum ReqState {
     Swapped,
     /// All output tokens generated; terminal.
     Finished,
+    /// The client aborted the attempt (deadline miss) and is waiting out
+    /// its backoff before re-sending; holds no GPU memory and belongs to
+    /// no group.
+    Backoff,
+    /// Terminal failure: the retry budget is exhausted, or the admission
+    /// controller shed the request. Holds no memory; never completes.
+    Dropped,
 }
 
 /// One request being served.
@@ -82,6 +91,13 @@ pub struct Request {
     pub finished_at: Option<SimTime>,
     /// Number of times the request was preempted (recompute or swap).
     pub preemptions: u32,
+    /// Which client attempt this is (0 = the initial send).
+    pub attempt: u32,
+    /// When the current attempt arrived — deadlines are measured from
+    /// here, so a retry gets a fresh clock.
+    pub attempt_arrival: SimTime,
+    /// When a request in [`ReqState::Backoff`] re-sends.
+    pub retry_at: Option<SimTime>,
 }
 
 impl Request {
@@ -99,6 +115,9 @@ impl Request {
             first_token_at: None,
             finished_at: None,
             preemptions: 0,
+            attempt: 0,
+            attempt_arrival: spec.arrival,
+            retry_at: None,
         }
     }
 
@@ -133,7 +152,11 @@ impl Request {
     /// progress while prefilling, prompt plus generated tokens in decode.
     pub fn kv_tokens(&self) -> u64 {
         match self.state {
-            ReqState::Queued | ReqState::Swapped | ReqState::Finished => 0,
+            ReqState::Queued
+            | ReqState::Swapped
+            | ReqState::Finished
+            | ReqState::Backoff
+            | ReqState::Dropped => 0,
             _ => {
                 if self.in_decode() {
                     self.spec.input_tokens.saturating_sub(self.prefix_credit) + self.generated
@@ -159,6 +182,62 @@ impl Request {
     pub fn is_done(&self) -> bool {
         self.generated >= self.spec.output_tokens
     }
+
+    /// Returns `true` once the request can never run again: generation
+    /// finished, or the client abandoned it ([`ReqState::Dropped`]).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.state, ReqState::Finished | ReqState::Dropped)
+    }
+
+    /// Whether finishing at `finished` would satisfy the request's
+    /// deadline, measured from the current attempt's arrival. Requests
+    /// without a deadline always count as met.
+    pub fn deadline_met_at(&self, finished: SimTime) -> bool {
+        let Some(d) = self.spec.deadline else {
+            return true;
+        };
+        let ttft_ok = match (d.ttft, self.first_token_at) {
+            (None, _) => true,
+            (Some(bound), Some(ft)) => ft.since(self.attempt_arrival) <= bound,
+            (Some(_), None) => false,
+        };
+        let total_ok = d
+            .total
+            .is_none_or(|bound| finished.since(self.attempt_arrival) <= bound);
+        ttft_ok && total_ok
+    }
+
+    /// Whether the attempt has already missed a deadline bound at `now`:
+    /// the TTFT bound with no first token yet, or the total bound without
+    /// finishing. Drives the monitor's abort sweep.
+    pub fn deadline_missed_by(&self, now: SimTime) -> bool {
+        let Some(d) = self.spec.deadline else {
+            return false;
+        };
+        let ttft_missed = d.ttft.is_some_and(|bound| {
+            self.first_token_at.is_none() && now.since(self.attempt_arrival) > bound
+        });
+        let total_missed = d
+            .total
+            .is_some_and(|bound| now.since(self.attempt_arrival) > bound);
+        ttft_missed || total_missed
+    }
+
+    /// Resets the request for a client retry: unlike a recompute
+    /// preemption, the *client* restarts the call, so all generation
+    /// progress is discarded (nothing is re-prefilled from prior output)
+    /// and the deadline clock restarts from the new attempt's arrival.
+    /// The request keeps its identity — id, spec, preemption history.
+    pub fn retry_reset(&mut self, rearrive_at: SimTime) {
+        self.prefilled = 0;
+        self.recompute_extra = 0;
+        self.generated = 0;
+        self.prefix_credit = 0;
+        self.first_token_at = None;
+        self.attempt += 1;
+        self.attempt_arrival = rearrive_at;
+        self.retry_at = None;
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +252,7 @@ mod tests {
             input_tokens: input,
             output_tokens: output,
             prefix: None,
+            deadline: None,
         }
     }
 
@@ -243,6 +323,29 @@ mod tests {
     fn peak_kv_is_total_tokens() {
         let r = req(100, 10);
         assert_eq!(r.peak_kv_tokens(), 110);
+    }
+
+    #[test]
+    fn retry_reset_restarts_the_attempt_clock() {
+        let mut r = req(100, 10);
+        r.state = ReqState::Running;
+        r.prefilled = 100;
+        r.generated = 7;
+        r.first_token_at = Some(SimTime::from_secs(1));
+        r.preemptions = 2;
+        // Client gives up: attempt aborts and re-sends at t = 5 s.
+        r.state = ReqState::Backoff;
+        assert_eq!(r.kv_tokens(), 0, "backoff holds no memory");
+        r.retry_reset(SimTime::from_secs(5));
+        assert_eq!(r.attempt, 1);
+        assert_eq!(r.attempt_arrival, SimTime::from_secs(5));
+        assert_eq!(r.generated, 0, "client restart discards prior output");
+        assert_eq!(r.prefill_target(), 100, "no recompute_extra carryover");
+        assert_eq!(r.first_token_at, None);
+        assert_eq!(r.preemptions, 2, "identity and history survive");
+        r.state = ReqState::Dropped;
+        assert!(r.is_terminal());
+        assert_eq!(r.kv_tokens(), 0);
     }
 
     #[test]

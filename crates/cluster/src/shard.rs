@@ -893,6 +893,28 @@ impl<P: Policy> ShardedEngine<P> {
                         self.state.metrics.mem_capacity.push(t, capacity as f64);
                         self.state.metrics.mem_used.push(t, used as f64);
                         self.policy.on_tick(&mut self.state, t);
+                        // Closed-loop client pass (no-op without
+                        // `cfg.retry`): ticks land on window boundaries, so
+                        // every group is in its slot and idle-checkable,
+                        // and re-arrivals enqueue like fresh dispatches —
+                        // a shard-local event on the target group's shard.
+                        if self.state.cfg.retry.is_some() {
+                            let sweep = self.state.sweep_deadlines(t);
+                            finished += sweep.abandoned.len();
+                            for r in sweep.due {
+                                if self.policy.should_shed(&self.state, t, r) {
+                                    self.state.shed_request(r);
+                                    finished += 1;
+                                    continue;
+                                }
+                                let g = self.state.redispatch_retry(r, t, None);
+                                workspaces[g.0 % num_shards]
+                                    .as_mut()
+                                    .expect("workspace present")
+                                    .queue
+                                    .push(t, LocalEvent::Arrival(r));
+                            }
+                        }
                         let next = t + self.state.cfg.monitor_interval;
                         if next <= hard_stop && finished < total {
                             global.push(next, GlobalEvent::MonitorTick);
@@ -1014,13 +1036,21 @@ impl<P: Policy> ShardedEngine<P> {
             while cursor < total && trace.requests[cursor].arrival < w_end {
                 let spec = trace.requests[cursor];
                 let id = RequestId(cursor);
+                self.state
+                    .metrics
+                    .on_arrival(id, spec.arrival, spec.output_tokens, spec.model);
+                // Deadline-aware admission control (same gate as the
+                // serial engine's arrival path; the default admits all).
+                if self.policy.should_shed(&self.state, b, id) {
+                    self.state.shed_request(id);
+                    finished += 1;
+                    cursor += 1;
+                    continue;
+                }
                 let group =
                     self.state
                         .dispatch_with_pending(spec.model, spec.input_tokens, Some(&extra));
                 self.state.note_dispatch(id, group);
-                self.state
-                    .metrics
-                    .on_arrival(id, spec.arrival, spec.output_tokens, spec.model);
                 *extra.entry(group).or_insert(0) += spec.input_tokens;
                 workspaces[group.0 % num_shards]
                     .as_mut()
@@ -1131,7 +1161,11 @@ impl<P: Policy> ShardedEngine<P> {
             for (_, _, _, ev) in events {
                 match ev {
                     MetricEvent::FirstToken(r, t) => self.state.metrics.on_first_token(r, t),
-                    MetricEvent::Finished(r, t) => self.state.metrics.on_finished(r, t),
+                    MetricEvent::Finished(r, t) => {
+                        let met = self.state.requests[r.0].deadline_met_at(t);
+                        self.state.metrics.on_finish_outcome(met);
+                        self.state.metrics.on_finished(r, t)
+                    }
                     MetricEvent::Tokens(t, n) => self.state.metrics.on_tokens(t, n),
                     MetricEvent::Iteration(t, d) => self.state.metrics.iterations.push(t, d),
                     MetricEvent::Bubble(t, f) => self.state.metrics.bubbles.push(t, f),
@@ -1189,6 +1223,7 @@ mod tests {
                     input_tokens: input,
                     output_tokens: output,
                     prefix: None,
+                    deadline: None,
                 })
                 .collect(),
         )
@@ -1281,6 +1316,7 @@ mod tests {
             input_tokens: 8,
             output_tokens: 1,
             prefix: None,
+            deadline: None,
         };
         let mut reqs = vec![Request::new(RequestId(0), spec, GroupId(0))];
         let base = ReqTable {
@@ -1311,6 +1347,7 @@ mod tests {
             input_tokens: 8,
             output_tokens: 1,
             prefix: None,
+            deadline: None,
         };
         let mut reqs = vec![Request::new(RequestId(0), spec, GroupId(0))];
         let shadow = Arc::new(ShadowOwners::new(reqs.len()));

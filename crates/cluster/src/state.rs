@@ -83,6 +83,22 @@ pub struct DonationRecord {
 enum BatchEffect {
     UnstallRequests(Vec<RequestId>),
     ParamRestoreReady(GroupId),
+    RecoveryReady(GroupId),
+}
+
+/// Outcome of one monitor-tick deadline sweep
+/// ([`ClusterState::sweep_deadlines`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DeadlineSweep {
+    /// Attempts aborted this tick; the client is now waiting out its
+    /// backoff and will re-send ([`ReqState::Backoff`]).
+    pub aborted: Vec<RequestId>,
+    /// Requests abandoned this tick — retry budget exhausted, terminal
+    /// ([`ReqState::Dropped`]).
+    pub abandoned: Vec<RequestId>,
+    /// Backoff requests whose retry timer expired — ready for the engine
+    /// to re-dispatch (or shed).
+    pub due: Vec<RequestId>,
 }
 
 #[derive(Debug, Clone)]
@@ -334,6 +350,31 @@ impl ClusterState {
     /// First member of a group — the endpoint bulk transfers address.
     pub fn primary_node(&self, group: GroupId) -> NodeId {
         NodeId(self.group(group).members[0].0)
+    }
+
+    /// The group slot an instance currently points at (dead after the
+    /// instance failed, until it rejoins).
+    pub fn instance_group(&self, inst: InstanceId) -> GroupId {
+        self.instances[inst.0 as usize].group
+    }
+
+    /// Applies a transient fabric degradation: newly submitted bulk jobs
+    /// take `factor×` as long until [`Self::set_link_slowdown`] is called
+    /// again with `1`. Recorded as a reconfiguration marker so timelines
+    /// show the window.
+    pub fn set_link_slowdown(&mut self, factor: u64, now: SimTime) {
+        self.network.set_slowdown(factor);
+        let msg = if factor > 1 {
+            format!("link: degraded x{factor}")
+        } else {
+            "link: restored".to_string()
+        };
+        self.metrics.on_reconfig(now, msg);
+    }
+
+    /// The current fabric degradation factor (`1` = healthy).
+    pub fn link_slowdown(&self) -> u64 {
+        self.network.slowdown()
     }
 
     // ------------------------------------------------------------------
@@ -1919,6 +1960,222 @@ impl ClusterState {
     }
 
     // ------------------------------------------------------------------
+    // Mechanism: recovery (§4.4 — rejoin after transient faults).
+    // ------------------------------------------------------------------
+
+    /// Rejoins a previously failed instance. Returns `None` (and does
+    /// nothing) if the instance is still serving.
+    ///
+    /// The device comes back *empty*: its HBM contents died with the
+    /// outage, but the parameter values survive in the host-DRAM replica
+    /// (§4.4), so rejoining is a reload, not a re-shard. The rebuilt
+    /// instance gets a fresh single-instance group that is **frozen** until
+    /// a host-link parameter pull of the full copy completes — the reload
+    /// is real [`Priority::ParamRestore`] traffic that competes with swaps
+    /// and KV exchanges on the node's PCIe path, which is exactly how
+    /// recovery load can feed the next overload. Completion surfaces as
+    /// [`TransferEvent::RecoveryReady`] and unfreezes the group.
+    ///
+    /// The instance's host swap pool is left intact: sequences parked there
+    /// survived the outage (that is the point of host DRAM) and were
+    /// reattached to surviving groups at failure time.
+    pub fn recover_instance(&mut self, inst: InstanceId, now: SimTime) -> Option<GroupId> {
+        if self.group_alive(self.instances[inst.0 as usize].group) {
+            return None;
+        }
+        let model_id = self.instances[inst.0 as usize].model;
+        self.instances[inst.0 as usize] = Instance::for_model(inst, model_id, &self.cfg);
+        let kv_per_token = self.cfg.model_cfg(model_id).kv_bytes_per_token();
+        let id = GroupId(self.groups.len());
+        let pools = [(self.instances[inst.0 as usize].usable_kv_bytes(), 1.0)];
+        let cap = group_capacity_blocks(&pools, kv_per_token, self.cfg.block_tokens);
+        let mut g = ExecGroup::new(
+            id,
+            model_id,
+            vec![inst],
+            vec![1.0],
+            BlockManager::new(cap, self.cfg.block_tokens),
+        );
+        g.frozen = true; // serves nothing until the parameter reload lands
+        self.groups.push(Some(g));
+        self.instances[inst.0 as usize].group = id;
+
+        let bytes = self.instances[inst.0 as usize]
+            .param_resident_bytes()
+            .max(1);
+        let batch = self.next_batch;
+        self.next_batch += 1;
+        let job = self
+            .network
+            .submit_host(now, NodeId(inst.0), bytes, Priority::ParamRestore);
+        self.pending_transfers
+            .insert(job, TransferPurpose::RestorePart { batch });
+        self.transfer_batches.insert(
+            batch,
+            TransferBatch {
+                remaining: 1,
+                effect: BatchEffect::RecoveryReady(id),
+            },
+        );
+        self.metrics.on_reconfig(
+            now,
+            format!("recovery: {inst} rejoined ({model_id}), reloading parameters"),
+        );
+        Some(id)
+    }
+
+    /// Rejoins every failed instance in rack `rack` (the recovery half of
+    /// [`Self::fail_rack`]), in id order. Returns the replacement groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is unracked (`rack_size == 0`).
+    pub fn recover_rack(&mut self, rack: u32, now: SimTime) -> Vec<GroupId> {
+        assert!(
+            self.cfg.rack_size > 0,
+            "recover_rack requires a racked config (rack_size > 0)"
+        );
+        let members = self.cfg.instances_in_rack(rack);
+        let mut rejoined = Vec::new();
+        for &i in &members {
+            if let Some(g) = self.recover_instance(InstanceId(i), now) {
+                rejoined.push(g);
+            }
+        }
+        self.metrics.on_reconfig(
+            now,
+            format!(
+                "rack-recovery: rack {rack} up ({} instances)",
+                rejoined.len()
+            ),
+        );
+        rejoined
+    }
+
+    // ------------------------------------------------------------------
+    // Closed-loop client model: deadlines, retries, shedding.
+    // ------------------------------------------------------------------
+
+    /// One monitor-tick pass of the closed-loop client model. No-op (and
+    /// allocation-free) unless [`ClusterConfig::retry`] is set.
+    ///
+    /// Queued and running attempts past their [`Deadline`](workload::Deadline)
+    /// are aborted: the client gives up, discards all progress, and either
+    /// re-sends after [`workload::RetryPolicy::backoff`] (attempt budget
+    /// permitting) or abandons the request. Backoff requests whose timer
+    /// expired are returned as `due` for the engine to re-dispatch — the
+    /// engine owns re-dispatch because the two executors enqueue arrivals
+    /// differently (direct push vs. shard-local event).
+    ///
+    /// Running attempts are only aborted while their group is idle and
+    /// unfrozen: an in-flight iteration plan must never reference a request
+    /// the client already gave up on. Monitor cadence (≤ 1 s) is far below
+    /// deadline granularity, so the deferral is invisible.
+    pub fn sweep_deadlines(&mut self, now: SimTime) -> DeadlineSweep {
+        let mut out = DeadlineSweep::default();
+        let Some(retry) = self.cfg.retry else {
+            return out;
+        };
+        for i in 0..self.requests.len() {
+            let id = RequestId(i);
+            match self.requests[i].state {
+                ReqState::Backoff if self.requests[i].retry_at.is_some_and(|t| t <= now) => {
+                    out.due.push(id);
+                }
+                ReqState::Queued | ReqState::Running => {
+                    if self.requests[i].attempt_arrival > now
+                        || !self.requests[i].deadline_missed_by(now)
+                    {
+                        continue;
+                    }
+                    if self.requests[i].state == ReqState::Running {
+                        let g = self.requests[i].group;
+                        if !self.group_alive(g) || self.group(g).is_busy() || self.group(g).frozen {
+                            continue; // revisit next tick, once idle
+                        }
+                    }
+                    self.abort_attempt(id);
+                    self.metrics.on_deadline_miss();
+                    let attempt = self.requests[i].attempt;
+                    if retry.allows(attempt) {
+                        let delay = retry.backoff(self.requests[i].spec.id, attempt);
+                        self.requests[i].retry_at = Some(now + delay);
+                        self.requests[i].state = ReqState::Backoff;
+                        out.aborted.push(id);
+                    } else {
+                        self.requests[i].state = ReqState::Dropped;
+                        self.metrics.on_abandoned();
+                        out.abandoned.push(id);
+                    }
+                }
+                _ => {} // stalled/swapped attempts finish their transfer first
+            }
+        }
+        out
+    }
+
+    /// Tears down one queued or running attempt the client gave up on:
+    /// frees its blocks, invalidates its shared prefix, and detaches it
+    /// from its group. The caller decides what the request becomes
+    /// (backoff or dropped).
+    fn abort_attempt(&mut self, id: RequestId) {
+        let group = self.requests[id.0].group;
+        match self.requests[id.0].state {
+            ReqState::Running => {
+                self.release_blocks(id);
+                if let Some(p) = self.requests[id.0].spec.prefix {
+                    if self.prefix.invalidate(group.0 as u64, p.group) {
+                        self.metrics.prefix_recompute_tokens += p.tokens;
+                    }
+                }
+                if self.group_alive(group) {
+                    self.group_mut(group).forget(id);
+                }
+            }
+            ReqState::Queued => {
+                if self.group_alive(group) {
+                    self.group_mut(group).queue.retain(|&r| r != id);
+                }
+            }
+            _ => unreachable!("abort only targets queued/running attempts"),
+        }
+    }
+
+    /// Re-dispatches a backoff request whose retry timer expired: resets
+    /// the attempt clock to `now`, picks a group with the shared
+    /// least-loaded rule (threading the executor's pending-arrival batch
+    /// through, like any fresh arrival), and counts the retry. The caller
+    /// enqueues the request on the returned group in its executor-native
+    /// way.
+    pub fn redispatch_retry(
+        &mut self,
+        id: RequestId,
+        now: SimTime,
+        pending: Option<&HashMap<GroupId, u64>>,
+    ) -> GroupId {
+        debug_assert_eq!(self.requests[id.0].state, ReqState::Backoff);
+        self.requests[id.0].retry_reset(now);
+        self.requests[id.0].state = ReqState::Queued;
+        let (model, input) = {
+            let spec = &self.requests[id.0].spec;
+            (spec.model, spec.input_tokens)
+        };
+        let g = self.dispatch_with_pending(model, input, pending);
+        self.note_dispatch(id, g);
+        self.metrics.on_retry(now);
+        g
+    }
+
+    /// Sheds a request at (re-)arrival: deadline-aware admission control
+    /// decided it would miss anyway, so it terminates immediately instead
+    /// of adding load. Terminal — shed requests do not retry.
+    pub fn shed_request(&mut self, id: RequestId) {
+        self.requests[id.0].state = ReqState::Dropped;
+        self.requests[id.0].retry_at = None;
+        self.metrics.on_shed();
+    }
+
+    // ------------------------------------------------------------------
     // Transfer completion plumbing (called by the engine).
     // ------------------------------------------------------------------
 
@@ -1955,6 +2212,12 @@ impl ClusterState {
                     }
                     BatchEffect::ParamRestoreReady(group) => {
                         Some(TransferEvent::ParamRestoreReady { group })
+                    }
+                    BatchEffect::RecoveryReady(group) => {
+                        if self.group_alive(group) {
+                            self.group_mut(group).frozen = false;
+                        }
+                        Some(TransferEvent::RecoveryReady { group })
                     }
                 }
             }
@@ -1995,5 +2258,163 @@ impl ClusterState {
         self.pending_overhead
             .remove(&group)
             .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{Deadline, RequestSpec, RetryPolicy};
+
+    fn racked_cluster(n: u32, rack_size: u32) -> ClusterState {
+        let mut cfg = ClusterConfig::tiny_test(n);
+        cfg.rack_size = rack_size;
+        ClusterState::new(cfg)
+    }
+
+    #[test]
+    fn recover_rack_rejoins_instances_via_a_real_reload() {
+        let mut state = racked_cluster(4, 2);
+        let t0 = SimTime::ZERO;
+        state.fail_rack(0, t0);
+        assert!(!state.group_alive(state.instance_group(InstanceId(0))));
+        assert!(!state.group_alive(state.instance_group(InstanceId(1))));
+
+        let rejoined = state.recover_rack(0, t0);
+        assert_eq!(rejoined.len(), 2);
+        for &g in &rejoined {
+            assert!(state.group(g).frozen, "cold until the reload lands");
+            assert_eq!(state.group(g).members.len(), 1);
+        }
+        // Rejoining an already-serving instance is a no-op.
+        assert_eq!(state.recover_instance(InstanceId(0), t0), None);
+
+        // The reload is real host-link traffic: drain it and watch the
+        // groups unfreeze one RecoveryReady event per instance.
+        let mut ready = Vec::new();
+        while let Some(t) = state.network.next_completion_estimate() {
+            for (_, job) in state.network.take_completions(t) {
+                if let Some(TransferEvent::RecoveryReady { group }) = state.apply_transfer_done(job)
+                {
+                    assert!(!state.group(group).frozen, "reload completion unfreezes");
+                    ready.push(group);
+                }
+            }
+        }
+        ready.sort();
+        assert_eq!(ready, rejoined, "every rejoined instance reloads once");
+        assert_eq!(state.alive_groups().len(), 4, "full capacity restored");
+
+        let violations = state.ledger().check_invariants("post-recovery");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn resurrected_donation_record_is_flagged_by_the_ledger() {
+        let mut state = ClusterState::new(ClusterConfig::tiny_two_model(2, 2));
+        // Forge what a buggy recovery path could leave behind: a record
+        // naming a dead lender slot. The cross-audit must flag it.
+        state.donations.push(DonationRecord {
+            lender: ModelId(0),
+            lender_group: GroupId(999),
+            borrower: ModelId(1),
+            borrower_group: state.alive_groups()[2],
+            bytes: 4096,
+            blocks: 1,
+            loan: Loan {
+                lender: 0,
+                layer_start: 0,
+                layer_end: 1,
+            },
+            per_instance: vec![(InstanceId(0), 4096)],
+        });
+        let violations = state.ledger().check_invariants("t");
+        assert!(
+            violations.iter().any(|m| m.contains("resurrected")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_aborts_missed_attempts_into_backoff_then_retries() {
+        let mut cfg = ClusterConfig::tiny_test(2);
+        cfg.retry = Some(RetryPolicy {
+            max_retries: 1,
+            ..RetryPolicy::default()
+        });
+        let mut state = ClusterState::new(cfg);
+        let spec = RequestSpec {
+            id: 0,
+            model: ModelId::PRIMARY,
+            arrival: SimTime::ZERO,
+            input_tokens: 64,
+            output_tokens: 8,
+            prefix: None,
+            deadline: Some(Deadline::ttft(SimDuration::from_secs(1))),
+        };
+        let r = RequestId(0);
+        state.requests.push(Request::new(r, spec, GroupId(0)));
+        let g = state.dispatch(spec.model, spec.input_tokens);
+        state.note_dispatch(r, g);
+        state.group_mut(g).queue.push_back(r);
+
+        // Within the bound: untouched.
+        let sweep = state.sweep_deadlines(SimTime::ZERO + SimDuration::from_millis(500));
+        assert_eq!(sweep, DeadlineSweep::default());
+        assert_eq!(state.requests[0].state, ReqState::Queued);
+
+        // Past the bound: the attempt aborts into backoff and leaves the
+        // queue; the miss is counted.
+        let t_miss = SimTime::ZERO + SimDuration::from_secs(2);
+        let sweep = state.sweep_deadlines(t_miss);
+        assert_eq!(sweep.aborted, vec![r]);
+        assert_eq!(state.requests[0].state, ReqState::Backoff);
+        assert!(state.group(g).queue.is_empty());
+        assert_eq!(state.metrics.deadline_misses, 1);
+
+        // Once the timer expires the request is due; re-dispatch restarts
+        // the attempt clock and counts the retry.
+        let due_at = state.requests[0].retry_at.expect("backoff armed");
+        assert!(state
+            .sweep_deadlines(due_at - SimDuration::from_millis(1))
+            .due
+            .is_empty());
+        let sweep = state.sweep_deadlines(due_at);
+        assert_eq!(sweep.due, vec![r]);
+        let g2 = state.redispatch_retry(r, due_at, None);
+        assert_eq!(state.requests[0].attempt, 1);
+        assert_eq!(state.requests[0].attempt_arrival, due_at);
+        assert_eq!(state.metrics.retries, 1);
+        state.group_mut(g2).queue.push_back(r);
+
+        // Second miss exhausts the one-retry budget: terminal abandon.
+        let sweep = state.sweep_deadlines(due_at + SimDuration::from_secs(2));
+        assert_eq!(sweep.abandoned, vec![r]);
+        assert_eq!(state.requests[0].state, ReqState::Dropped);
+        assert_eq!(state.metrics.abandoned_requests, 1);
+    }
+
+    #[test]
+    fn shed_request_terminates_without_retry() {
+        let mut cfg = ClusterConfig::tiny_test(2);
+        cfg.retry = Some(RetryPolicy::default());
+        let mut state = ClusterState::new(cfg);
+        let spec = RequestSpec {
+            id: 7,
+            model: ModelId::PRIMARY,
+            arrival: SimTime::ZERO,
+            input_tokens: 16,
+            output_tokens: 4,
+            prefix: None,
+            deadline: Some(Deadline::ttft(SimDuration::from_secs(1))),
+        };
+        let r = RequestId(0);
+        state.requests.push(Request::new(r, spec, GroupId(0)));
+        state.shed_request(r);
+        assert_eq!(state.requests[0].state, ReqState::Dropped);
+        assert_eq!(state.metrics.shed_requests, 1);
+        // A dropped request never re-enters any sweep bucket.
+        let sweep = state.sweep_deadlines(SimTime::ZERO + SimDuration::from_secs(60));
+        assert_eq!(sweep, DeadlineSweep::default());
     }
 }

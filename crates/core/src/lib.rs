@@ -70,4 +70,7 @@ pub use plan::{
     PlanGroup,
 };
 pub use policy::{KunServeConfig, KunServePolicy};
-pub use serving::{run_system, run_system_with_failures, RunOutcome, SystemKind};
+pub use serving::{
+    run_system, run_system_sharded, run_system_sharded_with_failures, run_system_with_failures,
+    RunOutcome, SystemKind,
+};

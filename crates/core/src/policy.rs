@@ -63,6 +63,16 @@ pub struct KunServeConfig {
     /// lender may reclaim it for a restore). Hysteresis against
     /// donate/reclaim thrash when demand hovers around the threshold.
     pub donation_hold_ticks: u32,
+    /// Deadline-aware admission control: shed a deadline-carrying request
+    /// at (re-)arrival when every group that could serve it is hopelessly
+    /// backlogged (see [`KunServeConfig::shed_load_factor`]). Requests
+    /// without deadlines are never shed, so open-loop runs are unaffected.
+    pub deadline_shedding: bool,
+    /// Shed when the least-loaded serving group's demand exceeds
+    /// `shed_load_factor × capacity` — a backlog that deep means the
+    /// request would wait out its deadline in the queue and retry anyway,
+    /// amplifying the storm instead of doing work.
+    pub shed_load_factor: f64,
 }
 
 impl Default for KunServeConfig {
@@ -82,6 +92,8 @@ impl Default for KunServeConfig {
             cross_model_donation: true,
             layer_granular_donation: true,
             donation_hold_ticks: 8,
+            deadline_shedding: true,
+            shed_load_factor: 2.0,
         }
     }
 }
@@ -127,6 +139,17 @@ impl KunServeConfig {
     pub fn whole_copy_donation() -> Self {
         KunServeConfig {
             layer_granular_donation: false,
+            ..KunServeConfig::default()
+        }
+    }
+
+    /// Resilience ablation: admit everything, even requests predicted to
+    /// miss their deadline. Under a retry storm this is the metastable
+    /// spiral — every hopeless admission queues, misses, and re-arrives
+    /// (the fig23 no-shedding arm).
+    pub fn without_shedding() -> Self {
+        KunServeConfig {
+            deadline_shedding: false,
             ..KunServeConfig::default()
         }
     }
@@ -551,6 +574,38 @@ impl Policy for KunServePolicy {
         // Fully merged and still short: fall back to KVCache-centric
         // handling (§4.1: "we fallback to the KVCache-centric solution").
         cluster::OomResolution::GiveUp
+    }
+
+    fn should_shed(&mut self, state: &ClusterState, _now: SimTime, request: RequestId) -> bool {
+        if !self.cfg.deadline_shedding {
+            return false;
+        }
+        let req = state.request(request);
+        if req.spec.deadline.is_none() {
+            return false; // patient clients queue as long as it takes
+        }
+        let model = req.spec.model;
+        // The request will land on the least-loaded serving group; predict
+        // from that group's backlog. Frozen (recovering, mid-reconfig)
+        // groups cannot serve before their reload lands, so they do not
+        // count as capacity here even though the dispatcher may queue on
+        // them.
+        let mut best: Option<f64> = None;
+        for g in state.alive_group_ids() {
+            let gr = state.group(g);
+            if gr.model != model || gr.frozen {
+                continue;
+            }
+            let load =
+                state.group_demand_tokens(g) as f64 / state.group_capacity_tokens(g).max(1) as f64;
+            best = Some(best.map_or(load, |b: f64| b.min(load)));
+        }
+        match best {
+            // Nothing thawed serves this model right now: admitting would
+            // only park the request behind a parameter reload.
+            None => true,
+            Some(load) => load > self.cfg.shed_load_factor,
+        }
     }
 
     fn microbatch_former(&self) -> MicrobatchFormerSpec {

@@ -139,6 +139,31 @@ pub fn run_system_with_failures(
     }
 }
 
+/// Runs `kind` over `trace` on the **sharded** executor while injecting
+/// the scripted faults in `schedule` — the sharded counterpart of
+/// [`run_system_with_failures`]. The injector fires at barrier monitor
+/// ticks, so the storm lands at the same simulated times at any worker
+/// count and the run stays byte-identical across 1/2/4 workers.
+pub fn run_system_sharded_with_failures(
+    kind: SystemKind,
+    cfg: ClusterConfig,
+    trace: &Trace,
+    drain: SimDuration,
+    pcfg: ParallelConfig,
+    schedule: &FailureSchedule,
+) -> RunOutcome {
+    let cfg = kind.adjust_config(cfg);
+    let policy = FailureInjector::new(kind.build_policy(), schedule);
+    let mut engine = ShardedEngine::new(cfg, Box::new(policy) as Box<dyn Policy>, pcfg);
+    let report = engine.run(trace, drain);
+    RunOutcome {
+        name: kind.name(),
+        report,
+        state: engine.into_state(),
+        span: trace.duration() + drain,
+    }
+}
+
 /// Runs `kind` over `trace` on the **sharded** executor: per-group event
 /// shards advanced by `pcfg.workers` threads under a conservative
 /// time-sync barrier, with the policy invoked at barriers.

@@ -176,6 +176,7 @@ impl BurstTraceBuilder {
                     input_tokens,
                     output_tokens,
                     prefix: None,
+                    deadline: None,
                 });
             }
         }

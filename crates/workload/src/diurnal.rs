@@ -213,6 +213,7 @@ impl DiurnalTraceBuilder {
                     input_tokens,
                     output_tokens,
                     prefix: None,
+                    deadline: None,
                 });
             }
         }

@@ -29,6 +29,11 @@
 //!   cold-start arrival storms.
 //! - [`SharedPrefixTraceBuilder`]: requests tagged with a [`SharedPrefix`]
 //!   group for prefix-aware KV accounting.
+//!
+//! The closed-loop client model ([`Deadline`] on [`RequestSpec`] plus
+//! [`RetryPolicy`]) turns a trace into an SLO-bound population: misses
+//! abort and re-arrive with deterministic exponential backoff — the
+//! amplification mechanism behind the cascading-recovery storm.
 
 // `unsafe` is confined to the audited allowlist in `simlint::config`
 // (today: `cluster/src/shard.rs` only); everything else refuses it at
@@ -40,6 +45,7 @@ pub mod dataset;
 pub mod diurnal;
 pub mod popularity;
 pub mod prefix;
+pub mod retry;
 pub mod trace;
 
 pub use arrivals::{BurstPhase, BurstTraceBuilder};
@@ -47,4 +53,5 @@ pub use dataset::{Dataset, LengthSampler};
 pub use diurnal::DiurnalTraceBuilder;
 pub use popularity::PopularityTraceBuilder;
 pub use prefix::SharedPrefixTraceBuilder;
-pub use trace::{extreme_burst, ModelId, RequestSpec, SharedPrefix, Trace};
+pub use retry::RetryPolicy;
+pub use trace::{extreme_burst, Deadline, ModelId, RequestSpec, SharedPrefix, Trace};

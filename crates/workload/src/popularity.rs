@@ -152,6 +152,7 @@ impl PopularityTraceBuilder {
                 input_tokens,
                 output_tokens,
                 prefix: None,
+                deadline: None,
             });
         }
 
@@ -177,6 +178,7 @@ impl PopularityTraceBuilder {
                         input_tokens,
                         output_tokens,
                         prefix: None,
+                        deadline: None,
                     });
                 }
             }

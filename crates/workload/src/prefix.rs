@@ -161,6 +161,7 @@ impl SharedPrefixTraceBuilder {
                     input_tokens: tokens + body_tokens.max(1),
                     output_tokens,
                     prefix: Some(SharedPrefix { group, tokens }),
+                    deadline: None,
                 });
             }
         }

@@ -38,6 +38,38 @@ pub struct SharedPrefix {
     pub tokens: u64,
 }
 
+/// Per-request latency deadlines, measured from the *attempt's* arrival —
+/// a retried request gets a fresh clock, exactly like a real client whose
+/// per-attempt timeout fires and resends.
+///
+/// `None` bounds are unenforced; a spec with `deadline: None` behaves
+/// byte-identically to a pre-deadline trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Deadline {
+    /// Bound on time-to-first-token (`None` = unbounded).
+    pub ttft: Option<SimDuration>,
+    /// Bound on end-to-end completion time (`None` = unbounded).
+    pub total: Option<SimDuration>,
+}
+
+impl Deadline {
+    /// A deadline bounding only TTFT — the interactive-client SLO.
+    pub fn ttft(bound: SimDuration) -> Self {
+        Deadline {
+            ttft: Some(bound),
+            total: None,
+        }
+    }
+
+    /// A deadline bounding both TTFT and total completion time.
+    pub fn new(ttft: SimDuration, total: SimDuration) -> Self {
+        Deadline {
+            ttft: Some(ttft),
+            total: Some(total),
+        }
+    }
+}
+
 /// One request of a workload trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestSpec {
@@ -53,6 +85,8 @@ pub struct RequestSpec {
     pub output_tokens: u64,
     /// Shared-prefix membership (`None` for independent prompts).
     pub prefix: Option<SharedPrefix>,
+    /// Client latency deadlines (`None` = patient batch client).
+    pub deadline: Option<Deadline>,
 }
 
 impl RequestSpec {
@@ -218,10 +252,21 @@ impl Trace {
                     input_tokens: r.input_tokens,
                     output_tokens: r.output_tokens,
                     prefix: r.prefix,
+                    deadline: r.deadline,
                 });
             }
         }
         Trace::new(out)
+    }
+
+    /// Stamps every request with the same [`Deadline`] — turns a batch
+    /// trace into a closed-loop SLO-bound client population. Ids and
+    /// ordering are untouched.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Trace {
+        for r in &mut self.requests {
+            r.deadline = Some(deadline);
+        }
+        self
     }
 }
 
@@ -270,6 +315,7 @@ mod tests {
             input_tokens: input,
             output_tokens: output,
             prefix: None,
+            deadline: None,
         }
     }
 
@@ -390,6 +436,19 @@ mod tests {
             merged.for_model(ModelId(1)).requests[0].input_tokens,
             20,
             "model-1 lengths survive the round trip"
+        );
+    }
+
+    #[test]
+    fn with_deadline_stamps_every_request() {
+        let t = Trace::new(vec![spec(0, 10, 5), spec(100, 20, 5)]);
+        let d = Deadline::new(SimDuration::from_secs(2), SimDuration::from_secs(30));
+        let t = t.with_deadline(d);
+        assert!(t.requests.iter().all(|r| r.deadline == Some(d)));
+        assert_eq!(
+            Deadline::ttft(SimDuration::from_secs(1)).total,
+            None,
+            "ttft-only deadline leaves total unbounded"
         );
     }
 

@@ -51,7 +51,8 @@ pub mod prelude {
         ShardedEngine, Testbed,
     };
     pub use kunserve::serving::{
-        run_system, run_system_sharded, run_system_with_failures, RunOutcome, SystemKind,
+        run_system, run_system_sharded, run_system_sharded_with_failures, run_system_with_failures,
+        RunOutcome, SystemKind,
     };
     pub use kunserve::{KunServeConfig, KunServePolicy};
     pub use sim_core::{SimDuration, SimTime};

@@ -287,3 +287,69 @@ fn diurnal_scenario_byte_identical_across_worker_counts() {
     assert_eq!(one, run(2), "2 workers must match 1");
     assert_eq!(one, run(4), "4 workers must match 1");
 }
+
+/// The full resilience stack at once — per-request deadlines, retry
+/// re-arrivals with jittered backoff, deadline-aware shedding, a rack
+/// outage *and* its recovery reload — must stay byte-identical across
+/// 1/2/4 workers: the retry clock, the jitter hash and the admission
+/// decision are all functions of simulated time and seeds, never of
+/// thread scheduling.
+#[test]
+fn resilience_scenario_byte_identical_across_worker_counts() {
+    use cluster::{Deadline, RetryPolicy};
+    let run = |workers: usize| {
+        let trace = BurstTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(60.0)
+            .duration(SimDuration::from_secs(20))
+            .burst(SimTime::from_secs(5), SimDuration::from_secs(10), 3.0)
+            .seed(0xFA11)
+            .build()
+            .with_deadline(Deadline::ttft(SimDuration::from_secs(2)));
+        let mut cfg = ClusterConfig::tiny_test(4);
+        cfg.reserve_frac = 0.45;
+        cfg.rack_size = 2;
+        cfg.retry = Some(RetryPolicy {
+            max_retries: 3,
+            base: SimDuration::from_millis(400),
+            multiplier: 2,
+            cap: SimDuration::from_secs(4),
+            seed: 7,
+        });
+        let schedule = FailureSchedule::new()
+            .rack_down(SimTime::from_secs(8), 1)
+            .rack_up(SimTime::from_secs(14), 1);
+        run_system_sharded_with_failures(
+            SystemKind::KunServe,
+            cfg,
+            &trace,
+            SimDuration::from_secs(600),
+            ParallelConfig {
+                workers,
+                num_shards: 4,
+                lookahead: None,
+            },
+            &schedule,
+        )
+    };
+    let bytes = |out: &RunOutcome| {
+        format!(
+            "{:?}|{:?}|{:?}",
+            out.report, out.report.per_model, out.state.metrics.reconfig_events
+        )
+    };
+    let one = run(1);
+    // The matrix must not pass vacuously: the storm has to actually
+    // trip deadlines and drive the closed-loop client.
+    assert!(
+        one.report.deadline_misses > 0,
+        "scenario must trip deadlines (misses {})",
+        one.report.deadline_misses
+    );
+    assert!(
+        one.report.retries > 0,
+        "scenario must drive retry re-arrivals"
+    );
+    let one_bytes = bytes(&one);
+    assert_eq!(one_bytes, bytes(&run(2)), "2 workers must match 1");
+    assert_eq!(one_bytes, bytes(&run(4)), "4 workers must match 1");
+}

@@ -200,3 +200,87 @@ fn rack_failure_during_active_donation_settles_the_ledger() {
         }
     }
 }
+
+/// The recovery path (§4.4): the failed rack *rejoins* mid-drain. The
+/// rejoined instances reload their parameter copies as real host-link
+/// traffic (they re-enter service frozen and thaw when the reload
+/// completes), and the elastic-HBM ledger must hold its invariants
+/// through fail → recover → reload on both executors — in particular, a
+/// rejoined lender must not resurrect loans that were force-settled when
+/// it died.
+#[test]
+fn rack_recovery_reloads_and_keeps_the_ledger_clean_on_both_executors() {
+    let sc = MultiScenario::fig18_donation_smoke();
+    let mut cfg = sc.cfg.clone();
+    cfg.rack_size = 2;
+    let trace = sc.trace();
+    let schedule = FailureSchedule::new()
+        .rack_down(SimTime::from_secs(15), 1)
+        .rack_up(SimTime::from_secs(25), 1);
+
+    // Serial engine, invariants audited at every monitor tick.
+    let policy = FailureInjector::new(KunServePolicy::new(KunServeConfig::default()), &schedule);
+    let mut engine = Engine::new(cfg.clone(), policy);
+    let mut violations = Vec::new();
+    let report = engine.run_observed(&trace, sc.drain, |state, now| {
+        violations.extend(state.ledger().check_invariants(&now.to_string()));
+    });
+    assert!(violations.is_empty(), "{}", violations.join("\n"));
+    assert_eq!(
+        report.finished_requests,
+        trace.len(),
+        "no request may be lost across the outage + recovery"
+    );
+    let state = engine.into_state();
+    assert!(
+        state
+            .metrics
+            .reconfig_events
+            .iter()
+            .any(|(_, w)| w.starts_with("rack-recovery")),
+        "the rack recovery must be recorded"
+    );
+    // The rejoined instances are back in service with thawed groups and
+    // full parameter copies; nothing is still lending against them.
+    for inst in [InstanceId(2), InstanceId(3)] {
+        let g = state.instance_group(inst);
+        assert!(state.group_alive(g), "{inst} must be back in service");
+        assert!(
+            !state.group(g).frozen,
+            "{inst} must have finished its parameter reload"
+        );
+        assert_eq!(
+            state.instances[inst.0 as usize].dropped_layers(),
+            0,
+            "{inst} must hold a full copy after the reload"
+        );
+    }
+    assert_eq!(state.donated_bytes_outstanding(), 0, "ledger not settled");
+    assert!(state.ledger().check_invariants("final").is_empty());
+
+    // Sharded executor: the identical storm, the same contract.
+    let out = run_system_sharded_with_failures(
+        SystemKind::KunServe,
+        cfg,
+        &trace,
+        sc.drain,
+        ParallelConfig {
+            workers: 2,
+            num_shards: 4,
+            lookahead: None,
+        },
+        &schedule,
+    );
+    assert_eq!(out.report.finished_requests, trace.len());
+    let final_violations = out.state.ledger().check_invariants("final (sharded)");
+    assert!(
+        final_violations.is_empty(),
+        "{}",
+        final_violations.join("\n")
+    );
+    for inst in [InstanceId(2), InstanceId(3)] {
+        let g = out.state.instance_group(inst);
+        assert!(out.state.group_alive(g), "{inst} (sharded) must rejoin");
+        assert!(!out.state.group(g).frozen, "{inst} (sharded) must thaw");
+    }
+}
