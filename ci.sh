@@ -45,7 +45,10 @@ write_timings() {
                 "${STAGE_NAMES[$i]}" "${STAGE_MS[$i]}" "${STAGE_OK[$i]}" \
                 "$([ "$i" -lt $((${#STAGE_NAMES[@]} - 1)) ] && echo ',')"
         done
-        printf '  ],\n  "total_wall_clock_ms": %s\n}\n' "$total_ms"
+        # threads_available lets the timing consumers (and the speedup
+        # gate post-mortem) tell a degraded 1-core run from a real one.
+        printf '  ],\n  "total_wall_clock_ms": %s,\n  "threads_available": %s\n}\n' \
+            "$total_ms" "$(nproc 2>/dev/null || echo 1)"
     } > "$TIMINGS_JSON"
     echo "==> timings: $TIMINGS_JSON"
 }
@@ -170,14 +173,19 @@ stage_scenarios() {
 
 stage_scale() {
     local ps_json=target/bench-json/paper_scale_parallel.json
+    # Absolute: `cargo bench` runs the target with cwd = the package dir,
+    # not the workspace root, so a relative path would land in crates/bench/.
+    local sw_json="$PWD/target/bench-json/shard_window.json"
     cargo run --release --offline -q -p bench --bin paper_scale_parallel -- \
         --threads 4 --json "$ps_json"
     cargo run --release --offline -q -p bench --bin check_bench_json -- \
         --schema "$ps_json"
     cargo run --release --offline -q -p bench --bin check_bench_json -- \
         "$ps_json" crates/bench/tolerances/paper_scale.json
+    echo "--- shard_window barrier-loop bench (1/2/4/8 workers, one-hot skew)"
+    cargo bench --offline -q -p bench --bench shard_window -- --json "$sw_json"
     cargo run --release --offline -q -p bench --bin check_bench_json -- \
-        --budget crates/bench/tolerances/ci_budget.json "$ps_json"
+        --budget crates/bench/tolerances/ci_budget.json "$ps_json" "$sw_json"
 }
 
 STAGES=("$@")

@@ -1,0 +1,136 @@
+//! Criterion benchmark for the sharded executor's barrier-loop window
+//! cost under a skewed (one-hot-group) workload.
+//!
+//! The cluster co-serves four single-instance groups but the trace pins
+//! every request to model 0, so all window work lands in one steal lane:
+//! the worst case for static slot assignment and the best case for work
+//! stealing. Each sample runs the executor end to end at 1/2/4/8 workers;
+//! the per-window cost (total wall clock / barrier windows executed)
+//! tracks scheduler overhead — deque churn, steal handoffs, merge cost —
+//! rather than simulation throughput.
+//!
+//! Besides the criterion numbers, the binary emits the standard
+//! bench-JSON envelope (figure `shard_window`) into `target/bench-json/`
+//! so the speedup trajectory is recorded and the run is gated by the
+//! tier-1 wall-clock budget in `ci.sh`.
+
+use criterion::{black_box, Criterion};
+use std::time::Instant;
+
+use bench::{json_out_path, with_exec_meta, write_json, Json};
+use cluster::{ClusterConfig, ParallelConfig, QueueingPolicy, ShardedEngine};
+use sim_core::{SimDuration, SimTime};
+use workload::{BurstTraceBuilder, Dataset, Trace};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const DRAIN: SimDuration = SimDuration::from_secs(300);
+
+/// All requests target model 0 — the single hot group on a cluster that
+/// has four group slots, so three steal lanes are permanently empty.
+fn one_hot_trace(seconds: u64) -> Trace {
+    BurstTraceBuilder::new(Dataset::BurstGpt)
+        .base_rps(25.0)
+        .duration(SimDuration::from_secs(seconds))
+        .burst(
+            SimTime::from_secs(seconds / 3),
+            SimDuration::from_secs(seconds / 4),
+            2.0,
+        )
+        .seed(42)
+        .build()
+}
+
+fn skewed_cluster() -> ClusterConfig {
+    // One instance for the hot model plus three idle tail groups: four
+    // lanes, one of them carrying the entire load.
+    ClusterConfig::tiny_many_models(1, 3)
+}
+
+fn pcfg(workers: usize) -> ParallelConfig {
+    ParallelConfig {
+        workers,
+        num_shards: 4,
+        lookahead: None,
+        speculation: false,
+    }
+}
+
+/// One timed end-to-end run; returns (wall seconds, windows, steals).
+fn timed_run(trace: &Trace, workers: usize) -> (f64, u64, u64) {
+    let mut eng = ShardedEngine::new(skewed_cluster(), QueueingPolicy, pcfg(workers));
+    let start = Instant::now();
+    black_box(eng.run(trace, DRAIN));
+    let wall = start.elapsed().as_secs_f64();
+    let stats = eng.stats();
+    (wall, stats.windows, stats.steals)
+}
+
+fn bench_window_loop(c: &mut Criterion, trace: &Trace) {
+    let mut g = c.benchmark_group("shard_window");
+    g.sample_size(10);
+    for &workers in &WORKER_COUNTS {
+        g.bench_function(&format!("one_hot_workers_{workers}"), |b| {
+            b.iter(|| {
+                let mut eng = ShardedEngine::new(skewed_cluster(), QueueingPolicy, pcfg(workers));
+                black_box(eng.run(trace, DRAIN))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Under `cargo test` the harness passes `--test`: keep the smoke run
+    // short (criterion's shim already runs one iteration per bench).
+    let smoke = args.iter().any(|a| a == "--test");
+    let trace = one_hot_trace(if smoke { 2 } else { 8 });
+
+    let mut c = Criterion::default().configure_from_args();
+    bench_window_loop(&mut c, &trace);
+
+    // One reference run per worker count for the JSON trajectory (the
+    // criterion shim doesn't expose its timings).
+    let total_start = Instant::now();
+    let baseline = timed_run(&trace, 1);
+    let mut rows = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        let (wall, windows, steals) = if workers == 1 {
+            baseline
+        } else {
+            timed_run(&trace, workers)
+        };
+        let us_per_window = wall * 1e6 / windows.max(1) as f64;
+        println!(
+            "shard_window: workers={workers} windows={windows} steals={steals} \
+             {us_per_window:.1} us/window ({:.0} ms total)",
+            wall * 1e3
+        );
+        rows.push(Json::obj([
+            ("workers", Json::Num(workers as f64)),
+            ("windows", Json::Num(windows as f64)),
+            ("steals", Json::Num(steals as f64)),
+            ("wall_clock_ms", Json::Num(wall * 1e3)),
+            ("us_per_window", Json::Num(us_per_window)),
+            ("speedup_vs_1", Json::Num(baseline.0 / wall.max(1e-9))),
+        ]));
+    }
+
+    let doc = Json::obj([
+        ("figure", Json::str("shard_window")),
+        ("workload", Json::str("one-hot group, 4 lanes, burst x2.0")),
+        ("worker_sweep", Json::Arr(rows)),
+    ]);
+    let doc = with_exec_meta(
+        doc,
+        *WORKER_COUNTS.iter().max().expect("non-empty"),
+        total_start.elapsed().as_secs_f64() * 1e3,
+    );
+    // Under `cargo test` the sweep ran on the smoke trace: don't clobber
+    // a real trajectory in target/bench-json/ unless a path was given.
+    if !smoke || args.iter().any(|a| a == "--json") {
+        let path = json_out_path("shard_window", &args);
+        write_json(&path, &doc).expect("write bench JSON");
+        println!("shard_window: wrote {}", path.display());
+    }
+}

@@ -51,8 +51,11 @@ pub use instance::{Instance, InstanceId};
 pub use ledger::{LedgerEntry, MemoryLedger};
 pub use metrics::{Metrics, ModelReport, RequestRecord, RunReport};
 pub use pipeline::{PipelineSchedule, StageTiming};
-pub use policy::{OomResolution, Policy, QueueingPolicy, TransferEvent, TransferPurpose};
+pub use policy::{
+    DeferredHooks, HookPlan, OomResolution, Policy, QueueingPolicy, SpecJob, TransferEvent,
+    TransferPurpose,
+};
 pub use request::{ReqState, Request, RequestId, StallReason};
-pub use shard::{derive_lookahead, ParallelConfig, ShardedEngine};
+pub use shard::{derive_lookahead, ParallelConfig, ShardStats, ShardedEngine};
 pub use state::{ClusterState, DeadlineSweep};
 pub use workload::{Deadline, ModelId, RetryPolicy};

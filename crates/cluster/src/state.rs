@@ -145,6 +145,13 @@ pub struct ClusterState {
     pub pending_overhead: HashMap<GroupId, SimDuration>,
     transfer_batches: HashMap<u64, TransferBatch>,
     next_batch: u64,
+    /// Monotone counter of *structural* mutations: group creation/death
+    /// (merge, split, failure, recovery) and freeze/unfreeze flips. The
+    /// optimistic executor validates speculative hook plans against it —
+    /// an unchanged epoch proves the snapshot's group structure is intact,
+    /// so a plan computed from it can still be applied. Bumped only on the
+    /// serial barrier path, so it is a pure function of simulated state.
+    structural_epoch: u64,
 }
 
 impl ClusterState {
@@ -246,7 +253,20 @@ impl ClusterState {
             pending_overhead: HashMap::new(),
             transfer_batches: HashMap::new(),
             next_batch: 0,
+            structural_epoch: 0,
         })
+    }
+
+    /// The structural-mutation epoch (see the field doc). Speculative hook
+    /// plans snapshot this and are only committed while it holds.
+    pub fn structural_epoch(&self) -> u64 {
+        self.structural_epoch
+    }
+
+    /// Records a structural mutation (group created/destroyed or a freeze
+    /// flip), invalidating any in-flight speculative hook plan.
+    fn note_structural_change(&mut self) {
+        self.structural_epoch += 1;
     }
 
     // ------------------------------------------------------------------
@@ -785,6 +805,7 @@ impl ClusterState {
         for &g in &groups {
             self.group_mut(g).frozen = true;
         }
+        self.note_structural_change();
         self.pending_reconfigs.push(Reconfig::Merge {
             groups,
             grants,
@@ -795,6 +816,7 @@ impl ClusterState {
     /// Requests a split (restore): the group freezes and splits once idle.
     pub fn request_split(&mut self, group: GroupId) {
         self.group_mut(group).frozen = true;
+        self.note_structural_change();
         self.pending_reconfigs.push(Reconfig::Split { group });
     }
 
@@ -1133,6 +1155,7 @@ impl ClusterState {
     /// Returns the newly created groups.
     pub fn execute_ready_reconfigs(&mut self, now: SimTime) -> Vec<GroupId> {
         let mut created = Vec::new();
+        let mut mutated = false;
         let pending = std::mem::take(&mut self.pending_reconfigs);
         for rc in pending {
             let ready = match &rc {
@@ -1153,6 +1176,7 @@ impl ClusterState {
                     grants,
                     drop_range,
                 } => {
+                    mutated = true;
                     match self.merge_groups(&groups, &grants, drop_range, now) {
                         Ok(g) => created.push(g),
                         Err(msg) => {
@@ -1168,10 +1192,14 @@ impl ClusterState {
                     }
                 }
                 Reconfig::Split { group } => match self.split_group(group, now) {
-                    Ok(gs) => created.extend(gs),
+                    Ok(gs) => {
+                        mutated = true;
+                        created.extend(gs);
+                    }
                     Err(_busy) => {
                         // Usage crept back above the restorable level; keep
                         // the group pipelined and let the policy retry.
+                        mutated = true;
                         if self.group_alive(group) {
                             self.group_mut(group).frozen = false;
                         }
@@ -1179,6 +1207,9 @@ impl ClusterState {
                     }
                 },
             }
+        }
+        if mutated {
+            self.note_structural_change();
         }
         created
     }
@@ -1810,6 +1841,7 @@ impl ClusterState {
     pub fn fail_instance(&mut self, failed: InstanceId, now: SimTime) -> Vec<GroupId> {
         let gid = self.instances[failed.0 as usize].group;
         assert!(self.group_alive(gid), "instance already failed");
+        self.note_structural_change();
         let model_id = self.group(gid).model;
         let kv_per_token = self.cfg.model_cfg(model_id).kv_bytes_per_token();
         // Settle the donation ledger before anything restores: bytes this
@@ -1983,6 +2015,7 @@ impl ClusterState {
         if self.group_alive(self.instances[inst.0 as usize].group) {
             return None;
         }
+        self.note_structural_change();
         let model_id = self.instances[inst.0 as usize].model;
         self.instances[inst.0 as usize] = Instance::for_model(inst, model_id, &self.cfg);
         let kv_per_token = self.cfg.model_cfg(model_id).kv_bytes_per_token();
@@ -2216,6 +2249,7 @@ impl ClusterState {
                     BatchEffect::RecoveryReady(group) => {
                         if self.group_alive(group) {
                             self.group_mut(group).frozen = false;
+                            self.note_structural_change();
                         }
                         Some(TransferEvent::RecoveryReady { group })
                     }

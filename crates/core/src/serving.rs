@@ -2,7 +2,7 @@
 
 use cluster::{
     ClusterConfig, ClusterState, Engine, FailureInjector, FailureSchedule, ParallelConfig, Policy,
-    RunReport, ShardedEngine,
+    RunReport, ShardStats, ShardedEngine,
 };
 use sim_core::SimDuration;
 use workload::Trace;
@@ -92,6 +92,9 @@ pub struct RunOutcome {
     pub state: ClusterState,
     /// Wall-clock span of the trace (for throughput normalization).
     pub span: SimDuration,
+    /// Scheduling/speculation telemetry of the sharded executor
+    /// (`None` for serial-engine runs). Never part of the report.
+    pub stats: Option<ShardStats>,
 }
 
 /// Runs `kind` over `trace` on a cluster built from `cfg`, allowing up to
@@ -111,6 +114,7 @@ pub fn run_system(
         report,
         state: engine.into_state(),
         span: trace.duration() + drain,
+        stats: None,
     }
 }
 
@@ -136,6 +140,7 @@ pub fn run_system_with_failures(
         report,
         state: engine.into_state(),
         span: trace.duration() + drain,
+        stats: None,
     }
 }
 
@@ -156,11 +161,13 @@ pub fn run_system_sharded_with_failures(
     let policy = FailureInjector::new(kind.build_policy(), schedule);
     let mut engine = ShardedEngine::new(cfg, Box::new(policy) as Box<dyn Policy>, pcfg);
     let report = engine.run(trace, drain);
+    let stats = engine.stats();
     RunOutcome {
         name: kind.name(),
         report,
         state: engine.into_state(),
         span: trace.duration() + drain,
+        stats: Some(stats),
     }
 }
 
@@ -183,11 +190,13 @@ pub fn run_system_sharded(
     let policy = kind.build_policy();
     let mut engine = ShardedEngine::new(cfg, policy, pcfg);
     let report = engine.run(trace, drain);
+    let stats = engine.stats();
     RunOutcome {
         name: kind.name(),
         report,
         state: engine.into_state(),
         span: trace.duration() + drain,
+        stats: Some(stats),
     }
 }
 
@@ -281,6 +290,51 @@ mod tests {
             kun.report.ttft.p99,
             vllm.report.ttft.p99
         );
+    }
+
+    #[test]
+    fn sharded_kunserve_speculation_commits_plans() {
+        // KunServe implements `plan_deferred`: under a memory-overloading
+        // burst with speculation on, deferred admission/OOM batches must
+        // launch speculative arbitration rounds, every launch must resolve,
+        // and the run must stay worker-count invariant.
+        let trace = BurstTraceBuilder::new(Dataset::BurstGpt)
+            .base_rps(60.0)
+            .duration(SimDuration::from_secs(25))
+            .burst(SimTime::from_secs(6), SimDuration::from_secs(12), 3.0)
+            .seed(9)
+            .build();
+        let mut cfg = ClusterConfig::tiny_test(4);
+        cfg.reserve_frac = 0.45;
+        let drain = SimDuration::from_secs(600);
+        let run = |workers: usize| {
+            let mut pcfg = ParallelConfig::with_workers(workers);
+            pcfg.num_shards = 4;
+            pcfg.speculation = true;
+            run_system_sharded(SystemKind::KunServe, cfg.clone(), &trace, drain, pcfg)
+        };
+        let one = run(1);
+        let two = run(2);
+        assert_eq!(one.report.finished_requests, trace.len());
+        assert_eq!(
+            format!("{:?}|{:?}", one.report, one.state.metrics.reconfig_events),
+            format!("{:?}|{:?}", two.report, two.state.metrics.reconfig_events),
+            "speculative runs must stay byte-identical across worker counts"
+        );
+        let stats = one.stats.expect("sharded run records stats");
+        assert!(stats.spec_launched > 0, "the burst must launch speculation");
+        assert_eq!(
+            stats.spec_committed + stats.spec_fallbacks,
+            stats.spec_launched,
+            "every speculative launch resolves exactly once"
+        );
+        // Speculation accounting is epoch-driven and therefore
+        // worker-invariant; steal counts are thread-timing telemetry and
+        // deliberately excluded from the comparison.
+        let stats2 = two.stats.expect("stats present");
+        assert_eq!(stats.spec_launched, stats2.spec_launched);
+        assert_eq!(stats.spec_committed, stats2.spec_committed);
+        assert_eq!(stats.spec_fallbacks, stats2.spec_fallbacks);
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub mod stats;
 pub mod time;
 
 pub use queue::EventQueue;
-pub use shard::{ConservativeClock, ShardId, ShardedQueue};
+pub use shard::{
+    ConservativeClock, ShardId, ShardedQueue, SpecOutcome, SpecSequencer, StealDeques,
+};
 pub use stats::{Percentiles, TimeSeries, WindowedRate};
 pub use time::{SimDuration, SimTime};

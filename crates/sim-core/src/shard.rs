@@ -9,7 +9,7 @@
 //! `lookahead` past their sender's clock, no shard can ever receive an
 //! event "in its past".
 //!
-//! Two building blocks live here:
+//! Four building blocks live here:
 //!
 //! - [`ConservativeClock`]: per-shard clocks + the safe-horizon rule.
 //!   The cluster simulator's sharded executor drives its barrier loop off
@@ -17,11 +17,25 @@
 //! - [`ShardedQueue`]: per-shard future-event lists plus timestamped
 //!   inter-shard mailboxes with deterministic delivery order — the
 //!   general *asynchronous* delivery primitive for executors whose shards
-//!   exchange events directly (e.g. a future work-stealing engine). The
-//!   barrier-synchronous executor routes all cross-shard effects through
-//!   its coordinator instead, so it needs only the clock; the mailbox
-//!   contract is pinned by `tests/prop_shard_sync.rs` against the same
-//!   safe-horizon rule.
+//!   exchange events directly. The barrier-synchronous executor routes
+//!   all cross-shard effects through its coordinator instead, so it
+//!   needs only the clock; the mailbox contract is pinned by
+//!   `tests/prop_shard_sync.rs` against the same safe-horizon rule.
+//! - [`StealDeques`]: per-shard work-item deques with steal semantics —
+//!   the scheduling substrate of the work-stealing executor. Items are
+//!   pushed by a coordinator in deterministic order; workers drain their
+//!   home lane front-to-back and steal from other lanes' backs when
+//!   idle. Stealing moves only *where* an item executes, never what it
+//!   computes, so results stay byte-identical at any worker count.
+//! - [`SpecSequencer`]: the deterministic commit sequencer for optimistic
+//!   (speculative) barrier-hook execution: at most one speculation is in
+//!   flight, it resolves at the *next* barrier, and the commit/fallback
+//!   decision is a pure function of a structural epoch — never of
+//!   wall-clock scheduling. Pinned by `tests/prop_shard_sync.rs`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
@@ -227,6 +241,169 @@ impl<E> ShardedQueue<E> {
     }
 }
 
+/// Per-shard work-item deques with steal semantics.
+///
+/// The coordinator pushes one window's work items into their *home* lanes
+/// (front-to-back, deterministic order), then workers drain the set:
+/// a worker pops its home lane from the **front** (preserving the
+/// coordinator's order) and, when its home lane is empty, steals from
+/// other lanes' **backs** — the classic steal discipline that keeps the
+/// cold end of a busy lane for its owner.
+///
+/// Determinism: an item's result is a pure function of the item, so the
+/// lane it is popped from only decides *where* it runs. The steal counter
+/// is telemetry and must never feed a simulation report.
+#[derive(Debug)]
+pub struct StealDeques<T> {
+    lanes: Vec<Mutex<VecDeque<T>>>,
+    steals: AtomicU64,
+}
+
+impl<T> StealDeques<T> {
+    /// Creates `lanes` empty deques.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "need at least one lane");
+        StealDeques {
+            lanes: (0..lanes).map(|_| Mutex::new(VecDeque::new())).collect(),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Pushes an item onto the back of its home lane (coordinator side).
+    pub fn push(&self, lane: usize, item: T) {
+        self.lanes[lane].lock().expect("steal lane").push_back(item);
+    }
+
+    /// Pops one item for a worker homed on `home`: front of the home lane
+    /// first, then the backs of the other lanes in ring order. Returns the
+    /// item and the lane it came from; a pop from a non-home lane counts
+    /// as a steal.
+    pub fn pop(&self, home: usize) -> Option<(usize, T)> {
+        let n = self.lanes.len();
+        let home = home % n;
+        if let Some(item) = self.lanes[home].lock().expect("steal lane").pop_front() {
+            return Some((home, item));
+        }
+        for off in 1..n {
+            let lane = (home + off) % n;
+            if let Some(item) = self.lanes[lane].lock().expect("steal lane").pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some((lane, item));
+            }
+        }
+        None
+    }
+
+    /// Drains every lane in `(lane, front-to-back)` order — the inline
+    /// path for a single worker, which by construction never steals.
+    pub fn drain_in_order(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        for lane in &self.lanes {
+            out.extend(lane.lock().expect("steal lane").drain(..));
+        }
+        out
+    }
+
+    /// Total successful steals so far (telemetry only).
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` when every lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lanes
+            .iter()
+            .all(|l| l.lock().expect("steal lane").is_empty())
+    }
+}
+
+/// Outcome of resolving one in-flight speculation at a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecOutcome<T> {
+    /// The structural epoch did not move while the speculation ran: the
+    /// precomputed plan may be committed. Carries the fallback payload
+    /// back for bookkeeping (the committer usually ignores it).
+    Commit(T),
+    /// A conflicting structural mutation happened in between: the plan
+    /// must be discarded and the payload re-run serially at this barrier.
+    Fallback(T),
+}
+
+/// Deterministic commit sequencer for optimistic barrier-hook execution.
+///
+/// The optimistic executor launches at most one speculation per window
+/// (planned against a snapshot at barrier *k*) and resolves it at barrier
+/// *k + 1*: **commit** if the structural epoch is unchanged, **fallback**
+/// (discard + serial re-run of the saved payload) otherwise. Because
+/// launches and resolves alternate and the decision depends only on the
+/// two epochs, the commit order equals the serial hook order for every
+/// conflict pattern — the property `tests/prop_shard_sync.rs` pins.
+#[derive(Debug, Default)]
+pub struct SpecSequencer<T> {
+    inflight: Option<(u64, T)>,
+    launched: u64,
+    committed: u64,
+    fallbacks: u64,
+}
+
+impl<T> SpecSequencer<T> {
+    /// Creates an idle sequencer.
+    pub fn new() -> Self {
+        SpecSequencer {
+            inflight: None,
+            launched: 0,
+            committed: 0,
+            fallbacks: 0,
+        }
+    }
+
+    /// Admits a speculation planned against `base_epoch`, carrying the
+    /// payload to re-run serially if validation fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a speculation is already in flight: the sequencer's
+    /// contract is strict alternation (launch at *k*, resolve at *k + 1*),
+    /// which is what keeps commit order equal to serial hook order.
+    pub fn launch(&mut self, base_epoch: u64, payload: T) {
+        assert!(
+            self.inflight.is_none(),
+            "speculation already in flight; resolve() must run first"
+        );
+        self.launched += 1;
+        self.inflight = Some((base_epoch, payload));
+    }
+
+    /// Resolves the in-flight speculation (if any) against the current
+    /// structural epoch. Must be called at every barrier *before* a new
+    /// launch.
+    pub fn resolve(&mut self, epoch_now: u64) -> Option<SpecOutcome<T>> {
+        let (base, payload) = self.inflight.take()?;
+        if base == epoch_now {
+            self.committed += 1;
+            Some(SpecOutcome::Commit(payload))
+        } else {
+            self.fallbacks += 1;
+            Some(SpecOutcome::Fallback(payload))
+        }
+    }
+
+    /// Whether no speculation is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.inflight.is_none()
+    }
+
+    /// `(launched, committed, fallbacks)` counters (telemetry only).
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.launched, self.committed, self.fallbacks)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +475,70 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.deliver(ShardId(1));
         assert_eq!(q.peek_time(ShardId(1)), Some(SimTime::from_millis(3)));
+    }
+
+    #[test]
+    fn steal_deques_home_pops_are_fifo_and_free() {
+        let d: StealDeques<u32> = StealDeques::new(2);
+        d.push(0, 1);
+        d.push(0, 2);
+        assert_eq!(d.pop(0), Some((0, 1)), "home lane drains front-first");
+        assert_eq!(d.pop(0), Some((0, 2)));
+        assert_eq!(d.steals(), 0, "home pops are not steals");
+        assert!(d.is_empty());
+        assert_eq!(d.pop(0), None);
+    }
+
+    #[test]
+    fn steal_deques_steal_from_back_and_count() {
+        let d: StealDeques<u32> = StealDeques::new(3);
+        d.push(2, 10);
+        d.push(2, 11);
+        // Worker homed on lane 0 finds its lane empty and steals lane 2's
+        // back item.
+        assert_eq!(d.pop(0), Some((2, 11)));
+        assert_eq!(d.steals(), 1);
+        // Lane 2's owner still gets the front item, steal-free.
+        assert_eq!(d.pop(2), Some((2, 10)));
+        assert_eq!(d.steals(), 1);
+    }
+
+    #[test]
+    fn steal_deques_drain_in_order_is_deterministic() {
+        let d: StealDeques<u32> = StealDeques::new(3);
+        d.push(1, 20);
+        d.push(0, 10);
+        d.push(1, 21);
+        assert_eq!(d.drain_in_order(), vec![10, 20, 21]);
+        assert_eq!(d.steals(), 0, "the inline path never steals");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn spec_sequencer_commits_when_epoch_holds() {
+        let mut s: SpecSequencer<&str> = SpecSequencer::new();
+        assert!(s.is_idle());
+        assert_eq!(s.resolve(0), None);
+        s.launch(7, "batch-a");
+        assert!(!s.is_idle());
+        assert_eq!(s.resolve(7), Some(SpecOutcome::Commit("batch-a")));
+        assert_eq!(s.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn spec_sequencer_falls_back_on_epoch_move() {
+        let mut s: SpecSequencer<&str> = SpecSequencer::new();
+        s.launch(3, "batch-b");
+        assert_eq!(s.resolve(4), Some(SpecOutcome::Fallback("batch-b")));
+        assert_eq!(s.counters(), (1, 0, 1));
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn spec_sequencer_rejects_double_launch() {
+        let mut s: SpecSequencer<u32> = SpecSequencer::new();
+        s.launch(0, 1);
+        s.launch(0, 2);
     }
 }

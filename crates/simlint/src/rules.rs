@@ -16,6 +16,13 @@
 //!   benches included — lineups are byte-compared across runs).
 //! - `D-CAST`: every `as`-cast to an integer type in a designated metric
 //!   path must state its rounding rationale (casts silently truncate).
+//! - `D-STEAL`: `unsafe` in the work-stealing / speculation path (any
+//!   site whose line or attached comment speaks of stealing or
+//!   speculative execution) must stay inside the audited executor file
+//!   (the `U-FILE` allowlist) *and* carry an ownership-*transfer*
+//!   `// SAFETY:` argument — who owned the data before the steal and who
+//!   owns it after; **not** pragma-suppressable (a stolen-task data race
+//!   silently breaks byte-identical reports).
 //!
 //! **U-rules (unsafe hygiene)** — the sharded executor's raw-pointer
 //! request table is sound by a documented ownership discipline; these
@@ -47,6 +54,9 @@ pub enum Rule {
     DRand,
     /// Undocumented integer truncation in metric paths.
     DCast,
+    /// Steal/speculation-path `unsafe` without an ownership-transfer
+    /// argument, or outside the audited executor.
+    DSteal,
     /// `unsafe` outside the audited file allowlist.
     UFile,
     /// `unsafe` without a `// SAFETY:` comment.
@@ -63,6 +73,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::DTime,
     Rule::DRand,
     Rule::DCast,
+    Rule::DSteal,
     Rule::UFile,
     Rule::USafety,
     Rule::USend,
@@ -77,6 +88,7 @@ impl Rule {
             Rule::DTime => "D-TIME",
             Rule::DRand => "D-RAND",
             Rule::DCast => "D-CAST",
+            Rule::DSteal => "D-STEAL",
             Rule::UFile => "U-FILE",
             Rule::USafety => "U-SAFETY",
             Rule::USend => "U-SEND",
@@ -91,6 +103,7 @@ impl Rule {
             Rule::DTime => "wall-clock time (Instant/SystemTime) in simulation code",
             Rule::DRand => "ambient entropy (thread_rng/from_entropy/OsRng)",
             Rule::DCast => "undocumented integer-truncating cast in a metric path",
+            Rule::DSteal => "steal/speculation-path unsafe without an ownership-transfer argument",
             Rule::UFile => "unsafe code outside the audited file allowlist",
             Rule::USafety => "unsafe without a // SAFETY: comment",
             Rule::USend => "unsafe impl Send/Sync without an ownership argument",
@@ -104,10 +117,11 @@ impl Rule {
     }
 
     /// Whether a `simlint: allow(..)` pragma can suppress this rule.
-    /// `U-FILE` is allowlist-only by design: growing the unsafe surface
-    /// must be a reviewed, analyzer-level decision.
+    /// `U-FILE` and `D-STEAL` are allowlist-only by design: growing the
+    /// unsafe surface — or moving raw-pointer ownership across worker
+    /// threads — must be a reviewed, analyzer-level decision.
     pub fn suppressable(self) -> bool {
-        !matches!(self, Rule::UFile | Rule::LintPragma)
+        !matches!(self, Rule::UFile | Rule::DSteal | Rule::LintPragma)
     }
 }
 
@@ -288,6 +302,35 @@ fn safety_marker(block: &str) -> Option<usize> {
     None
 }
 
+/// Vocabulary that marks an `unsafe` site as part of the work-stealing /
+/// speculative-execution path (matched against the lowercased site line
+/// plus its attached comment block).
+const STEAL_PATH_WORDS: &[&str] = &["steal", "stole", "speculat"];
+
+/// Vocabulary of an ownership-*transfer* argument: a steal-path `SAFETY:`
+/// comment must say who owned the data and who owns it now, not merely
+/// that the pointer is valid.
+const OWNERSHIP_WORDS: &[&str] = &["owner", "transfer", "handed", "exclusive"];
+
+/// Whether lowercased `hay` mentions `kw` as scheduler prose — a match
+/// must start at a word boundary (`_` counts as one: `run_speculative`
+/// is in the path), and a `d-steal` rule-name mention does not count (so
+/// writing about the rule is not being in its path, while
+/// `work-stealing` still is).
+fn mentions(hay: &str, kw: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(kw) {
+        let at = from + rel;
+        let pre = &hay[..at];
+        let boundary = pre.chars().next_back().is_none_or(|c| !c.is_alphanumeric());
+        if boundary && !pre.ends_with("d-") {
+            return true;
+        }
+        from = at + kw.len();
+    }
+    false
+}
+
 /// Words of ownership argument after `SAFETY:` in a comment block.
 fn safety_argument_words(block: &str) -> Option<usize> {
     let at = safety_marker(block)?;
@@ -360,6 +403,7 @@ pub fn lint_classified(rel_path: &str, src: &str, class: FileClass) -> FileResul
     let unsafe_allowed = config::unsafe_file_allowed(rel_path);
 
     let toks = &scanned.tokens;
+    let src_lines: Vec<&str> = src.lines().collect();
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
             continue;
@@ -474,6 +518,46 @@ pub fn lint_classified(rel_path: &str, src: &str, class: FileClass) -> FileResul
                              (a `// SAFETY:` comment of at least eight words)"
                                 .to_string(),
                         );
+                    }
+                }
+                // D-STEAL: a steal/speculation-path unsafe site hands raw
+                // request access across worker threads. It must live in
+                // the audited executor file and its SAFETY argument must
+                // be an ownership-*transfer* argument — who owned the
+                // data before the steal, who owns it now.
+                let line_text = src_lines.get(t.line as usize - 1).copied().unwrap_or("");
+                let site =
+                    format!("{}\n{}", block.as_deref().unwrap_or(""), line_text).to_lowercase();
+                if STEAL_PATH_WORDS.iter().any(|k| mentions(&site, k)) {
+                    if !unsafe_allowed {
+                        emit(
+                            &mut out,
+                            &mut seen,
+                            Rule::DSteal,
+                            t.line,
+                            None,
+                            "steal/speculation-path `unsafe` outside the audited executor \
+                             (config::UNSAFE_FILES); the work-stealing ownership discipline \
+                             is only audited there — this rule is allowlist-only and cannot \
+                             be pragma-suppressed"
+                                .to_string(),
+                        );
+                    } else {
+                        let comment = block.as_deref().unwrap_or("").to_lowercase();
+                        if !OWNERSHIP_WORDS.iter().any(|k| mentions(&comment, k)) {
+                            emit(
+                                &mut out,
+                                &mut seen,
+                                Rule::DSteal,
+                                t.line,
+                                None,
+                                "steal/speculation-path `unsafe` without an \
+                                 ownership-transfer `// SAFETY:` argument: say who owned \
+                                 the data and who owns it now (ownership / transfer / \
+                                 handed / exclusive), not merely that the pointer is valid"
+                                    .to_string(),
+                            );
+                        }
                     }
                 }
             }
@@ -626,6 +710,74 @@ unsafe impl Send for T {}
         let res = lint_classified("crates/cluster/src/shard.rs", good, SIM);
         assert_eq!(fired(&res, Rule::USend), 0);
         assert_eq!(fired(&res, Rule::USafety), 0);
+    }
+
+    #[test]
+    fn d_steal_needs_an_ownership_transfer_argument() {
+        // Valid-pointer prose is not an ownership-transfer argument.
+        let bad = "\
+// SAFETY: the deque said the stolen pointer is valid.
+unsafe fn apply(p: *mut u32) { *p = 1; }
+";
+        let res = lint_classified("crates/cluster/src/shard.rs", bad, SIM);
+        assert_eq!(fired(&res, Rule::DSteal), 1);
+
+        let good = "\
+// SAFETY: ownership of the stolen task is handed to exactly one
+// worker at pop; access is exclusive for the rest of the window.
+unsafe fn apply(p: *mut u32) { *p = 1; }
+";
+        let res = lint_classified("crates/cluster/src/shard.rs", good, SIM);
+        assert_eq!(fired(&res, Rule::DSteal), 0);
+
+        // Scheduler vocabulary on the code line itself marks the site.
+        let line_marked = "\
+// SAFETY: the pointer is valid for writes.
+unsafe fn run_speculative(p: *mut u32) { *p = 1; }
+";
+        let res = lint_classified("crates/cluster/src/shard.rs", line_marked, SIM);
+        assert_eq!(fired(&res, Rule::DSteal), 1);
+
+        // Unrelated unsafe stays out of the rule's path.
+        let unrelated = "\
+// SAFETY: p is valid for writes; caller holds the unique reference.
+unsafe fn plain(p: *mut u32) { *p = 1; }
+";
+        let res = lint_classified("crates/cluster/src/shard.rs", unrelated, SIM);
+        assert_eq!(fired(&res, Rule::DSteal), 0);
+    }
+
+    #[test]
+    fn d_steal_fires_outside_the_executor_and_resists_pragmas() {
+        let src = "\
+// simlint: allow(D-STEAL)
+// SAFETY: ownership of the stolen task transfers to this worker.
+unsafe fn apply(p: *mut u32) { *p = 1; }
+";
+        let res = lint_classified("crates/kvcache/src/manager.rs", src, SIM);
+        // Outside the audited executor the rule fires even with a perfect
+        // ownership argument, and the pragma attempt is itself diagnosed.
+        assert_eq!(fired(&res, Rule::DSteal), 1);
+        assert_eq!(fired(&res, Rule::LintPragma), 1);
+    }
+
+    #[test]
+    fn d_steal_ignores_rule_name_mentions_but_not_work_stealing() {
+        // A comment about the D-STEAL rule itself is not scheduler prose.
+        let rule_mention = "\
+// SAFETY: p is valid (see the D-STEAL analyzer note for context).
+unsafe fn plain(p: *mut u32) { *p = 1; }
+";
+        let res = lint_classified("crates/cluster/src/shard.rs", rule_mention, SIM);
+        assert_eq!(fired(&res, Rule::DSteal), 0);
+
+        // `work-stealing` is.
+        let hyphenated = "\
+// SAFETY: valid under the work-stealing protocol.
+unsafe fn plain(p: *mut u32) { *p = 1; }
+";
+        let res = lint_classified("crates/cluster/src/shard.rs", hyphenated, SIM);
+        assert_eq!(fired(&res, Rule::DSteal), 1);
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! D-STEAL fixture: `unsafe` in the steal/speculation path must carry an
+//! ownership-transfer `SAFETY:` argument and stay inside the audited
+//! executor file. Deliberate violations; excluded from the real scan.
+
+// SAFETY: the steal deque said the pointer is still valid.
+unsafe fn apply_stolen(p: *mut u32) {
+    *p = 1;
+}
+
+// SAFETY: ownership of the stolen task is handed to exactly one worker
+// at pop; the request view stays exclusive for the rest of the window.
+unsafe fn apply_stolen_documented(p: *mut u32) {
+    *p = 2;
+}
+
+// simlint: allow(D-STEAL) — the pragma attempt itself must be diagnosed
+// SAFETY: speculative commit writes the plan back at the barrier.
+unsafe fn commit_plan(p: *mut u32) {
+    *p = 3;
+}
+
+// SAFETY: p is valid for writes; caller holds the unique reference.
+unsafe fn unrelated(p: *mut u32) {
+    *p = 4;
+}

@@ -100,6 +100,7 @@ fn sharded_run_bytes(kind: SystemKind, seed: u64, workers: usize) -> String {
             workers,
             num_shards: 4,
             lookahead: None,
+            speculation: false,
         },
     );
     format!(
@@ -171,6 +172,7 @@ fn sharded_multi_model_byte_identical_across_worker_counts() {
                 workers,
                 num_shards: 4,
                 lookahead: None,
+                speculation: false,
             },
         );
         format!(
@@ -181,6 +183,103 @@ fn sharded_multi_model_byte_identical_across_worker_counts() {
     let one = run(1);
     assert_eq!(one, run(2), "2 workers must match 1");
     assert_eq!(one, run(4), "4 workers must match 1");
+}
+
+/// The work-stealing matrix: a heavily skewed burst on a 4-group cluster,
+/// run with `workers: 2, num_shards: 4` — lanes 2 and 3 have no homed
+/// worker (worker `w` homes on lane `w % num_shards`), so every window
+/// task for group slots 2 and 3 is *structurally* executed via a steal,
+/// independent of thread timing. Steals must be active AND the report
+/// must stay byte-identical across 1/2/4 workers.
+#[test]
+fn skewed_load_forces_steals_and_stays_byte_identical() {
+    let trace = BurstTraceBuilder::new(Dataset::BurstGpt)
+        .base_rps(50.0)
+        .duration(SimDuration::from_secs(20))
+        .burst(SimTime::from_secs(4), SimDuration::from_secs(10), 4.0)
+        .seed(0x57EA1)
+        .build();
+    let run = |workers: usize| {
+        let mut cfg = ClusterConfig::tiny_test(4);
+        cfg.reserve_frac = 0.45;
+        run_system_sharded(
+            SystemKind::KunServe,
+            cfg,
+            &trace,
+            SimDuration::from_secs(600),
+            ParallelConfig {
+                workers,
+                num_shards: 4,
+                lookahead: None,
+                speculation: false,
+            },
+        )
+    };
+    let bytes = |out: &RunOutcome| {
+        format!(
+            "{:?}|{:?}|{:?}",
+            out.report, out.report.per_model, out.state.metrics.reconfig_events
+        )
+    };
+    let one = run(1);
+    let two = run(2);
+    let four = run(4);
+    // The structural guarantee: with 2 workers over 4 lanes, any task on
+    // the two unhomed lanes counts as a steal — and a 4-group cluster
+    // schedules tasks on every slot.
+    assert!(
+        two.stats.expect("sharded stats").steals > 0,
+        "unhomed lanes must force steals at 2 workers over 4 lanes"
+    );
+    assert_eq!(
+        one.stats.expect("sharded stats").steals,
+        0,
+        "a single worker drains lanes in order and never steals"
+    );
+    assert_eq!(bytes(&one), bytes(&two), "2 workers must match 1");
+    assert_eq!(bytes(&one), bytes(&four), "4 workers must match 1");
+}
+
+/// The speculation matrix: KunServe (the one policy with a
+/// `plan_deferred`) with `speculation: true` must stay byte-identical
+/// across 1/2/4 workers — the commit/fallback decision is a pure function
+/// of the structural epoch — and must reproduce run-to-run.
+#[test]
+fn speculative_execution_byte_identical_across_worker_counts() {
+    let run = |workers: usize| {
+        let trace = trace_with_seed(0x5BEC);
+        let mut cfg = ClusterConfig::tiny_test(4);
+        cfg.reserve_frac = 0.45;
+        run_system_sharded(
+            SystemKind::KunServe,
+            cfg,
+            &trace,
+            SimDuration::from_secs(600),
+            ParallelConfig {
+                workers,
+                num_shards: 4,
+                lookahead: None,
+                speculation: true,
+            },
+        )
+    };
+    let bytes = |out: &RunOutcome| {
+        format!(
+            "{:?}|{:?}|{:?}",
+            out.report, out.report.per_model, out.state.metrics.reconfig_events
+        )
+    };
+    let one = run(1);
+    let stats = one.stats.expect("sharded stats");
+    assert_eq!(
+        stats.spec_committed + stats.spec_fallbacks,
+        stats.spec_launched,
+        "every speculative launch resolves exactly once"
+    );
+    let one_bytes = bytes(&one);
+    assert_eq!(one_bytes, bytes(&run(2)), "2 workers must match 1");
+    assert_eq!(one_bytes, bytes(&run(4)), "4 workers must match 1");
+    assert_eq!(one_bytes, bytes(&run(1)), "same seed must reproduce");
 }
 
 #[test]
@@ -276,6 +375,7 @@ fn diurnal_scenario_byte_identical_across_worker_counts() {
                 workers,
                 num_shards: 4,
                 lookahead: None,
+                speculation: false,
             },
         );
         format!(
@@ -327,6 +427,7 @@ fn resilience_scenario_byte_identical_across_worker_counts() {
                 workers,
                 num_shards: 4,
                 lookahead: None,
+                speculation: false,
             },
             &schedule,
         )

@@ -168,6 +168,7 @@ fn sharded_donation_byte_identical_across_1_2_4_workers() {
                 workers,
                 num_shards: 4,
                 lookahead: None,
+                speculation: false,
             },
         );
         let spans = donated_spans(&out.state.metrics.reconfig_events);
@@ -568,6 +569,7 @@ proptest! {
                 workers,
                 num_shards: 4,
                 lookahead: None,
+                speculation: false,
             },
         );
         let mut violations = Vec::new();

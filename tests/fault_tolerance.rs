@@ -268,6 +268,7 @@ fn rack_recovery_reloads_and_keeps_the_ledger_clean_on_both_executors() {
             workers: 2,
             num_shards: 4,
             lookahead: None,
+            speculation: false,
         },
         &schedule,
     );

@@ -9,7 +9,9 @@
 //! backwards, at any interleaving of sends, advances and deliveries.
 
 use proptest::prelude::*;
-use sim_core::shard::{ConservativeClock, ShardId, ShardedQueue};
+use sim_core::shard::{
+    ConservativeClock, ShardId, ShardedQueue, SpecOutcome, SpecSequencer, StealDeques,
+};
 use sim_core::{SimDuration, SimTime};
 
 /// One randomized scheduler step.
@@ -118,6 +120,137 @@ proptest! {
             }
         }
         prop_assert_eq!(received + drained, sent, "every message is delivered");
+    }
+
+    /// The speculative hook pipeline preserves the serial order under
+    /// arbitrary conflict patterns: batches resolve exactly once, in
+    /// launch order, and a batch commits iff the structural epoch did not
+    /// move between its launch barrier and the next one. This is the
+    /// executor's barrier protocol modelled over [`SpecSequencer`]: each
+    /// window may raise one hook batch and may bump the epoch (a
+    /// structural mutation) before the next barrier.
+    #[test]
+    fn speculative_resolution_matches_serial_order_under_conflicts(
+        windows in proptest::collection::vec((0u8..2, 0u8..2), 1..120),
+    ) {
+        let mut spec: SpecSequencer<u64> = SpecSequencer::new();
+        let mut epoch = 0u64;
+        let mut next_batch = 0u64;
+        // `(batch, committed)` in application order.
+        let mut applied: Vec<(u64, bool)> = Vec::new();
+        // What the serial executor would do: apply batches in raise order.
+        let mut raised: Vec<u64> = Vec::new();
+        // The independently tracked expectation for the in-flight batch:
+        // `(batch, no conflicting bump since its launch)`.
+        let mut inflight: Option<(u64, bool)> = None;
+
+        for (raise, bump) in windows.into_iter().map(|(r, b)| (r == 1, b == 1)) {
+            // Barrier: resolve last window's speculation first (the
+            // executor resolves before planning the next batch).
+            if let Some(outcome) = spec.resolve(epoch) {
+                let (expect_b, clean) = inflight.take().expect("a launch was recorded");
+                match outcome {
+                    SpecOutcome::Commit(b) => {
+                        prop_assert_eq!(b, expect_b, "resolution carries its own batch");
+                        prop_assert!(clean, "batch {} committed across a conflict", b);
+                        applied.push((b, true));
+                    }
+                    SpecOutcome::Fallback(b) => {
+                        prop_assert_eq!(b, expect_b, "resolution carries its own batch");
+                        prop_assert!(!clean, "batch {} fell back without a conflict", b);
+                        applied.push((b, false));
+                    }
+                }
+            }
+            prop_assert!(spec.is_idle(), "resolve() drains the pipeline");
+            prop_assert!(inflight.is_none(), "every launch resolves at the next barrier");
+            if raise {
+                raised.push(next_batch);
+                spec.launch(epoch, next_batch);
+                inflight = Some((next_batch, true));
+                next_batch += 1;
+            }
+            // The next window runs; a structural mutation may land at any
+            // barrier action in between.
+            if bump {
+                epoch += 1;
+                if let Some((_, clean)) = inflight.as_mut() {
+                    *clean = false;
+                }
+            }
+        }
+        // Final barrier: wind down the in-flight batch like the executor
+        // does at end of run.
+        if let Some(outcome) = spec.resolve(epoch) {
+            let (expect_b, clean) = inflight.take().expect("a launch was recorded");
+            match outcome {
+                SpecOutcome::Commit(b) => {
+                    prop_assert_eq!(b, expect_b);
+                    prop_assert!(clean);
+                    applied.push((b, true));
+                }
+                SpecOutcome::Fallback(b) => {
+                    prop_assert_eq!(b, expect_b);
+                    prop_assert!(!clean);
+                    applied.push((b, false));
+                }
+            }
+        }
+
+        // Every raised batch resolves exactly once, in raise order — the
+        // speculative pipeline never reorders or drops hook batches
+        // relative to the serial executor.
+        let applied_ids: Vec<u64> = applied.iter().map(|&(b, _)| b).collect();
+        prop_assert_eq!(&applied_ids, &raised, "commit order equals serial order");
+        let (launched, committed, fallbacks) = spec.counters();
+        prop_assert_eq!(launched, raised.len() as u64);
+        prop_assert_eq!(committed + fallbacks, launched);
+    }
+
+    /// The steal deques conserve work: for any push pattern and any
+    /// pop order (modelling workers racing over lanes), every item is
+    /// popped exactly once, home pops come off the front in push order,
+    /// and the steal counter counts exactly the cross-lane pops.
+    #[test]
+    fn steal_deques_conserve_items_and_count_cross_lane_pops(
+        lanes in 1usize..6,
+        pushes in proptest::collection::vec((0usize..6, 0u32..1000), 0..80),
+        poppers in proptest::collection::vec(0usize..6, 0..120),
+    ) {
+        let deques: StealDeques<(usize, u32)> = StealDeques::new(lanes);
+        let mut pushed: Vec<(usize, u32)> = Vec::new();
+        for (lane, v) in pushes {
+            let lane = lane % lanes;
+            deques.push(lane, (lane, v));
+            pushed.push((lane, v));
+        }
+        let mut popped: Vec<(usize, usize, (usize, u32))> = Vec::new();
+        for home in poppers {
+            let home = home % lanes;
+            if let Some((from, item)) = deques.pop(home) {
+                popped.push((home, from, item));
+            }
+        }
+        // Drain the rest the way the inline executor does.
+        let rest = deques.drain_in_order();
+        prop_assert!(deques.is_empty());
+        prop_assert_eq!(popped.len() + rest.len(), pushed.len(), "no item lost or duplicated");
+        let mut all: Vec<(usize, u32)> =
+            popped.iter().map(|&(_, _, it)| it).chain(rest).collect();
+        let mut expect = pushed.clone();
+        all.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(all, expect, "pops + drain equal pushes");
+        // `pop` reports the lane it actually served from: home pops come
+        // from the home lane, and an item's tagged push lane always
+        // matches the reported source.
+        for &(_, from, (lane, _)) in &popped {
+            prop_assert_eq!(from, lane, "pop() reports the item's actual lane");
+        }
+        // The steal counter counts exactly the cross-lane pops (the
+        // inline drain never counts).
+        let cross = popped.iter().filter(|&&(home, from, _)| from != home).count();
+        prop_assert_eq!(deques.steals(), cross as u64, "steals == cross-lane pops");
     }
 
     /// The safe horizon is exactly `min(other clocks) + lookahead`, and
