@@ -14,6 +14,9 @@
 #           shared prefix, failure storm) smokes: schema validation,
 #           per-figure fidelity gates (KunServe beats vLLM p99 on every
 #           leg, bounded prefix-recompute amplification), budget gate
+#   gateway the fig24 online-gateway closed-loop smoke: worker-count
+#           byte-identity asserted in-bin, then goodput/p99 tolerance
+#           and wall-clock budget gates on the emitted JSON
 #   scale   Cluster A fidelity lineup on the parallel executor
 #
 # Usage: ./ci.sh [stage...]   (no args = every stage, in the order above)
@@ -27,7 +30,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt build test clippy lint smoke scenarios scale)
+ALL_STAGES=(fmt build test clippy lint smoke scenarios gateway scale)
 TIMINGS_JSON=target/ci-timings.json
 STAGE_NAMES=()
 STAGE_MS=()
@@ -169,6 +172,22 @@ stage_scenarios() {
     echo "--- tier-1 wall-clock budget gate"
     cargo run --release --offline -q -p bench --bin check_bench_json -- \
         --budget crates/bench/tolerances/ci_budget.json "${jsons[@]}"
+}
+
+stage_gateway() {
+    local json=target/bench-json/fig24_gateway.json
+    echo "--- fig24 gateway closed-loop smoke (serial + 1/2/4-worker sharded arms)"
+    cargo run --release --offline -q -p bench --bin fig24_gateway -- \
+        --smoke --threads 4 --json "$json"
+    echo "--- bench-JSON schema validation"
+    cargo run --release --offline -q -p bench --bin check_bench_json -- \
+        --schema "$json"
+    echo "--- gateway goodput/p99 gate"
+    cargo run --release --offline -q -p bench --bin check_bench_json -- \
+        "$json" crates/bench/tolerances/fig24_smoke.json
+    echo "--- tier-1 wall-clock budget gate"
+    cargo run --release --offline -q -p bench --bin check_bench_json -- \
+        --budget crates/bench/tolerances/ci_budget.json "$json"
 }
 
 stage_scale() {

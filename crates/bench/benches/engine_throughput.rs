@@ -9,8 +9,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cluster::{ClusterConfig, Engine, QueueingPolicy};
-use kunserve::serving::{run_system, SystemKind};
+use cluster::{ClusterConfig, QueueingPolicy};
+use kunserve::serving::{Run, SystemKind};
 use sim_core::{SimDuration, SimTime};
 use workload::{BurstTraceBuilder, Dataset, Trace};
 
@@ -36,8 +36,17 @@ fn bench_engine_events(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("queueing_10s_x4", |b| {
         b.iter(|| {
-            let mut eng = Engine::new(ClusterConfig::tiny_test(4), QueueingPolicy);
-            black_box(eng.run(&trace, SimDuration::from_secs(300)))
+            black_box(
+                Run::with_policy(
+                    "queueing",
+                    Box::new(QueueingPolicy),
+                    ClusterConfig::tiny_test(4),
+                    &trace,
+                )
+                .drain(SimDuration::from_secs(300))
+                .execute()
+                .report,
+            )
         })
     });
     g.finish();
@@ -53,12 +62,11 @@ fn bench_engine_events_kunserve(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("kunserve_10s_x4", |b| {
         b.iter(|| {
-            black_box(run_system(
-                SystemKind::KunServe,
-                cfg.clone(),
-                &trace,
-                SimDuration::from_secs(300),
-            ))
+            black_box(
+                Run::new(SystemKind::KunServe, cfg.clone(), &trace)
+                    .drain(SimDuration::from_secs(300))
+                    .execute(),
+            )
         })
     });
     g.finish();

@@ -160,7 +160,8 @@ fn bench_pipeline_schedule(c: &mut Criterion) {
 }
 
 fn bench_end_to_end_tiny(c: &mut Criterion) {
-    use cluster::{ClusterConfig, Engine, QueueingPolicy};
+    use cluster::{ClusterConfig, QueueingPolicy};
+    use kunserve::serving::Run;
     use workload::{BurstTraceBuilder, Dataset};
     let trace = BurstTraceBuilder::new(Dataset::BurstGpt)
         .base_rps(20.0)
@@ -171,8 +172,17 @@ fn bench_end_to_end_tiny(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("5s_trace_2_instances", |b| {
         b.iter(|| {
-            let mut eng = Engine::new(ClusterConfig::tiny_test(2), QueueingPolicy);
-            black_box(eng.run(&trace, SimDuration::from_secs(120)))
+            black_box(
+                Run::with_policy(
+                    "queueing",
+                    Box::new(QueueingPolicy),
+                    ClusterConfig::tiny_test(2),
+                    &trace,
+                )
+                .drain(SimDuration::from_secs(120))
+                .execute()
+                .report,
+            )
         })
     });
     g.finish();

@@ -18,7 +18,8 @@ use criterion::{black_box, Criterion};
 use std::time::Instant;
 
 use bench::{json_out_path, with_exec_meta, write_json, Json};
-use cluster::{ClusterConfig, ParallelConfig, QueueingPolicy, ShardedEngine};
+use cluster::{ClusterConfig, ParallelConfig, QueueingPolicy};
+use kunserve::serving::Run;
 use sim_core::{SimDuration, SimTime};
 use workload::{BurstTraceBuilder, Dataset, Trace};
 
@@ -57,11 +58,20 @@ fn pcfg(workers: usize) -> ParallelConfig {
 
 /// One timed end-to-end run; returns (wall seconds, windows, steals).
 fn timed_run(trace: &Trace, workers: usize) -> (f64, u64, u64) {
-    let mut eng = ShardedEngine::new(skewed_cluster(), QueueingPolicy, pcfg(workers));
     let start = Instant::now();
-    black_box(eng.run(trace, DRAIN));
+    let out = black_box(
+        Run::with_policy(
+            "queueing",
+            Box::new(QueueingPolicy),
+            skewed_cluster(),
+            trace,
+        )
+        .drain(DRAIN)
+        .sharded(pcfg(workers))
+        .execute(),
+    );
     let wall = start.elapsed().as_secs_f64();
-    let stats = eng.stats();
+    let stats = out.stats.expect("sharded run records stats");
     (wall, stats.windows, stats.steals)
 }
 
@@ -71,8 +81,18 @@ fn bench_window_loop(c: &mut Criterion, trace: &Trace) {
     for &workers in &WORKER_COUNTS {
         g.bench_function(&format!("one_hot_workers_{workers}"), |b| {
             b.iter(|| {
-                let mut eng = ShardedEngine::new(skewed_cluster(), QueueingPolicy, pcfg(workers));
-                black_box(eng.run(trace, DRAIN))
+                black_box(
+                    Run::with_policy(
+                        "queueing",
+                        Box::new(QueueingPolicy),
+                        skewed_cluster(),
+                        trace,
+                    )
+                    .drain(DRAIN)
+                    .sharded(pcfg(workers))
+                    .execute()
+                    .report,
+                )
             })
         });
     }

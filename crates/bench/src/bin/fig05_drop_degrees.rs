@@ -11,7 +11,7 @@ use bench::{
     harness, json_out_path, ms, outcome_json_labeled, secs, with_exec_meta, write_json, Json,
     Scenario,
 };
-use kunserve::serving::{run_system, SystemKind};
+use kunserve::serving::{Run, SystemKind};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,7 +37,9 @@ fn main() {
     let outcomes = harness::run_indexed(threads, setups.len(), |i| {
         let mut cfg = sc.cfg.clone();
         cfg.initial_group_size = setups[i].1;
-        run_system(SystemKind::VllmDp, cfg, &trace, sc.drain)
+        Run::new(SystemKind::VllmDp, cfg, &trace)
+            .drain(sc.drain)
+            .execute()
     });
     let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
     let mut cdfs = Vec::new();

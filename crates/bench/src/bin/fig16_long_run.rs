@@ -9,6 +9,7 @@ use bench::{
     harness, json_out_path, ms, outcome_json_labeled, print_series, secs, with_exec_meta,
     write_json, Json, Scenario,
 };
+use kunserve::serving::Run;
 use kunserve::serving::SystemKind;
 use kunserve::KunServeConfig;
 use sim_core::{SimDuration, SimTime};
@@ -55,7 +56,9 @@ fn main() {
     ];
     let timer = std::time::Instant::now();
     let outcomes = harness::run_indexed(threads, systems.len(), |i| {
-        kunserve::serving::run_system(systems[i].1, sc.cfg.clone(), &trace, sc.drain)
+        Run::new(systems[i].1, sc.cfg.clone(), &trace)
+            .drain(sc.drain)
+            .execute()
     });
     let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
     let mut timelines = Vec::new();

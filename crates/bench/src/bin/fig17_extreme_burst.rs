@@ -13,6 +13,7 @@ use bench::{
     Scenario,
 };
 use cluster::ClusterConfig;
+use kunserve::serving::Run;
 use kunserve::serving::SystemKind;
 use sim_core::{SimDuration, SimTime};
 use workload::{extreme_burst, Dataset};
@@ -71,7 +72,9 @@ fn main() {
     let systems = [SystemKind::VllmDp, SystemKind::KunServe];
     let timer = std::time::Instant::now();
     let outcomes = harness::run_indexed(threads, systems.len(), |i| {
-        kunserve::serving::run_system(systems[i], sc.cfg.clone(), &trace, sc.drain)
+        Run::new(systems[i], sc.cfg.clone(), &trace)
+            .drain(sc.drain)
+            .execute()
     });
     let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
     let mut sys_jsons = Vec::new();

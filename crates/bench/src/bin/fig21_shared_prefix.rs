@@ -17,6 +17,7 @@ use bench::{
     harness, json_out_path, outcome_json, print_series, secs, with_exec_meta, write_json, Json,
 };
 use cluster::ClusterConfig;
+use kunserve::serving::Run;
 use kunserve::serving::SystemKind;
 use sim_core::{SimDuration, SimTime};
 use workload::{Dataset, SharedPrefixTraceBuilder};
@@ -87,7 +88,9 @@ fn main() {
     let systems = [SystemKind::VllmDp, SystemKind::KunServe];
     let timer = std::time::Instant::now();
     let outcomes = harness::run_indexed(threads, systems.len(), |i| {
-        kunserve::serving::run_system(systems[i], setup.cfg.clone(), &trace, setup.drain)
+        Run::new(systems[i], setup.cfg.clone(), &trace)
+            .drain(setup.drain)
+            .execute()
     });
     let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
     let mut sys_jsons = Vec::new();

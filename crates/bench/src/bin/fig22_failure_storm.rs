@@ -16,6 +16,7 @@ use bench::{
     harness, json_out_path, outcome_json, print_series, secs, with_exec_meta, write_json, Json,
 };
 use cluster::{ClusterConfig, FailureSchedule};
+use kunserve::serving::Run;
 use kunserve::serving::SystemKind;
 use sim_core::{SimDuration, SimTime};
 use workload::{BurstTraceBuilder, Dataset};
@@ -97,13 +98,10 @@ fn main() {
     let systems = [SystemKind::VllmDp, SystemKind::KunServe];
     let timer = std::time::Instant::now();
     let outcomes = harness::run_indexed(threads, systems.len(), |i| {
-        kunserve::serving::run_system_with_failures(
-            systems[i],
-            setup.cfg.clone(),
-            &trace,
-            setup.drain,
-            &setup.schedule,
-        )
+        Run::new(systems[i], setup.cfg.clone(), &trace)
+            .drain(setup.drain)
+            .failures(&setup.schedule)
+            .execute()
     });
     let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
     let mut sys_jsons = Vec::new();

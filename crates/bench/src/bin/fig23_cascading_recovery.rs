@@ -26,6 +26,7 @@ use bench::{
 };
 use cluster::{ClusterConfig, FailureSchedule, RetryPolicy};
 use kunserve::policy::KunServeConfig;
+use kunserve::serving::Run;
 use kunserve::serving::SystemKind;
 use sim_core::{SimDuration, SimTime};
 use workload::{BurstTraceBuilder, Dataset, Deadline};
@@ -155,13 +156,14 @@ fn main() {
     let (early, late) = setup.storm_windows();
     let timer = std::time::Instant::now();
     let outcomes = harness::run_indexed(threads, arms.len(), |i| {
-        kunserve::serving::run_system_with_failures(
+        Run::new(
             SystemKind::KunServeWith(arms[i].1),
             setup.cfg.clone(),
             &trace,
-            setup.drain,
-            &schedule,
         )
+        .drain(setup.drain)
+        .failures(&schedule)
+        .execute()
     });
     let wall_ms = timer.elapsed().as_secs_f64() * 1e3;
     let mut sys_jsons = Vec::new();

@@ -26,7 +26,7 @@ use bench::{
     Json, Scenario,
 };
 use cluster::ParallelConfig;
-use kunserve::serving::{run_system, run_system_sharded, SystemKind};
+use kunserve::serving::{Run, SystemKind};
 
 /// Runs a timed pass twice and keeps the faster one (results are
 /// deterministic, so only the wall-clock differs).
@@ -48,7 +48,9 @@ fn main() {
 
     // Warmup: one untimed system run so allocator/page-cache effects
     // don't inflate whichever timed pass runs first.
-    let _ = run_system(SystemKind::KunServe, sc.cfg.clone(), &sc.trace(), sc.drain);
+    let _ = Run::new(SystemKind::KunServe, sc.cfg.clone(), &sc.trace())
+        .drain(sc.drain)
+        .execute();
     // 1. Serial baseline; best of two passes so a co-tenant stealing CPU
     //    during one pass doesn't skew the recorded speedup either way.
     let serial = best_of_two(|| harness::timed(|| sc.run_lineup_parallel(1)));
@@ -84,13 +86,10 @@ fn main() {
     // 3. The intra-run sharded executor on the same paper-scale scenario.
     let trace = sc.trace();
     let sharded = harness::timed(|| {
-        run_system_sharded(
-            SystemKind::KunServe,
-            sc.cfg.clone(),
-            &trace,
-            sc.drain,
-            ParallelConfig::with_workers(threads),
-        )
+        Run::new(SystemKind::KunServe, sc.cfg.clone(), &trace)
+            .drain(sc.drain)
+            .sharded(ParallelConfig::with_workers(threads))
+            .execute()
     });
     let sharded_out = &sharded.value;
     println!();

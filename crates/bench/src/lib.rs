@@ -13,7 +13,7 @@
 #![deny(unsafe_code)]
 
 use cluster::{ClusterConfig, ModelId};
-use kunserve::serving::{run_system, RunOutcome, SystemKind};
+use kunserve::serving::{Run, RunOutcome, SystemKind};
 use sim_core::{SimDuration, SimTime};
 use workload::{BurstTraceBuilder, Dataset, Trace};
 
@@ -139,7 +139,9 @@ impl Scenario {
 
     /// Runs one system on this scenario.
     pub fn run(&self, kind: SystemKind) -> RunOutcome {
-        run_system(kind, self.cfg.clone(), &self.trace(), self.drain)
+        Run::new(kind, self.cfg.clone(), &self.trace())
+            .drain(self.drain)
+            .execute()
     }
 
     /// Runs the full five-system lineup.
@@ -160,7 +162,9 @@ impl Scenario {
         let kinds = SystemKind::paper_lineup();
         let trace = self.trace();
         harness::run_indexed(threads, kinds.len(), |i| {
-            run_system(kinds[i], self.cfg.clone(), &trace, self.drain)
+            Run::new(kinds[i], self.cfg.clone(), &trace)
+                .drain(self.drain)
+                .execute()
         })
     }
 }
@@ -367,7 +371,9 @@ impl MultiScenario {
 
     /// Runs one system on a prebuilt trace of this scenario.
     pub fn run_on(&self, kind: SystemKind, trace: &Trace) -> RunOutcome {
-        run_system(kind, self.cfg.clone(), trace, self.drain)
+        Run::new(kind, self.cfg.clone(), trace)
+            .drain(self.drain)
+            .execute()
     }
 }
 
@@ -393,7 +399,7 @@ pub fn outcome_json(cfg: &ClusterConfig, out: &RunOutcome) -> Json {
         })
         .collect();
     Json::obj([
-        ("system", Json::str(out.name)),
+        ("system", Json::str(out.name.clone())),
         ("total", Json::Num(out.report.total_requests as f64)),
         ("finished", Json::Num(out.report.finished_requests as f64)),
         ("ttft_p50_s", Json::Num(out.report.ttft.p50)),

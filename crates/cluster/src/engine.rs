@@ -7,7 +7,7 @@
 
 use costmodel::ChunkWork;
 use sim_core::{EventQueue, SimDuration, SimTime};
-use workload::Trace;
+use workload::{RequestSpec, Trace};
 
 use crate::batch::{MicroBatch, SeqChunk};
 use crate::config::ClusterConfig;
@@ -15,7 +15,7 @@ use crate::group::{GroupId, IterationPlan};
 use crate::pipeline::{schedule, StageTiming};
 use crate::policy::Policy;
 use crate::request::{ReqState, Request, RequestId};
-use crate::state::ClusterState;
+use crate::state::{CancelOutcome, ClusterState};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
@@ -149,6 +149,17 @@ pub struct Engine<P: Policy> {
     groups_buf: Vec<GroupId>,
     /// Reused scratch buffer for decode-growth reservation.
     decodes_buf: Vec<RequestId>,
+    /// Set while an interactive session ([`Engine::begin_session`]) is
+    /// accepting injections: the monitor-tick chain stays armed through
+    /// lulls and the pump never stops on `finished == total`.
+    open: bool,
+    /// Time past which the pump stops (batch: last arrival + drain). `None`
+    /// while a session is open.
+    run_stop: Option<SimTime>,
+    /// Latest arrival registered so far (sets the drain anchor on close).
+    last_arrival: SimTime,
+    /// Cancellations deferred mid-iteration, retried at each monitor tick.
+    pending_cancels: Vec<RequestId>,
 }
 
 impl<P: Policy> Engine<P> {
@@ -164,6 +175,10 @@ impl<P: Policy> Engine<P> {
             net_poll_at: None,
             groups_buf: Vec::new(),
             decodes_buf: Vec::new(),
+            open: false,
+            run_stop: None,
+            last_arrival: SimTime::ZERO,
+            pending_cancels: Vec::new(),
         }
     }
 
@@ -209,11 +224,29 @@ impl<P: Policy> Engine<P> {
                 .requests
                 .push(Request::new(id, *spec, GroupId(0)));
             self.events.push(spec.arrival, Event::Arrival(id));
+            self.last_arrival = self.last_arrival.max(spec.arrival);
         }
         self.events.push(SimTime::ZERO, Event::MonitorTick);
-        let hard_stop = SimTime::ZERO + trace.duration() + drain;
+        self.open = false;
+        self.run_stop = Some(SimTime::ZERO + trace.duration() + drain);
+        self.pump(None, &mut observer);
+        self.state.metrics.report()
+    }
 
-        while let Some((t, ev)) = self.events.pop() {
+    /// The shared event pump behind batch runs and interactive sessions:
+    /// processes events up to `limit` (inclusive; unbounded when `None`),
+    /// stopping at [`Engine::run_stop`] or — outside an open session — when
+    /// every registered request is terminal. Batch semantics are exactly
+    /// the pre-session loop: `run_observed` calls this with no limit.
+    fn pump(&mut self, limit: Option<SimTime>, observer: &mut impl FnMut(&ClusterState, SimTime)) {
+        while let Some(t) = self.events.peek_time() {
+            if !self.open && self.finished == self.total {
+                break;
+            }
+            if limit.is_some_and(|l| t > l) {
+                break;
+            }
+            let (t, ev) = self.events.pop().expect("peeked above");
             // A hard assert, not a debug_assert: time running backwards
             // means event bookkeeping (e.g. a shard merge) is corrupt, and
             // that must fail loudly in release CI too — every metric
@@ -224,13 +257,13 @@ impl<P: Policy> Engine<P> {
                 now = self.now
             );
             self.now = t;
-            if self.now > hard_stop {
+            if self.run_stop.is_some_and(|hs| self.now > hs) {
                 break;
             }
             match ev {
                 Event::Arrival(id) => self.on_arrival(id),
                 Event::GroupDone { group, seq } => self.on_group_done(group, seq),
-                Event::MonitorTick => self.on_monitor_tick(hard_stop),
+                Event::MonitorTick => self.on_monitor_tick(),
                 Event::NetPoll => {
                     if self.net_poll_at == Some(t) {
                         self.net_poll_at = None;
@@ -239,14 +272,117 @@ impl<P: Policy> Engine<P> {
                 }
             }
             observer(&self.state, self.now);
-            if self.finished == self.total {
+            if !self.open && self.finished == self.total {
                 break;
             }
         }
+        if let Some(l) = limit {
+            self.now = self.now.max(l);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Interactive sessions (the gateway's incremental step/drain API).
+    // ------------------------------------------------------------------
+
+    /// Opens an interactive session on a fresh engine: arms the monitor
+    /// tick chain and accepts [`Engine::inject`] / [`Engine::step_until`]
+    /// until [`Engine::end_session`]. The event order matches a batch run
+    /// of the same arrivals as long as no arrival lands exactly on a
+    /// monitor-tick time (continuous arrival processes make that a
+    /// measure-zero event; the tick would then fire before the equal-time
+    /// arrival instead of after).
+    pub fn begin_session(&mut self) {
+        assert!(
+            !self.open && self.total == 0 && self.state.requests.is_empty(),
+            "sessions must start on a fresh engine"
+        );
+        self.open = true;
+        self.run_stop = None;
+        self.events.push(SimTime::ZERO, Event::MonitorTick);
+    }
+
+    /// Registers one future request in an open session. `spec.arrival`
+    /// must not precede current simulated time, and `spec.id` is kept
+    /// verbatim (retry backoff keys on it, like a batch trace).
+    pub fn inject(&mut self, spec: RequestSpec) -> RequestId {
+        assert!(self.open, "inject requires an open session");
+        assert!(
+            spec.model.0 < self.state.cfg.num_models(),
+            "request references model {} but the cluster deploys {}",
+            spec.model,
+            self.state.cfg.num_models()
+        );
+        assert!(
+            spec.arrival >= self.now,
+            "arrival {} precedes current time {}",
+            spec.arrival,
+            self.now
+        );
+        let id = RequestId(self.state.requests.len());
+        self.state.requests.push(Request::new(id, spec, GroupId(0)));
+        self.events.push(spec.arrival, Event::Arrival(id));
+        self.total += 1;
+        self.last_arrival = self.last_arrival.max(spec.arrival);
+        id
+    }
+
+    /// Cancels a request on the client's behalf. Deferred outcomes (the
+    /// request is mid-iteration) are retried automatically at each monitor
+    /// tick; the caller may treat `Deferred` as accepted.
+    pub fn cancel(&mut self, id: RequestId) -> CancelOutcome {
+        let out = self.state.cancel_request(id);
+        match out {
+            CancelOutcome::Cancelled => self.finished += 1,
+            CancelOutcome::Deferred => {
+                if !self.pending_cancels.contains(&id) {
+                    self.pending_cancels.push(id);
+                }
+            }
+            CancelOutcome::AlreadyTerminal => {}
+        }
+        out
+    }
+
+    /// Advances an open session to `until`, processing every event at or
+    /// before it; simulated time is exactly `until` afterwards.
+    pub fn step_until(&mut self, until: SimTime) {
+        assert!(self.open, "step_until requires an open session");
+        self.pump(Some(until), &mut |_, _| {});
+    }
+
+    /// Current simulated time of an open session (alias of [`Engine::now`],
+    /// named to match the sharded engine's session surface).
+    pub fn session_now(&self) -> SimTime {
+        assert!(self.open, "session_now requires an open session");
+        self.now
+    }
+
+    /// Runs `f` against the cluster state between events of an open
+    /// session — the hook elastic model load/unload operations use. The
+    /// serial engine owns its state outright, so this is a plain call; the
+    /// name mirrors the sharded engine, where the same operation must be
+    /// fenced to a barrier.
+    pub fn session_mutate(&mut self, f: impl FnOnce(&mut ClusterState, SimTime)) {
+        assert!(self.open, "session_mutate requires an open session");
+        f(&mut self.state, self.now);
+    }
+
+    /// Closes the session: no further injections, runs to completion (or
+    /// `drain` past the last registered arrival — the same cap as a batch
+    /// run) and returns the report.
+    pub fn end_session(&mut self, drain: SimDuration) -> crate::metrics::RunReport {
+        assert!(self.open, "end_session requires an open session");
+        self.open = false;
+        self.run_stop = Some(self.last_arrival + drain);
+        self.pump(None, &mut |_, _| {});
         self.state.metrics.report()
     }
 
     fn on_arrival(&mut self, id: RequestId) {
+        if self.state.requests[id.0].is_terminal() {
+            return; // cancelled before its arrival event fired (session only)
+        }
         let spec = self.state.requests[id.0].spec;
         self.state
             .metrics
@@ -270,6 +406,9 @@ impl<P: Policy> Engine<P> {
             return; // stale event from a reconfigured group
         }
         self.complete_iteration(group);
+        // The just-idled group is the window where deferred cancels of its
+        // running requests can land (no-op in batch runs).
+        self.retry_cancels();
         self.run_reconfigs();
         if self.state.group_alive(group) {
             self.try_start(group);
@@ -277,7 +416,7 @@ impl<P: Policy> Engine<P> {
         self.schedule_net_poll();
     }
 
-    fn on_monitor_tick(&mut self, hard_stop: SimTime) {
+    fn on_monitor_tick(&mut self) {
         let (demand, capacity, used) = self.state.memory_totals();
         let now = self.now;
         self.state.metrics.mem_demand.push(now, demand as f64);
@@ -290,15 +429,37 @@ impl<P: Policy> Engine<P> {
             let v = self.state.ledger().check_invariants(&now.to_string());
             assert!(v.is_empty(), "HBM ledger violated:\n{}", v.join("\n"));
         }
+        self.retry_cancels();
         self.policy.on_tick(&mut self.state, now);
         self.run_reconfigs();
         self.client_sweep(now);
         self.sweep_groups();
         self.schedule_net_poll();
         let next = now + self.state.cfg.monitor_interval;
-        if next <= hard_stop && self.finished < self.total {
+        // While a session is open the chain stays armed through lulls (the
+        // batch condition `finished < total` would kill it between
+        // injections); closed runs keep the exact batch condition.
+        if (self.open || self.finished < self.total) && self.run_stop.is_none_or(|hs| next <= hs) {
             self.events.push(next, Event::MonitorTick);
         }
+    }
+
+    /// Retries cancellations that were deferred mid-iteration. No-op (and
+    /// allocation-free) in batch runs, which never cancel.
+    fn retry_cancels(&mut self) {
+        if self.pending_cancels.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.pending_cancels);
+        pending.retain(|&id| match self.state.cancel_request(id) {
+            CancelOutcome::Cancelled => {
+                self.finished += 1;
+                false
+            }
+            CancelOutcome::Deferred => true,
+            CancelOutcome::AlreadyTerminal => false,
+        });
+        self.pending_cancels = pending;
     }
 
     /// The closed-loop client pass (no-op without [`ClusterConfig::retry`]):
@@ -802,5 +963,87 @@ mod tests {
             (r.finished_requests, r.ttft_samples.clone(), r.total_tokens)
         };
         assert_eq!(run(), run());
+    }
+
+    /// Arrivals off the 100 ms tick grid (sessions order the tick before
+    /// an exactly-equal-time arrival; batch orders it after).
+    fn offgrid_trace(n: usize) -> Trace {
+        Trace::new(
+            (0..n)
+                .map(|i| RequestSpec {
+                    id: 0,
+                    model: workload::ModelId::PRIMARY,
+                    arrival: SimTime::from_millis((i as u64 + 1) * 73),
+                    input_tokens: 128,
+                    output_tokens: 12,
+                    prefix: None,
+                    deadline: None,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn incremental_session_matches_batch_run_byte_for_byte() {
+        let trace = offgrid_trace(20);
+        let drain = SimDuration::from_secs(120);
+        let mut batch = Engine::new(ClusterConfig::tiny_test(2), QueueingPolicy);
+        let batch_report = batch.run(&trace, drain);
+
+        // The same arrivals injected interval by interval.
+        let mut eng = Engine::new(ClusterConfig::tiny_test(2), QueueingPolicy);
+        eng.begin_session();
+        let interval = eng.state.cfg.monitor_interval;
+        let mut boundary = SimTime::ZERO;
+        let mut cursor = 0;
+        while cursor < trace.len() {
+            let next = boundary + interval;
+            while cursor < trace.len() && trace.requests[cursor].arrival <= next {
+                eng.inject(trace.requests[cursor]);
+                cursor += 1;
+            }
+            eng.step_until(next);
+            boundary = next;
+        }
+        let session_report = eng.end_session(drain);
+        assert_eq!(
+            format!("{batch_report:?}"),
+            format!("{session_report:?}"),
+            "incremental injection must replay the batch run exactly"
+        );
+    }
+
+    #[test]
+    fn session_cancel_mid_decode_terminates_and_counts() {
+        let mut eng = Engine::new(ClusterConfig::tiny_test(1), QueueingPolicy);
+        eng.begin_session();
+        let spec = |arr: u64| RequestSpec {
+            id: 0,
+            model: workload::ModelId::PRIMARY,
+            arrival: SimTime::from_millis(arr),
+            input_tokens: 256,
+            output_tokens: 400,
+            prefix: None,
+            deadline: None,
+        };
+        let victim = eng.inject(spec(10));
+        let survivor = eng.inject(spec(20));
+        eng.step_until(SimTime::from_millis(250));
+        assert!(
+            eng.state.requests[victim.0].generated > 0,
+            "mid-decode by 250ms"
+        );
+        // Mid-iteration cancels defer; the tick sweep settles them.
+        eng.cancel(victim);
+        eng.step_until(SimTime::from_millis(600));
+        assert!(eng.state.requests[victim.0].is_terminal());
+        let report = eng.end_session(SimDuration::from_secs(60));
+        assert_eq!(report.cancelled_requests, 1);
+        assert_eq!(report.finished_requests, 1, "only the survivor finishes");
+        assert_eq!(
+            eng.state.requests[survivor.0].state,
+            ReqState::Finished,
+            "cancel must not disturb the other stream"
+        );
     }
 }

@@ -57,5 +57,5 @@ pub use policy::{
 };
 pub use request::{ReqState, Request, RequestId, StallReason};
 pub use shard::{derive_lookahead, ParallelConfig, ShardStats, ShardedEngine};
-pub use state::{ClusterState, DeadlineSweep};
+pub use state::{CancelOutcome, ClusterState, DeadlineSweep, ModelAvailability};
 pub use workload::{Deadline, ModelId, RetryPolicy};

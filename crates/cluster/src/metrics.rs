@@ -87,6 +87,8 @@ pub struct Metrics {
     pub shed_requests: u64,
     /// Requests abandoned after exhausting their retry budget.
     pub abandoned_requests: u64,
+    /// Requests cancelled by the client (gateway `cancel`) before finishing.
+    pub cancelled_requests: u64,
     /// Client retry re-arrivals that re-entered the system.
     pub retries: u64,
     /// When each retry re-arrived — the cascade-damping evidence the
@@ -200,6 +202,11 @@ impl Metrics {
         self.abandoned_requests += 1;
     }
 
+    /// Records a client-initiated cancellation.
+    pub fn on_cancelled(&mut self) {
+        self.cancelled_requests += 1;
+    }
+
     /// Retry re-arrivals in the half-open window `[from, to)`.
     pub fn retries_in(&self, from: SimTime, to: SimTime) -> u64 {
         let n = self
@@ -262,6 +269,7 @@ impl Metrics {
             deadline_misses: self.deadline_misses,
             shed_requests: self.shed_requests,
             abandoned_requests: self.abandoned_requests,
+            cancelled_requests: self.cancelled_requests,
             retries: self.retries,
             per_model,
         }
@@ -321,6 +329,8 @@ pub struct RunReport {
     pub shed_requests: u64,
     /// Requests abandoned after exhausting the retry budget.
     pub abandoned_requests: u64,
+    /// Requests cancelled by the client before finishing.
+    pub cancelled_requests: u64,
     /// Retry re-arrivals that re-entered the system.
     pub retries: u64,
     /// Per-model latency breakdown (one entry per model seen in the trace,
@@ -470,6 +480,7 @@ mod tests {
             deadline_misses: 1,
             shed_requests: 0,
             abandoned_requests: 0,
+            cancelled_requests: 0,
             retries: 0,
             per_model: Vec::new(),
         };

@@ -92,6 +92,7 @@
 // simlint: allow(D-MAP) — audit: every map in this module is keyed lookup
 // only (see the per-site pragmas); nothing iterates one.
 use std::collections::HashMap;
+use std::collections::VecDeque;
 #[cfg(debug_assertions)]
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -115,7 +116,8 @@ use crate::metrics::RunReport;
 use crate::pipeline::{schedule, StageTiming};
 use crate::policy::{DeferredHooks, HookPlan, OomResolution, Policy};
 use crate::request::{ReqState, Request, RequestId};
-use crate::state::ClusterState;
+use crate::state::{CancelOutcome, ClusterState};
+use workload::RequestSpec;
 
 /// Configuration of the sharded executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -277,7 +279,9 @@ impl LocalLinks {
 ///   requests that were moved across groups, so a task never follows a
 ///   stale cross-group reference;
 /// - the table itself (the `Vec`'s length and backing allocation) is fixed
-///   after setup — every request is created before the first window.
+///   for the lifetime of one window's views: views are rebuilt fresh from
+///   `requests.as_mut_ptr()` at every barrier, and sessions only inject
+///   (grow the `Vec`) between windows, never while one is in flight.
 ///
 /// The coordinator never touches `ClusterState::requests` while a window
 /// is in flight (it blocks collecting task results first).
@@ -309,8 +313,9 @@ struct ReqTable {
 // a worker pops or steals it (the steal-deque mutex makes the hand-off
 // atomic), a task dereferences only requests owned by its own group,
 // group membership only changes at barriers while no window is in flight,
-// and the backing `Vec`'s length and allocation are fixed before the
-// first window.
+// and the backing `Vec`'s length and allocation are fixed while any view
+// is live (views are rebuilt at every barrier; session injections grow
+// the `Vec` only between windows).
 unsafe impl Send for ReqTable {}
 // SAFETY: concurrent `&ReqTable` use is sound under the same
 // ownership-transfer argument: within a window, slot tasks dereference
@@ -338,6 +343,13 @@ impl ShadowOwners {
         ShadowOwners {
             tags: (0..len).map(|_| AtomicU64::new(0)).collect(),
         }
+    }
+
+    /// Request slots covered by this table (sessions grow the request
+    /// vector between windows; the coordinator swaps in a larger table
+    /// at the next barrier).
+    fn len(&self) -> usize {
+        self.tags.len()
     }
 
     /// Records that slot task `slot` touched request `id` during `epoch`.
@@ -534,11 +546,19 @@ fn run_window(rt: &mut GroupRuntime, table: &ReqTable, ctx: &ReadCtx, w_end: Sim
                 // task's group. A mismatch is routing corruption, not
                 // staleness: dropping the event would lose the request
                 // silently.
-                // SAFETY: the arrival was dispatched to this task's group
-                // at the barrier, so ownership of the request travels
-                // with this task (stolen or not) this window; the
-                // reference is dropped within the statement.
-                let group = unsafe { table.req(id) }.group;
+                let (group, terminal) = {
+                    // SAFETY: the arrival was dispatched to this task's
+                    // group at the barrier, so ownership of the request
+                    // travels with this task (stolen or not) this window;
+                    // the reference is dropped within the block.
+                    let req = unsafe { table.req(id) };
+                    (req.group, req.is_terminal())
+                };
+                if terminal {
+                    // Cancelled at a barrier between dispatch and this
+                    // window processing the arrival: the event is stale.
+                    continue;
+                }
                 let g = rt.group.as_mut().expect("group checked out");
                 assert_eq!(
                     group, g.id,
@@ -590,6 +610,12 @@ fn try_start(rt: &mut GroupRuntime, table: &ReqTable, ctx: &ReadCtx) {
         // re-borrows afresh each round).
         let req = unsafe { table.req(head) };
         debug_assert_eq!(req.group, g.id, "queued request owned by its group");
+        if req.is_terminal() {
+            // Cancelled at a barrier while queued: drop it from the
+            // admission queue without reserving anything.
+            g.queue.pop_front();
+            continue;
+        }
         let target = req.prefill_target();
         if g.blocks.can_allocate(target) {
             g.blocks
@@ -862,6 +888,119 @@ impl SpecPending {
     }
 }
 
+/// The worker threads of one sharded session: long-lived, parked on a
+/// per-window go-channel, and joined when the session closes (or the
+/// engine drops). One `()` on a worker's channel means "a window's tasks
+/// are published — drain your home lane, then steal".
+struct WorkerPool {
+    go_txs: Vec<mpsc::Sender<()>>,
+    results: mpsc::Receiver<Box<GroupRuntime>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(
+        workers: usize,
+        num_shards: usize,
+        deques: &Arc<StealDeques<SlotTask>>,
+        ctx: &Arc<ReadCtx>,
+    ) -> Self {
+        let (result_tx, results) = mpsc::channel::<Box<GroupRuntime>>();
+        let mut go_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::channel::<()>();
+            go_txs.push(tx);
+            let result_tx = result_tx.clone();
+            let deques = Arc::clone(deques);
+            let ctx = Arc::clone(ctx);
+            let home = w % num_shards;
+            handles.push(std::thread::spawn(move || {
+                // One `()` per window: drain the home lane, then
+                // steal from the others until the window is dry.
+                while rx.recv().is_ok() {
+                    while let Some((_, mut task)) = deques.pop(home) {
+                        run_window(&mut task.rt, &task.table, &ctx, task.w_end);
+                        if result_tx.send(task.rt).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }));
+        }
+        WorkerPool {
+            go_txs,
+            results,
+            handles,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.go_txs.clear(); // workers exit on channel close
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// All cross-window coordinator state of one sharded run — batch or
+/// incremental. A batch run ([`ShardedEngine::run`]) is a closed session
+/// driven to completion in one call; an incremental session
+/// ([`ShardedEngine::begin_session`]) parks this between `step_until`
+/// calls with the coordinator stopped *at* a barrier — the whole
+/// [`ClusterState`] reassembled, the steal deques empty, the worker pool
+/// idle — which is exactly what makes `inject`, `cancel` and
+/// `session_mutate` safe between steps.
+struct SessionCore {
+    ctx: Arc<ReadCtx>,
+    deques: Arc<StealDeques<SlotTask>>,
+    /// `Some` with ≥ 2 workers; `None` runs windows inline (and is the
+    /// path whose results every worker count must reproduce).
+    pool: Option<WorkerPool>,
+    runtimes: Vec<Option<Box<GroupRuntime>>>,
+    global: EventQueue<GlobalEvent>,
+    net_poll_at: Option<SimTime>,
+    /// Registered-but-undispatched requests in arrival order (the batch
+    /// path pre-fills this from the trace; sessions append via `inject`).
+    pending: VecDeque<RequestId>,
+    finished: usize,
+    total: usize,
+    flags_blocked: Vec<GroupId>,
+    flags_oom: Vec<(GroupId, RequestId)>,
+    clk: ConservativeClock,
+    /// The current barrier time.
+    b: SimTime,
+    /// The optimistic hook pipeline: at most one batch in flight,
+    /// resolved at the barrier after its launch.
+    spec: SpecSequencer<SpecInflight>,
+    /// Merge buffer, reused across windows.
+    events: Vec<(SimTime, usize, usize, usize, MetricEvent)>,
+    /// Whether any barrier action since the last plan scrub may have
+    /// moved requests across groups (ticks, hooks, transfers, reconfigs,
+    /// cancels, session mutations). Windows themselves never move
+    /// requests, so quiet barriers skip the scrub entirely.
+    dirty: bool,
+    /// Whether the session still accepts injections (`false` for batch
+    /// runs and after `end_session`).
+    open: bool,
+    /// The drain stop (`last arrival + drain`), set once the session
+    /// closes; `None` while injections may still arrive.
+    run_stop: Option<SimTime>,
+    last_arrival: SimTime,
+    /// Client cancels deferred because the target was mid-iteration;
+    /// retried at every barrier.
+    pending_cancels: Vec<RequestId>,
+    /// Debug builds: the shadow-ownership table behind the race
+    /// detector, re-sized at barriers when injections grew the request
+    /// vector.
+    #[cfg(debug_assertions)]
+    shadow: Arc<ShadowOwners>,
+    #[cfg(debug_assertions)]
+    epoch: u64,
+}
+
 /// The sharded simulation engine: cluster state + policy + a conservative
 /// window loop over per-group work items.
 pub struct ShardedEngine<P: Policy> {
@@ -877,6 +1016,9 @@ pub struct ShardedEngine<P: Policy> {
     /// configuration; [`derive_lookahead`] runs exactly once, here.
     lookahead: SimDuration,
     stats: ShardStats,
+    /// The open incremental session, if any (batch runs open and close
+    /// one internally).
+    session: Option<SessionCore>,
 }
 
 impl<P: Policy> ShardedEngine<P> {
@@ -903,6 +1045,7 @@ impl<P: Policy> ShardedEngine<P> {
             num_shards,
             lookahead,
             stats: ShardStats::default(),
+            session: None,
         }
     }
 
@@ -943,19 +1086,34 @@ impl<P: Policy> ShardedEngine<P> {
         drain: SimDuration,
         mut observer: impl FnMut(&ClusterState, SimTime),
     ) -> RunReport {
-        let num_models = self.state.cfg.num_models();
+        self.begin_session();
         for spec in &trace.requests {
-            assert!(
-                spec.model.0 < num_models,
-                "trace references model {} but the cluster deploys {num_models}",
-                spec.model
-            );
-            let id = RequestId(self.state.requests.len());
-            self.state
-                .requests
-                .push(Request::new(id, *spec, GroupId(0)));
+            self.inject(*spec);
         }
+        let mut s = self.session.take().expect("session just opened");
+        s.open = false;
+        s.run_stop = Some(SimTime::ZERO + trace.duration() + drain);
+        self.advance(&mut s, None, &mut observer);
+        self.close_session(s)
+    }
 
+    /// Opens an incremental session on a fresh engine: requests arrive via
+    /// [`ShardedEngine::inject`] and simulated time advances on demand via
+    /// [`ShardedEngine::step_until`], until [`ShardedEngine::end_session`]
+    /// drains and reports.
+    ///
+    /// Between steps the coordinator is parked at a barrier with the whole
+    /// [`ClusterState`] reassembled; the worker pool (with ≥ 2 workers)
+    /// stays up across steps. Feeding the same arrivals at the same times
+    /// yields a report byte-identical to the batch [`ShardedEngine::run`]
+    /// over the equivalent trace, at any worker count — the session only
+    /// changes *when* the coordinator pauses, never the window structure.
+    pub fn begin_session(&mut self) {
+        assert!(self.session.is_none(), "a session is already open");
+        assert!(
+            self.state.requests.is_empty(),
+            "sessions require a fresh engine"
+        );
         let ctx = Arc::new(ReadCtx {
             cfg: self.state.cfg.clone(),
             ground_truths: self.state.ground_truths.clone(),
@@ -964,112 +1122,209 @@ impl<P: Policy> ShardedEngine<P> {
         });
         let deques: Arc<StealDeques<SlotTask>> = Arc::new(StealDeques::new(self.num_shards));
         let workers = self.pcfg.workers.max(1);
-        if workers == 1 {
-            self.drive(trace, drain, &ctx, &deques, None, &mut observer)
-        } else {
-            let (result_tx, result_rx) = mpsc::channel::<Box<GroupRuntime>>();
-            std::thread::scope(|s| {
-                let mut go_txs: Vec<mpsc::Sender<()>> = Vec::new();
-                for w in 0..workers {
-                    let (tx, rx) = mpsc::channel::<()>();
-                    go_txs.push(tx);
-                    let result_tx = result_tx.clone();
-                    let deques = Arc::clone(&deques);
-                    let ctx = Arc::clone(&ctx);
-                    let home = w % self.num_shards;
-                    s.spawn(move || {
-                        // One `()` per window: drain the home lane, then
-                        // steal from the others until the window is dry.
-                        while rx.recv().is_ok() {
-                            while let Some((_, mut task)) = deques.pop(home) {
-                                run_window(&mut task.rt, &task.table, &ctx, task.w_end);
-                                if result_tx.send(task.rt).is_err() {
-                                    return;
-                                }
-                            }
-                        }
-                    });
-                }
-                let report = self.drive(
-                    trace,
-                    drain,
-                    &ctx,
-                    &deques,
-                    Some((&go_txs, &result_rx)),
-                    &mut observer,
-                );
-                drop(go_txs); // workers exit on channel close
-                report
-            })
-        }
+        let pool =
+            (workers > 1).then(|| WorkerPool::spawn(workers, self.num_shards, &deques, &ctx));
+        let mut global = EventQueue::new();
+        global.push(SimTime::ZERO, GlobalEvent::MonitorTick);
+        self.session = Some(SessionCore {
+            ctx,
+            deques,
+            pool,
+            runtimes: Vec::new(),
+            global,
+            net_poll_at: None,
+            pending: VecDeque::new(),
+            finished: 0,
+            total: 0,
+            flags_blocked: Vec::new(),
+            flags_oom: Vec::new(),
+            clk: ConservativeClock::new(self.num_shards, self.lookahead),
+            b: SimTime::ZERO,
+            spec: SpecSequencer::new(),
+            events: Vec::new(),
+            dirty: true,
+            open: true,
+            run_stop: None,
+            last_arrival: SimTime::ZERO,
+            pending_cancels: Vec::new(),
+            #[cfg(debug_assertions)]
+            shadow: Arc::new(ShadowOwners::new(0)),
+            #[cfg(debug_assertions)]
+            epoch: 0,
+        });
     }
 
-    /// The barrier/window loop.
-    #[allow(clippy::type_complexity)]
-    fn drive(
+    /// Registers one request with the open session. The spec (including
+    /// its client-assigned `id`, which keys retry backoff) is kept
+    /// verbatim; the returned [`RequestId`] is the engine-side handle.
+    ///
+    /// Arrivals must be non-decreasing and must not predate the current
+    /// barrier — the session cannot rewrite simulated history.
+    pub fn inject(&mut self, spec: RequestSpec) -> RequestId {
+        let num_models = self.state.cfg.num_models();
+        assert!(
+            spec.model.0 < num_models,
+            "trace references model {} but the cluster deploys {num_models}",
+            spec.model
+        );
+        let s = self
+            .session
+            .as_mut()
+            .expect("inject requires an open session");
+        assert!(s.open, "inject after end_session");
+        assert!(
+            spec.arrival >= s.b,
+            "injected arrival {} predates the current barrier {}",
+            spec.arrival,
+            s.b
+        );
+        if let Some(&last) = s.pending.back() {
+            assert!(
+                spec.arrival >= self.state.requests[last.0].spec.arrival,
+                "injected arrivals must be non-decreasing"
+            );
+        }
+        let id = RequestId(self.state.requests.len());
+        self.state.requests.push(Request::new(id, spec, GroupId(0)));
+        s.pending.push_back(id);
+        s.total += 1;
+        s.last_arrival = s.last_arrival.max(spec.arrival);
+        id
+    }
+
+    /// Cancels a request from the client side. Mirrors the serial
+    /// engine: requests mid-iteration (or on a frozen group) are
+    /// [`CancelOutcome::Deferred`] and retried at every barrier until the
+    /// group goes idle, so an in-flight window's plan is never mutated.
+    pub fn cancel(&mut self, id: RequestId) -> CancelOutcome {
+        let s = self
+            .session
+            .as_mut()
+            .expect("cancel requires an open session");
+        assert!(s.open, "cancel after end_session");
+        let outcome = self.state.cancel_request_at_barrier(id);
+        match outcome {
+            CancelOutcome::Cancelled => {
+                s.finished += 1;
+                s.dirty = true;
+            }
+            CancelOutcome::Deferred => {
+                if !s.pending_cancels.contains(&id) {
+                    s.pending_cancels.push(id);
+                }
+            }
+            CancelOutcome::AlreadyTerminal => {}
+        }
+        outcome
+    }
+
+    /// Advances the session through every window starting at or before
+    /// `until`, then parks at the next barrier.
+    pub fn step_until(&mut self, until: SimTime) {
+        let mut s = self
+            .session
+            .take()
+            .expect("step_until requires an open session");
+        assert!(s.open, "step_until after end_session");
+        self.advance(&mut s, Some(until), &mut |_, _| {});
+        self.session = Some(s);
+    }
+
+    /// The current barrier time of the open session (the session's notion
+    /// of "now"; injected arrivals must not predate it).
+    pub fn session_now(&self) -> SimTime {
+        self.session
+            .as_ref()
+            .expect("session_now requires an open session")
+            .b
+    }
+
+    /// Runs `f` against the parked cluster state at the current barrier —
+    /// the hook through which a gateway drives barrier-safe control
+    /// operations (elastic model unload/load, deadline sweeps) without
+    /// the engine hard-coding them.
+    pub fn session_mutate(&mut self, f: impl FnOnce(&mut ClusterState, SimTime)) {
+        let s = self
+            .session
+            .as_mut()
+            .expect("session_mutate requires an open session");
+        assert!(s.open, "session_mutate after end_session");
+        f(&mut self.state, s.b);
+        s.dirty = true;
+    }
+
+    /// Closes the session: no further injections, run the remaining
+    /// events plus `drain` past the last arrival, and report. Equivalent
+    /// to the batch run's drain stop.
+    pub fn end_session(&mut self, drain: SimDuration) -> RunReport {
+        let mut s = self
+            .session
+            .take()
+            .expect("end_session requires an open session");
+        assert!(s.open, "end_session called twice");
+        s.open = false;
+        s.run_stop = Some(s.last_arrival + drain);
+        self.advance(&mut s, None, &mut |_, _| {});
+        self.close_session(s)
+    }
+
+    /// Session epilogue shared by batch runs and `end_session`: resolve a
+    /// leftover speculation, fold telemetry into [`ShardStats`], join the
+    /// worker pool, report.
+    fn close_session(&mut self, mut s: SessionCore) -> RunReport {
+        // A speculation still in flight at the end of the run can no
+        // longer influence the report: resolve it for the books, then
+        // discard the plan uniformly (a pure function of "the loop
+        // ended", hence worker-invariant).
+        if let Some(SpecOutcome::Commit(inflight) | SpecOutcome::Fallback(inflight)) =
+            s.spec.resolve(self.state.structural_epoch())
+        {
+            drop(inflight.pending.join());
+        }
+        let (launched, committed, fallbacks) = s.spec.counters();
+        self.stats.steals += s.deques.steals();
+        self.stats.spec_launched += launched;
+        self.stats.spec_committed += committed;
+        self.stats.spec_fallbacks += fallbacks;
+        drop(s); // joins the worker pool
+        self.state.metrics.report()
+    }
+
+    /// The barrier/window loop: advances the session until its drain
+    /// stop, quiescence (closed sessions only), or past `limit`.
+    ///
+    /// Every window *starting* at or before `limit` runs in full (so
+    /// global events at exactly `limit` are processed, matching the
+    /// serial engine's `step_until`). Pausing leaves the coordinator
+    /// parked at a barrier — re-entering re-runs that barrier's
+    /// (idempotent) bookkeeping and picks the windows back up, with the
+    /// identical window structure an uninterrupted run produces.
+    fn advance(
         &mut self,
-        trace: &Trace,
-        drain: SimDuration,
-        ctx: &Arc<ReadCtx>,
-        deques: &StealDeques<SlotTask>,
-        pool: Option<(&[mpsc::Sender<()>], &mpsc::Receiver<Box<GroupRuntime>>)>,
+        s: &mut SessionCore,
+        limit: Option<SimTime>,
         observer: &mut impl FnMut(&ClusterState, SimTime),
-    ) -> RunReport {
-        let total = trace.len();
-        let hard_stop = SimTime::ZERO + trace.duration() + drain;
-        let lookahead = self.lookahead;
+    ) {
         let num_shards = self.num_shards;
         let fabric = self.state.cfg.fabric;
-        let mut runtimes: Vec<Option<Box<GroupRuntime>>> = Vec::new();
-
-        let mut global: EventQueue<GlobalEvent> = EventQueue::new();
-        global.push(SimTime::ZERO, GlobalEvent::MonitorTick);
-        let mut net_poll_at: Option<SimTime> = None;
-        let mut cursor = 0usize; // arrival dispatch cursor (trace is sorted)
-        let mut finished = 0usize;
-        let mut flags_blocked: Vec<GroupId> = Vec::new();
-        let mut flags_oom: Vec<(GroupId, RequestId)> = Vec::new();
-        // The conservative clocks: one per lane, advanced in lockstep at
-        // barriers. The next window's horizon is the minimum safe horizon
-        // across lanes — with ≥ 2 lanes that is `barrier + lookahead`
-        // exactly; a single lane has no peers to wait for and may run to
-        // the next global event.
-        let mut clk = ConservativeClock::new(num_shards, lookahead);
-        let mut b = SimTime::ZERO;
-        // The optimistic hook pipeline: at most one batch in flight,
-        // resolved at the barrier after its launch.
-        let mut spec: SpecSequencer<SpecInflight> = SpecSequencer::new();
-        // Merge buffer, reused across windows.
-        let mut events: Vec<(SimTime, usize, usize, usize, MetricEvent)> = Vec::new();
-        // Whether any barrier action since the last plan scrub may have
-        // moved requests across groups (ticks, hooks, transfers,
-        // reconfigs). Windows themselves never move requests, so quiet
-        // barriers skip the scrub entirely.
-        let mut dirty = true;
-        // Debug builds: the shadow-ownership table behind the race
-        // detector. Sized once here — every request is created before the
-        // first window, matching the `ReqTable` contract.
-        #[cfg(debug_assertions)]
-        let shadow = Arc::new(ShadowOwners::new(self.state.requests.len()));
-        #[cfg(debug_assertions)]
-        let mut epoch: u64 = 0;
 
         loop {
-            if b > hard_stop {
+            if s.run_stop.is_some_and(|hs| s.b > hs) {
                 break;
             }
+            let b = s.b;
 
             // --- Barrier phase (exclusive &mut ClusterState). ---
 
             // 1. Global events due now.
-            while let Some(t) = global.peek_time() {
+            while let Some(t) = s.global.peek_time() {
                 if t > b {
                     break;
                 }
-                let (t, ev) = global.pop().expect("peeked");
+                let (t, ev) = s.global.pop().expect("peeked");
                 match ev {
                     GlobalEvent::MonitorTick => {
-                        dirty = true; // the policy may move requests
+                        s.dirty = true; // the policy may move requests
                         let (demand, capacity, used) = self.state.memory_totals();
                         self.state.metrics.mem_demand.push(t, demand as f64);
                         self.state.metrics.mem_capacity.push(t, capacity as f64);
@@ -1082,37 +1337,57 @@ impl<P: Policy> ShardedEngine<P> {
                         // a local event on the target group's runtime.
                         if self.state.cfg.retry.is_some() {
                             let sweep = self.state.sweep_deadlines(t);
-                            finished += sweep.abandoned.len();
+                            s.finished += sweep.abandoned.len();
                             for r in sweep.due {
                                 if self.policy.should_shed(&self.state, t, r) {
                                     self.state.shed_request(r);
-                                    finished += 1;
+                                    s.finished += 1;
                                     continue;
                                 }
                                 let g = self.state.redispatch_retry(r, t, None);
-                                runtime_for(&mut runtimes, g.0, num_shards, fabric)
+                                runtime_for(&mut s.runtimes, g.0, num_shards, fabric)
                                     .queue
                                     .push(t, LocalEvent::Arrival(r));
                             }
                         }
                         let next = t + self.state.cfg.monitor_interval;
-                        if next <= hard_stop && finished < total {
-                            global.push(next, GlobalEvent::MonitorTick);
+                        if (s.open || s.finished < s.total)
+                            && s.run_stop.is_none_or(|hs| next <= hs)
+                        {
+                            s.global.push(next, GlobalEvent::MonitorTick);
                         }
                     }
                     GlobalEvent::NetPoll => {
-                        if net_poll_at == Some(t) {
-                            net_poll_at = None;
+                        if s.net_poll_at == Some(t) {
+                            s.net_poll_at = None;
                         }
                         let done = self.state.network.take_completions(t);
                         if !done.is_empty() {
-                            dirty = true;
+                            s.dirty = true;
                         }
                         for (_, job) in done {
                             if let Some(event) = self.state.apply_transfer_done(job) {
                                 self.policy.on_transfer_done(&mut self.state, t, &event);
                             }
                         }
+                    }
+                }
+            }
+
+            // 1b. Deferred client cancels: the state is fully reassembled
+            //     here, so every target's group is idle-checkable — the
+            //     same conservatism as the deadline sweep. No-op for
+            //     batch runs (nothing ever queues one).
+            if !s.pending_cancels.is_empty() {
+                let cancels = std::mem::take(&mut s.pending_cancels);
+                for r in cancels {
+                    match self.state.cancel_request_at_barrier(r) {
+                        CancelOutcome::Cancelled => {
+                            s.finished += 1;
+                            s.dirty = true;
+                        }
+                        CancelOutcome::Deferred => s.pending_cancels.push(r),
+                        CancelOutcome::AlreadyTerminal => {}
                     }
                 }
             }
@@ -1124,8 +1399,8 @@ impl<P: Policy> ShardedEngine<P> {
             //    tick or transfer completion that mutated group structure
             //    bumped the structural epoch, which safely forces the
             //    fallback below.
-            if let Some(outcome) = spec.resolve(self.state.structural_epoch()) {
-                dirty = true;
+            if let Some(outcome) = s.spec.resolve(self.state.structural_epoch()) {
+                s.dirty = true;
                 match outcome {
                     SpecOutcome::Commit(inflight) => {
                         let plan = inflight.pending.join();
@@ -1139,16 +1414,16 @@ impl<P: Policy> ShardedEngine<P> {
                     }
                 }
             }
-            flags_blocked.sort();
-            flags_blocked.dedup();
-            flags_oom.sort();
-            flags_oom.dedup();
-            if !flags_blocked.is_empty() || !flags_oom.is_empty() {
+            s.flags_blocked.sort();
+            s.flags_blocked.dedup();
+            s.flags_oom.sort();
+            s.flags_oom.dedup();
+            if !s.flags_blocked.is_empty() || !s.flags_oom.is_empty() {
                 let mut hooks = Some(DeferredHooks {
-                    blocked: std::mem::take(&mut flags_blocked),
-                    oom: std::mem::take(&mut flags_oom),
+                    blocked: std::mem::take(&mut s.flags_blocked),
+                    oom: std::mem::take(&mut s.flags_oom),
                 });
-                if self.pcfg.speculation && spec.is_idle() {
+                if self.pcfg.speculation && s.spec.is_idle() {
                     let base = self.state.structural_epoch();
                     if let Some(job) = self.policy.plan_deferred(
                         &self.state,
@@ -1159,12 +1434,12 @@ impl<P: Policy> ShardedEngine<P> {
                         // on a spare thread (inline with a single worker —
                         // the commit decision is epoch-driven either way,
                         // so results are worker-invariant).
-                        let pending = if pool.is_some() {
+                        let pending = if s.pool.is_some() {
                             SpecPending::Thread(std::thread::spawn(move || (job.run)()))
                         } else {
                             SpecPending::Ready((job.run)())
                         };
-                        spec.launch(
+                        s.spec.launch(
                             base,
                             SpecInflight {
                                 hooks: hooks.take().expect("hooks present"),
@@ -1176,7 +1451,7 @@ impl<P: Policy> ShardedEngine<P> {
                 if let Some(hooks) = hooks {
                     // Speculation off, or the policy declined to plan:
                     // the classic serial path, unchanged.
-                    dirty = true;
+                    s.dirty = true;
                     self.run_hooks_serial(b, &hooks);
                 }
             }
@@ -1185,7 +1460,7 @@ impl<P: Policy> ShardedEngine<P> {
             if self.state.has_pending_reconfigs() {
                 let created = self.state.execute_ready_reconfigs(b);
                 if !created.is_empty() {
-                    dirty = true;
+                    s.dirty = true;
                 }
             }
 
@@ -1195,8 +1470,8 @@ impl<P: Policy> ShardedEngine<P> {
             //    invariant that makes task-side request access race-free.
             //    Quiet barriers (no tick, no hook, no transfer, no
             //    reconfig) skip both: windows never move requests.
-            if dirty {
-                for (slot, rt) in runtimes.iter_mut().enumerate() {
+            if s.dirty {
+                for (slot, rt) in s.runtimes.iter_mut().enumerate() {
                     if rt.is_some() && !self.state.group_alive(GroupId(slot)) {
                         *rt = None;
                     }
@@ -1210,7 +1485,7 @@ impl<P: Policy> ShardedEngine<P> {
                     }
                     self.state.group_mut(g).current_iter = plan;
                 }
-                dirty = false;
+                s.dirty = false;
             }
 
             // 4b. The elastic-HBM safety net, checked while the state is
@@ -1228,16 +1503,16 @@ impl<P: Policy> ShardedEngine<P> {
             // 5. Re-arm the transfer-completion poll (deduped).
             if let Some(est) = self.state.network.next_completion_estimate() {
                 let at = est.max(b);
-                match net_poll_at {
+                match s.net_poll_at {
                     Some(t) if t <= at => {}
                     _ => {
-                        global.push(at, GlobalEvent::NetPoll);
-                        net_poll_at = Some(at);
+                        s.global.push(at, GlobalEvent::NetPoll);
+                        s.net_poll_at = Some(at);
                     }
                 }
             }
 
-            if finished >= total {
+            if !s.open && s.finished >= s.total {
                 break;
             }
 
@@ -1246,17 +1521,27 @@ impl<P: Policy> ShardedEngine<P> {
             //    the barrier-synchronous loop takes the minimum over all
             //    lanes, additionally cut at the next global event and
             //    never past the drain stop.
-            debug_assert_eq!(clk.global_floor(), b, "clocks advance in lockstep");
+            debug_assert_eq!(s.clk.global_floor(), b, "clocks advance in lockstep");
             let mut w_end = (0..num_shards)
-                .map(|s| clk.safe_horizon(ShardId(s)))
+                .map(|sh| s.clk.safe_horizon(ShardId(sh)))
                 .min()
                 .expect("at least one lane");
-            if let Some(t) = global.peek_time() {
+            if let Some(t) = s.global.peek_time() {
                 w_end = w_end.min(t);
             }
-            w_end = w_end.min(hard_stop + SimDuration::from_micros(1));
+            if let Some(hs) = s.run_stop {
+                w_end = w_end.min(hs + SimDuration::from_micros(1));
+            }
             if w_end <= b {
                 w_end = b + SimDuration::from_micros(1);
+            }
+            // Pause before opening a window that would cross `limit`: the
+            // session parks exactly at this barrier, and resuming later
+            // reproduces the identical window structure an uninterrupted
+            // run yields — the invariant that keeps session-fed runs
+            // byte-identical to batch trace replays.
+            if limit.is_some_and(|l| w_end > l) {
+                break;
             }
 
             // 7. Dispatch arrivals landing in this window (load-balanced
@@ -1264,21 +1549,28 @@ impl<P: Policy> ShardedEngine<P> {
             // simlint: allow(D-MAP) — audit: pending-load accumulator,
             // keyed lookup by group inside dispatch; never iterated.
             let mut extra: HashMap<GroupId, u64> = HashMap::new();
-            while cursor < total && trace.requests[cursor].arrival < w_end {
-                let spec_req = trace.requests[cursor];
-                let id = RequestId(cursor);
+            while let Some(&id) = s.pending.front() {
+                let spec_req = self.state.requests[id.0].spec;
+                if spec_req.arrival >= w_end {
+                    break;
+                }
+                s.pending.pop_front();
                 self.state.metrics.on_arrival(
                     id,
                     spec_req.arrival,
                     spec_req.output_tokens,
                     spec_req.model,
                 );
+                // Cancelled between injection and dispatch: the cancel
+                // already counted it; the arrival is only bookkept.
+                if self.state.requests[id.0].is_terminal() {
+                    continue;
+                }
                 // Deadline-aware admission control (same gate as the
                 // serial engine's arrival path; the default admits all).
                 if self.policy.should_shed(&self.state, b, id) {
                     self.state.shed_request(id);
-                    finished += 1;
-                    cursor += 1;
+                    s.finished += 1;
                     continue;
                 }
                 let group = self.state.dispatch_with_pending(
@@ -1288,18 +1580,24 @@ impl<P: Policy> ShardedEngine<P> {
                 );
                 self.state.note_dispatch(id, group);
                 *extra.entry(group).or_insert(0) += spec_req.input_tokens;
-                runtime_for(&mut runtimes, group.0, num_shards, fabric)
+                runtime_for(&mut s.runtimes, group.0, num_shards, fabric)
                     .queue
                     .push(spec_req.arrival, LocalEvent::Arrival(id));
-                cursor += 1;
             }
 
             observer(&self.state, b);
 
             // 8. Nothing left anywhere: stop early (mirrors the serial
-            //    engine running out of events).
-            let tasks_idle = runtimes.iter().flatten().all(|rt| rt.queue.is_empty());
-            if global.is_empty() && cursor >= total && tasks_idle && !self.any_startable() {
+            //    engine running out of events). Open sessions never take
+            //    this exit — the next injection may land at any future
+            //    barrier (and their tick chain stays armed regardless).
+            let tasks_idle = s.runtimes.iter().flatten().all(|rt| rt.queue.is_empty());
+            if !s.open
+                && s.global.is_empty()
+                && s.pending.is_empty()
+                && tasks_idle
+                && !self.any_startable()
+            {
                 break;
             }
 
@@ -1307,20 +1605,21 @@ impl<P: Policy> ShardedEngine<P> {
 
             // Select runnable group slots: pending local events this
             // window or a startable group. Each becomes one work item.
-            let slots = self.state.group_slots().max(runtimes.len());
+            let slots = self.state.group_slots().max(s.runtimes.len());
             let mut to_run: Vec<usize> = Vec::new();
             for slot in 0..slots {
                 let gid = GroupId(slot);
                 if !self.state.group_alive(gid) {
                     continue;
                 }
-                let has_events = runtimes
+                let has_events = s
+                    .runtimes
                     .get(slot)
                     .and_then(|o| o.as_ref())
                     .and_then(|rt| rt.queue.peek_time())
                     .is_some_and(|t| t < w_end);
                 if has_events || self.slot_startable(gid) {
-                    runtime_for(&mut runtimes, slot, num_shards, fabric);
+                    runtime_for(&mut s.runtimes, slot, num_shards, fabric);
                     to_run.push(slot);
                 }
             }
@@ -1331,14 +1630,16 @@ impl<P: Policy> ShardedEngine<P> {
             // lookahead-sized windows and move the barrier straight
             // there.
             if to_run.is_empty() {
-                let mut jump = hard_stop + SimDuration::from_micros(1);
-                if let Some(t) = global.peek_time() {
+                let mut jump = s
+                    .run_stop
+                    .map_or(SimTime::MAX, |hs| hs + SimDuration::from_micros(1));
+                if let Some(t) = s.global.peek_time() {
                     jump = jump.min(t);
                 }
-                if cursor < total {
-                    jump = jump.min(trace.requests[cursor].arrival);
+                if let Some(&id) = s.pending.front() {
+                    jump = jump.min(self.state.requests[id.0].spec.arrival);
                 }
-                for rt in runtimes.iter().flatten() {
+                for rt in s.runtimes.iter().flatten() {
                     if let Some(t) = rt.queue.peek_time() {
                         jump = jump.min(t);
                     }
@@ -1346,10 +1647,16 @@ impl<P: Policy> ShardedEngine<P> {
                 if jump > w_end {
                     w_end = jump;
                 }
+                // An idle open session jumps at most to `limit`: the next
+                // global event may lie beyond it, and the caller may
+                // still inject arrivals before then.
+                if limit.is_some_and(|l| w_end > l) {
+                    break;
+                }
             }
 
             // Idle runtimes observe the barrier passing.
-            for rt in runtimes.iter_mut().flatten() {
+            for rt in s.runtimes.iter_mut().flatten() {
                 if !to_run.contains(&rt.slot) {
                     rt.clock = rt.clock.max(w_end);
                 }
@@ -1360,12 +1667,20 @@ impl<P: Policy> ShardedEngine<P> {
                 // the cluster state, into their runtimes.
                 for &slot in &to_run {
                     let gid = GroupId(slot);
-                    let rt = runtimes[slot].as_mut().expect("runtime ensured");
+                    let rt = s.runtimes[slot].as_mut().expect("runtime ensured");
                     rt.clock = b.max(rt.clock);
                     if let Some(ov) = self.state.pending_overhead.remove(&gid) {
                         rt.overhead = Some(rt.overhead.map_or(ov, |o| o + ov));
                     }
                     rt.group = Some(self.state.take_group(gid));
+                }
+
+                // Debug builds: re-size the shadow-ownership table when
+                // session injections grew the request vector (a fresh
+                // zeroed table is correct — epochs only ever grow).
+                #[cfg(debug_assertions)]
+                if s.shadow.len() < self.state.requests.len() {
+                    s.shadow = Arc::new(ShadowOwners::new(self.state.requests.len()));
                 }
 
                 let table = ReqTable {
@@ -1374,16 +1689,16 @@ impl<P: Policy> ShardedEngine<P> {
                     #[cfg(debug_assertions)]
                     slot: u16::MAX, // base view; real views come from `for_slot`
                     #[cfg(debug_assertions)]
-                    epoch,
+                    epoch: s.epoch,
                     #[cfg(debug_assertions)]
-                    shadow: Arc::clone(&shadow),
+                    shadow: Arc::clone(&s.shadow),
                 };
                 // Publish the window's work items to their home lanes in
                 // slot order, then let the workers race over them.
                 for &slot in &to_run {
-                    let rt = runtimes[slot].take().expect("runtime ensured");
+                    let rt = s.runtimes[slot].take().expect("runtime ensured");
                     let lane = rt.home;
-                    deques.push(
+                    s.deques.push(
                         lane,
                         SlotTask {
                             table: table.for_slot(slot),
@@ -1392,49 +1707,50 @@ impl<P: Policy> ShardedEngine<P> {
                         },
                     );
                 }
-                match pool {
+                match &s.pool {
                     None => {
                         // Inline path: drain in deterministic lane order —
                         // by construction it never counts a steal.
-                        for mut task in deques.drain_in_order() {
-                            run_window(&mut task.rt, &task.table, ctx, task.w_end);
+                        for mut task in s.deques.drain_in_order() {
+                            run_window(&mut task.rt, &task.table, &s.ctx, task.w_end);
                             let slot = task.rt.slot;
-                            runtimes[slot] = Some(task.rt);
+                            s.runtimes[slot] = Some(task.rt);
                         }
                     }
-                    Some((go_txs, results)) => {
-                        for tx in go_txs {
+                    Some(pool) => {
+                        for tx in &pool.go_txs {
                             tx.send(()).expect("worker alive");
                         }
                         for _ in 0..to_run.len() {
-                            let rt = results.recv().expect("worker result");
+                            let rt = pool.results.recv().expect("worker result");
                             let slot = rt.slot;
-                            runtimes[slot] = Some(rt);
+                            s.runtimes[slot] = Some(rt);
                         }
                     }
                 }
 
                 // --- Merge (deterministic: `(time, home lane, slot,
                 //     sequence)` order, independent of who ran what). ---
-                events.clear();
+                s.events.clear();
                 for &slot in &to_run {
-                    let rt = runtimes[slot].as_mut().expect("present");
+                    let rt = s.runtimes[slot].as_mut().expect("present");
                     self.state
                         .put_group(rt.group.take().expect("group checked out"));
                     let home = rt.home;
                     for (i, (t, ev)) in rt.log.drain(..).enumerate() {
-                        events.push((t, home, slot, i, ev));
+                        s.events.push((t, home, slot, i, ev));
                     }
-                    finished += rt.finished;
+                    s.finished += rt.finished;
                     rt.finished = 0;
                     if rt.blocked {
                         rt.blocked = false;
-                        flags_blocked.push(GroupId(slot));
+                        s.flags_blocked.push(GroupId(slot));
                     }
-                    flags_oom.extend(rt.oom.drain(..).map(|r| (GroupId(slot), r)));
+                    s.flags_oom
+                        .extend(rt.oom.drain(..).map(|r| (GroupId(slot), r)));
                 }
-                events.sort_by_key(|e| (e.0, e.1, e.2, e.3));
-                for &(_, _, _, _, ev) in &events {
+                s.events.sort_by_key(|e| (e.0, e.1, e.2, e.3));
+                for &(_, _, _, _, ev) in &s.events {
                     match ev {
                         MetricEvent::FirstToken(r, t) => self.state.metrics.on_first_token(r, t),
                         MetricEvent::Finished(r, t) => {
@@ -1449,36 +1765,18 @@ impl<P: Policy> ShardedEngine<P> {
                 }
             }
 
-            for s in 0..num_shards {
-                clk.advance(ShardId(s), w_end);
+            for sh in 0..num_shards {
+                s.clk.advance(ShardId(sh), w_end);
             }
             // New window ⇒ new detector epoch: ownership may legitimately
             // move across tasks between windows, never within one.
             #[cfg(debug_assertions)]
             {
-                epoch += 1;
+                s.epoch += 1;
             }
             self.stats.windows += 1;
-            b = w_end;
+            s.b = w_end;
         }
-
-        // A speculation still in flight at the end of the run can no
-        // longer influence the report: resolve it for the books, then
-        // discard the plan uniformly (a pure function of "the loop
-        // ended", hence worker-invariant).
-        if let Some(SpecOutcome::Commit(inflight) | SpecOutcome::Fallback(inflight)) =
-            spec.resolve(self.state.structural_epoch())
-        {
-            drop(inflight.pending.join());
-        }
-
-        let (launched, committed, fallbacks) = spec.counters();
-        self.stats.steals += deques.steals();
-        self.stats.spec_launched += launched;
-        self.stats.spec_committed += committed;
-        self.stats.spec_fallbacks += fallbacks;
-
-        self.state.metrics.report()
     }
 
     /// The classic serial barrier arms for one window's deferred hooks —
@@ -1811,5 +2109,91 @@ mod tests {
         });
         assert_eq!(report.finished_requests, 10);
         assert!(barriers > 1);
+    }
+
+    /// Arrivals off the 100 ms monitor-tick grid (73 ms steps), so no
+    /// arrival ever collides with a tick time.
+    fn offgrid_trace(n: usize) -> Trace {
+        Trace::new(
+            (0..n)
+                .map(|i| RequestSpec {
+                    id: 0,
+                    model: ModelId::PRIMARY,
+                    arrival: SimTime::from_millis((i as u64 + 1) * 73),
+                    input_tokens: 200,
+                    output_tokens: 24,
+                    prefix: None,
+                    deadline: None,
+                })
+                .collect(),
+        )
+    }
+
+    /// The tentpole bridge invariant: feeding the same arrivals through
+    /// an incremental session, tick boundary by tick boundary, replays
+    /// the batch run byte-for-byte — at 1, 2 and 4 workers.
+    #[test]
+    fn sharded_session_matches_batch_run_byte_for_byte() {
+        let trace = offgrid_trace(24);
+        let drain = SimDuration::from_secs(120);
+        let batch = |workers: usize| {
+            let mut eng =
+                ShardedEngine::new(ClusterConfig::tiny_test(4), QueueingPolicy, pcfg(workers));
+            format!("{:?}", eng.run(&trace, drain))
+        };
+        let session = |workers: usize| {
+            let mut eng =
+                ShardedEngine::new(ClusterConfig::tiny_test(4), QueueingPolicy, pcfg(workers));
+            eng.begin_session();
+            let interval = eng.state.cfg.monitor_interval;
+            let mut boundary = SimTime::ZERO;
+            let mut cursor = 0;
+            while cursor < trace.len() {
+                let next = boundary + interval;
+                while cursor < trace.len() && trace.requests[cursor].arrival <= next {
+                    eng.inject(trace.requests[cursor]);
+                    cursor += 1;
+                }
+                eng.step_until(next);
+                boundary = next;
+            }
+            format!("{:?}", eng.end_session(drain))
+        };
+        let want = batch(1);
+        assert_eq!(want, batch(2), "batch runs are worker-invariant");
+        assert_eq!(want, batch(4), "batch runs are worker-invariant");
+        assert_eq!(want, session(1), "session must replay the batch run");
+        assert_eq!(want, session(2), "session must replay the batch run");
+        assert_eq!(want, session(4), "session must replay the batch run");
+    }
+
+    /// Session cancels land at barriers: a queued victim frees its spot,
+    /// the survivor still finishes, and the report counts the cancel.
+    #[test]
+    fn sharded_session_cancel_terminates_and_counts() {
+        let mut eng = ShardedEngine::new(ClusterConfig::tiny_test(1), QueueingPolicy, pcfg(2));
+        eng.begin_session();
+        let spec = |arr: u64| RequestSpec {
+            id: 0,
+            model: ModelId::PRIMARY,
+            arrival: SimTime::from_millis(arr),
+            input_tokens: 256,
+            output_tokens: 400,
+            prefix: None,
+            deadline: None,
+        };
+        let victim = eng.inject(spec(10));
+        let survivor = eng.inject(spec(20));
+        eng.step_until(SimTime::from_millis(250));
+        eng.cancel(victim);
+        eng.step_until(SimTime::from_millis(600));
+        assert!(
+            eng.state.requests[victim.0].is_terminal(),
+            "deferred cancels land once the group goes idle at a barrier"
+        );
+        let report = eng.end_session(SimDuration::from_secs(60));
+        assert_eq!(report.cancelled_requests, 1);
+        assert_eq!(report.finished_requests, 1);
+        assert_eq!(eng.state.requests[survivor.0].state, ReqState::Finished);
     }
 }

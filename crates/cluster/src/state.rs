@@ -107,6 +107,58 @@ struct TransferBatch {
     effect: BatchEffect,
 }
 
+/// Outcome of a client-initiated cancellation
+/// ([`ClusterState::cancel_request`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The attempt was torn down; the request is terminal
+    /// ([`ReqState::Dropped`]) and its blocks are free.
+    Cancelled,
+    /// The request is mid-iteration or mid-transfer; the caller retries at
+    /// the next idle boundary (monitor tick / barrier), mirroring the
+    /// deadline sweep's conservatism.
+    Deferred,
+    /// The request had already finished or been dropped.
+    AlreadyTerminal,
+}
+
+/// Client-visible availability of a model under the elastic load/unload
+/// operations ([`ClusterState::request_unload_model`] /
+/// [`ClusterState::request_load_model`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelAvailability {
+    /// Serving normally.
+    Available,
+    /// Unload in progress: existing requests drain, new submissions should
+    /// be refused by the front end.
+    Draining,
+    /// Fully unloaded: one frozen merged group parks a single compressed
+    /// parameter copy; the dropped duplicates' bytes are lendable KV.
+    Unloaded,
+    /// Load in progress: ParamRestore pulls / split back to full groups.
+    Loading,
+}
+
+/// Phase of one in-flight elastic model operation. `Draining → Merging →
+/// Unloaded` on the unload side; `Restoring → Splitting → (removed)` on
+/// the load side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModelOpPhase {
+    Draining,
+    Merging,
+    Unloaded,
+    Restoring,
+    Splitting,
+}
+
+/// One in-flight elastic model load/unload operation. Kept in a `Vec`
+/// (ordered by request time) so iteration is deterministic.
+#[derive(Debug, Clone, Copy)]
+struct ModelOp {
+    model: ModelId,
+    phase: ModelOpPhase,
+}
+
 /// The complete simulated cluster.
 #[derive(Debug)]
 pub struct ClusterState {
@@ -145,6 +197,8 @@ pub struct ClusterState {
     pub pending_overhead: HashMap<GroupId, SimDuration>,
     transfer_batches: HashMap<u64, TransferBatch>,
     next_batch: u64,
+    /// In-flight elastic model load/unload operations (gateway-driven).
+    model_ops: Vec<ModelOp>,
     /// Monotone counter of *structural* mutations: group creation/death
     /// (merge, split, failure, recovery) and freeze/unfreeze flips. The
     /// optimistic executor validates speculative hook plans against it —
@@ -253,6 +307,7 @@ impl ClusterState {
             pending_overhead: HashMap::new(),
             transfer_batches: HashMap::new(),
             next_batch: 0,
+            model_ops: Vec::new(),
             structural_epoch: 0,
         })
     }
@@ -814,7 +869,18 @@ impl ClusterState {
     }
 
     /// Requests a split (restore): the group freezes and splits once idle.
+    ///
+    /// Idempotent: a split already pending for `group` is not queued twice,
+    /// so the restore path tolerates both the policy and the gateway's
+    /// elastic-load machinery reacting to the same `ParamRestoreReady`.
     pub fn request_split(&mut self, group: GroupId) {
+        if self
+            .pending_reconfigs
+            .iter()
+            .any(|rc| matches!(rc, Reconfig::Split { group: g } if *g == group))
+        {
+            return;
+        }
         self.group_mut(group).frozen = true;
         self.note_structural_change();
         self.pending_reconfigs.push(Reconfig::Split { group });
@@ -1158,13 +1224,31 @@ impl ClusterState {
         let mut mutated = false;
         let pending = std::mem::take(&mut self.pending_reconfigs);
         for rc in pending {
-            let ready = match &rc {
-                Reconfig::Merge { groups, .. } => groups
-                    .iter()
-                    .all(|&g| self.group_alive(g) && !self.group(g).is_busy()),
-                Reconfig::Split { group } => {
-                    self.group_alive(*group) && !self.group(*group).is_busy()
+            // A reconfig referencing a dead group (a member failed while it
+            // waited) can never become ready: abandon it instead of
+            // re-queueing forever, unfreezing any survivors.
+            let dead = match &rc {
+                Reconfig::Merge { groups, .. } => groups.iter().any(|&g| !self.group_alive(g)),
+                Reconfig::Split { group } => !self.group_alive(*group),
+            };
+            if dead {
+                if let Reconfig::Merge { groups, .. } = &rc {
+                    for &g in groups {
+                        if self.group_alive(g) {
+                            self.group_mut(g).frozen = false;
+                        }
+                    }
+                    self.metrics
+                        .on_reconfig(now, "merge-abandoned: member group died");
+                } else {
+                    self.metrics.on_reconfig(now, "split-abandoned: group died");
                 }
+                mutated = true;
+                continue;
+            }
+            let ready = match &rc {
+                Reconfig::Merge { groups, .. } => groups.iter().all(|&g| !self.group(g).is_busy()),
+                Reconfig::Split { group } => !self.group(*group).is_busy(),
             };
             if !ready {
                 self.pending_reconfigs.push(rc);
@@ -2208,6 +2292,248 @@ impl ClusterState {
         self.metrics.on_shed();
     }
 
+    /// Cancels a request on behalf of the client: tears down its attempt
+    /// (freeing blocks) and makes it terminal. Running attempts are only
+    /// torn down while their group is idle and unfrozen — the same
+    /// in-flight-iteration conservatism as [`Self::sweep_deadlines`] — so
+    /// the caller must retry [`CancelOutcome::Deferred`] at the next
+    /// monitor-tick/barrier boundary. Stalled and swapped attempts finish
+    /// their transfer first (the transfer's completion handler must find
+    /// the request where it left it).
+    pub fn cancel_request(&mut self, id: RequestId) -> CancelOutcome {
+        self.cancel_request_inner(id, false)
+    }
+
+    /// Barrier-time variant for the sharded executor: at a barrier the
+    /// coordinator owns the whole reassembled state and in-flight
+    /// iteration plans skip non-`Running` requests at completion, so
+    /// tearing an attempt out of a busy (mid-iteration) group is safe
+    /// there — a saturated group would otherwise never go idle at a
+    /// barrier and the cancel would starve. Frozen groups (reconfig in
+    /// flight) still defer.
+    pub fn cancel_request_at_barrier(&mut self, id: RequestId) -> CancelOutcome {
+        self.cancel_request_inner(id, true)
+    }
+
+    fn cancel_request_inner(&mut self, id: RequestId, at_barrier: bool) -> CancelOutcome {
+        match self.requests[id.0].state {
+            ReqState::Finished | ReqState::Dropped => CancelOutcome::AlreadyTerminal,
+            ReqState::Running => {
+                let g = self.requests[id.0].group;
+                if self.group_alive(g)
+                    && (self.group(g).frozen || (!at_barrier && self.group(g).is_busy()))
+                {
+                    return CancelOutcome::Deferred; // revisit once idle
+                }
+                self.abort_attempt(id);
+                self.finish_cancel(id)
+            }
+            ReqState::Queued => {
+                self.abort_attempt(id);
+                self.finish_cancel(id)
+            }
+            ReqState::Backoff => self.finish_cancel(id),
+            ReqState::Stalled(_) | ReqState::Swapped => CancelOutcome::Deferred,
+        }
+    }
+
+    /// Marks a torn-down request terminal and counts the cancellation.
+    fn finish_cancel(&mut self, id: RequestId) -> CancelOutcome {
+        self.requests[id.0].state = ReqState::Dropped;
+        self.requests[id.0].retry_at = None;
+        self.metrics.on_cancelled();
+        CancelOutcome::Cancelled
+    }
+
+    // ------------------------------------------------------------------
+    // Elastic model load/unload (gateway-driven hot-swap).
+    // ------------------------------------------------------------------
+
+    /// Client-visible availability of `m` under any in-flight elastic
+    /// operation. `Available` when no operation touches the model.
+    pub fn model_availability(&self, m: ModelId) -> ModelAvailability {
+        match self
+            .model_ops
+            .iter()
+            .find(|op| op.model == m)
+            .map(|op| op.phase)
+        {
+            None => ModelAvailability::Available,
+            Some(ModelOpPhase::Draining | ModelOpPhase::Merging) => ModelAvailability::Draining,
+            Some(ModelOpPhase::Unloaded) => ModelAvailability::Unloaded,
+            Some(ModelOpPhase::Restoring | ModelOpPhase::Splitting) => ModelAvailability::Loading,
+        }
+    }
+
+    /// Whether any elastic model operation is in flight (gates the
+    /// per-tick [`Self::advance_model_ops`] sweep so operation-free runs
+    /// pay nothing).
+    pub fn has_model_ops(&self) -> bool {
+        !self.model_ops.is_empty()
+    }
+
+    /// Begins an elastic **unload** of `m`: new submissions should be
+    /// refused (see [`Self::model_availability`]), in-flight requests
+    /// drain, then the model's groups merge into one pipelined group
+    /// (KunServe drop — duplicate parameter copies freed as lendable
+    /// bytes) which is finally frozen, parking a single compressed copy.
+    /// Returns `false` if an operation is already in flight for `m` or no
+    /// unfrozen group serves it.
+    pub fn request_unload_model(&mut self, m: ModelId, now: SimTime) -> bool {
+        if self.model_ops.iter().any(|op| op.model == m) {
+            return false;
+        }
+        if !self
+            .alive_group_ids()
+            .any(|g| self.group(g).model == m && !self.group(g).frozen)
+        {
+            return false;
+        }
+        self.model_ops.push(ModelOp {
+            model: m,
+            phase: ModelOpPhase::Draining,
+        });
+        self.metrics
+            .on_reconfig(now, format!("unload: draining {m}"));
+        true
+    }
+
+    /// Begins an elastic **load** of an [`ModelAvailability::Unloaded`]
+    /// model: unfreezes the parked group, starts ParamRestore pulls for
+    /// its dropped layers and queues the split back to full per-instance
+    /// groups once the pulls land. Returns `false` unless `m` is unloaded.
+    pub fn request_load_model(&mut self, m: ModelId, now: SimTime) -> bool {
+        let Some(i) = self
+            .model_ops
+            .iter()
+            .position(|op| op.model == m && op.phase == ModelOpPhase::Unloaded)
+        else {
+            return false;
+        };
+        let Some(g) = self.alive_group_ids().find(|&g| self.group(g).model == m) else {
+            // Every group died while parked; nothing to revive.
+            self.model_ops.remove(i);
+            return false;
+        };
+        self.group_mut(g).frozen = false;
+        self.note_structural_change();
+        self.metrics
+            .on_reconfig(now, format!("load: restoring {m}"));
+        if self.start_param_restore(g, now) {
+            self.model_ops[i].phase = ModelOpPhase::Restoring;
+        } else if self.group(g).members.len() >= 2 {
+            // No dropped layers to pull (replicas retained); split directly.
+            self.request_split(g);
+            self.model_ops[i].phase = ModelOpPhase::Splitting;
+        } else {
+            // Single-instance model: the unfreeze is the whole load.
+            self.model_ops.remove(i);
+            self.metrics
+                .on_reconfig(now, format!("load: {m} available"));
+        }
+        true
+    }
+
+    /// One monitor-tick step of every in-flight elastic model operation.
+    /// Deterministic: operations advance in request order based only on
+    /// simulated state. Call at tick/barrier boundaries (gated by
+    /// [`Self::has_model_ops`]).
+    pub fn advance_model_ops(&mut self, now: SimTime) {
+        let mut i = 0;
+        while i < self.model_ops.len() {
+            let ModelOp { model: m, phase } = self.model_ops[i];
+            match phase {
+                ModelOpPhase::Draining => {
+                    let active = self.requests.iter().any(|r| {
+                        r.spec.model == m
+                            && !matches!(r.state, ReqState::Finished | ReqState::Dropped)
+                    });
+                    if active {
+                        i += 1;
+                        continue;
+                    }
+                    let groups: Vec<GroupId> = self
+                        .alive_group_ids()
+                        .filter(|&g| self.group(g).model == m && !self.group(g).frozen)
+                        .collect();
+                    match groups.len() {
+                        0 => {
+                            // Lost every group while draining; abandon.
+                            self.model_ops.remove(i);
+                            continue;
+                        }
+                        1 => {
+                            self.park_unloaded(groups[0], m, now);
+                            self.model_ops[i].phase = ModelOpPhase::Unloaded;
+                        }
+                        _ => {
+                            self.request_merge(groups);
+                            self.model_ops[i].phase = ModelOpPhase::Merging;
+                        }
+                    }
+                }
+                ModelOpPhase::Merging => {
+                    let merge_pending = self.pending_reconfigs.iter().any(|rc| {
+                        matches!(rc, Reconfig::Merge { groups, .. }
+                            if groups.iter().any(|&g| self.group_alive(g) && self.group(g).model == m))
+                    });
+                    if merge_pending {
+                        i += 1;
+                        continue;
+                    }
+                    let groups: Vec<GroupId> = self
+                        .alive_group_ids()
+                        .filter(|&g| self.group(g).model == m && !self.group(g).frozen)
+                        .collect();
+                    match groups.len() {
+                        0 => {
+                            self.model_ops.remove(i);
+                            continue;
+                        }
+                        1 => {
+                            self.park_unloaded(groups[0], m, now);
+                            self.model_ops[i].phase = ModelOpPhase::Unloaded;
+                        }
+                        _ => self.request_merge(groups), // merge failed; retry
+                    }
+                }
+                ModelOpPhase::Splitting => {
+                    let split_pending = self.pending_reconfigs.iter().any(|rc| {
+                        matches!(rc, Reconfig::Split { group }
+                            if self.group_alive(*group) && self.group(*group).model == m)
+                    });
+                    if !split_pending {
+                        // Split executed (or was deferred with the group
+                        // left serving); either way the model serves again.
+                        self.model_ops.remove(i);
+                        self.metrics
+                            .on_reconfig(now, format!("load: {m} available"));
+                        continue;
+                    }
+                }
+                // Unloaded is steady state (exited via request_load_model);
+                // Restoring advances from the ParamRestoreReady handler.
+                ModelOpPhase::Unloaded | ModelOpPhase::Restoring => {}
+            }
+            i += 1;
+        }
+    }
+
+    /// Freezes the last surviving group of an unloading model, completing
+    /// the unload: one compressed parameter copy parked, duplicates freed.
+    fn park_unloaded(&mut self, g: GroupId, m: ModelId, now: SimTime) {
+        self.group_mut(g).frozen = true;
+        self.note_structural_change();
+        let freed: u64 = self
+            .group(g)
+            .members
+            .iter()
+            .map(|&inst| self.instances[inst.0 as usize].donatable_bytes())
+            .sum();
+        self.metrics
+            .on_reconfig(now, format!("unload: parked {m} lendable={freed}B"));
+    }
+
     // ------------------------------------------------------------------
     // Transfer completion plumbing (called by the engine).
     // ------------------------------------------------------------------
@@ -2244,6 +2570,21 @@ impl ClusterState {
                         Some(TransferEvent::ExchangeDone { requests: resumed })
                     }
                     BatchEffect::ParamRestoreReady(group) => {
+                        // Elastic-load hook: when this restore belongs to an
+                        // in-flight model load, queue the split here so the
+                        // load completes under any policy (request_split is
+                        // idempotent if the policy also reacts).
+                        if self.group_alive(group) {
+                            let m = self.group(group).model;
+                            if let Some(i) = self
+                                .model_ops
+                                .iter()
+                                .position(|op| op.model == m && op.phase == ModelOpPhase::Restoring)
+                            {
+                                self.model_ops[i].phase = ModelOpPhase::Splitting;
+                                self.request_split(group);
+                            }
+                        }
                         Some(TransferEvent::ParamRestoreReady { group })
                     }
                     BatchEffect::RecoveryReady(group) => {
@@ -2450,5 +2791,132 @@ mod tests {
         // A dropped request never re-enters any sweep bucket.
         let sweep = state.sweep_deadlines(SimTime::ZERO + SimDuration::from_secs(60));
         assert_eq!(sweep, DeadlineSweep::default());
+    }
+
+    #[test]
+    fn cancel_queued_request_frees_it_and_counts() {
+        let mut state = ClusterState::new(ClusterConfig::tiny_test(2));
+        let spec = RequestSpec {
+            id: 0,
+            model: ModelId::PRIMARY,
+            arrival: SimTime::ZERO,
+            input_tokens: 32,
+            output_tokens: 8,
+            prefix: None,
+            deadline: None,
+        };
+        let r = RequestId(0);
+        state.requests.push(Request::new(r, spec, GroupId(0)));
+        let g = state.dispatch(spec.model, spec.input_tokens);
+        state.note_dispatch(r, g);
+        state.group_mut(g).queue.push_back(r);
+
+        assert_eq!(state.cancel_request(r), CancelOutcome::Cancelled);
+        assert_eq!(state.requests[0].state, ReqState::Dropped);
+        assert!(state.group(g).queue.is_empty(), "left the group queue");
+        assert_eq!(state.metrics.cancelled_requests, 1);
+        // Idempotent: a second cancel reports the terminal state.
+        assert_eq!(state.cancel_request(r), CancelOutcome::AlreadyTerminal);
+        assert_eq!(state.metrics.cancelled_requests, 1);
+    }
+
+    #[test]
+    fn cancel_running_request_defers_while_group_is_busy() {
+        let mut state = ClusterState::new(ClusterConfig::tiny_test(1));
+        let spec = RequestSpec {
+            id: 0,
+            model: ModelId::PRIMARY,
+            arrival: SimTime::ZERO,
+            input_tokens: 32,
+            output_tokens: 8,
+            prefix: None,
+            deadline: None,
+        };
+        let r = RequestId(0);
+        state.requests.push(Request::new(r, spec, GroupId(0)));
+        let g = state.dispatch(spec.model, spec.input_tokens);
+        state.note_dispatch(r, g);
+        assert!(state.try_admit(r, g), "tiny request admits");
+        state.group_mut(g).running.push(r);
+
+        state.group_mut(g).busy_until = Some(SimTime::from_secs_f64(1.0));
+        assert_eq!(state.cancel_request(r), CancelOutcome::Deferred);
+        assert_eq!(state.requests[0].state, ReqState::Running);
+
+        state.group_mut(g).busy_until = None;
+        assert_eq!(state.cancel_request(r), CancelOutcome::Cancelled);
+        assert_eq!(state.requests[0].state, ReqState::Dropped);
+        assert!(state.group(g).running.is_empty());
+        assert_eq!(state.group(g).blocks.used_blocks(), 0, "blocks freed");
+    }
+
+    #[test]
+    fn elastic_unload_then_load_round_trips_through_drop_and_restore() {
+        let mut state = ClusterState::new(ClusterConfig::tiny_test(4));
+        let m = ModelId::PRIMARY;
+        let t0 = SimTime::ZERO;
+        assert_eq!(state.model_availability(m), ModelAvailability::Available);
+
+        // Unload: drain (trivially idle) → merge all 4 groups → park.
+        assert!(state.request_unload_model(m, t0));
+        assert!(!state.request_unload_model(m, t0), "one op per model");
+        assert_eq!(state.model_availability(m), ModelAvailability::Draining);
+        state.advance_model_ops(t0);
+        assert!(state.has_pending_reconfigs(), "merge queued");
+        state.execute_ready_reconfigs(t0);
+        state.advance_model_ops(t0);
+        assert_eq!(state.model_availability(m), ModelAvailability::Unloaded);
+        let parked = state.alive_groups();
+        assert_eq!(parked.len(), 1, "one merged group survives");
+        assert!(state.group(parked[0]).frozen, "parked frozen");
+        assert!(
+            state
+                .metrics
+                .reconfig_events
+                .iter()
+                .any(|(_, e)| e.starts_with("drop:")),
+            "unload is a real KunServe drop"
+        );
+        let violations = state.ledger().check_invariants("unloaded");
+        assert!(violations.is_empty(), "{violations:?}");
+
+        // Load: unfreeze, pull parameters, split back to 4 groups.
+        assert!(state.request_load_model(m, t0));
+        assert_eq!(state.model_availability(m), ModelAvailability::Loading);
+        while let Some(t) = state.network.next_completion_estimate() {
+            for (_, job) in state.network.take_completions(t) {
+                state.apply_transfer_done(job);
+            }
+        }
+        state.execute_ready_reconfigs(t0);
+        state.advance_model_ops(t0);
+        assert_eq!(state.model_availability(m), ModelAvailability::Available);
+        assert_eq!(state.alive_groups().len(), 4, "full deployment restored");
+        assert!(
+            state
+                .metrics
+                .reconfig_events
+                .iter()
+                .any(|(_, e)| e.starts_with("restore:")),
+            "load is a real ParamRestore"
+        );
+        let violations = state.ledger().check_invariants("reloaded");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn dead_group_reconfigs_are_abandoned_not_requeued() {
+        let mut state = ClusterState::new(ClusterConfig::tiny_test(2));
+        let groups = state.alive_groups();
+        state.request_merge(vec![groups[0], groups[1]]);
+        state.fail_instance(state.group(groups[1]).members[0], SimTime::ZERO);
+        state.execute_ready_reconfigs(SimTime::ZERO);
+        assert!(!state.has_pending_reconfigs(), "dead merge dropped");
+        assert!(!state.group(groups[0]).frozen, "survivor unfrozen");
+        assert!(state
+            .metrics
+            .reconfig_events
+            .iter()
+            .any(|(_, e)| e.starts_with("merge-abandoned")));
     }
 }

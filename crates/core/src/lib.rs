@@ -32,7 +32,7 @@
 //! # Examples
 //!
 //! ```
-//! use kunserve::serving::{run_system, SystemKind};
+//! use kunserve::serving::{Run, SystemKind};
 //! use cluster::ClusterConfig;
 //! use workload::{BurstTraceBuilder, Dataset};
 //! use sim_core::{SimDuration, SimTime};
@@ -42,12 +42,9 @@
 //!     .duration(SimDuration::from_secs(10))
 //!     .seed(1)
 //!     .build();
-//! let outcome = run_system(
-//!     SystemKind::KunServe,
-//!     ClusterConfig::tiny_test(2),
-//!     &trace,
-//!     SimDuration::from_secs(120),
-//! );
+//! let outcome = Run::new(SystemKind::KunServe, ClusterConfig::tiny_test(2), &trace)
+//!     .drain(SimDuration::from_secs(120))
+//!     .execute();
 //! assert_eq!(outcome.report.finished_requests, trace.len());
 //! ```
 
@@ -70,7 +67,8 @@ pub use plan::{
     PlanGroup,
 };
 pub use policy::{KunServeConfig, KunServePolicy};
+#[allow(deprecated)]
 pub use serving::{
     run_system, run_system_sharded, run_system_sharded_with_failures, run_system_with_failures,
-    RunOutcome, SystemKind,
 };
+pub use serving::{Run, RunOutcome, ServingSession, SystemKind};

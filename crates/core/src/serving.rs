@@ -1,11 +1,17 @@
 //! One-call API to run any of the paper's five systems on a trace.
+//!
+//! [`Run`] is the single construction path for engines: batch experiments
+//! chain `Run::new(..).drain(..).sharded(..).failures(..).execute()`, and
+//! live gateways open a [`ServingSession`] instead of an `execute` — same
+//! builders, same policy wiring, so an online run and its batch replay are
+//! configured identically (the precondition for byte-identical bridging).
 
 use cluster::{
-    ClusterConfig, ClusterState, Engine, FailureInjector, FailureSchedule, ParallelConfig, Policy,
-    RunReport, ShardStats, ShardedEngine,
+    CancelOutcome, ClusterConfig, ClusterState, Engine, FailureInjector, FailureSchedule,
+    ParallelConfig, Policy, RequestId, RunReport, ShardStats, ShardedEngine,
 };
-use sim_core::SimDuration;
-use workload::Trace;
+use sim_core::{SimDuration, SimTime};
+use workload::{RequestSpec, Trace};
 
 use crate::baselines::{InferCeptPolicy, LlumnixPolicy, VllmPolicy};
 use crate::policy::{KunServeConfig, KunServePolicy};
@@ -84,8 +90,9 @@ impl SystemKind {
 /// state (timelines in `state.metrics`, memory layout, reconfig markers).
 #[derive(Debug)]
 pub struct RunOutcome {
-    /// System display name.
-    pub name: &'static str,
+    /// System display name (a [`SystemKind`] legend name, or whatever the
+    /// caller labeled a custom-policy run).
+    pub name: String,
     /// Aggregated latency/throughput report.
     pub report: RunReport,
     /// Final cluster state with timeline metrics.
@@ -97,33 +104,308 @@ pub struct RunOutcome {
     pub stats: Option<ShardStats>,
 }
 
+/// What drives the cluster: a paper system, or a caller-supplied policy.
+enum SystemSpec {
+    Kind(SystemKind),
+    Custom {
+        name: String,
+        policy: Box<dyn Policy>,
+    },
+}
+
+/// The single construction path for engine runs.
+///
+/// Chain the optional axes onto [`Run::new`] and finish with
+/// [`Run::execute`]:
+///
+/// ```
+/// use kunserve::serving::{Run, SystemKind};
+/// use cluster::ClusterConfig;
+/// use sim_core::SimDuration;
+/// use workload::{BurstTraceBuilder, Dataset};
+///
+/// let trace = BurstTraceBuilder::new(Dataset::BurstGpt)
+///     .base_rps(20.0)
+///     .duration(SimDuration::from_secs(10))
+///     .seed(1)
+///     .build();
+/// let out = Run::new(SystemKind::KunServe, ClusterConfig::tiny_test(2), &trace)
+///     .drain(SimDuration::from_secs(120))
+///     .execute();
+/// assert_eq!(out.report.finished_requests, trace.len());
+/// ```
+///
+/// - [`Run::sharded`] moves the run to the sharded executor (worker-count
+///   invariant, policy hooks quantized to barriers — compare runs within
+///   one executor, not across the two).
+/// - [`Run::failures`] wraps the policy in a [`FailureInjector`] firing a
+///   scripted fault storm at monitor ticks (requires `cfg.rack_size > 0`).
+/// - [`Run::policy`] swaps in a custom [`Policy`] (experiments outside the
+///   paper lineup); the outcome keeps the label passed here.
+/// - [`Run::execute_observed`] threads a per-event/per-barrier observer
+///   through, for invariant-checking tests.
+pub struct Run<'a> {
+    system: SystemSpec,
+    cfg: ClusterConfig,
+    trace: &'a Trace,
+    drain: SimDuration,
+    pcfg: Option<ParallelConfig>,
+    failures: Option<&'a FailureSchedule>,
+}
+
+impl<'a> Run<'a> {
+    /// A serial-engine run of `kind` over `trace` with the default drain
+    /// cap (600 s of simulated time past the last arrival).
+    pub fn new(kind: SystemKind, cfg: ClusterConfig, trace: &'a Trace) -> Self {
+        Run {
+            system: SystemSpec::Kind(kind),
+            cfg,
+            trace,
+            drain: SimDuration::from_secs(600),
+            pcfg: None,
+            failures: None,
+        }
+    }
+
+    /// A serial-engine run driven by a caller-supplied [`Policy`]
+    /// (experiments outside the paper lineup); `name` labels the outcome
+    /// and no [`SystemKind::adjust_config`] adjustment is applied.
+    pub fn with_policy(
+        name: impl Into<String>,
+        policy: Box<dyn Policy>,
+        cfg: ClusterConfig,
+        trace: &'a Trace,
+    ) -> Self {
+        Run {
+            system: SystemSpec::Custom {
+                name: name.into(),
+                policy,
+            },
+            cfg,
+            trace,
+            drain: SimDuration::from_secs(600),
+            pcfg: None,
+            failures: None,
+        }
+    }
+
+    /// Caps simulated time at `drain` past the last arrival — bounds runs
+    /// where a policy cannot clear its backlog (the extreme-burst
+    /// experiment relies on this).
+    pub fn drain(mut self, drain: SimDuration) -> Self {
+        self.drain = drain;
+        self
+    }
+
+    /// Runs on the **sharded** executor: per-group event shards advanced
+    /// by `pcfg.workers` threads under a conservative time-sync barrier.
+    /// Same seed + same [`ParallelConfig::num_shards`] ⇒ byte-identical
+    /// report at any worker count.
+    pub fn sharded(mut self, pcfg: ParallelConfig) -> Self {
+        self.pcfg = Some(pcfg);
+        self
+    }
+
+    /// Injects the correlated rack failures in `schedule`: the policy is
+    /// wrapped in a [`FailureInjector`] that fires every due
+    /// [`FailureSchedule`] event at monitor ticks (barriers, on the
+    /// sharded executor) before delegating, so each system faces the same
+    /// scripted storm while making its own recovery decisions.
+    pub fn failures(mut self, schedule: &'a FailureSchedule) -> Self {
+        self.failures = Some(schedule);
+        self
+    }
+
+    /// Replaces the [`SystemKind`] policy with a caller-supplied one;
+    /// `name` labels the outcome. No [`SystemKind::adjust_config`]
+    /// adjustment is applied — the config runs as given.
+    pub fn policy(mut self, name: impl Into<String>, policy: Box<dyn Policy>) -> Self {
+        self.system = SystemSpec::Custom {
+            name: name.into(),
+            policy,
+        };
+        self
+    }
+
+    fn resolve(self) -> (String, ClusterConfig, Box<dyn Policy>, RunParams<'a>) {
+        let (name, cfg, policy) = match self.system {
+            SystemSpec::Kind(kind) => (
+                kind.name().to_string(),
+                kind.adjust_config(self.cfg),
+                kind.build_policy(),
+            ),
+            SystemSpec::Custom { name, policy } => (name, self.cfg, policy),
+        };
+        let policy = match self.failures {
+            Some(schedule) => Box::new(FailureInjector::new(policy, schedule)) as Box<dyn Policy>,
+            None => policy,
+        };
+        let params = RunParams {
+            trace: self.trace,
+            drain: self.drain,
+            pcfg: self.pcfg,
+        };
+        (name, cfg, policy, params)
+    }
+
+    /// Runs to completion and returns the outcome.
+    pub fn execute(self) -> RunOutcome {
+        self.execute_observed(|_, _| {})
+    }
+
+    /// Like [`Run::execute`], but invokes `observer` with the cluster
+    /// state after every processed event (serial) or barrier (sharded) —
+    /// the hook invariant checks use to inspect each simulated step.
+    pub fn execute_observed(self, observer: impl FnMut(&ClusterState, SimTime)) -> RunOutcome {
+        let (name, cfg, policy, p) = self.resolve();
+        let span = p.trace.duration() + p.drain;
+        let (report, state, stats) = match p.pcfg {
+            None => {
+                let mut engine = Engine::new(cfg, policy);
+                let report = engine.run_observed(p.trace, p.drain, observer);
+                (report, engine.into_state(), None)
+            }
+            Some(pcfg) => {
+                let mut engine = ShardedEngine::new(cfg, policy, pcfg);
+                let report = engine.run_observed(p.trace, p.drain, observer);
+                let stats = engine.stats();
+                (report, engine.into_state(), Some(stats))
+            }
+        };
+        RunOutcome {
+            name,
+            report,
+            state,
+            span,
+            stats,
+        }
+    }
+}
+
+struct RunParams<'a> {
+    trace: &'a Trace,
+    drain: SimDuration,
+    pcfg: Option<ParallelConfig>,
+}
+
+/// An open interactive session over either executor — the gateway's view
+/// of the deterministic core. Arrivals are injected incrementally, time
+/// advances in explicit steps, and the session ends with the same report a
+/// batch run of the identical arrival sequence would produce.
+///
+/// Only this module constructs engines; everything outside reaches the
+/// core through [`Run`] or a `ServingSession`.
+pub enum ServingSession {
+    /// Serial event-loop engine.
+    Serial(Box<Engine<Box<dyn Policy>>>),
+    /// Barrier-synchronized sharded executor (worker-count invariant).
+    Sharded(Box<ShardedEngine<Box<dyn Policy>>>),
+}
+
+impl ServingSession {
+    /// Opens a session of `kind` on the serial engine.
+    pub fn open(kind: SystemKind, cfg: ClusterConfig) -> Self {
+        let cfg = kind.adjust_config(cfg);
+        let mut engine = Engine::new(cfg, kind.build_policy());
+        engine.begin_session();
+        ServingSession::Serial(Box::new(engine))
+    }
+
+    /// Opens a session of `kind` on the sharded executor. Time steps are
+    /// quantized to monitor-tick barriers internally, so the session stays
+    /// byte-identical at any worker count.
+    pub fn open_sharded(kind: SystemKind, cfg: ClusterConfig, pcfg: ParallelConfig) -> Self {
+        let cfg = kind.adjust_config(cfg);
+        let mut engine = ShardedEngine::new(cfg, kind.build_policy(), pcfg);
+        engine.begin_session();
+        ServingSession::Sharded(Box::new(engine))
+    }
+
+    /// Registers one future request; `spec.arrival` must not precede
+    /// [`ServingSession::now`].
+    pub fn inject(&mut self, spec: RequestSpec) -> RequestId {
+        match self {
+            ServingSession::Serial(e) => e.inject(spec),
+            ServingSession::Sharded(e) => e.inject(spec),
+        }
+    }
+
+    /// Cancels a request on the client's behalf; `Deferred` means the
+    /// engine retries automatically and may be treated as accepted.
+    pub fn cancel(&mut self, id: RequestId) -> CancelOutcome {
+        match self {
+            ServingSession::Serial(e) => e.cancel(id),
+            ServingSession::Sharded(e) => e.cancel(id),
+        }
+    }
+
+    /// Advances simulated time to `until`, processing everything due.
+    pub fn step_until(&mut self, until: SimTime) {
+        match self {
+            ServingSession::Serial(e) => e.step_until(until),
+            ServingSession::Sharded(e) => e.step_until(until),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        match self {
+            ServingSession::Serial(e) => e.session_now(),
+            ServingSession::Sharded(e) => e.session_now(),
+        }
+    }
+
+    /// Read access to the live cluster state (request progress, ledger,
+    /// model availability) between steps.
+    pub fn state(&self) -> &ClusterState {
+        match self {
+            ServingSession::Serial(e) => &e.state,
+            ServingSession::Sharded(e) => &e.state,
+        }
+    }
+
+    /// Runs `f` against the cluster state between steps — the hook for
+    /// elastic model load/unload operations. On the sharded executor the
+    /// mutation is fenced to the current barrier.
+    pub fn mutate(&mut self, f: impl FnOnce(&mut ClusterState, SimTime)) {
+        match self {
+            ServingSession::Serial(e) => e.session_mutate(f),
+            ServingSession::Sharded(e) => e.session_mutate(f),
+        }
+    }
+
+    /// Closes the session: no further injections, runs until the backlog
+    /// clears (or `drain` past the last arrival) and returns the report
+    /// plus the final state.
+    pub fn end(self, drain: SimDuration) -> (RunReport, ClusterState) {
+        match self {
+            ServingSession::Serial(mut e) => {
+                let report = e.end_session(drain);
+                (report, e.into_state())
+            }
+            ServingSession::Sharded(mut e) => {
+                let report = e.end_session(drain);
+                (report, e.into_state())
+            }
+        }
+    }
+}
+
 /// Runs `kind` over `trace` on a cluster built from `cfg`, allowing up to
 /// `drain` of simulated time past the last arrival to clear the backlog.
+#[deprecated(note = "use `Run::new(kind, cfg, trace).drain(drain).execute()`")]
 pub fn run_system(
     kind: SystemKind,
     cfg: ClusterConfig,
     trace: &Trace,
     drain: SimDuration,
 ) -> RunOutcome {
-    let cfg = kind.adjust_config(cfg);
-    let policy = kind.build_policy();
-    let mut engine = Engine::new(cfg, policy);
-    let report = engine.run(trace, drain);
-    RunOutcome {
-        name: kind.name(),
-        report,
-        state: engine.into_state(),
-        span: trace.duration() + drain,
-        stats: None,
-    }
+    Run::new(kind, cfg, trace).drain(drain).execute()
 }
 
 /// Runs `kind` over `trace` while injecting the correlated rack failures
-/// in `schedule` (the failure-storm scenario): the policy is wrapped in a
-/// [`FailureInjector`] that fires every due [`FailureSchedule`] event at
-/// monitor ticks before delegating, so each system faces the same scripted
-/// storm while making its own recovery decisions. Requires a racked
-/// config (`cfg.rack_size > 0`).
+/// in `schedule`.
+#[deprecated(note = "use `Run::new(..).drain(..).failures(schedule).execute()`")]
 pub fn run_system_with_failures(
     kind: SystemKind,
     cfg: ClusterConfig,
@@ -131,24 +413,15 @@ pub fn run_system_with_failures(
     drain: SimDuration,
     schedule: &FailureSchedule,
 ) -> RunOutcome {
-    let cfg = kind.adjust_config(cfg);
-    let policy = FailureInjector::new(kind.build_policy(), schedule);
-    let mut engine = Engine::new(cfg, Box::new(policy) as Box<dyn Policy>);
-    let report = engine.run(trace, drain);
-    RunOutcome {
-        name: kind.name(),
-        report,
-        state: engine.into_state(),
-        span: trace.duration() + drain,
-        stats: None,
-    }
+    Run::new(kind, cfg, trace)
+        .drain(drain)
+        .failures(schedule)
+        .execute()
 }
 
-/// Runs `kind` over `trace` on the **sharded** executor while injecting
-/// the scripted faults in `schedule` — the sharded counterpart of
-/// [`run_system_with_failures`]. The injector fires at barrier monitor
-/// ticks, so the storm lands at the same simulated times at any worker
-/// count and the run stays byte-identical across 1/2/4 workers.
+/// Runs `kind` over `trace` on the sharded executor while injecting the
+/// scripted faults in `schedule`.
+#[deprecated(note = "use `Run::new(..).drain(..).sharded(pcfg).failures(schedule).execute()`")]
 pub fn run_system_sharded_with_failures(
     kind: SystemKind,
     cfg: ClusterConfig,
@@ -157,28 +430,15 @@ pub fn run_system_sharded_with_failures(
     pcfg: ParallelConfig,
     schedule: &FailureSchedule,
 ) -> RunOutcome {
-    let cfg = kind.adjust_config(cfg);
-    let policy = FailureInjector::new(kind.build_policy(), schedule);
-    let mut engine = ShardedEngine::new(cfg, Box::new(policy) as Box<dyn Policy>, pcfg);
-    let report = engine.run(trace, drain);
-    let stats = engine.stats();
-    RunOutcome {
-        name: kind.name(),
-        report,
-        state: engine.into_state(),
-        span: trace.duration() + drain,
-        stats: Some(stats),
-    }
+    Run::new(kind, cfg, trace)
+        .drain(drain)
+        .sharded(pcfg)
+        .failures(schedule)
+        .execute()
 }
 
-/// Runs `kind` over `trace` on the **sharded** executor: per-group event
-/// shards advanced by `pcfg.workers` threads under a conservative
-/// time-sync barrier, with the policy invoked at barriers.
-///
-/// Same seed + same [`ParallelConfig::num_shards`] ⇒ byte-identical
-/// report at any worker count. Results are *not* byte-identical with
-/// [`run_system`] (the serial engine): the sharded executor quantizes
-/// reactive policy hooks to barriers — compare runs within one executor.
+/// Runs `kind` over `trace` on the sharded executor.
+#[deprecated(note = "use `Run::new(..).drain(..).sharded(pcfg).execute()`")]
 pub fn run_system_sharded(
     kind: SystemKind,
     cfg: ClusterConfig,
@@ -186,18 +446,10 @@ pub fn run_system_sharded(
     drain: SimDuration,
     pcfg: ParallelConfig,
 ) -> RunOutcome {
-    let cfg = kind.adjust_config(cfg);
-    let policy = kind.build_policy();
-    let mut engine = ShardedEngine::new(cfg, policy, pcfg);
-    let report = engine.run(trace, drain);
-    let stats = engine.stats();
-    RunOutcome {
-        name: kind.name(),
-        report,
-        state: engine.into_state(),
-        span: trace.duration() + drain,
-        stats: Some(stats),
-    }
+    Run::new(kind, cfg, trace)
+        .drain(drain)
+        .sharded(pcfg)
+        .execute()
 }
 
 #[cfg(test)]
@@ -219,12 +471,9 @@ mod tests {
     fn all_five_systems_complete_a_burst() {
         let trace = small_burst_trace(11);
         for kind in SystemKind::paper_lineup() {
-            let out = run_system(
-                kind,
-                ClusterConfig::tiny_test(4),
-                &trace,
-                SimDuration::from_secs(600),
-            );
+            let out = Run::new(kind, ClusterConfig::tiny_test(4), &trace)
+                .drain(SimDuration::from_secs(600))
+                .execute();
             assert_eq!(
                 out.report.finished_requests,
                 trace.len(),
@@ -239,13 +488,10 @@ mod tests {
     fn all_five_systems_complete_a_burst_on_the_sharded_executor() {
         let trace = small_burst_trace(11);
         for kind in SystemKind::paper_lineup() {
-            let out = run_system_sharded(
-                kind,
-                ClusterConfig::tiny_test(4),
-                &trace,
-                SimDuration::from_secs(600),
-                ParallelConfig::with_workers(2),
-            );
+            let out = Run::new(kind, ClusterConfig::tiny_test(4), &trace)
+                .drain(SimDuration::from_secs(600))
+                .sharded(ParallelConfig::with_workers(2))
+                .execute();
             assert_eq!(
                 out.report.finished_requests,
                 trace.len(),
@@ -270,8 +516,14 @@ mod tests {
         cfg.reserve_frac = 0.45;
         let drain = SimDuration::from_secs(600);
         let pcfg = ParallelConfig::with_workers(2);
-        let vllm = run_system_sharded(SystemKind::VllmDp, cfg.clone(), &trace, drain, pcfg);
-        let kun = run_system_sharded(SystemKind::KunServe, cfg, &trace, drain, pcfg);
+        let vllm = Run::new(SystemKind::VllmDp, cfg.clone(), &trace)
+            .drain(drain)
+            .sharded(pcfg)
+            .execute();
+        let kun = Run::new(SystemKind::KunServe, cfg, &trace)
+            .drain(drain)
+            .sharded(pcfg)
+            .execute();
         assert_eq!(kun.report.finished_requests, trace.len());
         let drops = kun
             .state
@@ -311,7 +563,10 @@ mod tests {
             let mut pcfg = ParallelConfig::with_workers(workers);
             pcfg.num_shards = 4;
             pcfg.speculation = true;
-            run_system_sharded(SystemKind::KunServe, cfg.clone(), &trace, drain, pcfg)
+            Run::new(SystemKind::KunServe, cfg.clone(), &trace)
+                .drain(drain)
+                .sharded(pcfg)
+                .execute()
         };
         let one = run(1);
         let two = run(2);
@@ -349,12 +604,9 @@ mod tests {
         // so the burst overloads memory.
         let mut cfg = ClusterConfig::tiny_test(4);
         cfg.reserve_frac = 0.45;
-        let out = run_system(
-            SystemKind::KunServe,
-            cfg,
-            &trace,
-            SimDuration::from_secs(600),
-        );
+        let out = Run::new(SystemKind::KunServe, cfg, &trace)
+            .drain(SimDuration::from_secs(600))
+            .execute();
         let drops = out
             .state
             .metrics
@@ -378,12 +630,9 @@ mod tests {
             .burst(SimTime::from_secs(3), SimDuration::from_secs(7), 3.5)
             .seed(5)
             .build();
-        let out = run_system(
-            SystemKind::KunServe,
-            ClusterConfig::tiny_test(4),
-            &trace,
-            SimDuration::from_secs(600),
-        );
+        let out = Run::new(SystemKind::KunServe, ClusterConfig::tiny_test(4), &trace)
+            .drain(SimDuration::from_secs(600))
+            .execute();
         let events: Vec<&str> = out
             .state
             .metrics
@@ -418,8 +667,12 @@ mod tests {
         let mut cfg = ClusterConfig::tiny_test(4);
         cfg.reserve_frac = 0.45;
         let drain = SimDuration::from_secs(600);
-        let vllm = run_system(SystemKind::VllmDp, cfg.clone(), &trace, drain);
-        let kun = run_system(SystemKind::KunServe, cfg, &trace, drain);
+        let vllm = Run::new(SystemKind::VllmDp, cfg.clone(), &trace)
+            .drain(drain)
+            .execute();
+        let kun = Run::new(SystemKind::KunServe, cfg, &trace)
+            .drain(drain)
+            .execute();
         // Under this overload vLLM may not even clear its backlog within the
         // drain window — the paper's queuing-collapse observation. KunServe
         // must clear everything and keep the tail far lower.
@@ -458,12 +711,9 @@ mod tests {
         let trace = workload::Trace::merge(&[a, b]);
         let mut cfg = cluster::ClusterConfig::tiny_two_model(4, 4);
         cfg.reserve_frac = 0.45;
-        let out = run_system(
-            SystemKind::KunServe,
-            cfg,
-            &trace,
-            SimDuration::from_secs(900),
-        );
+        let out = Run::new(SystemKind::KunServe, cfg, &trace)
+            .drain(SimDuration::from_secs(900))
+            .execute();
         assert_eq!(out.report.finished_requests, trace.len());
         assert_eq!(out.report.per_model.len(), 2);
         let drops = out
@@ -486,18 +736,12 @@ mod tests {
     #[test]
     fn vllm_pp_has_more_kv_capacity_but_pipelines() {
         let trace = small_burst_trace(13);
-        let dp = run_system(
-            SystemKind::VllmDp,
-            ClusterConfig::tiny_test(4),
-            &trace,
-            SimDuration::from_secs(600),
-        );
-        let pp = run_system(
-            SystemKind::VllmPp,
-            ClusterConfig::tiny_test(4),
-            &trace,
-            SimDuration::from_secs(600),
-        );
+        let dp = Run::new(SystemKind::VllmDp, ClusterConfig::tiny_test(4), &trace)
+            .drain(SimDuration::from_secs(600))
+            .execute();
+        let pp = Run::new(SystemKind::VllmPp, ClusterConfig::tiny_test(4), &trace)
+            .drain(SimDuration::from_secs(600))
+            .execute();
         let cap = |s: &ClusterState| -> u64 { s.memory_totals().1 };
         assert!(
             cap(&pp.state) > cap(&dp.state),

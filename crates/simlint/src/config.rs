@@ -44,6 +44,7 @@ pub const SIM_CRATES: &[&str] = &[
     "workload",
     "cluster",
     "core",
+    "gateway",
 ];
 
 /// Files where float→int `as` casts are audited (`D-CAST`): every cast on

@@ -46,6 +46,7 @@ pub mod diurnal;
 pub mod popularity;
 pub mod prefix;
 pub mod retry;
+pub mod source;
 pub mod trace;
 
 pub use arrivals::{BurstPhase, BurstTraceBuilder};
@@ -54,4 +55,5 @@ pub use diurnal::DiurnalTraceBuilder;
 pub use popularity::PopularityTraceBuilder;
 pub use prefix::SharedPrefixTraceBuilder;
 pub use retry::RetryPolicy;
+pub use source::{ArrivalSource, OpenLoopSource, TraceSource};
 pub use trace::{extreme_burst, Deadline, ModelId, RequestSpec, SharedPrefix, Trace};

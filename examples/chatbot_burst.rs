@@ -6,6 +6,7 @@
 //!
 //! Run: `cargo run --release --example chatbot_burst`
 
+use kunserve::serving::Run;
 use kunserve_repro::prelude::*;
 
 fn main() {
@@ -35,7 +36,7 @@ fn main() {
         SystemKind::Llumnix,
         SystemKind::KunServe,
     ] {
-        results.push(run_system(kind, cfg.clone(), &trace, drain));
+        results.push(Run::new(kind, cfg.clone(), &trace).drain(drain).execute());
     }
 
     // Chat SLO: 5x the best baseline's P50 TTFT (paper §5.2).

@@ -9,14 +9,20 @@
 //!
 //! Run: `cargo run --release --example custom_drop_policy`
 
-use cluster::{ClusterConfig, ClusterState, Engine, Policy};
+use std::cell::Cell;
+use std::rc::Rc;
+
+use cluster::{ClusterConfig, ClusterState, Policy};
 use kunserve::plan::{DropPlanner, PlanGroup};
+use kunserve::serving::Run;
 use kunserve_repro::prelude::*;
 
 /// Merges the two smallest groups whenever any group crosses the threshold.
+/// The drop counter is shared so `main` can report it after [`Run`] has
+/// consumed the policy.
 struct EagerDropper {
     threshold: f64,
-    drops: u32,
+    drops: Rc<Cell<u32>>,
 }
 
 impl Policy for EagerDropper {
@@ -52,7 +58,7 @@ impl Policy for EagerDropper {
         let plan = DropPlanner::new(copy).plan(&candidates, 1);
         for merge in plan.merges {
             state.request_merge(merge);
-            self.drops += 1;
+            self.drops.set(self.drops.get() + 1);
         }
     }
 }
@@ -68,17 +74,23 @@ fn main() {
     cfg.reserve_frac = 0.45; // provision the KV pool tightly (paper style)
     let drain = SimDuration::from_secs(300);
 
-    // The custom policy, driven directly through the engine API.
-    let mut engine = Engine::new(
-        cfg.clone(),
-        EagerDropper {
+    // The custom policy, driven through the same Run builder as the
+    // built-in systems.
+    let drops = Rc::new(Cell::new(0u32));
+    let eager = Run::with_policy(
+        "EagerDropper",
+        Box::new(EagerDropper {
             threshold: 0.75,
-            drops: 0,
-        },
-    );
-    let report = engine.run(&trace, drain);
+            drops: Rc::clone(&drops),
+        }),
+        cfg.clone(),
+        &trace,
+    )
+    .drain(drain)
+    .execute();
+    let report = eager.report;
     println!("=== EagerDropper (custom policy) ===");
-    println!("drops triggered : {}", engine.policy.drops);
+    println!("drops triggered : {}", drops.get());
     println!(
         "finished        : {}/{}",
         report.finished_requests, report.total_requests
@@ -90,7 +102,9 @@ fn main() {
     println!("TPOT p50        : {:.1}ms", report.tpot.p50 * 1e3);
 
     // The reference policy for comparison.
-    let out = run_system(SystemKind::KunServe, cfg, &trace, drain);
+    let out = Run::new(SystemKind::KunServe, cfg, &trace)
+        .drain(drain)
+        .execute();
     println!();
     println!("=== KunServe (reference) ===");
     println!(

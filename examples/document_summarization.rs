@@ -5,6 +5,7 @@
 //!
 //! Run: `cargo run --release --example document_summarization`
 
+use kunserve::serving::Run;
 use kunserve_repro::prelude::*;
 
 fn main() {
@@ -32,7 +33,7 @@ fn main() {
         SystemKind::InferCept,
         SystemKind::KunServe,
     ] {
-        let out = run_system(kind, cfg.clone(), &trace, drain);
+        let out = Run::new(kind, cfg.clone(), &trace).drain(drain).execute();
         println!();
         println!("=== {} ===", out.name);
         println!(

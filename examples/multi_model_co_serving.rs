@@ -9,6 +9,7 @@
 //! Run: `cargo run --release --example multi_model_co_serving`
 
 use cluster::ModelId;
+use kunserve::serving::Run;
 use kunserve_repro::prelude::*;
 use workload::Trace;
 
@@ -51,7 +52,9 @@ fn main() {
     }
 
     for kind in [SystemKind::VllmDp, SystemKind::KunServe] {
-        let out = run_system(kind, cfg.clone(), &trace, SimDuration::from_secs(900));
+        let out = Run::new(kind, cfg.clone(), &trace)
+            .drain(SimDuration::from_secs(900))
+            .execute();
         println!();
         println!("=== {} ===", out.name);
         for mr in &out.report.per_model {

@@ -2,6 +2,7 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
+use kunserve::serving::Run;
 use kunserve_repro::prelude::*;
 
 fn main() {
@@ -31,7 +32,9 @@ fn main() {
     );
 
     for kind in [SystemKind::VllmDp, SystemKind::KunServe] {
-        let outcome = run_system(kind, cfg.clone(), &trace, SimDuration::from_secs(300));
+        let outcome = Run::new(kind, cfg.clone(), &trace)
+            .drain(SimDuration::from_secs(300))
+            .execute();
         let r = &outcome.report;
         println!();
         println!("=== {} ===", outcome.name);

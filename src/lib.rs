@@ -20,12 +20,9 @@
 //!     .duration(SimDuration::from_secs(10))
 //!     .seed(1)
 //!     .build();
-//! let outcome = run_system(
-//!     SystemKind::KunServe,
-//!     ClusterConfig::tiny_test(2),
-//!     &trace,
-//!     SimDuration::from_secs(60),
-//! );
+//! let outcome = Run::new(SystemKind::KunServe, ClusterConfig::tiny_test(2), &trace)
+//!     .drain(SimDuration::from_secs(60))
+//!     .execute();
 //! assert_eq!(outcome.report.finished_requests, trace.len());
 //! ```
 
@@ -36,6 +33,7 @@
 
 pub use cluster;
 pub use costmodel;
+pub use gateway;
 pub use kunserve;
 pub use kvcache;
 pub use modelcfg;
@@ -50,10 +48,11 @@ pub mod prelude {
         ClusterConfig, Engine, FailureInjector, FailureSchedule, ParallelConfig, Policy, RunReport,
         ShardedEngine, Testbed,
     };
+    #[allow(deprecated)]
     pub use kunserve::serving::{
         run_system, run_system_sharded, run_system_sharded_with_failures, run_system_with_failures,
-        RunOutcome, SystemKind,
     };
+    pub use kunserve::serving::{Run, RunOutcome, ServingSession, SystemKind};
     pub use kunserve::{KunServeConfig, KunServePolicy};
     pub use sim_core::{SimDuration, SimTime};
     pub use workload::{

@@ -5,6 +5,7 @@
 //! with the same seed must produce *byte-identical* reports: every future
 //! perf/scaling PR relies on this to compare systems run-to-run.
 
+use kunserve::serving::Run;
 use kunserve_repro::prelude::*;
 use sim_core::SimTime;
 
@@ -21,12 +22,9 @@ fn trace_with_seed(seed: u64) -> Trace {
 /// event log. Byte equality of this string is the determinism contract.
 fn run_bytes(kind: SystemKind, seed: u64) -> String {
     let trace = trace_with_seed(seed);
-    let out = run_system(
-        kind,
-        ClusterConfig::tiny_test(2),
-        &trace,
-        SimDuration::from_secs(600),
-    );
+    let out = Run::new(kind, ClusterConfig::tiny_test(2), &trace)
+        .drain(SimDuration::from_secs(600))
+        .execute();
     format!("{:?}|{:?}", out.report, out.state.metrics.reconfig_events)
 }
 
@@ -60,7 +58,9 @@ fn multi_model_run_bytes(kind: SystemKind, seed: u64) -> String {
     let trace = Trace::merge(&[mk(0, 45.0, seed), mk(1, 25.0, seed ^ 0xABCD)]);
     let mut cfg = ClusterConfig::tiny_two_model(2, 2);
     cfg.reserve_frac = 0.45;
-    let out = run_system(kind, cfg, &trace, SimDuration::from_secs(900));
+    let out = Run::new(kind, cfg, &trace)
+        .drain(SimDuration::from_secs(900))
+        .execute();
     format!(
         "{:?}|{:?}|{:?}",
         out.report, out.report.per_model, out.state.metrics.reconfig_events
@@ -91,18 +91,15 @@ fn multi_model_same_seed_yields_byte_identical_reports() {
 /// One sharded-executor run serialized to its determinism-contract bytes.
 fn sharded_run_bytes(kind: SystemKind, seed: u64, workers: usize) -> String {
     let trace = trace_with_seed(seed);
-    let out = run_system_sharded(
-        kind,
-        ClusterConfig::tiny_test(4),
-        &trace,
-        SimDuration::from_secs(600),
-        ParallelConfig {
+    let out = Run::new(kind, ClusterConfig::tiny_test(4), &trace)
+        .drain(SimDuration::from_secs(600))
+        .sharded(ParallelConfig {
             workers,
             num_shards: 4,
             lookahead: None,
             speculation: false,
-        },
-    );
+        })
+        .execute();
     format!(
         "{:?}|{:?}|{:?}",
         out.report, out.report.per_model, out.state.metrics.reconfig_events
@@ -163,18 +160,15 @@ fn sharded_multi_model_byte_identical_across_worker_counts() {
         let trace = Trace::merge(&[mk(0, 45.0, 0xBEEF), mk(1, 25.0, 0xBEEF ^ 0xABCD)]);
         let mut cfg = ClusterConfig::tiny_two_model(2, 2);
         cfg.reserve_frac = 0.45;
-        let out = run_system_sharded(
-            SystemKind::KunServe,
-            cfg,
-            &trace,
-            SimDuration::from_secs(900),
-            ParallelConfig {
+        let out = Run::new(SystemKind::KunServe, cfg, &trace)
+            .drain(SimDuration::from_secs(900))
+            .sharded(ParallelConfig {
                 workers,
                 num_shards: 4,
                 lookahead: None,
                 speculation: false,
-            },
-        );
+            })
+            .execute();
         format!(
             "{:?}|{:?}|{:?}",
             out.report, out.report.per_model, out.state.metrics.reconfig_events
@@ -202,18 +196,15 @@ fn skewed_load_forces_steals_and_stays_byte_identical() {
     let run = |workers: usize| {
         let mut cfg = ClusterConfig::tiny_test(4);
         cfg.reserve_frac = 0.45;
-        run_system_sharded(
-            SystemKind::KunServe,
-            cfg,
-            &trace,
-            SimDuration::from_secs(600),
-            ParallelConfig {
+        Run::new(SystemKind::KunServe, cfg, &trace)
+            .drain(SimDuration::from_secs(600))
+            .sharded(ParallelConfig {
                 workers,
                 num_shards: 4,
                 lookahead: None,
                 speculation: false,
-            },
-        )
+            })
+            .execute()
     };
     let bytes = |out: &RunOutcome| {
         format!(
@@ -250,18 +241,15 @@ fn speculative_execution_byte_identical_across_worker_counts() {
         let trace = trace_with_seed(0x5BEC);
         let mut cfg = ClusterConfig::tiny_test(4);
         cfg.reserve_frac = 0.45;
-        run_system_sharded(
-            SystemKind::KunServe,
-            cfg,
-            &trace,
-            SimDuration::from_secs(600),
-            ParallelConfig {
+        Run::new(SystemKind::KunServe, cfg, &trace)
+            .drain(SimDuration::from_secs(600))
+            .sharded(ParallelConfig {
                 workers,
                 num_shards: 4,
                 lookahead: None,
                 speculation: true,
-            },
-        )
+            })
+            .execute()
     };
     let bytes = |out: &RunOutcome| {
         format!(
@@ -366,18 +354,15 @@ fn diurnal_scenario_byte_identical_across_worker_counts() {
             .build();
         let mut cfg = ClusterConfig::tiny_test(4);
         cfg.reserve_frac = 0.45;
-        let out = run_system_sharded(
-            SystemKind::KunServe,
-            cfg,
-            &trace,
-            SimDuration::from_secs(600),
-            ParallelConfig {
+        let out = Run::new(SystemKind::KunServe, cfg, &trace)
+            .drain(SimDuration::from_secs(600))
+            .sharded(ParallelConfig {
                 workers,
                 num_shards: 4,
                 lookahead: None,
                 speculation: false,
-            },
-        );
+            })
+            .execute();
         format!(
             "{:?}|{:?}|{:?}",
             out.report, out.report.per_model, out.state.metrics.reconfig_events
@@ -418,19 +403,16 @@ fn resilience_scenario_byte_identical_across_worker_counts() {
         let schedule = FailureSchedule::new()
             .rack_down(SimTime::from_secs(8), 1)
             .rack_up(SimTime::from_secs(14), 1);
-        run_system_sharded_with_failures(
-            SystemKind::KunServe,
-            cfg,
-            &trace,
-            SimDuration::from_secs(600),
-            ParallelConfig {
+        Run::new(SystemKind::KunServe, cfg, &trace)
+            .drain(SimDuration::from_secs(600))
+            .sharded(ParallelConfig {
                 workers,
                 num_shards: 4,
                 lookahead: None,
                 speculation: false,
-            },
-            &schedule,
-        )
+            })
+            .failures(&schedule)
+            .execute()
     };
     let bytes = |out: &RunOutcome| {
         format!(

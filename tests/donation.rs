@@ -7,8 +7,8 @@
 //! partial grants active.
 
 use bench::MultiScenario;
-use cluster::{ClusterConfig, ClusterState, Engine, GroupId, ModelId};
-use kunserve::serving::{run_system, run_system_sharded, SystemKind};
+use cluster::{ClusterConfig, ClusterState, GroupId, ModelId};
+use kunserve::serving::{Run, SystemKind};
 use kunserve::{arbitrate_with_donation, Arbitration, LenderOffer, ModelDemand, PlanGroup};
 use kunserve_repro::prelude::*;
 use proptest::prelude::*;
@@ -79,20 +79,23 @@ fn donation_rescues_the_starved_model_and_reclaims_cleanly() {
     let drain = sc.drain;
 
     // Donation off: the borrower has no parameter-centric relief.
-    let off = run_system(
+    let off = Run::new(
         SystemKind::KunServeWith(KunServeConfig::without_donation()),
         cfg.clone(),
         &trace,
-        drain,
-    );
+    )
+    .drain(drain)
+    .execute();
     assert_eq!(off.report.donated_bytes_peak, 0, "ablation must not donate");
 
     // Donation on (the default), with step-level invariant checking.
-    let mut eng = Engine::new(cfg, KunServePolicy::new(KunServeConfig::default()));
     let mut violations = Vec::new();
-    let on = eng.run_observed(&trace, drain, |state, now| {
-        check_step(state, now, &mut violations);
-    });
+    let on_out = Run::new(SystemKind::KunServe, cfg, &trace)
+        .drain(drain)
+        .execute_observed(|state, now| {
+            check_step(state, now, &mut violations);
+        });
+    let on = on_out.report;
     assert!(violations.is_empty(), "{}", violations.join("\n"));
     assert_eq!(on.finished_requests, trace.len(), "lost requests");
     assert!(
@@ -102,7 +105,7 @@ fn donation_rescues_the_starved_model_and_reclaims_cleanly() {
 
     // Lifecycle: drop → grant → borrow → reclaim; after the drain the
     // ledger is settled and every lender restored.
-    let state = eng.into_state();
+    let state = on_out.state;
     let events: Vec<&str> = state
         .metrics
         .reconfig_events
@@ -159,18 +162,15 @@ fn donated_spans(events: &[(SimTime, String)]) -> Vec<u32> {
 #[test]
 fn sharded_donation_byte_identical_across_1_2_4_workers() {
     let run = |workers: usize| {
-        let out = run_system_sharded(
-            SystemKind::KunServe,
-            donation_cluster(),
-            &donation_trace(),
-            SimDuration::from_secs(900),
-            ParallelConfig {
+        let out = Run::new(SystemKind::KunServe, donation_cluster(), &donation_trace())
+            .drain(SimDuration::from_secs(900))
+            .sharded(ParallelConfig {
                 workers,
                 num_shards: 4,
                 lookahead: None,
                 speculation: false,
-            },
-        );
+            })
+            .execute();
         let spans = donated_spans(&out.state.metrics.reconfig_events);
         (
             out.report.donated_bytes_peak,
@@ -208,12 +208,9 @@ fn layer_granular_donation_donates_less_and_still_rescues() {
     let sc = MultiScenario::fig18_donation_smoke();
     let trace = sc.trace();
     let run = |cfg: KunServeConfig| {
-        run_system(
-            SystemKind::KunServeWith(cfg),
-            sc.cfg.clone(),
-            &trace,
-            sc.drain,
-        )
+        Run::new(SystemKind::KunServeWith(cfg), sc.cfg.clone(), &trace)
+            .drain(sc.drain)
+            .execute()
     };
     let fine = run(KunServeConfig::default());
     let coarse = run(KunServeConfig::whole_copy_donation());
@@ -408,13 +405,16 @@ fn single_model_cluster_never_donates() {
     let mut cfg = ClusterConfig::tiny_test(4);
     cfg.reserve_frac = 0.45;
     let drain = SimDuration::from_secs(600);
-    let on = run_system(SystemKind::KunServe, cfg.clone(), &trace, drain);
-    let off = run_system(
+    let on = Run::new(SystemKind::KunServe, cfg.clone(), &trace)
+        .drain(drain)
+        .execute();
+    let off = Run::new(
         SystemKind::KunServeWith(KunServeConfig::without_donation()),
         cfg,
         &trace,
-        drain,
-    );
+    )
+    .drain(drain)
+    .execute();
     assert_eq!(on.report.donated_bytes_peak, 0);
     assert_eq!(
         format!("{:?}", on.report),
@@ -541,13 +541,14 @@ proptest! {
             seed,
             25,
         );
-        let mut eng = Engine::new(cfg, KunServePolicy::new(KunServeConfig::default()));
         let mut violations = Vec::new();
-        let report = eng.run_observed(&trace, SimDuration::from_secs(900), |state, now| {
-            check_step(state, now, &mut violations);
-        });
+        let out = Run::new(SystemKind::KunServe, cfg, &trace)
+            .drain(SimDuration::from_secs(900))
+            .execute_observed(|state, now| {
+                check_step(state, now, &mut violations);
+            });
         prop_assert!(violations.is_empty(), "{}", violations.join("\n"));
-        prop_assert_eq!(report.finished_requests, trace.len(), "requests lost");
+        prop_assert_eq!(out.report.finished_requests, trace.len(), "requests lost");
     }
 
     /// The same safety property on the sharded executor (invariants are
@@ -562,21 +563,19 @@ proptest! {
         let cfg = donation_cluster_with_layers(lender_layers);
         prop_assert!(cfg.validate().is_ok(), "infeasible layer count");
         let trace = donation_trace_with(12.0, 6.0, 6.0, seed, 25);
-        let mut eng = cluster::ShardedEngine::new(
-            cfg,
-            KunServePolicy::new(KunServeConfig::default()),
-            ParallelConfig {
+        let mut violations = Vec::new();
+        let out = Run::new(SystemKind::KunServe, cfg, &trace)
+            .drain(SimDuration::from_secs(900))
+            .sharded(ParallelConfig {
                 workers,
                 num_shards: 4,
                 lookahead: None,
                 speculation: false,
-            },
-        );
-        let mut violations = Vec::new();
-        let report = eng.run_observed(&trace, SimDuration::from_secs(900), |state, now| {
-            check_step(state, now, &mut violations);
-        });
+            })
+            .execute_observed(|state, now| {
+                check_step(state, now, &mut violations);
+            });
         prop_assert!(violations.is_empty(), "{}", violations.join("\n"));
-        prop_assert_eq!(report.finished_requests, trace.len(), "requests lost");
+        prop_assert_eq!(out.report.finished_requests, trace.len(), "requests lost");
     }
 }

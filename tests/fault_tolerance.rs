@@ -5,21 +5,24 @@
 //! contract, including mid-donation: force-reclaimed loans must leave the
 //! elastic-HBM ledger balanced.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use bench::MultiScenario;
-use cluster::{
-    ClusterConfig, ClusterState, Engine, FailureInjector, FailureSchedule, GroupId, InstanceId,
-    Policy,
-};
+use cluster::{ClusterConfig, ClusterState, FailureSchedule, GroupId, InstanceId, Policy};
+use kunserve::serving::Run;
 use kunserve::{KunServeConfig, KunServePolicy};
 use kunserve_repro::prelude::*;
 
 /// KunServe plus scripted fault injection: kills an instance at a fixed
-/// simulated time (once), after the policy has had a chance to drop.
+/// simulated time (once), after the policy has had a chance to drop. The
+/// `killed` flag is shared so the test can assert the injection happened
+/// after [`Run`] has consumed the policy.
 struct FaultyKunServe {
     inner: KunServePolicy,
     kill_at: SimTime,
     victim: InstanceId,
-    killed: bool,
+    killed: Rc<Cell<bool>>,
 }
 
 impl Policy for FaultyKunServe {
@@ -29,8 +32,8 @@ impl Policy for FaultyKunServe {
 
     fn on_tick(&mut self, state: &mut ClusterState, now: SimTime) {
         self.inner.on_tick(state, now);
-        if !self.killed && now >= self.kill_at {
-            self.killed = true;
+        if !self.killed.get() && now >= self.kill_at {
+            self.killed.set(true);
             state.fail_instance(self.victim, now);
         }
     }
@@ -80,22 +83,24 @@ fn instance_failure_mid_burst_loses_no_requests() {
         .build();
     let mut cfg = ClusterConfig::tiny_test(4);
     cfg.reserve_frac = 0.45;
+    let killed = Rc::new(Cell::new(false));
     let policy = FaultyKunServe {
         inner: KunServePolicy::new(KunServeConfig::default()),
         kill_at: SimTime::from_secs(25),
         victim: InstanceId(1),
-        killed: false,
+        killed: Rc::clone(&killed),
     };
-    let mut engine = Engine::new(cfg, policy);
-    let report = engine.run(&trace, SimDuration::from_secs(900));
+    let out = Run::with_policy("KunServe+fault", Box::new(policy), cfg, &trace)
+        .drain(SimDuration::from_secs(900))
+        .execute();
 
-    assert!(engine.policy.killed, "the fault must have been injected");
+    assert!(killed.get(), "the fault must have been injected");
     assert_eq!(
-        report.finished_requests,
+        out.report.finished_requests,
         trace.len(),
         "no request may be lost to the failure"
     );
-    let state = engine.into_state();
+    let state = out.state;
     let failure_logged = state
         .metrics
         .reconfig_events
@@ -121,16 +126,24 @@ fn failure_without_prior_drop_also_recovers() {
         .duration(SimDuration::from_secs(30))
         .seed(13)
         .build();
+    let killed = Rc::new(Cell::new(false));
     let policy = FaultyKunServe {
         inner: KunServePolicy::new(KunServeConfig::default()),
         kill_at: SimTime::from_secs(10),
         victim: InstanceId(0),
-        killed: false,
+        killed: Rc::clone(&killed),
     };
-    let mut engine = Engine::new(ClusterConfig::tiny_test(3), policy);
-    let report = engine.run(&trace, SimDuration::from_secs(600));
-    assert_eq!(report.finished_requests, trace.len());
-    let state = engine.into_state();
+    let out = Run::with_policy(
+        "KunServe+fault",
+        Box::new(policy),
+        ClusterConfig::tiny_test(3),
+        &trace,
+    )
+    .drain(SimDuration::from_secs(600))
+    .execute();
+    assert!(killed.get(), "the fault must have been injected");
+    assert_eq!(out.report.finished_requests, trace.len());
+    let state = out.state;
     // Two survivors keep serving.
     let live: Vec<GroupId> = state.alive_groups();
     assert_eq!(live.len(), 2, "two survivor groups expected");
@@ -152,25 +165,26 @@ fn rack_failure_during_active_donation_settles_the_ledger() {
     cfg.rack_size = 2;
     let trace = sc.trace();
     let schedule = FailureSchedule::new().rack_down(SimTime::from_secs(15), 1);
-    let policy = FailureInjector::new(KunServePolicy::new(KunServeConfig::default()), &schedule);
 
-    let mut engine = Engine::new(cfg, policy);
     let mut violations = Vec::new();
-    let report = engine.run_observed(&trace, sc.drain, |state, now| {
-        violations.extend(state.ledger().check_invariants(&now.to_string()));
-    });
+    let out = Run::new(SystemKind::KunServe, cfg, &trace)
+        .drain(sc.drain)
+        .failures(&schedule)
+        .execute_observed(|state, now| {
+            violations.extend(state.ledger().check_invariants(&now.to_string()));
+        });
     assert!(violations.is_empty(), "{}", violations.join("\n"));
     assert_eq!(
-        report.finished_requests,
+        out.report.finished_requests,
         trace.len(),
         "no request may be lost to the rack failure"
     );
     assert!(
-        report.donated_bytes_peak > 0,
+        out.report.donated_bytes_peak > 0,
         "the borrower's burst must have triggered a donation"
     );
 
-    let state = engine.into_state();
+    let state = out.state;
     assert!(
         state
             .metrics
@@ -219,19 +233,20 @@ fn rack_recovery_reloads_and_keeps_the_ledger_clean_on_both_executors() {
         .rack_up(SimTime::from_secs(25), 1);
 
     // Serial engine, invariants audited at every monitor tick.
-    let policy = FailureInjector::new(KunServePolicy::new(KunServeConfig::default()), &schedule);
-    let mut engine = Engine::new(cfg.clone(), policy);
     let mut violations = Vec::new();
-    let report = engine.run_observed(&trace, sc.drain, |state, now| {
-        violations.extend(state.ledger().check_invariants(&now.to_string()));
-    });
+    let serial = Run::new(SystemKind::KunServe, cfg.clone(), &trace)
+        .drain(sc.drain)
+        .failures(&schedule)
+        .execute_observed(|state, now| {
+            violations.extend(state.ledger().check_invariants(&now.to_string()));
+        });
     assert!(violations.is_empty(), "{}", violations.join("\n"));
     assert_eq!(
-        report.finished_requests,
+        serial.report.finished_requests,
         trace.len(),
         "no request may be lost across the outage + recovery"
     );
-    let state = engine.into_state();
+    let state = serial.state;
     assert!(
         state
             .metrics
@@ -259,19 +274,16 @@ fn rack_recovery_reloads_and_keeps_the_ledger_clean_on_both_executors() {
     assert!(state.ledger().check_invariants("final").is_empty());
 
     // Sharded executor: the identical storm, the same contract.
-    let out = run_system_sharded_with_failures(
-        SystemKind::KunServe,
-        cfg,
-        &trace,
-        sc.drain,
-        ParallelConfig {
+    let out = Run::new(SystemKind::KunServe, cfg, &trace)
+        .drain(sc.drain)
+        .sharded(ParallelConfig {
             workers: 2,
             num_shards: 4,
             lookahead: None,
             speculation: false,
-        },
-        &schedule,
-    );
+        })
+        .failures(&schedule)
+        .execute();
     assert_eq!(out.report.finished_requests, trace.len());
     let final_violations = out.state.ledger().check_invariants("final (sharded)");
     assert!(

@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: full simulations driving every layer
 //! (workload → dispatcher → engine → policies → GPU/KV/network substrates).
 
+use kunserve::serving::Run;
 use kunserve_repro::prelude::*;
 use workload::extreme_burst;
 
@@ -27,12 +28,9 @@ fn all_systems_conserve_requests() {
     // to its KVCache (preempt, swap, migrate, exchange).
     let trace = bursty_trace(45.0, 2.5, 1);
     for kind in SystemKind::paper_lineup() {
-        let out = run_system(
-            kind,
-            paper_like_tiny(4),
-            &trace,
-            SimDuration::from_secs(600),
-        );
+        let out = Run::new(kind, paper_like_tiny(4), &trace)
+            .drain(SimDuration::from_secs(600))
+            .execute();
         assert_eq!(
             out.report.finished_requests,
             trace.len(),
@@ -57,8 +55,12 @@ fn burst_overloads_vllm_but_not_kunserve() {
     // dropping parameters.
     let trace = bursty_trace(55.0, 3.0, 7);
     let drain = SimDuration::from_secs(600);
-    let vllm = run_system(SystemKind::VllmDp, paper_like_tiny(4), &trace, drain);
-    let kun = run_system(SystemKind::KunServe, paper_like_tiny(4), &trace, drain);
+    let vllm = Run::new(SystemKind::VllmDp, paper_like_tiny(4), &trace)
+        .drain(drain)
+        .execute();
+    let kun = Run::new(SystemKind::KunServe, paper_like_tiny(4), &trace)
+        .drain(drain)
+        .execute();
     assert!(
         vllm.report.ttft.p99 > 10.0 * vllm.report.ttft.p50.clamp(0.02, 0.2),
         "vLLM must exhibit a queuing tail (p50 {:.3}, p99 {:.3})",
@@ -84,12 +86,9 @@ fn burst_overloads_vllm_but_not_kunserve() {
 #[test]
 fn drop_restore_round_trip_restores_full_copies() {
     let trace = bursty_trace(55.0, 3.0, 9);
-    let out = run_system(
-        SystemKind::KunServe,
-        paper_like_tiny(4),
-        &trace,
-        SimDuration::from_secs(600),
-    );
+    let out = Run::new(SystemKind::KunServe, paper_like_tiny(4), &trace)
+        .drain(SimDuration::from_secs(600))
+        .execute();
     let events: Vec<&str> = out
         .state
         .metrics
@@ -123,12 +122,13 @@ fn drop_restore_round_trip_restores_full_copies() {
 #[test]
 fn no_restore_variant_stays_pipelined() {
     let trace = bursty_trace(55.0, 3.0, 9);
-    let out = run_system(
+    let out = Run::new(
         SystemKind::KunServeWith(KunServeConfig::without_restore()),
         paper_like_tiny(4),
         &trace,
-        SimDuration::from_secs(600),
-    );
+    )
+    .drain(SimDuration::from_secs(600))
+    .execute();
     let dropped: u32 = out.state.instances.iter().map(|i| i.dropped_layers()).sum();
     assert!(dropped > 0, "without restore the drop must persist");
     assert!(
@@ -147,18 +147,20 @@ fn coordinated_exchange_beats_uncoordinated_tail() {
     // the post-drop pipeline suffers at most as much as without it.
     let trace = bursty_trace(60.0, 3.0, 21);
     let drain = SimDuration::from_secs(600);
-    let coord = run_system(
+    let coord = Run::new(
         SystemKind::KunServeWith(KunServeConfig::drop_and_coordinated()),
         paper_like_tiny(4),
         &trace,
-        drain,
-    );
-    let uncoord = run_system(
+    )
+    .drain(drain)
+    .execute();
+    let uncoord = Run::new(
         SystemKind::KunServeWith(KunServeConfig::drop_only()),
         paper_like_tiny(4),
         &trace,
-        drain,
-    );
+    )
+    .drain(drain)
+    .execute();
     assert!(
         coord.report.tpot.p99 <= uncoord.report.tpot.p99 * 1.10,
         "coordination must not worsen decode tail: {:.4} vs {:.4}",
@@ -176,8 +178,12 @@ fn extreme_burst_kunserve_survives_longer() {
     let base = bursty_trace(50.0, 3.5, 17);
     let trace = extreme_burst(&base, SimTime::from_secs(18), SimTime::from_secs(28), 3);
     let drain = SimDuration::from_secs(900);
-    let vllm = run_system(SystemKind::VllmDp, paper_like_tiny(4), &trace, drain);
-    let kun = run_system(SystemKind::KunServe, paper_like_tiny(4), &trace, drain);
+    let vllm = Run::new(SystemKind::VllmDp, paper_like_tiny(4), &trace)
+        .drain(drain)
+        .execute();
+    let kun = Run::new(SystemKind::KunServe, paper_like_tiny(4), &trace)
+        .drain(drain)
+        .execute();
     let drops = kun
         .state
         .metrics
@@ -198,12 +204,9 @@ fn extreme_burst_kunserve_survives_longer() {
 fn runs_are_deterministic() {
     let trace = bursty_trace(50.0, 2.5, 3);
     let run = |kind| {
-        let out = run_system(
-            kind,
-            paper_like_tiny(4),
-            &trace,
-            SimDuration::from_secs(600),
-        );
+        let out = Run::new(kind, paper_like_tiny(4), &trace)
+            .drain(SimDuration::from_secs(600))
+            .execute();
         (
             out.report.finished_requests,
             out.report.ttft_samples.clone(),
@@ -220,12 +223,9 @@ fn memory_accounting_stays_within_capacity() {
     // At no sampled instant does allocated KV exceed advertised capacity,
     // across reconfigurations (merge growth, restore shrink).
     let trace = bursty_trace(55.0, 3.0, 5);
-    let out = run_system(
-        SystemKind::KunServe,
-        paper_like_tiny(4),
-        &trace,
-        SimDuration::from_secs(600),
-    );
+    let out = Run::new(SystemKind::KunServe, paper_like_tiny(4), &trace)
+        .drain(SimDuration::from_secs(600))
+        .execute();
     let used = out.state.metrics.mem_used.points();
     let caps = out.state.metrics.mem_capacity.points();
     for (&(t, u), &(t2, c)) in used.iter().zip(caps) {

@@ -2,10 +2,9 @@
 //! competition, and the end-to-end claim that KunServe's arbitrated drop
 //! plan beats model-aware vLLM under a two-model overload.
 
-use cluster::{ClusterState, Engine, ModelId};
+use cluster::{ClusterState, ModelId};
 use kunserve::plan::Arbitration;
-use kunserve::serving::{run_system, SystemKind};
-use kunserve::{KunServeConfig, KunServePolicy};
+use kunserve::serving::{Run, SystemKind};
 use kunserve_repro::prelude::*;
 use modelcfg::LayerSet;
 use proptest::prelude::*;
@@ -82,13 +81,14 @@ proptest! {
         let trace = two_model_trace(rps_a as f64, rps_b as f64, mult_x10 as f64 / 10.0, seed);
         let mut cfg = cluster::ClusterConfig::tiny_two_model(4, 4);
         cfg.reserve_frac = 0.45;
-        let mut eng = Engine::new(cfg, KunServePolicy::new(KunServeConfig::default()));
         let mut violations = Vec::new();
-        let report = eng.run_observed(&trace, SimDuration::from_secs(900), |state, now| {
-            check_invariants(state, now, &mut violations);
-        });
+        let out = Run::new(SystemKind::KunServe, cfg, &trace)
+            .drain(SimDuration::from_secs(900))
+            .execute_observed(|state, now| {
+                check_invariants(state, now, &mut violations);
+            });
         prop_assert!(violations.is_empty(), "{}", violations.join("\n"));
-        prop_assert_eq!(report.finished_requests, trace.len(), "requests lost");
+        prop_assert_eq!(out.report.finished_requests, trace.len(), "requests lost");
     }
 }
 
@@ -102,13 +102,17 @@ fn kunserve_beats_model_aware_vllm_on_two_model_overload() {
     cfg.reserve_frac = 0.45;
     let drain = SimDuration::from_secs(900);
 
-    let vllm = run_system(SystemKind::VllmDp, cfg.clone(), &trace, drain);
+    let vllm = Run::new(SystemKind::VllmDp, cfg.clone(), &trace)
+        .drain(drain)
+        .execute();
 
-    let mut eng = Engine::new(cfg, KunServePolicy::new(KunServeConfig::default()));
     let mut violations = Vec::new();
-    let kun = eng.run_observed(&trace, drain, |state, now| {
-        check_invariants(state, now, &mut violations);
-    });
+    let kun_out = Run::new(SystemKind::KunServe, cfg, &trace)
+        .drain(drain)
+        .execute_observed(|state, now| {
+            check_invariants(state, now, &mut violations);
+        });
+    let kun = kun_out.report;
     assert!(violations.is_empty(), "{}", violations.join("\n"));
 
     assert_eq!(kun.finished_requests, trace.len(), "KunServe lost requests");
@@ -157,12 +161,9 @@ fn slo_weighted_arbitration_favors_the_critical_model_under_scarcity() {
         arbitration: Arbitration::SloWeighted,
         ..KunServeConfig::default()
     };
-    let out = run_system(
-        SystemKind::KunServeWith(policy_cfg),
-        cfg,
-        &trace,
-        SimDuration::from_secs(900),
-    );
+    let out = Run::new(SystemKind::KunServeWith(policy_cfg), cfg, &trace)
+        .drain(SimDuration::from_secs(900))
+        .execute();
     let first_drop = out
         .state
         .metrics
@@ -193,12 +194,9 @@ fn proportional_arbitration_eventually_serves_both_models() {
         arbitration: Arbitration::Proportional,
         ..KunServeConfig::default()
     };
-    let out = run_system(
-        SystemKind::KunServeWith(policy_cfg),
-        cfg,
-        &trace,
-        SimDuration::from_secs(900),
-    );
+    let out = Run::new(SystemKind::KunServeWith(policy_cfg), cfg, &trace)
+        .drain(SimDuration::from_secs(900))
+        .execute();
     let drops: Vec<&str> = out
         .state
         .metrics

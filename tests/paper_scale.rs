@@ -17,6 +17,7 @@
 //! ```
 
 use bench::{MultiScenario, Scenario};
+use kunserve::serving::Run;
 use kunserve_repro::prelude::*;
 
 fn short_trace(dataset: Dataset, rps: f64, seed: u64) -> Trace {
@@ -33,12 +34,9 @@ fn qwen14b_cluster_a_serves_burstgpt() {
     let mut cfg = ClusterConfig::qwen14b_cluster_a();
     cfg.reserve_frac = 0.55;
     let trace = short_trace(Dataset::BurstGpt, 24.0, 1);
-    let out = run_system(
-        SystemKind::KunServe,
-        cfg,
-        &trace,
-        SimDuration::from_secs(300),
-    );
+    let out = Run::new(SystemKind::KunServe, cfg, &trace)
+        .drain(SimDuration::from_secs(300))
+        .execute();
     assert_eq!(out.report.finished_requests, trace.len());
     // Unloaded TTFT should be sub-second; decode tens of ms — the
     // calibration targets of the ground-truth model.
@@ -55,12 +53,9 @@ fn qwen72b_tp4_cluster_b_serves_longbench() {
     let mut cfg = ClusterConfig::qwen72b_cluster_b();
     cfg.reserve_frac = 0.35;
     let trace = short_trace(Dataset::LongBench, 1.6, 2);
-    let out = run_system(
-        SystemKind::KunServe,
-        cfg,
-        &trace,
-        SimDuration::from_secs(400),
-    );
+    let out = Run::new(SystemKind::KunServe, cfg, &trace)
+        .drain(SimDuration::from_secs(400))
+        .execute();
     assert_eq!(out.report.finished_requests, trace.len());
     // 72B prefills of ~6K tokens take seconds; TTFT must reflect that scale
     // without exploding.
@@ -156,13 +151,12 @@ fn vllm_pp_frees_parameter_memory_on_real_model() {
     // parameter share.
     let cfg = ClusterConfig::qwen14b_cluster_a();
     let trace = short_trace(Dataset::BurstGpt, 10.0, 3);
-    let dp = run_system(
-        SystemKind::VllmDp,
-        cfg.clone(),
-        &trace,
-        SimDuration::from_secs(200),
-    );
-    let pp = run_system(SystemKind::VllmPp, cfg, &trace, SimDuration::from_secs(200));
+    let dp = Run::new(SystemKind::VllmDp, cfg.clone(), &trace)
+        .drain(SimDuration::from_secs(200))
+        .execute();
+    let pp = Run::new(SystemKind::VllmPp, cfg, &trace)
+        .drain(SimDuration::from_secs(200))
+        .execute();
     let cap = |o: &RunOutcome| o.state.memory_totals().1 as f64;
     let gain = cap(&pp) / cap(&dp);
     assert!(gain > 1.2, "PP must gain KV capacity (got {gain:.2}x)");

@@ -5,6 +5,7 @@
 //! whole fail/miss/retry/shed lifecycle.
 
 use cluster::{ClusterConfig, Deadline, ReqState, RetryPolicy};
+use kunserve::serving::Run;
 use kunserve_repro::prelude::*;
 use proptest::prelude::*;
 use sim_core::SimTime;
@@ -69,12 +70,9 @@ proptest! {
             cap: SimDuration::from_secs(4),
             seed: retry_seed,
         });
-        let run = || run_system(
-            SystemKind::KunServe,
-            cfg.clone(),
-            &trace,
-            SimDuration::from_secs(300),
-        );
+        let run = || Run::new(SystemKind::KunServe, cfg.clone(), &trace)
+            .drain(SimDuration::from_secs(300))
+            .execute();
         let out = run();
 
         // Seed-determinism: the identical configuration reproduces the
